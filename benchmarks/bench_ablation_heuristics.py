@@ -1,0 +1,29 @@
+"""Ablation A6: the future-work pairwise strategies vs DMR and OPT.
+
+Section VII of the paper lists new pairwise assignment strategies as
+future work; this bench compares the reproduction's candidates (LMR,
+local search, OPA-guided hybrid) against DMR and the complete OPT on
+paper-default edge workloads.
+"""
+
+from benchmarks.conftest import QUICK_CASES
+from repro.experiments.ablation import heuristic_comparison
+from repro.experiments.config import full_scale
+
+
+def test_heuristic_comparison(benchmark):
+    cases = 30 if full_scale() else QUICK_CASES
+
+    result = benchmark.pedantic(
+        lambda: heuristic_comparison(cases=cases), rounds=1,
+        iterations=1)
+    by_name = {row["approach"]: row for row in result.rows}
+    for name, row in by_name.items():
+        benchmark.extra_info[f"AR({name})"] = row[
+            f"AR over {cases} cases (%)"]
+    print()
+    print(result.format())
+    # Completeness: no heuristic accepts more than OPT (asserted per
+    # case inside the ablation as well).
+    for name in ("dmr", "lmr", "local_search", "opa_guided"):
+        assert by_name[name]["accepted"] <= by_name["opt"]["accepted"]

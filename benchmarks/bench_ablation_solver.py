@@ -1,0 +1,28 @@
+"""Ablations A2 + A5: OPT backend and linearisation agreement/speed.
+
+All complete backends (HiGHS on the compact and faithful ILPs, own
+branch-and-bound, CP search) must return the same accept/reject verdict
+case by case; the benchmark records their relative runtimes.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import QUICK_CASES
+from repro.experiments.ablation import solver_agreement
+from repro.experiments.config import full_scale
+
+
+def test_solver_agreement_and_speed(benchmark):
+    cases = 20 if full_scale() else max(4, QUICK_CASES // 2)
+
+    result = benchmark.pedantic(
+        lambda: solver_agreement(cases=cases), rounds=1, iterations=1)
+    assert all(row["agree"] for row in result.rows), \
+        "complete OPT backends disagreed"
+    timing_keys = [key for key in result.rows[0] if key.startswith("t(")]
+    for key in timing_keys:
+        benchmark.extra_info[key] = round(
+            float(np.mean([row[key] for row in result.rows])), 4)
+    benchmark.extra_info["cases"] = cases
+    print()
+    print(result.format())

@@ -1,0 +1,57 @@
+"""Per-algorithm wall-clock on one paper-default test case (n = 100).
+
+Classic pytest-benchmark timing of every approach in isolation -- the
+numbers behind the paper's complexity discussion (OPDCA is O(n^3 N),
+DM/DMR are cheap, OPT pays for completeness).
+"""
+
+import pytest
+
+from repro.baselines.dcmp import dcmp
+from repro.core.dca import DelayAnalyzer
+from repro.core.opdca import opdca
+from repro.core.schedulability import SDCA
+from repro.pairwise.dm import dm
+from repro.pairwise.dmr import dmr
+from repro.pairwise.opt import opt
+
+
+def test_segment_cache_construction(benchmark, default_case):
+    benchmark(lambda: DelayAnalyzer(default_case.jobset))
+
+
+def test_dm_analysis(benchmark, default_case):
+    jobset = default_case.jobset
+    analyzer = DelayAnalyzer(jobset)
+    benchmark(lambda: dm(jobset, "eq10", analyzer=analyzer))
+
+
+def test_dmr_repair(benchmark, default_case):
+    jobset = default_case.jobset
+    analyzer = DelayAnalyzer(jobset)
+    benchmark(lambda: dmr(jobset, "eq10", analyzer=analyzer))
+
+
+def test_opdca_assignment(benchmark, default_case):
+    jobset = default_case.jobset
+    analyzer = DelayAnalyzer(jobset)
+
+    def run():
+        return opdca(jobset, "eq10",
+                     test=SDCA(jobset, "eq10", analyzer=analyzer))
+
+    result = benchmark(run)
+    assert result.feasible in (True, False)
+
+
+@pytest.mark.parametrize("backend", ["highs", "cp"])
+def test_opt_backends(benchmark, default_case, backend):
+    jobset = default_case.jobset
+    analyzer = DelayAnalyzer(jobset)
+    result = benchmark(
+        lambda: opt(jobset, "eq10", backend=backend, analyzer=analyzer))
+    assert result.feasible in (True, False)
+
+
+def test_dcmp_simulation(benchmark, default_case):
+    benchmark(lambda: dcmp(default_case.jobset, release="budget"))

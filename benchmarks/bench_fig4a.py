@@ -1,0 +1,23 @@
+"""Figure 4(a): acceptance ratios vs heaviness threshold (beta).
+
+Regenerates the sweep beta in {0.05, 0.1, 0.15, 0.2} over DM / DMR /
+OPDCA / OPT / DCMP and checks the guaranteed shape relations
+(DM <= DMR <= OPT, DM <= OPDCA <= OPT).
+"""
+
+from benchmarks.conftest import record_figure
+from repro.experiments.figures import figure_4a
+from repro.experiments.report import shape_checks
+
+
+def test_figure_4a(benchmark, figure_config):
+    figure = benchmark.pedantic(
+        lambda: figure_4a(figure_config), rounds=1, iterations=1)
+    record_figure(benchmark, figure)
+    assert shape_checks(figure) == []
+    # Load monotonicity at the extremes of the sweep (the paper's
+    # headline trend): every approach does no better at beta=0.2 than
+    # at beta=0.05.
+    for approach in figure.approaches:
+        series = figure.series(approach)
+        assert series[-1] <= series[0] + 1e-9

@@ -1,0 +1,20 @@
+"""Figure 4(b): acceptance ratios vs per-stage heaviness [h1, h2, h3].
+
+Regenerates the paper's four heavy-fraction settings; the lightest
+setting ([.01]*3) must dominate the heavier ones for every approach.
+"""
+
+from benchmarks.conftest import record_figure
+from repro.experiments.figures import figure_4b
+from repro.experiments.report import shape_checks
+
+
+def test_figure_4b(benchmark, figure_config):
+    figure = benchmark.pedantic(
+        lambda: figure_4b(figure_config), rounds=1, iterations=1)
+    record_figure(benchmark, figure)
+    assert shape_checks(figure) == []
+    # The all-light setting is the easiest point of the sweep.
+    for approach in ("dm", "dmr", "opdca", "opt"):
+        series = figure.series(approach)
+        assert series[0] >= max(series[2], series[3]) - 1e-9

@@ -1,0 +1,19 @@
+"""Figure 4(c): acceptance ratios vs taskset heaviness bound (gamma).
+
+Regenerates gamma in {0.6, 0.7, 0.8, 0.9}; acceptance decreases as the
+bound loosens (more load may concentrate on one resource).
+"""
+
+from benchmarks.conftest import record_figure
+from repro.experiments.figures import figure_4c
+from repro.experiments.report import shape_checks
+
+
+def test_figure_4c(benchmark, figure_config):
+    figure = benchmark.pedantic(
+        lambda: figure_4c(figure_config), rounds=1, iterations=1)
+    record_figure(benchmark, figure)
+    assert shape_checks(figure) == []
+    for approach in ("dm", "dmr", "opdca", "opt"):
+        series = figure.series(approach)
+        assert series[-1] <= series[0] + 1e-9

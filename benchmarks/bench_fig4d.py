@@ -1,0 +1,26 @@
+"""Figure 4(d): rejected heaviness of the admission controllers.
+
+Regenerates the six workload settings of the paper with OPDCA, DMR and
+DM run as admission controllers (discard the worst-offending job when
+stuck).  Light settings reject (almost) nothing; heavy settings let the
+better controllers reject less heaviness.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import record_figure
+from repro.experiments.figures import figure_4d
+
+
+def test_figure_4d(benchmark, figure_config):
+    figure = benchmark.pedantic(
+        lambda: figure_4d(figure_config), rounds=1, iterations=1)
+    record_figure(benchmark, figure)
+    values = {approach: figure.series(approach)
+              for approach in figure.approaches}
+    # All rejected-heaviness percentages are valid.
+    for series in values.values():
+        assert all(0.0 <= v <= 100.0 for v in series)
+    # Averaged over the six settings, the controller quality order of
+    # the paper holds: OPDCA rejects no more heaviness than DM.
+    assert np.mean(values["opdca"]) <= np.mean(values["dm"]) + 1e-9

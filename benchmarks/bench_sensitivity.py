@@ -1,0 +1,63 @@
+"""Sensitivity sweeps S1-S3: the paper's closing conjecture.
+
+Section VII conjectures the pairwise-vs-ordering gap "is likely to grow
+with the number of stages, resources, and jobs".  The three sweeps vary
+one axis each and record the acceptance gaps; the stage sweep uses the
+generic N-stage pipeline generator because the edge workload is pinned
+at N = 3.
+"""
+
+from benchmarks.conftest import QUICK_CASES
+from repro.experiments.config import full_scale
+from repro.experiments.sensitivity import (
+    gap_vs_jobs,
+    gap_vs_resources,
+    gap_vs_stages,
+    summarize_gaps,
+)
+
+
+def _record(benchmark, result) -> None:
+    for row in result.rows:
+        benchmark.extra_info[str(row["point"])] = {
+            key: round(value, 1) if isinstance(value, float) else value
+            for key, value in row.items() if key != "point"}
+    print()
+    print(result.format())
+
+
+def test_gap_vs_jobs(benchmark):
+    cases = 30 if full_scale() else QUICK_CASES
+    result = benchmark.pedantic(lambda: gap_vs_jobs(cases=cases),
+                                rounds=1, iterations=1)
+    _record(benchmark, result)
+    # More jobs on fixed pools can only increase interference: the
+    # naive DM baseline must not improve along the sweep.
+    dm = [row["AR(dm)"] for row in result.rows]
+    assert all(b <= a + 1e-9 for a, b in zip(dm, dm[1:]))
+
+
+def test_gap_vs_resources(benchmark):
+    cases = 30 if full_scale() else QUICK_CASES
+    result = benchmark.pedantic(lambda: gap_vs_resources(cases=cases),
+                                rounds=1, iterations=1)
+    _record(benchmark, result)
+    # The guaranteed per-point relations must hold at every pool size
+    # (absolute ARs along the sweep are sampling-noisy in quick mode).
+    for row in result.rows:
+        assert row["AR(dm)"] <= row["AR(dmr)"] + 1e-9
+        assert row["AR(dmr)"] <= row["AR(opt)"] + 1e-9
+        assert row["AR(opdca)"] <= row["AR(opt)"] + 1e-9
+
+
+def test_gap_vs_stages(benchmark):
+    cases = 30 if full_scale() else QUICK_CASES
+    result = benchmark.pedantic(lambda: gap_vs_stages(cases=cases),
+                                rounds=1, iterations=1)
+    _record(benchmark, result)
+    print()
+    print(summarize_gaps([result]))
+    # The calibrated sweep shows the conjectured pairwise advantage
+    # somewhere before total saturation.
+    gaps = [row["gap(OPT-OPDCA)"] for row in result.rows]
+    assert max(gaps) >= 0.0

@@ -1,0 +1,39 @@
+"""Ablation A3: analytical bound tightness vs simulated delays.
+
+For OPDCA orderings the Eq. 10 bound must dominate the simulation
+(soundness); for OPT's possibly-cyclic pairwise assignments the bench
+*measures* how often the Copeland dispatcher stays within the bound --
+quantifying the runtime semantics the paper leaves open.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import QUICK_CASES
+from repro.experiments.ablation import bound_tightness
+from repro.experiments.config import full_scale
+
+
+def test_bound_tightness(benchmark):
+    cases = 30 if full_scale() else QUICK_CASES
+
+    result = benchmark.pedantic(
+        lambda: bound_tightness(cases=cases), rounds=1, iterations=1)
+    ordering_rows = [row for row in result.rows
+                     if row["ordering violations"] >= 0]
+    pairwise_rows = [row for row in result.rows
+                     if row["pairwise violations"] >= 0]
+    # Soundness: total orderings never exceed the analytical bound.
+    assert all(row["ordering violations"] == 0 for row in ordering_rows)
+    if ordering_rows:
+        tightness = [row["ordering tightness"] for row in ordering_rows]
+        benchmark.extra_info["mean sim/bound (ordering)"] = round(
+            float(np.mean(tightness)), 3)
+    if pairwise_rows:
+        violations = sum(row["pairwise violations"]
+                         for row in pairwise_rows)
+        cyclic = sum(bool(row["pairwise cyclic"])
+                     for row in pairwise_rows)
+        benchmark.extra_info["pairwise bound violations"] = violations
+        benchmark.extra_info["cyclic assignments"] = cyclic
+    print()
+    print(result.format())

@@ -1,0 +1,50 @@
+"""Shared benchmark configuration.
+
+Benchmarks default to a reduced-but-shape-preserving configuration so
+the whole suite finishes in minutes; set ``REPRO_FULL=1`` for
+paper-scale runs (100 cases per sweep point, as in Section VI).  Every
+figure benchmark prints the regenerated table and records the series in
+``benchmark.extra_info`` so the numbers survive into the JSON report.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig, full_scale
+from repro.workload.edge import EdgeWorkloadConfig, generate_edge_case
+
+#: Cases per sweep point in quick mode (paper mode uses 100).
+QUICK_CASES = 6
+
+
+def experiment_config() -> ExperimentConfig:
+    if full_scale():
+        return ExperimentConfig.paper()
+    return ExperimentConfig(cases=QUICK_CASES)
+
+
+@pytest.fixture(scope="session")
+def figure_config() -> ExperimentConfig:
+    return experiment_config()
+
+
+@pytest.fixture(scope="session")
+def default_case():
+    """One paper-default edge test case shared by component benches."""
+    return generate_edge_case(EdgeWorkloadConfig(), seed=0)
+
+
+def record_figure(benchmark, figure) -> None:
+    """Attach the regenerated series to the benchmark report and print
+    the table (visible with ``pytest -s``)."""
+    from repro.experiments.report import format_series, format_table
+
+    benchmark.extra_info["cases_per_point"] = figure.cases
+    for approach in figure.approaches:
+        benchmark.extra_info[approach] = [
+            round(v, 1) for v in figure.series(approach)]
+    benchmark.extra_info["points"] = [p.label for p in figure.points]
+    print()
+    print(format_table(figure))
+    print(format_series(figure))

@@ -1,0 +1,89 @@
+"""A guided tour of the DCA delay bounds (paper Sections III-IV).
+
+Walks through the paper's Example 1 and the refinement story:
+
+* Eq. 2's OPA-incompatibility witness (Delta_2 = 92 -> 87 after giving
+  J2 a *lower* priority);
+* Eq. 1 vs Eq. 2 (preemption vs blocking);
+* the Eq. 3 -> Eq. 6 refinement on a multi-segment MSMR pair;
+* the effect of interference-window filtering with release offsets.
+
+Run:  python examples/delay_bounds_tour.py
+"""
+
+import numpy as np
+
+from repro import DelayAnalyzer, Job, JobSet, MSMRSystem, Stage, pair_segments
+
+
+def mask(n, members):
+    result = np.zeros(n, dtype=bool)
+    result[list(members)] = True
+    return result
+
+
+def example1() -> None:
+    print("=== Example 1 (single resource, non-preemptive, Eq. 2) ===")
+    jobset = JobSet.single_resource(
+        processing=[(5, 7, 15), (7, 9, 17), (6, 8, 30), (2, 4, 3)],
+        deadlines=[200] * 4, preemptive=False)
+    analyzer = DelayAnalyzer(jobset)
+    original = analyzer.eq2(1, mask(4, [0]), mask(4, [2, 3]))
+    swapped = analyzer.eq2(1, mask(4, [0, 2]), mask(4, [3]))
+    print(f"  priority J1>J2>J3>J4:    Delta_2 = {original:.0f} "
+          f"(paper: 92)")
+    print(f"  after swapping J2/J3:    Delta_2 = {swapped:.0f} "
+          f"(paper: 87)")
+    print("  -> a *lower* priority reduced the bound: Eq. 2 violates "
+          "OPA-compatibility (Observation IV.2)")
+
+    preemptive = DelayAnalyzer(JobSet.single_resource(
+        processing=[(5, 7, 15), (7, 9, 17), (6, 8, 30), (2, 4, 3)],
+        deadlines=[200] * 4, preemptive=True))
+    eq1 = preemptive.eq1(1, mask(4, [0]))
+    print(f"  preemptive Eq. 1 bound for the same context: {eq1:.0f} "
+          f"(no blocking term)")
+
+
+def refinement() -> None:
+    print("\n=== Eq. 3 vs refined Eq. 6 on a multi-segment pair ===")
+    system = MSMRSystem([Stage(2)] * 4)
+    jobs = [
+        Job(processing=(4, 5, 6, 7), deadline=100,
+            resources=(0, 0, 0, 0), name="victim"),
+        Job(processing=(3, 2, 9, 8), deadline=100,
+            resources=(0, 0, 1, 0), name="interferer"),
+    ]
+    jobset = JobSet(system, jobs)
+    profile = pair_segments(jobset, 0, 1)
+    print(f"  shared segments: {profile.segments}  "
+          f"(m={profile.m}, u={profile.u}, v={profile.v}, "
+          f"w={profile.w})")
+    analyzer = DelayAnalyzer(jobset)
+    eq3 = analyzer.eq3(0, mask(2, [1]))
+    eq6 = analyzer.eq6(0, mask(2, [1]))
+    print(f"  Eq. 3 bound: {eq3:.0f}   (2 terms x et1 per segment)")
+    print(f"  Eq. 6 bound: {eq6:.0f}   (w largest shared-stage times)")
+    print(f"  refinement saves {eq3 - eq6:.0f} time units here")
+
+
+def window_filtering() -> None:
+    print("\n=== Interference-window filtering ===")
+    jobset = JobSet.single_resource(
+        processing=[(5, 5), (5, 5), (5, 5)],
+        deadlines=[30, 30, 30],
+        arrivals=[0, 10, 500])
+    filtered = DelayAnalyzer(jobset)
+    unfiltered = DelayAnalyzer(jobset, window_filter=False)
+    higher = mask(3, [1, 2])
+    print(f"  J0 with H = {{J1, J2}}: filtered bound "
+          f"{filtered.eq1(0, higher):.0f}, unfiltered "
+          f"{unfiltered.eq1(0, higher):.0f}")
+    print("  J2 (release 500) cannot overlap J0's window [0, 30] and "
+          "is dropped automatically")
+
+
+if __name__ == "__main__":
+    example1()
+    refinement()
+    window_filtering()

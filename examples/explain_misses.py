@@ -1,0 +1,69 @@
+"""Diagnose deadline misses term by term (the explain API).
+
+Generates an edge case where the deadline-monotonic baseline fails,
+picks the worst-missing job, and prints the full decomposition of its
+Eq. 10 delay bound: who interferes, at which stage, and by how much --
+then shows how the OPT assignment removes exactly that interference.
+
+Run:  python examples/explain_misses.py
+"""
+
+import numpy as np
+
+from repro import DelayAnalyzer, explain_delay
+from repro.pairwise import dm, opt
+from repro.workload import EdgeWorkloadConfig, generate_edge_case
+
+
+def main() -> None:
+    config = EdgeWorkloadConfig(packing_prob=0.4)
+    for seed in range(50):
+        case = generate_edge_case(config, seed=seed)
+        jobset = case.jobset
+        analyzer = DelayAnalyzer(jobset)
+        baseline = dm(jobset, "eq10", analyzer=analyzer)
+        improved = opt(jobset, "eq10", analyzer=analyzer)
+        if not baseline.feasible and improved.feasible:
+            break
+    else:
+        print("no suitable seed found; try different parameters")
+        return
+
+    victim = int(np.argmax(baseline.delays - jobset.D))
+    print(f"=== Case seed {seed}: DM misses, OPT repairs ===")
+    print(f"worst job under DM: {jobset.label(victim)} "
+          f"(bound {baseline.delays[victim]:.0f} vs deadline "
+          f"{jobset.D[victim]:.0f})\n")
+
+    print("--- DM breakdown ---")
+    dm_breakdown = explain_delay(
+        analyzer, victim,
+        baseline.assignment.higher_mask(victim),
+        baseline.assignment.lower_mask(victim),
+        equation="eq10")
+    print(_top_terms(dm_breakdown, jobset))
+
+    print("\n--- OPT breakdown (same job) ---")
+    opt_breakdown = explain_delay(
+        analyzer, victim,
+        improved.assignment.higher_mask(victim),
+        improved.assignment.lower_mask(victim),
+        equation="eq10")
+    print(_top_terms(opt_breakdown, jobset))
+
+    dominant = dm_breakdown.dominant_interferer()
+    print(f"\ndominant interferer under DM: {jobset.label(dominant)} "
+          f"({dm_breakdown.job_contribution(dominant):.0f} time units); "
+          f"under OPT it contributes "
+          f"{opt_breakdown.job_contribution(dominant):.0f}")
+
+
+def _top_terms(breakdown, jobset, limit: int = 8) -> str:
+    lines = breakdown.format(label=jobset.label).splitlines()
+    header, terms = lines[0], lines[1:]
+    terms.sort(key=lambda line: -float(line.rsplit(None, 1)[-1]))
+    return "\n".join([header] + terms[:limit])
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+"""Observation V.1, live: pairwise priorities beat total orderings.
+
+Recreates the paper's Figure 2 instance -- four jobs, three stages, two
+resources per stage, deadlines {60, 55, 55, 50} -- and shows that
+
+1. all 24 total priority orderings violate some deadline (so OPDCA
+   correctly reports infeasibility), yet
+2. the cyclic pairwise assignment of Figure 2(b)
+   (J3 > J1 > J2 > J4 > J3) meets every deadline, and
+3. every OPT backend (HiGHS ILP, own branch-and-bound, CP search)
+   rediscovers a feasible -- necessarily cyclic -- assignment.
+
+Run:  python examples/pairwise_vs_ordering.py
+"""
+
+import itertools
+
+import numpy as np
+
+from repro import (
+    DelayAnalyzer,
+    Job,
+    JobSet,
+    MSMRSystem,
+    PairwiseAssignment,
+    Stage,
+    opdca,
+)
+from repro.pairwise import opt
+from repro.sim import PairwisePolicy, simulate
+
+
+def figure2_jobset() -> JobSet:
+    system = MSMRSystem([Stage(2), Stage(2), Stage(2)])
+    jobs = [
+        Job(processing=(5, 7, 15), deadline=60, resources=(0, 1, 1),
+            name="J1"),
+        Job(processing=(7, 9, 17), deadline=55, resources=(1, 1, 1),
+            name="J2"),
+        Job(processing=(6, 8, 30), deadline=55, resources=(0, 0, 0),
+            name="J3"),
+        Job(processing=(2, 4, 3), deadline=50, resources=(1, 0, 0),
+            name="J4"),
+    ]
+    return JobSet(system, jobs)
+
+
+def main() -> None:
+    jobset = figure2_jobset()
+    analyzer = DelayAnalyzer(jobset)
+
+    print("=== 1. Exhaustive check of all 24 orderings (Eq. 6) ===")
+    feasible_orderings = 0
+    for perm in itertools.permutations(range(4)):
+        priority = np.empty(4, dtype=int)
+        for rank, job in enumerate(perm, start=1):
+            priority[job] = rank
+        delays = analyzer.delays_for_ordering(priority, equation="eq6")
+        if (delays <= jobset.D + 1e-9).all():
+            feasible_orderings += 1
+    print(f"  feasible orderings: {feasible_orderings} / 24")
+    print(f"  OPDCA agrees: feasible={opdca(jobset, 'eq6').feasible}")
+
+    print("\n=== 2. The paper's pairwise assignment (Figure 2b) ===")
+    assignment = PairwiseAssignment.from_pairs(
+        jobset, [(2, 0), (0, 1), (1, 3), (3, 2)])
+    delays = analyzer.delays_for_pairwise(assignment.matrix(),
+                                          equation="eq6")
+    for i in range(4):
+        print(f"  {jobset.label(i)}: bound={delays[i]:5.1f}  "
+              f"deadline={jobset.D[i]:g}  "
+              f"{'OK' if delays[i] <= jobset.D[i] else 'MISS'}")
+    cycle = assignment.find_cycle()
+    pretty = " > ".join(jobset.label(a) for a, _ in cycle)
+    print(f"  priority cycle: {pretty} > {jobset.label(cycle[0][0])}")
+
+    print("\n=== 3. Every OPT backend rediscovers feasibility ===")
+    for backend in ("highs", "branch_bound", "cp"):
+        result = opt(jobset, "eq6", backend=backend)
+        print(f"  {backend:>12}: feasible={result.feasible}  "
+              f"cyclic={not result.assignment.is_acyclic()}  "
+              f"bounds={result.delays.round(1)}")
+
+    print("\n=== 4. Simulated execution under the cyclic assignment ===")
+    sim = simulate(jobset, PairwisePolicy(assignment))
+    sim.validate()
+    print(f"  simulated delays: {sim.delays.round(1)} "
+          f"(deadlines {jobset.D.astype(int)})")
+    print(f"  all deadlines met in simulation: {sim.all_met}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""Periodic sensing pipeline: task-level priorities over a hyperperiod.
+
+A small automotive-style workload -- camera, radar, lidar and telemetry
+tasks with different periods -- runs on a 2-stage pipeline (DSP
+pre-processing, then a fusion CPU pool).  The example unrolls one
+hyperperiod, computes an optimal *task-level* priority assignment with
+the OPA/S_DCA machinery, simulates the window, and draws the schedule.
+
+Run:  python examples/periodic_tasks.py
+"""
+
+import numpy as np
+
+from repro import MSMRSystem, Stage
+from repro.sim import simulate
+from repro.viz import gantt_per_resource, sparkline_table
+from repro.workload import PeriodicTask, opdca_periodic
+
+#: DSP pool (2 units, non-preemptive firmware) feeding a fusion CPU
+#: pool (2 cores, preemptive).
+SYSTEM = MSMRSystem([
+    Stage(num_resources=2, preemptive=False, name="dsp"),
+    Stage(num_resources=2, preemptive=True, name="fusion"),
+])
+
+TASKS = [
+    PeriodicTask(period=10, processing=(1.0, 1.5), deadline=9,
+                 resources=(0, 0), name="camera"),
+    PeriodicTask(period=20, processing=(1.5, 2.0), deadline=18,
+                 resources=(0, 1), name="radar"),
+    PeriodicTask(period=20, processing=(2.0, 2.5), deadline=20,
+                 resources=(1, 0), name="lidar"),
+    PeriodicTask(period=40, processing=(2.5, 3.0), deadline=35,
+                 resources=(1, 1), name="telemetry"),
+]
+
+
+def main() -> None:
+    print("=== Task set ===")
+    for index, task in enumerate(TASKS):
+        print(f"  {task.label(index):>10}: T={task.period:g}  "
+              f"D={task.deadline:g}  P={task.processing}  "
+              f"U={task.utilization:.2f}")
+    total_u = sum(task.utilization for task in TASKS)
+    print(f"  total utilisation: {total_u:.2f}")
+
+    result = opdca_periodic(SYSTEM, TASKS, policy="nonpreemptive")
+    print(f"\n=== Task-level OPA over one hyperperiod "
+          f"(window={result.unrolled.window:g}) ===")
+    if not result.feasible:
+        print("  no feasible task-level priority ordering")
+        return
+    order = np.argsort(result.task_priority)
+    for rank, task_index in enumerate(order, start=1):
+        task = TASKS[task_index]
+        print(f"  priority {rank}: {task.label(task_index)}")
+
+    unrolled = result.unrolled
+    print(f"\n{unrolled.jobset.num_jobs} job instances in the window")
+    sim = simulate(unrolled.jobset, result.job_priorities())
+    print(f"all deadlines met in simulation: {sim.all_met}")
+
+    print("\n=== Per-task simulated delays across instances ===")
+    series = {}
+    for task_index, task in enumerate(TASKS):
+        instances = unrolled.instances(task_index)
+        series[task.label(task_index)] = [
+            float(sim.delays[i]) for i in instances]
+    print(sparkline_table(series, lo=0.0))
+
+    print("\n=== Hyperperiod schedule ===")
+    print(gantt_per_resource(sim.trace, width=76))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,104 @@
+"""repro -- Optimal fixed-priority scheduling in multi-stage
+multi-resource distributed real-time systems.
+
+A faithful, self-contained reproduction of Kumar, Gao & Easwaran,
+*"Optimal Fixed Priority Scheduling in Multi-Stage Multi-Resource
+Distributed Real-Time Systems"*, DATE 2024 (arXiv: 2403.13411).
+
+Quick start::
+
+    from repro import JobSet, opdca
+
+    jobset = JobSet.single_resource(
+        processing=[(5, 7, 15), (7, 9, 17), (6, 8, 30), (2, 4, 3)],
+        deadlines=[60, 55, 55, 50],
+    )
+    result = opdca(jobset)          # optimal total priority ordering
+    print(result.feasible, result.ordering)
+
+See :mod:`repro.pairwise` for the pairwise assignment solvers (OPT ILP,
+DMR heuristic), :mod:`repro.sim` for the discrete-event pipeline
+simulator, :mod:`repro.workload` for the edge-computing workload
+generator, and :mod:`repro.experiments` for the Figure 4 harness.
+"""
+
+from repro.core import (
+    ALL_EQUATIONS,
+    OPA_COMPATIBLE_EQUATIONS,
+    AdmissionResult,
+    DelayAnalyzer,
+    DelayBreakdown,
+    InfeasibleError,
+    Job,
+    JobSet,
+    MSMRSystem,
+    ModelError,
+    OPAResult,
+    OPDCAResult,
+    PairSegments,
+    PairwiseAssignment,
+    Policy,
+    PriorityOrdering,
+    ReproError,
+    SDCA,
+    ScalingResult,
+    SegmentCache,
+    SimulationError,
+    SolverError,
+    Stage,
+    TermContribution,
+    audsley,
+    best_ordering,
+    critical_scaling,
+    exists_pairwise,
+    explain_delay,
+    jobset_from_dict,
+    jobset_to_dict,
+    opdca,
+    opdca_admission,
+    pair_segments,
+    scaling_profile,
+    segments_of,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_EQUATIONS",
+    "OPA_COMPATIBLE_EQUATIONS",
+    "AdmissionResult",
+    "DelayAnalyzer",
+    "DelayBreakdown",
+    "InfeasibleError",
+    "Job",
+    "JobSet",
+    "MSMRSystem",
+    "ModelError",
+    "OPAResult",
+    "OPDCAResult",
+    "PairSegments",
+    "PairwiseAssignment",
+    "Policy",
+    "PriorityOrdering",
+    "ReproError",
+    "SDCA",
+    "ScalingResult",
+    "SegmentCache",
+    "SimulationError",
+    "SolverError",
+    "Stage",
+    "TermContribution",
+    "__version__",
+    "audsley",
+    "best_ordering",
+    "critical_scaling",
+    "exists_pairwise",
+    "explain_delay",
+    "jobset_from_dict",
+    "jobset_to_dict",
+    "opdca",
+    "opdca_admission",
+    "pair_segments",
+    "scaling_profile",
+    "segments_of",
+]

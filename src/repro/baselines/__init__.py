@@ -1,0 +1,24 @@
+"""Baselines the paper compares against, plus the classical holistic
+analysis (HOL) the DCA line of work improves upon."""
+
+from repro.baselines.dcmp import (
+    DCMPResult,
+    dcmp,
+    stage_ranks,
+    virtual_deadlines,
+)
+from repro.baselines.holistic import (
+    HolisticAnalyzer,
+    SHolistic,
+    holistic_opa,
+)
+
+__all__ = [
+    "DCMPResult",
+    "HolisticAnalyzer",
+    "SHolistic",
+    "dcmp",
+    "holistic_opa",
+    "stage_ranks",
+    "virtual_deadlines",
+]

@@ -1,0 +1,222 @@
+"""Holistic per-stage additive response-time analysis (HOL baseline).
+
+The classical alternative to delay composition ([4], [5] in the paper's
+references): bound each stage's response time independently and add the
+per-stage bounds up.  For one-shot jobs the stage response of ``J_i``
+at ``S_j`` under fixed priorities is at most
+
+    ``R_{i,j} = P_{i,j} + sum_{J_k in H_i ∩ M_{i,j}} P_{k,j}``
+    ``        (+ max_{J_k in B ∩ M_{i,j}} P_{k,j}``  on non-preemptive
+    stages, where ``B`` is the blocking set)
+
+and the end-to-end bound is ``sum_j R_{i,j}``.  Every higher-priority
+job is charged once *per shared stage* -- this is exactly the pessimism
+DCA removes (one ``t_{k,1}`` per job plus one max per stage), so the
+pair {HOL, DCA} quantifies the paper's core motivation.  Ablation A6
+(``bench_ablation_holistic.py``) measures the gap.
+
+The test depends only on the *sets* ``H_i``/``B`` -- never on relative
+priorities -- and adding a job to ``H_i`` can only increase the bound,
+so with ``blocking="all"`` (priority-independent, mirroring Eq. 5) it
+is OPA-compatible and :func:`holistic_opa` runs Audsley's algorithm
+on it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.core.opa import OPAResult, audsley
+from repro.core.schedulability import DEADLINE_TOLERANCE
+from repro.core.segments import SegmentCache
+from repro.core.system import JobSet
+
+MaskLike = "np.ndarray | Iterable[int]"
+
+
+class HolisticAnalyzer:
+    """Per-stage additive end-to-end delay bounds.
+
+    Parameters
+    ----------
+    jobset:
+        Job set under analysis.
+    preemptive:
+        Per-stage preemption flags; defaults to the system's.  On a
+        non-preemptive stage one blocking job is charged.
+    blocking:
+        ``"lower"`` charges the actual lower-priority set (tighter but
+        OPA-incompatible, like Eq. 4); ``"all"`` charges the worst over
+        all other jobs (OPA-compatible, like Eq. 5).
+    window_filter:
+        Drop jobs whose interference windows cannot overlap, as in
+        :class:`~repro.core.dca.DelayAnalyzer`.
+    """
+
+    def __init__(self, jobset: JobSet, *,
+                 preemptive: "list[bool] | None" = None,
+                 blocking: str = "all",
+                 window_filter: bool = True) -> None:
+        if blocking not in ("lower", "all"):
+            raise ValueError(
+                f"blocking must be 'lower' or 'all', got {blocking!r}")
+        self._jobset = jobset
+        self._cache = SegmentCache(jobset)
+        self._blocking = blocking
+        self._window_filter = window_filter
+        self._n = jobset.num_jobs
+        flags = (jobset.system.preemptive_flags if preemptive is None
+                 else tuple(preemptive))
+        if len(flags) != jobset.num_stages:
+            raise ValueError(
+                f"need {jobset.num_stages} preemption flags, "
+                f"got {len(flags)}")
+        self._nonpreemptive = ~np.array(flags, dtype=bool)
+
+    @property
+    def jobset(self) -> JobSet:
+        return self._jobset
+
+    @property
+    def blocking(self) -> str:
+        return self._blocking
+
+    @property
+    def opa_compatible(self) -> bool:
+        """OPA-compatible unless blocking charges the true lower set on
+        some non-preemptive stage."""
+        return self._blocking == "all" or not bool(
+            self._nonpreemptive.any())
+
+    def _interferers(self, i: int, jobs: MaskLike,
+                     active: np.ndarray | None) -> np.ndarray:
+        if jobs is None:
+            mask = np.zeros(self._n, dtype=bool)
+        else:
+            array = np.asarray(jobs)
+            if array.dtype == bool:
+                mask = array.copy()
+            else:
+                mask = np.zeros(self._n, dtype=bool)
+                mask[array.astype(np.int64)] = True
+        mask[i] = False
+        if self._window_filter:
+            mask &= self._jobset.overlaps[i]
+        if active is not None:
+            mask &= active
+        return mask
+
+    def stage_responses(self, i: int, higher: MaskLike,
+                        lower: MaskLike | None = None, *,
+                        active: np.ndarray | None = None) -> np.ndarray:
+        """Per-stage response-time bounds ``R_{i,j}`` of job ``i``."""
+        h_mask = self._interferers(i, higher, active)
+        ep = self._cache.ep[i]                       # (n, N) shared times
+        responses = self._jobset.P[i].copy()
+        responses += ep[h_mask].sum(axis=0)
+        if self._nonpreemptive.any():
+            if self._blocking == "all":
+                b_mask = self._interferers(
+                    i, np.ones(self._n, dtype=bool), active)
+            else:
+                b_mask = self._interferers(i, lower, active)
+            blocked = np.where(b_mask[:, None], ep, 0.0).max(axis=0) \
+                if b_mask.any() else np.zeros(self._jobset.num_stages)
+            responses += np.where(self._nonpreemptive, blocked, 0.0)
+        return responses
+
+    def delay_bound(self, i: int, higher: MaskLike,
+                    lower: MaskLike | None = None, *,
+                    active: np.ndarray | None = None) -> float:
+        """End-to-end holistic bound ``sum_j R_{i,j}``."""
+        return float(self.stage_responses(i, higher, lower,
+                                          active=active).sum())
+
+    def delays_for_ordering(self, priority: np.ndarray, *,
+                            active: np.ndarray | None = None
+                            ) -> np.ndarray:
+        """Holistic bounds of all jobs under a total priority ordering."""
+        priority = np.asarray(priority)
+        x = priority[:, None] < priority[None, :]
+        return self.delays_for_pairwise(x, active=active)
+
+    def delays_for_pairwise(self, x: np.ndarray, *,
+                            active: np.ndarray | None = None
+                            ) -> np.ndarray:
+        """Holistic bounds under a pairwise relation (``x[i, k]`` true
+        iff ``J_i`` has higher priority than ``J_k``)."""
+        x = np.asarray(x, dtype=bool)
+        n = self._n
+        if x.shape != (n, n):
+            raise ValueError(f"x has shape {x.shape}, expected {(n, n)}")
+        higher_of = x.T & ~np.eye(n, dtype=bool)
+        lower_of = x & ~np.eye(n, dtype=bool)
+        delays = np.full(n, np.nan)
+        indices = range(n) if active is None else np.flatnonzero(active)
+        for i in indices:
+            i = int(i)
+            delays[i] = self.delay_bound(i, higher_of[i], lower_of[i],
+                                         active=active)
+        return delays
+
+
+class SHolistic:
+    """Schedulability test wrapping :class:`HolisticAnalyzer`.
+
+    Drop-in analogue of :class:`~repro.core.schedulability.SDCA` with
+    the holistic bound; used by :func:`holistic_opa` and the ablation.
+    """
+
+    def __init__(self, jobset: JobSet, *,
+                 analyzer: HolisticAnalyzer | None = None,
+                 preemptive: "list[bool] | None" = None,
+                 blocking: str = "all") -> None:
+        self._analyzer = analyzer if analyzer is not None else \
+            HolisticAnalyzer(jobset, preemptive=preemptive,
+                             blocking=blocking)
+        if self._analyzer.jobset is not jobset:
+            raise ValueError("analyzer was built for a different job set")
+        self._jobset = jobset
+
+    @property
+    def jobset(self) -> JobSet:
+        return self._jobset
+
+    @property
+    def analyzer(self) -> HolisticAnalyzer:
+        return self._analyzer
+
+    @property
+    def opa_compatible(self) -> bool:
+        return self._analyzer.opa_compatible
+
+    def delay(self, i: int, higher: MaskLike,
+              lower: MaskLike | None = None, *,
+              active: np.ndarray | None = None) -> float:
+        return self._analyzer.delay_bound(i, higher, lower, active=active)
+
+    def __call__(self, i: int, higher: MaskLike,
+                 lower: MaskLike | None = None, *,
+                 active: np.ndarray | None = None) -> bool:
+        bound = self.delay(i, higher, lower, active=active)
+        return bound <= self._jobset.D[i] + DEADLINE_TOLERANCE
+
+
+def holistic_opa(jobset: JobSet, *,
+                 preemptive: "list[bool] | None" = None,
+                 blocking: str = "all") -> OPAResult:
+    """Audsley's OPA driven by the holistic test (the HOL approach).
+
+    With ``blocking="all"`` the test is OPA-compatible, so the result
+    is an *optimal* ordering with respect to the holistic bound --
+    making the comparison against OPDCA a fair analysis-vs-analysis
+    fight rather than an algorithmic one.
+    """
+    test = SHolistic(jobset, preemptive=preemptive, blocking=blocking)
+    if not test.opa_compatible:
+        raise ValueError(
+            "holistic OPA needs the OPA-compatible blocking='all' "
+            "variant on systems with non-preemptive stages")
+    return audsley(jobset.num_jobs, test)

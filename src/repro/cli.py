@@ -1,0 +1,179 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands regenerate the paper's figures and the reproduction's
+ablations as plain-text tables, e.g.::
+
+    python -m repro fig4a --cases 50
+    python -m repro fig4d
+    python -m repro ablate-solver --cases 5
+    python -m repro scalability
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.ablation import (
+    bound_tightness,
+    heuristic_comparison,
+    holistic_comparison,
+    refinement_ablation,
+    scalability,
+    solver_agreement,
+)
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.figures import ALL_FIGURES
+from repro.experiments.report import (
+    format_chart,
+    format_series,
+    format_table,
+    shape_checks,
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Argument parser for every experiment/ablation subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the experiments of 'Optimal Fixed Priority "
+                    "Scheduling in Multi-Stage Multi-Resource Distributed "
+                    "Real-Time Systems' (DATE 2024).")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--cases", type=int, default=None,
+                       help="test cases per sweep point "
+                            "(default: 10, or 100 with REPRO_FULL=1)")
+        p.add_argument("--seed0", type=int, default=0,
+                       help="first seed of the case range")
+
+    for name in ("fig4a", "fig4b", "fig4c", "fig4d"):
+        p = sub.add_parser(name, help=f"regenerate {name} of the paper")
+        add_common(p)
+        p.add_argument("--stacked", action="store_true",
+                       help="show DMR/OPDCA/OPT as stacked increments "
+                            "(the paper's histogram view)")
+        p.add_argument("--chart", action="store_true",
+                       help="also render the panel as an ASCII chart")
+        p.add_argument("--opt-backend", default="highs",
+                       choices=("highs", "branch_bound", "cp"))
+
+    p = sub.add_parser("ablate-refinement",
+                       help="A1: Eq.3 vs refined Eq.6 pessimism")
+    add_common(p)
+    p = sub.add_parser("ablate-solver",
+                       help="A2/A5: OPT backend & linearisation agreement")
+    add_common(p)
+    p = sub.add_parser("validate-sim",
+                       help="A3: simulated delays vs analytical bounds")
+    add_common(p)
+    p = sub.add_parser("ablate-heuristics",
+                       help="A6: pairwise heuristics vs DMR and OPT")
+    add_common(p)
+    p = sub.add_parser("ablate-holistic",
+                       help="A7: classical holistic analysis vs DCA")
+    add_common(p)
+    p = sub.add_parser("scalability", help="A4: runtime vs job count")
+    p.add_argument("--cases", type=int, default=3)
+    p.add_argument("--jobs", type=int, nargs="+",
+                   default=[25, 50, 100, 150])
+    p = sub.add_parser(
+        "sensitivity",
+        help="S1-S3: does the OPT gap grow with jobs/resources/stages?")
+    add_common(p)
+    p.add_argument("--axis", choices=("jobs", "resources", "stages",
+                                      "all"),
+                   default="all")
+
+    return parser
+
+
+def _experiment_config(args: argparse.Namespace) -> ExperimentConfig:
+    config = ExperimentConfig.from_environment()
+    overrides = {}
+    if getattr(args, "cases", None) is not None:
+        overrides["cases"] = args.cases
+    if getattr(args, "seed0", 0):
+        overrides["seed0"] = args.seed0
+    if getattr(args, "opt_backend", None):
+        overrides["opt_backend"] = args.opt_backend
+    if overrides:
+        config = ExperimentConfig(
+            cases=overrides.get("cases", config.cases),
+            seed0=overrides.get("seed0", config.seed0),
+            base=config.base,
+            equation=config.equation,
+            opt_backend=overrides.get("opt_backend", config.opt_backend))
+    return config
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    """Entry point of ``python -m repro``; returns the exit code."""
+    args = build_parser().parse_args(argv)
+    start = time.perf_counter()
+
+    if args.command in ALL_FIGURES:
+        config = _experiment_config(args)
+        figure = ALL_FIGURES[args.command](config)
+        print(format_table(figure, stacked=args.stacked))
+        print()
+        print(format_series(figure))
+        if args.chart:
+            print()
+            print(format_chart(figure))
+        problems = shape_checks(figure)
+        if problems:
+            print("\nSHAPE VIOLATIONS (should be impossible for the "
+                  "guaranteed relations):")
+            for problem in problems:
+                print(f"  - {problem}")
+    elif args.command == "ablate-refinement":
+        cases = args.cases if args.cases is not None else 10
+        print(refinement_ablation(cases=cases, seed0=args.seed0).format())
+    elif args.command == "ablate-solver":
+        cases = args.cases if args.cases is not None else 5
+        print(solver_agreement(cases=cases, seed0=args.seed0).format())
+    elif args.command == "validate-sim":
+        cases = args.cases if args.cases is not None else 10
+        print(bound_tightness(cases=cases, seed0=args.seed0).format())
+    elif args.command == "ablate-heuristics":
+        cases = args.cases if args.cases is not None else 10
+        print(heuristic_comparison(cases=cases,
+                                   seed0=args.seed0).format())
+    elif args.command == "ablate-holistic":
+        cases = args.cases if args.cases is not None else 10
+        print(holistic_comparison(cases=cases,
+                                  seed0=args.seed0).format())
+    elif args.command == "scalability":
+        print(scalability(job_counts=tuple(args.jobs),
+                          cases=args.cases).format())
+    elif args.command == "sensitivity":
+        from repro.experiments.sensitivity import (
+            gap_vs_jobs,
+            gap_vs_resources,
+            gap_vs_stages,
+            summarize_gaps,
+        )
+
+        cases = args.cases if args.cases is not None else 10
+        sweeps = {"jobs": gap_vs_jobs, "resources": gap_vs_resources,
+                  "stages": gap_vs_stages}
+        selected = (list(sweeps) if args.axis == "all" else [args.axis])
+        results = []
+        for axis in selected:
+            result = sweeps[axis](cases=cases, seed0=args.seed0)
+            results.append(result)
+            print(result.format())
+            print()
+        print(summarize_gaps(results))
+    else:  # pragma: no cover - argparse guards this
+        return 1
+
+    print(f"\n[done in {time.perf_counter() - start:.1f}s]")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,85 @@
+"""Core model and analysis: the paper's primary contribution.
+
+Exposes the MSMR job/system model, the DCA delay bounds (Eqs. 1-6, 10),
+the ``S_DCA`` schedulability test, Audsley's OPA engine, OPDCA
+(Algorithm 1), priority structures, and the admission controller.
+"""
+
+from repro.core.admission import AdmissionResult, opdca_admission
+from repro.core.dca import (
+    ALL_EQUATIONS,
+    OPA_COMPATIBLE_EQUATIONS,
+    DelayAnalyzer,
+)
+from repro.core.exceptions import (
+    InfeasibleError,
+    ModelError,
+    ReproError,
+    SimulationError,
+    SolverError,
+)
+from repro.core.explain import DelayBreakdown, TermContribution, explain_delay
+from repro.core.job import Job
+from repro.core.opa import OPAResult, audsley
+from repro.core.opdca import OPDCAResult, opdca
+from repro.core.oracle import (
+    OrderingOracleResult,
+    PairwiseOracleResult,
+    best_ordering,
+    enumerate_orderings,
+    exists_pairwise,
+)
+from repro.core.priorities import PairwiseAssignment, PriorityOrdering
+from repro.core.scaling import (
+    ScalingResult,
+    critical_scaling,
+    scaling_profile,
+    verify_homogeneity,
+)
+from repro.core.schedulability import SDCA, Policy
+from repro.core.segments import PairSegments, SegmentCache, pair_segments, segments_of
+from repro.core.serialize import jobset_from_dict, jobset_to_dict
+from repro.core.system import JobSet, MSMRSystem, Stage
+
+__all__ = [
+    "ALL_EQUATIONS",
+    "OPA_COMPATIBLE_EQUATIONS",
+    "AdmissionResult",
+    "DelayAnalyzer",
+    "DelayBreakdown",
+    "InfeasibleError",
+    "Job",
+    "JobSet",
+    "MSMRSystem",
+    "ModelError",
+    "OPAResult",
+    "OPDCAResult",
+    "OrderingOracleResult",
+    "PairSegments",
+    "PairwiseAssignment",
+    "PairwiseOracleResult",
+    "Policy",
+    "PriorityOrdering",
+    "ReproError",
+    "SDCA",
+    "ScalingResult",
+    "SegmentCache",
+    "SimulationError",
+    "SolverError",
+    "Stage",
+    "TermContribution",
+    "audsley",
+    "best_ordering",
+    "critical_scaling",
+    "enumerate_orderings",
+    "exists_pairwise",
+    "explain_delay",
+    "jobset_from_dict",
+    "jobset_to_dict",
+    "opdca",
+    "opdca_admission",
+    "pair_segments",
+    "scaling_profile",
+    "segments_of",
+    "verify_homogeneity",
+]

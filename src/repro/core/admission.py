@@ -1,0 +1,135 @@
+"""Admission-control variant of OPDCA (Section VI.B, Figure 4d).
+
+When a job set is infeasible, instead of rejecting it outright the
+paper's admission controller modifies Step 10 of Algorithm 1: the job
+with the largest deadline excess ``Delta_i - D_i`` among the
+yet-unassigned jobs is discarded, and priority assignment resumes for
+the remaining jobs.  The quality metric is the *rejected heaviness*:
+the share of total heaviness carried by the discarded jobs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.priorities import PriorityOrdering
+from repro.core.schedulability import SDCA, Policy
+from repro.core.system import JobSet
+
+
+@dataclass
+class AdmissionResult:
+    """Outcome of an admission-controlled priority assignment.
+
+    Attributes
+    ----------
+    accepted:
+        Indices of admitted jobs (sorted).
+    rejected:
+        Indices of discarded jobs, in discard order.
+    ordering:
+        Priority ordering over the *accepted* jobs: ``priority[i]`` is
+        the priority of ``J_i`` (1 = highest) for accepted jobs and 0
+        for rejected ones.  ``None`` for pairwise-based controllers.
+    delays:
+        Delay bounds of accepted jobs under the final assignment
+        (entries of rejected jobs are ``nan``).
+    """
+
+    accepted: list[int]
+    rejected: list[int]
+    ordering: np.ndarray | None
+    delays: np.ndarray
+
+    @property
+    def num_accepted(self) -> int:
+        return len(self.accepted)
+
+    @property
+    def num_rejected(self) -> int:
+        return len(self.rejected)
+
+
+def opdca_admission(jobset: JobSet,
+                    policy: "str | Policy" = Policy.PREEMPTIVE, *,
+                    test: SDCA | None = None) -> AdmissionResult:
+    """Run OPDCA as an admission controller.
+
+    Follows Algorithm 1 with the modified Step 10: when no unassigned
+    job is feasible at the current priority level, discard the
+    unassigned job with the largest ``Delta_i - D_i`` (computed with all
+    other unassigned jobs as higher priority and the already-assigned
+    jobs as lower priority) and retry the level.
+    """
+    if test is None:
+        test = SDCA(jobset, policy)
+    n = jobset.num_jobs
+    deadlines = jobset.D
+
+    active = np.ones(n, dtype=bool)
+    unassigned = np.ones(n, dtype=bool)
+    assigned_lower = np.zeros(n, dtype=bool)
+    priority = np.zeros(n, dtype=np.int64)
+    rejected: list[int] = []
+    order_low_to_high: list[int] = []
+
+    while unassigned.any():
+        level = int(unassigned.sum())
+        placed = None
+        excesses: list[tuple[float, int]] = []
+        for i in np.flatnonzero(unassigned):
+            i = int(i)
+            higher = unassigned.copy()
+            higher[i] = False
+            delay = test.delay(i, higher, assigned_lower.copy(),
+                               active=active)
+            excess = delay - float(deadlines[i])
+            if excess <= 1e-9:
+                placed = i
+                break
+            excesses.append((excess, i))
+        if placed is not None:
+            priority[placed] = level
+            unassigned[placed] = False
+            assigned_lower[placed] = True
+            order_low_to_high.append(placed)
+            continue
+        # Modified Step 10: discard the worst offender and retry.
+        worst_excess, worst_job = max(excesses)
+        rejected.append(worst_job)
+        active[worst_job] = False
+        unassigned[worst_job] = False
+
+    # Re-number the assigned priorities contiguously (1..#accepted).
+    accepted = [int(i) for i in np.flatnonzero(active)]
+    final_priority = np.zeros(n, dtype=np.int64)
+    for rank, job in enumerate(reversed(order_low_to_high), start=1):
+        final_priority[job] = rank
+
+    delays = np.full(n, np.nan)
+    if accepted:
+        sub_priority = np.where(final_priority > 0, final_priority, n + 1)
+        x = (sub_priority[:, None] < sub_priority[None, :])
+        x[~active, :] = False
+        x[:, ~active] = False
+        all_delays = test.analyzer.delays_for_pairwise(
+            x, equation=test.equation, active=active)
+        delays[active] = all_delays[active]
+
+    return AdmissionResult(accepted=accepted, rejected=rejected,
+                           ordering=final_priority, delays=delays)
+
+
+def ordering_of_accepted(result: AdmissionResult) -> PriorityOrdering | None:
+    """Compact :class:`PriorityOrdering` over the accepted jobs.
+
+    Job indices are re-mapped to ``0..len(accepted)-1`` following the
+    order of ``result.accepted``; returns None when nothing was accepted.
+    """
+    if result.ordering is None or not result.accepted:
+        return None
+    ranks = [int(result.ordering[j]) for j in result.accepted]
+    remap = {rank: pos for pos, rank in enumerate(sorted(ranks), start=1)}
+    return PriorityOrdering([remap[r] for r in ranks])

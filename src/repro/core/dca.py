@@ -1,0 +1,395 @@
+"""Delay-composition-algebra (DCA) end-to-end delay bounds.
+
+This module implements every delay bound used in the paper:
+
+========  ==========================================================
+``eq1``   multi-stage single-resource pipeline, preemptive
+          (Jayachandran & Abdelzaher 2008, reproduced as paper Eq. 1)
+``eq2``   single-resource, non-preemptive (paper Eq. 2,
+          OPA-incompatible -- see Observation IV.2 / Example 1)
+``eq3``   MSMR, preemptive, extended DCA (paper Eq. 3)
+``eq4``   MSMR, non-preemptive (paper Eq. 4, OPA-incompatible)
+``eq5``   MSMR, non-preemptive, OPA-compatible variant of Eq. 4 with
+          the blocking term taken over all other jobs (paper Eq. 5)
+``eq6``   MSMR, preemptive, refined job-additive accounting via
+          ``w_{i,k}`` (paper Eq. 6) -- the bound behind OPDCA
+``eq10``  3-stage edge pipeline: preemptive server, non-preemptive
+          download, batch release (paper Eq. 10)
+========  ==========================================================
+
+All bounds operate on boolean numpy masks over the job set: ``higher``
+marks the higher-priority jobs ``H_i`` and ``lower`` the lower-priority
+jobs ``L_i`` of the job under analysis.  Jobs whose interference windows
+``[A_k, A_k + D_k]`` do not overlap ``[A_i, A_i + D_i]`` are filtered out
+automatically, as prescribed in Section II of the paper.  An optional
+``active`` mask removes jobs from the analysis altogether (admission
+controllers use it for rejected jobs; it also restricts the
+priority-independent blocking term of Eq. 5).
+
+The *self* job-additive term in the MSMR bounds follows the refined
+convention ``w_{i,i} = 1`` (a single ``t_{i,1}`` term).  A literal
+reading of Eqs. 3-4, where the self term would be scaled like any other
+pair, is available through ``self_coefficient="literal"`` and is used by
+the pessimism ablation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.core.exceptions import ModelError
+from repro.core.segments import SegmentCache
+from repro.core.system import JobSet
+
+#: Equations whose schedulability test satisfies the three
+#: OPA-compatibility conditions (Observations IV.1/IV.2 and Section VI).
+OPA_COMPATIBLE_EQUATIONS = frozenset({"eq1", "eq3", "eq5", "eq6", "eq10"})
+
+#: All supported equation identifiers.
+ALL_EQUATIONS = ("eq1", "eq2", "eq3", "eq4", "eq5", "eq6", "eq10")
+
+#: Equations that take the lower-priority set into account.
+LOWER_AWARE_EQUATIONS = frozenset({"eq2", "eq4", "eq10"})
+
+MaskLike = "np.ndarray | Iterable[int]"
+
+
+class DelayAnalyzer:
+    """Vectorised evaluator for the paper's delay bounds.
+
+    Parameters
+    ----------
+    jobset:
+        The job set under analysis.
+    self_coefficient:
+        ``"refined"`` (default) applies ``w_{i,i} = 1``;
+        ``"literal"`` scales the self term exactly like an interfering
+        job in Eqs. 3/4/6 (only used to quantify the refinement).
+    window_filter:
+        If true (default), drop jobs with non-overlapping interference
+        windows from ``H_i``/``L_i`` before evaluating any bound.
+    """
+
+    def __init__(self, jobset: JobSet, *,
+                 self_coefficient: str = "refined",
+                 window_filter: bool = True) -> None:
+        if self_coefficient not in ("refined", "literal"):
+            raise ValueError(
+                f"self_coefficient must be 'refined' or 'literal', "
+                f"got {self_coefficient!r}")
+        self._jobset = jobset
+        self._cache = SegmentCache(jobset)
+        self._self_coefficient = self_coefficient
+        self._window_filter = window_filter
+        self._n = jobset.num_jobs
+        self._num_stages = jobset.num_stages
+
+    @property
+    def jobset(self) -> JobSet:
+        return self._jobset
+
+    @property
+    def cache(self) -> SegmentCache:
+        return self._cache
+
+    # ------------------------------------------------------------------
+    # Mask plumbing
+    # ------------------------------------------------------------------
+
+    def as_mask(self, jobs: "np.ndarray | Iterable[int] | None") -> np.ndarray:
+        """Normalise a job collection (mask, indices, or None) to a
+        boolean mask of length ``n``."""
+        if jobs is None:
+            return np.zeros(self._n, dtype=bool)
+        array = np.asarray(jobs)
+        if array.dtype == bool:
+            if array.shape != (self._n,):
+                raise ValueError(
+                    f"mask has shape {array.shape}, expected ({self._n},)")
+            return array.copy()
+        mask = np.zeros(self._n, dtype=bool)
+        mask[array.astype(np.int64)] = True
+        return mask
+
+    def _interferers(self, i: int, jobs: MaskLike,
+                     active: np.ndarray | None = None) -> np.ndarray:
+        """Mask of jobs that can actually interfere with ``J_i``.
+
+        ``active`` optionally restricts the whole analysis to a subset of
+        jobs (used by the admission controllers, which remove rejected
+        jobs from the system entirely).
+        """
+        mask = self.as_mask(jobs)
+        mask[i] = False
+        if self._window_filter:
+            mask &= self._jobset.overlaps[i]
+        if active is not None:
+            mask &= active
+        return mask
+
+    # ------------------------------------------------------------------
+    # Shared building blocks
+    # ------------------------------------------------------------------
+
+    def _stage_additive(self, i: int, q_mask: np.ndarray,
+                        stages: slice) -> float:
+        """``sum_j max_{J_k in Q_i} ep_{k,j}`` over the selected stages."""
+        ep = self._cache.ep[i, :, stages]
+        masked = np.where(q_mask[:, None], ep, 0.0)
+        return float(masked.max(axis=0).sum())
+
+    def _stage_additive_raw(self, i: int, q_mask: np.ndarray,
+                            stages: slice) -> float:
+        """Like :meth:`_stage_additive` but on raw ``P`` (Eqs. 1-2)."""
+        processing = self._jobset.P[:, stages]
+        masked = np.where(q_mask[:, None], processing, 0.0)
+        return float(masked.max(axis=0).sum())
+
+    def _self_term(self, i: int, equation: str) -> float:
+        """Job-additive contribution of ``J_i`` to its own delay."""
+        cache = self._cache
+        if self._self_coefficient == "refined":
+            return float(cache.t1[i])
+        # Literal reading: the self pair has one segment spanning all N
+        # stages (m = 1, u = 0 for N >= 2, v = 1, w = 2).
+        if equation == "eq3":
+            return float(2 * cache.m[i, i] * cache.et1[i, i])
+        if equation in ("eq4", "eq5"):
+            return float(cache.m[i, i] * cache.et1[i, i])
+        if equation in ("eq6", "eq10"):
+            w_self = int(cache.w[i, i])
+            return cache.top_et_sum(i, i, w_self)
+        return float(cache.t1[i])
+
+    def _require_single_resource(self, equation: str) -> None:
+        if not self._jobset.system.is_single_resource():
+            raise ModelError(
+                f"{equation} is defined for multi-stage single-resource "
+                f"pipelines; use the MSMR bounds (eq3-eq6) instead")
+
+    # ------------------------------------------------------------------
+    # Single-resource pipeline bounds (paper Eqs. 1 and 2)
+    # ------------------------------------------------------------------
+
+    def eq1(self, i: int, higher: MaskLike, *,
+            active: np.ndarray | None = None) -> float:
+        """Preemptive single-resource bound (paper Eq. 1).
+
+        ``Delta_i <= sum_{Q_i} t_{k,1} + sum_{Ha_i} t_{k,2}
+        + sum_{j<N} max_{Q_i} P_{k,j}`` where ``Ha_i`` holds the
+        higher-priority jobs arriving strictly after ``J_i``.
+        """
+        self._require_single_resource("eq1")
+        h_mask = self._interferers(i, higher, active)
+        q_mask = h_mask.copy()
+        q_mask[i] = True
+        arrive_after = h_mask & (self._jobset.A > self._jobset.A[i])
+        job_additive = float(self._cache.t1[q_mask].sum())
+        job_additive += float(self._cache.t2[arrive_after].sum())
+        stage_additive = self._stage_additive_raw(
+            i, q_mask, slice(0, self._num_stages - 1))
+        return job_additive + stage_additive
+
+    def eq2(self, i: int, higher: MaskLike, lower: MaskLike, *,
+            active: np.ndarray | None = None) -> float:
+        """Non-preemptive single-resource bound (paper Eq. 2).
+
+        Adds one lower-priority blocking term per stage.  This bound is
+        *not* OPA-compatible (Observation IV.2, Example 1).
+        """
+        self._require_single_resource("eq2")
+        h_mask = self._interferers(i, higher, active)
+        l_mask = self._interferers(i, lower, active)
+        q_mask = h_mask.copy()
+        q_mask[i] = True
+        job_additive = float(self._cache.t1[q_mask].sum())
+        stage_additive = self._stage_additive_raw(
+            i, q_mask, slice(0, self._num_stages - 1))
+        blocking = self._stage_additive_raw(
+            i, l_mask, slice(0, self._num_stages))
+        return job_additive + stage_additive + blocking
+
+    # ------------------------------------------------------------------
+    # MSMR bounds (paper Eqs. 3-6)
+    # ------------------------------------------------------------------
+
+    def eq3(self, i: int, higher: MaskLike, *,
+            active: np.ndarray | None = None) -> float:
+        """Preemptive MSMR bound with per-segment accounting (Eq. 3).
+
+        Every higher-priority job contributes two job-additive terms of
+        size ``et_{k,1}`` per shared segment.
+        """
+        h_mask = self._interferers(i, higher, active)
+        q_mask = h_mask.copy()
+        q_mask[i] = True
+        cache = self._cache
+        job_additive = float(
+            (2.0 * cache.m[i, h_mask] * cache.et1[i, h_mask]).sum())
+        job_additive += self._self_term(i, "eq3")
+        stage_additive = self._stage_additive(
+            i, q_mask, slice(0, self._num_stages - 1))
+        return job_additive + stage_additive
+
+    def eq4(self, i: int, higher: MaskLike, lower: MaskLike, *,
+            active: np.ndarray | None = None) -> float:
+        """Non-preemptive MSMR bound (paper Eq. 4, OPA-incompatible)."""
+        h_mask = self._interferers(i, higher, active)
+        l_mask = self._interferers(i, lower, active)
+        return self._eq4_with_blocking_set(i, h_mask, l_mask)
+
+    def eq5(self, i: int, higher: MaskLike, *,
+            active: np.ndarray | None = None) -> float:
+        """OPA-compatible non-preemptive MSMR bound (paper Eq. 5).
+
+        Identical to Eq. 4 except that the per-stage blocking term is
+        maximised over *all* other jobs instead of ``L_i``, removing the
+        dependence on relative priorities below ``J_i``.
+        """
+        h_mask = self._interferers(i, higher, active)
+        everyone_else = self._interferers(
+            i, np.ones(self._n, dtype=bool), active)
+        return self._eq4_with_blocking_set(i, h_mask, everyone_else)
+
+    def _eq4_with_blocking_set(self, i: int, h_mask: np.ndarray,
+                               blocking_mask: np.ndarray) -> float:
+        q_mask = h_mask.copy()
+        q_mask[i] = True
+        cache = self._cache
+        job_additive = float(
+            (cache.m[i, h_mask] * cache.et1[i, h_mask]).sum())
+        job_additive += self._self_term(i, "eq4")
+        stage_additive = self._stage_additive(
+            i, q_mask, slice(0, self._num_stages - 1))
+        blocking = self._stage_additive(
+            i, blocking_mask, slice(0, self._num_stages))
+        return job_additive + stage_additive + blocking
+
+    def eq6(self, i: int, higher: MaskLike, *,
+            active: np.ndarray | None = None) -> float:
+        """Refined preemptive MSMR bound (paper Eq. 6).
+
+        Each higher-priority job contributes its ``w_{i,k}`` largest
+        shared-stage processing times, where single-stage segments count
+        once and longer segments twice.
+        """
+        h_mask = self._interferers(i, higher, active)
+        job_additive = float(self._cache.W[i, h_mask].sum())
+        if self._self_coefficient == "refined":
+            job_additive += float(self._cache.W[i, i])
+        else:
+            job_additive += self._self_term(i, "eq6")
+        q_mask = h_mask.copy()
+        q_mask[i] = True
+        stage_additive = self._stage_additive(
+            i, q_mask, slice(0, self._num_stages - 1))
+        return job_additive + stage_additive
+
+    # ------------------------------------------------------------------
+    # Edge-computing bound (paper Eq. 10)
+    # ------------------------------------------------------------------
+
+    def eq10(self, i: int, higher: MaskLike, lower: MaskLike, *,
+             active: np.ndarray | None = None) -> float:
+        """3-stage edge pipeline bound (paper Eq. 10).
+
+        Stage 1 (uplink) and stage 2 (server) contribute one stage-
+        additive term each over ``Q_i``; stage 3 (downlink) is
+        non-preemptive, so one lower-priority job may block there.
+        Batch release makes ``Ha_i`` empty, which the refined
+        job-additive term already reflects.
+        """
+        if self._num_stages != 3:
+            raise ModelError(
+                f"eq10 models the 3-stage edge pipeline, "
+                f"system has {self._num_stages} stages")
+        h_mask = self._interferers(i, higher, active)
+        l_mask = self._interferers(i, lower, active)
+        q_mask = h_mask.copy()
+        q_mask[i] = True
+        job_additive = float(self._cache.W[i, h_mask].sum())
+        job_additive += (float(self._cache.W[i, i])
+                         if self._self_coefficient == "refined"
+                         else self._self_term(i, "eq10"))
+        ep = self._cache.ep[i]
+        uplink = float(np.where(q_mask, ep[:, 0], 0.0).max())
+        server = float(np.where(q_mask, ep[:, 1], 0.0).max())
+        downlink = float(np.where(l_mask, ep[:, 2], 0.0).max())
+        return job_additive + uplink + server + downlink
+
+    # ------------------------------------------------------------------
+    # Uniform entry point
+    # ------------------------------------------------------------------
+
+    def delay_bound(self, i: int, higher: MaskLike,
+                    lower: MaskLike | None = None, *,
+                    equation: str = "eq6",
+                    active: np.ndarray | None = None) -> float:
+        """Evaluate the chosen bound for job ``i``.
+
+        ``lower`` is required by the lower-priority-aware bounds
+        (``eq2``, ``eq4``, ``eq10``) and ignored by the others.
+        """
+        if equation not in ALL_EQUATIONS:
+            raise ValueError(f"unknown equation {equation!r}; "
+                             f"expected one of {ALL_EQUATIONS}")
+        if equation in LOWER_AWARE_EQUATIONS:
+            if lower is None:
+                raise ValueError(f"{equation} needs the lower-priority set")
+            if equation == "eq2":
+                return self.eq2(i, higher, lower, active=active)
+            if equation == "eq4":
+                return self.eq4(i, higher, lower, active=active)
+            return self.eq10(i, higher, lower, active=active)
+        if equation == "eq1":
+            return self.eq1(i, higher, active=active)
+        if equation == "eq3":
+            return self.eq3(i, higher, active=active)
+        if equation == "eq5":
+            return self.eq5(i, higher, active=active)
+        return self.eq6(i, higher, active=active)
+
+    # ------------------------------------------------------------------
+    # Batch evaluation (used by DMR, OPT verification, experiments)
+    # ------------------------------------------------------------------
+
+    def delays_for_pairwise(self, x: np.ndarray, *,
+                            equation: str = "eq6",
+                            active: np.ndarray | None = None) -> np.ndarray:
+        """End-to-end delay bounds of all jobs under a pairwise relation.
+
+        ``x`` is an ``(n, n)`` boolean matrix with ``x[i, k]`` true iff
+        ``J_i`` has higher priority than ``J_k``.  Only entries of
+        conflicting pairs matter; the rest are ignored because their
+        ``ep``/``W`` terms are zero.  Entries of jobs outside ``active``
+        are returned as ``nan``.
+        """
+        x = np.asarray(x, dtype=bool)
+        n = self._n
+        if x.shape != (n, n):
+            raise ValueError(f"x has shape {x.shape}, expected {(n, n)}")
+        higher_of = x.T & ~np.eye(n, dtype=bool)
+        lower_of = x & ~np.eye(n, dtype=bool)
+        delays = np.full(n, np.nan)
+        job_indices = (range(n) if active is None
+                       else np.flatnonzero(active))
+        for i in job_indices:
+            i = int(i)
+            delays[i] = self.delay_bound(
+                i, higher_of[i], lower_of[i], equation=equation,
+                active=active)
+        return delays
+
+    def delays_for_ordering(self, priority: np.ndarray, *,
+                            equation: str = "eq6",
+                            active: np.ndarray | None = None) -> np.ndarray:
+        """Delay bounds of all jobs under a total priority ordering.
+
+        ``priority[i]`` is the priority value of ``J_i`` (lower value =
+        higher priority, as in the paper).
+        """
+        priority = np.asarray(priority)
+        x = priority[:, None] < priority[None, :]
+        return self.delays_for_pairwise(x, equation=equation, active=active)

@@ -1,0 +1,35 @@
+"""Exception hierarchy for the :mod:`repro` library."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ModelError(ReproError):
+    """Raised when a job, system, or job set is ill-formed."""
+
+
+class InfeasibleError(ReproError):
+    """Raised when a priority-assignment problem admits no solution.
+
+    Carries optional diagnostic payload so callers (e.g. admission
+    controllers) can inspect which job failed and by how much.
+    """
+
+    def __init__(self, message: str, *, job: int | None = None,
+                 excess: float | None = None) -> None:
+        super().__init__(message)
+        #: Index of the job that could not be scheduled, when known.
+        self.job = job
+        #: ``delay_bound - deadline`` of the failing job, when known.
+        self.excess = excess
+
+
+class SolverError(ReproError):
+    """Raised when an optimisation backend fails unexpectedly."""
+
+
+class SimulationError(ReproError):
+    """Raised when the discrete-event simulator reaches an invalid state."""

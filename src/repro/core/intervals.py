@@ -1,0 +1,46 @@
+"""Interference-window arithmetic.
+
+A job ``J_k`` can only delay ``J_i`` when their interference windows
+``[A_k, A_k + D_k]`` and ``[A_i, A_i + D_i]`` intersect; Section II of
+the paper assumes non-overlapping jobs are already excluded from the
+higher/lower-priority sets.  Windows are treated as closed intervals,
+so windows that merely touch are conservatively considered overlapping.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def windows_overlap(a_start: float, a_end: float,
+                    b_start: float, b_end: float) -> bool:
+    """True iff the closed intervals ``[a_start, a_end]`` and
+    ``[b_start, b_end]`` intersect."""
+    if a_end < a_start or b_end < b_start:
+        raise ValueError("interval end precedes its start")
+    return a_start <= b_end and b_start <= a_end
+
+
+def overlap_matrix(arrivals: np.ndarray, deadlines: np.ndarray) -> np.ndarray:
+    """Pairwise window-overlap mask.
+
+    Parameters
+    ----------
+    arrivals / deadlines:
+        ``(n,)`` arrays of absolute arrival times and relative deadlines.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(n, n)`` boolean, symmetric, with a True diagonal.
+    """
+    arrivals = np.asarray(arrivals, dtype=float)
+    deadlines = np.asarray(deadlines, dtype=float)
+    start = arrivals
+    end = arrivals + deadlines
+    return (start[:, None] <= end[None, :]) & (start[None, :] <= end[:, None])
+
+
+def window_of(arrival: float, deadline: float) -> tuple[float, float]:
+    """The interference window ``[A, A + D]`` of a job."""
+    return (arrival, arrival + deadline)

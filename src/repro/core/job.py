@@ -1,0 +1,112 @@
+"""Real-time job model.
+
+A job in a multi-stage multi-resource (MSMR) system is specified, exactly
+as in Section II of the paper, by
+
+* an arrival time ``A_i``,
+* a per-stage processing time ``P_{i,j}`` for every stage ``S_j``,
+* an end-to-end (relative) deadline ``D_i``, and
+* the resource ``R_{i,j}`` it is mapped to at every stage.
+
+``Job`` is an immutable value object; job *identity* (the index ``i``) is
+given by its position inside a :class:`repro.core.system.JobSet`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.exceptions import ModelError
+
+
+@dataclass(frozen=True)
+class Job:
+    """A single real-time job with an end-to-end deadline.
+
+    Parameters
+    ----------
+    processing:
+        Tuple ``(P_{i,1}, ..., P_{i,N})`` of per-stage processing times.
+        Entries must be non-negative and at least one must be positive.
+    deadline:
+        End-to-end relative deadline ``D_i`` (> 0); the job must exit the
+        pipeline no later than ``arrival + deadline``.
+    resources:
+        Tuple ``(R_{i,1}, ..., R_{i,N})`` giving the index of the resource
+        used at each stage.  ``len(resources)`` must equal
+        ``len(processing)``.
+    arrival:
+        Absolute release time ``A_i`` (default 0, matching the batch
+        release used in the paper's edge-computing evaluation).
+    name:
+        Optional human-readable label used in traces and reports.
+    """
+
+    processing: tuple[float, ...]
+    deadline: float
+    resources: tuple[int, ...]
+    arrival: float = 0.0
+    name: str | None = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        processing = tuple(float(p) for p in self.processing)
+        resources = tuple(int(r) for r in self.resources)
+        object.__setattr__(self, "processing", processing)
+        object.__setattr__(self, "resources", resources)
+        object.__setattr__(self, "deadline", float(self.deadline))
+        object.__setattr__(self, "arrival", float(self.arrival))
+        if not processing:
+            raise ModelError("a job needs at least one stage")
+        if len(resources) != len(processing):
+            raise ModelError(
+                f"job has {len(processing)} processing times but "
+                f"{len(resources)} resource mappings")
+        if any(p < 0 for p in processing):
+            raise ModelError(f"negative processing time in {processing}")
+        if all(p == 0 for p in processing):
+            raise ModelError("all stage processing times are zero")
+        if self.deadline <= 0:
+            raise ModelError(f"deadline must be positive, got {self.deadline}")
+        if any(r < 0 for r in resources):
+            raise ModelError(f"negative resource index in {resources}")
+
+    @property
+    def num_stages(self) -> int:
+        """Number of pipeline stages this job traverses."""
+        return len(self.processing)
+
+    @property
+    def total_processing(self) -> float:
+        """Sum of the per-stage processing times."""
+        return sum(self.processing)
+
+    @property
+    def window(self) -> tuple[float, float]:
+        """The interference window ``[A_i, A_i + D_i]``.
+
+        Jobs whose windows do not overlap cannot delay each other and are
+        excluded from the higher/lower-priority sets of the analysis
+        (Section II of the paper).
+        """
+        return (self.arrival, self.arrival + self.deadline)
+
+    def max_processing(self, rank: int = 1) -> float:
+        """Return ``t_{i,rank}``: the rank-th largest stage time.
+
+        ``rank`` is 1-based as in the paper (``t_{i,1}`` is the maximum).
+        Ranks beyond the number of stages return 0.
+        """
+        if rank < 1:
+            raise ValueError(f"rank is 1-based, got {rank}")
+        ordered = sorted(self.processing, reverse=True)
+        if rank > len(ordered):
+            return 0.0
+        return ordered[rank - 1]
+
+    def label(self, index: int | None = None) -> str:
+        """Human-readable label, falling back to ``J{index}``."""
+        if self.name is not None:
+            return self.name
+        if index is not None:
+            return f"J{index}"
+        return "J?"

@@ -1,0 +1,113 @@
+"""Audsley's Optimal Priority Assignment (OPA) engine.
+
+Generic implementation of the priority-assignment loop of Section III.B:
+priorities ``n`` (lowest) down to ``1`` (highest) are assigned one at a
+time; the current priority goes to any yet-unassigned job that passes
+the schedulability test assuming all other unassigned jobs have higher
+priority.  With an OPA-compatible test this is optimal: it finds a
+feasible total ordering whenever one exists.
+
+The engine is test-agnostic -- it only needs a feasibility callback --
+so it backs both OPDCA (Algorithm 1) and the admission-controller
+variant used in Figure 4(d).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+#: Feasibility callback: ``test(i, higher_mask, lower_mask) -> bool``.
+FeasibilityTest = Callable[[int, np.ndarray, np.ndarray], bool]
+
+
+@dataclass
+class OPAResult:
+    """Outcome of an Audsley priority-assignment run.
+
+    Attributes
+    ----------
+    feasible:
+        True iff every job received a priority.
+    priority:
+        ``(n,)`` int array; ``priority[i]`` is the priority value of
+        ``J_i`` (1 = highest).  Entries of unassigned jobs are 0 when
+        the run failed.
+    order:
+        Job indices from highest priority to lowest (only the assigned
+        jobs when the run failed, in assignment order reversed).
+    failed_level:
+        Priority level at which no job was feasible (None on success).
+    unassigned:
+        Jobs still without a priority when the run stopped.
+    """
+
+    feasible: bool
+    priority: np.ndarray
+    order: list[int] = field(default_factory=list)
+    failed_level: int | None = None
+    unassigned: list[int] = field(default_factory=list)
+
+
+def audsley(num_jobs: int, test: FeasibilityTest, *,
+            candidates: Sequence[int] | None = None) -> OPAResult:
+    """Run Audsley's OPA over ``num_jobs`` jobs with the given test.
+
+    Parameters
+    ----------
+    num_jobs:
+        Total number of jobs (masks passed to ``test`` have this size).
+    test:
+        OPA-compatible feasibility test.  For priority level ``p`` the
+        engine calls ``test(i, H_i, L_i)`` with ``H_i`` = all unassigned
+        jobs except ``J_i`` and ``L_i`` = the jobs already assigned
+        (strictly lower) priorities.
+    candidates:
+        Optional subset of job indices to assign priorities to (used by
+        the admission controller); defaults to all jobs.  Jobs outside
+        the subset never appear in any mask.
+
+    Returns
+    -------
+    OPAResult
+        Priorities are ``1..len(candidates)`` within the candidate set.
+    """
+    if candidates is None:
+        candidates = list(range(num_jobs))
+    else:
+        candidates = list(candidates)
+    unassigned = np.zeros(num_jobs, dtype=bool)
+    unassigned[candidates] = True
+    assigned_lower = np.zeros(num_jobs, dtype=bool)
+    priority = np.zeros(num_jobs, dtype=np.int64)
+    order_low_to_high: list[int] = []
+
+    for level in range(len(candidates), 0, -1):
+        placed = None
+        for i in np.flatnonzero(unassigned):
+            i = int(i)
+            higher = unassigned.copy()
+            higher[i] = False
+            if test(i, higher, assigned_lower.copy()):
+                placed = i
+                break
+        if placed is None:
+            return OPAResult(
+                feasible=False,
+                priority=priority,
+                order=list(reversed(order_low_to_high)),
+                failed_level=level,
+                unassigned=[int(j) for j in np.flatnonzero(unassigned)],
+            )
+        priority[placed] = level
+        unassigned[placed] = False
+        assigned_lower[placed] = True
+        order_low_to_high.append(placed)
+
+    return OPAResult(
+        feasible=True,
+        priority=priority,
+        order=list(reversed(order_low_to_high)),
+    )

@@ -1,0 +1,145 @@
+"""Exhaustive reference solvers (oracles) for small instances.
+
+Every non-trivial algorithm in the library is cross-checked against
+brute force somewhere in the test suite; this module makes those
+oracles part of the public API so downstream users can do the same
+when extending the analysis.  All of them are exponential -- guards
+refuse instances beyond a configurable size.
+
+* :func:`enumerate_orderings` / :func:`best_ordering` -- try every
+  total priority ordering against a delay bound (``n!`` candidates).
+* :func:`exists_pairwise` -- decide pairwise feasibility by exhausting
+  all ``2^p`` orientations of the conflicting pairs, with the same
+  deadline test OPT uses.  Slower but independent of the ILP/CP code
+  paths, which is the point of an oracle.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.dca import DelayAnalyzer
+from repro.core.schedulability import DEADLINE_TOLERANCE, resolve_equation
+from repro.core.system import JobSet
+
+#: Hard ceilings keeping the factorial/exponential search tractable.
+MAX_ORDERING_JOBS = 9
+MAX_PAIRWISE_PAIRS = 22
+
+
+@dataclass
+class OrderingOracleResult:
+    """Outcome of exhaustive ordering search."""
+
+    feasible: bool
+    #: A feasible priority vector (1 = highest), or None.
+    priority: np.ndarray | None
+    #: Number of orderings tried before the verdict.
+    tried: int
+    #: Minimum over orderings of the worst deadline excess
+    #: ``max_i (Delta_i - D_i)``; <= 0 iff feasible.
+    best_excess: float
+
+
+def enumerate_orderings(jobset: JobSet, equation: str = "eq6", *,
+                        analyzer: DelayAnalyzer | None = None):
+    """Yield ``(priority, delays)`` for every total ordering.
+
+    ``priority`` is the (1 = highest) vector of one permutation and
+    ``delays`` the per-job bounds under it.  Iteration order is the
+    lexicographic permutation order of job indices.
+    """
+    equation = resolve_equation(equation)
+    n = jobset.num_jobs
+    if n > MAX_ORDERING_JOBS:
+        raise ValueError(
+            f"{n} jobs means {n}! orderings; the oracle is capped at "
+            f"{MAX_ORDERING_JOBS} (use opdca for real instances)")
+    analyzer = analyzer or DelayAnalyzer(jobset)
+    for perm in itertools.permutations(range(n)):
+        priority = np.empty(n, dtype=np.int64)
+        for rank, job in enumerate(perm, start=1):
+            priority[job] = rank
+        delays = analyzer.delays_for_ordering(priority,
+                                              equation=equation)
+        yield priority, delays
+
+
+def best_ordering(jobset: JobSet, equation: str = "eq6", *,
+                  analyzer: DelayAnalyzer | None = None
+                  ) -> OrderingOracleResult:
+    """Exhaustively search for a feasible total ordering.
+
+    Returns the first feasible ordering in permutation order, or --
+    when none exists -- the ordering minimising the worst deadline
+    excess (useful to see *how* infeasible an instance is).
+    """
+    best_priority = None
+    best_excess = np.inf
+    tried = 0
+    for priority, delays in enumerate_orderings(jobset, equation,
+                                                analyzer=analyzer):
+        tried += 1
+        excess = float((delays - jobset.D).max())
+        if excess < best_excess:
+            best_excess = excess
+            best_priority = priority
+        if excess <= DEADLINE_TOLERANCE:
+            return OrderingOracleResult(feasible=True,
+                                        priority=priority, tried=tried,
+                                        best_excess=excess)
+    return OrderingOracleResult(feasible=False, priority=best_priority,
+                                tried=tried, best_excess=best_excess)
+
+
+@dataclass
+class PairwiseOracleResult:
+    """Outcome of exhaustive pairwise orientation search."""
+
+    feasible: bool
+    #: A feasible ``(n, n)`` orientation matrix, or None.
+    matrix: np.ndarray | None
+    #: The conflicting pairs that were oriented.
+    pairs: list[tuple[int, int]]
+    #: Number of orientations tried before the verdict.
+    tried: int
+
+
+def exists_pairwise(jobset: JobSet, equation: str = "eq6", *,
+                    analyzer: DelayAnalyzer | None = None
+                    ) -> PairwiseOracleResult:
+    """Decide pairwise feasibility by trying all ``2^p`` orientations.
+
+    Completely independent of the OPT ILP and the CP search: delays
+    are evaluated with the plain :class:`DelayAnalyzer` batch API for
+    every full orientation.  Only the conflicting pairs vary;
+    non-conflicting pairs contribute nothing to any bound.
+    """
+    equation = resolve_equation(equation)
+    analyzer = analyzer or DelayAnalyzer(jobset)
+    pairs = jobset.conflict_pairs()
+    if len(pairs) > MAX_PAIRWISE_PAIRS:
+        raise ValueError(
+            f"{len(pairs)} conflicting pairs means 2^{len(pairs)} "
+            f"orientations; the oracle is capped at "
+            f"{MAX_PAIRWISE_PAIRS} pairs (use opt for real instances)")
+    n = jobset.num_jobs
+    deadline = jobset.D
+    tried = 0
+    for bits in itertools.product((True, False), repeat=len(pairs)):
+        tried += 1
+        x = np.zeros((n, n), dtype=bool)
+        for (i, k), i_wins in zip(pairs, bits):
+            if i_wins:
+                x[i, k] = True
+            else:
+                x[k, i] = True
+        delays = analyzer.delays_for_pairwise(x, equation=equation)
+        if (delays <= deadline + DEADLINE_TOLERANCE).all():
+            return PairwiseOracleResult(feasible=True, matrix=x,
+                                        pairs=pairs, tried=tried)
+    return PairwiseOracleResult(feasible=False, matrix=None,
+                                pairs=pairs, tried=tried)

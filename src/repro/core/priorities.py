@@ -1,0 +1,308 @@
+"""Priority structures: total orderings and pairwise assignments.
+
+The paper distinguishes two notions of fixed priority in an MSMR system:
+
+* a **priority ordering** (problem P1): a permutation assigning each job
+  a unique global priority ``rho_i in [1, n]`` (1 = highest);
+* a **pairwise priority assignment** (problem P2): an orientation
+  ``J_i > J_k`` for every *conflicting* pair (jobs sharing at least one
+  resource).  Observation V.1 shows this is strictly more expressive: a
+  pairwise assignment may be feasible (and even cyclic, as in the
+  paper's own Figure 2(b)) when no total ordering is.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import networkx as nx
+import numpy as np
+
+from repro.core.exceptions import ModelError
+from repro.core.system import JobSet
+
+
+class PriorityOrdering:
+    """A total priority order over ``n`` jobs.
+
+    Stored as ``priority[i]`` = priority value of ``J_i`` with 1 the
+    highest, matching the paper's convention that a lower ``rho_i``
+    means higher priority.
+    """
+
+    def __init__(self, priority: Sequence[int]) -> None:
+        array = np.asarray(priority, dtype=np.int64)
+        n = array.shape[0]
+        if sorted(array.tolist()) != list(range(1, n + 1)):
+            raise ModelError(
+                f"priorities must be a permutation of 1..{n}, got "
+                f"{array.tolist()}")
+        self._priority = array
+
+    @classmethod
+    def from_order(cls, order: Sequence[int]) -> "PriorityOrdering":
+        """Build from job indices listed highest-priority first."""
+        order = list(order)
+        priority = np.zeros(len(order), dtype=np.int64)
+        for rank, job in enumerate(order, start=1):
+            priority[job] = rank
+        return cls(priority)
+
+    @property
+    def priority(self) -> np.ndarray:
+        """``(n,)`` priority values (1 = highest)."""
+        return self._priority.copy()
+
+    @property
+    def num_jobs(self) -> int:
+        return int(self._priority.shape[0])
+
+    def order(self) -> list[int]:
+        """Job indices from highest priority to lowest."""
+        return [int(j) for j in np.argsort(self._priority, kind="stable")]
+
+    def rank(self, i: int) -> int:
+        """Priority value of job ``i`` (1 = highest)."""
+        return int(self._priority[i])
+
+    def is_higher(self, i: int, k: int) -> bool:
+        """True iff ``J_i`` has higher priority than ``J_k``."""
+        return bool(self._priority[i] < self._priority[k])
+
+    def higher_mask(self, i: int) -> np.ndarray:
+        """Boolean mask of jobs with higher priority than ``J_i``."""
+        return self._priority < self._priority[i]
+
+    def lower_mask(self, i: int) -> np.ndarray:
+        """Boolean mask of jobs with lower priority than ``J_i``."""
+        return self._priority > self._priority[i]
+
+    def as_matrix(self) -> np.ndarray:
+        """``(n, n)`` bool matrix, ``[i, k]`` true iff ``J_i > J_k``."""
+        return self._priority[:, None] < self._priority[None, :]
+
+    def to_pairwise(self, jobset: JobSet) -> "PairwiseAssignment":
+        """Project onto the conflict pairs of ``jobset``."""
+        return PairwiseAssignment.from_matrix(jobset, self.as_matrix())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PriorityOrdering):
+            return NotImplemented
+        return bool(np.array_equal(self._priority, other._priority))
+
+    def __hash__(self) -> int:
+        return hash(tuple(self._priority.tolist()))
+
+    def __repr__(self) -> str:
+        return f"PriorityOrdering(order={self.order()})"
+
+
+class PairwiseAssignment:
+    """An orientation of every conflicting job pair.
+
+    Internally an ``(n, n)`` boolean matrix ``x`` with ``x[i, k]`` true
+    iff ``J_i > J_k``; entries of non-conflicting pairs are kept False in
+    both directions (their relative priority is inconsequential -- see
+    Section V of the paper).
+    """
+
+    def __init__(self, jobset: JobSet, x: np.ndarray) -> None:
+        x = np.asarray(x, dtype=bool)
+        n = jobset.num_jobs
+        if x.shape != (n, n):
+            raise ModelError(f"matrix has shape {x.shape}, expected {(n, n)}")
+        conflict = jobset.shares.any(axis=2) & ~np.eye(n, dtype=bool)
+        oriented_both = x & x.T
+        if (oriented_both & conflict).any():
+            raise ModelError("pair oriented in both directions")
+        missing = conflict & ~(x | x.T)
+        if missing.any():
+            i, k = np.argwhere(missing)[0]
+            raise ModelError(
+                f"conflicting pair ({int(i)}, {int(k)}) left unoriented")
+        self._jobset = jobset
+        self._x = x & conflict
+        self._conflict = conflict
+
+    @classmethod
+    def from_matrix(cls, jobset: JobSet,
+                    x: np.ndarray) -> "PairwiseAssignment":
+        """Build from any boolean higher-than matrix (extra entries on
+        non-conflicting pairs are dropped)."""
+        conflict = jobset.shares.any(axis=2) & \
+            ~np.eye(jobset.num_jobs, dtype=bool)
+        return cls(jobset, np.asarray(x, dtype=bool) & conflict)
+
+    @classmethod
+    def from_pairs(cls, jobset: JobSet,
+                   higher_pairs: Iterable[tuple[int, int]]
+                   ) -> "PairwiseAssignment":
+        """Build from explicit ``(winner, loser)`` pairs.
+
+        Every conflicting pair must appear exactly once (in one of the
+        two directions).
+        """
+        n = jobset.num_jobs
+        x = np.zeros((n, n), dtype=bool)
+        for winner, loser in higher_pairs:
+            x[winner, loser] = True
+        return cls(jobset, x)
+
+    @property
+    def jobset(self) -> JobSet:
+        return self._jobset
+
+    @property
+    def num_jobs(self) -> int:
+        return self._jobset.num_jobs
+
+    def matrix(self) -> np.ndarray:
+        """Copy of the ``(n, n)`` higher-than matrix."""
+        return self._x.copy()
+
+    def conflict_matrix(self) -> np.ndarray:
+        """Copy of the symmetric conflict mask."""
+        return self._conflict.copy()
+
+    def is_higher(self, i: int, k: int) -> bool:
+        """True iff ``J_i > J_k`` (False for non-conflicting pairs)."""
+        return bool(self._x[i, k])
+
+    def in_conflict(self, i: int, k: int) -> bool:
+        return bool(self._conflict[i, k])
+
+    def higher_mask(self, i: int) -> np.ndarray:
+        """Jobs with higher priority than ``J_i`` (i.e. beating it)."""
+        return self._x[:, i].copy()
+
+    def lower_mask(self, i: int) -> np.ndarray:
+        """Jobs over which ``J_i`` has priority."""
+        return self._x[i, :].copy()
+
+    def flipped(self, winner: int, loser: int) -> "PairwiseAssignment":
+        """Return a copy with the pair re-oriented to ``winner > loser``."""
+        if not self._conflict[winner, loser]:
+            raise ModelError(
+                f"jobs {winner} and {loser} share no resource")
+        x = self._x.copy()
+        x[winner, loser] = True
+        x[loser, winner] = False
+        return PairwiseAssignment(self._jobset, x)
+
+    def tournament_graph(self) -> nx.DiGraph:
+        """Directed graph with an edge ``i -> k`` whenever ``J_i > J_k``."""
+        graph = nx.DiGraph()
+        graph.add_nodes_from(range(self.num_jobs))
+        graph.add_edges_from(
+            (int(i), int(k)) for i, k in np.argwhere(self._x))
+        return graph
+
+    def find_cycle(self) -> list[tuple[int, int]] | None:
+        """A priority cycle as edge list, or None when acyclic.
+
+        The paper's Figure 2(b) assignment is cyclic
+        (``J3 > J1 > J2 > J4 > J3``), which is precisely why pairwise
+        assignments are more expressive than orderings.
+        """
+        try:
+            cycle = nx.find_cycle(self.tournament_graph())
+        except nx.NetworkXNoCycle:
+            return None
+        return [(int(a), int(b)) for a, b, *_ in cycle]
+
+    def is_acyclic(self) -> bool:
+        return self.find_cycle() is None
+
+    def to_total_order(self) -> PriorityOrdering:
+        """Extend to a total ordering via topological sort.
+
+        Only possible when the assignment is acyclic; raises
+        :class:`ModelError` otherwise.
+        """
+        cycle = self.find_cycle()
+        if cycle is not None:
+            raise ModelError(
+                f"assignment is cyclic ({cycle}); no consistent total "
+                f"ordering exists")
+        order = list(nx.topological_sort(self.tournament_graph()))
+        return PriorityOrdering.from_order(order)
+
+    def resource_order(self, stage: int, resource: int) -> list[int]:
+        """Induced priority order of the jobs mapped to one resource.
+
+        Jobs sharing a resource always conflict, so the assignment
+        restricted to them is a complete tournament.  When that
+        tournament is acyclic -- always the case inside one resource
+        for assignments produced from total orderings, and usually for
+        solver outputs too -- the jobs are returned highest-priority
+        first.  A cyclic restriction (possible in principle: the
+        paper's Figure 2(b) is cyclic *across* resources, and nothing
+        forbids a cycle within one) raises :class:`ModelError` naming
+        the cycle, since no dispatch order represents it.
+        """
+        members = self._jobset.jobs_on_resource(stage, resource)
+        if len(members) <= 1:
+            return members
+        index = np.asarray(members, dtype=np.int64)
+        sub = self._x[np.ix_(index, index)]
+        graph = nx.DiGraph()
+        graph.add_nodes_from(members)
+        for a in range(len(members)):
+            for b in range(len(members)):
+                if sub[a, b]:
+                    graph.add_edge(members[a], members[b])
+        try:
+            return [int(j) for j in nx.topological_sort(graph)]
+        except nx.NetworkXUnfeasible:
+            cycle = nx.find_cycle(graph)
+            raise ModelError(
+                f"pairwise assignment is cyclic within S{stage}/"
+                f"R{resource}: {[(int(a), int(b)) for a, b in cycle]}"
+            ) from None
+
+    def per_resource_orders(self) -> dict[tuple[int, int], list[int]]:
+        """Priority order per (stage, resource) with >= 1 job.
+
+        This is the deployable form of a pairwise assignment: each
+        resource's dispatcher only needs the order of its own jobs.
+        Raises :class:`ModelError` if any single resource's restriction
+        is cyclic (see :meth:`resource_order`).
+        """
+        orders = {}
+        for stage in range(self._jobset.num_stages):
+            pool = self._jobset.system.stages[stage].num_resources
+            for resource in range(pool):
+                members = self._jobset.jobs_on_resource(stage, resource)
+                if members:
+                    orders[(stage, resource)] = self.resource_order(
+                        stage, resource)
+        return orders
+
+    def copeland_scores(self, subset: Iterable[int] | None = None
+                        ) -> dict[int, int]:
+        """Number of pairwise wins of each job within ``subset``.
+
+        Used by the simulator to dispatch under cyclic assignments.
+        """
+        if subset is None:
+            subset = range(self.num_jobs)
+        members = list(subset)
+        index = np.asarray(members, dtype=np.int64)
+        sub = self._x[np.ix_(index, index)]
+        wins = sub.sum(axis=1)
+        return {job: int(score) for job, score in zip(members, wins)}
+
+    def agrees_with(self, ordering: PriorityOrdering) -> bool:
+        """True iff every oriented pair matches the total ordering."""
+        matrix = ordering.as_matrix()
+        return bool(((self._x & ~matrix) == False).all())  # noqa: E712
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PairwiseAssignment):
+            return NotImplemented
+        return bool(np.array_equal(self._x, other._x))
+
+    def __repr__(self) -> str:
+        pairs = int(self._conflict.sum() // 2)
+        return (f"PairwiseAssignment(n={self.num_jobs}, "
+                f"conflict_pairs={pairs}, acyclic={self.is_acyclic()})")

@@ -1,0 +1,138 @@
+"""Critical-scaling analysis: how much load headroom does a schedule
+have?
+
+A classic real-time sensitivity question: by what common factor can
+every processing time grow before the priority assignment stops being
+schedulable?  Because every DCA bound is a positively homogeneous
+function of the processing times (every term is a sum/max of ``P``
+entries), scaling all ``P_{i,j}`` by ``s`` scales every ``Delta_i`` by
+exactly ``s``, so the critical factor has the closed form
+
+    ``s* = min_i D_i / Delta_i``
+
+(over the jobs with ``Delta_i > 0``).  :func:`critical_scaling`
+evaluates it for total orderings and pairwise assignments alike, and
+:func:`scaling_profile` reports the per-job headroom so the bottleneck
+job is visible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.dca import DelayAnalyzer
+from repro.core.schedulability import resolve_equation
+from repro.core.system import JobSet
+
+
+@dataclass
+class ScalingResult:
+    """Critical scaling factor of one priority assignment."""
+
+    #: Largest uniform processing-time factor keeping all deadlines.
+    factor: float
+    #: Job attaining the minimum (the bottleneck), or None.
+    bottleneck: int | None
+    #: Per-job headroom ``D_i / Delta_i`` (inf for zero delay).
+    headroom: np.ndarray
+    #: The delays the factors were computed from.
+    delays: np.ndarray
+
+    @property
+    def schedulable(self) -> bool:
+        """Whether the assignment is feasible at scale 1."""
+        return self.factor >= 1.0
+
+
+def _delays(jobset: JobSet, priorities, equation: str,
+            analyzer: DelayAnalyzer | None) -> np.ndarray:
+    analyzer = analyzer or DelayAnalyzer(jobset)
+    priorities = np.asarray(priorities)
+    if priorities.ndim == 1:
+        return analyzer.delays_for_ordering(priorities,
+                                            equation=equation)
+    if priorities.ndim == 2:
+        return analyzer.delays_for_pairwise(
+            priorities.astype(bool), equation=equation)
+    raise ValueError(
+        f"priorities must be a rank vector or an (n, n) orientation "
+        f"matrix, got shape {priorities.shape}")
+
+
+def critical_scaling(jobset: JobSet, priorities, *,
+                     equation: str = "eq6",
+                     analyzer: DelayAnalyzer | None = None
+                     ) -> ScalingResult:
+    """Critical uniform processing-time scaling of an assignment.
+
+    ``priorities`` is either a priority-rank vector (total ordering)
+    or an ``(n, n)`` boolean orientation matrix (pairwise assignment).
+    A factor below 1 means the assignment is already infeasible; a
+    factor of, say, 1.3 means all processing times may grow 30 %.
+    """
+    equation = resolve_equation(equation)
+    delays = _delays(jobset, priorities, equation, analyzer)
+    with np.errstate(divide="ignore"):
+        headroom = np.where(delays > 0.0, jobset.D / delays, np.inf)
+    finite = np.isfinite(headroom)
+    if not finite.any():
+        return ScalingResult(factor=float("inf"), bottleneck=None,
+                             headroom=headroom, delays=delays)
+    bottleneck = int(np.argmin(np.where(finite, headroom, np.inf)))
+    return ScalingResult(factor=float(headroom[bottleneck]),
+                         bottleneck=bottleneck, headroom=headroom,
+                         delays=delays)
+
+
+def scaling_profile(jobset: JobSet, priorities, *,
+                    equation: str = "eq6",
+                    analyzer: DelayAnalyzer | None = None,
+                    label=None) -> str:
+    """Human-readable per-job headroom report, bottleneck first."""
+    label = label or (lambda j: f"J{j}")
+    result = critical_scaling(jobset, priorities, equation=equation,
+                              analyzer=analyzer)
+    order = np.argsort(result.headroom)
+    lines = [
+        f"critical scaling factor: {result.factor:.3f} "
+        f"({'schedulable' if result.schedulable else 'INFEASIBLE'} "
+        f"at scale 1)"
+    ]
+    for i in order:
+        i = int(i)
+        mark = " <- bottleneck" if i == result.bottleneck else ""
+        lines.append(
+            f"  {label(i):>8}: bound {result.delays[i]:9.2f}  "
+            f"deadline {jobset.D[i]:9.2f}  headroom "
+            f"{result.headroom[i]:7.3f}{mark}")
+    return "\n".join(lines)
+
+
+def verify_homogeneity(jobset: JobSet, priorities, *, factor: float,
+                       equation: str = "eq6") -> bool:
+    """Check the homogeneity property the closed form relies on.
+
+    Builds a copy of the job set with all processing times scaled by
+    ``factor`` and compares the bounds against ``factor * Delta``.
+    Exposed for the test suite and for users extending the analysis
+    with non-homogeneous terms (where :func:`critical_scaling` would
+    need a numeric search instead).
+    """
+    from repro.core.job import Job
+
+    if factor <= 0:
+        raise ValueError(f"factor must be positive, got {factor}")
+    base = _delays(jobset, priorities, resolve_equation(equation), None)
+    scaled_jobs = [
+        Job(processing=tuple(p * factor for p in job.processing),
+            deadline=job.deadline, resources=job.resources,
+            arrival=job.arrival, name=job.name)
+        for job in jobset.jobs
+    ]
+    scaled = JobSet(jobset.system, scaled_jobs)
+    scaled_delays = _delays(scaled, priorities,
+                            resolve_equation(equation), None)
+    return bool(np.allclose(scaled_delays, factor * base,
+                            rtol=1e-9, atol=1e-9))

@@ -1,0 +1,140 @@
+"""The ``S_DCA`` schedulability test (Section IV.A of the paper).
+
+``S_DCA(J_i, H_i, L_i)`` deems job ``J_i`` schedulable when the DCA
+delay bound evaluated with higher-priority set ``H_i`` (and, for the
+non-preemptive / edge bounds, lower-priority set ``L_i``) does not
+exceed the end-to-end deadline ``D_i``.
+
+The test is OPA-compatible exactly when the underlying bound is
+(Observations IV.1/IV.2): compatible for ``eq1``, ``eq3``, ``eq5``,
+``eq6`` and ``eq10``; incompatible for ``eq2`` and ``eq4``.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Iterable
+
+import numpy as np
+
+from repro.core.dca import (
+    ALL_EQUATIONS,
+    LOWER_AWARE_EQUATIONS,
+    OPA_COMPATIBLE_EQUATIONS,
+    DelayAnalyzer,
+)
+from repro.core.system import JobSet
+
+#: Absolute slack tolerance when comparing a bound against a deadline,
+#: guarding against floating-point noise in the vectorised sums.
+DEADLINE_TOLERANCE = 1e-9
+
+
+class Policy(str, Enum):
+    """Scheduling policy, mapped to the paper's recommended bound."""
+
+    #: Preemptive MSMR scheduling -> refined Eq. 6.
+    PREEMPTIVE = "preemptive"
+    #: Non-preemptive MSMR scheduling -> OPA-compatible Eq. 5.
+    NONPREEMPTIVE = "nonpreemptive"
+    #: 3-stage edge pipeline (preemptive server, non-preemptive
+    #: downlink, batch release) -> Eq. 10.
+    EDGE = "edge"
+
+    @property
+    def equation(self) -> str:
+        return _POLICY_EQUATION[self]
+
+
+_POLICY_EQUATION = {
+    Policy.PREEMPTIVE: "eq6",
+    Policy.NONPREEMPTIVE: "eq5",
+    Policy.EDGE: "eq10",
+}
+
+
+def resolve_equation(policy_or_equation: "str | Policy") -> str:
+    """Accept either a :class:`Policy` or a raw equation name."""
+    if isinstance(policy_or_equation, Policy):
+        return policy_or_equation.equation
+    value = str(policy_or_equation)
+    if value in ALL_EQUATIONS:
+        return value
+    try:
+        return Policy(value).equation
+    except ValueError:
+        raise ValueError(
+            f"unknown policy/equation {policy_or_equation!r}; expected a "
+            f"Policy or one of {ALL_EQUATIONS}") from None
+
+
+class SDCA:
+    """DCA-based schedulability test bound to one job set.
+
+    Parameters
+    ----------
+    jobset:
+        Job set under analysis.
+    policy:
+        A :class:`Policy` or raw equation name selecting the bound.
+    analyzer:
+        Optionally reuse an existing :class:`DelayAnalyzer` (so several
+        tests can share the segment cache).
+    """
+
+    def __init__(self, jobset: JobSet,
+                 policy: "str | Policy" = Policy.PREEMPTIVE, *,
+                 analyzer: DelayAnalyzer | None = None) -> None:
+        self._equation = resolve_equation(policy)
+        self._analyzer = analyzer if analyzer is not None \
+            else DelayAnalyzer(jobset)
+        if self._analyzer.jobset is not jobset:
+            raise ValueError("analyzer was built for a different job set")
+        self._jobset = jobset
+
+    @property
+    def jobset(self) -> JobSet:
+        return self._jobset
+
+    @property
+    def equation(self) -> str:
+        return self._equation
+
+    @property
+    def analyzer(self) -> DelayAnalyzer:
+        return self._analyzer
+
+    @property
+    def opa_compatible(self) -> bool:
+        """Whether this test satisfies the OPA-compatibility conditions."""
+        return self._equation in OPA_COMPATIBLE_EQUATIONS
+
+    @property
+    def uses_lower_set(self) -> bool:
+        """Whether the bound depends on the lower-priority set."""
+        return self._equation in LOWER_AWARE_EQUATIONS
+
+    def delay(self, i: int, higher: "np.ndarray | Iterable[int]",
+              lower: "np.ndarray | Iterable[int] | None" = None, *,
+              active: np.ndarray | None = None) -> float:
+        """Delay bound of ``J_i`` for the given priority context."""
+        if self.uses_lower_set and lower is None:
+            lower = np.zeros(self._jobset.num_jobs, dtype=bool)
+        return self._analyzer.delay_bound(
+            i, higher, lower, equation=self._equation, active=active)
+
+    def __call__(self, i: int, higher: "np.ndarray | Iterable[int]",
+                 lower: "np.ndarray | Iterable[int] | None" = None, *,
+                 active: np.ndarray | None = None) -> bool:
+        """``S_DCA(J_i, H_i, L_i)``: true iff ``Delta_i <= D_i``."""
+        bound = self.delay(i, higher, lower, active=active)
+        return bound <= self._jobset.D[i] + DEADLINE_TOLERANCE
+
+    is_schedulable = __call__
+
+    def slack(self, i: int, higher: "np.ndarray | Iterable[int]",
+              lower: "np.ndarray | Iterable[int] | None" = None, *,
+              active: np.ndarray | None = None) -> float:
+        """``D_i - Delta_i`` (negative when the job misses)."""
+        return float(self._jobset.D[i]) - self.delay(i, higher, lower,
+                                                     active=active)

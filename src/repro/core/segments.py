@@ -1,0 +1,200 @@
+"""Segment algebra for job pairs in an MSMR pipeline.
+
+Section II of the paper defines, for a job pair ``<J_i, J_k>``:
+
+* a *segment*: a maximal run of consecutive stages at which the two jobs
+  are mapped to the same resources;
+* ``m_{i,k}``: the number of segments of the pair;
+* ``u_{i,k}`` / ``v_{i,k}``: the number of segments spanning exactly one
+  stage / two-or-more stages;
+* ``w_{i,k} = u_{i,k} + 2 v_{i,k}``: the maximum number of job-additive
+  stage-processing terms ``J_k`` can contribute to the delay of ``J_i``
+  (one term for a single-stage segment, two for a longer one), with
+  ``w_{i,i} = 1`` by convention;
+* ``ep_{k,j}``: ``P_{k,j}`` if the pair shares stage ``S_j``, else 0
+  (always relative to the job ``J_i`` under analysis);
+* ``et_{k,x}``: the x-th largest ``ep_{k,j}`` over the stages.
+
+:class:`SegmentCache` materialises all of these, for every ordered pair,
+as numpy arrays so that the delay bounds in :mod:`repro.core.dca` reduce
+to masked sums and maxima.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.system import JobSet
+
+
+def segments_of(shared: Sequence[bool]) -> list[tuple[int, int]]:
+    """Decompose a boolean shared-stage vector into segments.
+
+    Returns a list of ``(start, length)`` tuples, one per maximal run of
+    consecutive ``True`` entries.
+
+    >>> segments_of([True, False, True, True])
+    [(0, 1), (2, 2)]
+    """
+    segments = []
+    start = None
+    for j, flag in enumerate(shared):
+        if flag and start is None:
+            start = j
+        elif not flag and start is not None:
+            segments.append((start, j - start))
+            start = None
+    if start is not None:
+        segments.append((start, len(shared) - start))
+    return segments
+
+
+@dataclass(frozen=True)
+class PairSegments:
+    """Segment profile of one ordered job pair ``<J_i, J_k>``.
+
+    Attributes mirror the paper's notation; see the module docstring.
+    """
+
+    segments: tuple[tuple[int, int], ...]
+
+    @property
+    def m(self) -> int:
+        """Number of segments (``m_{i,k}``)."""
+        return len(self.segments)
+
+    @property
+    def u(self) -> int:
+        """Number of single-stage segments (``u_{i,k}``)."""
+        return sum(1 for _, length in self.segments if length == 1)
+
+    @property
+    def v(self) -> int:
+        """Number of segments spanning two or more stages (``v_{i,k}``)."""
+        return sum(1 for _, length in self.segments if length >= 2)
+
+    @property
+    def w(self) -> int:
+        """Maximum job-additive terms: ``w_{i,k} = u_{i,k} + 2 v_{i,k}``."""
+        return self.u + 2 * self.v
+
+    @property
+    def shared_stages(self) -> tuple[int, ...]:
+        """All stage indices covered by some segment."""
+        stages: list[int] = []
+        for start, length in self.segments:
+            stages.extend(range(start, start + length))
+        return tuple(stages)
+
+
+def pair_segments(jobset: JobSet, i: int, k: int) -> PairSegments:
+    """Segment profile of the pair ``<J_i, J_k>`` in ``jobset``."""
+    shared = jobset.shares[i, k, :]
+    return PairSegments(segments=tuple(segments_of(shared.tolist())))
+
+
+class SegmentCache:
+    """Precomputed pair-wise segment quantities for a whole job set.
+
+    Arrays (``n`` jobs, ``N`` stages; first index is always the job under
+    analysis ``J_i``, second the interfering job ``J_k``):
+
+    ``ep``
+        ``(n, n, N)`` -- ``ep_{k,j}`` relative to ``J_i``.
+    ``et_sorted`` / ``et_cumsum``
+        ``(n, n, N)`` -- ``ep`` sorted descending along stages, and its
+        running sum (so the sum of the ``w`` largest terms is
+        ``et_cumsum[i, k, w - 1]``).
+    ``et1`` / ``et2``
+        ``(n, n)`` -- largest and second-largest shared-stage times.
+    ``m`` / ``u`` / ``v`` / ``w``
+        ``(n, n)`` integer matrices of segment counts.  The diagonal holds
+        the *raw* self profile (a job trivially shares every stage with
+        itself, one segment of ``N`` stages); the refined convention
+        ``w_{i,i} = 1`` is applied where the bounds are assembled.
+    ``W``
+        ``(n, n)`` -- job-additive weight of ``J_k`` on ``J_i`` under the
+        refined preemptive bound (Eq. 6): the sum of the ``w_{i,k}``
+        largest ``et`` terms, with the diagonal overridden to
+        ``t_{i,1}`` (i.e. ``w_{i,i} = 1``).
+    ``t_sorted`` / ``t1`` / ``t2``
+        Global (mapping-independent) sorted stage times per job and the
+        shorthands ``t_{k,1}``, ``t_{k,2}`` used by Eqs. 1-2.
+    """
+
+    def __init__(self, jobset: JobSet) -> None:
+        self._jobset = jobset
+        shares = jobset.shares
+        n, num_stages = jobset.num_jobs, jobset.num_stages
+
+        self.ep = np.where(shares, jobset.P[None, :, :], 0.0)
+        self.et_sorted = -np.sort(-self.ep, axis=2)
+        self.et_cumsum = np.cumsum(self.et_sorted, axis=2)
+        self.et1 = self.et_sorted[:, :, 0]
+        self.et2 = (self.et_sorted[:, :, 1]
+                    if num_stages >= 2 else np.zeros((n, n)))
+
+        self.m, self.u, self.v = self._segment_counts(shares)
+        self.w = self.u + 2 * self.v
+
+        self.t_sorted = -np.sort(-jobset.P, axis=1)
+        self.t1 = self.t_sorted[:, 0]
+        self.t2 = (self.t_sorted[:, 1]
+                   if num_stages >= 2 else np.zeros(n))
+
+        self.W = self._job_additive_weights()
+
+    @staticmethod
+    def _segment_counts(
+            shares: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Count segments per pair by scanning stages once.
+
+        Returns ``(m, u, v)`` integer matrices.
+        """
+        n, _, num_stages = shares.shape
+        m = np.zeros((n, n), dtype=np.int64)
+        u = np.zeros((n, n), dtype=np.int64)
+        v = np.zeros((n, n), dtype=np.int64)
+        run = np.zeros((n, n), dtype=np.int64)
+        for j in range(num_stages):
+            shared_j = shares[:, :, j]
+            run = (run + 1) * shared_j
+            if j + 1 < num_stages:
+                closing = shared_j & ~shares[:, :, j + 1]
+            else:
+                closing = shared_j
+            m += closing
+            u += closing & (run == 1)
+            v += closing & (run >= 2)
+        return m, u, v
+
+    def _job_additive_weights(self) -> np.ndarray:
+        """Sum of the ``w_{i,k}`` largest ``et`` terms (Eq. 6 weights)."""
+        n = self._jobset.num_jobs
+        num_stages = self._jobset.num_stages
+        # w <= N always (u single stages + 2v with each long segment
+        # covering >= 2 stages), so w - 1 indexes et_cumsum safely.
+        w_clipped = np.minimum(self.w, num_stages)
+        weights = np.zeros((n, n))
+        positive = w_clipped > 0
+        idx_i, idx_k = np.nonzero(positive)
+        weights[idx_i, idx_k] = self.et_cumsum[
+            idx_i, idx_k, w_clipped[idx_i, idx_k] - 1]
+        # Refined self convention: w_{i,i} = 1  =>  W[i, i] = t_{i,1}.
+        weights[np.arange(n), np.arange(n)] = self.t1
+        return weights
+
+    @property
+    def jobset(self) -> JobSet:
+        return self._jobset
+
+    def top_et_sum(self, i: int, k: int, count: int) -> float:
+        """Sum of the ``count`` largest shared-stage times of ``J_k``
+        relative to ``J_i`` (0 for ``count == 0``)."""
+        if count <= 0:
+            return 0.0
+        count = min(count, self._jobset.num_stages)
+        return float(self.et_cumsum[i, k, count - 1])

@@ -1,0 +1,139 @@
+"""JSON (de)serialisation of systems, jobs and job sets.
+
+A release-quality library needs a way to save an instance and load it
+back -- for bug reports, regression corpora, and exchanging test cases
+with other tools.  The format is a single JSON object:
+
+.. code-block:: json
+
+    {
+      "format": "repro-jobset",
+      "version": 1,
+      "stages": [{"num_resources": 2, "preemptive": true,
+                  "name": "uplink"}, ...],
+      "jobs": [{"processing": [5, 7, 15], "deadline": 60,
+                "resources": [0, 1, 1], "arrival": 0.0,
+                "name": "J1"}, ...]
+    }
+
+Round-tripping is exact (floats are emitted with ``repr`` precision),
+and loading validates through the normal model constructors, so a
+corrupt file fails with the usual :class:`ModelError` messages.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.core.exceptions import ModelError
+from repro.core.job import Job
+from repro.core.system import JobSet, MSMRSystem, Stage
+
+FORMAT_NAME = "repro-jobset"
+FORMAT_VERSION = 1
+
+
+def system_to_dict(system: MSMRSystem) -> dict:
+    """Plain-dict form of a system."""
+    return {
+        "stages": [
+            {"num_resources": stage.num_resources,
+             "preemptive": stage.preemptive,
+             "name": stage.name}
+            for stage in system.stages
+        ]
+    }
+
+
+def system_from_dict(data: dict) -> MSMRSystem:
+    """Rebuild a system from :func:`system_to_dict` output."""
+    try:
+        stages = [
+            Stage(num_resources=int(entry["num_resources"]),
+                  preemptive=bool(entry.get("preemptive", True)),
+                  name=entry.get("name"))
+            for entry in data["stages"]
+        ]
+    except (KeyError, TypeError) as error:
+        raise ModelError(f"malformed system payload: {error}") from error
+    return MSMRSystem(stages)
+
+
+def job_to_dict(job: Job) -> dict:
+    """Plain-dict form of one job."""
+    return {
+        "processing": list(job.processing),
+        "deadline": job.deadline,
+        "resources": list(job.resources),
+        "arrival": job.arrival,
+        "name": job.name,
+    }
+
+
+def job_from_dict(data: dict) -> Job:
+    """Rebuild a job from :func:`job_to_dict` output."""
+    try:
+        return Job(processing=tuple(data["processing"]),
+                   deadline=data["deadline"],
+                   resources=tuple(data["resources"]),
+                   arrival=data.get("arrival", 0.0),
+                   name=data.get("name"))
+    except (KeyError, TypeError) as error:
+        raise ModelError(f"malformed job payload: {error}") from error
+
+
+def jobset_to_dict(jobset: JobSet) -> dict:
+    """Plain-dict form of a whole job set (system + jobs)."""
+    return {
+        "format": FORMAT_NAME,
+        "version": FORMAT_VERSION,
+        **system_to_dict(jobset.system),
+        "jobs": [job_to_dict(job) for job in jobset.jobs],
+    }
+
+
+def jobset_from_dict(data: dict) -> JobSet:
+    """Rebuild a job set, validating format markers and the model."""
+    if data.get("format") != FORMAT_NAME:
+        raise ModelError(
+            f"not a {FORMAT_NAME} payload (format="
+            f"{data.get('format')!r})")
+    if int(data.get("version", -1)) != FORMAT_VERSION:
+        raise ModelError(
+            f"unsupported {FORMAT_NAME} version {data.get('version')!r};"
+            f" this library reads version {FORMAT_VERSION}")
+    system = system_from_dict(data)
+    if "jobs" not in data:
+        raise ModelError("payload has no 'jobs' array")
+    jobs = [job_from_dict(entry) for entry in data["jobs"]]
+    return JobSet(system, jobs)
+
+
+def dumps(jobset: JobSet, *, indent: int | None = 2) -> str:
+    """Serialise a job set to a JSON string."""
+    return json.dumps(jobset_to_dict(jobset), indent=indent)
+
+
+def loads(text: str) -> JobSet:
+    """Load a job set from a JSON string."""
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise ModelError(f"invalid JSON: {error}") from error
+    if not isinstance(data, dict):
+        raise ModelError(
+            f"expected a JSON object, got {type(data).__name__}")
+    return jobset_from_dict(data)
+
+
+def save(jobset: JobSet, path) -> None:
+    """Write a job set to ``path`` as JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(dumps(jobset))
+        handle.write("\n")
+
+
+def load(path) -> JobSet:
+    """Read a job set from a JSON file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return loads(handle.read())

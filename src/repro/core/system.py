@@ -1,0 +1,239 @@
+"""Multi-stage multi-resource (MSMR) system and job-set model.
+
+An MSMR system (Section II of the paper) is a pipeline of ``N`` stages;
+stage ``S_j`` offers ``c_j`` heterogeneous resources of one type.  Every
+job visits the stages in order and uses exactly one resource per stage.
+
+:class:`JobSet` binds a list of :class:`~repro.core.job.Job` objects to a
+:class:`MSMRSystem` and precomputes, as numpy arrays, everything the
+delay analysis needs repeatedly:
+
+* ``P``        -- ``(n, N)`` processing times,
+* ``A``/``D``  -- arrival times and deadlines,
+* ``R``        -- ``(n, N)`` job-to-resource mapping,
+* ``shares``   -- ``(n, n, N)`` boolean tensor, ``shares[i, k, j]`` true
+  iff ``J_i`` and ``J_k`` are mapped to the same resource at ``S_j``,
+* conflict sets ``M_{i,j}`` and ``M_i`` from the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.core.exceptions import ModelError
+from repro.core.intervals import overlap_matrix
+from repro.core.job import Job
+
+
+@dataclass(frozen=True)
+class Stage:
+    """One pipeline stage: a pool of same-type resources.
+
+    Parameters
+    ----------
+    num_resources:
+        Number of resources available at this stage (``>= 1``).
+    preemptive:
+        Whether jobs may be preempted while executing on a resource of
+        this stage.  The analysis equations are selected independently,
+        but the simulator and the edge model honour this flag.
+    name:
+        Optional label (e.g. ``"uplink"``, ``"server"``).
+    """
+
+    num_resources: int
+    preemptive: bool = True
+    name: str | None = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.num_resources < 1:
+            raise ModelError(
+                f"stage needs at least one resource, got {self.num_resources}")
+
+
+class MSMRSystem:
+    """A pipeline of :class:`Stage` objects."""
+
+    def __init__(self, stages: Sequence[Stage]) -> None:
+        stages = tuple(stages)
+        if not stages:
+            raise ModelError("a system needs at least one stage")
+        self._stages = stages
+
+    @classmethod
+    def uniform(cls, num_stages: int, resources_per_stage: int = 1, *,
+                preemptive: bool = True) -> "MSMRSystem":
+        """Build a system with the same resource count at every stage.
+
+        ``resources_per_stage=1`` yields the multi-stage *single*-resource
+        pipeline of the original DCA papers (Eqs. 1-2).
+        """
+        stage = Stage(num_resources=resources_per_stage, preemptive=preemptive)
+        return cls([stage] * num_stages)
+
+    @property
+    def stages(self) -> tuple[Stage, ...]:
+        return self._stages
+
+    @property
+    def num_stages(self) -> int:
+        return len(self._stages)
+
+    @property
+    def resources_per_stage(self) -> tuple[int, ...]:
+        return tuple(stage.num_resources for stage in self._stages)
+
+    @property
+    def preemptive_flags(self) -> tuple[bool, ...]:
+        return tuple(stage.preemptive for stage in self._stages)
+
+    def is_single_resource(self) -> bool:
+        """True if every stage has exactly one resource."""
+        return all(stage.num_resources == 1 for stage in self._stages)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MSMRSystem):
+            return NotImplemented
+        return self._stages == other._stages
+
+    def __hash__(self) -> int:
+        return hash(self._stages)
+
+    def __repr__(self) -> str:
+        counts = "x".join(str(s.num_resources) for s in self._stages)
+        return f"MSMRSystem(stages={self.num_stages}, resources={counts})"
+
+
+class JobSet:
+    """A set of jobs bound to an MSMR system.
+
+    The constructor validates that every job traverses all stages of the
+    system and that every resource index is within range, then caches the
+    numpy views used throughout the analysis.
+    """
+
+    def __init__(self, system: MSMRSystem, jobs: Iterable[Job]) -> None:
+        self._system = system
+        self._jobs = tuple(jobs)
+        if not self._jobs:
+            raise ModelError("a job set needs at least one job")
+        n_stages = system.num_stages
+        for idx, job in enumerate(self._jobs):
+            if job.num_stages != n_stages:
+                raise ModelError(
+                    f"job {job.label(idx)} has {job.num_stages} stages, "
+                    f"system has {n_stages}")
+            for j, resource in enumerate(job.resources):
+                if resource >= system.stages[j].num_resources:
+                    raise ModelError(
+                        f"job {job.label(idx)} uses resource {resource} at "
+                        f"stage {j}, but the stage only has "
+                        f"{system.stages[j].num_resources}")
+        self._build_arrays()
+
+    def _build_arrays(self) -> None:
+        jobs = self._jobs
+        self.P = np.array([job.processing for job in jobs], dtype=float)
+        self.A = np.array([job.arrival for job in jobs], dtype=float)
+        self.D = np.array([job.deadline for job in jobs], dtype=float)
+        self.R = np.array([job.resources for job in jobs], dtype=np.int64)
+        # shares[i, k, j]: J_i and J_k mapped to the same resource at S_j.
+        self.shares = self.R[:, None, :] == self.R[None, :, :]
+        # overlaps[i, k]: interference windows [A, A + D] intersect
+        # (closed intervals; touching windows are conservatively kept).
+        self.overlaps = overlap_matrix(self.A, self.D)
+
+    @property
+    def system(self) -> MSMRSystem:
+        return self._system
+
+    @property
+    def jobs(self) -> tuple[Job, ...]:
+        return self._jobs
+
+    @property
+    def num_jobs(self) -> int:
+        return len(self._jobs)
+
+    @property
+    def num_stages(self) -> int:
+        return self._system.num_stages
+
+    def __len__(self) -> int:
+        return len(self._jobs)
+
+    def __iter__(self) -> Iterator[Job]:
+        return iter(self._jobs)
+
+    def __getitem__(self, index: int) -> Job:
+        return self._jobs[index]
+
+    def label(self, index: int) -> str:
+        """Human-readable label of job ``index``."""
+        return self._jobs[index].label(index)
+
+    # ------------------------------------------------------------------
+    # Conflict sets (Section II: M_{i,j} and M_i)
+    # ------------------------------------------------------------------
+
+    def competitors_at_stage(self, i: int, stage: int) -> list[int]:
+        """``M_{i,j}``: jobs mapped to the same resource as ``J_i`` at
+        ``stage`` (excluding ``J_i`` itself)."""
+        mask = self.shares[i, :, stage].copy()
+        mask[i] = False
+        return [int(k) for k in np.flatnonzero(mask)]
+
+    def competitors(self, i: int) -> list[int]:
+        """``M_i``: jobs sharing at least one resource with ``J_i``."""
+        mask = self.shares[i].any(axis=1)
+        mask[i] = False
+        return [int(k) for k in np.flatnonzero(mask)]
+
+    def conflict_pairs(self) -> list[tuple[int, int]]:
+        """All unordered pairs ``(i, k)``, ``i < k``, sharing a resource."""
+        any_shared = self.shares.any(axis=2)
+        pairs = []
+        n = self.num_jobs
+        for i in range(n):
+            for k in range(i + 1, n):
+                if any_shared[i, k]:
+                    pairs.append((i, k))
+        return pairs
+
+    def jobs_on_resource(self, stage: int, resource: int) -> list[int]:
+        """Indices of jobs mapped to ``resource`` at ``stage``."""
+        return [int(k) for k in np.flatnonzero(self.R[:, stage] == resource)]
+
+    # ------------------------------------------------------------------
+    # Convenience constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def single_resource(cls, processing: Sequence[Sequence[float]],
+                        deadlines: Sequence[float],
+                        arrivals: Sequence[float] | None = None, *,
+                        preemptive: bool = True) -> "JobSet":
+        """Build a multi-stage *single*-resource job set from raw arrays.
+
+        This is the setting of Eqs. 1-2 (and of the paper's Example 1):
+        every job competes with every other job at every stage.
+        """
+        if not processing:
+            raise ModelError("need at least one job")
+        num_stages = len(processing[0])
+        system = MSMRSystem.uniform(num_stages, 1, preemptive=preemptive)
+        if arrivals is None:
+            arrivals = [0.0] * len(processing)
+        jobs = [
+            Job(processing=tuple(p), deadline=d, arrival=a,
+                resources=(0,) * num_stages)
+            for p, d, a in zip(processing, deadlines, arrivals, strict=True)
+        ]
+        return cls(system, jobs)
+
+    def __repr__(self) -> str:
+        return (f"JobSet(n={self.num_jobs}, stages={self.num_stages}, "
+                f"system={self._system!r})")

@@ -1,0 +1,78 @@
+"""Experiment harness: regenerates every panel of the paper's Figure 4
+plus the reproduction's own ablation studies."""
+
+from repro.experiments.ablation import (
+    AblationResult,
+    bound_tightness,
+    heuristic_comparison,
+    holistic_comparison,
+    refinement_ablation,
+    scalability,
+    solver_agreement,
+)
+from repro.experiments.config import (
+    ADMISSION_APPROACHES,
+    ADMISSION_SETTINGS,
+    BETA_VALUES,
+    GAMMA_VALUES,
+    HEAVY_FRACTION_VALUES,
+    ExperimentConfig,
+    full_scale,
+)
+from repro.experiments.figures import (
+    ALL_FIGURES,
+    FigureResult,
+    SweepPoint,
+    figure_4a,
+    figure_4b,
+    figure_4c,
+    figure_4d,
+)
+from repro.experiments.report import (
+    format_chart,
+    format_series,
+    format_table,
+    shape_checks,
+)
+from repro.experiments.runner import APPROACHES, CaseResult, evaluate_case
+from repro.experiments.sensitivity import (
+    gap_vs_jobs,
+    gap_vs_resources,
+    gap_vs_stages,
+    summarize_gaps,
+)
+
+__all__ = [
+    "ADMISSION_APPROACHES",
+    "ADMISSION_SETTINGS",
+    "ALL_FIGURES",
+    "APPROACHES",
+    "AblationResult",
+    "BETA_VALUES",
+    "CaseResult",
+    "ExperimentConfig",
+    "FigureResult",
+    "GAMMA_VALUES",
+    "HEAVY_FRACTION_VALUES",
+    "SweepPoint",
+    "bound_tightness",
+    "evaluate_case",
+    "figure_4a",
+    "figure_4b",
+    "figure_4c",
+    "figure_4d",
+    "format_chart",
+    "format_series",
+    "format_table",
+    "full_scale",
+    "gap_vs_jobs",
+    "gap_vs_resources",
+    "gap_vs_stages",
+    "heuristic_comparison",
+    "holistic_comparison",
+    "refinement_ablation",
+    "scalability",
+    "shape_checks",
+    "solver_agreement",
+    "summarize_gaps",
+]

@@ -1,0 +1,77 @@
+"""Experiment grids: the exact sweeps of Figure 4.
+
+Every figure varies one workload knob around the paper's defaults
+(``beta = 0.15``, ``[h1, h2, h3] = [0.05, 0.05, 0.01]``,
+``gamma = 0.7``; 25 APs, 20 servers, 100 jobs).  ``ExperimentConfig``
+bundles the sweep with the number of seeded test cases per point.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.workload.edge import EdgeWorkloadConfig
+
+#: Figure 4a sweep: heaviness threshold.
+BETA_VALUES = (0.05, 0.10, 0.15, 0.20)
+
+#: Figure 4b sweep: per-stage heavy fractions [h1, h2, h3].
+HEAVY_FRACTION_VALUES = (
+    (0.01, 0.01, 0.01),
+    (0.05, 0.05, 0.05),
+    (0.10, 0.10, 0.01),
+    (0.01, 0.15, 0.01),
+)
+
+#: Figure 4c sweep: system heaviness bound.
+GAMMA_VALUES = (0.6, 0.7, 0.8, 0.9)
+
+#: Figure 4d settings: admission control under high/low load.
+ADMISSION_SETTINGS = (
+    ("beta=0.01", {"beta": 0.01, "light_min": 0.002}),
+    ("beta=0.2", {"beta": 0.2}),
+    ("h=[.01,.01,.01]", {"heavy_fractions": (0.01, 0.01, 0.01)}),
+    ("h=[.1,.1,.01]", {"heavy_fractions": (0.10, 0.10, 0.01)}),
+    ("gamma=0.6", {"gamma": 0.6}),
+    ("gamma=0.9", {"gamma": 0.9}),
+)
+
+#: Admission-controller approaches of Figure 4d.
+ADMISSION_APPROACHES = ("opdca", "dmr", "dm")
+
+
+def full_scale() -> bool:
+    """True when paper-scale runs were requested via ``REPRO_FULL=1``."""
+    return os.environ.get("REPRO_FULL", "").strip() in ("1", "true", "yes")
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """How much work each figure driver performs.
+
+    ``cases`` seeded test cases are generated per sweep point with
+    seeds ``seed0 .. seed0 + cases - 1``; the acceptance ratio is the
+    fraction accepted.
+    """
+
+    cases: int = 50
+    seed0: int = 0
+    base: EdgeWorkloadConfig = field(default_factory=EdgeWorkloadConfig)
+    equation: str = "eq10"
+    opt_backend: str = "highs"
+
+    @classmethod
+    def quick(cls) -> "ExperimentConfig":
+        """Reduced-but-shape-preserving configuration for CI/benchmarks."""
+        return cls(cases=10)
+
+    @classmethod
+    def paper(cls) -> "ExperimentConfig":
+        """Paper-scale configuration (slower)."""
+        return cls(cases=100)
+
+    @classmethod
+    def from_environment(cls) -> "ExperimentConfig":
+        """``paper()`` when ``REPRO_FULL=1``, ``quick()`` otherwise."""
+        return cls.paper() if full_scale() else cls.quick()

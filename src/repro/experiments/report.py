@@ -1,0 +1,175 @@
+"""Plain-text rendering of experiment results.
+
+Produces the same information as the paper's Figure 4: per-point values
+for every approach, plus the stacked-increment view used in panels
+(a)-(c) (base = DM; increments of DMR, OPDCA and OPT stacked on top).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import FigureResult
+
+#: Display names matching the paper's legends.
+DISPLAY_NAMES = {
+    "dm": "DM",
+    "dmr": "DMR",
+    "opdca": "OPDCA",
+    "opt": "OPT",
+    "dcmp": "DCMP",
+}
+
+
+def format_table(figure: FigureResult, *, stacked: bool = False) -> str:
+    """Render a figure as an aligned text table.
+
+    With ``stacked=True`` the DMR/OPDCA/OPT columns show the increment
+    over the previous approach (exactly how the paper stacks its
+    histograms); DM stays absolute and DCMP is always absolute.
+    """
+    headers = [figure.xlabel] + [
+        DISPLAY_NAMES.get(a, a) for a in figure.approaches]
+    if stacked:
+        headers = [figure.xlabel] + _stacked_headers(figure.approaches)
+    rows = []
+    for point in figure.points:
+        values = [point.values[a] for a in figure.approaches]
+        if stacked:
+            values = _stack(figure.approaches, point.values)
+        rows.append([point.label] + [f"{value:6.1f}" for value in values])
+    return _render(figure, headers, rows)
+
+
+def _stacked_headers(approaches) -> list[str]:
+    headers = []
+    previous = None
+    for approach in approaches:
+        name = DISPLAY_NAMES.get(approach, approach)
+        if approach in ("dmr", "opdca", "opt") and previous:
+            headers.append(f"+{name}")
+        else:
+            headers.append(name)
+        previous = approach
+    return headers
+
+
+def _stack(approaches, values: dict[str, float]) -> list[float]:
+    stacked = []
+    chain = ["dm", "dmr", "opdca", "opt"]
+    for approach in approaches:
+        if approach in chain[1:]:
+            prev = chain[chain.index(approach) - 1]
+            stacked.append(values[approach] - values.get(prev, 0.0))
+        else:
+            stacked.append(values[approach])
+    return stacked
+
+
+def _render(figure: FigureResult, headers: list[str],
+            rows: list[list[str]]) -> str:
+    widths = [max(len(str(headers[col])),
+                  max((len(str(row[col])) for row in rows), default=0))
+              for col in range(len(headers))]
+    line = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    separator = "-" * len(line)
+    body = [
+        "  ".join(str(cell).ljust(w) for cell, w in zip(row, widths))
+        for row in rows
+    ]
+    title = (f"{figure.title}  [{figure.metric}; "
+             f"{figure.cases} cases/point]")
+    return "\n".join([title, separator, line, separator] + body + [separator])
+
+
+def format_series(figure: FigureResult) -> str:
+    """Compact one-line-per-approach view (easy to diff/plot)."""
+    lines = [f"# {figure.name}: {figure.metric}"]
+    labels = ", ".join(point.label for point in figure.points)
+    lines.append(f"# x: {labels}")
+    for approach in figure.approaches:
+        series = ", ".join(f"{v:.1f}" for v in figure.series(approach))
+        lines.append(f"{DISPLAY_NAMES.get(approach, approach):>6}: "
+                     f"[{series}]")
+    return "\n".join(lines)
+
+
+def format_chart(figure: FigureResult, *, width: int = 50) -> str:
+    """Render a figure as an ASCII chart (the paper's visual layout).
+
+    Acceptance-ratio panels become the stacked histogram of Figure
+    4(a-c): DM is the base, DMR/OPDCA/OPT stack their increments, and
+    DCMP is shown as a separate plain chart below.  The rejected-
+    heaviness panel (4d) becomes grouped bars.
+    """
+    from repro.viz.bars import grouped_bars, stacked_bars
+
+    if "acceptance" not in figure.metric:
+        groups = [
+            (point.label,
+             {DISPLAY_NAMES.get(a, a): point.values[a]
+              for a in figure.approaches})
+            for point in figure.points
+        ]
+        return grouped_bars(groups, width=width, unit="%")
+    chain = [a for a in ("dm", "dmr", "opdca", "opt")
+             if a in figure.approaches]
+    rows = []
+    extra_lines = []
+    for point in figure.points:
+        segments = {}
+        previous = 0.0
+        for approach in chain:
+            name = DISPLAY_NAMES[approach]
+            label = name if approach == chain[0] else f"+{name}"
+            # Negative increments cannot happen for the guaranteed
+            # relations; clamp defensively for the empirical ones.
+            segments[label] = max(0.0, point.values[approach] - previous)
+            previous = max(previous, point.values[approach])
+        rows.append((point.label, segments))
+    chart = stacked_bars(rows, width=width, maximum=100.0, unit="%")
+    others = [a for a in figure.approaches if a not in chain]
+    for approach in others:
+        groups = {point.label: point.values[approach]
+                  for point in figure.points}
+        from repro.viz.bars import bar_chart
+        extra_lines.append(f"\n{DISPLAY_NAMES.get(approach, approach)}:")
+        extra_lines.append(bar_chart(groups, width=width, maximum=100.0,
+                                     unit="%"))
+    return "\n".join([chart] + extra_lines)
+
+
+def shape_checks(figure: FigureResult) -> list[str]:
+    """Verify the qualitative relations the paper reports.
+
+    Returns human-readable violation messages (empty = all good).
+    Guaranteed relations (DM <= DMR <= OPT, OPDCA <= OPT) are checked
+    per point; the empirical ones are summarised but not enforced.
+    Only meaningful for acceptance-ratio figures; Figure 4d's rejected
+    heaviness is a lower-is-better metric with no guaranteed ordering,
+    so it is skipped.
+    """
+    problems = []
+    if "acceptance" not in figure.metric:
+        return problems
+    for point in figure.points:
+        values = point.values
+        if "dm" in values and "dmr" in values and \
+                values["dm"] > values["dmr"] + 1e-9:
+            problems.append(
+                f"{figure.name} @ {point.label}: AR(DM)={values['dm']:.1f}"
+                f" > AR(DMR)={values['dmr']:.1f}")
+        if "dmr" in values and "opt" in values and \
+                values["dmr"] > values["opt"] + 1e-9:
+            problems.append(
+                f"{figure.name} @ {point.label}: AR(DMR)="
+                f"{values['dmr']:.1f} > AR(OPT)={values['opt']:.1f}")
+        if "opdca" in values and "opt" in values and \
+                values["opdca"] > values["opt"] + 1e-9:
+            problems.append(
+                f"{figure.name} @ {point.label}: AR(OPDCA)="
+                f"{values['opdca']:.1f} > AR(OPT)={values['opt']:.1f}")
+        if "dm" in values and "opdca" in values and \
+                values["dm"] > values["opdca"] + 1e-9:
+            problems.append(
+                f"{figure.name} @ {point.label}: AR(DM)={values['dm']:.1f}"
+                f" > AR(OPDCA)={values['opdca']:.1f}")
+    return problems

@@ -1,0 +1,95 @@
+"""Per-test-case evaluation of every approach (Section VI).
+
+For one generated edge test case, runs each approach of Figure 4 --
+DM, DMR, OPDCA, OPT and DCMP -- against the Eq. 10 analysis (DCMP by
+simulation, as in the paper) and records acceptance plus wall-clock
+time.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.baselines.dcmp import dcmp
+from repro.core.dca import DelayAnalyzer
+from repro.core.opdca import opdca
+from repro.core.schedulability import SDCA
+from repro.pairwise.dm import dm
+from repro.pairwise.dmr import dmr
+from repro.pairwise.opt import opt
+from repro.workload.edge import EdgeTestCase
+from repro.workload.heaviness import system_heaviness
+
+#: Approaches in the paper's stacking order, plus the DCMP baseline.
+APPROACHES = ("dm", "dmr", "opdca", "opt", "dcmp")
+
+
+@dataclass
+class CaseResult:
+    """Acceptance and timing of every approach on one test case."""
+
+    seed: int
+    accepted: dict[str, bool]
+    runtime: dict[str, float]
+    system_heaviness: float
+    notes: dict[str, str] = field(default_factory=dict)
+
+    def accepted_by(self, approach: str) -> bool:
+        return self.accepted.get(approach, False)
+
+
+def evaluate_case(case: EdgeTestCase, *,
+                  approaches: tuple[str, ...] = APPROACHES,
+                  equation: str = "eq10",
+                  opt_backend: str = "highs") -> CaseResult:
+    """Run the selected approaches on one test case.
+
+    All analytical approaches share one :class:`DelayAnalyzer` (and thus
+    one segment cache); DCMP runs the discrete-event simulator with the
+    edge pipeline's preemption flags.
+    """
+    jobset = case.jobset
+    analyzer = DelayAnalyzer(jobset)
+    accepted: dict[str, bool] = {}
+    runtime: dict[str, float] = {}
+    notes: dict[str, str] = {}
+
+    def timed(name, fn):
+        start = time.perf_counter()
+        result = fn()
+        runtime[name] = time.perf_counter() - start
+        return result
+
+    for approach in approaches:
+        if approach == "dm":
+            result = timed("dm", lambda: dm(jobset, equation,
+                                            analyzer=analyzer))
+            accepted["dm"] = result.feasible
+        elif approach == "dmr":
+            result = timed("dmr", lambda: dmr(jobset, equation,
+                                              analyzer=analyzer))
+            accepted["dmr"] = result.feasible
+            notes["dmr_flips"] = str(result.stats.get("flips", 0))
+        elif approach == "opdca":
+            test = SDCA(jobset, equation, analyzer=analyzer)
+            result = timed("opdca", lambda: opdca(jobset, equation,
+                                                  test=test))
+            accepted["opdca"] = result.feasible
+        elif approach == "opt":
+            result = timed("opt", lambda: opt(
+                jobset, equation, analyzer=analyzer,
+                backend=opt_backend))
+            accepted["opt"] = result.feasible
+            notes["opt_status"] = str(result.stats.get("status", ""))
+        elif approach == "dcmp":
+            # Budget release = the strict reading of "decomposed jobs";
+            # see repro.baselines.dcmp and EXPERIMENTS.md.
+            result = timed("dcmp", lambda: dcmp(jobset, release="budget"))
+            accepted["dcmp"] = result.feasible
+        else:
+            raise ValueError(f"unknown approach {approach!r}")
+
+    return CaseResult(seed=case.seed, accepted=accepted, runtime=runtime,
+                      system_heaviness=system_heaviness(jobset),
+                      notes=notes)

@@ -1,0 +1,50 @@
+"""Pairwise priority assignment (problem P2 of the paper).
+
+Provides the conflict graph, the deadline-monotonic baseline (DM), the
+deadline-monotonic & repair heuristic (DMR, Algorithm 2), the optimal
+ILP formulation (OPT, Eqs. 7-9) with multiple complete backends, an
+exact CP-style search, and admission-controller variants.
+"""
+
+from repro.pairwise.admission import dm_admission, dmr_admission
+from repro.pairwise.conflicts import ConflictGraph, ConflictPair
+from repro.pairwise.dm import dm, dm_assignment
+from repro.pairwise.dmr import dmr
+from repro.pairwise.heuristics import (
+    laxity_assignment,
+    lmr,
+    local_search,
+    opa_guided,
+)
+from repro.pairwise.ilp import (
+    OPTModel,
+    build_opt_model,
+    extract_assignment,
+    job_additive_coefficients,
+)
+from repro.pairwise.opt import BACKENDS, opt, opt_decomposed
+from repro.pairwise.results import PairwiseResult
+from repro.pairwise.search import cp_search
+
+__all__ = [
+    "BACKENDS",
+    "ConflictGraph",
+    "ConflictPair",
+    "OPTModel",
+    "PairwiseResult",
+    "build_opt_model",
+    "cp_search",
+    "dm",
+    "dm_admission",
+    "dm_assignment",
+    "dmr",
+    "dmr_admission",
+    "extract_assignment",
+    "job_additive_coefficients",
+    "laxity_assignment",
+    "lmr",
+    "local_search",
+    "opa_guided",
+    "opt",
+    "opt_decomposed",
+]

@@ -1,0 +1,86 @@
+"""Admission-controller variants of DM and DMR (Figure 4d).
+
+Mirrors the paper's modification of Step 10: instead of declaring the
+whole job set infeasible, the job with the largest deadline excess
+``Delta_i - D_i`` is discarded and the assignment continues for the
+remaining jobs.  Discarded jobs are removed from the analysis entirely
+(they no longer interfere with anyone).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.admission import AdmissionResult
+from repro.core.dca import DelayAnalyzer
+from repro.core.schedulability import DEADLINE_TOLERANCE, resolve_equation
+from repro.core.system import JobSet
+from repro.pairwise.dmr import _DMRState
+
+
+def _worst_offender(state: _DMRState) -> int:
+    """Active job with the largest ``Delta_i - D_i``."""
+    excess = state.delays - state.jobset.D
+    excess = np.where(state.active, excess, -np.inf)
+    return int(np.argmax(excess))
+
+
+def _result_from_state(state: _DMRState,
+                       rejected: list[int]) -> AdmissionResult:
+    accepted = [int(i) for i in np.flatnonzero(state.active)]
+    delays = np.where(state.active, state.delays, np.nan)
+    return AdmissionResult(accepted=accepted, rejected=rejected,
+                           ordering=None, delays=delays)
+
+
+def dm_admission(jobset: JobSet, equation: str = "eq6", *,
+                 analyzer: DelayAnalyzer | None = None) -> AdmissionResult:
+    """DM as an admission controller: no repair, discard until feasible.
+
+    Keeps the deadline-monotonic orientation fixed and iteratively
+    discards the job with the largest deadline excess until every
+    remaining job meets its deadline.
+    """
+    equation = resolve_equation(equation)
+    if analyzer is None:
+        analyzer = DelayAnalyzer(jobset)
+    state = _DMRState(jobset, analyzer, equation)
+    rejected: list[int] = []
+    while True:
+        pending = state.infeasible_jobs()
+        if not pending:
+            return _result_from_state(state, rejected)
+        worst = _worst_offender(state)
+        rejected.append(worst)
+        state.deactivate(worst)
+
+
+def dmr_admission(jobset: JobSet, equation: str = "eq6", *,
+                  analyzer: DelayAnalyzer | None = None,
+                  max_flips: int | None = None) -> AdmissionResult:
+    """DMR as an admission controller (modified Step 10).
+
+    Runs the repair phase; whenever repair gives up on a job, the
+    currently worst-offending job is discarded and repair resumes on the
+    survivors.
+    """
+    equation = resolve_equation(equation)
+    if analyzer is None:
+        analyzer = DelayAnalyzer(jobset)
+    n = jobset.num_jobs
+    if max_flips is None:
+        max_flips = 4 * n * n
+    state = _DMRState(jobset, analyzer, equation)
+    rejected: list[int] = []
+    while True:
+        if state.repair(max_flips):
+            return _result_from_state(state, rejected)
+        worst = _worst_offender(state)
+        if not state.active[worst] or \
+                state.delays[worst] <= state.jobset.D[worst] + \
+                DEADLINE_TOLERANCE:
+            # Defensive: repair failed without an infeasible job left
+            # (flip budget exhausted); reject nothing further.
+            return _result_from_state(state, rejected)
+        rejected.append(worst)
+        state.deactivate(worst)

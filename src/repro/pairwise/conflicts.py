@@ -1,0 +1,101 @@
+"""Conflict graph of a job set.
+
+Two jobs *conflict* when they share at least one resource somewhere in
+the pipeline (``J_k in M_i``).  A pairwise priority assignment must
+orient exactly these pairs; the relative priority of non-conflicting
+jobs is inconsequential (Section V, Figure 2(a) of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+import numpy as np
+
+from repro.core.system import JobSet
+
+
+@dataclass(frozen=True)
+class ConflictPair:
+    """One unordered conflicting pair with its shared stages."""
+
+    i: int
+    k: int
+    shared_stages: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if self.i >= self.k:
+            raise ValueError(f"pairs are stored with i < k, got "
+                             f"({self.i}, {self.k})")
+
+
+class ConflictGraph:
+    """Undirected conflict structure over a job set.
+
+    Provides the pair list the pairwise solvers iterate over, adjacency
+    queries, and connectivity information (independent components can be
+    solved separately).
+    """
+
+    def __init__(self, jobset: JobSet) -> None:
+        self._jobset = jobset
+        n = jobset.num_jobs
+        any_shared = jobset.shares.any(axis=2)
+        self._adjacency = any_shared & ~np.eye(n, dtype=bool)
+        pairs = []
+        for i in range(n):
+            for k in range(i + 1, n):
+                if self._adjacency[i, k]:
+                    stages = tuple(
+                        int(j) for j in
+                        np.flatnonzero(jobset.shares[i, k, :]))
+                    pairs.append(ConflictPair(i=i, k=k, shared_stages=stages))
+        self._pairs = tuple(pairs)
+
+    @property
+    def jobset(self) -> JobSet:
+        return self._jobset
+
+    @property
+    def pairs(self) -> tuple[ConflictPair, ...]:
+        """All conflicting pairs, ``i < k``."""
+        return self._pairs
+
+    @property
+    def num_pairs(self) -> int:
+        return len(self._pairs)
+
+    def adjacency(self) -> np.ndarray:
+        """Symmetric ``(n, n)`` conflict mask (False diagonal)."""
+        return self._adjacency.copy()
+
+    def neighbors(self, i: int) -> list[int]:
+        """``M_i``: all jobs conflicting with ``J_i``."""
+        return [int(k) for k in np.flatnonzero(self._adjacency[i])]
+
+    def degree(self, i: int) -> int:
+        return int(self._adjacency[i].sum())
+
+    def in_conflict(self, i: int, k: int) -> bool:
+        return bool(self._adjacency[i, k])
+
+    def graph(self) -> nx.Graph:
+        """The conflict graph as a networkx object."""
+        graph = nx.Graph()
+        graph.add_nodes_from(range(self._jobset.num_jobs))
+        graph.add_edges_from((pair.i, pair.k) for pair in self._pairs)
+        return graph
+
+    def components(self) -> list[list[int]]:
+        """Connected components (each solvable independently)."""
+        return [sorted(component) for component in
+                nx.connected_components(self.graph())]
+
+    def density(self) -> float:
+        """Fraction of job pairs that conflict (0 for a single job)."""
+        n = self._jobset.num_jobs
+        total = n * (n - 1) // 2
+        if total == 0:
+            return 0.0
+        return self.num_pairs / total

@@ -1,0 +1,52 @@
+"""Deadline-Monotonic (DM) pairwise priority assignment.
+
+The starting point of Algorithm 2 (and the baseline of Figure 4): every
+conflicting pair is oriented towards the job with the shorter deadline.
+Footnote 9 of the paper notes DM is not optimal even in a multi-stage
+single-resource system, which the tests reproduce.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.dca import DelayAnalyzer
+from repro.core.priorities import PairwiseAssignment
+from repro.core.schedulability import DEADLINE_TOLERANCE, resolve_equation
+from repro.core.system import JobSet
+from repro.pairwise.results import PairwiseResult
+
+
+def dm_assignment(jobset: JobSet) -> PairwiseAssignment:
+    """Deadline-monotonic orientation of every conflicting pair.
+
+    Following line 2 of Algorithm 2 (pairs visited with ``i < k``):
+    ``J_i > J_k`` iff ``D_i <= D_k``, so deadline ties favour the
+    lower-indexed job.
+    """
+    deadlines = jobset.D
+    n = jobset.num_jobs
+    upper = np.triu(np.ones((n, n), dtype=bool), k=1)
+    # For i < k the pair goes to J_i on ties; in the lower triangle the
+    # (k, i) entry is set only on a strict win D_k < D_i.
+    x = (upper & (deadlines[:, None] <= deadlines[None, :])) | \
+        (upper.T & (deadlines[:, None] < deadlines[None, :]))
+    return PairwiseAssignment.from_matrix(jobset, x)
+
+
+def dm(jobset: JobSet, equation: str = "eq6", *,
+       analyzer: DelayAnalyzer | None = None) -> PairwiseResult:
+    """Evaluate the DM pairwise assignment against a DCA bound.
+
+    Returns the assignment together with the resulting delay bounds;
+    ``feasible`` reflects whether every job meets its deadline.
+    """
+    equation = resolve_equation(equation)
+    if analyzer is None:
+        analyzer = DelayAnalyzer(jobset)
+    assignment = dm_assignment(jobset)
+    delays = analyzer.delays_for_pairwise(
+        assignment.matrix(), equation=equation)
+    feasible = bool((delays <= jobset.D + DEADLINE_TOLERANCE).all())
+    return PairwiseResult(feasible=feasible, assignment=assignment,
+                          delays=delays, equation=equation, solver="dm")

@@ -1,0 +1,182 @@
+"""DMR -- Deadline-Monotonic & Repair heuristic (Algorithm 2).
+
+DMR starts from the deadline-monotonic pairwise assignment and repairs
+deadline violations: for an infeasible job ``J_i``, it steals priority
+from conflicting higher-priority jobs ``J_k`` that have slack
+(``Delta_k < D_k``), most-slack first, as long as the flip keeps ``J_k``
+feasible.  A key structural property of the DCA bounds makes the repair
+cheap: re-orienting the pair ``(i, k)`` only changes the delay bounds of
+``J_i`` and ``J_k`` -- no other job's higher/lower sets are affected.
+
+The paper does not discuss termination; because flips could in
+principle ping-pong through chains of jobs, the implementation caps the
+number of accepted flips at ``max_flips`` (default ``4 n^2``) and
+declares the instance infeasible if the budget is exhausted.  The cap
+was never reached in any experiment of the reproduction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.dca import DelayAnalyzer
+from repro.core.priorities import PairwiseAssignment
+from repro.core.schedulability import DEADLINE_TOLERANCE, resolve_equation
+from repro.core.system import JobSet
+from repro.pairwise.dm import dm_assignment
+from repro.pairwise.results import PairwiseResult
+
+
+def dmr(jobset: JobSet, equation: str = "eq6", *,
+        analyzer: DelayAnalyzer | None = None,
+        max_flips: int | None = None) -> PairwiseResult:
+    """Compute a pairwise priority assignment with Algorithm 2.
+
+    Parameters
+    ----------
+    jobset:
+        Job set (with its job-to-resource mapping).
+    equation:
+        DCA bound used for the delay computations (``eq6`` for
+        preemptive MSMR scheduling, ``eq10`` for the edge pipeline,
+        ``eq4`` for non-preemptive -- the paper notes Eq. 4 may be used
+        here since OPA-compatibility is not needed for pairwise search).
+    analyzer:
+        Optional shared :class:`DelayAnalyzer`.
+    max_flips:
+        Safety cap on accepted priority flips (default ``4 n^2``).
+
+    Returns
+    -------
+    PairwiseResult
+        ``stats`` records ``flips`` (accepted), ``attempted_flips`` and
+        ``repair_rounds``.  When infeasible, the returned assignment is
+        the best repaired attempt (useful for admission control).
+    """
+    equation = resolve_equation(equation)
+    if analyzer is None:
+        analyzer = DelayAnalyzer(jobset)
+    n = jobset.num_jobs
+    if max_flips is None:
+        max_flips = 4 * n * n
+
+    state = _DMRState(jobset, analyzer, equation)
+    feasible = state.repair(max_flips)
+    assignment = PairwiseAssignment.from_matrix(jobset, state.x)
+    return PairwiseResult(
+        feasible=feasible,
+        assignment=assignment,
+        delays=state.delays.copy(),
+        equation=equation,
+        solver="dmr",
+        stats={
+            "flips": state.flips,
+            "attempted_flips": state.attempted_flips,
+            "repair_rounds": state.rounds,
+        },
+    )
+
+
+class _DMRState:
+    """Mutable assignment state with incremental delay maintenance."""
+
+    def __init__(self, jobset: JobSet, analyzer: DelayAnalyzer,
+                 equation: str,
+                 active: np.ndarray | None = None) -> None:
+        self.jobset = jobset
+        self.analyzer = analyzer
+        self.equation = equation
+        self.active = (np.ones(jobset.num_jobs, dtype=bool)
+                       if active is None else active.copy())
+        self.x = dm_assignment(jobset).matrix()
+        self.delays = analyzer.delays_for_pairwise(
+            self.x, equation=equation, active=self.active)
+        self.flips = 0
+        self.attempted_flips = 0
+        self.rounds = 0
+        self._conflict = jobset.shares.any(axis=2) & \
+            ~np.eye(jobset.num_jobs, dtype=bool)
+
+    # -- delay bookkeeping ------------------------------------------------
+
+    def _delay_of(self, i: int) -> float:
+        higher = self.x[:, i]
+        lower = self.x[i, :]
+        return self.analyzer.delay_bound(
+            i, higher, lower, equation=self.equation, active=self.active)
+
+    def refresh(self, jobs: "list[int] | None" = None) -> None:
+        """Recompute delays of ``jobs`` (all active jobs when None)."""
+        if jobs is None:
+            self.delays = self.analyzer.delays_for_pairwise(
+                self.x, equation=self.equation, active=self.active)
+            return
+        for i in jobs:
+            if self.active[i]:
+                self.delays[i] = self._delay_of(i)
+
+    def deactivate(self, i: int) -> None:
+        """Remove a job from the analysis (admission control)."""
+        self.active[i] = False
+        self.delays[i] = np.nan
+        self.refresh()
+
+    # -- Algorithm 2 ------------------------------------------------------
+
+    def infeasible_jobs(self) -> list[int]:
+        deadlines = self.jobset.D
+        mask = self.active & (self.delays > deadlines + DEADLINE_TOLERANCE)
+        return [int(i) for i in np.flatnonzero(mask)]
+
+    def repair_candidates(self, i: int) -> list[int]:
+        """``F_i``: conflicting higher-priority jobs with slack, sorted
+        by decreasing slack ``D_k - Delta_k`` (Steps 5-6)."""
+        deadlines = self.jobset.D
+        mask = (self._conflict[i] & self.x[:, i] & self.active &
+                (self.delays < deadlines - DEADLINE_TOLERANCE))
+        candidates = [int(k) for k in np.flatnonzero(mask)]
+        candidates.sort(key=lambda k: -(deadlines[k] - self.delays[k]))
+        return candidates
+
+    def try_flip(self, i: int, k: int) -> bool:
+        """Steps 7-8: re-orient to ``J_i > J_k`` if ``J_k`` stays
+        feasible; returns True when the flip is kept."""
+        self.attempted_flips += 1
+        self.x[i, k] = True
+        self.x[k, i] = False
+        new_delay_k = self._delay_of(k)
+        if new_delay_k <= self.jobset.D[k] + DEADLINE_TOLERANCE:
+            self.delays[k] = new_delay_k
+            self.delays[i] = self._delay_of(i)
+            self.flips += 1
+            return True
+        self.x[i, k] = False
+        self.x[k, i] = True
+        return False
+
+    def repair(self, max_flips: int) -> bool:
+        """Run the repair phase; True iff all active jobs end feasible."""
+        deadlines = self.jobset.D
+        while True:
+            self.rounds += 1
+            pending = self.infeasible_jobs()
+            if not pending:
+                return True
+            restarted = False
+            for i in pending:
+                if self.delays[i] <= deadlines[i] + DEADLINE_TOLERANCE:
+                    continue
+                for k in self.repair_candidates(i):
+                    if self.flips >= max_flips:
+                        return False
+                    if not self.try_flip(i, k):
+                        continue
+                    if self.delays[i] <= deadlines[i] + DEADLINE_TOLERANCE:
+                        restarted = True
+                        break
+                if restarted:
+                    break  # Step 9: go back to Step 4.
+                if self.delays[i] > deadlines[i] + DEADLINE_TOLERANCE:
+                    return False  # Step 10.
+            if not restarted:
+                return not self.infeasible_jobs()

@@ -1,0 +1,49 @@
+"""Result containers shared by the pairwise solvers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.priorities import PairwiseAssignment
+
+
+@dataclass
+class PairwiseResult:
+    """Outcome of a pairwise priority-assignment attempt.
+
+    Attributes
+    ----------
+    feasible:
+        True iff the returned assignment satisfies every deadline under
+        the solver's delay bound.
+    assignment:
+        The pairwise priority assignment that was produced.  Heuristics
+        return their best (possibly infeasible) attempt; exact solvers
+        return None when they prove infeasibility.
+    delays:
+        Delay bounds of all jobs under ``assignment`` (None when no
+        assignment is available).
+    equation:
+        The DCA bound the solver optimised against.
+    solver:
+        Identifier of the algorithm/backend that produced the result.
+    stats:
+        Free-form solver statistics (iterations, flips, nodes, ...).
+    """
+
+    feasible: bool
+    assignment: PairwiseAssignment | None
+    delays: np.ndarray | None
+    equation: str
+    solver: str
+    stats: dict = field(default_factory=dict)
+
+    def misses(self) -> list[int]:
+        """Indices of jobs whose bound exceeds the deadline."""
+        if self.assignment is None or self.delays is None:
+            return []
+        deadlines = self.assignment.jobset.D
+        return [int(i) for i in
+                np.flatnonzero(self.delays > deadlines + 1e-9)]

@@ -1,0 +1,311 @@
+"""Exact backtracking (CP-style) solver for pairwise assignment.
+
+A complete alternative to the ILP backends that exploits the structure
+of the DCA bounds directly.  Every delay bound decomposes, per job, into
+
+* a *committed* part from already-oriented pairs (monotone: orienting
+  any further pair can only increase it), and
+* contributions of undecided pairs.
+
+Because all terms are non-negative and monotone in both the higher- and
+lower-priority sets, the committed delay is a sound lower bound of the
+final delay, enabling:
+
+* **pruning** -- backtrack as soon as some job's committed delay
+  exceeds its deadline;
+* **unit propagation** -- if one orientation of an undecided pair would
+  push a job over its deadline, the opposite orientation is forced.
+
+Search is depth-first over pair orientations, branching on the pair
+with the largest job-additive weight and trying the deadline-monotonic
+orientation first.  The solver is exact: it reports infeasibility only
+after exhausting the (pruned) search space.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro.core.dca import DelayAnalyzer
+from repro.core.priorities import PairwiseAssignment
+from repro.core.schedulability import DEADLINE_TOLERANCE, resolve_equation
+from repro.core.system import JobSet
+from repro.pairwise.dm import dm_assignment
+from repro.pairwise.ilp import (
+    SUPPORTED_EQUATIONS,
+    _stage_plan,
+    job_additive_coefficients,
+)
+from repro.pairwise.results import PairwiseResult
+
+
+def cp_search(jobset: JobSet, equation: str = "eq6", *,
+              analyzer: DelayAnalyzer | None = None,
+              decision_limit: int = 5_000_000) -> PairwiseResult:
+    """Find a feasible pairwise assignment by exact backtracking search.
+
+    Parameters
+    ----------
+    jobset:
+        Job set with its mapping.
+    equation:
+        ``eq6`` (preemptive), ``eq10`` (edge) or ``eq4``
+        (non-preemptive), as for the ILP.
+    decision_limit:
+        Safety cap on search decisions (propagations + branchings); an
+        exhausted budget is reported via ``stats["complete"] = False``
+        and counts as "not accepted" in the experiments.
+
+    Returns
+    -------
+    PairwiseResult
+        On success the assignment is verified against the analyzer; the
+        reported delays are exact bound values.
+    """
+    equation = resolve_equation(equation)
+    if equation not in SUPPORTED_EQUATIONS:
+        raise ValueError(
+            f"cp_search supports {SUPPORTED_EQUATIONS}, got {equation!r}")
+    if analyzer is None:
+        analyzer = DelayAnalyzer(jobset)
+
+    solver = _CPSolver(jobset, analyzer, equation, decision_limit)
+    feasible = solver.solve()
+    stats = {
+        "solver": "cp",
+        "decisions": solver.decisions,
+        "backtracks": solver.backtracks,
+        "forced": solver.forced,
+        "complete": solver.complete,
+    }
+    if not feasible:
+        return PairwiseResult(feasible=False, assignment=None, delays=None,
+                              equation=equation, solver="cp", stats=stats)
+    assignment = solver.assignment()
+    delays = analyzer.delays_for_pairwise(
+        assignment.matrix(), equation=equation)
+    feasible = bool((delays <= jobset.D + DEADLINE_TOLERANCE).all())
+    return PairwiseResult(feasible=feasible, assignment=assignment,
+                          delays=delays, equation=equation, solver="cp",
+                          stats=stats)
+
+
+class _CPSolver:
+    """Backtracking engine with trail-based undo."""
+
+    def __init__(self, jobset: JobSet, analyzer: DelayAnalyzer,
+                 equation: str, decision_limit: int) -> None:
+        self.jobset = jobset
+        self.deadlines = jobset.D
+        self.ep = analyzer.cache.ep
+        self.coefficients = job_additive_coefficients(analyzer, equation)
+        theta_stages, lambda_stages = _stage_plan(
+            equation, jobset.num_stages)
+        self.theta_stages = theta_stages
+        self.lambda_stages = lambda_stages
+        self.decision_limit = decision_limit
+        self.decisions = 0
+        self.backtracks = 0
+        self.forced = 0
+        self.complete = True
+
+        n = jobset.num_jobs
+        conflict = jobset.shares.any(axis=2) & ~np.eye(n, dtype=bool)
+        relevant = conflict & jobset.overlaps
+        self.pairs: list[tuple[int, int]] = [
+            (i, k) for i in range(n) for k in range(i + 1, n)
+            if relevant[i, k]]
+        self.pair_index = {pair: idx for idx, pair in enumerate(self.pairs)}
+        #: 0 = undecided, +1 = i wins, -1 = k wins.
+        self.orientation = np.zeros(len(self.pairs), dtype=np.int8)
+        self.incident: list[list[int]] = [[] for _ in range(n)]
+        for idx, (i, k) in enumerate(self.pairs):
+            self.incident[i].append(idx)
+            self.incident[k].append(idx)
+
+        # Committed state.
+        self.jobadd = self.coefficients.diagonal().astype(float).copy()
+        self.theta = np.zeros((n, jobset.num_stages))
+        for j in theta_stages:
+            self.theta[:, j] = self.ep[np.arange(n), np.arange(n), j]
+        self.lam = np.zeros((n, jobset.num_stages))
+        self.lb = self._recompute_lb()
+
+        # DM preference for value ordering.
+        dm_matrix = dm_assignment(jobset).matrix()
+        self.dm_prefers_i = np.array(
+            [bool(dm_matrix[i, k]) for (i, k) in self.pairs])
+
+        # Static branching order: heaviest pairs first.
+        weight = [max(self.coefficients[i, k], self.coefficients[k, i])
+                  for (i, k) in self.pairs]
+        self.branch_order = sorted(
+            range(len(self.pairs)), key=lambda idx: -weight[idx])
+
+        #: Trail of (kind, index, payload) entries for undo.
+        self.trail: list[tuple] = []
+
+    # -- state arithmetic ---------------------------------------------
+
+    def _recompute_lb(self) -> np.ndarray:
+        return (self.jobadd + self.theta.sum(axis=1)
+                + self.lam.sum(axis=1))
+
+    def _deltas(self, winner: int, loser: int) -> tuple[float, float]:
+        """Lower-bound increase of (loser, winner) if the orientation
+        ``winner > loser`` were committed."""
+        loser_delta = float(self.coefficients[loser, winner])
+        for j in self.theta_stages:
+            gain = float(self.ep[loser, winner, j]) - self.theta[loser, j]
+            if gain > 0:
+                loser_delta += gain
+        winner_delta = 0.0
+        for j in self.lambda_stages:
+            gain = float(self.ep[winner, loser, j]) - self.lam[winner, j]
+            if gain > 0:
+                winner_delta += gain
+        return loser_delta, winner_delta
+
+    def _fits(self, winner: int, loser: int) -> bool:
+        loser_delta, winner_delta = self._deltas(winner, loser)
+        return (self.lb[loser] + loser_delta
+                <= self.deadlines[loser] + DEADLINE_TOLERANCE) and \
+               (self.lb[winner] + winner_delta
+                <= self.deadlines[winner] + DEADLINE_TOLERANCE)
+
+    def _apply(self, pair_idx: int, i_wins: bool) -> bool:
+        """Commit an orientation; False if a deadline is violated."""
+        i, k = self.pairs[pair_idx]
+        winner, loser = (i, k) if i_wins else (k, i)
+        self.trail.append(("orient", pair_idx, None))
+        self.orientation[pair_idx] = 1 if i_wins else -1
+
+        self.trail.append(("jobadd", loser, self.jobadd[loser]))
+        self.jobadd[loser] += float(self.coefficients[loser, winner])
+        for j in self.theta_stages:
+            value = float(self.ep[loser, winner, j])
+            if value > self.theta[loser, j]:
+                self.trail.append(
+                    ("theta", (loser, j), self.theta[loser, j]))
+                self.theta[loser, j] = value
+        for j in self.lambda_stages:
+            value = float(self.ep[winner, loser, j])
+            if value > self.lam[winner, j]:
+                self.trail.append(
+                    ("lam", (winner, j), self.lam[winner, j]))
+                self.lam[winner, j] = value
+
+        for job in (loser, winner):
+            self.trail.append(("lb", job, self.lb[job]))
+            self.lb[job] = (self.jobadd[job] + self.theta[job].sum()
+                            + self.lam[job].sum())
+            if self.lb[job] > self.deadlines[job] + DEADLINE_TOLERANCE:
+                return False
+        return True
+
+    def _undo(self, mark: int) -> None:
+        while len(self.trail) > mark:
+            kind, index, payload = self.trail.pop()
+            if kind == "orient":
+                self.orientation[index] = 0
+            elif kind == "jobadd":
+                self.jobadd[index] = payload
+            elif kind == "theta":
+                job, stage = index
+                self.theta[job, stage] = payload
+            elif kind == "lam":
+                job, stage = index
+                self.lam[job, stage] = payload
+            else:
+                self.lb[index] = payload
+
+    # -- propagation ----------------------------------------------------
+
+    def _propagate(self, touched: list[int]) -> bool:
+        """Force orientations implied by deadlines; False on conflict."""
+        queue = list(touched)
+        seen_in_queue = set(queue)
+        while queue:
+            job = queue.pop()
+            seen_in_queue.discard(job)
+            for pair_idx in self.incident[job]:
+                if self.orientation[pair_idx] != 0:
+                    continue
+                self.decisions += 1
+                if self.decisions > self.decision_limit:
+                    self.complete = False
+                    return False
+                i, k = self.pairs[pair_idx]
+                i_ok = self._fits(i, k)
+                k_ok = self._fits(k, i)
+                if not i_ok and not k_ok:
+                    return False
+                if i_ok == k_ok:
+                    continue
+                self.forced += 1
+                if not self._apply(pair_idx, i_ok):
+                    return False
+                for affected in self.pairs[pair_idx]:
+                    if affected not in seen_in_queue:
+                        queue.append(affected)
+                        seen_in_queue.add(affected)
+        return True
+
+
+    # -- search -----------------------------------------------------------
+
+    def solve(self) -> bool:
+        if (self.lb > self.deadlines + DEADLINE_TOLERANCE).any():
+            return False
+        # The DFS recurses once per decided pair; raise the recursion
+        # limit for the duration of the search only.
+        needed = max(10_000, 8 * len(self.pairs) + 1_000)
+        previous = sys.getrecursionlimit()
+        sys.setrecursionlimit(max(previous, needed))
+        try:
+            if not self._propagate(list(range(self.jobset.num_jobs))):
+                return False
+            return self._search()
+        finally:
+            sys.setrecursionlimit(previous)
+
+    def _next_pair(self) -> int | None:
+        for pair_idx in self.branch_order:
+            if self.orientation[pair_idx] == 0:
+                return pair_idx
+        return None
+
+    def _search(self) -> bool:
+        pair_idx = self._next_pair()
+        if pair_idx is None:
+            return True
+        self.decisions += 1
+        if self.decisions > self.decision_limit:
+            self.complete = False
+            return False
+        i, k = self.pairs[pair_idx]
+        first = bool(self.dm_prefers_i[pair_idx])
+        for i_wins in (first, not first):
+            mark = len(self.trail)
+            if self._apply(pair_idx, i_wins) and \
+                    self._propagate([i, k]) and self._search():
+                return True
+            self._undo(mark)
+            self.backtracks += 1
+            if not self.complete:
+                return False
+        return False
+
+    # -- extraction ---------------------------------------------------
+
+    def assignment(self) -> PairwiseAssignment:
+        matrix = dm_assignment(self.jobset).matrix()
+        for idx, (i, k) in enumerate(self.pairs):
+            if self.orientation[idx] == 0:
+                continue
+            i_wins = self.orientation[idx] > 0
+            matrix[i, k] = i_wins
+            matrix[k, i] = not i_wins
+        return PairwiseAssignment.from_matrix(self.jobset, matrix)

@@ -1,0 +1,30 @@
+"""Route-based job sets: jobs that traverse a *subsequence* of stages.
+
+Section VII lists extending the analysis beyond a strict pipeline as
+future work; the extended DCA paper ([7]) covers distributed *acyclic*
+systems.  This package supports the common acyclic case where every
+job's route follows the global stage order but may skip stages (e.g. a
+sensor job that needs no GPU stage, or a local job that skips the
+downlink).
+
+The trick is a reduction to the strict-pipeline model: a skipped stage
+becomes a zero-processing visit to a per-job *dummy resource* that no
+other job ever uses.  Zero-length visits add no delay terms anywhere --
+``ep``/``et`` vanish, no segment can form across them for any pair --
+and the simulator passes through them instantaneously, so every
+analysis, solver and simulation in the library applies unchanged to
+the padded :class:`~repro.core.system.JobSet`.
+
+Use :class:`RouteJob` to describe jobs and :func:`route_jobset` to
+build the padded set together with the bookkeeping needed to map
+results back.
+"""
+
+from repro.routes.binding import RouteBinding, route_jobset
+from repro.routes.model import RouteJob
+
+__all__ = [
+    "RouteBinding",
+    "RouteJob",
+    "route_jobset",
+]

@@ -1,0 +1,136 @@
+"""Reduction from route jobs to a strict-pipeline :class:`JobSet`.
+
+Every skipped stage becomes a zero-time visit to a fresh dummy resource
+appended after the stage's real pool.  Dummies are never shared, so
+
+* ``shares[i, k, j]`` stays false at any stage either job skips, hence
+  ``ep``/``et``/segment profiles -- and with them every DCA bound --
+  are exactly those of the route semantics;
+* the simulator dispatches the zero-length visit immediately (no other
+  job ever queues on that dummy), so simulated delays are unchanged.
+
+The zero-time visit is *not* free of modelling consequences in one
+corner: the job still traverses stages in order, so a route job cannot
+overtake itself -- which is also true in the acyclic systems of [7].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.exceptions import ModelError
+from repro.core.job import Job
+from repro.core.system import JobSet, MSMRSystem, Stage
+from repro.routes.model import RouteJob
+
+
+@dataclass
+class RouteBinding:
+    """A padded job set plus the bookkeeping to read results back.
+
+    Attributes
+    ----------
+    jobset:
+        The padded strict-pipeline job set; feed it to any analyzer,
+        solver or simulator in the library.
+    route_jobs:
+        The original route jobs, in job-index order.
+    system:
+        The original (unpadded) system.
+    dummy_base:
+        Per stage, the index of the first dummy resource (== the real
+        pool size of that stage).
+    """
+
+    jobset: JobSet
+    route_jobs: tuple[RouteJob, ...]
+    system: MSMRSystem
+    dummy_base: tuple[int, ...]
+
+    def is_dummy(self, stage: int, resource: int) -> bool:
+        """Whether ``resource`` at ``stage`` is a padding dummy."""
+        return resource >= self.dummy_base[stage]
+
+    def real_trace(self, trace):
+        """Filter a simulator trace down to real-resource intervals.
+
+        Zero-length dummy visits are dropped; everything else is
+        returned unchanged (lazily, as a list).
+        """
+        return [interval for interval in trace.intervals
+                if not self.is_dummy(interval.stage, interval.resource)]
+
+    def visited_mask(self) -> np.ndarray:
+        """``(n, N)`` bool: which job visits which stage."""
+        n = len(self.route_jobs)
+        num_stages = self.system.num_stages
+        mask = np.zeros((n, num_stages), dtype=bool)
+        for i, job in enumerate(self.route_jobs):
+            mask[i, list(job.stages)] = True
+        return mask
+
+
+def route_jobset(system: MSMRSystem,
+                 jobs: Sequence[RouteJob]) -> RouteBinding:
+    """Bind route jobs to ``system`` via dummy-resource padding.
+
+    Raises :class:`~repro.core.exceptions.ModelError` when a route
+    references a stage or resource outside the system.
+    """
+    jobs = tuple(jobs)
+    if not jobs:
+        raise ModelError("need at least one route job")
+    num_stages = system.num_stages
+    for idx, job in enumerate(jobs):
+        if job.stages[-1] >= num_stages:
+            raise ModelError(
+                f"job {job.label(idx)} visits stage {job.stages[-1]}, "
+                f"system has {num_stages}")
+        for stage, resource in zip(job.stages, job.resources):
+            pool = system.stages[stage].num_resources
+            if resource >= pool:
+                raise ModelError(
+                    f"job {job.label(idx)} uses resource {resource} at "
+                    f"stage {stage}, but the stage only has {pool}")
+
+    # One dummy per (job, skipped stage): dummies must never be shared,
+    # or a phantom zero-length segment could merge two real segments.
+    skip_counts = [0] * num_stages
+    dummy_index: dict[tuple[int, int], int] = {}
+    for i, job in enumerate(jobs):
+        for stage in range(num_stages):
+            if not job.visits(stage):
+                base = system.stages[stage].num_resources
+                dummy_index[(i, stage)] = base + skip_counts[stage]
+                skip_counts[stage] += 1
+
+    padded_stages = [
+        Stage(num_resources=stage.num_resources + skip_counts[j],
+              preemptive=stage.preemptive, name=stage.name)
+        for j, stage in enumerate(system.stages)
+    ]
+    padded_system = MSMRSystem(padded_stages)
+
+    padded_jobs = []
+    for i, job in enumerate(jobs):
+        processing = [0.0] * num_stages
+        resources = [0] * num_stages
+        for stage, time, resource in zip(job.stages, job.processing,
+                                         job.resources):
+            processing[stage] = time
+            resources[stage] = resource
+        for stage in range(num_stages):
+            if not job.visits(stage):
+                resources[stage] = dummy_index[(i, stage)]
+        padded_jobs.append(Job(
+            processing=tuple(processing), deadline=job.deadline,
+            resources=tuple(resources), arrival=job.arrival,
+            name=job.name))
+
+    return RouteBinding(jobset=JobSet(padded_system, padded_jobs),
+                        route_jobs=jobs, system=system,
+                        dummy_base=tuple(
+                            stage.num_resources for stage in system.stages))

@@ -1,0 +1,100 @@
+"""Job model for route-based (stage-skipping) workloads."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.exceptions import ModelError
+
+
+@dataclass(frozen=True)
+class RouteJob:
+    """A job visiting an increasing subsequence of pipeline stages.
+
+    Parameters
+    ----------
+    stages:
+        Strictly increasing stage indices the job visits, e.g.
+        ``(0, 2, 3)`` for a job skipping stage 1.
+    processing:
+        Positive processing time at each visited stage; aligned with
+        ``stages``.
+    resources:
+        Resource index used at each visited stage; aligned with
+        ``stages``.
+    deadline:
+        End-to-end relative deadline (> 0).
+    arrival:
+        Absolute release time.
+    name:
+        Optional label for traces and reports.
+    """
+
+    stages: tuple[int, ...]
+    processing: tuple[float, ...]
+    resources: tuple[int, ...]
+    deadline: float
+    arrival: float = 0.0
+    name: str | None = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        stages = tuple(int(s) for s in self.stages)
+        processing = tuple(float(p) for p in self.processing)
+        resources = tuple(int(r) for r in self.resources)
+        object.__setattr__(self, "stages", stages)
+        object.__setattr__(self, "processing", processing)
+        object.__setattr__(self, "resources", resources)
+        object.__setattr__(self, "deadline", float(self.deadline))
+        object.__setattr__(self, "arrival", float(self.arrival))
+        if not stages:
+            raise ModelError("a route job must visit at least one stage")
+        if len(processing) != len(stages) or len(resources) != len(stages):
+            raise ModelError(
+                f"route visits {len(stages)} stages but has "
+                f"{len(processing)} processing times and "
+                f"{len(resources)} resources")
+        if any(b <= a for a, b in zip(stages, stages[1:])):
+            raise ModelError(
+                f"route stages must be strictly increasing, got {stages}")
+        if stages[0] < 0:
+            raise ModelError(f"negative stage index in {stages}")
+        if any(p <= 0 for p in processing):
+            raise ModelError(
+                f"route processing times must be positive, got "
+                f"{processing} (skip the stage instead of using 0)")
+        if any(r < 0 for r in resources):
+            raise ModelError(f"negative resource index in {resources}")
+        if self.deadline <= 0:
+            raise ModelError(
+                f"deadline must be positive, got {self.deadline}")
+
+    @property
+    def num_visited(self) -> int:
+        """Number of stages the route visits."""
+        return len(self.stages)
+
+    def visits(self, stage: int) -> bool:
+        """Whether the route includes ``stage``."""
+        return stage in self.stages
+
+    def processing_at(self, stage: int) -> float:
+        """Processing time at ``stage`` (0 when the route skips it)."""
+        try:
+            return self.processing[self.stages.index(stage)]
+        except ValueError:
+            return 0.0
+
+    def resource_at(self, stage: int) -> int | None:
+        """Resource used at ``stage`` (None when the route skips it)."""
+        try:
+            return self.resources[self.stages.index(stage)]
+        except ValueError:
+            return None
+
+    def label(self, index: int | None = None) -> str:
+        """Human-readable label, falling back to ``J{index}``."""
+        if self.name is not None:
+            return self.name
+        if index is not None:
+            return f"J{index}"
+        return "J?"

@@ -1,0 +1,36 @@
+"""Discrete-event MSMR pipeline simulator.
+
+Executes a job set under fixed-priority dispatch (total-order,
+per-stage, or pairwise policies; preemptive or non-preemptive per
+stage), producing end-to-end delays and full execution traces.
+:func:`validate_trace` re-checks a finished trace against the system
+model independently of the simulator's own logic.
+"""
+
+from repro.sim.engine import PipelineSimulator, simulate
+from repro.sim.metrics import SimulationResult
+from repro.sim.policies import (
+    DispatchPolicy,
+    PairwisePolicy,
+    PerStagePolicy,
+    TotalOrderPolicy,
+    make_policy,
+)
+from repro.sim.trace import ExecutionInterval, Trace
+from repro.sim.validate import ValidationReport, Violation, validate_trace
+
+__all__ = [
+    "DispatchPolicy",
+    "ExecutionInterval",
+    "PairwisePolicy",
+    "PerStagePolicy",
+    "PipelineSimulator",
+    "SimulationResult",
+    "Trace",
+    "TotalOrderPolicy",
+    "ValidationReport",
+    "Violation",
+    "make_policy",
+    "simulate",
+    "validate_trace",
+]

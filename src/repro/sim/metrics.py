@@ -1,0 +1,137 @@
+"""Simulation outcome and derived metrics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.system import JobSet
+from repro.sim.trace import Trace
+
+#: Tolerance for floating-point comparisons on simulated times.
+TIME_TOLERANCE = 1e-9
+
+
+@dataclass
+class SimulationResult:
+    """Everything measured during one pipeline simulation."""
+
+    jobset: JobSet
+    finish_times: np.ndarray
+    trace: Trace
+
+    @property
+    def delays(self) -> np.ndarray:
+        """End-to-end delays ``Delta_i`` (finish - arrival)."""
+        return self.finish_times - self.jobset.A
+
+    @property
+    def misses(self) -> np.ndarray:
+        """Boolean mask of deadline misses."""
+        return self.delays > self.jobset.D + TIME_TOLERANCE
+
+    @property
+    def all_met(self) -> bool:
+        return not bool(self.misses.any())
+
+    def missed_jobs(self) -> list[int]:
+        return [int(i) for i in np.flatnonzero(self.misses)]
+
+    def stage_finish_times(self) -> np.ndarray:
+        """``(n, N)`` completion time of every job at every stage."""
+        jobset = self.jobset
+        finish = np.full((jobset.num_jobs, jobset.num_stages), np.nan)
+        for interval in self.trace.intervals:
+            if interval.completed:
+                finish[interval.job, interval.stage] = interval.end
+        return finish
+
+    def lateness(self) -> np.ndarray:
+        """``Delta_i - D_i`` per job (negative = early)."""
+        return self.delays - self.jobset.D
+
+    def max_lateness(self) -> float:
+        return float(self.lateness().max())
+
+    def resource_utilisation(self, horizon: float | None = None
+                             ) -> dict[tuple[int, int], float]:
+        """Busy fraction per (stage, resource) over ``horizon``
+        (defaults to the makespan)."""
+        if horizon is None:
+            horizon = float(self.finish_times.max())
+        if horizon <= 0:
+            return {}
+        usage: dict[tuple[int, int], float] = {}
+        for interval in self.trace.intervals:
+            key = (interval.stage, interval.resource)
+            usage[key] = usage.get(key, 0.0) + interval.duration
+        return {key: value / horizon for key, value in usage.items()}
+
+    def waiting_times(self) -> np.ndarray:
+        """Per-job queueing delay: ``Delta_i - sum_j P_{i,j}``.
+
+        Zero means the job flowed through the pipeline without ever
+        waiting for a resource.
+        """
+        return self.delays - self.jobset.P.sum(axis=1)
+
+    @property
+    def makespan(self) -> float:
+        """Completion time of the last job."""
+        return float(self.finish_times.max())
+
+    def summary(self, label=None) -> str:
+        """Multi-line human-readable digest of the simulation."""
+        label = label or self.jobset.label
+        jobset = self.jobset
+        missed = self.missed_jobs()
+        lines = [
+            f"{jobset.num_jobs} jobs, {jobset.num_stages} stages, "
+            f"makespan {self.makespan:g}",
+            f"deadline misses: {len(missed)}"
+            + (f" ({', '.join(label(i) for i in missed)})"
+               if missed else ""),
+            f"delay: mean {float(self.delays.mean()):.2f}, "
+            f"max {float(self.delays.max()):.2f} "
+            f"({label(int(self.delays.argmax()))})",
+            f"waiting: mean {float(self.waiting_times().mean()):.2f}, "
+            f"max {float(self.waiting_times().max()):.2f}",
+            f"preemptions: {self.trace.preemption_count()}",
+        ]
+        utilisation = self.resource_utilisation()
+        if utilisation:
+            busiest = sorted(utilisation.items(), key=lambda kv: -kv[1])
+            top = ", ".join(
+                f"S{stage}/R{resource} {fraction:.0%}"
+                for (stage, resource), fraction in busiest[:3])
+            lines.append(f"busiest resources: {top}")
+        return "\n".join(lines)
+
+    def validate(self) -> None:
+        """Sanity-check the trace against the model.
+
+        Verifies that per-resource intervals never overlap and that
+        every job executed exactly ``P_{i,j}`` units at each stage.
+        Raises ``AssertionError`` on violation (used by the test suite
+        and the examples; cheap enough to run after every simulation).
+        """
+        jobset = self.jobset
+        by_resource: dict[tuple[int, int], list] = {}
+        executed = np.zeros((jobset.num_jobs, jobset.num_stages))
+        for interval in self.trace.intervals:
+            by_resource.setdefault(
+                (interval.stage, interval.resource), []).append(interval)
+            executed[interval.job, interval.stage] += interval.duration
+            assert interval.end >= interval.start - TIME_TOLERANCE, \
+                f"negative interval {interval}"
+        for (stage, resource), intervals in by_resource.items():
+            intervals.sort(key=lambda iv: iv.start)
+            for earlier, later in zip(intervals, intervals[1:]):
+                assert earlier.end <= later.start + TIME_TOLERANCE, (
+                    f"overlap on stage {stage} resource {resource}: "
+                    f"{earlier} vs {later}")
+        expected = jobset.P
+        assert np.allclose(executed, expected, atol=1e-6), (
+            "executed time differs from processing requirements:\n"
+            f"{executed}\nvs\n{expected}")

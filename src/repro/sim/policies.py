@@ -1,0 +1,121 @@
+"""Dispatch policies for the pipeline simulator.
+
+A policy answers two questions at a resource: which ready job to start
+next, and whether a newly arrived job should preempt the running one.
+Three concrete policies cover the paper's needs:
+
+* :class:`TotalOrderPolicy` -- one global priority ordering (P1);
+* :class:`PerStagePolicy` -- independent priorities per stage, used by
+  the DCMP baseline (virtual-deadline-monotonic at each stage);
+* :class:`PairwisePolicy` -- a pairwise assignment (P2).  Pairwise
+  orientations may be cyclic (Figure 2(b)), in which case no ready job
+  may beat all others; ties are resolved by Copeland score (number of
+  pairwise wins among the ready jobs), then earliest deadline, then
+  lowest index.  The paper defines no runtime dispatcher for cyclic
+  assignments; this deterministic rule is our documented choice (see
+  DESIGN.md) and its effect on the analytical bound is measured in
+  ablation A3.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, Sequence
+
+import numpy as np
+
+from repro.core.priorities import PairwiseAssignment, PriorityOrdering
+
+
+class DispatchPolicy(Protocol):
+    """Scheduling decisions at a single resource."""
+
+    def select(self, ready: Sequence[int], stage: int) -> int:
+        """Pick the next job to run among ``ready`` (non-empty)."""
+
+    def beats(self, contender: int, incumbent: int, stage: int) -> bool:
+        """True iff ``contender`` should preempt ``incumbent``."""
+
+
+class TotalOrderPolicy:
+    """Dispatch by a single global priority ordering."""
+
+    def __init__(self, ordering: "PriorityOrdering | Sequence[int]") -> None:
+        if isinstance(ordering, PriorityOrdering):
+            self._rank = ordering.priority
+        else:
+            self._rank = np.asarray(ordering, dtype=np.int64)
+
+    def select(self, ready: Sequence[int], stage: int) -> int:
+        return min(ready, key=lambda job: (self._rank[job], job))
+
+    def beats(self, contender: int, incumbent: int, stage: int) -> bool:
+        return bool(self._rank[contender] < self._rank[incumbent])
+
+
+class PerStagePolicy:
+    """Independent priority ranks per stage (DCMP baseline).
+
+    ``rank[i, j]`` is the priority value of job ``i`` at stage ``j``
+    (lower = higher priority).
+    """
+
+    def __init__(self, rank: np.ndarray) -> None:
+        rank = np.asarray(rank)
+        if rank.ndim != 2:
+            raise ValueError(f"rank must be 2-D (jobs x stages), "
+                             f"got shape {rank.shape}")
+        self._rank = rank
+
+    def select(self, ready: Sequence[int], stage: int) -> int:
+        return min(ready, key=lambda job: (self._rank[job, stage], job))
+
+    def beats(self, contender: int, incumbent: int, stage: int) -> bool:
+        return bool(self._rank[contender, stage]
+                    < self._rank[incumbent, stage])
+
+
+class PairwisePolicy:
+    """Dispatch by a pairwise priority assignment.
+
+    ``select`` returns the job beating every other ready job when one
+    exists (always the case for acyclic assignments); otherwise falls
+    back to Copeland score / earliest deadline / lowest index.
+    ``beats`` uses the pair orientation directly (False for
+    non-conflicting pairs, which never meet at a resource anyway).
+    """
+
+    def __init__(self, assignment: PairwiseAssignment) -> None:
+        self._x = assignment.matrix()
+        self._deadline = assignment.jobset.A + assignment.jobset.D
+
+    def select(self, ready: Sequence[int], stage: int) -> int:
+        ready = list(ready)
+        if len(ready) == 1:
+            return ready[0]
+        index = np.asarray(ready, dtype=np.int64)
+        sub = self._x[np.ix_(index, index)]
+        wins = sub.sum(axis=1)
+        order = sorted(
+            range(len(ready)),
+            key=lambda pos: (-int(wins[pos]),
+                             float(self._deadline[ready[pos]]),
+                             ready[pos]))
+        return ready[order[0]]
+
+    def beats(self, contender: int, incumbent: int, stage: int) -> bool:
+        return bool(self._x[contender, incumbent])
+
+
+def make_policy(priorities) -> DispatchPolicy:
+    """Coerce orderings, assignments or rank arrays into a policy."""
+    if isinstance(priorities, PriorityOrdering):
+        return TotalOrderPolicy(priorities)
+    if isinstance(priorities, PairwiseAssignment):
+        return PairwisePolicy(priorities)
+    array = np.asarray(priorities)
+    if array.ndim == 1:
+        return TotalOrderPolicy(array)
+    if array.ndim == 2:
+        return PerStagePolicy(array)
+    raise TypeError(
+        f"cannot build a dispatch policy from {type(priorities)!r}")

@@ -1,0 +1,103 @@
+"""Execution traces produced by the pipeline simulator."""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from dataclasses import asdict, dataclass, field
+
+
+@dataclass(frozen=True)
+class ExecutionInterval:
+    """One contiguous slice of execution on a resource.
+
+    ``completed`` is False for slices that ended in preemption.
+    """
+
+    job: int
+    stage: int
+    resource: int
+    start: float
+    end: float
+    completed: bool
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class Trace:
+    """Chronological record of everything that executed."""
+
+    intervals: list[ExecutionInterval] = field(default_factory=list)
+
+    def add(self, interval: ExecutionInterval) -> None:
+        self.intervals.append(interval)
+
+    def for_job(self, job: int) -> list[ExecutionInterval]:
+        return [iv for iv in self.intervals if iv.job == job]
+
+    def for_resource(self, stage: int,
+                     resource: int) -> list[ExecutionInterval]:
+        return sorted(
+            (iv for iv in self.intervals
+             if iv.stage == stage and iv.resource == resource),
+            key=lambda iv: iv.start)
+
+    def busy_time(self, stage: int, resource: int) -> float:
+        return sum(iv.duration for iv in self.for_resource(stage, resource))
+
+    def preemption_count(self, job: int | None = None) -> int:
+        """Number of preempted slices (of one job, or overall)."""
+        intervals = (self.intervals if job is None
+                     else self.for_job(job))
+        return sum(1 for iv in intervals if not iv.completed)
+
+    def to_records(self) -> list[dict]:
+        """Intervals as plain dictionaries (JSON-friendly)."""
+        return [asdict(interval) for interval in self.intervals]
+
+    def to_json(self) -> str:
+        """Serialise the trace to a JSON array."""
+        return json.dumps(self.to_records())
+
+    def to_csv(self) -> str:
+        """Serialise the trace to CSV (header + one row per slice)."""
+        buffer = io.StringIO()
+        fields = ["job", "stage", "resource", "start", "end",
+                  "completed"]
+        writer = csv.DictWriter(buffer, fieldnames=fields)
+        writer.writeheader()
+        for record in self.to_records():
+            writer.writerow(record)
+        return buffer.getvalue()
+
+    @classmethod
+    def from_records(cls, records: list[dict]) -> "Trace":
+        """Rebuild a trace from :meth:`to_records` output."""
+        return cls(intervals=[ExecutionInterval(**record)
+                              for record in records])
+
+    def gantt(self, *, stage: int, resource: int,
+              label=str, width: int = 72) -> str:
+        """Plain-text Gantt strip of one resource (for debugging and the
+        examples)."""
+        intervals = self.for_resource(stage, resource)
+        if not intervals:
+            return "(idle)"
+        horizon = max(iv.end for iv in intervals)
+        if horizon <= 0:
+            return "(idle)"
+        scale = width / horizon
+        lines = []
+        for iv in intervals:
+            offset = int(iv.start * scale)
+            length = max(1, int(iv.duration * scale))
+            marker = "#" if iv.completed else "~"
+            lines.append(
+                f"{' ' * offset}{marker * length}  "
+                f"{label(iv.job)} [{iv.start:.1f}, {iv.end:.1f})"
+                f"{'' if iv.completed else ' (preempted)'}")
+        return "\n".join(lines)

@@ -1,0 +1,21 @@
+"""MILP substrate: problem container and complete solver backends.
+
+The paper solves its OPT ILP with Gurobi; offline this package offers
+two interchangeable complete backends -- HiGHS through
+``scipy.optimize.milp`` and a from-scratch 0/1 branch-and-bound -- plus
+the building blocks to assemble models programmatically.
+"""
+
+from repro.solver.branch_bound import solve_branch_bound
+from repro.solver.highs import solve_highs
+from repro.solver.milp import MILPProblem, ModelBuilder
+from repro.solver.result import SolveResult, SolveStatus
+
+__all__ = [
+    "MILPProblem",
+    "ModelBuilder",
+    "SolveResult",
+    "SolveStatus",
+    "solve_branch_bound",
+    "solve_highs",
+]

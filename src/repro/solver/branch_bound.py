@@ -1,0 +1,156 @@
+"""From-scratch 0/1 branch-and-bound MILP solver.
+
+A complete solver for MILPs whose integer variables are binary, built on
+LP relaxations solved with ``scipy.optimize.linprog`` (HiGHS simplex).
+It exists so the reproduction does not *depend* on scipy's MILP wrapper
+being the only complete backend: the OPT experiments can cross-check
+two independent search strategies (plus the CP search in
+:mod:`repro.pairwise.search`).
+
+Search strategy
+---------------
+* depth-first (good for feasibility problems: dives to integral leaves),
+* branch on the most fractional binary variable,
+* explore the branch suggested by the LP value first,
+* prune on LP infeasibility and on objective bound (for optimisation),
+* stop at the first integral solution when ``first_feasible`` is set
+  (the OPT model is a pure feasibility ILP).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.optimize import linprog
+
+from repro.core.exceptions import SolverError
+from repro.solver.milp import MILPProblem
+from repro.solver.result import SolveResult, SolveStatus
+
+#: Tolerance below which an LP value counts as integral.
+INTEGRALITY_TOL = 1e-6
+
+
+@dataclass
+class _Node:
+    """One branch-and-bound node: variable fixings."""
+
+    fixed_zero: frozenset[int]
+    fixed_one: frozenset[int]
+    depth: int
+
+
+def solve_branch_bound(problem: MILPProblem, *,
+                       node_limit: int = 200_000,
+                       first_feasible: bool | None = None) -> SolveResult:
+    """Solve a 0/1 MILP by branch-and-bound over LP relaxations.
+
+    Parameters
+    ----------
+    problem:
+        The MILP; every integer variable must have bounds within
+        ``[0, 1]``.
+    node_limit:
+        Maximum number of LP relaxations to solve.
+    first_feasible:
+        Stop at the first integral solution.  Defaults to True when the
+        objective is identically zero (pure feasibility problem).
+    """
+    integer_vars = np.flatnonzero(problem.integrality > 0)
+    for idx in integer_vars:
+        if problem.lower[idx] < -INTEGRALITY_TOL or \
+                problem.upper[idx] > 1 + INTEGRALITY_TOL:
+            raise SolverError(
+                f"branch-and-bound supports binary integers only; "
+                f"variable {idx} has bounds "
+                f"[{problem.lower[idx]}, {problem.upper[idx]}]")
+    if first_feasible is None:
+        first_feasible = not problem.objective.any()
+
+    a_ub = problem.a_ub if problem.a_ub.shape[0] else None
+    b_ub = problem.b_ub if problem.a_ub.shape[0] else None
+    a_eq = problem.a_eq if problem.a_eq.shape[0] else None
+    b_eq = problem.b_eq if problem.a_eq.shape[0] else None
+
+    def solve_lp(node: _Node):
+        bounds = list(zip(problem.lower.tolist(), problem.upper.tolist()))
+        for idx in node.fixed_zero:
+            bounds[idx] = (0.0, 0.0)
+        for idx in node.fixed_one:
+            bounds[idx] = (1.0, 1.0)
+        return linprog(problem.objective, A_ub=a_ub, b_ub=b_ub,
+                       A_eq=a_eq, b_eq=b_eq, bounds=bounds,
+                       method="highs")
+
+    best_x: np.ndarray | None = None
+    best_objective = np.inf
+    nodes_explored = 0
+    lp_failures = 0
+    stack = [_Node(frozenset(), frozenset(), depth=0)]
+
+    while stack:
+        if nodes_explored >= node_limit:
+            status = (SolveStatus.OPTIMAL if best_x is not None
+                      else SolveStatus.NODE_LIMIT)
+            return _result(status, best_x, best_objective, nodes_explored,
+                           lp_failures, exhausted=False)
+        node = stack.pop()
+        nodes_explored += 1
+        lp = solve_lp(node)
+        if lp.status == 2:      # infeasible
+            continue
+        if lp.status != 0:
+            lp_failures += 1
+            continue
+        if lp.fun >= best_objective - 1e-9:
+            continue            # bound prune
+        x = np.asarray(lp.x, dtype=float)
+        fractional = [
+            (abs(x[idx] - round(x[idx])), int(idx)) for idx in integer_vars
+            if abs(x[idx] - round(x[idx])) > INTEGRALITY_TOL
+        ]
+        if not fractional:
+            rounded = x.copy()
+            rounded[integer_vars] = np.round(rounded[integer_vars])
+            if lp.fun < best_objective:
+                best_objective = float(lp.fun)
+                best_x = rounded
+            if first_feasible:
+                return _result(SolveStatus.OPTIMAL, best_x, best_objective,
+                               nodes_explored, lp_failures, exhausted=False)
+            continue
+        _, branch_var = max(fractional)
+        zero_child = _Node(node.fixed_zero | {branch_var}, node.fixed_one,
+                           node.depth + 1)
+        one_child = _Node(node.fixed_zero, node.fixed_one | {branch_var},
+                          node.depth + 1)
+        if x[branch_var] >= 0.5:
+            preferred, other = one_child, zero_child
+        else:
+            preferred, other = zero_child, one_child
+        # Depth-first: push the preferred child last so it pops first.
+        stack.append(other)
+        stack.append(preferred)
+
+    if best_x is not None:
+        return _result(SolveStatus.OPTIMAL, best_x, best_objective,
+                       nodes_explored, lp_failures, exhausted=True)
+    return _result(SolveStatus.INFEASIBLE, None, None, nodes_explored,
+                   lp_failures, exhausted=True)
+
+
+def _result(status: SolveStatus, x: np.ndarray | None,
+            objective: float | None, nodes: int, lp_failures: int,
+            *, exhausted: bool) -> SolveResult:
+    return SolveResult(
+        status=status,
+        x=x,
+        objective=None if objective in (None, np.inf) else float(objective),
+        stats={
+            "backend": "branch_bound",
+            "nodes": nodes,
+            "lp_failures": lp_failures,
+            "exhausted": exhausted,
+        },
+    )

@@ -1,0 +1,69 @@
+"""HiGHS backend via :func:`scipy.optimize.milp`.
+
+The paper used Gurobi for the OPT ILP; HiGHS is the drop-in complete
+solver available offline.  Any complete MILP solver yields the same
+accept/reject answer on a feasibility problem, which is all the
+experiments need.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.optimize import Bounds, LinearConstraint, milp
+
+from repro.core.exceptions import SolverError
+from repro.solver.milp import MILPProblem
+from repro.solver.result import SolveResult, SolveStatus
+
+_STATUS_MAP = {
+    0: SolveStatus.OPTIMAL,
+    1: SolveStatus.NODE_LIMIT,   # iteration / time limit
+    2: SolveStatus.INFEASIBLE,
+    3: SolveStatus.UNBOUNDED,
+    4: SolveStatus.ERROR,
+}
+
+
+def solve_highs(problem: MILPProblem, *,
+                time_limit: float | None = None,
+                node_limit: int | None = None,
+                mip_rel_gap: float | None = None) -> SolveResult:
+    """Solve a :class:`MILPProblem` with HiGHS.
+
+    Parameters mirror ``scipy.optimize.milp`` options; ``None`` leaves
+    the backend default.
+    """
+    constraints = []
+    if problem.a_ub.shape[0]:
+        constraints.append(LinearConstraint(
+            problem.a_ub, -np.inf, problem.b_ub))
+    if problem.a_eq.shape[0]:
+        constraints.append(LinearConstraint(
+            problem.a_eq, problem.b_eq, problem.b_eq))
+    options: dict = {}
+    if time_limit is not None:
+        options["time_limit"] = float(time_limit)
+    if node_limit is not None:
+        options["node_limit"] = int(node_limit)
+    if mip_rel_gap is not None:
+        options["mip_rel_gap"] = float(mip_rel_gap)
+    try:
+        result = milp(
+            c=problem.objective,
+            constraints=constraints,
+            integrality=problem.integrality,
+            bounds=Bounds(problem.lower, problem.upper),
+            options=options or None,
+        )
+    except Exception as exc:  # pragma: no cover - scipy internal errors
+        raise SolverError(f"HiGHS failed: {exc}") from exc
+
+    status = _STATUS_MAP.get(result.status, SolveStatus.ERROR)
+    x = None
+    objective = None
+    if result.x is not None and status is SolveStatus.OPTIMAL:
+        x = np.asarray(result.x, dtype=float)
+        objective = float(result.fun)
+    stats = {"backend": "highs", "message": result.message,
+             "raw_status": int(result.status)}
+    return SolveResult(status=status, x=x, objective=objective, stats=stats)

@@ -1,0 +1,183 @@
+"""A small mixed-integer linear programming problem container.
+
+The paper solves its pairwise-priority ILP (OPT, Eqs. 7-9) with Gurobi;
+offline we provide interchangeable backends (HiGHS via scipy, and a
+from-scratch branch-and-bound in :mod:`repro.solver.branch_bound`).
+This module defines the backend-agnostic problem representation and a
+convenient incremental :class:`ModelBuilder`.
+
+Conventions: minimise ``c @ x`` subject to ``A_ub @ x <= b_ub``,
+``A_eq @ x == b_eq`` and variable bounds; integer variables are flagged
+through the ``integrality`` vector (0 = continuous, 1 = integer).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy import sparse
+
+
+@dataclass
+class MILPProblem:
+    """Immutable MILP in standard minimisation form."""
+
+    objective: np.ndarray
+    integrality: np.ndarray
+    lower: np.ndarray
+    upper: np.ndarray
+    a_ub: sparse.csr_matrix
+    b_ub: np.ndarray
+    a_eq: sparse.csr_matrix
+    b_eq: np.ndarray
+    names: list[str] = field(default_factory=list)
+
+    @property
+    def num_vars(self) -> int:
+        return int(self.objective.shape[0])
+
+    @property
+    def num_constraints(self) -> int:
+        return int(self.a_ub.shape[0] + self.a_eq.shape[0])
+
+    @property
+    def num_integers(self) -> int:
+        return int((self.integrality > 0).sum())
+
+    def check_solution(self, x: np.ndarray, *, tol: float = 1e-6) -> bool:
+        """Verify feasibility of ``x`` (bounds, constraints,
+        integrality)."""
+        x = np.asarray(x, dtype=float)
+        if x.shape != (self.num_vars,):
+            return False
+        if (x < self.lower - tol).any() or (x > self.upper + tol).any():
+            return False
+        integer_vars = self.integrality > 0
+        if integer_vars.any():
+            frac = np.abs(x[integer_vars] - np.round(x[integer_vars]))
+            if (frac > tol).any():
+                return False
+        if self.a_ub.shape[0] and \
+                (self.a_ub @ x > self.b_ub + tol).any():
+            return False
+        if self.a_eq.shape[0] and \
+                (np.abs(self.a_eq @ x - self.b_eq) > tol).any():
+            return False
+        return True
+
+
+class ModelBuilder:
+    """Incrementally assemble a :class:`MILPProblem`.
+
+    >>> builder = ModelBuilder()
+    >>> x = builder.add_binary("x")
+    >>> y = builder.add_binary("y")
+    >>> builder.add_leq({x: 1.0, y: 1.0}, 1.0)    # x + y <= 1
+    >>> problem = builder.build()
+    >>> problem.num_vars
+    2
+    """
+
+    def __init__(self) -> None:
+        self._names: list[str] = []
+        self._integrality: list[int] = []
+        self._lower: list[float] = []
+        self._upper: list[float] = []
+        self._objective: list[float] = []
+        self._ub_rows: list[dict[int, float]] = []
+        self._ub_rhs: list[float] = []
+        self._eq_rows: list[dict[int, float]] = []
+        self._eq_rhs: list[float] = []
+
+    # -- variables ---------------------------------------------------
+
+    def add_variable(self, name: str, *, lower: float = 0.0,
+                     upper: float = np.inf, integer: bool = False,
+                     objective: float = 0.0) -> int:
+        """Add a variable and return its column index."""
+        if lower > upper:
+            raise ValueError(f"variable {name}: lower {lower} > upper {upper}")
+        self._names.append(name)
+        self._integrality.append(1 if integer else 0)
+        self._lower.append(float(lower))
+        self._upper.append(float(upper))
+        self._objective.append(float(objective))
+        return len(self._names) - 1
+
+    def add_binary(self, name: str, *, objective: float = 0.0) -> int:
+        """Add a 0/1 variable."""
+        return self.add_variable(name, lower=0.0, upper=1.0, integer=True,
+                                 objective=objective)
+
+    def add_continuous(self, name: str, *, lower: float = 0.0,
+                       upper: float = np.inf,
+                       objective: float = 0.0) -> int:
+        """Add a continuous variable with the given bounds."""
+        return self.add_variable(name, lower=lower, upper=upper,
+                                 integer=False, objective=objective)
+
+    # -- constraints ---------------------------------------------------
+
+    def add_leq(self, coefficients: dict[int, float], rhs: float) -> int:
+        """Add ``sum coeff * var <= rhs``; returns the row index."""
+        self._check_columns(coefficients)
+        self._ub_rows.append(dict(coefficients))
+        self._ub_rhs.append(float(rhs))
+        return len(self._ub_rows) - 1
+
+    def add_geq(self, coefficients: dict[int, float], rhs: float) -> int:
+        """Add ``sum coeff * var >= rhs`` (stored negated)."""
+        negated = {idx: -value for idx, value in coefficients.items()}
+        return self.add_leq(negated, -float(rhs))
+
+    def add_eq(self, coefficients: dict[int, float], rhs: float) -> int:
+        """Add ``sum coeff * var == rhs``; returns the row index."""
+        self._check_columns(coefficients)
+        self._eq_rows.append(dict(coefficients))
+        self._eq_rhs.append(float(rhs))
+        return len(self._eq_rows) - 1
+
+    def _check_columns(self, coefficients: dict[int, float]) -> None:
+        num_vars = len(self._names)
+        for idx in coefficients:
+            if not 0 <= idx < num_vars:
+                raise IndexError(f"unknown variable index {idx}")
+
+    # -- assembly ---------------------------------------------------
+
+    @property
+    def num_vars(self) -> int:
+        return len(self._names)
+
+    def set_objective(self, coefficients: dict[int, float]) -> None:
+        """Overwrite objective coefficients (minimisation)."""
+        self._check_columns(coefficients)
+        for idx, value in coefficients.items():
+            self._objective[idx] = float(value)
+
+    def build(self) -> MILPProblem:
+        """Assemble the accumulated rows into an immutable problem."""
+        num_vars = len(self._names)
+
+        def to_sparse(rows: list[dict[int, float]]) -> sparse.csr_matrix:
+            data, row_idx, col_idx = [], [], []
+            for r, row in enumerate(rows):
+                for c, value in row.items():
+                    row_idx.append(r)
+                    col_idx.append(c)
+                    data.append(value)
+            return sparse.csr_matrix(
+                (data, (row_idx, col_idx)), shape=(len(rows), num_vars))
+
+        return MILPProblem(
+            objective=np.asarray(self._objective, dtype=float),
+            integrality=np.asarray(self._integrality, dtype=np.int64),
+            lower=np.asarray(self._lower, dtype=float),
+            upper=np.asarray(self._upper, dtype=float),
+            a_ub=to_sparse(self._ub_rows),
+            b_ub=np.asarray(self._ub_rhs, dtype=float),
+            a_eq=to_sparse(self._eq_rows),
+            b_eq=np.asarray(self._eq_rhs, dtype=float),
+            names=list(self._names),
+        )

@@ -1,0 +1,51 @@
+"""Solver result container shared by all MILP backends."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+import numpy as np
+
+
+class SolveStatus(str, Enum):
+    """Normalised solver outcome."""
+
+    OPTIMAL = "optimal"
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+    NODE_LIMIT = "node_limit"
+    ERROR = "error"
+
+    @property
+    def has_solution(self) -> bool:
+        """Whether a usable solution vector accompanies this status."""
+        return self is SolveStatus.OPTIMAL
+
+
+@dataclass
+class SolveResult:
+    """Outcome of a MILP solve.
+
+    Attributes
+    ----------
+    status:
+        Normalised status; ``OPTIMAL`` means a provably optimal (for a
+        feasibility problem: any feasible) integral solution was found.
+    x:
+        Solution vector (None unless ``status.has_solution``).
+    objective:
+        Objective value at ``x``.
+    stats:
+        Backend statistics: LP iterations, branch-and-bound nodes, ...
+    """
+
+    status: SolveStatus
+    x: np.ndarray | None = None
+    objective: float | None = None
+    stats: dict = field(default_factory=dict)
+
+    @property
+    def feasible(self) -> bool:
+        """Shorthand for ``status.has_solution``."""
+        return self.status.has_solution

@@ -1,0 +1,35 @@
+"""Plain-text visualisation of experiment results and schedules.
+
+The paper's Figure 4 is a set of stacked histograms; this package
+renders the same data as terminal-friendly ASCII charts so the
+reproduction is inspectable without matplotlib (which is not available
+offline).  Everything returns plain strings; nothing writes to stdout.
+
+* :mod:`repro.viz.bars` -- horizontal bar charts, the paper's stacked
+  acceptance-ratio histograms (Fig. 4a-c) and grouped bars (Fig. 4d).
+* :mod:`repro.viz.gantt` -- per-resource Gantt charts of simulator
+  traces, with preemption markers.
+* :mod:`repro.viz.breakdown` -- waterfall view of a
+  :class:`~repro.core.explain.DelayBreakdown`.
+* :mod:`repro.viz.sparkline` -- one-line trend summaries for sweeps.
+"""
+
+from repro.viz.bars import (
+    bar_chart,
+    grouped_bars,
+    stacked_bars,
+)
+from repro.viz.breakdown import breakdown_waterfall
+from repro.viz.gantt import gantt, gantt_per_resource
+from repro.viz.sparkline import sparkline, sparkline_table
+
+__all__ = [
+    "bar_chart",
+    "breakdown_waterfall",
+    "gantt",
+    "gantt_per_resource",
+    "grouped_bars",
+    "sparkline",
+    "sparkline_table",
+    "stacked_bars",
+]

@@ -1,0 +1,150 @@
+"""ASCII bar charts: plain, stacked, and grouped.
+
+The stacked variant mirrors the paper's Figure 4(a-c) histograms: the
+base segment is the acceptance ratio of DM, and each further segment is
+the *increment* another approach adds on top of the previous one.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+#: Fill characters used for successive stacked/grouped series.
+SERIES_GLYPHS = "#=+*o%@&"
+
+_DEF_WIDTH = 50
+
+
+def _scale(value: float, maximum: float, width: int) -> int:
+    """Number of character cells representing ``value``.
+
+    Positive values always occupy at least one cell so that tiny but
+    non-zero segments stay visible.
+    """
+    if maximum <= 0:
+        return 0
+    cells = round(width * value / maximum)
+    if value > 0 and cells == 0:
+        return 1
+    return int(cells)
+
+
+def _check_width(width: int) -> None:
+    if width < 10:
+        raise ValueError(f"width must be >= 10 characters, got {width}")
+
+
+def bar_chart(values: Mapping[str, float], *, width: int = _DEF_WIDTH,
+              maximum: float | None = None, unit: str = "") -> str:
+    """One horizontal bar per (label, value) entry.
+
+    Parameters
+    ----------
+    values:
+        Ordered mapping of label to non-negative value.
+    width:
+        Width of the longest bar in characters.
+    maximum:
+        Value that maps to the full ``width``; defaults to the largest
+        entry.  Use a fixed maximum (e.g. ``100`` for percentages) to
+        compare charts across calls.
+    unit:
+        Suffix appended to the printed value (e.g. ``"%"``).
+    """
+    _check_width(width)
+    if not values:
+        return "(no data)"
+    for label, value in values.items():
+        if value < 0:
+            raise ValueError(f"bar chart values must be >= 0; "
+                             f"{label!r} is {value}")
+    top = maximum if maximum is not None else max(values.values())
+    label_width = max(len(str(label)) for label in values)
+    lines = []
+    for label, value in values.items():
+        bar = "#" * _scale(value, top, width)
+        lines.append(f"{str(label):<{label_width}} |{bar:<{width}}| "
+                     f"{value:.1f}{unit}")
+    return "\n".join(lines)
+
+
+def stacked_bars(rows: Sequence[tuple[str, Mapping[str, float]]], *,
+                 width: int = _DEF_WIDTH, maximum: float = 100.0,
+                 unit: str = "%") -> str:
+    """The paper's stacked-histogram view (Fig. 4a-c).
+
+    ``rows`` is a sequence of ``(x_label, segments)`` where ``segments``
+    maps series name to the *increment* that series stacks on top of
+    the previous one.  All rows must use the same series names in the
+    same order; the legend is emitted once at the top.
+
+    Example::
+
+        stacked_bars([
+            ("0.05", {"DM": 97.0, "+DMR": 1.0, "+OPDCA": 1.0, "+OPT": 0.5}),
+            ("0.10", {"DM": 85.0, "+DMR": 5.0, "+OPDCA": 4.0, "+OPT": 2.0}),
+        ])
+    """
+    _check_width(width)
+    if not rows:
+        return "(no data)"
+    series = list(rows[0][1].keys())
+    for x_label, segments in rows:
+        if list(segments.keys()) != series:
+            raise ValueError(
+                f"row {x_label!r} has series {list(segments.keys())}, "
+                f"expected {series}")
+        for name, value in segments.items():
+            if value < -1e-9:
+                raise ValueError(f"stacked increment {name!r} at "
+                                 f"{x_label!r} is negative ({value})")
+    if len(series) > len(SERIES_GLYPHS):
+        raise ValueError(f"at most {len(SERIES_GLYPHS)} series supported, "
+                         f"got {len(series)}")
+    glyph_of = dict(zip(series, SERIES_GLYPHS))
+    legend = "  ".join(f"{glyph_of[name]} {name}" for name in series)
+    label_width = max(len(str(x)) for x, _ in rows)
+    lines = [legend]
+    for x_label, segments in rows:
+        bar = ""
+        total = 0.0
+        for name in series:
+            value = max(0.0, segments[name])
+            total += value
+            # Scale cumulatively so rounding never exceeds the width.
+            target = _scale(total, maximum, width)
+            bar += glyph_of[name] * max(0, target - len(bar))
+        lines.append(f"{str(x_label):<{label_width}} |{bar:<{width}}| "
+                     f"{total:.1f}{unit}")
+    return "\n".join(lines)
+
+
+def grouped_bars(groups: Sequence[tuple[str, Mapping[str, float]]], *,
+                 width: int = _DEF_WIDTH, maximum: float | None = None,
+                 unit: str = "") -> str:
+    """Grouped horizontal bars (the paper's Fig. 4d layout).
+
+    ``groups`` is a sequence of ``(group_label, values)``; each value
+    becomes its own bar, and groups are separated by a blank line.
+    """
+    _check_width(width)
+    if not groups:
+        return "(no data)"
+    all_values = [value for _, values in groups
+                  for value in values.values()]
+    if not all_values:
+        return "(no data)"
+    if min(all_values) < 0:
+        raise ValueError("grouped bar values must be >= 0")
+    top = maximum if maximum is not None else max(all_values)
+    label_width = max(len(str(name)) for _, values in groups
+                      for name in values)
+    blocks = []
+    for group_label, values in groups:
+        lines = [f"{group_label}:"]
+        for name, value in values.items():
+            bar = "#" * _scale(value, top, width)
+            lines.append(f"  {str(name):<{label_width}} |{bar:<{width}}| "
+                         f"{value:.2f}{unit}")
+        blocks.append("\n".join(lines))
+    return "\n\n".join(blocks)

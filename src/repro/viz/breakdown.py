@@ -1,0 +1,71 @@
+"""Waterfall rendering of a delay-bound breakdown.
+
+Turns a :class:`~repro.core.explain.DelayBreakdown` into a cumulative
+bar chart: each term extends the bar further right, the deadline is
+marked with ``|D``, and the offending terms past the deadline are
+visually obvious.  This is the "why does J17 miss" picture.
+"""
+
+from __future__ import annotations
+
+from repro.core.explain import DelayBreakdown
+
+_DEF_WIDTH = 60
+
+_KIND_GLYPH = {"self": "#", "job": "=", "stage": "+", "blocking": "o"}
+
+
+def breakdown_waterfall(breakdown: DelayBreakdown, *,
+                        width: int = _DEF_WIDTH,
+                        label=None) -> str:
+    """Render a breakdown as a cumulative waterfall chart.
+
+    Parameters
+    ----------
+    breakdown:
+        Output of :func:`repro.core.explain.explain_delay`.
+    width:
+        Characters allocated to the largest of (total bound, deadline).
+    label:
+        Optional ``job_index -> str`` naming function.
+    """
+    if width < 20:
+        raise ValueError(f"width must be >= 20, got {width}")
+    label = label or (lambda j: f"J{j}")
+    scale_max = max(breakdown.total, breakdown.deadline)
+    if scale_max <= 0:
+        return f"{label(breakdown.job)}: zero delay bound"
+
+    def cells(value: float) -> int:
+        return int(round(width * value / scale_max))
+
+    deadline_cell = min(width, cells(breakdown.deadline))
+    lines = [
+        f"{label(breakdown.job)} under {breakdown.equation}: bound "
+        f"{breakdown.total:.2f}, deadline {breakdown.deadline:.2f} "
+        f"(slack {breakdown.slack:+.2f})",
+    ]
+    cumulative = 0.0
+    for term in breakdown.terms:
+        start_cell = cells(cumulative)
+        cumulative += term.value
+        end_cell = max(start_cell + 1, cells(cumulative))
+        end_cell = min(end_cell, width + 20)  # never run away
+        glyph = _KIND_GLYPH.get(term.kind, "?")
+        bar = " " * start_cell + glyph * (end_cell - start_cell)
+        if len(bar) <= deadline_cell:
+            # Mark the deadline column with a dot on rows ending short.
+            bar = bar + " " * (deadline_cell - len(bar)) + "."
+        if term.kind == "self":
+            name = f"self {label(term.job)}"
+        elif term.kind == "job":
+            name = f"job  {label(term.job)}"
+        elif term.kind == "stage":
+            name = f"S{term.stage} max ({label(term.job)})"
+        else:
+            name = f"S{term.stage} blk ({label(term.job)})"
+        lines.append(f"  {name:<18} {bar} {term.value:8.2f} "
+                     f"(cum {cumulative:.2f})")
+    indent = 2 + 18 + 1  # matches the f"  {name:<18} " row prefix
+    lines.append(" " * (indent + deadline_cell) + "^ deadline")
+    return "\n".join(lines)

@@ -1,0 +1,131 @@
+"""ASCII Gantt charts of simulator traces.
+
+One row per resource (or per job), time flowing left to right.  Each
+execution interval is drawn with the owning job's glyph; a trailing
+``>`` marks slices that ended in preemption.  The renderer snaps
+interval boundaries to character cells, so charts are approximate for
+durations below the cell size (``horizon / width``).
+"""
+
+from __future__ import annotations
+
+from repro.sim.trace import Trace
+
+_DEF_WIDTH = 72
+
+
+def _job_glyph(job: int) -> str:
+    """Stable single-character glyph for a job index.
+
+    Digits for 0-9, letters beyond, cycling if the job count exceeds
+    the alphabet.  Collisions are acceptable: the chart is a sketch and
+    the legend gives exact assignments.
+    """
+    alphabet = "0123456789abcdefghijklmnopqrstuvwxyz"
+    return alphabet[job % len(alphabet)]
+
+
+def _render_row(intervals, start: float, horizon: float,
+                width: int) -> str:
+    cells = [" "] * width
+    span = horizon - start
+    if span <= 0:
+        return "".join(cells)
+    for interval in intervals:
+        lo = int((interval.start - start) / span * width)
+        hi = int(round((interval.end - start) / span * width))
+        lo = max(0, min(width - 1, lo))
+        hi = max(lo + 1, min(width, hi))
+        glyph = _job_glyph(interval.job)
+        for cell in range(lo, hi):
+            cells[cell] = glyph
+        if not interval.completed and hi - 1 < width:
+            cells[hi - 1] = ">"
+    return "".join(cells)
+
+
+def _time_axis(start: float, horizon: float, width: int,
+               indent: int) -> str:
+    left = f"{start:g}"
+    right = f"{horizon:g}"
+    middle = f"{(start + horizon) / 2:g}"
+    pad = width - len(left) - len(right) - len(middle)
+    half = max(1, pad // 2)
+    axis = left + " " * half + middle + " " * max(1, pad - half) + right
+    return " " * indent + axis[:indent + width]
+
+
+def gantt_per_resource(trace: Trace, *, width: int = _DEF_WIDTH,
+                       start: float | None = None,
+                       horizon: float | None = None) -> str:
+    """Render a trace with one row per (stage, resource).
+
+    Rows are sorted by stage then resource.  The chart covers
+    ``[start, horizon]``; both default to the trace extent.
+    """
+    if width < 10:
+        raise ValueError(f"width must be >= 10, got {width}")
+    if not trace.intervals:
+        return "(empty trace)"
+    lo = min(iv.start for iv in trace.intervals)
+    hi = max(iv.end for iv in trace.intervals)
+    start = lo if start is None else start
+    horizon = hi if horizon is None else horizon
+    if horizon <= start:
+        raise ValueError(f"horizon ({horizon}) must exceed start ({start})")
+    rows: dict[tuple[int, int], list] = {}
+    for interval in trace.intervals:
+        rows.setdefault((interval.stage, interval.resource),
+                        []).append(interval)
+    labels = {key: f"S{key[0]}/R{key[1]}" for key in rows}
+    label_width = max(len(label) for label in labels.values())
+    lines = []
+    for key in sorted(rows):
+        body = _render_row(rows[key], start, horizon, width)
+        lines.append(f"{labels[key]:<{label_width}} |{body}|")
+    lines.append(_time_axis(start, horizon, width, label_width + 2))
+    jobs = sorted({iv.job for iv in trace.intervals})
+    legend = "  ".join(f"{_job_glyph(j)}=J{j}" for j in jobs)
+    lines.append(f"('>' = preempted)  {legend}")
+    return "\n".join(lines)
+
+
+def gantt(trace: Trace, *, width: int = _DEF_WIDTH,
+          start: float | None = None,
+          horizon: float | None = None) -> str:
+    """Render a trace with one row per job (pipeline view).
+
+    Shows each job flowing through the stages; the glyph drawn is the
+    stage digit, so ``00011122`` reads as "stage 0, then 1, then 2".
+    """
+    if width < 10:
+        raise ValueError(f"width must be >= 10, got {width}")
+    if not trace.intervals:
+        return "(empty trace)"
+    lo = min(iv.start for iv in trace.intervals)
+    hi = max(iv.end for iv in trace.intervals)
+    start = lo if start is None else start
+    horizon = hi if horizon is None else horizon
+    if horizon <= start:
+        raise ValueError(f"horizon ({horizon}) must exceed start ({start})")
+    by_job: dict[int, list] = {}
+    for interval in trace.intervals:
+        by_job.setdefault(interval.job, []).append(interval)
+    label_width = max(len(f"J{job}") for job in by_job)
+    span = horizon - start
+    lines = []
+    for job in sorted(by_job):
+        cells = [" "] * width
+        for interval in by_job[job]:
+            cell_lo = int((interval.start - start) / span * width)
+            cell_hi = int(round((interval.end - start) / span * width))
+            cell_lo = max(0, min(width - 1, cell_lo))
+            cell_hi = max(cell_lo + 1, min(width, cell_hi))
+            for cell in range(cell_lo, cell_hi):
+                cells[cell] = str(interval.stage % 10)
+            if not interval.completed and cell_hi - 1 < width:
+                cells[cell_hi - 1] = ">"
+        lines.append(f"{f'J{job}':<{label_width}} |{''.join(cells)}|")
+    lines.append(_time_axis(start, horizon, width, label_width + 2))
+    lines.append("(digits = stage index, '>' = preempted)")
+    return "\n".join(lines)

@@ -1,0 +1,68 @@
+"""One-line trend summaries for parameter sweeps.
+
+A sparkline compresses a numeric series into one character per point
+using block glyphs, so a whole sweep table can show trends in a single
+extra column (``python -m repro fig4a`` uses this in its footer).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+#: Eight block heights, lowest to highest (pure ASCII fallback included).
+BLOCKS = "▁▂▃▄▅▆▇█"
+ASCII_BLOCKS = "_.-=+*#@"
+
+
+def sparkline(values: Sequence[float], *, lo: float | None = None,
+              hi: float | None = None, ascii_only: bool = False) -> str:
+    """Render ``values`` as a fixed-range sparkline.
+
+    ``lo``/``hi`` pin the scale (e.g. 0-100 for acceptance ratios); by
+    default the scale spans the data.  A flat series renders at
+    mid-height.
+    """
+    if not values:
+        return ""
+    blocks = ASCII_BLOCKS if ascii_only else BLOCKS
+    lo = min(values) if lo is None else lo
+    hi = max(values) if hi is None else hi
+    if hi < lo:
+        raise ValueError(f"hi ({hi}) must be >= lo ({lo})")
+    span = hi - lo
+    chars = []
+    for value in values:
+        if span == 0:
+            level = len(blocks) // 2
+        else:
+            clipped = min(max(value, lo), hi)
+            level = int((clipped - lo) / span * (len(blocks) - 1))
+        chars.append(blocks[level])
+    return "".join(chars)
+
+
+def sparkline_table(series: Mapping[str, Sequence[float]], *,
+                    lo: float | None = None, hi: float | None = None,
+                    ascii_only: bool = False) -> str:
+    """One labelled sparkline per series, with min/max annotations.
+
+    All series share the scale given by ``lo``/``hi`` (default: the
+    global data range) so the lines are comparable.
+    """
+    if not series:
+        return "(no data)"
+    flat = [v for values in series.values() for v in values]
+    if not flat:
+        return "(no data)"
+    lo = min(flat) if lo is None else lo
+    hi = max(flat) if hi is None else hi
+    label_width = max(len(str(name)) for name in series)
+    lines = []
+    for name, values in series.items():
+        line = sparkline(values, lo=lo, hi=hi, ascii_only=ascii_only)
+        if values:
+            annotation = f"  [{min(values):.1f} .. {max(values):.1f}]"
+        else:
+            annotation = "  (empty)"
+        lines.append(f"{str(name):<{label_width}} {line}{annotation}")
+    return "\n".join(lines)

@@ -1,0 +1,64 @@
+"""Workload generation: the paper's edge-computing scenario, generic
+random MSMR instances for testing, and periodic-task unrolling."""
+
+from repro.workload.edge import (
+    MAPPING_POLICIES,
+    EdgeTestCase,
+    EdgeWorkloadConfig,
+    edge_system,
+    generate_edge_case,
+)
+from repro.workload.heaviness import (
+    heaviness_matrix,
+    heavy_mask,
+    job_heaviness,
+    rejected_heaviness,
+    resource_heaviness,
+    system_heaviness,
+)
+from repro.workload.pipeline import (
+    PipelineTestCase,
+    PipelineWorkloadConfig,
+    generate_pipeline_case,
+    pipeline_system,
+)
+from repro.workload.periodic import (
+    PeriodicOPAResult,
+    PeriodicTask,
+    UnrolledTaskSet,
+    hyperperiod,
+    opdca_periodic,
+    unroll,
+)
+from repro.workload.random_jobs import (
+    RandomInstanceConfig,
+    random_jobset,
+    random_single_resource_jobset,
+)
+
+__all__ = [
+    "MAPPING_POLICIES",
+    "EdgeTestCase",
+    "EdgeWorkloadConfig",
+    "PeriodicOPAResult",
+    "PeriodicTask",
+    "PipelineTestCase",
+    "PipelineWorkloadConfig",
+    "RandomInstanceConfig",
+    "UnrolledTaskSet",
+    "edge_system",
+    "generate_edge_case",
+    "generate_pipeline_case",
+    "heaviness_matrix",
+    "heavy_mask",
+    "hyperperiod",
+    "job_heaviness",
+    "opdca_periodic",
+    "pipeline_system",
+    "random_jobset",
+    "random_single_resource_jobset",
+    "rejected_heaviness",
+    "resource_heaviness",
+    "system_heaviness",
+    "unroll",
+]

@@ -1,0 +1,105 @@
+"""Generic random MSMR instances (for tests and ablations).
+
+Unlike the edge generator, these instances exercise arbitrary stage
+counts, resource counts, release offsets, and preemption flags -- the
+general model of Section II.  Property-based tests drive them through
+hypothesis-chosen seeds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.exceptions import ModelError
+from repro.core.job import Job
+from repro.core.system import JobSet, MSMRSystem, Stage
+
+
+@dataclass(frozen=True)
+class RandomInstanceConfig:
+    """Parameters of the generic random-instance sampler."""
+
+    num_jobs: int = 6
+    num_stages: int = 3
+    resources_per_stage: tuple[int, ...] | int = 2
+    processing_range: tuple[float, float] = (1.0, 10.0)
+    #: Deadline = slack_factor * (own work + a share of the interference
+    #: it can suffer); the range controls how constrained instances are.
+    slack_range: tuple[float, float] = (0.8, 2.5)
+    #: Maximum release offset (0 = synchronous release).
+    max_offset: float = 0.0
+    preemptive: bool = True
+    #: Use integer processing times (easier to debug, exact arithmetic).
+    integral: bool = True
+
+    def stage_resources(self) -> tuple[int, ...]:
+        if isinstance(self.resources_per_stage, int):
+            return (self.resources_per_stage,) * self.num_stages
+        if len(self.resources_per_stage) != self.num_stages:
+            raise ModelError(
+                f"{len(self.resources_per_stage)} resource counts for "
+                f"{self.num_stages} stages")
+        return tuple(self.resources_per_stage)
+
+
+def random_jobset(config: RandomInstanceConfig | None = None, *,
+                  seed: int = 0) -> JobSet:
+    """Sample a random MSMR instance.
+
+    Deadlines scale with the work a job could plausibly suffer (its own
+    processing plus the average interference on its resources), so
+    random instances straddle the feasible/infeasible boundary instead
+    of being trivially one or the other.
+    """
+    if config is None:
+        config = RandomInstanceConfig()
+    rng = np.random.default_rng(seed)
+    counts = config.stage_resources()
+    system = MSMRSystem([
+        Stage(num_resources=count, preemptive=config.preemptive)
+        for count in counts
+    ])
+    n, num_stages = config.num_jobs, config.num_stages
+    lo, hi = config.processing_range
+    processing = rng.uniform(lo, hi, size=(n, num_stages))
+    if config.integral:
+        processing = np.maximum(1.0, np.round(processing))
+    mapping = np.stack([
+        rng.integers(0, counts[j], size=n) for j in range(num_stages)
+    ], axis=1)
+    arrivals = (rng.uniform(0.0, config.max_offset, size=n)
+                if config.max_offset > 0 else np.zeros(n))
+    if config.integral:
+        arrivals = np.round(arrivals)
+
+    jobs = []
+    for i in range(n):
+        own_work = processing[i].sum()
+        interference = 0.0
+        for j in range(num_stages):
+            same = mapping[:, j] == mapping[i, j]
+            interference += processing[same, j].sum() - processing[i, j]
+        slack = rng.uniform(*config.slack_range)
+        deadline = slack * (own_work + 0.5 * interference)
+        if config.integral:
+            deadline = max(1.0, np.ceil(deadline))
+        jobs.append(Job(
+            processing=tuple(processing[i]),
+            deadline=float(deadline),
+            arrival=float(arrivals[i]),
+            resources=tuple(int(r) for r in mapping[i]),
+        ))
+    return JobSet(system, jobs)
+
+
+def random_single_resource_jobset(*, seed: int = 0, num_jobs: int = 5,
+                                  num_stages: int = 3,
+                                  preemptive: bool = True,
+                                  max_offset: float = 0.0) -> JobSet:
+    """Random multi-stage *single*-resource pipeline (Eqs. 1-2 tests)."""
+    config = RandomInstanceConfig(
+        num_jobs=num_jobs, num_stages=num_stages, resources_per_stage=1,
+        preemptive=preemptive, max_offset=max_offset)
+    return random_jobset(config, seed=seed)

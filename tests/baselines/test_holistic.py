@@ -1,0 +1,172 @@
+"""Tests for the holistic per-stage additive analysis baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.holistic import HolisticAnalyzer, SHolistic, holistic_opa
+from repro.core.dca import DelayAnalyzer
+from repro.core.job import Job
+from repro.core.system import JobSet, MSMRSystem, Stage
+from repro.sim.engine import simulate
+
+
+@pytest.fixture
+def preemptive_pair():
+    """Two jobs sharing a preemptive 2-stage single-resource pipeline."""
+    return JobSet.single_resource(
+        processing=[(4, 6), (2, 3)], deadlines=[40, 40])
+
+
+class TestHolisticBound:
+    def test_isolated_job_bound_is_total_processing(self, preemptive_pair):
+        analyzer = HolisticAnalyzer(preemptive_pair)
+        none = np.zeros(2, dtype=bool)
+        assert analyzer.delay_bound(0, none) == pytest.approx(10.0)
+
+    def test_higher_priority_job_charged_per_shared_stage(
+            self, preemptive_pair):
+        analyzer = HolisticAnalyzer(preemptive_pair)
+        higher = np.array([True, False])
+        # J1 suffers all of J0 at both stages: (2+4) + (3+6) = 15.
+        assert analyzer.delay_bound(1, higher) == pytest.approx(15.0)
+
+    def test_stage_responses_sum_to_bound(self, preemptive_pair):
+        analyzer = HolisticAnalyzer(preemptive_pair)
+        higher = np.array([True, False])
+        responses = analyzer.stage_responses(1, higher)
+        assert responses.sum() == pytest.approx(
+            analyzer.delay_bound(1, higher))
+
+    def test_unshared_stages_not_charged(self):
+        system = MSMRSystem([Stage(2), Stage(2)])
+        jobs = [Job(processing=(4, 6), deadline=40, resources=(0, 0)),
+                Job(processing=(2, 3), deadline=40, resources=(0, 1))]
+        jobset = JobSet(system, jobs)
+        analyzer = HolisticAnalyzer(jobset)
+        higher = np.array([True, False])
+        # Only stage 0 is shared: 2 + 4 (stage 0) + 3 (stage 1 alone).
+        assert analyzer.delay_bound(1, higher) == pytest.approx(9.0)
+
+    def test_nonpreemptive_blocking_all(self):
+        jobset = JobSet.single_resource(
+            processing=[(4, 6), (2, 3)], deadlines=[40, 40],
+            preemptive=False)
+        analyzer = HolisticAnalyzer(jobset, blocking="all")
+        none = np.zeros(2, dtype=bool)
+        # J0 alone plus worst-case blocking by J1 at each stage.
+        assert analyzer.delay_bound(0, none) == pytest.approx(
+            10.0 + 2.0 + 3.0)
+
+    def test_nonpreemptive_blocking_lower_uses_actual_set(self):
+        jobset = JobSet.single_resource(
+            processing=[(4, 6), (2, 3)], deadlines=[40, 40],
+            preemptive=False)
+        analyzer = HolisticAnalyzer(jobset, blocking="lower")
+        none = np.zeros(2, dtype=bool)
+        # Empty lower set -> no blocking at all.
+        assert analyzer.delay_bound(0, none, none) == pytest.approx(10.0)
+
+    def test_window_filter_drops_disjoint_jobs(self):
+        jobs = [Job(processing=(5, 5), deadline=10, arrival=0.0,
+                    resources=(0, 0)),
+                Job(processing=(5, 5), deadline=10, arrival=100.0,
+                    resources=(0, 0))]
+        jobset = JobSet(MSMRSystem.uniform(2, 1), jobs)
+        analyzer = HolisticAnalyzer(jobset)
+        higher = np.array([False, True])
+        assert analyzer.delay_bound(0, higher) == pytest.approx(10.0)
+
+    def test_invalid_blocking_mode(self, preemptive_pair):
+        with pytest.raises(ValueError, match="blocking"):
+            HolisticAnalyzer(preemptive_pair, blocking="none")
+
+    def test_monotone_in_higher_set(self, small_edge_jobset):
+        analyzer = HolisticAnalyzer(small_edge_jobset)
+        n = small_edge_jobset.num_jobs
+        rng = np.random.default_rng(3)
+        some = rng.random(n) < 0.3
+        more = some | (rng.random(n) < 0.3)
+        for i in range(min(n, 6)):
+            assert analyzer.delay_bound(i, more) >= \
+                analyzer.delay_bound(i, some) - 1e-9
+
+
+class TestAgainstDCA:
+    def test_isolated_job_tighter_than_eq6(self, preemptive_pair):
+        """With no interference HOL == sum(P) while eq6 adds t1 extra;
+        the crossover with load is the point of ablation A6."""
+        hol = HolisticAnalyzer(preemptive_pair)
+        dca = DelayAnalyzer(preemptive_pair)
+        none = np.zeros(2, dtype=bool)
+        assert hol.delay_bound(0, none) <= dca.eq6(0, none)
+
+    def test_heavy_interference_more_pessimistic_than_eq6(self):
+        """Many higher-priority jobs across many stages: HOL charges
+        every shared stage, eq6 at most w terms plus one max."""
+        n, stages = 6, 4
+        processing = [(5.0,) * stages] * n
+        jobset = JobSet.single_resource(processing, [1000.0] * n)
+        hol = HolisticAnalyzer(jobset)
+        dca = DelayAnalyzer(jobset)
+        higher = np.ones(n, dtype=bool)
+        higher[-1] = False
+        assert hol.delay_bound(n - 1, higher) > dca.eq6(n - 1, higher)
+
+
+class TestSimulationSafety:
+    def test_simulated_delay_within_holistic_bound(self, small_edge_jobset):
+        jobset = small_edge_jobset
+        n = jobset.num_jobs
+        priority = np.arange(1, n + 1)
+        analyzer = HolisticAnalyzer(jobset, blocking="all")
+        bounds = analyzer.delays_for_ordering(priority)
+        result = simulate(jobset, priority)
+        assert (result.delays <= bounds + 1e-6).all()
+
+
+class TestSHolistic:
+    def test_accepts_iff_bound_within_deadline(self, preemptive_pair):
+        test = SHolistic(preemptive_pair)
+        higher = np.array([True, False])
+        bound = test.delay(1, higher)
+        assert test(1, higher) == (bound <= preemptive_pair.D[1] + 1e-9)
+
+    def test_opa_compatibility_flags(self):
+        preemptive = JobSet.single_resource([(1, 1)], [10.0])
+        assert SHolistic(preemptive).opa_compatible
+        nonpre = JobSet.single_resource([(1, 1)], [10.0],
+                                        preemptive=False)
+        assert SHolistic(nonpre, blocking="all").opa_compatible
+        assert not SHolistic(nonpre, blocking="lower").opa_compatible
+
+    def test_rejects_foreign_analyzer(self, preemptive_pair):
+        other = JobSet.single_resource([(1, 1)], [10.0])
+        with pytest.raises(ValueError, match="different job set"):
+            SHolistic(preemptive_pair,
+                      analyzer=HolisticAnalyzer(other))
+
+
+class TestHolisticOPA:
+    def test_feasible_set_gets_full_ordering(self, preemptive_pair):
+        result = holistic_opa(preemptive_pair)
+        assert result.feasible
+        assert sorted(result.priority.tolist()) == [1, 2]
+
+    def test_tight_deadlines_infeasible(self):
+        jobset = JobSet.single_resource(
+            processing=[(10, 10), (10, 10)], deadlines=[21, 21])
+        result = holistic_opa(jobset)
+        assert not result.feasible
+
+    def test_rejects_incompatible_configuration(self):
+        jobset = JobSet.single_resource([(1, 1), (1, 1)], [50, 50],
+                                        preemptive=False)
+        with pytest.raises(ValueError, match="blocking"):
+            holistic_opa(jobset, blocking="lower")
+
+    def test_ordering_respects_bound(self, small_edge_jobset):
+        result = holistic_opa(small_edge_jobset)
+        if result.feasible:
+            analyzer = HolisticAnalyzer(small_edge_jobset)
+            bounds = analyzer.delays_for_ordering(result.priority)
+            assert (bounds <= small_edge_jobset.D + 1e-9).all()

@@ -1,0 +1,85 @@
+"""Tests for the OPDCA admission controller (Figure 4d semantics)."""
+
+import numpy as np
+import pytest
+
+from repro.core.admission import opdca_admission, ordering_of_accepted
+from repro.core.opdca import opdca
+from repro.core.system import JobSet
+from repro.workload.random_jobs import RandomInstanceConfig, random_jobset
+from tests.conftest import EXAMPLE1_PROCESSING
+
+
+class TestFeasibleCase:
+    def test_accepts_everything_when_feasible(self):
+        jobset = JobSet.single_resource(
+            processing=EXAMPLE1_PROCESSING,
+            deadlines=[100, 90, 120, 60], preemptive=True)
+        result = opdca_admission(jobset, "eq1")
+        assert result.rejected == []
+        assert result.accepted == [0, 1, 2, 3]
+        assert (result.delays <= jobset.D + 1e-9).all()
+
+    def test_matches_opdca_on_feasible_instances(self):
+        for seed in range(10):
+            jobset = random_jobset(
+                RandomInstanceConfig(num_jobs=6, num_stages=3,
+                                     resources_per_stage=2), seed=seed)
+            full = opdca(jobset, "eq6")
+            admission = opdca_admission(jobset, "eq6")
+            if full.feasible:
+                assert admission.rejected == []
+
+
+class TestInfeasibleCase:
+    def test_discards_until_schedulable(self):
+        jobset = JobSet.single_resource(
+            processing=EXAMPLE1_PROCESSING,
+            deadlines=[40, 40, 40, 40], preemptive=True)
+        result = opdca_admission(jobset, "eq1")
+        assert result.rejected
+        assert len(result.accepted) + len(result.rejected) == 4
+        accepted_delays = result.delays[result.accepted]
+        accepted_deadlines = jobset.D[result.accepted]
+        assert (accepted_delays <= accepted_deadlines + 1e-9).all()
+
+    def test_rejected_delays_are_nan(self):
+        jobset = JobSet.single_resource(
+            processing=EXAMPLE1_PROCESSING,
+            deadlines=[40, 40, 40, 40], preemptive=True)
+        result = opdca_admission(jobset, "eq1")
+        for job in result.rejected:
+            assert np.isnan(result.delays[job])
+
+    def test_everything_rejected_in_hopeless_case(self):
+        jobset = JobSet.single_resource(
+            processing=[(10, 10), (10, 10)], deadlines=[1, 1],
+            preemptive=True)
+        result = opdca_admission(jobset, "eq1")
+        # Each job alone still violates its deadline.
+        assert result.accepted == []
+        assert len(result.rejected) == 2
+
+    def test_figure2_admission(self, fig2_jobset):
+        result = opdca_admission(fig2_jobset, "eq6")
+        # No total ordering exists for all four, so at least one is cut.
+        assert result.rejected
+        assert result.num_accepted >= 1
+
+
+class TestOrderingExtraction:
+    def test_priorities_contiguous_over_accepted(self):
+        jobset = JobSet.single_resource(
+            processing=EXAMPLE1_PROCESSING,
+            deadlines=[40, 40, 40, 40], preemptive=True)
+        result = opdca_admission(jobset, "eq1")
+        compact = ordering_of_accepted(result)
+        assert compact is not None
+        assert sorted(compact.priority.tolist()) == \
+            list(range(1, result.num_accepted + 1))
+
+    def test_none_when_everything_rejected(self):
+        jobset = JobSet.single_resource(
+            processing=[(10, 10)], deadlines=[1], preemptive=True)
+        result = opdca_admission(jobset, "eq1")
+        assert ordering_of_accepted(result) is None

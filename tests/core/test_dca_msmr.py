@@ -1,0 +1,200 @@
+"""Tests for the MSMR bounds (Eqs. 3-6) and the edge bound (Eq. 10),
+hand-computed on the Figure 2 instance."""
+
+import numpy as np
+import pytest
+
+from repro.core.dca import ALL_EQUATIONS, DelayAnalyzer
+from repro.core.exceptions import ModelError
+from tests.conftest import as_mask
+
+
+@pytest.fixture
+def analyzer(fig2_jobset):
+    return DelayAnalyzer(fig2_jobset)
+
+
+class TestEq6HandComputed:
+    """Figure 2(b) delays under the refined preemptive bound.
+
+    Pairwise assignment: J3>J1, J1>J2, J2>J4, J4>J3 (0-indexed:
+    2>0, 0>1, 1>3, 3>2).
+    """
+
+    def test_delta_j1(self, analyzer):
+        # H = {J3}; shares S1 only (w=1, et=6); self t1=15;
+        # stage-additive: max(5,6) + max(7,0).
+        assert analyzer.eq6(0, as_mask(4, [2])) == \
+            pytest.approx(15 + 6 + 6 + 7)
+
+    def test_delta_j2(self, analyzer):
+        # H = {J1}; shares S2+S3 (one segment, w=2, et sum 15+7);
+        # self 17; stage-additive: max(7,0) + max(9,7).
+        assert analyzer.eq6(1, as_mask(4, [0])) == \
+            pytest.approx(17 + 22 + 7 + 9)
+
+    def test_delta_j3(self, analyzer):
+        # H = {J4}; shares S2+S3 (w=2, et sum 4+3); self 30;
+        # stage-additive: max(6,0) + max(8,4).
+        assert analyzer.eq6(2, as_mask(4, [3])) == \
+            pytest.approx(30 + 7 + 6 + 8)
+
+    def test_delta_j4(self, analyzer):
+        # H = {J2}; shares S1 (w=1, et=7); self 4;
+        # stage-additive: max(2,7) + max(4,0).
+        assert analyzer.eq6(3, as_mask(4, [1])) == \
+            pytest.approx(4 + 7 + 7 + 4)
+
+    def test_non_conflicting_higher_job_is_free(self, analyzer):
+        # J4 shares nothing with J1: adding it to H changes nothing.
+        base = analyzer.eq6(0, as_mask(4, [2]))
+        with_j4 = analyzer.eq6(0, as_mask(4, [2, 3]))
+        assert with_j4 == pytest.approx(base)
+
+
+class TestEq3VsEq6:
+    def test_eq3_charges_two_terms_per_segment(self, analyzer):
+        # Same context as test_delta_j1: the single 1-stage segment of
+        # (J1, J3) costs 2*et1 = 12 under Eq. 3 but only 6 under Eq. 6.
+        eq3 = analyzer.eq3(0, as_mask(4, [2]))
+        eq6 = analyzer.eq6(0, as_mask(4, [2]))
+        assert eq3 == pytest.approx(15 + 12 + 6 + 7)
+        assert eq3 - eq6 == pytest.approx(6.0)
+
+    def test_eq3_dominates_eq6(self, analyzer):
+        for i in range(4):
+            for higher in ([], [(i + 1) % 4], [k for k in range(4)
+                                               if k != i]):
+                mask = as_mask(4, higher)
+                assert analyzer.eq3(i, mask) >= \
+                    analyzer.eq6(i, mask) - 1e-9
+
+    def test_multi_stage_segment_costs_the_same(self, analyzer):
+        # (J2, J1) share one 2-stage segment: w = 2 and 2*m*et1 may
+        # differ: eq3 charges 2*et1 = 30, eq6 charges et1+et2 = 22.
+        eq3 = analyzer.eq3(1, as_mask(4, [0]))
+        eq6 = analyzer.eq6(1, as_mask(4, [0]))
+        assert eq3 - eq6 == pytest.approx((2 * 15) - (15 + 7))
+
+
+class TestEq4AndEq5:
+    def test_eq4_hand_computed(self, analyzer):
+        # J1 with H={J3}, L={J2}: job-additive 6+15; stage-additive
+        # 6+7; blocking over L per stage: 0+9+17.
+        bound = analyzer.eq4(0, as_mask(4, [2]), as_mask(4, [1]))
+        assert bound == pytest.approx(21 + 13 + 26)
+
+    def test_eq5_blocks_with_everyone(self, analyzer):
+        # Same but blocking over {J2, J3, J4}: 6+9+17.
+        bound = analyzer.eq5(0, as_mask(4, [2]))
+        assert bound == pytest.approx(21 + 13 + 32)
+
+    def test_eq5_dominates_eq4(self, analyzer):
+        for i in range(4):
+            higher = as_mask(4, [(i + 1) % 4])
+            lower = as_mask(4, [(i + 2) % 4])
+            assert analyzer.eq5(i, higher) >= \
+                analyzer.eq4(i, higher, lower) - 1e-9
+
+    def test_eq5_independent_of_lower_set(self, analyzer):
+        a = analyzer.delay_bound(0, as_mask(4, [2]), as_mask(4, [1]),
+                                 equation="eq5")
+        b = analyzer.delay_bound(0, as_mask(4, [2]), as_mask(4, [1, 3]),
+                                 equation="eq5")
+        assert a == pytest.approx(b)
+
+
+class TestEq10:
+    def test_hand_computed(self, analyzer):
+        # J1 with H={J3}, L={J2}: job-additive 6 + self 15;
+        # uplink max_Q ep1 = max(5,6); server max_Q ep2 = max(7,0);
+        # downlink max_L ep3 = 17.
+        bound = analyzer.eq10(0, as_mask(4, [2]), as_mask(4, [1]))
+        assert bound == pytest.approx(6 + 15 + 6 + 7 + 17)
+
+    def test_empty_lower_set_drops_blocking(self, analyzer):
+        bound = analyzer.eq10(0, as_mask(4, [2]), as_mask(4, []))
+        assert bound == pytest.approx(6 + 15 + 6 + 7)
+
+    def test_requires_three_stages(self):
+        jobset = __import__("repro").JobSet.single_resource(
+            processing=[(1, 2), (3, 4)], deadlines=[10, 10])
+        analyzer = DelayAnalyzer(jobset)
+        with pytest.raises(ModelError, match="3-stage"):
+            analyzer.eq10(0, as_mask(2, []), as_mask(2, [1]))
+
+
+class TestSelfCoefficient:
+    def test_literal_eq3_doubles_self_term(self, fig2_jobset):
+        refined = DelayAnalyzer(fig2_jobset)
+        literal = DelayAnalyzer(fig2_jobset, self_coefficient="literal")
+        mask = as_mask(4, [])
+        # J3 self t1 = 30; literal charges 2*m_ii*et1 = 60.
+        assert literal.eq3(2, mask) - refined.eq3(2, mask) == \
+            pytest.approx(30.0)
+
+    def test_literal_eq6_uses_w_self(self, fig2_jobset):
+        refined = DelayAnalyzer(fig2_jobset)
+        literal = DelayAnalyzer(fig2_jobset, self_coefficient="literal")
+        mask = as_mask(4, [])
+        # Self pair: one 3-stage segment -> w = 2 -> top-2 sum.
+        # J3: 30 + 8 vs refined 30.
+        assert literal.eq6(2, mask) - refined.eq6(2, mask) == \
+            pytest.approx(8.0)
+
+    def test_rejects_unknown_mode(self, fig2_jobset):
+        with pytest.raises(ValueError, match="self_coefficient"):
+            DelayAnalyzer(fig2_jobset, self_coefficient="banana")
+
+
+class TestBatchEvaluation:
+    def test_ordering_matches_per_job_bounds(self, analyzer, fig2_jobset):
+        priority = np.array([2, 3, 1, 4])
+        delays = analyzer.delays_for_ordering(priority, equation="eq6")
+        for i in range(4):
+            higher = priority < priority[i]
+            assert delays[i] == pytest.approx(analyzer.eq6(i, higher))
+
+    def test_pairwise_matches_figure2(self, analyzer, fig2_jobset):
+        x = np.zeros((4, 4), dtype=bool)
+        for winner, loser in [(2, 0), (0, 1), (1, 3), (3, 2)]:
+            x[winner, loser] = True
+        delays = analyzer.delays_for_pairwise(x, equation="eq6")
+        assert np.allclose(delays, [34, 55, 51, 22])
+
+    def test_active_mask_excludes_jobs(self, analyzer):
+        x = np.zeros((4, 4), dtype=bool)
+        for winner, loser in [(2, 0), (0, 1), (1, 3), (3, 2)]:
+            x[winner, loser] = True
+        active = as_mask(4, [0, 1, 3])
+        delays = analyzer.delays_for_pairwise(x, equation="eq6",
+                                              active=active)
+        assert np.isnan(delays[2])
+        # Without J3 above it, J1's bound shrinks to its isolated value.
+        assert delays[0] == pytest.approx(15 + 5 + 7)
+
+    def test_shape_validation(self, analyzer):
+        with pytest.raises(ValueError, match="shape"):
+            analyzer.delays_for_pairwise(np.zeros((3, 3), dtype=bool))
+
+
+class TestDelayBoundDispatch:
+    def test_unknown_equation(self, analyzer):
+        with pytest.raises(ValueError, match="unknown equation"):
+            analyzer.delay_bound(0, as_mask(4, []), equation="eq7")
+
+    def test_all_equations_accept_masks(self, fig2_jobset, example1_jobset):
+        msmr = DelayAnalyzer(fig2_jobset)
+        single = DelayAnalyzer(example1_jobset)
+        higher = as_mask(4, [2])
+        lower = as_mask(4, [1])
+        for equation in ALL_EQUATIONS:
+            target = single if equation in ("eq1", "eq2") else msmr
+            value = target.delay_bound(0, higher, lower,
+                                       equation=equation)
+            assert value > 0
+
+    def test_index_list_masks_accepted(self, analyzer):
+        by_mask = analyzer.eq6(0, as_mask(4, [2]))
+        by_list = analyzer.eq6(0, [2])
+        assert by_mask == pytest.approx(by_list)

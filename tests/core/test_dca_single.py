@@ -1,0 +1,125 @@
+"""Tests for the single-resource bounds (Eqs. 1-2), anchored on the
+paper's Example 1."""
+
+import numpy as np
+import pytest
+
+from repro.core.dca import DelayAnalyzer
+from repro.core.exceptions import ModelError
+from repro.core.system import JobSet
+from tests.conftest import EXAMPLE1_PROCESSING, as_mask
+
+
+@pytest.fixture
+def analyzer(example1_jobset):
+    return DelayAnalyzer(example1_jobset)
+
+
+class TestExample1:
+    """Exact values quoted in Observation IV.2 / Example 1."""
+
+    def test_delta2_is_92_under_original_ordering(self, analyzer):
+        # Priority ordering J1 > J2 > J3 > J4 (indices 0..3).
+        higher = as_mask(4, [0])
+        lower = as_mask(4, [2, 3])
+        assert analyzer.eq2(1, higher, lower) == pytest.approx(92.0)
+
+    def test_delta2_drops_to_87_after_swap(self, analyzer):
+        # Swapping J2 and J3: J1 > J3 > J2 > J4.
+        higher = as_mask(4, [0, 2])
+        lower = as_mask(4, [3])
+        assert analyzer.eq2(1, higher, lower) == pytest.approx(87.0)
+
+    def test_swap_shows_opa_incompatibility(self, analyzer):
+        """Giving J2 a *lower* priority reduced its delay bound -- the
+        third OPA-compatibility condition is violated by Eq. 2."""
+        original = analyzer.eq2(1, as_mask(4, [0]), as_mask(4, [2, 3]))
+        swapped = analyzer.eq2(1, as_mask(4, [0, 2]), as_mask(4, [3]))
+        assert swapped < original
+
+    def test_footnote9_dm_is_not_optimal(self):
+        """Footnote 9: with D1 = 60 DM gives J1 the lowest priority and
+        Delta_1 = 82 (preemptive, same arrivals)."""
+        jobset = JobSet.single_resource(
+            processing=EXAMPLE1_PROCESSING,
+            deadlines=[60, 55, 55, 50], preemptive=True)
+        analyzer = DelayAnalyzer(jobset)
+        delta1 = analyzer.eq1(0, as_mask(4, [1, 2, 3]))
+        assert delta1 == pytest.approx(82.0)
+
+
+class TestEq1:
+    def test_no_interference_is_sum_of_t1_and_stage_terms(self, analyzer):
+        # Alone, Delta_1 <= t_{1,1} + P_{1,1} + P_{1,2}.
+        assert analyzer.eq1(0, as_mask(4, [])) == \
+            pytest.approx(15 + 5 + 7)
+
+    def test_higher_priority_adds_t1_and_stage_maxima(self, analyzer):
+        # J2 with H = {J1}: t1 sums 17+15, stage maxima max(5,7)+max(7,9).
+        assert analyzer.eq1(1, as_mask(4, [0])) == \
+            pytest.approx(32 + 7 + 9)
+
+    def test_later_arrival_contributes_t2(self):
+        jobset = JobSet.single_resource(
+            processing=EXAMPLE1_PROCESSING,
+            deadlines=[200] * 4,
+            arrivals=[0, 10, 0, 0])
+        analyzer = DelayAnalyzer(jobset)
+        base_jobset = JobSet.single_resource(
+            processing=EXAMPLE1_PROCESSING, deadlines=[200] * 4)
+        base = DelayAnalyzer(base_jobset).eq1(0, as_mask(4, [1]))
+        with_offset = analyzer.eq1(0, as_mask(4, [1]))
+        # J2 (t2 = 9) joins after J1, adding one t_{k,2} term.
+        assert with_offset == pytest.approx(base + 9)
+
+    def test_lower_priority_jobs_do_not_matter(self, analyzer):
+        only_higher = analyzer.eq1(1, as_mask(4, [0]))
+        assert analyzer.delay_bound(1, as_mask(4, [0]), as_mask(4, [2]),
+                                    equation="eq1") == \
+            pytest.approx(only_higher)
+
+    def test_rejects_msmr_system(self, fig2_jobset):
+        analyzer = DelayAnalyzer(fig2_jobset)
+        with pytest.raises(ModelError, match="single-resource"):
+            analyzer.eq1(0, as_mask(4, []))
+
+
+class TestEq2:
+    def test_blocking_term_over_all_stages(self, analyzer):
+        # J1 highest: H empty, L = {J2, J3, J4}.
+        # t_{1,1} + sum_{j<3} P_{1,j} + sum_j max_L P.
+        expected = 15 + (5 + 7) + (7 + 9 + 30)
+        assert analyzer.eq2(0, as_mask(4, []), as_mask(4, [1, 2, 3])) == \
+            pytest.approx(expected)
+
+    def test_empty_lower_set_means_no_blocking(self, analyzer):
+        bound = analyzer.eq2(3, as_mask(4, [0, 1, 2]), as_mask(4, []))
+        # Q = all four jobs; no blocking term.
+        expected = (15 + 17 + 30 + 4) + (7 + 9)
+        assert bound == pytest.approx(expected)
+
+    def test_eq2_requires_lower_argument_via_delay_bound(self, analyzer):
+        with pytest.raises(ValueError, match="lower"):
+            analyzer.delay_bound(0, as_mask(4, []), equation="eq2")
+
+
+class TestWindowFiltering:
+    def test_non_overlapping_job_is_ignored(self):
+        jobset = JobSet.single_resource(
+            processing=[(5, 5), (5, 5)],
+            deadlines=[10, 10],
+            arrivals=[0, 1000])
+        analyzer = DelayAnalyzer(jobset)
+        with_far_job = analyzer.eq1(0, as_mask(2, [1]))
+        alone = analyzer.eq1(0, as_mask(2, []))
+        assert with_far_job == pytest.approx(alone)
+
+    def test_filter_can_be_disabled(self):
+        jobset = JobSet.single_resource(
+            processing=[(5, 5), (5, 5)],
+            deadlines=[10, 10],
+            arrivals=[0, 1000])
+        analyzer = DelayAnalyzer(jobset, window_filter=False)
+        with_far_job = analyzer.eq1(0, as_mask(2, [1]))
+        alone = analyzer.eq1(0, as_mask(2, []))
+        assert with_far_job > alone

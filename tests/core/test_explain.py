@@ -1,0 +1,116 @@
+"""Tests for the delay-bound explanation API."""
+
+import numpy as np
+import pytest
+
+from repro.core.dca import DelayAnalyzer
+from repro.core.explain import explain_delay
+from repro.workload.random_jobs import RandomInstanceConfig, random_jobset
+from tests.conftest import as_mask
+
+
+class TestExactness:
+    """The breakdown must sum to the analyzer's bound, always."""
+
+    @pytest.mark.parametrize("equation", ["eq3", "eq4", "eq5", "eq6",
+                                          "eq10"])
+    @pytest.mark.parametrize("seed", range(6))
+    def test_msmr_equations(self, equation, seed):
+        jobset = random_jobset(
+            RandomInstanceConfig(num_jobs=6, num_stages=3,
+                                 resources_per_stage=2,
+                                 max_offset=4.0), seed=seed)
+        analyzer = DelayAnalyzer(jobset)
+        rng = np.random.default_rng(seed)
+        priority = rng.permutation(6) + 1
+        for i in range(6):
+            higher = priority < priority[i]
+            lower = priority > priority[i]
+            breakdown = explain_delay(analyzer, i, higher, lower,
+                                      equation=equation)
+            expected = analyzer.delay_bound(i, higher, lower,
+                                            equation=equation)
+            assert breakdown.total == pytest.approx(expected)
+
+    @pytest.mark.parametrize("equation", ["eq1", "eq2"])
+    @pytest.mark.parametrize("seed", range(6))
+    def test_single_resource_equations(self, equation, seed):
+        from repro.workload.random_jobs import (
+            random_single_resource_jobset,
+        )
+        jobset = random_single_resource_jobset(seed=seed, num_jobs=5,
+                                               max_offset=4.0)
+        analyzer = DelayAnalyzer(jobset)
+        rng = np.random.default_rng(seed)
+        priority = rng.permutation(5) + 1
+        for i in range(5):
+            higher = priority < priority[i]
+            lower = priority > priority[i]
+            breakdown = explain_delay(analyzer, i, higher, lower,
+                                      equation=equation)
+            expected = analyzer.delay_bound(i, higher, lower,
+                                            equation=equation)
+            assert breakdown.total == pytest.approx(expected)
+
+
+class TestBreakdownContent:
+    def test_figure2_j2_terms(self, fig2_jobset):
+        analyzer = DelayAnalyzer(fig2_jobset)
+        breakdown = explain_delay(analyzer, 1, as_mask(4, [0]),
+                                  equation="eq6")
+        # Delta_2 = 17 (self) + 22 (J1 job-additive) + 7 + 9 (stages).
+        assert breakdown.total == pytest.approx(55.0)
+        assert breakdown.by_kind("self")[0].value == pytest.approx(17.0)
+        job_terms = breakdown.by_kind("job")
+        assert len(job_terms) == 1
+        assert job_terms[0].job == 0
+        assert job_terms[0].value == pytest.approx(22.0)
+        assert len(breakdown.by_kind("stage")) == 2
+
+    def test_dominant_interferer(self, fig2_jobset):
+        analyzer = DelayAnalyzer(fig2_jobset)
+        breakdown = explain_delay(analyzer, 1, as_mask(4, [0]),
+                                  equation="eq6")
+        assert breakdown.dominant_interferer() == 0
+
+    def test_no_interference_dominant_is_none(self, fig2_jobset):
+        analyzer = DelayAnalyzer(fig2_jobset)
+        breakdown = explain_delay(analyzer, 0, as_mask(4, []),
+                                  equation="eq6")
+        assert breakdown.dominant_interferer() is None
+
+    def test_slack(self, fig2_jobset):
+        analyzer = DelayAnalyzer(fig2_jobset)
+        breakdown = explain_delay(analyzer, 0, as_mask(4, [2]),
+                                  equation="eq6")
+        assert breakdown.slack == pytest.approx(60 - 34)
+
+    def test_job_contribution_aggregates(self, fig2_jobset):
+        analyzer = DelayAnalyzer(fig2_jobset)
+        breakdown = explain_delay(analyzer, 0, as_mask(4, [2]),
+                                  equation="eq6")
+        # J3 contributes its job-additive term (6) and realises the
+        # stage-0 maximum (6).
+        assert breakdown.job_contribution(2) == pytest.approx(12.0)
+
+    def test_blocking_terms_eq10(self, fig2_jobset):
+        analyzer = DelayAnalyzer(fig2_jobset)
+        breakdown = explain_delay(analyzer, 0, as_mask(4, [2]),
+                                  as_mask(4, [1]), equation="eq10")
+        blocking = breakdown.by_kind("blocking")
+        assert len(blocking) == 1
+        assert blocking[0].stage == 2
+        assert blocking[0].value == pytest.approx(17.0)
+
+    def test_format_readable(self, fig2_jobset):
+        analyzer = DelayAnalyzer(fig2_jobset)
+        breakdown = explain_delay(analyzer, 1, as_mask(4, [0]),
+                                  equation="eq6")
+        text = breakdown.format(label=fig2_jobset.label)
+        assert "J1" in text
+        assert "slack" in text
+
+    def test_unknown_equation(self, fig2_jobset):
+        analyzer = DelayAnalyzer(fig2_jobset)
+        with pytest.raises(ValueError, match="unknown equation"):
+            explain_delay(analyzer, 0, as_mask(4, []), equation="rta")

@@ -1,0 +1,51 @@
+"""Unit tests for interference-window arithmetic."""
+
+import numpy as np
+import pytest
+
+from repro.core.intervals import overlap_matrix, window_of, windows_overlap
+
+
+class TestWindowsOverlap:
+    def test_overlapping(self):
+        assert windows_overlap(0, 10, 5, 15)
+
+    def test_nested(self):
+        assert windows_overlap(0, 10, 2, 3)
+
+    def test_disjoint(self):
+        assert not windows_overlap(0, 10, 11, 20)
+        assert not windows_overlap(11, 20, 0, 10)
+
+    def test_touching_counts_as_overlap(self):
+        assert windows_overlap(0, 10, 10, 20)
+
+    def test_rejects_inverted_interval(self):
+        with pytest.raises(ValueError):
+            windows_overlap(5, 4, 0, 1)
+
+
+class TestOverlapMatrix:
+    def test_symmetric_with_true_diagonal(self):
+        matrix = overlap_matrix(np.array([0.0, 3.0, 100.0]),
+                                np.array([5.0, 5.0, 5.0]))
+        assert matrix.diagonal().all()
+        assert np.array_equal(matrix, matrix.T)
+        assert matrix[0, 1]
+        assert not matrix[0, 2]
+        assert not matrix[1, 2]
+
+    def test_matches_pairwise_helper(self):
+        arrivals = np.array([0.0, 4.0, 9.0])
+        deadlines = np.array([4.0, 2.0, 1.0])
+        matrix = overlap_matrix(arrivals, deadlines)
+        for i in range(3):
+            for k in range(3):
+                expected = windows_overlap(
+                    *window_of(arrivals[i], deadlines[i]),
+                    *window_of(arrivals[k], deadlines[k]))
+                assert matrix[i, k] == expected
+
+
+def test_window_of():
+    assert window_of(2.0, 5.0) == (2.0, 7.0)

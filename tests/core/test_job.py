@@ -1,0 +1,102 @@
+"""Unit tests for the Job value object."""
+
+import pytest
+
+from repro.core.exceptions import ModelError
+from repro.core.job import Job
+
+
+def make_job(**overrides):
+    params = dict(processing=(3.0, 5.0, 2.0), deadline=20.0,
+                  resources=(0, 1, 0), arrival=1.0)
+    params.update(overrides)
+    return Job(**params)
+
+
+class TestConstruction:
+    def test_basic_fields(self):
+        job = make_job()
+        assert job.processing == (3.0, 5.0, 2.0)
+        assert job.deadline == 20.0
+        assert job.resources == (0, 1, 0)
+        assert job.arrival == 1.0
+
+    def test_coerces_numeric_types(self):
+        job = Job(processing=(3, 5), deadline=10, resources=(0, 1))
+        assert isinstance(job.processing[0], float)
+        assert isinstance(job.deadline, float)
+        assert isinstance(job.resources[0], int)
+
+    def test_default_arrival_is_zero(self):
+        job = Job(processing=(1.0,), deadline=5.0, resources=(0,))
+        assert job.arrival == 0.0
+
+    def test_rejects_empty_processing(self):
+        with pytest.raises(ModelError, match="at least one stage"):
+            Job(processing=(), deadline=5.0, resources=())
+
+    def test_rejects_mismatched_resources(self):
+        with pytest.raises(ModelError, match="resource mappings"):
+            Job(processing=(1.0, 2.0), deadline=5.0, resources=(0,))
+
+    def test_rejects_negative_processing(self):
+        with pytest.raises(ModelError, match="negative processing"):
+            make_job(processing=(1.0, -2.0, 3.0))
+
+    def test_rejects_all_zero_processing(self):
+        with pytest.raises(ModelError, match="zero"):
+            make_job(processing=(0.0, 0.0, 0.0))
+
+    def test_allows_single_zero_stage(self):
+        job = make_job(processing=(0.0, 5.0, 2.0))
+        assert job.processing[0] == 0.0
+
+    def test_rejects_nonpositive_deadline(self):
+        with pytest.raises(ModelError, match="deadline"):
+            make_job(deadline=0.0)
+        with pytest.raises(ModelError, match="deadline"):
+            make_job(deadline=-3.0)
+
+    def test_rejects_negative_resource(self):
+        with pytest.raises(ModelError, match="negative resource"):
+            make_job(resources=(0, -1, 0))
+
+
+class TestDerivedProperties:
+    def test_num_stages(self):
+        assert make_job().num_stages == 3
+
+    def test_total_processing(self):
+        assert make_job().total_processing == 10.0
+
+    def test_window(self):
+        assert make_job().window == (1.0, 21.0)
+
+    def test_max_processing_ranks(self):
+        job = make_job()
+        assert job.max_processing(1) == 5.0
+        assert job.max_processing(2) == 3.0
+        assert job.max_processing(3) == 2.0
+
+    def test_max_processing_beyond_stages_is_zero(self):
+        assert make_job().max_processing(4) == 0.0
+
+    def test_max_processing_rejects_zero_rank(self):
+        with pytest.raises(ValueError, match="1-based"):
+            make_job().max_processing(0)
+
+    def test_label_uses_name_then_index(self):
+        assert make_job(name="uplink-7").label(3) == "uplink-7"
+        assert make_job().label(3) == "J3"
+        assert make_job().label() == "J?"
+
+
+class TestEquality:
+    def test_equal_jobs(self):
+        assert make_job() == make_job()
+
+    def test_name_is_not_part_of_identity(self):
+        assert make_job(name="a") == make_job(name="b")
+
+    def test_different_deadline_differs(self):
+        assert make_job() != make_job(deadline=21.0)

@@ -1,0 +1,112 @@
+"""Unit tests for the generic Audsley OPA engine."""
+
+import numpy as np
+
+from repro.core.opa import audsley
+
+
+def priority_test(feasible_orders):
+    """Build a test callback accepting job i at a level iff some order
+    in ``feasible_orders`` (highest first) puts i at that position,
+    given the currently unassigned set.  Simpler: delegate to a closure
+    below in concrete tests."""
+
+
+class TestBasicAssignment:
+    def test_all_always_feasible_assigns_in_scan_order(self):
+        result = audsley(3, lambda i, higher, lower: True)
+        assert result.feasible
+        # Lowest priority (3) goes to the first scanned job (J0).
+        assert result.priority.tolist() == [3, 2, 1]
+        assert result.order == [2, 1, 0]
+
+    def test_respects_feasibility(self):
+        # J0 only feasible when nothing else is above it -> must be the
+        # single highest-priority job.
+        def test(i, higher, lower):
+            if i == 0:
+                return not higher.any()
+            return True
+
+        result = audsley(3, test)
+        assert result.feasible
+        assert result.priority[0] == 1
+
+    def test_infeasible_reports_level_and_unassigned(self):
+        # Nothing can ever take the lowest priority.
+        result = audsley(3, lambda i, higher, lower: not higher.any())
+        assert not result.feasible
+        assert result.failed_level == 3
+        assert result.unassigned == [0, 1, 2]
+        assert result.order == []
+
+    def test_partial_failure(self):
+        # Exactly one job (J2) tolerates others above it; after J2
+        # takes priority 3, nobody can take priority 2.
+        def test(i, higher, lower):
+            return i == 2 or not higher.any()
+
+        result = audsley(3, test)
+        assert not result.feasible
+        assert result.failed_level == 2
+        assert set(result.unassigned) == {0, 1}
+        assert result.priority[2] == 3
+
+
+class TestMaskContract:
+    def test_masks_reflect_algorithm_state(self):
+        observed = []
+
+        def test(i, higher, lower):
+            observed.append((i, higher.copy(), lower.copy()))
+            return True
+
+        audsley(3, test)
+        # First call: level 3, i=0, everything else unassigned/higher.
+        i, higher, lower = observed[0]
+        assert i == 0
+        assert higher.tolist() == [False, True, True]
+        assert not lower.any()
+        # Second accepted call: level 2, i=1, J0 already lower.
+        i, higher, lower = observed[1]
+        assert i == 1
+        assert higher.tolist() == [False, False, True]
+        assert lower.tolist() == [True, False, False]
+
+    def test_self_never_in_higher_mask(self):
+        def test(i, higher, lower):
+            assert not higher[i]
+            assert not lower[i]
+            return True
+
+        audsley(4, test)
+
+
+class TestCandidateSubset:
+    def test_only_candidates_assigned(self):
+        result = audsley(5, lambda i, h, l: True, candidates=[1, 3, 4])
+        assert result.feasible
+        assert result.priority[0] == 0
+        assert result.priority[2] == 0
+        assert sorted(result.priority[[1, 3, 4]].tolist()) == [1, 2, 3]
+
+    def test_non_candidates_never_in_masks(self):
+        def test(i, higher, lower):
+            assert not higher[0]
+            assert not lower[0]
+            return True
+
+        audsley(3, test, candidates=[1, 2])
+
+
+class TestOptimality:
+    def test_finds_the_unique_feasible_order(self):
+        # Feasibility encodes the unique order J2 > J1 > J0:
+        # job i tolerates exactly the jobs with larger index above it.
+        def test(i, higher, lower):
+            return not higher[:i].any()
+
+        result = audsley(3, test)
+        assert result.feasible
+        assert result.order == [2, 1, 0]
+        assert result.priority.tolist() == [3, 2, 1]

@@ -1,0 +1,106 @@
+"""OPA-compatibility of the S_DCA bounds (Observations IV.1 / IV.2).
+
+The three conditions (Davis & Burns):
+1. schedulability may depend on the *set* of higher-priority jobs but
+   not their relative order -- structural for mask-based bounds;
+2. likewise for the lower-priority set;
+3. swapping adjacent priorities must not help the demoted job or hurt
+   the promoted one.
+
+Conditions 1-2 are trivially satisfied by construction (the analyzer
+receives sets).  Condition 3 is checked by brute force on random
+instances: for every compatible bound, promoting a job never increases
+its delay bound and demoting never decreases it.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.dca import OPA_COMPATIBLE_EQUATIONS, DelayAnalyzer
+from repro.workload.random_jobs import (
+    RandomInstanceConfig,
+    random_jobset,
+    random_single_resource_jobset,
+)
+from tests.conftest import as_mask
+
+
+def _condition3_holds(analyzer, equation: str, n: int) -> bool:
+    """Check condition 3 over all orderings-adjacent swaps of a random
+    priority ordering."""
+    rng = np.random.default_rng(42)
+    priority = rng.permutation(n) + 1
+    order = np.argsort(priority)
+    for pos in range(n - 1):
+        upper, lower = int(order[pos]), int(order[pos + 1])
+        # Before swap: delay of `lower` at its current priority.
+        higher_before = priority < priority[lower]
+        lower_before = priority > priority[lower]
+        before = analyzer.delay_bound(
+            lower, higher_before, lower_before, equation=equation)
+        # After swapping upper/lower: `lower` is promoted one step.
+        swapped = priority.copy()
+        swapped[upper], swapped[lower] = swapped[lower], swapped[upper]
+        higher_after = swapped < swapped[lower]
+        lower_after = swapped > swapped[lower]
+        after = analyzer.delay_bound(
+            lower, higher_after, lower_after, equation=equation)
+        if after > before + 1e-9:
+            return False
+    return True
+
+
+@pytest.mark.parametrize("equation", ["eq3", "eq5", "eq6"])
+@pytest.mark.parametrize("seed", range(8))
+def test_msmr_compatible_bounds_satisfy_condition3(equation, seed):
+    jobset = random_jobset(
+        RandomInstanceConfig(num_jobs=6, num_stages=3,
+                             resources_per_stage=2), seed=seed)
+    analyzer = DelayAnalyzer(jobset)
+    assert _condition3_holds(analyzer, equation, jobset.num_jobs)
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_eq1_satisfies_condition3(seed):
+    jobset = random_single_resource_jobset(seed=seed, num_jobs=5)
+    analyzer = DelayAnalyzer(jobset)
+    assert _condition3_holds(analyzer, "eq1", jobset.num_jobs)
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_eq10_satisfies_condition3(seed):
+    jobset = random_jobset(
+        RandomInstanceConfig(num_jobs=6, num_stages=3,
+                             resources_per_stage=2), seed=seed)
+    analyzer = DelayAnalyzer(jobset)
+    assert _condition3_holds(analyzer, "eq10", jobset.num_jobs)
+
+
+def test_eq2_violates_condition3_on_example1(example1_jobset):
+    """Observation IV.2's witness: J2's bound *improves* when demoted."""
+    analyzer = DelayAnalyzer(example1_jobset)
+    original = analyzer.eq2(1, as_mask(4, [0]), as_mask(4, [2, 3]))
+    demoted = analyzer.eq2(1, as_mask(4, [0, 2]), as_mask(4, [3]))
+    assert demoted < original
+
+
+def test_eq4_can_violate_condition3():
+    """Eq. 4 inherits Eq. 2's incompatibility (search for a witness
+    among random MSMR instances)."""
+    witness_found = False
+    for seed in range(100):
+        jobset = random_jobset(
+            RandomInstanceConfig(num_jobs=5, num_stages=3,
+                                 resources_per_stage=2), seed=seed)
+        analyzer = DelayAnalyzer(jobset)
+        if not _condition3_holds(analyzer, "eq4", jobset.num_jobs):
+            witness_found = True
+            break
+    assert witness_found, "no OPA-incompatibility witness for eq4"
+
+
+def test_compatibility_registry():
+    assert "eq2" not in OPA_COMPATIBLE_EQUATIONS
+    assert "eq4" not in OPA_COMPATIBLE_EQUATIONS
+    for equation in ("eq1", "eq3", "eq5", "eq6", "eq10"):
+        assert equation in OPA_COMPATIBLE_EQUATIONS

@@ -1,0 +1,103 @@
+"""Tests for the exhaustive reference oracles."""
+
+import numpy as np
+import pytest
+
+from repro.core.opdca import opdca
+from repro.core.oracle import (
+    MAX_ORDERING_JOBS,
+    MAX_PAIRWISE_PAIRS,
+    best_ordering,
+    enumerate_orderings,
+    exists_pairwise,
+)
+from repro.core.system import JobSet
+from repro.pairwise.opt import opt
+from repro.workload.random_jobs import RandomInstanceConfig, random_jobset
+
+
+def small_instance(seed, *, num_jobs=5, resources=2):
+    config = RandomInstanceConfig(num_jobs=num_jobs, num_stages=3,
+                                  resources_per_stage=resources)
+    return random_jobset(config, seed=seed)
+
+
+class TestEnumerateOrderings:
+    def test_yields_all_permutations(self):
+        jobset = JobSet.single_resource([(1, 1), (2, 2), (3, 3)],
+                                        [50, 50, 50])
+        orderings = list(enumerate_orderings(jobset))
+        assert len(orderings) == 6
+        seen = {tuple(priority.tolist())
+                for priority, _ in orderings}
+        assert len(seen) == 6
+
+    def test_delays_match_analyzer(self):
+        from repro.core.dca import DelayAnalyzer
+
+        jobset = small_instance(1, num_jobs=4)
+        analyzer = DelayAnalyzer(jobset)
+        for priority, delays in enumerate_orderings(jobset):
+            expected = analyzer.delays_for_ordering(priority,
+                                                    equation="eq6")
+            np.testing.assert_allclose(delays, expected)
+
+    def test_size_guard(self):
+        jobset = small_instance(0, num_jobs=MAX_ORDERING_JOBS + 1)
+        with pytest.raises(ValueError, match="capped"):
+            list(enumerate_orderings(jobset))
+
+
+class TestBestOrdering:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_agrees_with_opdca(self, seed):
+        """Observation IV.3 checked against brute force."""
+        jobset = small_instance(seed)
+        oracle = best_ordering(jobset, "eq6")
+        algorithmic = opdca(jobset, "eq6")
+        assert oracle.feasible == algorithmic.feasible
+
+    def test_feasible_result_has_valid_priority(self):
+        jobset = JobSet.single_resource([(1, 1), (2, 2)], [100, 100])
+        result = best_ordering(jobset)
+        assert result.feasible
+        assert sorted(result.priority.tolist()) == [1, 2]
+        assert result.best_excess <= 0.0
+
+    def test_infeasible_reports_least_bad_ordering(self):
+        jobset = JobSet.single_resource([(5, 5), (5, 5)], [11, 11])
+        result = best_ordering(jobset)
+        assert not result.feasible
+        assert result.tried == 2
+        assert result.best_excess > 0.0
+        assert result.priority is not None
+
+
+class TestExistsPairwise:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_agrees_with_opt(self, seed):
+        jobset = small_instance(seed, num_jobs=5, resources=2)
+        if len(jobset.conflict_pairs()) > MAX_PAIRWISE_PAIRS:
+            pytest.skip("too many pairs for the oracle")
+        oracle = exists_pairwise(jobset, "eq6")
+        ilp = opt(jobset, "eq6")
+        assert oracle.feasible == ilp.feasible
+
+    def test_figure2_instance_feasible(self, fig2_jobset):
+        """Observation V.1: pairwise feasible without any ordering."""
+        pairwise = exists_pairwise(fig2_jobset, "eq6")
+        ordering = best_ordering(fig2_jobset, "eq6")
+        assert pairwise.feasible
+        assert not ordering.feasible
+
+    def test_feasible_matrix_is_antisymmetric_on_pairs(self, fig2_jobset):
+        result = exists_pairwise(fig2_jobset, "eq6")
+        x = result.matrix
+        for i, k in result.pairs:
+            assert x[i, k] != x[k, i]
+
+    def test_size_guard(self):
+        jobset = small_instance(0, num_jobs=8, resources=1)
+        assert len(jobset.conflict_pairs()) > MAX_PAIRWISE_PAIRS
+        with pytest.raises(ValueError, match="capped"):
+            exists_pairwise(jobset)

@@ -1,0 +1,145 @@
+"""Tests for PriorityOrdering and PairwiseAssignment."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ModelError
+from repro.core.priorities import PairwiseAssignment, PriorityOrdering
+from tests.conftest import FIG2_PAIRS
+
+
+class TestPriorityOrdering:
+    def test_from_priorities(self):
+        ordering = PriorityOrdering([2, 1, 3])
+        assert ordering.order() == [1, 0, 2]
+        assert ordering.rank(1) == 1
+
+    def test_from_order(self):
+        ordering = PriorityOrdering.from_order([2, 0, 1])
+        assert ordering.priority.tolist() == [2, 3, 1]
+
+    def test_rejects_non_permutation(self):
+        with pytest.raises(ModelError, match="permutation"):
+            PriorityOrdering([1, 1, 3])
+        with pytest.raises(ModelError, match="permutation"):
+            PriorityOrdering([0, 1, 2])
+
+    def test_is_higher(self):
+        ordering = PriorityOrdering([2, 1, 3])
+        assert ordering.is_higher(1, 0)
+        assert not ordering.is_higher(2, 0)
+
+    def test_masks(self):
+        ordering = PriorityOrdering([2, 1, 3])
+        assert ordering.higher_mask(0).tolist() == [False, True, False]
+        assert ordering.lower_mask(0).tolist() == [False, False, True]
+
+    def test_matrix_antisymmetric(self):
+        ordering = PriorityOrdering([2, 1, 3])
+        matrix = ordering.as_matrix()
+        assert not matrix.diagonal().any()
+        assert (matrix ^ matrix.T ^ np.eye(3, dtype=bool)).all()
+
+    def test_round_trip_with_order(self):
+        for order in ([0, 1, 2], [2, 1, 0], [1, 2, 0]):
+            assert PriorityOrdering.from_order(order).order() == order
+
+    def test_equality_and_hash(self):
+        assert PriorityOrdering([1, 2]) == PriorityOrdering([1, 2])
+        assert PriorityOrdering([1, 2]) != PriorityOrdering([2, 1])
+        assert hash(PriorityOrdering([1, 2])) == \
+            hash(PriorityOrdering([1, 2]))
+
+
+class TestPairwiseAssignment:
+    def test_from_pairs_figure2(self, fig2_jobset):
+        assignment = PairwiseAssignment.from_pairs(fig2_jobset,
+                                                   FIG2_PAIRS)
+        assert assignment.is_higher(2, 0)
+        assert not assignment.is_higher(0, 2)
+        assert assignment.in_conflict(0, 1)
+        # J1 and J4 never share a resource.
+        assert not assignment.in_conflict(0, 3)
+        assert not assignment.is_higher(0, 3)
+
+    def test_figure2_is_cyclic(self, fig2_jobset):
+        assignment = PairwiseAssignment.from_pairs(fig2_jobset,
+                                                   FIG2_PAIRS)
+        cycle = assignment.find_cycle()
+        assert cycle is not None
+        assert not assignment.is_acyclic()
+        nodes = {a for a, _ in cycle}
+        assert nodes == {0, 1, 2, 3}
+
+    def test_cyclic_assignment_has_no_total_order(self, fig2_jobset):
+        assignment = PairwiseAssignment.from_pairs(fig2_jobset,
+                                                   FIG2_PAIRS)
+        with pytest.raises(ModelError, match="cyclic"):
+            assignment.to_total_order()
+
+    def test_missing_orientation_rejected(self, fig2_jobset):
+        with pytest.raises(ModelError, match="unoriented"):
+            PairwiseAssignment.from_pairs(fig2_jobset, FIG2_PAIRS[:-1])
+
+    def test_double_orientation_rejected(self, fig2_jobset):
+        n = fig2_jobset.num_jobs
+        x = np.zeros((n, n), dtype=bool)
+        for winner, loser in FIG2_PAIRS:
+            x[winner, loser] = True
+        x[0, 2] = True  # both directions of (0, 2)
+        with pytest.raises(ModelError, match="both directions"):
+            PairwiseAssignment(fig2_jobset, x)
+
+    def test_flipped(self, fig2_jobset):
+        assignment = PairwiseAssignment.from_pairs(fig2_jobset,
+                                                   FIG2_PAIRS)
+        flipped = assignment.flipped(0, 2)
+        assert flipped.is_higher(0, 2)
+        assert not flipped.is_higher(2, 0)
+        # Original is untouched.
+        assert assignment.is_higher(2, 0)
+
+    def test_flip_requires_conflict(self, fig2_jobset):
+        assignment = PairwiseAssignment.from_pairs(fig2_jobset,
+                                                   FIG2_PAIRS)
+        with pytest.raises(ModelError, match="share no resource"):
+            assignment.flipped(0, 3)
+
+    def test_ordering_projection_acyclic(self, fig2_jobset):
+        ordering = PriorityOrdering([1, 2, 3, 4])
+        assignment = ordering.to_pairwise(fig2_jobset)
+        assert assignment.is_acyclic()
+        assert assignment.agrees_with(ordering)
+        recovered = assignment.to_total_order()
+        # The projection constrains only conflicting pairs, but the
+        # recovered order must agree with it.
+        assert assignment.agrees_with(recovered)
+
+    def test_higher_and_lower_masks(self, fig2_jobset):
+        assignment = PairwiseAssignment.from_pairs(fig2_jobset,
+                                                   FIG2_PAIRS)
+        assert assignment.higher_mask(0).tolist() == \
+            [False, False, True, False]
+        assert assignment.lower_mask(0).tolist() == \
+            [False, True, False, False]
+
+    def test_copeland_scores(self, fig2_jobset):
+        assignment = PairwiseAssignment.from_pairs(fig2_jobset,
+                                                   FIG2_PAIRS)
+        scores = assignment.copeland_scores()
+        # Perfect cycle: everyone wins exactly once.
+        assert scores == {0: 1, 1: 1, 2: 1, 3: 1}
+        subset = assignment.copeland_scores([0, 1])
+        assert subset == {0: 1, 1: 0}
+
+    def test_matrix_copy_isolated(self, fig2_jobset):
+        assignment = PairwiseAssignment.from_pairs(fig2_jobset,
+                                                   FIG2_PAIRS)
+        matrix = assignment.matrix()
+        matrix[:] = False
+        assert assignment.is_higher(2, 0)
+
+    def test_repr_mentions_cyclicity(self, fig2_jobset):
+        assignment = PairwiseAssignment.from_pairs(fig2_jobset,
+                                                   FIG2_PAIRS)
+        assert "acyclic=False" in repr(assignment)

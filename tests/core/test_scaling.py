@@ -1,0 +1,91 @@
+"""Tests for the critical-scaling sensitivity analysis."""
+
+import numpy as np
+import pytest
+
+from repro.core.scaling import (
+    critical_scaling,
+    scaling_profile,
+    verify_homogeneity,
+)
+from repro.core.system import JobSet
+
+
+@pytest.fixture
+def jobset():
+    return JobSet.single_resource(
+        processing=[(4, 6), (2, 3)], deadlines=[40, 30])
+
+
+class TestCriticalScaling:
+    def test_closed_form_matches_definition(self, jobset):
+        priority = np.array([1, 2])
+        result = critical_scaling(jobset, priority)
+        # Scale the job set by the factor: the bottleneck job lands
+        # exactly on its deadline.
+        assert result.factor > 1.0
+        scaled = JobSet.single_resource(
+            processing=[tuple(p * result.factor for p in job.processing)
+                        for job in jobset.jobs],
+            deadlines=[40, 30])
+        from repro.core.dca import DelayAnalyzer
+
+        delays = DelayAnalyzer(scaled).delays_for_ordering(priority)
+        slack = scaled.D - delays
+        assert slack.min() == pytest.approx(0.0, abs=1e-9)
+        assert (slack >= -1e-9).all()
+
+    def test_bottleneck_attains_minimum(self, jobset):
+        result = critical_scaling(jobset, np.array([1, 2]))
+        assert result.headroom[result.bottleneck] == \
+            pytest.approx(result.factor)
+
+    def test_infeasible_assignment_below_one(self):
+        tight = JobSet.single_resource([(5, 5), (5, 5)], [11, 11])
+        result = critical_scaling(tight, np.array([1, 2]))
+        assert result.factor < 1.0
+        assert not result.schedulable
+
+    def test_pairwise_matrix_accepted(self, fig2_jobset):
+        from tests.conftest import FIG2_PAIRS
+
+        n = fig2_jobset.num_jobs
+        x = np.zeros((n, n), dtype=bool)
+        for winner, loser in FIG2_PAIRS:
+            x[winner, loser] = True
+        result = critical_scaling(fig2_jobset, x, equation="eq6")
+        assert result.schedulable  # Figure 2(b) is feasible
+
+    def test_bad_priority_shape_rejected(self, jobset):
+        with pytest.raises(ValueError, match="rank vector"):
+            critical_scaling(jobset, np.zeros((2, 2, 2)))
+
+
+class TestHomogeneity:
+    @pytest.mark.parametrize("factor", [0.5, 1.0, 2.5])
+    def test_all_bounds_homogeneous(self, small_edge_jobset, factor):
+        n = small_edge_jobset.num_jobs
+        priority = np.arange(1, n + 1)
+        assert verify_homogeneity(small_edge_jobset, priority,
+                                  factor=factor, equation="eq10")
+
+    def test_eq6_homogeneous(self, jobset):
+        assert verify_homogeneity(jobset, np.array([1, 2]), factor=3.0,
+                                  equation="eq6")
+
+    def test_nonpositive_factor_rejected(self, jobset):
+        with pytest.raises(ValueError, match="positive"):
+            verify_homogeneity(jobset, np.array([1, 2]), factor=0.0)
+
+
+class TestScalingProfile:
+    def test_reports_bottleneck_first(self, jobset):
+        report = scaling_profile(jobset, np.array([1, 2]))
+        lines = report.splitlines()
+        assert "critical scaling factor" in lines[0]
+        assert "bottleneck" in lines[1]
+
+    def test_flags_infeasible(self):
+        tight = JobSet.single_resource([(5, 5), (5, 5)], [11, 11])
+        report = scaling_profile(tight, np.array([1, 2]))
+        assert "INFEASIBLE" in report

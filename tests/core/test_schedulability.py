@@ -1,0 +1,81 @@
+"""Tests for the SDCA schedulability test wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.core.dca import DelayAnalyzer
+from repro.core.schedulability import SDCA, Policy, resolve_equation
+from tests.conftest import as_mask
+
+
+class TestPolicyResolution:
+    def test_policies_map_to_equations(self):
+        assert Policy.PREEMPTIVE.equation == "eq6"
+        assert Policy.NONPREEMPTIVE.equation == "eq5"
+        assert Policy.EDGE.equation == "eq10"
+
+    def test_resolve_accepts_raw_equations(self):
+        assert resolve_equation("eq3") == "eq3"
+
+    def test_resolve_accepts_policy_values(self):
+        assert resolve_equation("edge") == "eq10"
+        assert resolve_equation(Policy.NONPREEMPTIVE) == "eq5"
+
+    def test_resolve_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown"):
+            resolve_equation("rm")
+
+
+class TestSDCA:
+    def test_defaults_to_preemptive_eq6(self, fig2_jobset):
+        test = SDCA(fig2_jobset)
+        assert test.equation == "eq6"
+        assert test.opa_compatible
+        assert not test.uses_lower_set
+
+    def test_edge_test_uses_lower_set(self, fig2_jobset):
+        test = SDCA(fig2_jobset, Policy.EDGE)
+        assert test.uses_lower_set
+        assert test.opa_compatible
+
+    def test_eq4_flagged_incompatible(self, fig2_jobset):
+        assert not SDCA(fig2_jobset, "eq4").opa_compatible
+
+    def test_delay_matches_analyzer(self, fig2_jobset):
+        analyzer = DelayAnalyzer(fig2_jobset)
+        test = SDCA(fig2_jobset, "eq6", analyzer=analyzer)
+        higher = as_mask(4, [2])
+        assert test.delay(0, higher) == \
+            pytest.approx(analyzer.eq6(0, higher))
+
+    def test_is_schedulable_compares_deadline(self, fig2_jobset):
+        test = SDCA(fig2_jobset, "eq6")
+        # Delta_1 = 34 <= 60.
+        assert test(0, as_mask(4, [2]))
+        # J3 below everyone: Delta_3 > 55.
+        assert not test(2, as_mask(4, [0, 1, 3]))
+
+    def test_slack_sign(self, fig2_jobset):
+        test = SDCA(fig2_jobset, "eq6")
+        assert test.slack(0, as_mask(4, [2])) == pytest.approx(26.0)
+        assert test.slack(2, as_mask(4, [0, 1, 3])) < 0
+
+    def test_missing_lower_defaults_to_empty(self, fig2_jobset):
+        test = SDCA(fig2_jobset, Policy.EDGE)
+        value = test.delay(0, as_mask(4, [2]))
+        explicit = test.delay(0, as_mask(4, [2]), as_mask(4, []))
+        assert value == pytest.approx(explicit)
+
+    def test_analyzer_jobset_mismatch_rejected(self, fig2_jobset,
+                                               example1_jobset):
+        analyzer = DelayAnalyzer(example1_jobset)
+        with pytest.raises(ValueError, match="different job set"):
+            SDCA(fig2_jobset, "eq6", analyzer=analyzer)
+
+    def test_active_mask_passthrough(self, fig2_jobset):
+        test = SDCA(fig2_jobset, "eq6")
+        higher = as_mask(4, [2])
+        active = as_mask(4, [0, 1, 3])
+        restricted = test.delay(0, higher, active=active)
+        # With J3 deactivated the higher set is effectively empty.
+        assert restricted == pytest.approx(15 + 5 + 7)

@@ -1,0 +1,118 @@
+"""Tests for JSON (de)serialisation of job sets."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ModelError
+from repro.core.serialize import (
+    FORMAT_NAME,
+    FORMAT_VERSION,
+    dumps,
+    job_from_dict,
+    job_to_dict,
+    jobset_from_dict,
+    jobset_to_dict,
+    load,
+    loads,
+    save,
+    system_from_dict,
+    system_to_dict,
+)
+from repro.core.system import JobSet
+
+
+class TestRoundTrip:
+    def test_jobset_exact_round_trip(self, fig2_jobset):
+        clone = loads(dumps(fig2_jobset))
+        np.testing.assert_array_equal(clone.P, fig2_jobset.P)
+        np.testing.assert_array_equal(clone.R, fig2_jobset.R)
+        np.testing.assert_array_equal(clone.D, fig2_jobset.D)
+        np.testing.assert_array_equal(clone.A, fig2_jobset.A)
+        assert clone.system == fig2_jobset.system
+
+    def test_names_preserved(self, fig2_jobset):
+        clone = loads(dumps(fig2_jobset))
+        assert [job.name for job in clone.jobs] == \
+            [job.name for job in fig2_jobset.jobs]
+
+    def test_system_round_trip(self, fig2_jobset):
+        clone = system_from_dict(system_to_dict(fig2_jobset.system))
+        assert clone == fig2_jobset.system
+
+    def test_job_round_trip(self, fig2_jobset):
+        job = fig2_jobset.jobs[0]
+        assert job_from_dict(job_to_dict(job)) == job
+
+    def test_generated_workload_round_trip(self, small_edge_jobset):
+        clone = loads(dumps(small_edge_jobset))
+        np.testing.assert_array_equal(clone.P, small_edge_jobset.P)
+        np.testing.assert_array_equal(clone.shares,
+                                      small_edge_jobset.shares)
+
+    def test_file_round_trip(self, fig2_jobset, tmp_path):
+        path = tmp_path / "case.json"
+        save(fig2_jobset, path)
+        clone = load(path)
+        np.testing.assert_array_equal(clone.P, fig2_jobset.P)
+
+    def test_analysis_identical_after_round_trip(self, fig2_jobset):
+        from repro.core.opdca import opdca
+
+        clone = loads(dumps(fig2_jobset))
+        assert opdca(clone, "eq6").feasible == \
+            opdca(fig2_jobset, "eq6").feasible
+
+
+class TestFormatMarkers:
+    def test_payload_headers(self, fig2_jobset):
+        data = jobset_to_dict(fig2_jobset)
+        assert data["format"] == FORMAT_NAME
+        assert data["version"] == FORMAT_VERSION
+
+    def test_wrong_format_rejected(self, fig2_jobset):
+        data = jobset_to_dict(fig2_jobset)
+        data["format"] = "something-else"
+        with pytest.raises(ModelError, match="not a"):
+            jobset_from_dict(data)
+
+    def test_wrong_version_rejected(self, fig2_jobset):
+        data = jobset_to_dict(fig2_jobset)
+        data["version"] = 99
+        with pytest.raises(ModelError, match="version"):
+            jobset_from_dict(data)
+
+
+class TestMalformedPayloads:
+    def test_invalid_json(self):
+        with pytest.raises(ModelError, match="invalid JSON"):
+            loads("{not json")
+
+    def test_non_object(self):
+        with pytest.raises(ModelError, match="object"):
+            loads("[1, 2, 3]")
+
+    def test_missing_jobs(self, fig2_jobset):
+        data = jobset_to_dict(fig2_jobset)
+        del data["jobs"]
+        with pytest.raises(ModelError, match="jobs"):
+            jobset_from_dict(data)
+
+    def test_missing_stage_field(self):
+        with pytest.raises(ModelError, match="malformed system"):
+            system_from_dict({"stages": [{"preemptive": True}]})
+
+    def test_missing_job_field(self):
+        with pytest.raises(ModelError, match="malformed job"):
+            job_from_dict({"deadline": 5.0})
+
+    def test_model_validation_still_applies(self, fig2_jobset):
+        data = jobset_to_dict(fig2_jobset)
+        data["jobs"][0]["deadline"] = -1.0
+        with pytest.raises(ModelError, match="deadline"):
+            jobset_from_dict(data)
+
+    def test_json_output_is_valid_json(self, fig2_jobset):
+        parsed = json.loads(dumps(fig2_jobset))
+        assert len(parsed["jobs"]) == 4

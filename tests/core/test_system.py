@@ -1,0 +1,149 @@
+"""Unit tests for Stage, MSMRSystem and JobSet."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ModelError
+from repro.core.job import Job
+from repro.core.system import JobSet, MSMRSystem, Stage
+
+
+class TestStage:
+    def test_defaults(self):
+        stage = Stage(num_resources=3)
+        assert stage.num_resources == 3
+        assert stage.preemptive
+
+    def test_rejects_zero_resources(self):
+        with pytest.raises(ModelError):
+            Stage(num_resources=0)
+
+
+class TestMSMRSystem:
+    def test_uniform_constructor(self):
+        system = MSMRSystem.uniform(4, 2, preemptive=False)
+        assert system.num_stages == 4
+        assert system.resources_per_stage == (2, 2, 2, 2)
+        assert system.preemptive_flags == (False,) * 4
+
+    def test_single_resource_detection(self):
+        assert MSMRSystem.uniform(3, 1).is_single_resource()
+        assert not MSMRSystem.uniform(3, 2).is_single_resource()
+
+    def test_rejects_empty(self):
+        with pytest.raises(ModelError):
+            MSMRSystem([])
+
+    def test_equality_and_hash(self):
+        a = MSMRSystem.uniform(2, 2)
+        b = MSMRSystem.uniform(2, 2)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != MSMRSystem.uniform(2, 3)
+
+    def test_repr_mentions_shape(self):
+        assert "2" in repr(MSMRSystem.uniform(3, 2))
+
+
+def two_stage_jobset():
+    system = MSMRSystem([Stage(2), Stage(2)])
+    jobs = [
+        Job(processing=(1, 2), deadline=10, resources=(0, 0)),
+        Job(processing=(2, 3), deadline=12, resources=(0, 1)),
+        Job(processing=(3, 4), deadline=14, resources=(1, 1)),
+    ]
+    return JobSet(system, jobs)
+
+
+class TestJobSet:
+    def test_arrays_shape_and_content(self):
+        jobset = two_stage_jobset()
+        assert jobset.P.shape == (3, 2)
+        assert jobset.A.shape == (3,)
+        assert np.array_equal(jobset.D, [10, 12, 14])
+        assert np.array_equal(jobset.R, [[0, 0], [0, 1], [1, 1]])
+
+    def test_shares_tensor(self):
+        jobset = two_stage_jobset()
+        # J0 and J1 share stage 0 only; J1 and J2 share stage 1 only.
+        assert jobset.shares[0, 1, 0]
+        assert not jobset.shares[0, 1, 1]
+        assert not jobset.shares[0, 2, 0]
+        assert jobset.shares[1, 2, 1]
+        # Diagonal is all-shared.
+        assert jobset.shares[1, 1].all()
+
+    def test_overlaps_synchronous_release(self):
+        jobset = two_stage_jobset()
+        assert jobset.overlaps.all()
+
+    def test_overlaps_disjoint_windows(self):
+        system = MSMRSystem.uniform(1, 1)
+        jobs = [
+            Job(processing=(1,), deadline=5, resources=(0,), arrival=0),
+            Job(processing=(1,), deadline=5, resources=(0,), arrival=100),
+        ]
+        jobset = JobSet(system, jobs)
+        assert not jobset.overlaps[0, 1]
+        assert jobset.overlaps[0, 0]
+
+    def test_touching_windows_overlap(self):
+        system = MSMRSystem.uniform(1, 1)
+        jobs = [
+            Job(processing=(1,), deadline=5, resources=(0,), arrival=0),
+            Job(processing=(1,), deadline=5, resources=(0,), arrival=5),
+        ]
+        assert JobSet(system, jobs).overlaps[0, 1]
+
+    def test_competitors(self):
+        jobset = two_stage_jobset()
+        assert jobset.competitors_at_stage(0, 0) == [1]
+        assert jobset.competitors_at_stage(0, 1) == []
+        assert jobset.competitors(1) == [0, 2]
+
+    def test_conflict_pairs(self):
+        assert two_stage_jobset().conflict_pairs() == [(0, 1), (1, 2)]
+
+    def test_jobs_on_resource(self):
+        jobset = two_stage_jobset()
+        assert jobset.jobs_on_resource(0, 0) == [0, 1]
+        assert jobset.jobs_on_resource(1, 1) == [1, 2]
+
+    def test_rejects_stage_count_mismatch(self):
+        system = MSMRSystem.uniform(3, 1)
+        with pytest.raises(ModelError, match="stages"):
+            JobSet(system, [Job(processing=(1, 2), deadline=5,
+                                resources=(0, 0))])
+
+    def test_rejects_resource_out_of_range(self):
+        system = MSMRSystem([Stage(1), Stage(2)])
+        with pytest.raises(ModelError, match="resource"):
+            JobSet(system, [Job(processing=(1, 2), deadline=5,
+                                resources=(0, 2))])
+
+    def test_rejects_empty_jobs(self):
+        with pytest.raises(ModelError):
+            JobSet(MSMRSystem.uniform(1, 1), [])
+
+    def test_single_resource_constructor(self):
+        jobset = JobSet.single_resource(
+            processing=[(1, 2), (3, 4)], deadlines=[5, 6])
+        assert jobset.system.is_single_resource()
+        assert jobset.shares.all()
+        assert np.array_equal(jobset.A, [0.0, 0.0])
+
+    def test_single_resource_with_arrivals(self):
+        jobset = JobSet.single_resource(
+            processing=[(1, 2), (3, 4)], deadlines=[5, 6],
+            arrivals=[0, 2])
+        assert np.array_equal(jobset.A, [0.0, 2.0])
+
+    def test_iteration_and_indexing(self):
+        jobset = two_stage_jobset()
+        assert len(jobset) == 3
+        assert jobset[0].deadline == 10
+        assert [job.deadline for job in jobset] == [10, 12, 14]
+
+    def test_label(self):
+        jobset = two_stage_jobset()
+        assert jobset.label(1) == "J1"

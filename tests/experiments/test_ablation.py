@@ -1,0 +1,54 @@
+"""Smoke tests for the ablation studies (tiny workloads)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.ablation import (
+    bound_tightness,
+    refinement_ablation,
+    scalability,
+    solver_agreement,
+)
+from repro.workload.edge import EdgeWorkloadConfig
+
+
+@pytest.fixture(scope="module")
+def tiny_workload():
+    return EdgeWorkloadConfig(num_jobs=12, num_aps=4, num_servers=3)
+
+
+def test_refinement_ablation(tiny_workload):
+    result = refinement_ablation(cases=3, config=tiny_workload)
+    assert len(result.rows) == 3
+    for row in result.rows:
+        # Eq. 3 is never tighter than Eq. 6 and OPDCA(eq3) never
+        # accepts more (its bound dominates).
+        assert row["eq3/eq6 bound ratio"] >= 1.0 - 1e-9
+        assert row["literal-self ratio"] >= row["eq3/eq6 bound ratio"] - 1e-9
+        if row["OPDCA(eq3)"]:
+            assert row["OPDCA(eq6)"]
+    assert "A1" in result.format()
+
+
+def test_solver_agreement(tiny_workload):
+    result = solver_agreement(cases=3, config=tiny_workload)
+    assert all(row["agree"] for row in result.rows)
+
+
+def test_bound_tightness(tiny_workload):
+    result = bound_tightness(cases=3, config=tiny_workload)
+    for row in result.rows:
+        if row["ordering violations"] >= 0:
+            # Analytical bound dominates simulation for total orderings.
+            assert row["ordering violations"] == 0
+            assert row["ordering tightness"] <= 1.0 + 1e-9
+
+
+def test_scalability_smoke():
+    result = scalability(job_counts=(10, 20), cases=1)
+    assert len(result.rows) == 2
+    assert result.rows[0]["jobs"] == 10
+    for row in result.rows:
+        for key, value in row.items():
+            if key.startswith("t("):
+                assert value >= 0.0

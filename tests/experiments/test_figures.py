@@ -1,0 +1,71 @@
+"""Smoke tests for the Figure 4 drivers on a tiny grid."""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.figures import (
+    figure_4a,
+    figure_4b,
+    figure_4c,
+    figure_4d,
+)
+from repro.experiments.report import format_series, format_table, shape_checks
+from repro.workload.edge import EdgeWorkloadConfig
+
+
+@pytest.fixture(scope="module")
+def tiny_config():
+    return ExperimentConfig(
+        cases=4,
+        base=EdgeWorkloadConfig(num_jobs=15, num_aps=5, num_servers=4))
+
+
+class TestFigure4a:
+    @pytest.fixture(scope="class")
+    def figure(self, request):
+        config = ExperimentConfig(
+            cases=4,
+            base=EdgeWorkloadConfig(num_jobs=15, num_aps=5,
+                                    num_servers=4))
+        return figure_4a(config, betas=(0.05, 0.15))
+
+    def test_points_and_series(self, figure):
+        assert len(figure.points) == 2
+        assert len(figure.series("dm")) == 2
+        assert all(0 <= v <= 100 for v in figure.series("opt"))
+
+    def test_guaranteed_shape_holds(self, figure):
+        assert shape_checks(figure) == []
+
+    def test_rendering(self, figure):
+        table = format_table(figure)
+        assert "DM" in table and "OPT" in table
+        stacked = format_table(figure, stacked=True)
+        assert "+OPDCA" in stacked
+        series = format_series(figure)
+        assert "fig4a" in series
+
+
+def test_figure_4b_smoke(tiny_config):
+    figure = figure_4b(tiny_config,
+                       fractions=((0.01, 0.01, 0.01), (0.1, 0.1, 0.01)))
+    assert len(figure.points) == 2
+    assert shape_checks(figure) == []
+
+
+def test_figure_4c_smoke(tiny_config):
+    figure = figure_4c(tiny_config, gammas=(0.6, 0.9))
+    assert len(figure.points) == 2
+    assert shape_checks(figure) == []
+    assert figure.points[0].mean_system_heaviness <= 0.6 + 1e-9
+
+
+def test_figure_4d_smoke(tiny_config):
+    figure = figure_4d(tiny_config,
+                       settings=(("gamma=0.9", {"gamma": 0.9}),))
+    assert figure.metric == "rejected heaviness (%)"
+    assert set(figure.approaches) == {"opdca", "dmr", "dm"}
+    for approach in figure.approaches:
+        assert all(0 <= v <= 100 for v in figure.series(approach))
+    # Lower-is-better metric: shape checker must not fire.
+    assert shape_checks(figure) == []

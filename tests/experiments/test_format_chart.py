@@ -1,0 +1,64 @@
+"""Tests for the ASCII chart rendering of figure results."""
+
+from repro.experiments.figures import FigureResult, SweepPoint
+from repro.experiments.report import format_chart
+from repro.workload.edge import EdgeWorkloadConfig
+
+
+def make_figure(values_by_point, *, metric="acceptance ratio (%)"):
+    points = []
+    for label, values in values_by_point:
+        point = SweepPoint(label=label, workload=EdgeWorkloadConfig())
+        point.values = dict(values)
+        points.append(point)
+    approaches = tuple(values_by_point[0][1])
+    return FigureResult(name="test", title="Test figure", xlabel="x",
+                        metric=metric, approaches=approaches,
+                        points=points, cases=10)
+
+
+class TestAcceptanceChart:
+    FIGURE = make_figure([
+        ("a", {"dm": 50.0, "dmr": 60.0, "opdca": 70.0, "opt": 80.0,
+               "dcmp": 40.0}),
+        ("b", {"dm": 20.0, "dmr": 40.0, "opdca": 30.0, "opt": 50.0,
+               "dcmp": 60.0}),
+    ])
+
+    def test_stacked_series_in_legend(self):
+        chart = format_chart(self.FIGURE)
+        legend = chart.splitlines()[0]
+        for name in ("DM", "+DMR", "+OPDCA", "+OPT"):
+            assert name in legend
+
+    def test_totals_are_running_maxima(self):
+        chart = format_chart(self.FIGURE)
+        lines = chart.splitlines()
+        assert "80.0%" in lines[1]
+        assert "50.0%" in lines[2]
+
+    def test_dcmp_rendered_separately(self):
+        chart = format_chart(self.FIGURE)
+        assert "DCMP" in chart
+        assert "40.0%" in chart
+        assert "60.0%" in chart
+
+    def test_non_monotone_chain_clamped(self):
+        """opdca below dmr (possible: opdca is optimal for P1, not P2)
+        must clamp its increment to zero, not crash."""
+        figure = make_figure([
+            ("a", {"dm": 50.0, "dmr": 70.0, "opdca": 60.0,
+                   "opt": 80.0}),
+        ])
+        chart = format_chart(figure)
+        assert "80.0%" in chart
+
+
+class TestRejectedHeavinessChart:
+    def test_grouped_layout(self):
+        figure = make_figure(
+            [("beta=0.2", {"opdca": 9.2, "dmr": 9.8, "dm": 11.0})],
+            metric="rejected heaviness (%)")
+        chart = format_chart(figure)
+        assert "beta=0.2:" in chart
+        assert "11.00%" in chart

@@ -1,0 +1,100 @@
+"""Tests for reporting helpers and experiment configuration."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import (
+    ADMISSION_SETTINGS,
+    BETA_VALUES,
+    GAMMA_VALUES,
+    HEAVY_FRACTION_VALUES,
+    ExperimentConfig,
+    full_scale,
+)
+from repro.experiments.figures import FigureResult, SweepPoint
+from repro.experiments.report import format_series, format_table, shape_checks
+from repro.workload.edge import EdgeWorkloadConfig
+
+
+def make_figure(values_by_point):
+    points = []
+    for label, values in values_by_point:
+        point = SweepPoint(label=label, workload=EdgeWorkloadConfig())
+        point.values = dict(values)
+        points.append(point)
+    approaches = tuple(values_by_point[0][1])
+    return FigureResult(name="test", title="Test figure", xlabel="x",
+                        metric="acceptance ratio (%)",
+                        approaches=approaches, points=points, cases=10)
+
+
+class TestShapeChecks:
+    def test_clean_figure(self):
+        figure = make_figure([
+            ("a", {"dm": 50.0, "dmr": 60.0, "opdca": 70.0, "opt": 75.0}),
+        ])
+        assert shape_checks(figure) == []
+
+    def test_detects_dm_above_dmr(self):
+        figure = make_figure([
+            ("a", {"dm": 80.0, "dmr": 60.0, "opdca": 85.0, "opt": 90.0}),
+        ])
+        problems = shape_checks(figure)
+        assert any("DM" in p and "DMR" in p for p in problems)
+
+    def test_detects_opdca_above_opt(self):
+        figure = make_figure([
+            ("a", {"dm": 10.0, "dmr": 20.0, "opdca": 95.0, "opt": 90.0}),
+        ])
+        assert any("OPDCA" in p for p in shape_checks(figure))
+
+    def test_non_acceptance_metric_skipped(self):
+        figure = make_figure([
+            ("a", {"dm": 80.0, "dmr": 60.0}),
+        ])
+        figure.metric = "rejected heaviness (%)"
+        assert shape_checks(figure) == []
+
+
+class TestRendering:
+    def test_stacked_increments(self):
+        figure = make_figure([
+            ("a", {"dm": 50.0, "dmr": 60.0, "opdca": 70.0, "opt": 75.0,
+                   "dcmp": 55.0}),
+        ])
+        stacked = format_table(figure, stacked=True)
+        # Increment columns: DMR-DM = 10, OPDCA-DMR = 10, OPT-OPDCA = 5.
+        assert "10.0" in stacked
+        assert "5.0" in stacked
+        assert "+DMR" in stacked and "DCMP" in stacked
+
+    def test_plain_table_contains_values(self):
+        figure = make_figure([("a", {"dm": 42.5, "dmr": 50.0})])
+        assert "42.5" in format_table(figure)
+
+    def test_series_format(self):
+        figure = make_figure([("p1", {"dm": 10.0}), ("p2", {"dm": 20.0})])
+        series = format_series(figure)
+        assert "[10.0, 20.0]" in series
+
+
+class TestExperimentConfig:
+    def test_paper_grids(self):
+        assert BETA_VALUES == (0.05, 0.10, 0.15, 0.20)
+        assert len(HEAVY_FRACTION_VALUES) == 4
+        assert GAMMA_VALUES == (0.6, 0.7, 0.8, 0.9)
+        assert len(ADMISSION_SETTINGS) == 6
+
+    def test_quick_vs_paper(self):
+        assert ExperimentConfig.quick().cases < \
+            ExperimentConfig.paper().cases
+
+    def test_from_environment(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FULL", raising=False)
+        assert not full_scale()
+        assert ExperimentConfig.from_environment().cases == \
+            ExperimentConfig.quick().cases
+        monkeypatch.setenv("REPRO_FULL", "1")
+        assert full_scale()
+        assert ExperimentConfig.from_environment().cases == \
+            ExperimentConfig.paper().cases

@@ -1,0 +1,61 @@
+"""Tests for the per-case experiment runner."""
+
+import pytest
+
+from repro.experiments.runner import APPROACHES, evaluate_case
+from repro.workload.edge import EdgeWorkloadConfig, generate_edge_case
+
+
+@pytest.fixture(scope="module")
+def case():
+    config = EdgeWorkloadConfig(num_jobs=15, num_aps=5, num_servers=4)
+    return generate_edge_case(config, seed=1)
+
+
+class TestEvaluateCase:
+    def test_all_approaches_reported(self, case):
+        result = evaluate_case(case)
+        assert set(result.accepted) == set(APPROACHES)
+        assert set(result.runtime) == set(APPROACHES)
+        assert all(t >= 0 for t in result.runtime.values())
+
+    def test_guaranteed_dominances(self, case):
+        result = evaluate_case(case)
+        if result.accepted_by("dm"):
+            assert result.accepted_by("dmr")
+            assert result.accepted_by("opdca")
+        if result.accepted_by("dmr"):
+            assert result.accepted_by("opt")
+        if result.accepted_by("opdca"):
+            assert result.accepted_by("opt")
+
+    def test_subset_of_approaches(self, case):
+        result = evaluate_case(case, approaches=("dm", "dcmp"))
+        assert set(result.accepted) == {"dm", "dcmp"}
+
+    def test_unknown_approach_rejected(self, case):
+        with pytest.raises(ValueError, match="unknown approach"):
+            evaluate_case(case, approaches=("rms",))
+
+    def test_heaviness_recorded(self, case):
+        result = evaluate_case(case, approaches=("dm",))
+        assert 0 < result.system_heaviness <= case.config.gamma + 1e-9
+
+    def test_opt_backend_choice(self, case):
+        result = evaluate_case(case, approaches=("opt",),
+                               opt_backend="cp")
+        assert "opt" in result.accepted
+
+    def test_dominances_across_seeds(self):
+        config = EdgeWorkloadConfig(num_jobs=12, num_aps=4,
+                                    num_servers=3)
+        for seed in range(8):
+            case = generate_edge_case(config, seed=seed)
+            result = evaluate_case(
+                case, approaches=("dm", "dmr", "opdca", "opt"))
+            assert not (result.accepted_by("dm")
+                        and not result.accepted_by("dmr"))
+            assert not (result.accepted_by("dmr")
+                        and not result.accepted_by("opt"))
+            assert not (result.accepted_by("opdca")
+                        and not result.accepted_by("opt"))

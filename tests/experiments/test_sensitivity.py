@@ -1,0 +1,90 @@
+"""Tests for the sensitivity sweeps (paper's closing conjecture)."""
+
+import pytest
+
+from repro.experiments.sensitivity import (
+    SWEEP_APPROACHES,
+    gap_vs_jobs,
+    gap_vs_resources,
+    gap_vs_stages,
+    summarize_gaps,
+)
+from repro.workload.edge import EdgeWorkloadConfig
+from repro.workload.pipeline import PipelineWorkloadConfig
+
+#: Tiny but non-trivial edge base for fast sweeps.
+SMALL_EDGE = EdgeWorkloadConfig(num_jobs=16, num_aps=4, num_servers=3)
+
+
+class TestGapVsJobs:
+    def test_rows_and_columns(self):
+        result = gap_vs_jobs(job_counts=(8, 16), cases=2,
+                             base=SMALL_EDGE)
+        assert len(result.rows) == 2
+        for row in result.rows:
+            for approach in SWEEP_APPROACHES:
+                assert 0.0 <= row[f"AR({approach})"] <= 100.0
+            assert row["gap(OPT-OPDCA)"] == pytest.approx(
+                row["AR(opt)"] - row["AR(opdca)"])
+
+    def test_point_labels(self):
+        result = gap_vs_jobs(job_counts=(8,), cases=1, base=SMALL_EDGE)
+        assert result.rows[0]["point"] == "n=8"
+
+    def test_guaranteed_relations_hold(self):
+        result = gap_vs_jobs(job_counts=(12, 20), cases=3,
+                             base=SMALL_EDGE)
+        for row in result.rows:
+            assert row["AR(dm)"] <= row["AR(dmr)"] + 1e-9
+            assert row["AR(dmr)"] <= row["AR(opt)"] + 1e-9
+            assert row["AR(opdca)"] <= row["AR(opt)"] + 1e-9
+
+
+class TestGapVsResources:
+    def test_pool_scaling_in_labels(self):
+        result = gap_vs_resources(pool_scales=(0.5, 1.0), cases=1,
+                                  base=SMALL_EDGE)
+        assert "2AP" in result.rows[0]["point"]
+        assert "4AP" in result.rows[1]["point"]
+
+    def test_more_resources_never_hurt_opt(self):
+        result = gap_vs_resources(pool_scales=(0.75, 2.0), cases=3,
+                                  base=SMALL_EDGE)
+        assert result.rows[1]["AR(opt)"] >= \
+            result.rows[0]["AR(opt)"] - 1e-9
+
+
+class TestGapVsStages:
+    BASE = PipelineWorkloadConfig(num_jobs=14, resources_per_stage=3,
+                                  heavy_fractions=0.1)
+
+    def test_stage_sweep_runs(self):
+        result = gap_vs_stages(stage_counts=(2, 3), cases=2,
+                               base=self.BASE)
+        assert [row["point"] for row in result.rows] == ["N=2", "N=3"]
+
+    def test_uses_eq6(self):
+        assert "eq6" in gap_vs_stages(stage_counts=(2,), cases=1,
+                                      base=self.BASE).context
+
+
+class TestSummary:
+    def test_mentions_every_gap(self):
+        result = gap_vs_jobs(job_counts=(8, 16), cases=1,
+                             base=SMALL_EDGE)
+        summary = summarize_gaps([result])
+        assert "gap(OPT-OPDCA)" in summary
+        assert "gap(OPT-DM)" in summary
+        assert "S1 gap vs jobs" in summary
+
+    def test_monotone_flagging(self):
+        from repro.experiments.ablation import AblationResult
+
+        rising = AblationResult(name="x", context="", rows=[
+            {"gap(OPT-OPDCA)": 0.0, "gap(OPT-DM)": 5.0},
+            {"gap(OPT-OPDCA)": 2.0, "gap(OPT-DM)": 1.0},
+        ])
+        summary = summarize_gaps([rising])
+        lines = summary.splitlines()
+        assert "monotone" in lines[0] and "non-" not in lines[0]
+        assert "non-monotone" in lines[1]

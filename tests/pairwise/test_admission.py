@@ -1,0 +1,89 @@
+"""Tests for the DM/DMR admission controllers (Figure 4d)."""
+
+import numpy as np
+import pytest
+
+from repro.core.system import JobSet
+from repro.pairwise.admission import dm_admission, dmr_admission
+from repro.pairwise.dm import dm
+from repro.pairwise.dmr import dmr
+from repro.workload.random_jobs import RandomInstanceConfig, random_jobset
+from tests.conftest import EXAMPLE1_PROCESSING
+
+
+def tight_jobset():
+    return JobSet.single_resource(
+        processing=EXAMPLE1_PROCESSING,
+        deadlines=[45, 45, 45, 45], preemptive=True)
+
+
+class TestDMAdmission:
+    def test_accepts_all_when_feasible(self):
+        jobset = JobSet.single_resource(
+            processing=EXAMPLE1_PROCESSING,
+            deadlines=[150, 140, 130, 120], preemptive=True)
+        result = dm_admission(jobset, "eq1")
+        assert result.rejected == []
+        assert result.accepted == [0, 1, 2, 3]
+
+    def test_discards_worst_offender_first(self):
+        jobset = tight_jobset()
+        assert not dm(jobset, "eq1").feasible
+        result = dm_admission(jobset, "eq1")
+        assert result.rejected
+        survivors = result.accepted
+        assert (result.delays[survivors] <=
+                jobset.D[survivors] + 1e-9).all()
+
+    def test_terminates_on_hopeless_instances(self):
+        """The controller terminates with a feasible remainder; jobs
+        whose isolated bound (t1 + P1 = 60 <= 65) fits survive alone."""
+        jobset = JobSet.single_resource(
+            processing=[(30, 30), (30, 30), (30, 30)],
+            deadlines=[65, 65, 65], preemptive=True)
+        result = dm_admission(jobset, "eq1")
+        assert result.num_accepted == 1
+        assert result.num_rejected == 2
+
+
+class TestDMRAdmission:
+    def test_repair_before_discard(self):
+        """An instance DMR fully repairs must reject nothing."""
+        jobset = random_jobset(
+            RandomInstanceConfig(num_jobs=5, num_stages=3,
+                                 resources_per_stage=2,
+                                 slack_range=(0.7, 1.6)), seed=0)
+        assert dmr(jobset, "eq6").feasible
+        result = dmr_admission(jobset, "eq6")
+        assert result.rejected == []
+
+    def test_discards_when_repair_fails(self, fig2_jobset):
+        result = dmr_admission(fig2_jobset, "eq6")
+        assert result.rejected
+        survivors = result.accepted
+        assert (result.delays[survivors] <=
+                fig2_jobset.D[survivors] + 1e-9).all()
+
+    def test_rejects_no_more_than_dm(self):
+        """DMR's repair can only reduce the pressure to discard; its
+        rejected heaviness is at most DM's on average (checked
+        per-instance via counts here)."""
+        worse = 0
+        for seed in range(15):
+            jobset = random_jobset(
+                RandomInstanceConfig(num_jobs=8, num_stages=3,
+                                     resources_per_stage=2,
+                                     slack_range=(0.5, 1.4)),
+                seed=seed)
+            dm_result = dm_admission(jobset, "eq6")
+            dmr_result = dmr_admission(jobset, "eq6")
+            if dmr_result.num_rejected > dm_result.num_rejected:
+                worse += 1
+        # Not a theorem, but the repair should rarely discard more.
+        assert worse <= 3
+
+    def test_admission_result_bookkeeping(self, fig2_jobset):
+        result = dmr_admission(fig2_jobset, "eq6")
+        assert sorted(result.accepted + result.rejected) == [0, 1, 2, 3]
+        for job in result.rejected:
+            assert np.isnan(result.delays[job])

@@ -1,0 +1,67 @@
+"""Tests for the conflict graph."""
+
+import pytest
+
+from repro.pairwise.conflicts import ConflictGraph, ConflictPair
+from repro.core.job import Job
+from repro.core.system import JobSet, MSMRSystem, Stage
+
+
+class TestFigure2Conflicts:
+    @pytest.fixture
+    def graph(self, fig2_jobset):
+        return ConflictGraph(fig2_jobset)
+
+    def test_pairs(self, graph):
+        pairs = {(p.i, p.k) for p in graph.pairs}
+        assert pairs == {(0, 1), (0, 2), (1, 3), (2, 3)}
+
+    def test_shared_stages_recorded(self, graph):
+        by_pair = {(p.i, p.k): p.shared_stages for p in graph.pairs}
+        assert by_pair[(0, 2)] == (0,)       # J1/J3 share S1
+        assert by_pair[(0, 1)] == (1, 2)     # J1/J2 share S2, S3
+        assert by_pair[(1, 3)] == (0,)
+        assert by_pair[(2, 3)] == (1, 2)
+
+    def test_neighbors_and_degree(self, graph):
+        assert graph.neighbors(0) == [1, 2]
+        assert graph.degree(0) == 2
+        assert graph.in_conflict(0, 1)
+        assert not graph.in_conflict(0, 3)
+
+    def test_components_single(self, graph):
+        assert graph.components() == [[0, 1, 2, 3]]
+
+    def test_density(self, graph):
+        assert graph.density() == pytest.approx(4 / 6)
+
+
+class TestDisconnectedComponents:
+    def test_two_islands(self):
+        system = MSMRSystem([Stage(2), Stage(2)])
+        jobs = [
+            Job(processing=(1, 1), deadline=10, resources=(0, 0)),
+            Job(processing=(1, 1), deadline=10, resources=(0, 0)),
+            Job(processing=(1, 1), deadline=10, resources=(1, 1)),
+            Job(processing=(1, 1), deadline=10, resources=(1, 1)),
+        ]
+        graph = ConflictGraph(JobSet(system, jobs))
+        assert graph.components() == [[0, 1], [2, 3]]
+        assert graph.num_pairs == 2
+
+    def test_isolated_job(self):
+        system = MSMRSystem([Stage(3)])
+        jobs = [
+            Job(processing=(1,), deadline=10, resources=(0,)),
+            Job(processing=(1,), deadline=10, resources=(1,)),
+            Job(processing=(1,), deadline=10, resources=(2,)),
+        ]
+        graph = ConflictGraph(JobSet(system, jobs))
+        assert graph.num_pairs == 0
+        assert graph.density() == 0.0
+        assert graph.components() == [[0], [1], [2]]
+
+
+def test_conflict_pair_enforces_ordering():
+    with pytest.raises(ValueError, match="i < k"):
+        ConflictPair(i=2, k=1, shared_stages=(0,))

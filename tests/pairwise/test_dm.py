@@ -1,0 +1,69 @@
+"""Tests for the deadline-monotonic pairwise baseline."""
+
+import numpy as np
+import pytest
+
+from repro.core.job import Job
+from repro.core.system import JobSet, MSMRSystem, Stage
+from repro.pairwise.dm import dm, dm_assignment
+from tests.conftest import EXAMPLE1_PROCESSING
+
+
+class TestAssignment:
+    def test_orientation_by_deadline(self, fig2_jobset):
+        assignment = dm_assignment(fig2_jobset)
+        # D = [60, 55, 55, 50]: J4 (50) beats its conflicts, J1 (60)
+        # loses everything.
+        assert assignment.is_higher(3, 1)
+        assert assignment.is_higher(3, 2)
+        assert assignment.is_higher(1, 0)
+        assert assignment.is_higher(2, 0)
+
+    def test_tie_goes_to_lower_index(self, fig2_jobset):
+        # J2 and J3 both have D = 55 but do not conflict; build a case
+        # with a genuine tie.
+        system = MSMRSystem([Stage(1)])
+        jobs = [Job(processing=(1,), deadline=5, resources=(0,)),
+                Job(processing=(2,), deadline=5, resources=(0,))]
+        assignment = dm_assignment(JobSet(system, jobs))
+        assert assignment.is_higher(0, 1)
+        assert not assignment.is_higher(1, 0)
+
+    def test_assignment_is_acyclic(self, fig2_jobset):
+        assert dm_assignment(fig2_jobset).is_acyclic()
+
+    def test_non_conflicting_pairs_unoriented(self, fig2_jobset):
+        assignment = dm_assignment(fig2_jobset)
+        assert not assignment.is_higher(0, 3)
+        assert not assignment.is_higher(3, 0)
+
+
+class TestEvaluation:
+    def test_footnote9_dm_fails(self):
+        """Footnote 9: DM is infeasible on Example 1 with D1 = 60."""
+        jobset = JobSet.single_resource(
+            processing=EXAMPLE1_PROCESSING,
+            deadlines=[60, 55, 55, 50], preemptive=True)
+        result = dm(jobset, "eq1")
+        assert not result.feasible
+        # J1 at the bottom: Delta_1 = 82 > 60 (the footnote's value);
+        # J3 also misses under this deadline vector.
+        assert result.delays[0] == pytest.approx(82.0)
+        assert result.misses() == [0, 2]
+
+    def test_feasible_when_deadlines_are_loose(self):
+        jobset = JobSet.single_resource(
+            processing=EXAMPLE1_PROCESSING,
+            deadlines=[150, 140, 130, 120], preemptive=True)
+        result = dm(jobset, "eq1")
+        assert result.feasible
+        assert result.misses() == []
+
+    def test_figure2_dm_infeasible(self, fig2_jobset):
+        assert not dm(fig2_jobset, "eq6").feasible
+
+    def test_result_metadata(self, fig2_jobset):
+        result = dm(fig2_jobset, "eq6")
+        assert result.solver == "dm"
+        assert result.equation == "eq6"
+        assert result.delays.shape == (4,)

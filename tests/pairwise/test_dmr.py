@@ -1,0 +1,99 @@
+"""Tests for the DMR heuristic (Algorithm 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.dca import DelayAnalyzer
+from repro.core.system import JobSet
+from repro.pairwise.dm import dm
+from repro.pairwise.dmr import dmr
+from repro.workload.random_jobs import RandomInstanceConfig, random_jobset
+from tests.conftest import EXAMPLE1_PROCESSING
+
+
+#: Random MSMR instance on which DM fails but repair succeeds (also
+#: schedulable by OPDCA); see tests/pairwise/test_admission.py.
+REPAIRABLE = RandomInstanceConfig(num_jobs=5, num_stages=3,
+                                  resources_per_stage=2,
+                                  slack_range=(0.7, 1.6))
+REPAIRABLE_SEED = 0
+
+
+class TestRepair:
+    def test_repairs_instance_dm_cannot_schedule(self):
+        """DM fails on this instance; the repair phase must steal
+        priority from slack donors until every deadline holds."""
+        jobset = random_jobset(REPAIRABLE, seed=REPAIRABLE_SEED)
+        assert not dm(jobset, "eq6").feasible
+        result = dmr(jobset, "eq6")
+        assert result.feasible
+        assert result.stats["flips"] >= 1
+        assert (result.delays <= jobset.D + 1e-9).all()
+
+    def test_no_flips_when_dm_feasible(self):
+        jobset = JobSet.single_resource(
+            processing=EXAMPLE1_PROCESSING,
+            deadlines=[150, 140, 130, 120], preemptive=True)
+        result = dmr(jobset, "eq1")
+        assert result.feasible
+        assert result.stats["flips"] == 0
+
+    def test_flip_keeps_donor_feasible(self):
+        for seed in range(15):
+            jobset = random_jobset(
+                RandomInstanceConfig(num_jobs=6, num_stages=3,
+                                     resources_per_stage=2,
+                                     slack_range=(0.7, 1.8)),
+                seed=seed)
+            result = dmr(jobset, "eq6")
+            if result.feasible:
+                assert (result.delays <= jobset.D + 1e-9).all()
+
+    def test_infeasible_returns_best_attempt(self, fig2_jobset):
+        result = dmr(fig2_jobset, "eq6")
+        assert not result.feasible
+        assert result.assignment is not None
+        assert result.delays is not None
+
+    def test_dominates_dm(self):
+        """DMR accepts every instance DM accepts (repair only starts
+        from DM and never breaks a feasible assignment)."""
+        for seed in range(25):
+            jobset = random_jobset(
+                RandomInstanceConfig(num_jobs=6, num_stages=3,
+                                     resources_per_stage=2,
+                                     slack_range=(0.6, 1.6)),
+                seed=seed)
+            analyzer = DelayAnalyzer(jobset)
+            if dm(jobset, "eq6", analyzer=analyzer).feasible:
+                assert dmr(jobset, "eq6", analyzer=analyzer).feasible
+
+    def test_flip_budget_respected(self, fig2_jobset):
+        result = dmr(fig2_jobset, "eq6", max_flips=0)
+        assert not result.feasible
+        assert result.stats["flips"] == 0
+
+
+class TestLocality:
+    def test_flip_only_affects_the_two_jobs(self, fig2_jobset):
+        """Re-orienting a pair must not change any third job's bound --
+        the structural property the repair relies on."""
+        analyzer = DelayAnalyzer(fig2_jobset)
+        from repro.pairwise.dm import dm_assignment
+        assignment = dm_assignment(fig2_jobset)
+        before = analyzer.delays_for_pairwise(assignment.matrix(),
+                                              equation="eq6")
+        flipped = assignment.flipped(0, 2)
+        after = analyzer.delays_for_pairwise(flipped.matrix(),
+                                             equation="eq6")
+        for job in (1, 3):
+            assert after[job] == pytest.approx(before[job])
+        assert after[0] != pytest.approx(before[0])
+
+
+class TestEquationSupport:
+    @pytest.mark.parametrize("equation", ["eq6", "eq4", "eq10"])
+    def test_runs_on_msmr_instance(self, fig2_jobset, equation):
+        result = dmr(fig2_jobset, equation)
+        assert result.equation == equation
+        assert result.delays is not None

@@ -1,0 +1,134 @@
+"""Tests for the OPT ILP model construction (Eqs. 7-9)."""
+
+import numpy as np
+import pytest
+
+from repro.core.dca import DelayAnalyzer
+from repro.core.priorities import PairwiseAssignment
+from repro.pairwise.dm import dm_assignment
+from repro.pairwise.ilp import (
+    build_opt_model,
+    extract_assignment,
+    job_additive_coefficients,
+)
+from repro.solver.highs import solve_highs
+from tests.conftest import FIG2_PAIRS
+
+
+class TestCoefficients:
+    def test_eq6_uses_refined_weights(self, fig2_jobset):
+        analyzer = DelayAnalyzer(fig2_jobset)
+        coefficients = job_additive_coefficients(analyzer, "eq6")
+        assert coefficients[1, 0] == pytest.approx(15 + 7)   # w=2
+        assert coefficients[0, 2] == pytest.approx(6)        # w=1
+        assert coefficients[0, 0] == pytest.approx(15)       # self t1
+
+    def test_eq4_uses_segment_counts(self, fig2_jobset):
+        analyzer = DelayAnalyzer(fig2_jobset)
+        coefficients = job_additive_coefficients(analyzer, "eq4")
+        # (J2, J1): one segment, et1 = 15 -> 15 (not 22).
+        assert coefficients[1, 0] == pytest.approx(15)
+        assert coefficients[0, 0] == pytest.approx(15)       # self t1
+
+    def test_unknown_equation_rejected(self, fig2_jobset):
+        analyzer = DelayAnalyzer(fig2_jobset)
+        with pytest.raises(ValueError, match="OPT supports"):
+            job_additive_coefficients(analyzer, "eq1")
+
+
+class TestModelShape:
+    def test_one_binary_per_relevant_pair(self, fig2_jobset):
+        model = build_opt_model(fig2_jobset, "eq6")
+        assert model.num_pair_vars == 4
+        assert set(model.pair_vars) == {(0, 1), (0, 2), (1, 3), (2, 3)}
+
+    def test_theta_variables_eq6(self, fig2_jobset):
+        model = build_opt_model(fig2_jobset, "eq6")
+        # N-1 = 2 theta per job, no lambdas.
+        assert len(model.theta_vars) == 8
+        assert len(model.lambda_vars) == 0
+
+    def test_theta_lambda_variables_eq10(self, fig2_jobset):
+        model = build_opt_model(fig2_jobset, "eq10")
+        assert len(model.theta_vars) == 8      # stages 0, 1
+        assert len(model.lambda_vars) == 4     # stage 2
+
+    def test_faithful_mode_adds_selectors(self, fig2_jobset):
+        compact = build_opt_model(fig2_jobset, "eq6", mode="compact")
+        faithful = build_opt_model(fig2_jobset, "eq6", mode="faithful")
+        assert not compact.selector_vars
+        assert faithful.selector_vars
+        assert faithful.problem.num_vars > compact.problem.num_vars
+
+    def test_theta_lower_bound_includes_self(self, fig2_jobset):
+        model = build_opt_model(fig2_jobset, "eq6")
+        theta_0_0 = model.theta_vars[(0, 0)]
+        # theta_{J1, S1} >= P_{1,1} = 5.
+        assert model.problem.lower[theta_0_0] == pytest.approx(5.0)
+
+    def test_invalid_mode_rejected(self, fig2_jobset):
+        with pytest.raises(ValueError, match="mode"):
+            build_opt_model(fig2_jobset, "eq6", mode="loose")
+
+
+class TestModelSemantics:
+    @pytest.mark.parametrize("mode", ["compact", "faithful"])
+    def test_fixing_figure2_solution_is_feasible(self, fig2_jobset, mode):
+        """Pin the pair variables to Figure 2(b) and solve: the model
+        must accept it (delays 34/55/51/22 <= deadlines)."""
+        model = build_opt_model(fig2_jobset, "eq6", mode=mode)
+        problem = model.problem
+        lower = problem.lower.copy()
+        upper = problem.upper.copy()
+        winners = {(min(a, b), max(a, b)): a for a, b in FIG2_PAIRS}
+        for (i, k), var in model.pair_vars.items():
+            value = 1.0 if winners[(i, k)] == i else 0.0
+            lower[var] = upper[var] = value
+        pinned = type(problem)(
+            objective=problem.objective, integrality=problem.integrality,
+            lower=lower, upper=upper, a_ub=problem.a_ub,
+            b_ub=problem.b_ub, a_eq=problem.a_eq, b_eq=problem.b_eq,
+            names=problem.names)
+        result = solve_highs(pinned)
+        assert result.feasible
+
+    @pytest.mark.parametrize("mode", ["compact", "faithful"])
+    def test_fixing_any_total_order_is_infeasible(self, fig2_jobset,
+                                                  mode):
+        """Pin the DM ordering (a total order): the model must reject
+        it, because no ordering is feasible for Figure 2."""
+        model = build_opt_model(fig2_jobset, "eq6", mode=mode)
+        problem = model.problem
+        lower = problem.lower.copy()
+        upper = problem.upper.copy()
+        assignment = dm_assignment(fig2_jobset)
+        for (i, k), var in model.pair_vars.items():
+            value = 1.0 if assignment.is_higher(i, k) else 0.0
+            lower[var] = upper[var] = value
+        pinned = type(problem)(
+            objective=problem.objective, integrality=problem.integrality,
+            lower=lower, upper=upper, a_ub=problem.a_ub,
+            b_ub=problem.b_ub, a_eq=problem.a_eq, b_eq=problem.b_eq,
+            names=problem.names)
+        result = solve_highs(pinned)
+        assert not result.feasible
+
+
+class TestExtraction:
+    def test_extract_respects_pair_variables(self, fig2_jobset):
+        model = build_opt_model(fig2_jobset, "eq6")
+        x = np.zeros(model.problem.num_vars)
+        winners = {(min(a, b), max(a, b)): a for a, b in FIG2_PAIRS}
+        for (i, k), var in model.pair_vars.items():
+            x[var] = 1.0 if winners[(i, k)] == i else 0.0
+        assignment = extract_assignment(model, x, fig2_jobset)
+        expected = PairwiseAssignment.from_pairs(fig2_jobset, FIG2_PAIRS)
+        assert assignment == expected
+
+    def test_model_delays_match_analyzer(self, fig2_jobset):
+        """Feasibility agreement: a solution accepted by the ILP always
+        verifies against DelayAnalyzer (exercised via opt() which
+        raises SolverError on mismatch)."""
+        from repro.pairwise.opt import opt
+        result = opt(fig2_jobset, "eq6", backend="highs")
+        assert result.feasible

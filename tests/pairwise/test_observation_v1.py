@@ -1,0 +1,73 @@
+"""Observation V.1 end to end: the Figure 2 instance admits a pairwise
+priority assignment but no total priority ordering."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.dca import DelayAnalyzer
+from repro.core.opdca import opdca
+from repro.core.priorities import PairwiseAssignment
+from repro.pairwise.opt import opt
+from tests.conftest import FIG2_PAIRS
+
+
+def test_no_total_ordering_exists(fig2_jobset):
+    """All 24 permutations violate some deadline under Eq. 6."""
+    analyzer = DelayAnalyzer(fig2_jobset)
+    for perm in itertools.permutations(range(4)):
+        priority = np.empty(4, dtype=int)
+        for rank, job in enumerate(perm, start=1):
+            priority[job] = rank
+        delays = analyzer.delays_for_ordering(priority, equation="eq6")
+        assert (delays > fig2_jobset.D + 1e-9).any(), \
+            f"ordering {perm} unexpectedly feasible"
+
+
+def test_opdca_declares_infeasible(fig2_jobset):
+    assert not opdca(fig2_jobset, "eq6").feasible
+
+
+def test_paper_pairwise_assignment_is_feasible(fig2_jobset):
+    """Figure 2(b)'s orientation meets every deadline with the exact
+    hand-computed bounds (34, 55, 51, 22)."""
+    analyzer = DelayAnalyzer(fig2_jobset)
+    assignment = PairwiseAssignment.from_pairs(fig2_jobset, FIG2_PAIRS)
+    delays = analyzer.delays_for_pairwise(assignment.matrix(),
+                                          equation="eq6")
+    assert np.allclose(delays, [34, 55, 51, 22])
+    assert (delays <= fig2_jobset.D).all()
+
+
+@pytest.mark.parametrize("backend", ["highs", "branch_bound", "cp"])
+def test_opt_finds_a_feasible_assignment(fig2_jobset, backend):
+    result = opt(fig2_jobset, "eq6", backend=backend)
+    assert result.feasible
+    assert (result.delays <= fig2_jobset.D + 1e-9).all()
+    # Any feasible solution here must be cyclic (no ordering exists).
+    assert not result.assignment.is_acyclic()
+
+
+def test_feasible_ordering_implies_feasible_pairwise(fig2_jobset):
+    """The converse direction of Observation V.1: loosening deadlines
+    until an ordering exists, the projected pairwise assignment is
+    feasible with identical delay bounds."""
+    import dataclasses
+
+    from repro.core.job import Job
+    from repro.core.system import JobSet
+
+    loose_jobs = [
+        Job(processing=job.processing, deadline=job.deadline + 40,
+            resources=job.resources)
+        for job in fig2_jobset.jobs
+    ]
+    loose = JobSet(fig2_jobset.system, loose_jobs)
+    result = opdca(loose, "eq6")
+    assert result.feasible
+    analyzer = DelayAnalyzer(loose)
+    projected = result.ordering.to_pairwise(loose)
+    delays = analyzer.delays_for_pairwise(projected.matrix(),
+                                          equation="eq6")
+    assert np.allclose(delays, result.delays)

@@ -1,0 +1,122 @@
+"""Tests for the OPT driver and the exact CP search, including
+cross-backend agreement (exactness of all three)."""
+
+import numpy as np
+import pytest
+
+from repro.core.dca import DelayAnalyzer
+from repro.core.opdca import opdca
+from repro.pairwise.dmr import dmr
+from repro.pairwise.opt import BACKENDS, opt
+from repro.pairwise.search import cp_search
+from repro.workload.random_jobs import RandomInstanceConfig, random_jobset
+
+
+class TestDriver:
+    def test_unknown_backend_rejected(self, fig2_jobset):
+        with pytest.raises(ValueError, match="backend"):
+            opt(fig2_jobset, backend="gurobi")
+
+    def test_solver_tag_in_result(self, fig2_jobset):
+        assert opt(fig2_jobset, backend="highs").solver == "opt/highs"
+        assert opt(fig2_jobset, backend="cp").solver == "opt/cp"
+
+    def test_stats_exposed(self, fig2_jobset):
+        result = opt(fig2_jobset, backend="highs")
+        assert result.stats["pair_variables"] == 4
+        assert result.stats["status"] == "optimal"
+
+    def test_infeasible_instance(self, fig2_jobset):
+        from repro.core.job import Job
+        from repro.core.system import JobSet
+        tight = JobSet(fig2_jobset.system, [
+            Job(processing=job.processing, deadline=15.0,
+                resources=job.resources)
+            for job in fig2_jobset.jobs
+        ])
+        for backend in BACKENDS:
+            result = opt(tight, backend=backend)
+            assert not result.feasible
+            assert result.assignment is None
+
+
+class TestBackendAgreement:
+    @pytest.mark.parametrize("seed", range(15))
+    def test_all_backends_agree(self, seed):
+        jobset = random_jobset(
+            RandomInstanceConfig(num_jobs=6, num_stages=3,
+                                 resources_per_stage=2,
+                                 slack_range=(0.6, 1.5)),
+            seed=seed)
+        analyzer = DelayAnalyzer(jobset)
+        verdicts = {
+            backend: opt(jobset, "eq6", backend=backend,
+                         analyzer=analyzer).feasible
+            for backend in BACKENDS
+        }
+        assert len(set(verdicts.values())) == 1, verdicts
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_compact_and_faithful_agree(self, seed):
+        jobset = random_jobset(
+            RandomInstanceConfig(num_jobs=5, num_stages=3,
+                                 resources_per_stage=2,
+                                 slack_range=(0.6, 1.5)),
+            seed=seed)
+        compact = opt(jobset, "eq6", mode="compact").feasible
+        faithful = opt(jobset, "eq6", mode="faithful").feasible
+        assert compact == faithful
+
+
+class TestCompleteness:
+    @pytest.mark.parametrize("seed", range(15))
+    def test_opt_dominates_opdca(self, seed):
+        """Any instance with a feasible total ordering has a feasible
+        pairwise assignment (projection), so OPT >= OPDCA."""
+        jobset = random_jobset(
+            RandomInstanceConfig(num_jobs=6, num_stages=3,
+                                 resources_per_stage=2,
+                                 slack_range=(0.6, 1.5)),
+            seed=seed)
+        if opdca(jobset, "eq6").feasible:
+            assert opt(jobset, "eq6", backend="cp").feasible
+
+    @pytest.mark.parametrize("seed", range(15))
+    def test_opt_dominates_dmr(self, seed):
+        jobset = random_jobset(
+            RandomInstanceConfig(num_jobs=6, num_stages=3,
+                                 resources_per_stage=2,
+                                 slack_range=(0.6, 1.5)),
+            seed=seed)
+        if dmr(jobset, "eq6").feasible:
+            assert opt(jobset, "eq6", backend="cp").feasible
+
+
+class TestCPSearchInternals:
+    def test_stats_reported(self, fig2_jobset):
+        result = cp_search(fig2_jobset, "eq6")
+        assert result.feasible
+        assert result.stats["complete"]
+        assert result.stats["decisions"] >= 1
+
+    def test_decision_limit_reported(self, fig2_jobset):
+        result = cp_search(fig2_jobset, "eq6", decision_limit=1)
+        # With a one-decision budget the search cannot finish...
+        if not result.feasible:
+            assert not result.stats["complete"]
+
+    def test_unsupported_equation(self, fig2_jobset):
+        with pytest.raises(ValueError, match="supports"):
+            cp_search(fig2_jobset, "eq1")
+
+    def test_verified_delays_returned(self, fig2_jobset):
+        result = cp_search(fig2_jobset, "eq6")
+        analyzer = DelayAnalyzer(fig2_jobset)
+        expected = analyzer.delays_for_pairwise(
+            result.assignment.matrix(), equation="eq6")
+        assert np.allclose(result.delays, expected)
+
+    @pytest.mark.parametrize("equation", ["eq6", "eq10", "eq4"])
+    def test_equations_supported(self, fig2_jobset, equation):
+        result = cp_search(fig2_jobset, equation)
+        assert result.equation == equation

@@ -1,0 +1,101 @@
+"""Tests for the conflict-graph-decomposed OPT solver."""
+
+import numpy as np
+import pytest
+
+from repro.core.job import Job
+from repro.core.system import JobSet, MSMRSystem, Stage
+from repro.pairwise.conflicts import ConflictGraph
+from repro.pairwise.opt import opt, opt_decomposed
+from repro.workload.edge import EdgeWorkloadConfig, generate_edge_case
+from repro.workload.random_jobs import RandomInstanceConfig, random_jobset
+
+
+def two_island_jobset(*, tight: bool = False):
+    """Two independent conflict components on disjoint resources."""
+    system = MSMRSystem([Stage(2), Stage(2)])
+    d = 18 if tight else 60
+    jobs = [
+        # Island A on resource 0.
+        Job(processing=(4, 6), deadline=60, resources=(0, 0)),
+        Job(processing=(3, 5), deadline=d, resources=(0, 0)),
+        # Island B on resource 1.
+        Job(processing=(2, 7), deadline=60, resources=(1, 1)),
+        Job(processing=(6, 2), deadline=60, resources=(1, 1)),
+    ]
+    return JobSet(system, jobs)
+
+
+class TestDecomposition:
+    def test_components_found(self):
+        jobset = two_island_jobset()
+        components = ConflictGraph(jobset).components()
+        assert components == [[0, 1], [2, 3]]
+
+    def test_feasible_matches_monolithic(self):
+        jobset = two_island_jobset()
+        mono = opt(jobset, "eq6")
+        deco = opt_decomposed(jobset, "eq6")
+        assert mono.feasible and deco.feasible
+        assert deco.stats["components"] == [2, 2]
+        np.testing.assert_allclose(deco.delays, mono.delays)
+
+    def test_cross_island_pairs_unoriented(self):
+        jobset = two_island_jobset()
+        deco = opt_decomposed(jobset, "eq6")
+        x = deco.assignment.matrix()
+        for i in (0, 1):
+            for k in (2, 3):
+                assert not x[i, k] and not x[k, i]
+
+    def test_failed_component_reported(self):
+        system = MSMRSystem([Stage(2), Stage(2)])
+        jobs = [
+            Job(processing=(4, 6), deadline=60, resources=(0, 0)),
+            Job(processing=(3, 5), deadline=60, resources=(0, 0)),
+            # Island B cannot meet its deadlines in any orientation.
+            Job(processing=(9, 9), deadline=19, resources=(1, 1)),
+            Job(processing=(9, 9), deadline=19, resources=(1, 1)),
+        ]
+        jobset = JobSet(system, jobs)
+        deco = opt_decomposed(jobset, "eq6")
+        assert not deco.feasible
+        assert deco.stats["failed_component"] == 1
+        assert opt(jobset, "eq6").feasible is False
+
+    def test_isolated_job_checked_without_solver(self):
+        system = MSMRSystem([Stage(2)])
+        jobs = [Job(processing=(5,), deadline=4, resources=(0,)),
+                Job(processing=(5,), deadline=60, resources=(1,))]
+        jobset = JobSet(system, jobs)
+        deco = opt_decomposed(jobset, "eq6")
+        assert not deco.feasible
+        assert deco.stats["failed_component"] == 0
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_agrees_with_monolithic_on_random_msmr(self, seed):
+        config = RandomInstanceConfig(num_jobs=8, num_stages=2,
+                                      resources_per_stage=3)
+        jobset = random_jobset(config, seed=seed)
+        assert opt_decomposed(jobset, "eq6").feasible == \
+            opt(jobset, "eq6").feasible
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_agrees_on_edge_workload(self, seed):
+        config = EdgeWorkloadConfig(num_jobs=24, num_aps=6,
+                                    num_servers=5)
+        jobset = generate_edge_case(config, seed=seed).jobset
+        deco = opt_decomposed(jobset, "eq10")
+        mono = opt(jobset, "eq10")
+        assert deco.feasible == mono.feasible
+        if deco.feasible:
+            assert (deco.delays <= jobset.D + 1e-6).all()
+
+    def test_solver_tag(self):
+        jobset = two_island_jobset()
+        assert opt_decomposed(jobset).solver == "opt-decomposed/highs"
+
+    def test_cp_backend_supported(self):
+        jobset = two_island_jobset()
+        deco = opt_decomposed(jobset, backend="cp")
+        assert deco.feasible

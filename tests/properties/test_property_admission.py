@@ -1,0 +1,74 @@
+"""Property-based tests of the admission controllers (Figure 4d).
+
+For any random instance and any controller:
+* accepted + rejected partitions the job set;
+* every accepted job meets its deadline under the final assignment
+  *with the rejected jobs removed*;
+* feasible instances reject nothing.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.admission import opdca_admission
+from repro.core.opdca import opdca
+from repro.pairwise.admission import dm_admission, dmr_admission
+from repro.pairwise.dm import dm
+from repro.workload.random_jobs import RandomInstanceConfig, random_jobset
+
+params_strategy = st.fixed_dictionaries({
+    "seed": st.integers(0, 5_000),
+    "num_jobs": st.integers(3, 8),
+    "slack": st.sampled_from([(0.4, 1.0), (0.6, 1.5), (0.9, 2.0)]),
+})
+
+CONTROLLERS = {
+    "opdca": opdca_admission,
+    "dmr": dmr_admission,
+    "dm": dm_admission,
+}
+
+
+def build(params):
+    config = RandomInstanceConfig(
+        num_jobs=params["num_jobs"], num_stages=3,
+        resources_per_stage=2, slack_range=params["slack"])
+    return random_jobset(config, seed=params["seed"])
+
+
+@settings(max_examples=30, deadline=None)
+@given(params=params_strategy,
+       controller=st.sampled_from(sorted(CONTROLLERS)))
+def test_partition_and_feasibility(params, controller):
+    jobset = build(params)
+    result = CONTROLLERS[controller](jobset, "eq6")
+    assert sorted(result.accepted + result.rejected) == \
+        list(range(jobset.num_jobs))
+    for job in result.accepted:
+        assert result.delays[job] <= jobset.D[job] + 1e-9
+    for job in result.rejected:
+        assert np.isnan(result.delays[job])
+
+
+@settings(max_examples=30, deadline=None)
+@given(params=params_strategy)
+def test_feasible_instances_reject_nothing(params):
+    jobset = build(params)
+    if opdca(jobset, "eq6").feasible:
+        assert opdca_admission(jobset, "eq6").rejected == []
+    if dm(jobset, "eq6").feasible:
+        assert dm_admission(jobset, "eq6").rejected == []
+        assert dmr_admission(jobset, "eq6").rejected == []
+
+
+@settings(max_examples=30, deadline=None)
+@given(params=params_strategy)
+def test_opdca_admission_never_rejects_more_than_jobs(params):
+    jobset = build(params)
+    result = opdca_admission(jobset, "eq6")
+    assert 0 <= result.num_rejected <= jobset.num_jobs
+    # Accepted jobs received contiguous priorities 1..#accepted.
+    if result.accepted:
+        ranks = sorted(int(result.ordering[j]) for j in result.accepted)
+        assert ranks == list(range(1, len(result.accepted) + 1))

@@ -1,0 +1,143 @@
+"""Property-based tests (hypothesis) for the DCA bounds.
+
+Invariants checked on random MSMR instances:
+
+* monotonicity -- adding a job to the higher-priority (or lower-
+  priority / blocking) set never decreases a bound;
+* dominance relations between the bounds (eq3 >= eq6, eq5 >= eq4);
+* permutation invariance -- bounds depend on the higher set, never on
+  an ordering of it;
+* ordering/pairwise consistency -- projecting a total ordering onto
+  pairs preserves every delay bound.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dca import DelayAnalyzer
+from repro.workload.random_jobs import RandomInstanceConfig, random_jobset
+
+#: Hypothesis generates only the instance seed and set choices; the
+#: heavy lifting stays in numpy (fast, shrinkable).
+instances = st.fixed_dictionaries({
+    "seed": st.integers(0, 10_000),
+    "num_jobs": st.integers(2, 7),
+    "num_stages": st.integers(1, 4),
+    "resources": st.integers(1, 3),
+})
+
+
+def build(params):
+    config = RandomInstanceConfig(
+        num_jobs=params["num_jobs"],
+        num_stages=params["num_stages"],
+        resources_per_stage=params["resources"],
+        max_offset=5.0,
+    )
+    return random_jobset(config, seed=params["seed"])
+
+
+@settings(max_examples=60, deadline=None)
+@given(params=instances, data=st.data())
+def test_higher_set_monotonicity(params, data):
+    jobset = build(params)
+    analyzer = DelayAnalyzer(jobset)
+    n = jobset.num_jobs
+    i = data.draw(st.integers(0, n - 1))
+    others = [k for k in range(n) if k != i]
+    subset = data.draw(st.sets(st.sampled_from(others))) if others else set()
+    extra_pool = [k for k in others if k not in subset]
+    if not extra_pool:
+        return
+    extra = data.draw(st.sampled_from(extra_pool))
+    small = np.zeros(n, dtype=bool)
+    small[list(subset)] = True
+    big = small.copy()
+    big[extra] = True
+    lower = np.zeros(n, dtype=bool)
+    for equation in ("eq3", "eq5", "eq6"):
+        assert analyzer.delay_bound(i, small, lower, equation=equation) \
+            <= analyzer.delay_bound(i, big, lower, equation=equation) \
+            + 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(params=instances, data=st.data())
+def test_blocking_set_monotonicity(params, data):
+    jobset = build(params)
+    analyzer = DelayAnalyzer(jobset)
+    n = jobset.num_jobs
+    i = data.draw(st.integers(0, n - 1))
+    others = [k for k in range(n) if k != i]
+    if len(others) < 2:
+        return
+    higher = np.zeros(n, dtype=bool)
+    higher[others[0]] = True
+    small_lower = np.zeros(n, dtype=bool)
+    big_lower = np.zeros(n, dtype=bool)
+    big_lower[others[1]] = True
+    assert analyzer.eq4(i, higher, small_lower) <= \
+        analyzer.eq4(i, higher, big_lower) + 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(params=instances, data=st.data())
+def test_equation_dominances(params, data):
+    jobset = build(params)
+    analyzer = DelayAnalyzer(jobset)
+    n = jobset.num_jobs
+    i = data.draw(st.integers(0, n - 1))
+    others = [k for k in range(n) if k != i]
+    higher_set = data.draw(st.sets(st.sampled_from(others))) \
+        if others else set()
+    higher = np.zeros(n, dtype=bool)
+    higher[list(higher_set)] = True
+    lower = ~higher
+    lower[i] = False
+    # Refinement: eq3 dominates eq6 (both preemptive MSMR bounds).
+    assert analyzer.eq3(i, higher) >= analyzer.eq6(i, higher) - 1e-9
+    # Priority-agnostic blocking: eq5 dominates eq4 for any split.
+    assert analyzer.eq5(i, higher) >= \
+        analyzer.eq4(i, higher, lower) - 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(params=instances, seed=st.integers(0, 1000))
+def test_ordering_matches_pairwise_projection(params, seed):
+    jobset = build(params)
+    analyzer = DelayAnalyzer(jobset)
+    rng = np.random.default_rng(seed)
+    priority = rng.permutation(jobset.num_jobs) + 1
+    by_ordering = analyzer.delays_for_ordering(priority, equation="eq6")
+    x = priority[:, None] < priority[None, :]
+    by_pairwise = analyzer.delays_for_pairwise(x, equation="eq6")
+    assert np.allclose(by_ordering, by_pairwise)
+
+
+@settings(max_examples=40, deadline=None)
+@given(params=instances)
+def test_bounds_are_at_least_the_own_work_terms(params):
+    """Every bound includes the job's own largest stage time plus its
+    stage-additive self terms, so it is at least t1."""
+    jobset = build(params)
+    analyzer = DelayAnalyzer(jobset)
+    n = jobset.num_jobs
+    empty = np.zeros(n, dtype=bool)
+    for i in range(n):
+        t1 = float(np.max(jobset.P[i]))
+        assert analyzer.eq6(i, empty) >= t1 - 1e-9
+        assert analyzer.eq3(i, empty) >= t1 - 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(params=instances, seed=st.integers(0, 1000))
+def test_window_filter_never_increases_bounds(params, seed):
+    jobset = build(params)
+    filtered = DelayAnalyzer(jobset, window_filter=True)
+    unfiltered = DelayAnalyzer(jobset, window_filter=False)
+    rng = np.random.default_rng(seed)
+    priority = rng.permutation(jobset.num_jobs) + 1
+    a = filtered.delays_for_ordering(priority, equation="eq6")
+    b = unfiltered.delays_for_ordering(priority, equation="eq6")
+    assert (a <= b + 1e-9).all()

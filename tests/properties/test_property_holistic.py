@@ -1,0 +1,121 @@
+"""Property-based tests for the holistic (HOL) baseline.
+
+Invariants on random MSMR instances:
+
+* monotonicity in the higher-priority set;
+* permutation independence (HOL depends on sets, not orderings) --
+  the first OPA-compatibility condition;
+* swap-safety: giving a job a higher priority never increases its
+  bound (third OPA-compatibility condition, set formulation);
+* the simulated delay under a total ordering never exceeds the
+  holistic bound (safety of the analysis);
+* per-stage responses are each at least the job's own stage time.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.holistic import HolisticAnalyzer
+from repro.sim.engine import simulate
+from repro.workload.random_jobs import RandomInstanceConfig, random_jobset
+
+instances = st.fixed_dictionaries({
+    "seed": st.integers(0, 10_000),
+    "num_jobs": st.integers(2, 7),
+    "num_stages": st.integers(1, 4),
+    "resources": st.integers(1, 3),
+    "preemptive": st.booleans(),
+})
+
+
+def build(params):
+    config = RandomInstanceConfig(
+        num_jobs=params["num_jobs"],
+        num_stages=params["num_stages"],
+        resources_per_stage=params["resources"],
+        max_offset=5.0,
+        preemptive=params["preemptive"],
+    )
+    return random_jobset(config, seed=params["seed"])
+
+
+def random_subset(rng, n, exclude):
+    mask = rng.random(n) < 0.5
+    mask[exclude] = False
+    return mask
+
+
+@settings(max_examples=60, deadline=None)
+@given(params=instances, data=st.data())
+def test_monotone_in_higher_set(params, data):
+    jobset = build(params)
+    analyzer = HolisticAnalyzer(jobset)
+    n = jobset.num_jobs
+    i = data.draw(st.integers(0, n - 1))
+    rng = np.random.default_rng(data.draw(st.integers(0, 10_000)))
+    some = random_subset(rng, n, i)
+    more = some | random_subset(rng, n, i)
+    assert analyzer.delay_bound(i, more) >= \
+        analyzer.delay_bound(i, some) - 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(params=instances, data=st.data())
+def test_depends_only_on_sets(params, data):
+    """Masks vs index lists vs shuffled index lists give one answer."""
+    jobset = build(params)
+    analyzer = HolisticAnalyzer(jobset)
+    n = jobset.num_jobs
+    i = data.draw(st.integers(0, n - 1))
+    rng = np.random.default_rng(data.draw(st.integers(0, 10_000)))
+    mask = random_subset(rng, n, i)
+    indices = np.flatnonzero(mask)
+    shuffled = rng.permutation(indices)
+    reference = analyzer.delay_bound(i, mask)
+    assert analyzer.delay_bound(i, indices) == reference
+    assert analyzer.delay_bound(i, shuffled) == reference
+
+
+@settings(max_examples=60, deadline=None)
+@given(params=instances, data=st.data())
+def test_promotion_never_hurts(params, data):
+    """Moving one job out of H_i can only shrink the bound."""
+    jobset = build(params)
+    analyzer = HolisticAnalyzer(jobset)
+    n = jobset.num_jobs
+    i = data.draw(st.integers(0, n - 1))
+    rng = np.random.default_rng(data.draw(st.integers(0, 10_000)))
+    higher = random_subset(rng, n, i)
+    if not higher.any():
+        return
+    victim = int(rng.choice(np.flatnonzero(higher)))
+    promoted = higher.copy()
+    promoted[victim] = False
+    assert analyzer.delay_bound(i, promoted) <= \
+        analyzer.delay_bound(i, higher) + 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(params=instances)
+def test_simulation_never_exceeds_bound(params):
+    jobset = build(params)
+    n = jobset.num_jobs
+    analyzer = HolisticAnalyzer(jobset, blocking="all")
+    priority = np.arange(1, n + 1)
+    bounds = analyzer.delays_for_ordering(priority)
+    result = simulate(jobset, priority)
+    assert (result.delays <= bounds + 1e-6).all()
+
+
+@settings(max_examples=60, deadline=None)
+@given(params=instances, data=st.data())
+def test_stage_responses_dominate_own_work(params, data):
+    jobset = build(params)
+    analyzer = HolisticAnalyzer(jobset)
+    n = jobset.num_jobs
+    i = data.draw(st.integers(0, n - 1))
+    rng = np.random.default_rng(data.draw(st.integers(0, 10_000)))
+    higher = random_subset(rng, n, i)
+    responses = analyzer.stage_responses(i, higher)
+    assert (responses >= jobset.P[i] - 1e-12).all()

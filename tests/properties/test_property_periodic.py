@@ -1,0 +1,132 @@
+"""Property-based tests for periodic-task unrolling.
+
+Invariants on random task sets:
+
+* the hyperperiod is a common multiple of every period (within float
+  tolerance) and no larger than the product of the periods;
+* unrolling releases exactly ``ceil(window - offset) / period``
+  instances per task, all inside the window, in arrival order per
+  task;
+* every instance inherits its task's processing, deadline, mapping;
+* instances of one task never have overlapping interference windows
+  (the constrained-deadline guarantee the task-level OPA relies on);
+* task-level priorities from ``opdca_periodic`` expand to a valid
+  job-level permutation grouped by task.
+"""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.system import MSMRSystem
+from repro.workload.periodic import (
+    PeriodicTask,
+    hyperperiod,
+    opdca_periodic,
+    unroll,
+)
+
+period_values = st.sampled_from([2.0, 2.5, 4.0, 5.0, 8.0, 10.0, 20.0])
+
+task_sets = st.lists(
+    st.fixed_dictionaries({
+        "period": period_values,
+        "scale": st.floats(0.05, 0.6),
+        "offset": st.floats(0.0, 3.0),
+    }),
+    min_size=1, max_size=4,
+)
+
+
+def build(params, num_stages=2):
+    system = MSMRSystem.uniform(num_stages, 1)
+    tasks = []
+    for spec in params:
+        deadline = spec["period"]
+        work = spec["scale"] * deadline / num_stages
+        tasks.append(PeriodicTask(
+            period=spec["period"],
+            processing=(max(work, 1e-3),) * num_stages,
+            deadline=deadline,
+            resources=(0,) * num_stages,
+            offset=spec["offset"],
+        ))
+    return system, tasks
+
+
+@settings(max_examples=60, deadline=None)
+@given(params=task_sets)
+def test_hyperperiod_is_common_multiple(params):
+    periods = [spec["period"] for spec in params]
+    h = hyperperiod(periods)
+    for period in periods:
+        ratio = h / period
+        assert abs(ratio - round(ratio)) < 1e-9
+    assert h >= max(periods) - 1e-9
+    if all(float(p).is_integer() for p in periods):
+        assert h <= math.prod(periods) + 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(params=task_sets)
+def test_unroll_counts_and_window(params):
+    system, tasks = build(params)
+    unrolled = unroll(system, tasks)
+    for index, task in enumerate(tasks):
+        instances = unrolled.instances(index)
+        expected = math.ceil(
+            (unrolled.window - task.offset) / task.period - 1e-12)
+        assert len(instances) == expected
+        arrivals = unrolled.jobset.A[instances]
+        np.testing.assert_allclose(
+            arrivals,
+            task.offset + np.arange(expected) * task.period)
+        assert (arrivals < unrolled.window).all()
+
+
+@settings(max_examples=60, deadline=None)
+@given(params=task_sets)
+def test_instances_inherit_task_parameters(params):
+    system, tasks = build(params)
+    unrolled = unroll(system, tasks)
+    for i in range(unrolled.jobset.num_jobs):
+        task = tasks[int(unrolled.task_of[i])]
+        job = unrolled.jobset.jobs[i]
+        assert job.processing == task.processing
+        assert job.deadline == task.deadline
+        assert job.resources == task.resources
+
+
+@settings(max_examples=60, deadline=None)
+@given(params=task_sets)
+def test_sibling_windows_disjoint(params):
+    """Constrained deadlines => instance windows of one task do not
+    overlap (touching endpoints allowed)."""
+    system, tasks = build(params)
+    unrolled = unroll(system, tasks)
+    A, D = unrolled.jobset.A, unrolled.jobset.D
+    for index in range(len(tasks)):
+        instances = unrolled.instances(index)
+        for a, b in zip(instances, instances[1:]):
+            assert A[a] + D[a] <= A[b] + 1e-9
+
+
+@settings(max_examples=25, deadline=None)
+@given(params=task_sets)
+def test_task_level_priorities_expand_to_permutation(params):
+    system, tasks = build(params)
+    result = opdca_periodic(system, tasks)
+    if not result.feasible:
+        return
+    priorities = result.job_priorities()
+    n = result.unrolled.jobset.num_jobs
+    assert sorted(priorities.tolist()) == list(range(1, n + 1))
+    # Grouped by task: the priority span of any task never interleaves
+    # with another task's.
+    for t in range(len(tasks)):
+        own = priorities[result.unrolled.task_of == t]
+        others = priorities[result.unrolled.task_of != t]
+        if len(own) and len(others):
+            assert not ((others > own.min()) & (others < own.max())).any()

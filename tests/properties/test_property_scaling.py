@@ -1,0 +1,95 @@
+"""Property-based tests for critical scaling and serialisation.
+
+* homogeneity: every DCA bound scales linearly with the processing
+  times, for random instances, equations and priority structures;
+* the critical factor is exact: scaling by it keeps the instance
+  feasible, scaling by slightly more breaks it;
+* serialisation round-trips preserve the arrays bit-for-bit.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dca import DelayAnalyzer
+from repro.core.job import Job
+from repro.core.scaling import critical_scaling, verify_homogeneity
+from repro.core.serialize import dumps, loads
+from repro.core.system import JobSet
+from repro.workload.random_jobs import RandomInstanceConfig, random_jobset
+
+instances = st.fixed_dictionaries({
+    "seed": st.integers(0, 10_000),
+    "num_jobs": st.integers(2, 6),
+    "num_stages": st.integers(1, 4),
+    "resources": st.integers(1, 3),
+})
+
+
+def build(params):
+    config = RandomInstanceConfig(
+        num_jobs=params["num_jobs"],
+        num_stages=params["num_stages"],
+        resources_per_stage=params["resources"],
+        max_offset=5.0,
+    )
+    return random_jobset(config, seed=params["seed"])
+
+
+@settings(max_examples=40, deadline=None)
+@given(params=instances,
+       equation=st.sampled_from(["eq3", "eq5", "eq6"]),
+       factor=st.floats(0.25, 4.0))
+def test_bounds_are_homogeneous(params, equation, factor):
+    jobset = build(params)
+    priority = np.arange(1, jobset.num_jobs + 1)
+    assert verify_homogeneity(jobset, priority, factor=factor,
+                              equation=equation)
+
+
+@settings(max_examples=40, deadline=None)
+@given(params=instances)
+def test_critical_factor_is_exact(params):
+    jobset = build(params)
+    n = jobset.num_jobs
+    priority = np.arange(1, n + 1)
+    result = critical_scaling(jobset, priority, equation="eq6")
+    if not np.isfinite(result.factor):
+        return
+
+    def scaled_feasible(factor: float) -> bool:
+        jobs = [Job(processing=tuple(p * factor
+                                     for p in job.processing),
+                    deadline=job.deadline, resources=job.resources,
+                    arrival=job.arrival)
+                for job in jobset.jobs]
+        scaled = JobSet(jobset.system, jobs)
+        delays = DelayAnalyzer(scaled).delays_for_ordering(
+            priority, equation="eq6")
+        return bool((delays <= scaled.D + 1e-9).all())
+
+    assert scaled_feasible(result.factor * (1.0 - 1e-9))
+    assert not scaled_feasible(result.factor * 1.01)
+
+
+@settings(max_examples=40, deadline=None)
+@given(params=instances)
+def test_serialisation_round_trip(params):
+    jobset = build(params)
+    clone = loads(dumps(jobset))
+    np.testing.assert_array_equal(clone.P, jobset.P)
+    np.testing.assert_array_equal(clone.A, jobset.A)
+    np.testing.assert_array_equal(clone.D, jobset.D)
+    np.testing.assert_array_equal(clone.R, jobset.R)
+    assert clone.system == jobset.system
+
+
+@settings(max_examples=30, deadline=None)
+@given(params=instances)
+def test_round_trip_preserves_bounds(params):
+    jobset = build(params)
+    clone = loads(dumps(jobset))
+    priority = np.arange(1, jobset.num_jobs + 1)
+    original = DelayAnalyzer(jobset).delays_for_ordering(priority)
+    restored = DelayAnalyzer(clone).delays_for_ordering(priority)
+    np.testing.assert_array_equal(original, restored)

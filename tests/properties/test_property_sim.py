@@ -1,0 +1,104 @@
+"""Property-based validation of the simulator against the DCA bounds.
+
+The central soundness property of the reproduction: for any random MSMR
+instance and any total priority ordering, the *simulated* end-to-end
+delay never exceeds the analytical DCA bound (preemptive pipelines vs
+Eq. 3/6; non-preemptive vs Eq. 4/5; single-resource vs Eq. 1/2).
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dca import DelayAnalyzer
+from repro.sim.engine import simulate
+from repro.workload.random_jobs import (
+    RandomInstanceConfig,
+    random_jobset,
+    random_single_resource_jobset,
+)
+
+params_strategy = st.fixed_dictionaries({
+    "seed": st.integers(0, 10_000),
+    "num_jobs": st.integers(2, 6),
+    "num_stages": st.integers(1, 4),
+    "resources": st.integers(1, 3),
+    "perm_seed": st.integers(0, 1000),
+})
+
+
+def build(params, *, preemptive):
+    config = RandomInstanceConfig(
+        num_jobs=params["num_jobs"],
+        num_stages=params["num_stages"],
+        resources_per_stage=params["resources"],
+        preemptive=preemptive,
+        # Release offsets make the schedule less synchronous.
+        max_offset=6.0,
+    )
+    jobset = random_jobset(config, seed=params["seed"])
+    rng = np.random.default_rng(params["perm_seed"])
+    priority = rng.permutation(jobset.num_jobs) + 1
+    return jobset, priority
+
+
+@settings(max_examples=50, deadline=None)
+@given(params=params_strategy)
+def test_preemptive_simulation_within_msmr_bounds(params):
+    jobset, priority = build(params, preemptive=True)
+    analyzer = DelayAnalyzer(jobset)
+    sim = simulate(jobset, priority)
+    sim.validate()
+    for equation in ("eq3", "eq6"):
+        bounds = analyzer.delays_for_ordering(priority,
+                                              equation=equation)
+        assert (sim.delays <= bounds + 1e-6).all(), (
+            f"{equation} violated: sim={sim.delays}, bound={bounds}, "
+            f"priority={priority}")
+
+
+@settings(max_examples=50, deadline=None)
+@given(params=params_strategy)
+def test_nonpreemptive_simulation_within_msmr_bounds(params):
+    jobset, priority = build(params, preemptive=False)
+    analyzer = DelayAnalyzer(jobset)
+    sim = simulate(jobset, priority)
+    sim.validate()
+    for equation in ("eq4", "eq5"):
+        bounds = analyzer.delays_for_ordering(priority,
+                                              equation=equation)
+        assert (sim.delays <= bounds + 1e-6).all(), (
+            f"{equation} violated: sim={sim.delays}, bound={bounds}, "
+            f"priority={priority}")
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 10_000), num_jobs=st.integers(2, 6),
+       num_stages=st.integers(1, 4), perm_seed=st.integers(0, 1000))
+def test_single_resource_simulation_within_eq1(seed, num_jobs,
+                                               num_stages, perm_seed):
+    jobset = random_single_resource_jobset(
+        seed=seed, num_jobs=num_jobs, num_stages=num_stages,
+        preemptive=True, max_offset=6.0)
+    rng = np.random.default_rng(perm_seed)
+    priority = rng.permutation(jobset.num_jobs) + 1
+    analyzer = DelayAnalyzer(jobset)
+    sim = simulate(jobset, priority)
+    bounds = analyzer.delays_for_ordering(priority, equation="eq1")
+    assert (sim.delays <= bounds + 1e-6).all()
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 10_000), num_jobs=st.integers(2, 6),
+       num_stages=st.integers(1, 4), perm_seed=st.integers(0, 1000))
+def test_single_resource_simulation_within_eq2(seed, num_jobs,
+                                               num_stages, perm_seed):
+    jobset = random_single_resource_jobset(
+        seed=seed, num_jobs=num_jobs, num_stages=num_stages,
+        preemptive=False, max_offset=6.0)
+    rng = np.random.default_rng(perm_seed)
+    priority = rng.permutation(jobset.num_jobs) + 1
+    analyzer = DelayAnalyzer(jobset)
+    sim = simulate(jobset, priority)
+    bounds = analyzer.delays_for_ordering(priority, equation="eq2")
+    assert (sim.delays <= bounds + 1e-6).all()

@@ -1,0 +1,98 @@
+"""Property-based cross-checks of the priority-assignment algorithms.
+
+* OPT backends (HiGHS ILP, own branch-and-bound, CP search) agree on
+  feasibility for random instances;
+* acceptance dominance chain: DM <= DMR <= OPT and DM <= OPDCA <= OPT;
+* every returned assignment verifies against the DelayAnalyzer;
+* OPDCA agrees with brute force over all orderings on tiny instances.
+"""
+
+import itertools
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dca import DelayAnalyzer
+from repro.core.opdca import opdca
+from repro.pairwise.dm import dm
+from repro.pairwise.dmr import dmr
+from repro.pairwise.opt import opt
+from repro.workload.random_jobs import RandomInstanceConfig, random_jobset
+
+instance_params = st.fixed_dictionaries({
+    "seed": st.integers(0, 10_000),
+    "num_jobs": st.integers(2, 6),
+    "slack": st.sampled_from([(0.5, 1.2), (0.7, 1.6), (1.0, 2.5)]),
+})
+
+
+def build(params):
+    config = RandomInstanceConfig(
+        num_jobs=params["num_jobs"], num_stages=3,
+        resources_per_stage=2, slack_range=params["slack"])
+    return random_jobset(config, seed=params["seed"])
+
+
+@settings(max_examples=30, deadline=None)
+@given(params=instance_params)
+def test_backend_agreement(params):
+    jobset = build(params)
+    analyzer = DelayAnalyzer(jobset)
+    verdicts = {
+        backend: opt(jobset, "eq6", backend=backend,
+                     analyzer=analyzer).feasible
+        for backend in ("highs", "branch_bound", "cp")
+    }
+    assert len(set(verdicts.values())) == 1, verdicts
+
+
+@settings(max_examples=30, deadline=None)
+@given(params=instance_params)
+def test_acceptance_dominance_chain(params):
+    jobset = build(params)
+    analyzer = DelayAnalyzer(jobset)
+    dm_ok = dm(jobset, "eq6", analyzer=analyzer).feasible
+    dmr_ok = dmr(jobset, "eq6", analyzer=analyzer).feasible
+    opdca_ok = opdca(jobset, "eq6").feasible
+    opt_ok = opt(jobset, "eq6", backend="cp", analyzer=analyzer).feasible
+    if dm_ok:
+        assert dmr_ok and opdca_ok
+    if dmr_ok:
+        assert opt_ok
+    if opdca_ok:
+        assert opt_ok
+
+
+@settings(max_examples=30, deadline=None)
+@given(params=instance_params)
+def test_returned_assignments_verify(params):
+    jobset = build(params)
+    analyzer = DelayAnalyzer(jobset)
+    for result in (dmr(jobset, "eq6", analyzer=analyzer),
+                   opt(jobset, "eq6", analyzer=analyzer)):
+        if result.feasible:
+            delays = analyzer.delays_for_pairwise(
+                result.assignment.matrix(), equation="eq6")
+            assert (delays <= jobset.D + 1e-9).all()
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 5000),
+       slack=st.sampled_from([(0.5, 1.2), (0.7, 1.6)]))
+def test_opdca_matches_brute_force(seed, slack):
+    jobset = random_jobset(
+        RandomInstanceConfig(num_jobs=4, num_stages=3,
+                             resources_per_stage=2, slack_range=slack),
+        seed=seed)
+    analyzer = DelayAnalyzer(jobset)
+    brute_force = False
+    for perm in itertools.permutations(range(4)):
+        priority = np.empty(4, dtype=int)
+        for rank, job in enumerate(perm, start=1):
+            priority[job] = rank
+        delays = analyzer.delays_for_ordering(priority, equation="eq6")
+        if (delays <= jobset.D + 1e-9).all():
+            brute_force = True
+            break
+    assert opdca(jobset, "eq6").feasible == brute_force

@@ -1,0 +1,91 @@
+"""Property-based tests of the edge workload generator.
+
+Every constraint the paper states for generated test cases must hold
+for arbitrary configurations and seeds: per-stage processing ranges,
+the ``2 beta`` heaviness cap, exact heavy-fraction counts, and the
+``H <= gamma`` bound.
+"""
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.exceptions import ModelError
+from repro.workload.edge import EdgeWorkloadConfig, generate_edge_case
+from repro.workload.heaviness import (
+    heaviness_matrix,
+    heavy_mask,
+    system_heaviness,
+)
+
+configs = st.fixed_dictionaries({
+    "seed": st.integers(0, 5_000),
+    "num_jobs": st.integers(8, 30),
+    "beta": st.sampled_from([0.05, 0.1, 0.15, 0.2]),
+    "gamma": st.sampled_from([0.6, 0.7, 0.9]),
+    "h1": st.sampled_from([0.0, 0.05, 0.1]),
+    "h2": st.sampled_from([0.0, 0.05, 0.15]),
+    "h3": st.sampled_from([0.0, 0.01]),
+    "policy": st.sampled_from(["uniform", "mixed", "worst_fit"]),
+    "dist": st.sampled_from(["uniform", "loguniform"]),
+})
+
+
+def build(params):
+    config = EdgeWorkloadConfig(
+        num_jobs=params["num_jobs"],
+        num_aps=max(3, params["num_jobs"] // 4),
+        num_servers=max(3, params["num_jobs"] // 5),
+        beta=params["beta"],
+        gamma=params["gamma"],
+        heavy_fractions=(params["h1"], params["h2"], params["h3"]),
+        mapping_policy=params["policy"],
+        light_dist=params["dist"],
+    )
+    try:
+        case = generate_edge_case(config, seed=params["seed"])
+    except ModelError:
+        # Hypothesis may draw a genuinely over-committed pool (total
+        # heaviness beyond num_resources * gamma); the generator's
+        # refusal is correct behaviour, not a property violation.
+        assume(False)
+    return case, config
+
+
+@settings(max_examples=40, deadline=None)
+@given(params=configs)
+def test_processing_ranges(params):
+    case, config = build(params)
+    for j, (lo, hi) in enumerate(config.stage_ranges):
+        column = case.jobset.P[:, j]
+        assert (column >= lo - 1e-9).all()
+        assert (column <= hi + 1e-9).all()
+
+
+@settings(max_examples=40, deadline=None)
+@given(params=configs)
+def test_heaviness_cap_and_gamma(params):
+    case, config = build(params)
+    h = heaviness_matrix(case.jobset)
+    assert (h < 2 * config.beta + 1e-9).all()
+    assert system_heaviness(case.jobset) <= config.gamma + 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(params=configs)
+def test_heavy_fraction_counts(params):
+    case, config = build(params)
+    mask = heavy_mask(case.jobset, config.beta)
+    expected = [round(f * config.num_jobs)
+                for f in config.heavy_fractions]
+    assert mask.sum(axis=0).tolist() == expected
+
+
+@settings(max_examples=25, deadline=None)
+@given(params=configs)
+def test_mapping_is_consistent(params):
+    case, config = build(params)
+    resources = case.jobset.R
+    assert (resources[:, 0] == resources[:, 2]).all()
+    assert (resources[:, 0] < config.num_aps).all()
+    assert (resources[:, 1] < config.num_servers).all()

@@ -1,0 +1,159 @@
+"""Tests for the route -> strict-pipeline reduction."""
+
+import numpy as np
+import pytest
+
+from repro.core.dca import DelayAnalyzer
+from repro.core.exceptions import ModelError
+from repro.core.opdca import opdca
+from repro.core.segments import SegmentCache, pair_segments
+from repro.core.system import MSMRSystem, Stage
+from repro.routes.binding import route_jobset
+from repro.routes.model import RouteJob
+from repro.sim.engine import simulate
+
+
+@pytest.fixture
+def system():
+    return MSMRSystem([Stage(2), Stage(2), Stage(2)])
+
+
+@pytest.fixture
+def jobs():
+    return [
+        RouteJob(stages=(0, 2), processing=(3, 4), resources=(0, 1),
+                 deadline=30),
+        RouteJob(stages=(0, 1, 2), processing=(2, 5, 1),
+                 resources=(0, 0, 1), deadline=25),
+        RouteJob(stages=(1,), processing=(6,), resources=(0,),
+                 deadline=20),
+    ]
+
+
+class TestPadding:
+    def test_skipped_stages_get_zero_processing(self, system, jobs):
+        binding = route_jobset(system, jobs)
+        P = binding.jobset.P
+        assert P[0].tolist() == [3.0, 0.0, 4.0]
+        assert P[2].tolist() == [0.0, 6.0, 0.0]
+
+    def test_dummy_resources_appended_after_real_pool(self, system, jobs):
+        binding = route_jobset(system, jobs)
+        # Stage 1 is skipped by J0 only; stages 0 and 2 by J2 only.
+        assert binding.jobset.system.resources_per_stage == (3, 3, 3)
+        assert binding.dummy_base == (2, 2, 2)
+        assert binding.is_dummy(1, int(binding.jobset.R[0, 1]))
+        assert not binding.is_dummy(1, int(binding.jobset.R[1, 1]))
+
+    def test_dummies_never_shared(self, system):
+        jobs = [RouteJob(stages=(0,), processing=(1.0,), resources=(0,),
+                         deadline=10)
+                for _ in range(4)]
+        binding = route_jobset(system, jobs)
+        for stage in (1, 2):
+            dummies = binding.jobset.R[:, stage]
+            assert len(set(dummies.tolist())) == 4
+
+    def test_shares_false_at_skipped_stage(self, system, jobs):
+        binding = route_jobset(system, jobs)
+        shares = binding.jobset.shares
+        # J0 and J1 both use resource 0 at stage 0 but J0 skips stage 1.
+        assert shares[0, 1, 0]
+        assert not shares[0, 1, 1]
+
+    def test_visited_mask(self, system, jobs):
+        binding = route_jobset(system, jobs)
+        mask = binding.visited_mask()
+        assert mask.tolist() == [[True, False, True],
+                                 [True, True, True],
+                                 [False, True, False]]
+
+    def test_stage_out_of_range_rejected(self, system):
+        bad = RouteJob(stages=(0, 5), processing=(1, 1),
+                       resources=(0, 0), deadline=10)
+        with pytest.raises(ModelError, match="stage 5"):
+            route_jobset(system, [bad])
+
+    def test_resource_out_of_range_rejected(self, system):
+        bad = RouteJob(stages=(0,), processing=(1,), resources=(7,),
+                       deadline=10)
+        with pytest.raises(ModelError, match="resource 7"):
+            route_jobset(system, [bad])
+
+    def test_empty_jobs_rejected(self, system):
+        with pytest.raises(ModelError, match="at least one"):
+            route_jobset(system, [])
+
+
+class TestSegmentSemantics:
+    def test_skipped_stage_splits_segments(self):
+        """Two jobs sharing stages 0 and 2 where one skips stage 1 must
+        form two segments, not one merged run."""
+        system = MSMRSystem([Stage(1), Stage(1), Stage(1)])
+        jobs = [
+            RouteJob(stages=(0, 2), processing=(2, 2), resources=(0, 0),
+                     deadline=50),
+            RouteJob(stages=(0, 1, 2), processing=(3, 3, 3),
+                     resources=(0, 0, 0), deadline=50),
+        ]
+        binding = route_jobset(system, jobs)
+        profile = pair_segments(binding.jobset, 0, 1)
+        assert profile.m == 2
+        assert profile.u == 2
+        assert profile.w == 2
+
+    def test_full_route_matches_plain_jobset(self):
+        """Routes visiting every stage reduce to the original model."""
+        from repro.core.job import Job
+        from repro.core.system import JobSet
+
+        system = MSMRSystem([Stage(2), Stage(2)])
+        route = [RouteJob(stages=(0, 1), processing=(3, 4),
+                          resources=(0, 1), deadline=30),
+                 RouteJob(stages=(0, 1), processing=(2, 2),
+                          resources=(0, 1), deadline=30)]
+        binding = route_jobset(system, route)
+        plain = JobSet(system, [
+            Job(processing=(3, 4), deadline=30, resources=(0, 1)),
+            Job(processing=(2, 2), deadline=30, resources=(0, 1)),
+        ])
+        assert binding.jobset.system == system  # no dummies added
+        np.testing.assert_array_equal(binding.jobset.shares, plain.shares)
+        cache_a = SegmentCache(binding.jobset)
+        cache_b = SegmentCache(plain)
+        np.testing.assert_allclose(cache_a.W, cache_b.W)
+
+    def test_zero_stages_never_contribute_delay(self, system, jobs):
+        binding = route_jobset(system, jobs)
+        analyzer = DelayAnalyzer(binding.jobset)
+        # J2 only shares stage 1 with J1; its bound must ignore the
+        # zero-time dummy visits entirely.
+        higher = np.array([False, True, False])
+        bound = analyzer.eq6(2, higher)
+        # self t1 = 6, J1 shares stage 1 (w=1, et=5), no earlier stage
+        # shared => stage-additive = max ep at stage 0 (0) + stage 1 (6).
+        assert bound == pytest.approx(6 + 5 + 0 + 6)
+
+
+class TestEndToEnd:
+    def test_simulation_passes_through_dummies(self, system, jobs):
+        binding = route_jobset(system, jobs)
+        result = simulate(binding.jobset, np.array([1, 2, 3]))
+        # J0: 3 at stage 0 then 4 at stage 2, no contention en route
+        # (J1 shares stage 0 but has lower priority... J0 first).
+        assert result.delays[0] == pytest.approx(7.0)
+
+    def test_real_trace_filters_dummies(self, system, jobs):
+        binding = route_jobset(system, jobs)
+        result = simulate(binding.jobset, np.array([1, 2, 3]))
+        real = binding.real_trace(result.trace)
+        assert all(not binding.is_dummy(iv.stage, iv.resource)
+                   for iv in real)
+        visited = sum(job.num_visited for job in jobs)
+        completed = [iv for iv in real if iv.completed]
+        assert len(completed) == visited
+
+    def test_opdca_on_routes(self, system, jobs):
+        binding = route_jobset(system, jobs)
+        result = opdca(binding.jobset)
+        assert result.feasible

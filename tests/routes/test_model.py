@@ -1,0 +1,75 @@
+"""Tests for the RouteJob model."""
+
+import pytest
+
+from repro.core.exceptions import ModelError
+from repro.routes.model import RouteJob
+
+
+def make(stages=(0, 2), processing=(3.0, 4.0), resources=(0, 1),
+         deadline=30.0, **kwargs):
+    return RouteJob(stages=stages, processing=processing,
+                    resources=resources, deadline=deadline, **kwargs)
+
+
+class TestRouteJobValidation:
+    def test_valid_route(self):
+        job = make()
+        assert job.num_visited == 2
+        assert job.stages == (0, 2)
+
+    def test_empty_route_rejected(self):
+        with pytest.raises(ModelError, match="at least one stage"):
+            make(stages=(), processing=(), resources=())
+
+    def test_non_increasing_stages_rejected(self):
+        with pytest.raises(ModelError, match="strictly increasing"):
+            make(stages=(2, 0), processing=(1.0, 1.0), resources=(0, 0))
+
+    def test_duplicate_stage_rejected(self):
+        with pytest.raises(ModelError, match="strictly increasing"):
+            make(stages=(1, 1), processing=(1.0, 1.0), resources=(0, 0))
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ModelError, match="stages"):
+            make(processing=(3.0,))
+
+    def test_zero_processing_rejected(self):
+        with pytest.raises(ModelError, match="positive"):
+            make(processing=(3.0, 0.0))
+
+    def test_negative_stage_rejected(self):
+        with pytest.raises(ModelError, match="negative stage"):
+            make(stages=(-1, 2))
+
+    def test_negative_resource_rejected(self):
+        with pytest.raises(ModelError, match="resource"):
+            make(resources=(0, -1))
+
+    def test_nonpositive_deadline_rejected(self):
+        with pytest.raises(ModelError, match="deadline"):
+            make(deadline=0.0)
+
+
+class TestRouteJobAccessors:
+    def test_visits(self):
+        job = make()
+        assert job.visits(0)
+        assert not job.visits(1)
+        assert job.visits(2)
+
+    def test_processing_at(self):
+        job = make()
+        assert job.processing_at(0) == 3.0
+        assert job.processing_at(1) == 0.0
+        assert job.processing_at(2) == 4.0
+
+    def test_resource_at(self):
+        job = make()
+        assert job.resource_at(0) == 0
+        assert job.resource_at(1) is None
+        assert job.resource_at(2) == 1
+
+    def test_label(self):
+        assert make().label(4) == "J4"
+        assert make(name="camera").label(4) == "camera"

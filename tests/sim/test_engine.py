@@ -1,0 +1,152 @@
+"""Tests for the discrete-event pipeline simulator."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import SimulationError
+from repro.core.job import Job
+from repro.core.priorities import PriorityOrdering
+from repro.core.system import JobSet, MSMRSystem, Stage
+from repro.sim.engine import PipelineSimulator, simulate
+
+
+class TestSingleStage:
+    def test_priority_order_on_one_resource(self):
+        jobset = JobSet.single_resource(
+            processing=[(4,), (2,), (3,)], deadlines=[20, 20, 20])
+        result = simulate(jobset, PriorityOrdering([1, 2, 3]))
+        result.validate()
+        # Sequential by priority: finishes at 4, 6, 9.
+        assert result.finish_times.tolist() == [4.0, 6.0, 9.0]
+
+    def test_reversed_priorities(self):
+        jobset = JobSet.single_resource(
+            processing=[(4,), (2,), (3,)], deadlines=[20, 20, 20])
+        result = simulate(jobset, PriorityOrdering([3, 2, 1]))
+        assert result.finish_times.tolist() == [9.0, 5.0, 3.0]
+
+    def test_preemption(self):
+        # Low-priority long job starts first, gets preempted.
+        jobset = JobSet.single_resource(
+            processing=[(10,), (2,)], deadlines=[20, 20],
+            arrivals=[0, 3])
+        result = simulate(jobset, PriorityOrdering([2, 1]))
+        result.validate()
+        assert result.finish_times[1] == pytest.approx(5.0)
+        assert result.finish_times[0] == pytest.approx(12.0)
+        assert result.trace.preemption_count(0) == 1
+
+    def test_non_preemptive_blocking(self):
+        jobset = JobSet.single_resource(
+            processing=[(10,), (2,)], deadlines=[20, 20],
+            arrivals=[0, 3], preemptive=False)
+        result = simulate(jobset, PriorityOrdering([2, 1]))
+        result.validate()
+        # The high-priority job must wait for the running job.
+        assert result.finish_times[1] == pytest.approx(12.0)
+        assert result.trace.preemption_count() == 0
+
+
+class TestPipelines:
+    def test_two_stage_flow(self):
+        jobset = JobSet.single_resource(
+            processing=[(2, 3), (2, 3)], deadlines=[20, 20])
+        result = simulate(jobset, PriorityOrdering([1, 2]))
+        result.validate()
+        # J0: stage0 [0,2], stage1 [2,5]. J1: stage0 [2,4], stage1 [5,8].
+        assert result.finish_times.tolist() == [5.0, 8.0]
+
+    def test_pipeline_overlap_across_resources(self):
+        system = MSMRSystem([Stage(1), Stage(1)])
+        jobs = [
+            Job(processing=(2, 5), deadline=20, resources=(0, 0)),
+            Job(processing=(2, 5), deadline=20, resources=(0, 0)),
+        ]
+        result = simulate(JobSet(system, jobs), PriorityOrdering([1, 2]))
+        # Stage 0 of J1 overlaps stage 1 of J0.
+        assert result.finish_times[0] == pytest.approx(7.0)
+        assert result.finish_times[1] == pytest.approx(12.0)
+
+    def test_msmr_independent_resources(self):
+        system = MSMRSystem([Stage(2)])
+        jobs = [
+            Job(processing=(5,), deadline=10, resources=(0,)),
+            Job(processing=(5,), deadline=10, resources=(1,)),
+        ]
+        result = simulate(JobSet(system, jobs), PriorityOrdering([1, 2]))
+        # No contention: both finish at 5.
+        assert result.finish_times.tolist() == [5.0, 5.0]
+
+    def test_simultaneous_batch_respects_priority_non_preemptive(self):
+        """At a common release instant, a non-preemptive resource must
+        pick the highest-priority job -- even though the lower-priority
+        one's arrival event might be processed first."""
+        jobset = JobSet.single_resource(
+            processing=[(5,), (1,)], deadlines=[20, 20],
+            preemptive=False)
+        # J1 (index 1) has the higher priority.
+        result = simulate(jobset, PriorityOrdering([2, 1]))
+        assert result.finish_times[1] == pytest.approx(1.0)
+        assert result.finish_times[0] == pytest.approx(6.0)
+
+
+class TestMixedPreemption:
+    def test_per_stage_flags(self):
+        system = MSMRSystem([Stage(1, preemptive=False),
+                             Stage(1, preemptive=True)])
+        jobs = [
+            Job(processing=(4, 6), deadline=30, resources=(0, 0)),
+            Job(processing=(1, 2), deadline=30, resources=(0, 0),
+                arrival=1.0),
+        ]
+        result = simulate(JobSet(system, jobs), PriorityOrdering([2, 1]))
+        result.validate()
+        # Stage 0 is non-preemptive: J1 waits until t=4, runs [4,5];
+        # stage 1: J0 starts at 4, preempted at 5, J1 runs [5,7].
+        assert result.finish_times[1] == pytest.approx(7.0)
+        assert result.finish_times[0] == pytest.approx(12.0)
+        assert result.trace.preemption_count(0) == 1
+
+    def test_override_flags_argument(self):
+        jobset = JobSet.single_resource(
+            processing=[(10,), (2,)], deadlines=[30, 30],
+            arrivals=[0, 3], preemptive=True)
+        result = simulate(jobset, PriorityOrdering([2, 1]),
+                          preemptive=[False])
+        assert result.finish_times[1] == pytest.approx(12.0)
+
+    def test_flag_count_validated(self):
+        jobset = JobSet.single_resource(
+            processing=[(1, 1)], deadlines=[5])
+        with pytest.raises(ValueError, match="flags"):
+            PipelineSimulator(jobset, PriorityOrdering([1]),
+                              preemptive=[True])
+
+
+class TestRobustness:
+    def test_zero_processing_stage(self):
+        jobset = JobSet.single_resource(
+            processing=[(0, 3), (2, 0)], deadlines=[10, 10])
+        result = simulate(jobset, PriorityOrdering([1, 2]))
+        result.validate()
+        assert result.finish_times[0] == pytest.approx(3.0)
+
+    def test_event_budget_guard(self):
+        jobset = JobSet.single_resource(
+            processing=[(1,)] * 4, deadlines=[10] * 4)
+        simulator = PipelineSimulator(jobset, PriorityOrdering([1, 2, 3, 4]))
+        simulator._max_events = 2
+        with pytest.raises(SimulationError, match="events"):
+            simulator.run()
+
+    def test_deterministic_across_runs(self, small_edge_jobset):
+        ordering = PriorityOrdering(
+            list(range(1, small_edge_jobset.num_jobs + 1)))
+        first = simulate(small_edge_jobset, ordering)
+        second = simulate(small_edge_jobset, ordering)
+        assert np.array_equal(first.finish_times, second.finish_times)
+
+    def test_trace_accounts_every_unit(self, small_edge_jobset):
+        ordering = PriorityOrdering(
+            list(range(1, small_edge_jobset.num_jobs + 1)))
+        simulate(small_edge_jobset, ordering).validate()

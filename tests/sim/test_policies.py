@@ -1,0 +1,87 @@
+"""Tests for the dispatch policies."""
+
+import numpy as np
+import pytest
+
+from repro.core.priorities import PairwiseAssignment, PriorityOrdering
+from repro.sim.policies import (
+    PairwisePolicy,
+    PerStagePolicy,
+    TotalOrderPolicy,
+    make_policy,
+)
+from tests.conftest import FIG2_PAIRS
+
+
+class TestTotalOrderPolicy:
+    def test_select_highest_priority(self):
+        policy = TotalOrderPolicy(PriorityOrdering([3, 1, 2]))
+        assert policy.select([0, 1, 2], stage=0) == 1
+        assert policy.select([0, 2], stage=0) == 2
+
+    def test_beats(self):
+        policy = TotalOrderPolicy([3, 1, 2])
+        assert policy.beats(1, 0, stage=0)
+        assert not policy.beats(0, 2, stage=0)
+
+    def test_accepts_raw_rank_vector(self):
+        policy = TotalOrderPolicy(np.array([2, 1]))
+        assert policy.select([0, 1], stage=0) == 1
+
+
+class TestPerStagePolicy:
+    def test_stage_dependent_ranks(self):
+        rank = np.array([[1, 2], [2, 1]])
+        policy = PerStagePolicy(rank)
+        assert policy.select([0, 1], stage=0) == 0
+        assert policy.select([0, 1], stage=1) == 1
+        assert policy.beats(1, 0, stage=1)
+        assert not policy.beats(1, 0, stage=0)
+
+    def test_rejects_flat_input(self):
+        with pytest.raises(ValueError, match="2-D"):
+            PerStagePolicy(np.array([1, 2, 3]))
+
+
+class TestPairwisePolicy:
+    @pytest.fixture
+    def policy(self, fig2_jobset):
+        assignment = PairwiseAssignment.from_pairs(fig2_jobset,
+                                                   FIG2_PAIRS)
+        return PairwisePolicy(assignment)
+
+    def test_beats_follows_orientation(self, policy):
+        assert policy.beats(2, 0, stage=0)     # J3 > J1
+        assert not policy.beats(0, 2, stage=0)
+        # Non-conflicting pair: nobody preempts anybody.
+        assert not policy.beats(0, 3, stage=0)
+
+    def test_select_two_jobs(self, policy):
+        assert policy.select([0, 2], stage=0) == 2     # J3 > J1
+        assert policy.select([0, 1], stage=1) == 0     # J1 > J2
+
+    def test_select_in_cycle_uses_deadline_tiebreak(self, policy,
+                                                    fig2_jobset):
+        # All four form a perfect cycle (equal Copeland scores);
+        # the earliest absolute deadline (J4, D=50) wins.
+        assert policy.select([0, 1, 2, 3], stage=0) == 3
+
+    def test_select_single(self, policy):
+        assert policy.select([1], stage=2) == 1
+
+
+class TestMakePolicy:
+    def test_dispatch_on_type(self, fig2_jobset):
+        assert isinstance(make_policy(PriorityOrdering([1, 2, 3, 4])),
+                          TotalOrderPolicy)
+        assignment = PairwiseAssignment.from_pairs(fig2_jobset,
+                                                   FIG2_PAIRS)
+        assert isinstance(make_policy(assignment), PairwisePolicy)
+        assert isinstance(make_policy(np.array([1, 2])),
+                          TotalOrderPolicy)
+        assert isinstance(make_policy(np.array([[1, 2], [2, 1]])),
+                          PerStagePolicy)
+
+    def test_rejects_garbage(self):
+        with pytest.raises(TypeError):
+            make_policy("highest-first")

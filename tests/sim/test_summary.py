@@ -1,0 +1,61 @@
+"""Tests for the simulation summary metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core.job import Job
+from repro.core.system import JobSet, MSMRSystem, Stage
+from repro.sim.engine import simulate
+
+
+@pytest.fixture
+def result():
+    system = MSMRSystem([Stage(1), Stage(1)])
+    jobs = [Job(processing=(3, 2), deadline=30, resources=(0, 0),
+                name="fast"),
+            Job(processing=(1, 4), deadline=6, resources=(0, 0),
+                name="slow")]
+    return simulate(JobSet(system, jobs), np.array([1, 2]))
+
+
+class TestWaitingTimes:
+    def test_first_job_never_waits(self, result):
+        waiting = result.waiting_times()
+        assert waiting[0] == pytest.approx(0.0)
+
+    def test_second_job_waits_for_the_first(self, result):
+        # J1 waits 3 behind J0 at stage 0, then reaches stage 1 at
+        # t=4 while J0 holds it until t=5: total waiting 4.
+        waiting = result.waiting_times()
+        assert waiting[1] == pytest.approx(4.0)
+
+    def test_nonnegative(self, small_edge_jobset):
+        n = small_edge_jobset.num_jobs
+        sim = simulate(small_edge_jobset, np.arange(1, n + 1))
+        assert (sim.waiting_times() >= -1e-9).all()
+
+
+class TestMakespan:
+    def test_equals_last_finish(self, result):
+        assert result.makespan == pytest.approx(
+            float(result.finish_times.max()))
+
+
+class TestSummary:
+    def test_mentions_counts_and_misses(self, result):
+        text = result.summary()
+        assert "2 jobs" in text
+        assert "deadline misses: 1 (slow)" in text
+
+    def test_mentions_busiest_resource(self, result):
+        assert "busiest resources" in result.summary()
+
+    def test_custom_labels(self, result):
+        text = result.summary(label=lambda i: f"job#{i}")
+        assert "job#1" in text
+
+    def test_no_misses_line_is_clean(self):
+        system = MSMRSystem([Stage(1)])
+        jobs = [Job(processing=(1,), deadline=10, resources=(0,))]
+        sim = simulate(JobSet(system, jobs), np.array([1]))
+        assert "deadline misses: 0" in sim.summary()

@@ -1,0 +1,45 @@
+"""Tests for trace serialisation (JSON / CSV round trips)."""
+
+import json
+
+import pytest
+
+from repro.core.priorities import PriorityOrdering
+from repro.core.system import JobSet
+from repro.sim.engine import simulate
+from repro.sim.trace import Trace
+
+
+@pytest.fixture
+def trace():
+    jobset = JobSet.single_resource(
+        processing=[(4, 2), (3, 5)], deadlines=[12, 9])
+    return simulate(jobset, PriorityOrdering([2, 1])).trace
+
+
+def test_records_round_trip(trace):
+    rebuilt = Trace.from_records(trace.to_records())
+    assert rebuilt.intervals == trace.intervals
+
+
+def test_json_round_trip(trace):
+    records = json.loads(trace.to_json())
+    rebuilt = Trace.from_records(records)
+    assert rebuilt.intervals == trace.intervals
+
+
+def test_csv_contains_every_slice(trace):
+    text = trace.to_csv()
+    lines = [line for line in text.strip().splitlines() if line]
+    assert lines[0].startswith("job,stage,resource,start,end")
+    assert len(lines) == len(trace.intervals) + 1
+
+
+def test_csv_values_parse_back(trace):
+    import csv
+    import io
+
+    rows = list(csv.DictReader(io.StringIO(trace.to_csv())))
+    first = trace.intervals[0]
+    assert int(rows[0]["job"]) == first.job
+    assert float(rows[0]["start"]) == pytest.approx(first.start)

@@ -1,0 +1,87 @@
+"""Tests for traces and simulation metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core.priorities import PriorityOrdering
+from repro.core.system import JobSet
+from repro.sim.engine import simulate
+from repro.sim.trace import ExecutionInterval, Trace
+
+
+@pytest.fixture
+def result():
+    jobset = JobSet.single_resource(
+        processing=[(4, 2), (3, 5)], deadlines=[12, 9])
+    return simulate(jobset, PriorityOrdering([2, 1]))
+
+
+class TestTrace:
+    def test_for_job_and_resource(self, result):
+        intervals = result.trace.for_job(0)
+        assert all(iv.job == 0 for iv in intervals)
+        stage0 = result.trace.for_resource(0, 0)
+        assert [iv.start for iv in stage0] == \
+            sorted(iv.start for iv in stage0)
+
+    def test_busy_time(self, result):
+        # Stage 0 resource executes 4 + 3 units in total.
+        assert result.trace.busy_time(0, 0) == pytest.approx(7.0)
+        assert result.trace.busy_time(1, 0) == pytest.approx(7.0)
+
+    def test_gantt_rendering(self, result):
+        text = result.trace.gantt(stage=0, resource=0)
+        assert "#" in text
+        assert "[" in text
+
+    def test_gantt_idle_resource(self):
+        trace = Trace()
+        assert trace.gantt(stage=0, resource=0) == "(idle)"
+
+    def test_interval_duration(self):
+        interval = ExecutionInterval(job=0, stage=0, resource=0,
+                                     start=1.0, end=3.5, completed=True)
+        assert interval.duration == pytest.approx(2.5)
+
+
+class TestMetrics:
+    def test_delays_and_misses(self, result):
+        jobset = result.jobset
+        assert np.allclose(result.delays,
+                           result.finish_times - jobset.A)
+        # J1 (priority 1): stages [0,3], [3,8] -> delay 8 <= 9 ok.
+        # J0: stage0 [3,7], stage1 [8,10] -> delay 10 <= 12 ok.
+        assert result.all_met
+        assert result.missed_jobs() == []
+
+    def test_lateness(self, result):
+        lateness = result.lateness()
+        assert (lateness <= 0).all()
+        assert result.max_lateness() == pytest.approx(
+            float(lateness.max()))
+
+    def test_stage_finish_times(self, result):
+        finish = result.stage_finish_times()
+        assert finish.shape == (2, 2)
+        assert np.allclose(finish[:, 1], result.finish_times)
+        assert (finish[:, 0] < finish[:, 1]).all()
+
+    def test_utilisation(self, result):
+        usage = result.resource_utilisation()
+        assert 0 < usage[(0, 0)] <= 1.0
+        assert 0 < usage[(1, 0)] <= 1.0
+
+    def test_miss_detection(self):
+        jobset = JobSet.single_resource(
+            processing=[(4, 2), (3, 5)], deadlines=[12, 7])
+        result = simulate(jobset, PriorityOrdering([2, 1]))
+        assert not result.all_met
+        assert result.missed_jobs() == [1]
+        assert result.max_lateness() == pytest.approx(1.0)
+
+    def test_validate_catches_tampering(self, result):
+        result.trace.intervals.append(ExecutionInterval(
+            job=0, stage=0, resource=0, start=0.0, end=1.0,
+            completed=True))
+        with pytest.raises(AssertionError):
+            result.validate()

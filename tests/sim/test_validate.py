@@ -1,0 +1,191 @@
+"""Tests for the independent trace validator (failure injection)."""
+
+import numpy as np
+import pytest
+
+from repro.core.job import Job
+from repro.core.system import JobSet, MSMRSystem, Stage
+from repro.sim.engine import simulate
+from repro.sim.policies import TotalOrderPolicy
+from repro.sim.trace import ExecutionInterval, Trace
+from repro.sim.validate import validate_trace
+
+
+@pytest.fixture
+def jobset():
+    system = MSMRSystem([Stage(1), Stage(1)])
+    jobs = [Job(processing=(3, 2), deadline=30, resources=(0, 0)),
+            Job(processing=(1, 4), deadline=30, resources=(0, 0))]
+    return JobSet(system, jobs)
+
+
+def good_trace():
+    """Hand-built valid schedule for the fixture (J0 > J1)."""
+    trace = Trace()
+    add = trace.add
+    add(ExecutionInterval(job=0, stage=0, resource=0, start=0, end=3,
+                          completed=True))
+    add(ExecutionInterval(job=1, stage=0, resource=0, start=3, end=4,
+                          completed=True))
+    add(ExecutionInterval(job=0, stage=1, resource=0, start=3, end=5,
+                          completed=True))
+    add(ExecutionInterval(job=1, stage=1, resource=0, start=5, end=9,
+                          completed=True))
+    return trace
+
+
+class TestValidTraces:
+    def test_hand_built_trace_passes(self, jobset):
+        report = validate_trace(jobset, good_trace(),
+                                policy=np.array([1, 2]))
+        assert report.ok, report.format()
+
+    def test_simulator_output_passes_all_checks(self, jobset):
+        priorities = np.array([1, 2])
+        result = simulate(jobset, priorities)
+        report = validate_trace(jobset, result.trace, policy=priorities)
+        assert report.ok, report.format()
+
+    def test_simulator_output_with_preemption(self):
+        system = MSMRSystem([Stage(1)])
+        jobs = [Job(processing=(10,), deadline=50, resources=(0,)),
+                Job(processing=(2,), deadline=10, arrival=3.0,
+                    resources=(0,))]
+        jobset = JobSet(system, jobs)
+        priorities = np.array([2, 1])
+        result = simulate(jobset, priorities)
+        assert result.trace.preemption_count() == 1
+        report = validate_trace(jobset, result.trace, policy=priorities)
+        assert report.ok, report.format()
+
+    def test_format_mentions_validity(self, jobset):
+        report = validate_trace(jobset, good_trace())
+        assert "valid" in report.format()
+
+
+class TestFailureInjection:
+    def test_missing_execution_detected(self, jobset):
+        trace = good_trace()
+        trace.intervals = trace.intervals[:-1]  # drop J1's stage 1
+        report = validate_trace(jobset, trace)
+        assert not report.ok
+        assert report.by_rule("conservation")
+
+    def test_wrong_resource_detected(self, jobset):
+        trace = good_trace()
+        bad = trace.intervals[0]
+        trace.intervals[0] = ExecutionInterval(
+            job=bad.job, stage=bad.stage, resource=5,
+            start=bad.start, end=bad.end, completed=True)
+        report = validate_trace(jobset, trace)
+        assert any("mapped to" in v.message
+                   for v in report.by_rule("conservation"))
+
+    def test_short_execution_detected(self, jobset):
+        trace = good_trace()
+        first = trace.intervals[0]
+        trace.intervals[0] = ExecutionInterval(
+            job=first.job, stage=first.stage, resource=first.resource,
+            start=first.start, end=first.end - 1.0, completed=True)
+        report = validate_trace(jobset, trace)
+        assert any("executed" in v.message
+                   for v in report.by_rule("conservation"))
+
+    def test_double_completion_detected(self, jobset):
+        trace = good_trace()
+        trace.add(ExecutionInterval(job=0, stage=0, resource=0,
+                                    start=20, end=20, completed=True))
+        report = validate_trace(jobset, trace)
+        assert any("times" in v.message
+                   for v in report.by_rule("conservation"))
+
+    def test_overlap_detected(self, jobset):
+        trace = good_trace()
+        second = trace.intervals[1]
+        trace.intervals[1] = ExecutionInterval(
+            job=second.job, stage=0, resource=0, start=2.0, end=3.0,
+            completed=True)
+        report = validate_trace(jobset, trace)
+        assert report.by_rule("exclusion")
+
+    def test_precedence_violation_detected(self, jobset):
+        trace = Trace()
+        # J0 runs stage 1 before stage 0 completes.
+        trace.add(ExecutionInterval(job=0, stage=0, resource=0,
+                                    start=0, end=3, completed=True))
+        trace.add(ExecutionInterval(job=0, stage=1, resource=0,
+                                    start=1, end=3, completed=True))
+        trace.add(ExecutionInterval(job=1, stage=0, resource=0,
+                                    start=3, end=4, completed=True))
+        trace.add(ExecutionInterval(job=1, stage=1, resource=0,
+                                    start=4, end=8, completed=True))
+        report = validate_trace(jobset, trace)
+        assert report.by_rule("precedence")
+
+    def test_early_start_detected(self):
+        system = MSMRSystem([Stage(1)])
+        jobs = [Job(processing=(2,), deadline=10, arrival=5.0,
+                    resources=(0,))]
+        jobset = JobSet(system, jobs)
+        trace = Trace()
+        trace.add(ExecutionInterval(job=0, stage=0, resource=0,
+                                    start=0, end=2, completed=True))
+        report = validate_trace(jobset, trace)
+        assert any("arrival" in v.message
+                   for v in report.by_rule("precedence"))
+
+    def test_priority_inversion_detected(self, jobset):
+        """J1 runs to completion first although J0 outranks it at a
+        preemptive stage."""
+        trace = Trace()
+        trace.add(ExecutionInterval(job=1, stage=0, resource=0,
+                                    start=0, end=1, completed=True))
+        trace.add(ExecutionInterval(job=1, stage=1, resource=0,
+                                    start=1, end=5, completed=True))
+        trace.add(ExecutionInterval(job=0, stage=0, resource=0,
+                                    start=1, end=4, completed=True))
+        trace.add(ExecutionInterval(job=0, stage=1, resource=0,
+                                    start=5, end=7, completed=True))
+        report = validate_trace(jobset, trace,
+                                policy=TotalOrderPolicy([1, 2]))
+        assert report.by_rule("priority")
+
+    def test_nonpreemptive_blocking_is_legal(self):
+        """A lower-priority job that started earlier may finish at a
+        non-preemptive stage."""
+        system = MSMRSystem([Stage(1, preemptive=False)])
+        jobs = [Job(processing=(3,), deadline=20, arrival=1.0,
+                    resources=(0,)),
+                Job(processing=(5,), deadline=20, arrival=0.0,
+                    resources=(0,))]
+        jobset = JobSet(system, jobs)
+        priorities = np.array([1, 2])
+        result = simulate(jobset, priorities)
+        report = validate_trace(jobset, result.trace, policy=priorities)
+        assert report.ok, report.format()
+
+    def test_late_nonpreemptive_dispatch_detected(self):
+        """Starting a lower-priority job while a higher one waits is
+        illegal even without preemption."""
+        system = MSMRSystem([Stage(1, preemptive=False)])
+        jobs = [Job(processing=(3,), deadline=20, resources=(0,)),
+                Job(processing=(5,), deadline=20, resources=(0,))]
+        jobset = JobSet(system, jobs)
+        trace = Trace()
+        trace.add(ExecutionInterval(job=1, stage=0, resource=0,
+                                    start=2.0, end=7.0, completed=True))
+        trace.add(ExecutionInterval(job=0, stage=0, resource=0,
+                                    start=7.0, end=10.0,
+                                    completed=True))
+        report = validate_trace(jobset, trace,
+                                policy=np.array([1, 2]))
+        assert report.by_rule("priority")
+
+
+class TestValidatorOnWorkloads:
+    def test_edge_case_traces_validate(self, small_edge_jobset):
+        jobset = small_edge_jobset
+        priorities = np.arange(1, jobset.num_jobs + 1)
+        result = simulate(jobset, priorities)
+        report = validate_trace(jobset, result.trace, policy=priorities)
+        assert report.ok, report.format()

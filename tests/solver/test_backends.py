@@ -1,0 +1,125 @@
+"""Tests for the HiGHS and branch-and-bound backends, including
+agreement between the two on random 0/1 problems."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import SolverError
+from repro.solver.branch_bound import solve_branch_bound
+from repro.solver.highs import solve_highs
+from repro.solver.milp import ModelBuilder
+from repro.solver.result import SolveStatus
+
+
+def knapsack(values, weights, capacity):
+    """max value s.t. weight <= capacity (encoded as minimisation)."""
+    builder = ModelBuilder()
+    cols = [builder.add_binary(f"x{i}", objective=-v)
+            for i, v in enumerate(values)]
+    builder.add_leq({c: w for c, w in zip(cols, weights)}, capacity)
+    return builder.build()
+
+
+def infeasible_problem():
+    builder = ModelBuilder()
+    x = builder.add_binary("x")
+    builder.add_geq({x: 1.0}, 2.0)     # x >= 2 impossible for binary
+    return builder.build()
+
+
+@pytest.mark.parametrize("solve", [solve_highs, solve_branch_bound],
+                         ids=["highs", "branch_bound"])
+class TestBothBackends:
+    def test_knapsack_optimum(self, solve):
+        problem = knapsack(values=[10, 13, 7], weights=[3, 4, 2],
+                           capacity=6)
+        result = solve(problem)
+        assert result.status is SolveStatus.OPTIMAL
+        # Optimum: items 1+2 (weight 6, value 20).
+        assert result.objective == pytest.approx(-20.0)
+        assert problem.check_solution(result.x)
+
+    def test_infeasible(self, solve):
+        result = solve(infeasible_problem())
+        assert result.status is SolveStatus.INFEASIBLE
+        assert result.x is None
+
+    def test_pure_feasibility(self, solve):
+        builder = ModelBuilder()
+        x = builder.add_binary("x")
+        y = builder.add_binary("y")
+        builder.add_eq({x: 1.0, y: 1.0}, 1.0)
+        result = solve(builder.build())
+        assert result.feasible
+        assert abs(result.x[0] + result.x[1] - 1.0) < 1e-6
+
+    def test_continuous_only(self, solve):
+        builder = ModelBuilder()
+        x = builder.add_continuous("x", upper=4.0, objective=-1.0)
+        builder.add_leq({x: 2.0}, 5.0)
+        result = solve(builder.build())
+        assert result.feasible
+        assert result.objective == pytest.approx(-2.5)
+
+
+class TestBranchBoundSpecifics:
+    def test_rejects_general_integers(self):
+        builder = ModelBuilder()
+        builder.add_variable("n", lower=0.0, upper=7.0, integer=True)
+        with pytest.raises(SolverError, match="binary"):
+            solve_branch_bound(builder.build())
+
+    def test_node_limit(self):
+        # A problem needing branching with a 1-node budget.
+        problem = knapsack(values=[3, 5, 4, 6], weights=[2, 3, 2, 3],
+                           capacity=5)
+        result = solve_branch_bound(problem, node_limit=1)
+        assert result.status in (SolveStatus.NODE_LIMIT,
+                                 SolveStatus.OPTIMAL)
+        assert result.stats["nodes"] <= 1
+
+    def test_first_feasible_stops_early(self):
+        builder = ModelBuilder()
+        cols = [builder.add_binary(f"x{i}") for i in range(6)]
+        builder.add_leq({c: 1.0 for c in cols}, 3.0)
+        result = solve_branch_bound(builder.build(), first_feasible=True)
+        assert result.feasible
+
+    def test_stats_recorded(self):
+        problem = knapsack(values=[10, 13, 7], weights=[3, 4, 2],
+                           capacity=6)
+        result = solve_branch_bound(problem)
+        assert result.stats["backend"] == "branch_bound"
+        assert result.stats["nodes"] >= 1
+
+
+class TestAgreement:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_random_knapsacks_agree(self, seed):
+        rng = np.random.default_rng(seed)
+        size = int(rng.integers(3, 8))
+        values = rng.integers(1, 20, size).tolist()
+        weights = rng.integers(1, 10, size).tolist()
+        capacity = float(rng.integers(5, 25))
+        problem = knapsack(values, weights, capacity)
+        a = solve_highs(problem)
+        b = solve_branch_bound(problem)
+        assert a.status == b.status
+        if a.feasible:
+            assert a.objective == pytest.approx(b.objective, abs=1e-6)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_feasibility_problems_agree(self, seed):
+        rng = np.random.default_rng(100 + seed)
+        builder = ModelBuilder()
+        cols = [builder.add_binary(f"x{i}") for i in range(6)]
+        for _ in range(4):
+            members = rng.choice(6, size=3, replace=False)
+            rhs = float(rng.integers(0, 3))
+            builder.add_leq({int(c): 1.0 for c in members}, rhs)
+        members = rng.choice(6, size=4, replace=False)
+        builder.add_geq({int(c): 1.0 for c in members}, 2.0)
+        problem = builder.build()
+        a = solve_highs(problem)
+        b = solve_branch_bound(problem)
+        assert a.feasible == b.feasible

@@ -1,0 +1,88 @@
+"""Tests for the MILP container and model builder."""
+
+import numpy as np
+import pytest
+
+from repro.solver.milp import MILPProblem, ModelBuilder
+
+
+class TestModelBuilder:
+    def test_variable_kinds(self):
+        builder = ModelBuilder()
+        x = builder.add_binary("x")
+        y = builder.add_continuous("y", lower=1.0, upper=5.0)
+        z = builder.add_variable("z", lower=-2.0, upper=2.0, integer=True)
+        problem = builder.build()
+        assert problem.num_vars == 3
+        assert problem.integrality.tolist() == [1, 0, 1]
+        assert problem.lower.tolist() == [0.0, 1.0, -2.0]
+        assert problem.upper.tolist() == [1.0, 5.0, 2.0]
+        assert problem.names == ["x", "y", "z"]
+        assert {x, y, z} == {0, 1, 2}
+
+    def test_rejects_inverted_bounds(self):
+        builder = ModelBuilder()
+        with pytest.raises(ValueError, match="lower"):
+            builder.add_continuous("bad", lower=2.0, upper=1.0)
+
+    def test_constraint_matrices(self):
+        builder = ModelBuilder()
+        x = builder.add_binary("x")
+        y = builder.add_binary("y")
+        builder.add_leq({x: 1.0, y: 2.0}, 3.0)
+        builder.add_geq({x: 1.0}, 0.5)
+        builder.add_eq({x: 1.0, y: 1.0}, 1.0)
+        problem = builder.build()
+        assert problem.a_ub.shape == (2, 2)
+        dense = problem.a_ub.toarray()
+        assert dense[0].tolist() == [1.0, 2.0]
+        assert dense[1].tolist() == [-1.0, 0.0]   # geq stored negated
+        assert problem.b_ub.tolist() == [3.0, -0.5]
+        assert problem.a_eq.toarray()[0].tolist() == [1.0, 1.0]
+
+    def test_unknown_column_rejected(self):
+        builder = ModelBuilder()
+        builder.add_binary("x")
+        with pytest.raises(IndexError):
+            builder.add_leq({5: 1.0}, 1.0)
+
+    def test_objective(self):
+        builder = ModelBuilder()
+        x = builder.add_binary("x", objective=2.0)
+        y = builder.add_binary("y")
+        builder.set_objective({y: -1.0})
+        problem = builder.build()
+        assert problem.objective.tolist() == [2.0, -1.0]
+
+
+class TestCheckSolution:
+    @pytest.fixture
+    def problem(self):
+        builder = ModelBuilder()
+        x = builder.add_binary("x")
+        y = builder.add_continuous("y", upper=10.0)
+        builder.add_leq({x: 1.0, y: 1.0}, 5.0)
+        builder.add_eq({x: 1.0}, 1.0)
+        return builder.build()
+
+    def test_accepts_feasible_point(self, problem):
+        assert problem.check_solution(np.array([1.0, 4.0]))
+
+    def test_rejects_constraint_violation(self, problem):
+        assert not problem.check_solution(np.array([1.0, 9.0]))
+
+    def test_rejects_fractional_integer(self, problem):
+        assert not problem.check_solution(np.array([0.5, 0.5]))
+
+    def test_rejects_bound_violation(self, problem):
+        assert not problem.check_solution(np.array([1.0, 11.0]))
+
+    def test_rejects_equality_violation(self, problem):
+        assert not problem.check_solution(np.array([0.0, 1.0]))
+
+    def test_rejects_wrong_shape(self, problem):
+        assert not problem.check_solution(np.array([1.0]))
+
+    def test_counts(self, problem):
+        assert problem.num_constraints == 2
+        assert problem.num_integers == 1

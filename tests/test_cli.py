@@ -1,0 +1,122 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_commands_present(self):
+        parser = build_parser()
+        for command in ("fig4a", "fig4b", "fig4c", "fig4d",
+                        "ablate-refinement", "ablate-solver",
+                        "validate-sim", "scalability",
+                        "ablate-heuristics", "ablate-holistic",
+                        "sensitivity"):
+            args = parser.parse_args(
+                [command] if command != "scalability" else [command])
+            assert args.command == command
+
+    def test_chart_flag(self):
+        args = build_parser().parse_args(["fig4b", "--chart"])
+        assert args.chart
+
+    def test_sensitivity_axis(self):
+        args = build_parser().parse_args(
+            ["sensitivity", "--axis", "stages"])
+        assert args.axis == "stages"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sensitivity", "--axis", "bogus"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_figure_options(self):
+        args = build_parser().parse_args(
+            ["fig4a", "--cases", "3", "--stacked",
+             "--opt-backend", "cp"])
+        assert args.cases == 3
+        assert args.stacked
+        assert args.opt_backend == "cp"
+
+
+class TestMain:
+    def test_fig4a_tiny_run(self, capsys, monkeypatch):
+        # Shrink the workload via environment-independent override:
+        # use very few cases with default workload but a beta grid of
+        # one value would still be slow at n=100; patch the default
+        # base config instead.
+        from repro.experiments import config as config_module
+        from repro.workload.edge import EdgeWorkloadConfig
+        monkeypatch.setattr(
+            config_module.ExperimentConfig, "from_environment",
+            classmethod(lambda cls: cls(
+                cases=2,
+                base=EdgeWorkloadConfig(num_jobs=10, num_aps=4,
+                                        num_servers=3))))
+        exit_code = main(["fig4a", "--cases", "2"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "Acceptance ratio" in captured.out
+        assert "OPDCA" in captured.out
+
+    def test_scalability_tiny_run(self, capsys):
+        exit_code = main(["scalability", "--jobs", "8", "--cases", "1"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "A4 scalability" in captured.out
+
+    def test_fig4a_chart_output(self, capsys, monkeypatch):
+        from repro.experiments import config as config_module
+        from repro.workload.edge import EdgeWorkloadConfig
+        monkeypatch.setattr(
+            config_module.ExperimentConfig, "from_environment",
+            classmethod(lambda cls: cls(
+                cases=2,
+                base=EdgeWorkloadConfig(num_jobs=10, num_aps=4,
+                                        num_servers=3))))
+        exit_code = main(["fig4a", "--cases", "2", "--chart"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        # The chart legend names the stacked series.
+        assert "+OPT" in captured.out
+        assert "|" in captured.out
+
+    def test_ablate_holistic_tiny_run(self, capsys, monkeypatch):
+        from repro.experiments import ablation as ablation_module
+        from repro.workload.edge import EdgeWorkloadConfig
+
+        original = ablation_module.holistic_comparison
+
+        def patched(**kwargs):
+            kwargs["config"] = EdgeWorkloadConfig(
+                num_jobs=10, num_aps=4, num_servers=3)
+            return original(**kwargs)
+
+        monkeypatch.setattr("repro.cli.holistic_comparison", patched)
+        exit_code = main(["ablate-holistic", "--cases", "2"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "A7 holistic vs DCA" in captured.out
+
+    def test_sensitivity_jobs_tiny_run(self, capsys, monkeypatch):
+        from repro.experiments import sensitivity as sens_module
+        from repro.workload.edge import EdgeWorkloadConfig
+
+        original = sens_module.gap_vs_jobs
+
+        def patched(**kwargs):
+            kwargs.setdefault("base", EdgeWorkloadConfig(
+                num_jobs=8, num_aps=3, num_servers=3, gamma=0.9))
+            kwargs.setdefault("job_counts", (6, 8))
+            return original(**kwargs)
+
+        monkeypatch.setattr(
+            "repro.experiments.sensitivity.gap_vs_jobs", patched)
+        exit_code = main(["sensitivity", "--cases", "2",
+                          "--axis", "jobs"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "S1 gap vs jobs" in captured.out
+        assert "gap(OPT-OPDCA)" in captured.out

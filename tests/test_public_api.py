@@ -1,0 +1,55 @@
+"""The public API surface: everything advertised in __all__ imports and
+the README quickstart works."""
+
+import importlib
+
+import pytest
+
+
+def test_top_level_all_importable():
+    import repro
+
+    for name in repro.__all__:
+        assert hasattr(repro, name), f"repro.{name} missing"
+
+
+@pytest.mark.parametrize("module", [
+    "repro.core", "repro.pairwise", "repro.solver", "repro.sim",
+    "repro.workload", "repro.baselines", "repro.experiments",
+])
+def test_subpackage_all_importable(module):
+    mod = importlib.import_module(module)
+    for name in getattr(mod, "__all__", []):
+        assert hasattr(mod, name), f"{module}.{name} missing"
+
+
+def test_version():
+    import repro
+
+    assert repro.__version__
+
+
+def test_readme_quickstart():
+    """The exact snippet from the package docstring/README."""
+    from repro import JobSet, opdca
+
+    jobset = JobSet.single_resource(
+        processing=[(5, 7, 15), (7, 9, 17), (6, 8, 30), (2, 4, 3)],
+        deadlines=[60, 55, 55, 50],
+    )
+    result = opdca(jobset)
+    assert result.feasible in (True, False)
+
+
+def test_full_pipeline_quickstart(fig2_jobset):
+    """Model -> analysis -> OPDCA -> OPT -> simulation round trip."""
+    from repro import DelayAnalyzer, opdca
+    from repro.pairwise import opt
+    from repro.sim import PairwisePolicy, simulate
+
+    assert not opdca(fig2_jobset, "eq6").feasible
+    result = opt(fig2_jobset, "eq6")
+    assert result.feasible
+    sim = simulate(fig2_jobset, PairwisePolicy(result.assignment))
+    sim.validate()
+    assert sim.delays.shape == (4,)

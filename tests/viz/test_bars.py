@@ -1,0 +1,116 @@
+"""Tests for the ASCII bar-chart renderers."""
+
+import pytest
+
+from repro.viz.bars import SERIES_GLYPHS, bar_chart, grouped_bars, stacked_bars
+
+
+class TestBarChart:
+    def test_scales_to_maximum(self):
+        chart = bar_chart({"a": 50.0, "b": 100.0}, width=20, maximum=100)
+        lines = chart.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 20
+
+    def test_default_maximum_is_largest_value(self):
+        chart = bar_chart({"a": 5.0, "b": 10.0}, width=10)
+        assert chart.splitlines()[1].count("#") == 10
+
+    def test_values_annotated_with_unit(self):
+        chart = bar_chart({"DM": 71.0}, maximum=100, unit="%")
+        assert "71.0%" in chart
+
+    def test_tiny_nonzero_value_still_visible(self):
+        chart = bar_chart({"a": 0.01, "b": 100.0}, width=20, maximum=100)
+        assert chart.splitlines()[0].count("#") == 1
+
+    def test_zero_value_draws_nothing(self):
+        chart = bar_chart({"a": 0.0, "b": 1.0}, width=20)
+        assert chart.splitlines()[0].count("#") == 0
+
+    def test_labels_aligned(self):
+        chart = bar_chart({"x": 1.0, "longer": 2.0})
+        lines = chart.splitlines()
+        assert lines[0].index("|") == lines[1].index("|")
+
+    def test_empty_input(self):
+        assert bar_chart({}) == "(no data)"
+
+    def test_negative_value_rejected(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            bar_chart({"a": -1.0})
+
+    def test_too_narrow_rejected(self):
+        with pytest.raises(ValueError, match="width"):
+            bar_chart({"a": 1.0}, width=5)
+
+
+class TestStackedBars:
+    ROWS = [
+        ("0.05", {"DM": 90.0, "+DMR": 5.0, "+OPT": 5.0}),
+        ("0.20", {"DM": 40.0, "+DMR": 20.0, "+OPT": 10.0}),
+    ]
+
+    def test_total_is_sum_of_increments(self):
+        chart = stacked_bars(self.ROWS, width=50)
+        lines = chart.splitlines()
+        assert "100.0%" in lines[1]
+        assert "70.0%" in lines[2]
+
+    def test_segments_use_distinct_glyphs(self):
+        chart = stacked_bars(self.ROWS, width=50)
+        body = chart.splitlines()[1]
+        for glyph in SERIES_GLYPHS[:3]:
+            assert glyph in body
+
+    def test_legend_names_every_series(self):
+        legend = stacked_bars(self.ROWS).splitlines()[0]
+        for name in ("DM", "+DMR", "+OPT"):
+            assert name in legend
+
+    def test_bar_length_tracks_cumulative_total(self):
+        chart = stacked_bars(self.ROWS, width=50, maximum=100)
+        full = chart.splitlines()[1]
+        partial = chart.splitlines()[2]
+        bar = lambda line: line.split("|")[1].rstrip()
+        assert len(bar(full)) == 50
+        assert len(bar(partial)) == 35  # 70% of 50
+
+    def test_mismatched_series_rejected(self):
+        rows = [("a", {"x": 1.0}), ("b", {"y": 1.0})]
+        with pytest.raises(ValueError, match="series"):
+            stacked_bars(rows)
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            stacked_bars([("a", {"x": -2.0})])
+
+    def test_empty_input(self):
+        assert stacked_bars([]) == "(no data)"
+
+
+class TestGroupedBars:
+    GROUPS = [
+        ("beta=0.01", {"OPDCA": 0.5, "DMR": 1.0, "DM": 2.0}),
+        ("beta=0.2", {"OPDCA": 3.0, "DMR": 5.0, "DM": 8.0}),
+    ]
+
+    def test_groups_separated_by_blank_line(self):
+        chart = grouped_bars(self.GROUPS)
+        assert "\n\n" in chart
+        assert chart.count("beta=") == 2
+
+    def test_shared_scale_across_groups(self):
+        chart = grouped_bars(self.GROUPS, width=40)
+        lines = [l for l in chart.splitlines() if "|" in l]
+        # DM in the second group holds the maximum -> full width.
+        assert lines[-1].count("#") == 40
+        # OPDCA in the first group: 0.5/8 of 40 -> 2-3 cells.
+        assert 1 <= lines[0].count("#") <= 3
+
+    def test_empty_input(self):
+        assert grouped_bars([]) == "(no data)"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            grouped_bars([("g", {"a": -0.1})])

@@ -1,0 +1,57 @@
+"""Tests for the delay-breakdown waterfall renderer."""
+
+import numpy as np
+import pytest
+
+from repro.core.dca import DelayAnalyzer
+from repro.core.explain import explain_delay
+from repro.core.system import JobSet
+from repro.viz.breakdown import breakdown_waterfall
+
+
+@pytest.fixture
+def breakdown(example1_jobset):
+    analyzer = DelayAnalyzer(example1_jobset)
+    higher = np.array([True, False, False, False])
+    return explain_delay(analyzer, 1, higher, equation="eq6")
+
+
+class TestBreakdownWaterfall:
+    def test_header_reports_bound_and_deadline(self, breakdown):
+        chart = breakdown_waterfall(breakdown)
+        head = chart.splitlines()[0]
+        assert f"{breakdown.total:.2f}" in head
+        assert f"{breakdown.deadline:.2f}" in head
+
+    def test_one_row_per_term(self, breakdown):
+        chart = breakdown_waterfall(breakdown)
+        body = [l for l in chart.splitlines()[1:] if "cum" in l]
+        assert len(body) == len(breakdown.terms)
+
+    def test_cumulative_column_reaches_total(self, breakdown):
+        chart = breakdown_waterfall(breakdown)
+        last = [l for l in chart.splitlines() if "cum" in l][-1]
+        assert f"cum {breakdown.total:.2f}" in last
+
+    def test_deadline_marker_present(self, breakdown):
+        chart = breakdown_waterfall(breakdown)
+        assert chart.splitlines()[-1].strip().startswith("^")
+
+    def test_marker_aligned_with_bars(self, breakdown):
+        chart = breakdown_waterfall(breakdown, width=40)
+        lines = chart.splitlines()
+        caret_col = lines[-1].index("^")
+        for line in (l for l in lines if "cum" in l):
+            # In the caret column every term row shows either the
+            # deadline dot (bar ended short) or a bar glyph (bar ran
+            # past the deadline) -- never padding or digits.
+            assert line[caret_col] in ".#=+o"
+
+    def test_width_guard(self, breakdown):
+        with pytest.raises(ValueError, match="width"):
+            breakdown_waterfall(breakdown, width=10)
+
+    def test_custom_labels(self, breakdown):
+        chart = breakdown_waterfall(
+            breakdown, label=lambda j: f"job-{j}")
+        assert "job-1" in chart

@@ -1,0 +1,85 @@
+"""Tests for the ASCII Gantt renderers."""
+
+import numpy as np
+import pytest
+
+from repro.core.job import Job
+from repro.core.system import JobSet, MSMRSystem, Stage
+from repro.sim.engine import simulate
+from repro.sim.trace import ExecutionInterval, Trace
+from repro.viz.gantt import gantt, gantt_per_resource
+
+
+@pytest.fixture
+def two_job_trace():
+    trace = Trace()
+    trace.add(ExecutionInterval(job=0, stage=0, resource=0,
+                                start=0.0, end=5.0, completed=True))
+    trace.add(ExecutionInterval(job=1, stage=0, resource=0,
+                                start=5.0, end=8.0, completed=True))
+    trace.add(ExecutionInterval(job=0, stage=1, resource=0,
+                                start=5.0, end=7.0, completed=False))
+    return trace
+
+
+class TestGanttPerResource:
+    def test_one_row_per_resource(self, two_job_trace):
+        chart = gantt_per_resource(two_job_trace, width=40)
+        assert "S0/R0" in chart
+        assert "S1/R0" in chart
+
+    def test_jobs_drawn_with_distinct_glyphs(self, two_job_trace):
+        chart = gantt_per_resource(two_job_trace, width=40)
+        row = next(l for l in chart.splitlines() if l.startswith("S0/R0"))
+        assert "0" in row
+        assert "1" in row
+
+    def test_preemption_marked(self, two_job_trace):
+        chart = gantt_per_resource(two_job_trace, width=40)
+        row = next(l for l in chart.splitlines() if l.startswith("S1/R0"))
+        assert ">" in row
+
+    def test_legend_lists_jobs(self, two_job_trace):
+        chart = gantt_per_resource(two_job_trace)
+        assert "0=J0" in chart
+        assert "1=J1" in chart
+
+    def test_empty_trace(self):
+        assert gantt_per_resource(Trace()) == "(empty trace)"
+
+    def test_bad_horizon_rejected(self, two_job_trace):
+        with pytest.raises(ValueError, match="horizon"):
+            gantt_per_resource(two_job_trace, start=5.0, horizon=5.0)
+
+    def test_cells_proportional_to_duration(self, two_job_trace):
+        chart = gantt_per_resource(two_job_trace, width=40,
+                                   start=0.0, horizon=8.0)
+        row = next(l for l in chart.splitlines() if l.startswith("S0/R0"))
+        body = row.split("|")[1]
+        assert body.count("0") == 25  # 5/8 of 40
+        assert body.count("1") == 15  # 3/8 of 40
+
+
+class TestGanttPerJob:
+    def test_stage_digits(self, two_job_trace):
+        chart = gantt(two_job_trace, width=40, start=0.0, horizon=8.0)
+        row0 = next(l for l in chart.splitlines() if l.startswith("J0"))
+        assert "0" in row0
+        assert "1" in row0  # J0 reaches stage 1
+
+    def test_from_real_simulation(self):
+        system = MSMRSystem([Stage(1), Stage(1)])
+        jobs = [Job(processing=(3, 2), deadline=20, resources=(0, 0)),
+                Job(processing=(1, 4), deadline=20, resources=(0, 0))]
+        jobset = JobSet(system, jobs)
+        result = simulate(jobset, np.array([1, 2]))
+        chart = gantt(result.trace, width=60)
+        assert chart.startswith("J0")
+        assert "J1" in chart
+
+    def test_empty_trace(self):
+        assert gantt(Trace()) == "(empty trace)"
+
+    def test_width_guard(self, two_job_trace):
+        with pytest.raises(ValueError, match="width"):
+            gantt(two_job_trace, width=3)

@@ -1,0 +1,53 @@
+"""Tests for sparkline rendering."""
+
+import pytest
+
+from repro.viz.sparkline import ASCII_BLOCKS, BLOCKS, sparkline, sparkline_table
+
+
+class TestSparkline:
+    def test_monotone_series_monotone_glyphs(self):
+        line = sparkline([0, 25, 50, 75, 100], lo=0, hi=100)
+        levels = [BLOCKS.index(c) for c in line]
+        assert levels == sorted(levels)
+        assert levels[0] == 0
+        assert levels[-1] == len(BLOCKS) - 1
+
+    def test_flat_series_mid_height(self):
+        line = sparkline([5.0, 5.0, 5.0])
+        assert line == BLOCKS[len(BLOCKS) // 2] * 3
+
+    def test_ascii_mode(self):
+        line = sparkline([0, 100], lo=0, hi=100, ascii_only=True)
+        assert set(line) <= set(ASCII_BLOCKS)
+
+    def test_values_clipped_to_range(self):
+        line = sparkline([-50, 150], lo=0, hi=100)
+        assert line[0] == BLOCKS[0]
+        assert line[1] == BLOCKS[-1]
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_bad_range(self):
+        with pytest.raises(ValueError, match="hi"):
+            sparkline([1.0], lo=10, hi=0)
+
+    def test_one_char_per_point(self):
+        assert len(sparkline(list(range(17)))) == 17
+
+
+class TestSparklineTable:
+    def test_shared_scale(self):
+        table = sparkline_table({"a": [0, 10], "b": [0, 100]})
+        line_a, line_b = table.splitlines()
+        # Series a tops out at 10 on a 0-100 scale: low block.
+        assert BLOCKS.index(line_a.split()[1][-1]) < \
+            BLOCKS.index(line_b.split()[1][-1])
+
+    def test_annotations(self):
+        table = sparkline_table({"dm": [71.0, 40.0]})
+        assert "[40.0 .. 71.0]" in table
+
+    def test_empty(self):
+        assert sparkline_table({}) == "(no data)"

@@ -1,0 +1,154 @@
+"""Tests for periodic tasks and hyperperiod unrolling."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ModelError
+from repro.core.system import MSMRSystem
+from repro.workload.periodic import (
+    PeriodicTask,
+    hyperperiod,
+    opdca_periodic,
+    unroll,
+)
+
+
+def task(period=10.0, processing=(1.0, 2.0), deadline=None,
+         resources=(0, 0), **kwargs):
+    if deadline is None:
+        deadline = period
+    return PeriodicTask(period=period, processing=processing,
+                        deadline=deadline, resources=resources, **kwargs)
+
+
+class TestPeriodicTask:
+    def test_utilization(self):
+        assert task(period=10, processing=(1, 2)).utilization == \
+            pytest.approx(0.3)
+
+    def test_unconstrained_deadline_rejected(self):
+        with pytest.raises(ModelError, match="constrained"):
+            task(period=5.0, deadline=6.0)
+
+    def test_nonpositive_period_rejected(self):
+        with pytest.raises(ModelError, match="period"):
+            task(period=0.0)
+
+    def test_negative_offset_rejected(self):
+        with pytest.raises(ModelError, match="offset"):
+            task(offset=-1.0)
+
+    def test_job_validation_delegated(self):
+        with pytest.raises(ModelError):
+            task(processing=(1.0,), resources=(0, 0))
+
+
+class TestHyperperiod:
+    def test_integer_periods(self):
+        assert hyperperiod([10, 5]) == 10.0
+        assert hyperperiod([4, 6]) == 12.0
+        assert hyperperiod([3, 5, 7]) == 105.0
+
+    def test_fractional_periods(self):
+        assert hyperperiod([0.1, 0.25]) == pytest.approx(0.5)
+        assert hyperperiod([1.5, 2.0]) == pytest.approx(6.0)
+
+    def test_single_period(self):
+        assert hyperperiod([7.0]) == 7.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ModelError, match="period"):
+            hyperperiod([])
+
+
+class TestUnroll:
+    SYSTEM = MSMRSystem.uniform(2, 1)
+
+    def test_instance_counts(self):
+        tasks = [task(period=10), task(period=5)]
+        unrolled = unroll(self.SYSTEM, tasks)
+        assert unrolled.window == 10.0
+        assert unrolled.jobset.num_jobs == 1 + 2
+        assert unrolled.instances(0) == [0]
+        assert unrolled.instances(1) == [1, 2]
+
+    def test_release_times(self):
+        tasks = [task(period=5, offset=1.0, deadline=5.0)]
+        unrolled = unroll(self.SYSTEM, tasks, window=11.0)
+        np.testing.assert_allclose(unrolled.jobset.A, [1.0, 6.0])
+        assert unrolled.instance_of.tolist() == [0, 1]
+
+    def test_offset_extends_default_window(self):
+        tasks = [task(period=10, offset=3.0)]
+        unrolled = unroll(self.SYSTEM, tasks)
+        assert unrolled.window == pytest.approx(13.0)
+
+    def test_instances_inherit_task_parameters(self):
+        tasks = [task(period=10, processing=(1, 2), deadline=8.0,
+                      name="cam")]
+        unrolled = unroll(self.SYSTEM, tasks)
+        job = unrolled.jobset.jobs[0]
+        assert job.processing == (1.0, 2.0)
+        assert job.deadline == 8.0
+        assert job.name == "cam#0"
+
+    def test_task_mask(self):
+        tasks = [task(period=10), task(period=5)]
+        unrolled = unroll(self.SYSTEM, tasks)
+        np.testing.assert_array_equal(
+            unrolled.task_mask([1]), [False, True, True])
+        np.testing.assert_array_equal(
+            unrolled.task_mask([0, 1]), [True, True, True])
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(ModelError, match="window"):
+            unroll(self.SYSTEM, [task()], window=0.0)
+
+    def test_empty_tasks_rejected(self):
+        with pytest.raises(ModelError, match="task"):
+            unroll(self.SYSTEM, [])
+
+
+class TestOpdcaPeriodic:
+    SYSTEM = MSMRSystem.uniform(2, 1)
+
+    def test_light_set_feasible(self):
+        tasks = [task(period=20, processing=(1, 2), deadline=15),
+                 task(period=10, processing=(1, 1), deadline=8)]
+        result = opdca_periodic(self.SYSTEM, tasks)
+        assert result.feasible
+        assert sorted(result.task_priority.tolist()) == [1, 2]
+
+    def test_overloaded_set_infeasible(self):
+        tasks = [task(period=10, processing=(5, 5), deadline=10),
+                 task(period=10, processing=(5, 5), deadline=10)]
+        result = opdca_periodic(self.SYSTEM, tasks)
+        assert not result.feasible
+
+    def test_job_priorities_group_by_task(self):
+        tasks = [task(period=20, processing=(1, 2), deadline=15),
+                 task(period=10, processing=(1, 1), deadline=8)]
+        result = opdca_periodic(self.SYSTEM, tasks)
+        priorities = result.job_priorities()
+        by_task = [priorities[result.unrolled.task_of == t]
+                   for t in range(2)]
+        # Instances of the higher-priority task all rank above every
+        # instance of the lower-priority one.
+        high = int(np.argmin(result.task_priority))
+        low = 1 - high
+        assert by_task[high].max() < by_task[low].min()
+
+    def test_instances_ordered_within_task(self):
+        tasks = [task(period=5, processing=(1, 1), deadline=5)]
+        result = opdca_periodic(self.SYSTEM, tasks, window=15.0)
+        priorities = result.job_priorities()
+        assert priorities.tolist() == sorted(priorities.tolist())
+
+    def test_respects_policy_equation(self):
+        tasks = [task(period=20, processing=(4, 4), deadline=18),
+                 task(period=20, processing=(4, 4), deadline=18)]
+        pre = opdca_periodic(self.SYSTEM, tasks, policy="preemptive")
+        non = opdca_periodic(self.SYSTEM, tasks, policy="nonpreemptive")
+        # The non-preemptive bound adds blocking, so it can only be
+        # harder to satisfy.
+        assert pre.feasible or not non.feasible

@@ -1,0 +1,69 @@
+"""Tests for the generic random-instance sampler."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ModelError
+from repro.workload.random_jobs import (
+    RandomInstanceConfig,
+    random_jobset,
+    random_single_resource_jobset,
+)
+
+
+class TestRandomJobset:
+    def test_shapes(self):
+        jobset = random_jobset(RandomInstanceConfig(
+            num_jobs=7, num_stages=4, resources_per_stage=3), seed=1)
+        assert jobset.num_jobs == 7
+        assert jobset.num_stages == 4
+        assert jobset.system.resources_per_stage == (3, 3, 3, 3)
+
+    def test_per_stage_resource_counts(self):
+        config = RandomInstanceConfig(num_jobs=4, num_stages=3,
+                                      resources_per_stage=(1, 2, 3))
+        jobset = random_jobset(config, seed=1)
+        assert jobset.system.resources_per_stage == (1, 2, 3)
+
+    def test_mismatched_counts_rejected(self):
+        config = RandomInstanceConfig(num_jobs=4, num_stages=3,
+                                      resources_per_stage=(1, 2))
+        with pytest.raises(ModelError):
+            random_jobset(config, seed=1)
+
+    def test_integral_times(self):
+        jobset = random_jobset(RandomInstanceConfig(integral=True),
+                               seed=2)
+        assert np.allclose(jobset.P, np.round(jobset.P))
+        assert np.allclose(jobset.D, np.round(jobset.D))
+
+    def test_offsets(self):
+        config = RandomInstanceConfig(max_offset=20.0)
+        jobset = random_jobset(config, seed=3)
+        assert (jobset.A >= 0).all()
+        assert (jobset.A <= 20.0).all()
+
+    def test_determinism(self):
+        a = random_jobset(seed=5)
+        b = random_jobset(seed=5)
+        assert np.array_equal(a.P, b.P)
+        assert np.array_equal(a.D, b.D)
+
+    def test_instances_straddle_feasibility(self):
+        """The slack heuristic should produce a mix of feasible and
+        infeasible instances (not all trivially one-sided)."""
+        from repro.core.opdca import opdca
+        verdicts = {
+            opdca(random_jobset(RandomInstanceConfig(
+                num_jobs=5, num_stages=3, resources_per_stage=2,
+                slack_range=(0.6, 1.6)), seed=seed), "eq6").feasible
+            for seed in range(20)
+        }
+        assert verdicts == {True, False}
+
+
+def test_single_resource_helper():
+    jobset = random_single_resource_jobset(seed=1, num_jobs=4,
+                                           num_stages=2)
+    assert jobset.system.is_single_resource()
+    assert jobset.shares.all()
