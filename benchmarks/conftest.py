@@ -2,9 +2,11 @@
 
 Benchmarks default to a reduced-but-shape-preserving configuration so
 the whole suite finishes in minutes; set ``REPRO_FULL=1`` for
-paper-scale runs (100 cases per sweep point, as in Section VI).  Every
-figure benchmark prints the regenerated table and records the series in
-``benchmark.extra_info`` so the numbers survive into the JSON report.
+paper-scale runs (100 cases per sweep point, as in Section VI) and
+``REPRO_JOBS=N`` to shard every sweep across ``N`` worker processes.
+Every figure benchmark prints the regenerated table and records the
+series in ``benchmark.extra_info`` so the numbers survive into the
+JSON report.
 """
 
 from __future__ import annotations
@@ -12,6 +14,7 @@ from __future__ import annotations
 import pytest
 
 from repro.experiments.config import ExperimentConfig, full_scale
+from repro.experiments.parallel import default_workers
 from repro.workload.edge import EdgeWorkloadConfig, generate_edge_case
 
 #: Cases per sweep point in quick mode (paper mode uses 100).
@@ -20,8 +23,12 @@ QUICK_CASES = 6
 
 def experiment_config() -> ExperimentConfig:
     if full_scale():
-        return ExperimentConfig.paper()
-    return ExperimentConfig(cases=QUICK_CASES)
+        config = ExperimentConfig.paper()
+    else:
+        config = ExperimentConfig(cases=QUICK_CASES)
+    from dataclasses import replace
+
+    return replace(config, n_workers=default_workers())
 
 
 @pytest.fixture(scope="session")

@@ -4,9 +4,14 @@ Commands regenerate the paper's figures and the reproduction's
 ablations as plain-text tables, e.g.::
 
     python -m repro fig4a --cases 50
+    python -m repro fig4a --cases 100 --jobs 8
     python -m repro fig4d
     python -m repro ablate-solver --cases 5
-    python -m repro scalability
+    python -m repro scalability --sizes 25 50 100
+
+Every subcommand accepts ``--jobs N`` to shard its seeded test cases
+across ``N`` worker processes (default: the ``REPRO_JOBS`` environment
+variable, else serial).  Results are identical for any worker count.
 """
 
 from __future__ import annotations
@@ -14,6 +19,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from dataclasses import replace
 
 from repro.experiments.ablation import (
     bound_tightness,
@@ -48,6 +54,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default: 10, or 100 with REPRO_FULL=1)")
         p.add_argument("--seed0", type=int, default=0,
                        help="first seed of the case range")
+        p.add_argument("--jobs", type=int, default=None, metavar="N",
+                       help="worker processes for the case sweep "
+                            "(default: REPRO_JOBS env var, else 1; "
+                            "results are identical for any N)")
 
     for name in ("fig4a", "fig4b", "fig4c", "fig4d"):
         p = sub.add_parser(name, help=f"regenerate {name} of the paper")
@@ -77,8 +87,11 @@ def build_parser() -> argparse.ArgumentParser:
     add_common(p)
     p = sub.add_parser("scalability", help="A4: runtime vs job count")
     p.add_argument("--cases", type=int, default=3)
-    p.add_argument("--jobs", type=int, nargs="+",
-                   default=[25, 50, 100, 150])
+    p.add_argument("--sizes", type=int, nargs="+",
+                   default=[25, 50, 100, 150], metavar="N",
+                   help="job counts to sweep")
+    p.add_argument("--jobs", type=int, default=None, metavar="N",
+                   help="worker processes (as for the other commands)")
     p = sub.add_parser(
         "sensitivity",
         help="S1-S3: does the OPT gap grow with jobs/resources/stages?")
@@ -99,20 +112,26 @@ def _experiment_config(args: argparse.Namespace) -> ExperimentConfig:
         overrides["seed0"] = args.seed0
     if getattr(args, "opt_backend", None):
         overrides["opt_backend"] = args.opt_backend
+    if getattr(args, "jobs", None) is not None:
+        overrides["n_workers"] = max(1, args.jobs)
     if overrides:
-        config = ExperimentConfig(
-            cases=overrides.get("cases", config.cases),
-            seed0=overrides.get("seed0", config.seed0),
-            base=config.base,
-            equation=config.equation,
-            opt_backend=overrides.get("opt_backend", config.opt_backend))
+        config = replace(config, **overrides)
     return config
+
+
+def _n_workers(args: argparse.Namespace) -> int:
+    """Worker count for subcommands not driven by ExperimentConfig."""
+    from repro.experiments.parallel import default_workers
+
+    jobs = getattr(args, "jobs", None)
+    return max(1, jobs) if jobs is not None else default_workers()
 
 
 def main(argv: "list[str] | None" = None) -> int:
     """Entry point of ``python -m repro``; returns the exit code."""
     args = build_parser().parse_args(argv)
     start = time.perf_counter()
+    n_workers = _n_workers(args)
 
     if args.command in ALL_FIGURES:
         config = _experiment_config(args)
@@ -131,24 +150,28 @@ def main(argv: "list[str] | None" = None) -> int:
                 print(f"  - {problem}")
     elif args.command == "ablate-refinement":
         cases = args.cases if args.cases is not None else 10
-        print(refinement_ablation(cases=cases, seed0=args.seed0).format())
+        print(refinement_ablation(cases=cases, seed0=args.seed0,
+                                  n_workers=n_workers).format())
     elif args.command == "ablate-solver":
         cases = args.cases if args.cases is not None else 5
-        print(solver_agreement(cases=cases, seed0=args.seed0).format())
+        print(solver_agreement(cases=cases, seed0=args.seed0,
+                               n_workers=n_workers).format())
     elif args.command == "validate-sim":
         cases = args.cases if args.cases is not None else 10
-        print(bound_tightness(cases=cases, seed0=args.seed0).format())
+        print(bound_tightness(cases=cases, seed0=args.seed0,
+                              n_workers=n_workers).format())
     elif args.command == "ablate-heuristics":
         cases = args.cases if args.cases is not None else 10
-        print(heuristic_comparison(cases=cases,
-                                   seed0=args.seed0).format())
+        print(heuristic_comparison(cases=cases, seed0=args.seed0,
+                                   n_workers=n_workers).format())
     elif args.command == "ablate-holistic":
         cases = args.cases if args.cases is not None else 10
-        print(holistic_comparison(cases=cases,
-                                  seed0=args.seed0).format())
+        print(holistic_comparison(cases=cases, seed0=args.seed0,
+                                  n_workers=n_workers).format())
     elif args.command == "scalability":
-        print(scalability(job_counts=tuple(args.jobs),
-                          cases=args.cases).format())
+        print(scalability(job_counts=tuple(args.sizes),
+                          cases=args.cases,
+                          n_workers=n_workers).format())
     elif args.command == "sensitivity":
         from repro.experiments.sensitivity import (
             gap_vs_jobs,
@@ -163,7 +186,8 @@ def main(argv: "list[str] | None" = None) -> int:
         selected = (list(sweeps) if args.axis == "all" else [args.axis])
         results = []
         for axis in selected:
-            result = sweeps[axis](cases=cases, seed0=args.seed0)
+            result = sweeps[axis](cases=cases, seed0=args.seed0,
+                                  n_workers=n_workers)
             results.append(result)
             print(result.format())
             print()

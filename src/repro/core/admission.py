@@ -77,15 +77,17 @@ def opdca_admission(jobset: JobSet,
 
     while unassigned.any():
         level = int(unassigned.sum())
+        # One vectorised call evaluates every candidate of this level
+        # (higher = unassigned minus self, lower = assigned so far).
+        delays = test.delays_all(
+            np.broadcast_to(unassigned, (n, n)),
+            np.broadcast_to(assigned_lower, (n, n)),
+            active=active)
         placed = None
         excesses: list[tuple[float, int]] = []
         for i in np.flatnonzero(unassigned):
             i = int(i)
-            higher = unassigned.copy()
-            higher[i] = False
-            delay = test.delay(i, higher, assigned_lower.copy(),
-                               active=active)
-            excess = delay - float(deadlines[i])
+            excess = float(delays[i]) - float(deadlines[i])
             if excess <= 1e-9:
                 placed = i
                 break

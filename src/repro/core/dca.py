@@ -31,6 +31,27 @@ convention ``w_{i,i} = 1`` (a single ``t_{i,1}`` term).  A literal
 reading of Eqs. 3-4, where the self term would be scaled like any other
 pair, is available through ``self_coefficient="literal"`` and is used by
 the pessimism ablation.
+
+Batch evaluation
+----------------
+Two complementary fast paths keep the O(n^2) inner loops of Audsley's
+OPA, DMR repair and the experiment sweeps out of Python:
+
+* :meth:`DelayAnalyzer.delay_bounds_all` evaluates the chosen bound for
+  *every* job in one shot from ``(n, n)`` higher/lower relation
+  matrices, replacing ``n`` scalar :meth:`DelayAnalyzer.delay_bound`
+  calls with a handful of vectorised ``numpy`` reductions over the
+  ``(n, n, N)`` segment cache.  :meth:`delays_for_pairwise` and
+  :meth:`delays_for_ordering` are thin wrappers around it, and
+  ``SDCA.audsley_batch`` uses it to test all Audsley candidates of a
+  priority level at once.
+* Interference masks and evaluated bounds are memoised keyed on
+  ``(i, equation, active)`` (masks serialised to bytes), so repeated
+  evaluations with identical priority context -- ubiquitous in the
+  OPA/OPDCA and admission-controller loops where only one job changes
+  per iteration -- are answered from cache instead of being rebuilt
+  from scratch.  Caches are bounded (FIFO eviction) and private to the
+  analyzer, which is itself bound to one immutable job set.
 """
 
 from __future__ import annotations
@@ -54,6 +75,19 @@ ALL_EQUATIONS = ("eq1", "eq2", "eq3", "eq4", "eq5", "eq6", "eq10")
 LOWER_AWARE_EQUATIONS = frozenset({"eq2", "eq4", "eq10"})
 
 MaskLike = "np.ndarray | Iterable[int]"
+
+#: Entry caps of the per-analyzer memo dictionaries (FIFO eviction).
+#: Sized for the working sets of one OPA/admission run: ``n`` distinct
+#: active masks and a few thousand (i, context) bound evaluations.
+_MASK_MEMO_LIMIT = 1024
+_BOUND_MEMO_LIMIT = 8192
+_BATCH_MEMO_LIMIT = 64
+
+
+def _evict_to_limit(memo: dict, limit: int) -> None:
+    """Drop oldest entries (insertion order) until under ``limit``."""
+    while len(memo) >= limit:
+        memo.pop(next(iter(memo)))
 
 
 class DelayAnalyzer:
@@ -85,6 +119,13 @@ class DelayAnalyzer:
         self._window_filter = window_filter
         self._n = jobset.num_jobs
         self._num_stages = jobset.num_stages
+        self._eye = np.eye(self._n, dtype=bool)
+        #: (i, active) -> base interference mask / eq5 blocking mask.
+        self._mask_memo: dict[tuple, np.ndarray] = {}
+        #: (i, equation, higher, lower, active) -> bound value.
+        self._bound_memo: dict[tuple, float] = {}
+        #: (equation, x, active) -> delay vector of delays_for_pairwise.
+        self._batch_memo: dict[tuple, np.ndarray] = {}
 
     @property
     def jobset(self) -> JobSet:
@@ -113,6 +154,45 @@ class DelayAnalyzer:
         mask[array.astype(np.int64)] = True
         return mask
 
+    def _normalize_active(
+            self, active: np.ndarray | None) -> np.ndarray | None:
+        """Canonicalise ``active``: an all-true mask restricts nothing
+        and collapses to None so memo keys agree."""
+        if active is None:
+            return None
+        active = np.asarray(active, dtype=bool)
+        if active.all():
+            return None
+        return active
+
+    @staticmethod
+    def _active_key(active: np.ndarray | None) -> bytes | None:
+        return None if active is None else active.tobytes()
+
+    def _interference_base(self, i: int,
+                           active: np.ndarray | None) -> np.ndarray:
+        """Memoised mask of every job that could interfere with ``J_i``:
+        all other jobs, window-filtered, restricted to ``active``.
+
+        This is simultaneously the ``H_i``/``L_i`` pre-filter of
+        :meth:`_interferers` and the priority-independent blocking set of
+        Eq. 5, so one memo entry serves every bound of job ``i`` under
+        the same admission state.
+        """
+        key = (i, self._active_key(active))
+        base = self._mask_memo.get(key)
+        if base is None:
+            if self._window_filter:
+                base = self._jobset.overlaps[i].copy()
+            else:
+                base = np.ones(self._n, dtype=bool)
+            base[i] = False
+            if active is not None:
+                base &= active
+            _evict_to_limit(self._mask_memo, _MASK_MEMO_LIMIT)
+            self._mask_memo[key] = base
+        return base
+
     def _interferers(self, i: int, jobs: MaskLike,
                      active: np.ndarray | None = None) -> np.ndarray:
         """Mask of jobs that can actually interfere with ``J_i``.
@@ -122,11 +202,7 @@ class DelayAnalyzer:
         jobs from the system entirely).
         """
         mask = self.as_mask(jobs)
-        mask[i] = False
-        if self._window_filter:
-            mask &= self._jobset.overlaps[i]
-        if active is not None:
-            mask &= active
+        mask &= self._interference_base(i, self._normalize_active(active))
         return mask
 
     # ------------------------------------------------------------------
@@ -249,8 +325,10 @@ class DelayAnalyzer:
         dependence on relative priorities below ``J_i``.
         """
         h_mask = self._interferers(i, higher, active)
-        everyone_else = self._interferers(
-            i, np.ones(self._n, dtype=bool), active)
+        # The blocking set is priority-independent, so the memoised base
+        # interference mask *is* the eq5 blocking set (do not mutate).
+        everyone_else = self._interference_base(
+            i, self._normalize_active(active))
         return self._eq4_with_blocking_set(i, h_mask, everyone_else)
 
     def _eq4_with_blocking_set(self, i: int, h_mask: np.ndarray,
@@ -331,29 +409,222 @@ class DelayAnalyzer:
 
         ``lower`` is required by the lower-priority-aware bounds
         (``eq2``, ``eq4``, ``eq10``) and ignored by the others.
+
+        Evaluations are memoised keyed on ``(i, equation, higher,
+        lower, active)``; repeated queries with an identical priority
+        context (the common case inside the OPA and admission loops)
+        are answered from cache.
         """
         if equation not in ALL_EQUATIONS:
             raise ValueError(f"unknown equation {equation!r}; "
                              f"expected one of {ALL_EQUATIONS}")
-        if equation in LOWER_AWARE_EQUATIONS:
-            if lower is None:
-                raise ValueError(f"{equation} needs the lower-priority set")
-            if equation == "eq2":
-                return self.eq2(i, higher, lower, active=active)
-            if equation == "eq4":
-                return self.eq4(i, higher, lower, active=active)
-            return self.eq10(i, higher, lower, active=active)
-        if equation == "eq1":
-            return self.eq1(i, higher, active=active)
-        if equation == "eq3":
-            return self.eq3(i, higher, active=active)
-        if equation == "eq5":
-            return self.eq5(i, higher, active=active)
-        return self.eq6(i, higher, active=active)
+        lower_aware = equation in LOWER_AWARE_EQUATIONS
+        if lower_aware and lower is None:
+            raise ValueError(f"{equation} needs the lower-priority set")
+        active = self._normalize_active(active)
+        h_mask = self.as_mask(higher)
+        l_mask = self.as_mask(lower) if lower_aware else None
+        key = (i, equation, h_mask.tobytes(),
+               l_mask.tobytes() if lower_aware else None,
+               self._active_key(active))
+        try:
+            return self._bound_memo[key]
+        except KeyError:
+            pass
+        if equation == "eq2":
+            value = self.eq2(i, h_mask, l_mask, active=active)
+        elif equation == "eq4":
+            value = self.eq4(i, h_mask, l_mask, active=active)
+        elif equation == "eq10":
+            value = self.eq10(i, h_mask, l_mask, active=active)
+        elif equation == "eq1":
+            value = self.eq1(i, h_mask, active=active)
+        elif equation == "eq3":
+            value = self.eq3(i, h_mask, active=active)
+        elif equation == "eq5":
+            value = self.eq5(i, h_mask, active=active)
+        else:
+            value = self.eq6(i, h_mask, active=active)
+        _evict_to_limit(self._bound_memo, _BOUND_MEMO_LIMIT)
+        self._bound_memo[key] = value
+        return value
 
     # ------------------------------------------------------------------
-    # Batch evaluation (used by DMR, OPT verification, experiments)
+    # Batch evaluation (used by OPA/OPDCA, DMR, OPT verification and
+    # the experiment sweeps)
     # ------------------------------------------------------------------
+
+    def _batch_masks(self, relation: np.ndarray,
+                     active: np.ndarray | None) -> np.ndarray:
+        """Row-wise interference filtering of an ``(n, n)`` relation:
+        the batch counterpart of :meth:`_interferers`."""
+        mask = np.asarray(relation, dtype=bool) & ~self._eye
+        if self._window_filter:
+            mask = mask & self._jobset.overlaps
+        if active is not None:
+            mask = mask & active[None, :]
+        return mask
+
+    def _batch_stage_additive(self, q: np.ndarray, per_pair: np.ndarray,
+                              stages: slice) -> np.ndarray:
+        """``sum_j max_{Q_i} ep_{k,j}`` for every row of ``q`` at once."""
+        masked = np.where(q[:, :, None], per_pair, 0.0)
+        return masked.max(axis=1)[:, stages].sum(axis=1)
+
+    def _batch_self_term(self, equation: str) -> np.ndarray:
+        """Vector of job-additive self contributions (all jobs)."""
+        cache = self._cache
+        if self._self_coefficient == "refined":
+            return cache.t1.astype(float)
+        diag = np.arange(self._n)
+        if equation == "eq3":
+            return 2.0 * cache.m[diag, diag] * cache.et1[diag, diag]
+        if equation in ("eq4", "eq5"):
+            return (cache.m[diag, diag]
+                    * cache.et1[diag, diag]).astype(float)
+        if equation in ("eq6", "eq10"):
+            count = np.minimum(cache.w[diag, diag], self._num_stages)
+            values = np.where(
+                count > 0,
+                cache.et_cumsum[diag, diag, np.maximum(count, 1) - 1],
+                0.0)
+            return values
+        return cache.t1.astype(float)
+
+    def delay_bounds_all(self, higher_of: np.ndarray,
+                         lower_of: np.ndarray | None = None, *,
+                         equation: str = "eq6",
+                         active: np.ndarray | None = None) -> np.ndarray:
+        """Evaluate the chosen bound for **every** job in one shot.
+
+        ``higher_of``/``lower_of`` are ``(n, n)`` boolean matrices whose
+        row ``i`` holds the candidate higher-/lower-priority sets of
+        ``J_i`` (self entries and non-overlapping or inactive jobs are
+        filtered internally, exactly as in :meth:`delay_bound`).  Rows
+        of jobs outside ``active`` are returned as ``nan``.
+
+        This is the vectorised fast path behind
+        :meth:`delays_for_pairwise`, ``SDCA.audsley_batch`` and the
+        admission controllers: one call replaces ``n`` scalar
+        :meth:`delay_bound` evaluations, turning the O(n^2) inner loops
+        of OPA/OPDCA into a handful of numpy reductions.
+        """
+        if equation not in ALL_EQUATIONS:
+            raise ValueError(f"unknown equation {equation!r}; "
+                             f"expected one of {ALL_EQUATIONS}")
+        n = self._n
+        higher_of = np.asarray(higher_of, dtype=bool)
+        if higher_of.shape != (n, n):
+            raise ValueError(f"higher_of has shape {higher_of.shape}, "
+                             f"expected {(n, n)}")
+        lower_aware = equation in LOWER_AWARE_EQUATIONS
+        low = None
+        if lower_aware:
+            if lower_of is None:
+                raise ValueError(
+                    f"{equation} needs the lower-priority set")
+            lower_of = np.asarray(lower_of, dtype=bool)
+            if lower_of.shape != (n, n):
+                raise ValueError(f"lower_of has shape {lower_of.shape}, "
+                                 f"expected {(n, n)}")
+        active = self._normalize_active(active)
+        h = self._batch_masks(higher_of, active)
+        if lower_aware:
+            low = self._batch_masks(lower_of, active)
+
+        if equation == "eq1":
+            delays = self._batch_eq1(h)
+        elif equation == "eq2":
+            delays = self._batch_eq2(h, low)
+        elif equation == "eq3":
+            delays = self._batch_eq3(h)
+        elif equation == "eq4":
+            delays = self._batch_eq45(h, low)
+        elif equation == "eq5":
+            everyone = self._batch_masks(
+                np.ones((n, n), dtype=bool), active)
+            delays = self._batch_eq45(h, everyone)
+        elif equation == "eq6":
+            delays = self._batch_eq6(h)
+        else:
+            delays = self._batch_eq10(h, low)
+
+        if active is not None:
+            delays = np.where(active, delays, np.nan)
+        return delays
+
+    def _batch_eq1(self, h: np.ndarray) -> np.ndarray:
+        self._require_single_resource("eq1")
+        q = h | self._eye
+        arrivals = self._jobset.A
+        arrive_after = h & (arrivals[None, :] > arrivals[:, None])
+        job_additive = (self._cache.t1[None, :] * q).sum(axis=1)
+        job_additive += (self._cache.t2[None, :] * arrive_after).sum(axis=1)
+        stage_additive = self._batch_stage_additive(
+            q, self._jobset.P[None, :, :],
+            slice(0, self._num_stages - 1))
+        return job_additive + stage_additive
+
+    def _batch_eq2(self, h: np.ndarray, low: np.ndarray) -> np.ndarray:
+        self._require_single_resource("eq2")
+        q = h | self._eye
+        raw = self._jobset.P[None, :, :]
+        job_additive = (self._cache.t1[None, :] * q).sum(axis=1)
+        stage_additive = self._batch_stage_additive(
+            q, raw, slice(0, self._num_stages - 1))
+        blocking = self._batch_stage_additive(
+            low, raw, slice(0, self._num_stages))
+        return job_additive + stage_additive + blocking
+
+    def _batch_eq3(self, h: np.ndarray) -> np.ndarray:
+        cache = self._cache
+        q = h | self._eye
+        job_additive = (2.0 * cache.m * cache.et1 * h).sum(axis=1)
+        job_additive += self._batch_self_term("eq3")
+        stage_additive = self._batch_stage_additive(
+            q, cache.ep, slice(0, self._num_stages - 1))
+        return job_additive + stage_additive
+
+    def _batch_eq45(self, h: np.ndarray,
+                    blocking_set: np.ndarray) -> np.ndarray:
+        cache = self._cache
+        q = h | self._eye
+        job_additive = (cache.m * cache.et1 * h).sum(axis=1)
+        job_additive += self._batch_self_term("eq4")
+        stage_additive = self._batch_stage_additive(
+            q, cache.ep, slice(0, self._num_stages - 1))
+        blocking = self._batch_stage_additive(
+            blocking_set, cache.ep, slice(0, self._num_stages))
+        return job_additive + stage_additive + blocking
+
+    def _batch_eq6(self, h: np.ndarray) -> np.ndarray:
+        cache = self._cache
+        q = h | self._eye
+        job_additive = (cache.W * h).sum(axis=1)
+        if self._self_coefficient == "refined":
+            job_additive += cache.W.diagonal()
+        else:
+            job_additive += self._batch_self_term("eq6")
+        stage_additive = self._batch_stage_additive(
+            q, cache.ep, slice(0, self._num_stages - 1))
+        return job_additive + stage_additive
+
+    def _batch_eq10(self, h: np.ndarray, low: np.ndarray) -> np.ndarray:
+        if self._num_stages != 3:
+            raise ModelError(
+                f"eq10 models the 3-stage edge pipeline, "
+                f"system has {self._num_stages} stages")
+        cache = self._cache
+        q = h | self._eye
+        job_additive = (cache.W * h).sum(axis=1)
+        if self._self_coefficient == "refined":
+            job_additive += cache.W.diagonal()
+        else:
+            job_additive += self._batch_self_term("eq10")
+        uplink = np.where(q, cache.ep[:, :, 0], 0.0).max(axis=1)
+        server = np.where(q, cache.ep[:, :, 1], 0.0).max(axis=1)
+        downlink = np.where(low, cache.ep[:, :, 2], 0.0).max(axis=1)
+        return job_additive + uplink + server + downlink
 
     def delays_for_pairwise(self, x: np.ndarray, *,
                             equation: str = "eq6",
@@ -365,21 +636,23 @@ class DelayAnalyzer:
         conflicting pairs matter; the rest are ignored because their
         ``ep``/``W`` terms are zero.  Entries of jobs outside ``active``
         are returned as ``nan``.
+
+        Evaluation is fully vectorised via :meth:`delay_bounds_all` and
+        the result is memoised keyed on ``(equation, x, active)``.
         """
         x = np.asarray(x, dtype=bool)
         n = self._n
         if x.shape != (n, n):
             raise ValueError(f"x has shape {x.shape}, expected {(n, n)}")
-        higher_of = x.T & ~np.eye(n, dtype=bool)
-        lower_of = x & ~np.eye(n, dtype=bool)
-        delays = np.full(n, np.nan)
-        job_indices = (range(n) if active is None
-                       else np.flatnonzero(active))
-        for i in job_indices:
-            i = int(i)
-            delays[i] = self.delay_bound(
-                i, higher_of[i], lower_of[i], equation=equation,
-                active=active)
+        active = self._normalize_active(active)
+        key = (equation, x.tobytes(), self._active_key(active))
+        cached = self._batch_memo.get(key)
+        if cached is not None:
+            return cached.copy()
+        delays = self.delay_bounds_all(
+            x.T, x, equation=equation, active=active)
+        _evict_to_limit(self._batch_memo, _BATCH_MEMO_LIMIT)
+        self._batch_memo[key] = delays.copy()
         return delays
 
     def delays_for_ordering(self, priority: np.ndarray, *,

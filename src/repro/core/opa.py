@@ -20,7 +20,13 @@ from typing import Callable, Sequence
 import numpy as np
 
 #: Feasibility callback: ``test(i, higher_mask, lower_mask) -> bool``.
+#: The masks are read-only views of engine state -- copy before storing.
 FeasibilityTest = Callable[[int, np.ndarray, np.ndarray], bool]
+
+#: Batched feasibility callback: ``batch_test(unassigned, lower)`` with
+#: the *full* unassigned mask (no self-exclusion) returns a boolean
+#: vector marking which candidates pass at the current level.
+BatchFeasibilityTest = Callable[[np.ndarray, np.ndarray], np.ndarray]
 
 
 @dataclass
@@ -52,7 +58,8 @@ class OPAResult:
 
 
 def audsley(num_jobs: int, test: FeasibilityTest, *,
-            candidates: Sequence[int] | None = None) -> OPAResult:
+            candidates: Sequence[int] | None = None,
+            batch_test: BatchFeasibilityTest | None = None) -> OPAResult:
     """Run Audsley's OPA over ``num_jobs`` jobs with the given test.
 
     Parameters
@@ -63,11 +70,20 @@ def audsley(num_jobs: int, test: FeasibilityTest, *,
         OPA-compatible feasibility test.  For priority level ``p`` the
         engine calls ``test(i, H_i, L_i)`` with ``H_i`` = all unassigned
         jobs except ``J_i`` and ``L_i`` = the jobs already assigned
-        (strictly lower) priorities.
+        (strictly lower) priorities.  The masks are **read-only views**
+        of the engine's scratch state (no per-candidate copies are
+        made); callbacks that want to keep a mask must copy it.
     candidates:
         Optional subset of job indices to assign priorities to (used by
         the admission controller); defaults to all jobs.  Jobs outside
         the subset never appear in any mask.
+    batch_test:
+        Optional vectorised variant: called once per priority level
+        with ``(unassigned, assigned_lower)`` and returning a boolean
+        feasibility vector over all jobs; the engine places the
+        lowest-indexed feasible candidate, exactly as the serial scan
+        would.  When supplied it replaces the O(n) per-level ``test``
+        calls (used by OPDCA via ``SDCA.audsley_batch``).
 
     Returns
     -------
@@ -84,15 +100,31 @@ def audsley(num_jobs: int, test: FeasibilityTest, *,
     priority = np.zeros(num_jobs, dtype=np.int64)
     order_low_to_high: list[int] = []
 
+    # The candidate loop reuses these read-only views instead of
+    # allocating fresh copies per feasibility call: ``J_i`` is removed
+    # from (and restored to) the scratch ``unassigned`` buffer around
+    # each call, which the ``higher`` view reflects for free.
+    higher_view = unassigned.view()
+    higher_view.setflags(write=False)
+    lower_view = assigned_lower.view()
+    lower_view.setflags(write=False)
+
     for level in range(len(candidates), 0, -1):
         placed = None
-        for i in np.flatnonzero(unassigned):
-            i = int(i)
-            higher = unassigned.copy()
-            higher[i] = False
-            if test(i, higher, assigned_lower.copy()):
-                placed = i
-                break
+        if batch_test is not None:
+            feasible = np.asarray(batch_test(higher_view, lower_view))
+            choices = np.flatnonzero(unassigned & feasible)
+            if choices.size:
+                placed = int(choices[0])
+        else:
+            for i in np.flatnonzero(unassigned):
+                i = int(i)
+                unassigned[i] = False
+                feasible_i = test(i, higher_view, lower_view)
+                unassigned[i] = True
+                if feasible_i:
+                    placed = i
+                    break
         if placed is None:
             return OPAResult(
                 feasible=False,

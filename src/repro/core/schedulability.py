@@ -138,3 +138,37 @@ class SDCA:
         """``D_i - Delta_i`` (negative when the job misses)."""
         return float(self._jobset.D[i]) - self.delay(i, higher, lower,
                                                      active=active)
+
+    # ------------------------------------------------------------------
+    # Batched evaluation (vectorised fast paths for OPA/admission)
+    # ------------------------------------------------------------------
+
+    def delays_all(self, higher_of: np.ndarray,
+                   lower_of: np.ndarray | None = None, *,
+                   active: np.ndarray | None = None) -> np.ndarray:
+        """Delay bounds of every job from ``(n, n)`` relation matrices
+        in one vectorised call (see ``DelayAnalyzer.delay_bounds_all``).
+        """
+        if self.uses_lower_set and lower_of is None:
+            n = self._jobset.num_jobs
+            lower_of = np.zeros((n, n), dtype=bool)
+        return self._analyzer.delay_bounds_all(
+            higher_of, lower_of, equation=self._equation, active=active)
+
+    def audsley_batch(self, unassigned: np.ndarray,
+                      assigned_lower: np.ndarray, *,
+                      active: np.ndarray | None = None) -> np.ndarray:
+        """Feasibility of every Audsley candidate at one priority level.
+
+        Candidate ``J_i`` is evaluated with ``H_i`` = ``unassigned``
+        minus ``J_i`` (the self entry is dropped by the batch kernel)
+        and ``L_i`` = ``assigned_lower``, i.e. exactly the context of
+        the serial per-candidate scan, but for all candidates at once.
+        Pass the result to ``audsley(..., batch_test=...)``.
+        """
+        n = self._jobset.num_jobs
+        higher_of = np.broadcast_to(unassigned, (n, n))
+        lower_of = np.broadcast_to(assigned_lower, (n, n))
+        delays = self.delays_all(higher_of, lower_of, active=active)
+        with np.errstate(invalid="ignore"):
+            return delays <= self._jobset.D + DEADLINE_TOLERANCE

@@ -14,6 +14,12 @@
   strategies (LMR, local search, OPA-guided) vs DMR and OPT.
 * :func:`holistic_comparison` (A7) -- classical per-stage additive
   holistic analysis vs the DCA bound (the paper's motivation).
+
+Every ablation accepts ``n_workers``: the per-case bodies live in
+module-level functions and are sharded across a process pool by
+:func:`repro.experiments.parallel.parallel_map` (results are identical
+for any worker count; per-case wall-clock timings are measured inside
+the worker that ran the case).
 """
 
 from __future__ import annotations
@@ -26,6 +32,7 @@ import numpy as np
 from repro.core.dca import DelayAnalyzer
 from repro.core.opdca import opdca
 from repro.core.schedulability import SDCA
+from repro.experiments.parallel import parallel_map
 from repro.pairwise.dm import dm
 from repro.pairwise.dmr import dmr
 from repro.pairwise.opt import opt
@@ -64,9 +71,31 @@ def _fmt(value) -> str:
     return str(value)
 
 
+def _refinement_case(config: EdgeWorkloadConfig, seed: int) -> dict:
+    case = generate_edge_case(config, seed=seed)
+    jobset = case.jobset
+    analyzer = DelayAnalyzer(jobset)
+    literal = DelayAnalyzer(jobset, self_coefficient="literal")
+    matrix = dm(jobset, "eq6", analyzer=analyzer).assignment.matrix()
+    d_eq6 = analyzer.delays_for_pairwise(matrix, equation="eq6")
+    d_eq3 = analyzer.delays_for_pairwise(matrix, equation="eq3")
+    d_eq3_lit = literal.delays_for_pairwise(matrix, equation="eq3")
+    acc6 = opdca(jobset, "eq6",
+                 test=SDCA(jobset, "eq6", analyzer=analyzer)).feasible
+    acc3 = opdca(jobset, "eq3",
+                 test=SDCA(jobset, "eq3", analyzer=analyzer)).feasible
+    return {
+        "seed": case.seed,
+        "eq3/eq6 bound ratio": float(np.mean(d_eq3 / d_eq6)),
+        "literal-self ratio": float(np.mean(d_eq3_lit / d_eq6)),
+        "OPDCA(eq6)": acc6,
+        "OPDCA(eq3)": acc3,
+    }
+
+
 def refinement_ablation(*, cases: int = 10, seed0: int = 0,
-                        config: EdgeWorkloadConfig | None = None
-                        ) -> AblationResult:
+                        config: EdgeWorkloadConfig | None = None,
+                        n_workers: int = 1) -> AblationResult:
     """A1: compare Eq. 3 (2 terms/segment) against refined Eq. 6.
 
     Reports, per test case, the mean delay-bound ratio eq3/eq6 under
@@ -74,36 +103,61 @@ def refinement_ablation(*, cases: int = 10, seed0: int = 0,
     driven by each bound (eq6's refinement can only help).
     """
     config = config or EdgeWorkloadConfig()
-    rows = []
-    for offset in range(cases):
-        case = generate_edge_case(config, seed=seed0 + offset)
-        jobset = case.jobset
-        analyzer = DelayAnalyzer(jobset)
-        literal = DelayAnalyzer(jobset, self_coefficient="literal")
-        matrix = dm(jobset, "eq6", analyzer=analyzer).assignment.matrix()
-        d_eq6 = analyzer.delays_for_pairwise(matrix, equation="eq6")
-        d_eq3 = analyzer.delays_for_pairwise(matrix, equation="eq3")
-        d_eq3_lit = literal.delays_for_pairwise(matrix, equation="eq3")
-        acc6 = opdca(jobset, "eq6",
-                     test=SDCA(jobset, "eq6", analyzer=analyzer)).feasible
-        acc3 = opdca(jobset, "eq3",
-                     test=SDCA(jobset, "eq3", analyzer=analyzer)).feasible
-        rows.append({
-            "seed": case.seed,
-            "eq3/eq6 bound ratio": float(np.mean(d_eq3 / d_eq6)),
-            "literal-self ratio": float(np.mean(d_eq3_lit / d_eq6)),
-            "OPDCA(eq6)": acc6,
-            "OPDCA(eq3)": acc3,
-        })
+    rows = parallel_map(
+        _refinement_case,
+        [(config, seed0 + offset) for offset in range(cases)],
+        n_workers=n_workers)
     return AblationResult(
         name="A1 refinement",
         context=f"{cases} cases at paper defaults",
         rows=rows)
 
 
+def _solver_case(config: EdgeWorkloadConfig, seed: int,
+                 equation: str) -> dict:
+    from repro.core.exceptions import SolverError
+
+    case = generate_edge_case(config, seed=seed)
+    jobset = case.jobset
+    analyzer = DelayAnalyzer(jobset)
+    outcomes = {}
+    timings = {}
+    for name, kwargs in (
+            ("highs/compact", {"backend": "highs", "mode": "compact"}),
+            ("highs/faithful", {"backend": "highs",
+                                "mode": "faithful"}),
+            ("b&b/compact", {"backend": "branch_bound",
+                             "mode": "compact",
+                             "node_limit": 20_000}),
+            ("cp", {"backend": "cp"})):
+        start = time.perf_counter()
+        try:
+            result = opt(jobset, equation, analyzer=analyzer,
+                         **kwargs)
+            outcomes[name] = result.feasible
+        except SolverError:
+            # Budget exhausted without a verdict (possible for the
+            # pure-Python branch-and-bound on hard infeasible
+            # instances); excluded from the agreement check.
+            outcomes[name] = None
+        timings[name] = time.perf_counter() - start
+    decided = {value for value in outcomes.values()
+               if value is not None}
+    agree = len(decided) == 1
+    return {
+        "seed": case.seed,
+        "feasible": outcomes["highs/compact"],
+        "agree": agree,
+        "undecided": sum(value is None
+                         for value in outcomes.values()),
+        **{f"t({name})": timings[name] for name in timings},
+    }
+
+
 def solver_agreement(*, cases: int = 10, seed0: int = 0,
                      config: EdgeWorkloadConfig | None = None,
-                     equation: str = "eq10") -> AblationResult:
+                     equation: str = "eq10",
+                     n_workers: int = 1) -> AblationResult:
     """A2 + A5: backend and linearisation agreement for OPT.
 
     Defaults to a scaled-down workload (40 jobs): agreement is a
@@ -111,56 +165,58 @@ def solver_agreement(*, cases: int = 10, seed0: int = 0,
     Python-level LP per node, which paper-scale instances would turn
     into minutes per case.
     """
-    from repro.core.exceptions import SolverError
-
     config = config or EdgeWorkloadConfig(num_jobs=40, num_aps=10,
                                           num_servers=8)
-    rows = []
-    for offset in range(cases):
-        case = generate_edge_case(config, seed=seed0 + offset)
-        jobset = case.jobset
-        analyzer = DelayAnalyzer(jobset)
-        outcomes = {}
-        timings = {}
-        for name, kwargs in (
-                ("highs/compact", {"backend": "highs", "mode": "compact"}),
-                ("highs/faithful", {"backend": "highs",
-                                    "mode": "faithful"}),
-                ("b&b/compact", {"backend": "branch_bound",
-                                 "mode": "compact",
-                                 "node_limit": 20_000}),
-                ("cp", {"backend": "cp"})):
-            start = time.perf_counter()
-            try:
-                result = opt(jobset, equation, analyzer=analyzer,
-                             **kwargs)
-                outcomes[name] = result.feasible
-            except SolverError:
-                # Budget exhausted without a verdict (possible for the
-                # pure-Python branch-and-bound on hard infeasible
-                # instances); excluded from the agreement check.
-                outcomes[name] = None
-            timings[name] = time.perf_counter() - start
-        decided = {value for value in outcomes.values()
-                   if value is not None}
-        agree = len(decided) == 1
-        rows.append({
-            "seed": case.seed,
-            "feasible": outcomes["highs/compact"],
-            "agree": agree,
-            "undecided": sum(value is None
-                             for value in outcomes.values()),
-            **{f"t({name})": timings[name] for name in timings},
-        })
+    rows = parallel_map(
+        _solver_case,
+        [(config, seed0 + offset, equation) for offset in range(cases)],
+        n_workers=n_workers)
     return AblationResult(
         name="A2/A5 solver agreement",
         context=f"{cases} cases, equation={equation}",
         rows=rows)
 
 
+def _tightness_case(config: EdgeWorkloadConfig, seed: int) -> dict:
+    case = generate_edge_case(config, seed=seed)
+    jobset = case.jobset
+    analyzer = DelayAnalyzer(jobset)
+    row: dict = {"seed": case.seed}
+
+    ordering_result = opdca(jobset, "eq10",
+                            test=SDCA(jobset, "eq10",
+                                      analyzer=analyzer))
+    if ordering_result.feasible:
+        sim = simulate(jobset,
+                       TotalOrderPolicy(ordering_result.ordering))
+        bounds = ordering_result.delays
+        row["ordering tightness"] = float(
+            np.mean(sim.delays / bounds))
+        row["ordering violations"] = int(
+            (sim.delays > bounds + 1e-6).sum())
+    else:
+        row["ordering tightness"] = float("nan")
+        row["ordering violations"] = -1
+
+    opt_result = opt(jobset, "eq10", analyzer=analyzer)
+    if opt_result.feasible:
+        assignment = opt_result.assignment
+        sim = simulate(jobset, PairwisePolicy(assignment))
+        bounds = opt_result.delays
+        row["pairwise cyclic"] = not assignment.is_acyclic()
+        row["pairwise tightness"] = float(np.mean(sim.delays / bounds))
+        row["pairwise violations"] = int(
+            (sim.delays > bounds + 1e-6).sum())
+    else:
+        row["pairwise cyclic"] = False
+        row["pairwise tightness"] = float("nan")
+        row["pairwise violations"] = -1
+    return row
+
+
 def bound_tightness(*, cases: int = 10, seed0: int = 0,
-                    config: EdgeWorkloadConfig | None = None
-                    ) -> AblationResult:
+                    config: EdgeWorkloadConfig | None = None,
+                    n_workers: int = 1) -> AblationResult:
     """A3: simulated delay vs analytical bound.
 
     For OPDCA orderings the Eq. 10 bound must dominate the simulated
@@ -170,101 +226,103 @@ def bound_tightness(*, cases: int = 10, seed0: int = 0,
     documented choice.
     """
     config = config or EdgeWorkloadConfig()
-    rows = []
-    for offset in range(cases):
-        case = generate_edge_case(config, seed=seed0 + offset)
-        jobset = case.jobset
-        analyzer = DelayAnalyzer(jobset)
-        row: dict = {"seed": case.seed}
-
-        ordering_result = opdca(jobset, "eq10",
-                                test=SDCA(jobset, "eq10",
-                                          analyzer=analyzer))
-        if ordering_result.feasible:
-            sim = simulate(jobset,
-                           TotalOrderPolicy(ordering_result.ordering))
-            bounds = ordering_result.delays
-            row["ordering tightness"] = float(
-                np.mean(sim.delays / bounds))
-            row["ordering violations"] = int(
-                (sim.delays > bounds + 1e-6).sum())
-        else:
-            row["ordering tightness"] = float("nan")
-            row["ordering violations"] = -1
-
-        opt_result = opt(jobset, "eq10", analyzer=analyzer)
-        if opt_result.feasible:
-            assignment = opt_result.assignment
-            sim = simulate(jobset, PairwisePolicy(assignment))
-            bounds = opt_result.delays
-            row["pairwise cyclic"] = not assignment.is_acyclic()
-            row["pairwise tightness"] = float(np.mean(sim.delays / bounds))
-            row["pairwise violations"] = int(
-                (sim.delays > bounds + 1e-6).sum())
-        else:
-            row["pairwise cyclic"] = False
-            row["pairwise tightness"] = float("nan")
-            row["pairwise violations"] = -1
-        rows.append(row)
+    rows = parallel_map(
+        _tightness_case,
+        [(config, seed0 + offset) for offset in range(cases)],
+        n_workers=n_workers)
     return AblationResult(
         name="A3 bound tightness",
         context=f"{cases} cases (violations: -1 = not applicable)",
         rows=rows)
 
 
+def _heuristic_case(config: EdgeWorkloadConfig, seed: int,
+                    equation: str) -> tuple[dict, dict]:
+    from repro.pairwise.heuristics import lmr, local_search, opa_guided
+
+    case = generate_edge_case(config, seed=seed)
+    jobset = case.jobset
+    analyzer = DelayAnalyzer(jobset)
+    runs = {
+        "dmr": lambda: dmr(jobset, equation, analyzer=analyzer),
+        "lmr": lambda: lmr(jobset, equation, analyzer=analyzer),
+        "local_search": lambda: local_search(
+            jobset, equation, analyzer=analyzer),
+        "opa_guided": lambda: opa_guided(
+            jobset, equation, analyzer=analyzer),
+        "opt": lambda: opt(jobset, equation, analyzer=analyzer),
+    }
+    accepted = {}
+    timings = {}
+    for name, run in runs.items():
+        start = time.perf_counter()
+        accepted[name] = run().feasible
+        timings[name] = time.perf_counter() - start
+    # Completeness sanity: no heuristic may beat OPT.
+    for name in ("dmr", "lmr", "local_search", "opa_guided"):
+        assert not (accepted[name] and not accepted["opt"])
+    return accepted, timings
+
+
 def heuristic_comparison(*, cases: int = 20, seed0: int = 0,
                          config: EdgeWorkloadConfig | None = None,
-                         equation: str = "eq10") -> AblationResult:
+                         equation: str = "eq10",
+                         n_workers: int = 1) -> AblationResult:
     """A6: the future-work pairwise strategies vs DMR and OPT.
 
     Counts acceptances of DMR, LMR (laxity-seeded repair), local search
     and the OPA-guided hybrid against the complete OPT, on edge
     workloads (all relations other than ``<= OPT`` are empirical).
     """
-    from repro.pairwise.heuristics import lmr, local_search, opa_guided
-
     config = config or EdgeWorkloadConfig()
-    counts = {name: 0 for name in
-              ("dmr", "lmr", "local_search", "opa_guided", "opt")}
-    timings = {name: [] for name in counts}
-    for offset in range(cases):
-        case = generate_edge_case(config, seed=seed0 + offset)
-        jobset = case.jobset
-        analyzer = DelayAnalyzer(jobset)
-        runs = {
-            "dmr": lambda: dmr(jobset, equation, analyzer=analyzer),
-            "lmr": lambda: lmr(jobset, equation, analyzer=analyzer),
-            "local_search": lambda: local_search(
-                jobset, equation, analyzer=analyzer),
-            "opa_guided": lambda: opa_guided(
-                jobset, equation, analyzer=analyzer),
-            "opt": lambda: opt(jobset, equation, analyzer=analyzer),
-        }
-        accepted = {}
-        for name, run in runs.items():
-            start = time.perf_counter()
-            accepted[name] = run().feasible
-            timings[name].append(time.perf_counter() - start)
-        for name, ok in accepted.items():
-            counts[name] += ok
-        # Completeness sanity: no heuristic may beat OPT.
-        for name in ("dmr", "lmr", "local_search", "opa_guided"):
-            assert not (accepted[name] and not accepted["opt"])
+    results = parallel_map(
+        _heuristic_case,
+        [(config, seed0 + offset, equation) for offset in range(cases)],
+        n_workers=n_workers)
+    names = ("dmr", "lmr", "local_search", "opa_guided", "opt")
+    counts = {name: sum(accepted[name] for accepted, _ in results)
+              for name in names}
+    timings = {name: [case_timings[name] for _, case_timings in results]
+               for name in names}
     rows = [{
         "approach": name,
         "accepted": counts[name],
         f"AR over {cases} cases (%)": 100.0 * counts[name] / cases,
         "mean time (s)": float(np.mean(timings[name])),
-    } for name in counts]
+    } for name in names]
     return AblationResult(
         name="A6 pairwise heuristics",
         context=f"{cases} cases at paper defaults, equation={equation}",
         rows=rows)
 
 
+def _holistic_case(config: EdgeWorkloadConfig, seed: int) -> dict:
+    from repro.baselines.holistic import HolisticAnalyzer, holistic_opa
+
+    case = generate_edge_case(config, seed=seed)
+    jobset = case.jobset
+    analyzer = DelayAnalyzer(jobset)
+    hol = HolisticAnalyzer(jobset, blocking="all")
+    matrix = dm(jobset, "eq10", analyzer=analyzer).assignment.matrix()
+    d_dca = analyzer.delays_for_pairwise(matrix, equation="eq10")
+    d_hol = hol.delays_for_pairwise(matrix)
+    acc_dca = opdca(jobset, "eq10",
+                    test=SDCA(jobset, "eq10",
+                              analyzer=analyzer)).feasible
+    acc_hol = holistic_opa(jobset).feasible
+    ratios = d_hol / d_dca
+    return {
+        "seed": case.seed,
+        "HOL/DCA mean": float(np.mean(ratios)),
+        "HOL/DCA max": float(np.max(ratios)),
+        "OPA(HOL)": acc_hol,
+        "OPDCA(eq10)": acc_dca,
+    }
+
+
 def holistic_comparison(*, cases: int = 20, seed0: int = 0,
-                        config: EdgeWorkloadConfig | None = None
-                        ) -> AblationResult:
+                        config: EdgeWorkloadConfig | None = None,
+                        n_workers: int = 1) -> AblationResult:
     """A7: classical holistic analysis (HOL) vs the DCA bound.
 
     Runs Audsley's OPA once with the per-stage additive holistic test
@@ -274,75 +332,130 @@ def holistic_comparison(*, cases: int = 20, seed0: int = 0,
     paper's motivation: HOL charges every higher-priority job once per
     shared stage, DCA once per segment end plus a single per-stage max.
     """
-    from repro.baselines.holistic import HolisticAnalyzer, holistic_opa
-
     config = config or EdgeWorkloadConfig()
-    rows = []
-    for offset in range(cases):
-        case = generate_edge_case(config, seed=seed0 + offset)
-        jobset = case.jobset
-        analyzer = DelayAnalyzer(jobset)
-        hol = HolisticAnalyzer(jobset, blocking="all")
-        matrix = dm(jobset, "eq10", analyzer=analyzer).assignment.matrix()
-        d_dca = analyzer.delays_for_pairwise(matrix, equation="eq10")
-        d_hol = hol.delays_for_pairwise(matrix)
-        acc_dca = opdca(jobset, "eq10",
-                        test=SDCA(jobset, "eq10",
-                                  analyzer=analyzer)).feasible
-        acc_hol = holistic_opa(jobset).feasible
-        ratios = d_hol / d_dca
-        rows.append({
-            "seed": case.seed,
-            "HOL/DCA mean": float(np.mean(ratios)),
-            "HOL/DCA max": float(np.max(ratios)),
-            "OPA(HOL)": acc_hol,
-            "OPDCA(eq10)": acc_dca,
-        })
+    rows = parallel_map(
+        _holistic_case,
+        [(config, seed0 + offset) for offset in range(cases)],
+        n_workers=n_workers)
     return AblationResult(
         name="A7 holistic vs DCA",
         context=f"{cases} cases at paper defaults",
         rows=rows)
 
 
+#: Timing columns of the scalability table, in reporting order.
+SCALABILITY_TIMINGS = ("dm", "dmr", "opdca", "opdca/serial", "opt",
+                       "bounds/batched", "bounds/scalar")
+
+
+def _scalability_case(config: EdgeWorkloadConfig,
+                      seed: int) -> dict[str, float]:
+    """Time every approach on one case, plus the all-jobs bound
+    evaluation in both its legacy scalar and batched form.
+
+    Fresh analyzers are used where memoisation would otherwise let one
+    measurement warm up the next.
+    """
+    case = generate_edge_case(config, seed=seed)
+    jobset = case.jobset
+    timings: dict[str, float] = {}
+
+    # Every measurement gets its own cold DelayAnalyzer (constructed
+    # outside the timed region): the memo caches would otherwise let
+    # one approach warm up the next and understate its time.
+    analyzer = DelayAnalyzer(jobset)
+    start = time.perf_counter()
+    dm_result = dm(jobset, "eq10", analyzer=analyzer)
+    timings["dm"] = time.perf_counter() - start
+    analyzer = DelayAnalyzer(jobset)
+    start = time.perf_counter()
+    dmr(jobset, "eq10", analyzer=analyzer)
+    timings["dmr"] = time.perf_counter() - start
+    test = SDCA(jobset, "eq10", analyzer=DelayAnalyzer(jobset))
+    start = time.perf_counter()
+    opdca(jobset, "eq10", test=test)
+    timings["opdca"] = time.perf_counter() - start
+    test = SDCA(jobset, "eq10", analyzer=DelayAnalyzer(jobset))
+    start = time.perf_counter()
+    opdca(jobset, "eq10", test=test, batch=False)
+    timings["opdca/serial"] = time.perf_counter() - start
+    analyzer = DelayAnalyzer(jobset)
+    start = time.perf_counter()
+    opt(jobset, "eq10", analyzer=analyzer)
+    timings["opt"] = time.perf_counter() - start
+
+    # The primitive inside every inner loop: evaluate all n bounds
+    # under one assignment.  Legacy = n scalar delay_bound calls;
+    # batched = one delay_bounds_all call.  Both are timed best-of-3
+    # on a fresh analyzer per repetition: the batched call is
+    # sub-millisecond, where a single scheduler stall on a shared CI
+    # runner would otherwise dominate the measurement.
+    x = dm_result.assignment.matrix()
+
+    def best_of(repetitions, run):
+        best = float("inf")
+        for _ in range(repetitions):
+            cold = DelayAnalyzer(jobset)
+            start = time.perf_counter()
+            run(cold)
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    def scalar_pass(cold):
+        for i in range(jobset.num_jobs):
+            cold.delay_bound(i, x.T[i], x[i], equation="eq10")
+
+    timings["bounds/scalar"] = best_of(3, scalar_pass)
+    timings["bounds/batched"] = best_of(
+        3, lambda cold: cold.delay_bounds_all(x.T, x, equation="eq10"))
+    return timings
+
+
 def scalability(*, job_counts: tuple[int, ...] = (25, 50, 100, 150),
-                cases: int = 3, seed0: int = 0) -> AblationResult:
+                cases: int = 3, seed0: int = 0,
+                n_workers: int = 1) -> AblationResult:
     """A4: wall-clock scaling with the number of jobs.
 
     APs/servers scale proportionally with the job count so per-resource
-    contention stays comparable.
+    contention stays comparable.  Each row also reports the speedup of
+    the batched all-jobs bound evaluation over the legacy per-job loop
+    (``speedup(bounds)``) and of the vectorised OPDCA candidate scan
+    over the serial one (``speedup(opdca)``).
     """
-    rows = []
+    configs = []
     for num_jobs in job_counts:
         scale = num_jobs / 100.0
-        config = EdgeWorkloadConfig(
+        configs.append(EdgeWorkloadConfig(
             num_jobs=num_jobs,
             num_aps=max(2, int(round(25 * scale))),
-            num_servers=max(2, int(round(20 * scale))))
-        timings: dict[str, list[float]] = {
-            name: [] for name in ("dm", "dmr", "opdca", "opt")}
-        for offset in range(cases):
-            case = generate_edge_case(config, seed=seed0 + offset)
-            jobset = case.jobset
-            analyzer = DelayAnalyzer(jobset)
-            start = time.perf_counter()
-            dm(jobset, "eq10", analyzer=analyzer)
-            timings["dm"].append(time.perf_counter() - start)
-            start = time.perf_counter()
-            dmr(jobset, "eq10", analyzer=analyzer)
-            timings["dmr"].append(time.perf_counter() - start)
-            start = time.perf_counter()
-            opdca(jobset, "eq10",
-                  test=SDCA(jobset, "eq10", analyzer=analyzer))
-            timings["opdca"].append(time.perf_counter() - start)
-            start = time.perf_counter()
-            opt(jobset, "eq10", analyzer=analyzer)
-            timings["opt"].append(time.perf_counter() - start)
+            num_servers=max(2, int(round(20 * scale)))))
+    case_timings = parallel_map(
+        _scalability_case,
+        [(config, seed0 + offset)
+         for config in configs for offset in range(cases)],
+        n_workers=n_workers)
+
+    rows = []
+    for index, num_jobs in enumerate(job_counts):
+        chunk = case_timings[index * cases:(index + 1) * cases]
+        means = {name: float(np.mean([t[name] for t in chunk]))
+                 for name in SCALABILITY_TIMINGS}
         rows.append({
             "jobs": num_jobs,
-            **{f"t({name}) s": float(np.mean(values))
-               for name, values in timings.items()},
+            **{f"t({name}) s": means[name]
+               for name in SCALABILITY_TIMINGS},
+            "speedup(bounds)": means["bounds/scalar"]
+            / max(means["bounds/batched"], 1e-12),
+            "speedup(opdca)": means["opdca/serial"]
+            / max(means["opdca"], 1e-12),
         })
+    context = f"{cases} cases per size, resources scaled with n"
+    if n_workers > 1:
+        # Timings are wall-clock inside each worker: under CPU
+        # contention they are comparable to each other but inflated
+        # in absolute terms -- flag it in the table header.
+        context += f", timed under {n_workers} concurrent workers"
     return AblationResult(
         name="A4 scalability",
-        context=f"{cases} cases per size, resources scaled with n",
+        context=context,
         rows=rows)

@@ -9,7 +9,7 @@ bundles the sweep with the number of seeded test cases per point.
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.workload.edge import EdgeWorkloadConfig
 
@@ -41,18 +41,31 @@ ADMISSION_SETTINGS = (
 ADMISSION_APPROACHES = ("opdca", "dmr", "dm")
 
 
+def _env_flag(name: str) -> bool:
+    return os.environ.get(name, "").strip() in ("1", "true", "yes")
+
+
 def full_scale() -> bool:
     """True when paper-scale runs were requested via ``REPRO_FULL=1``."""
-    return os.environ.get("REPRO_FULL", "").strip() in ("1", "true", "yes")
+    return _env_flag("REPRO_FULL")
+
+
+def tiny_scale() -> bool:
+    """True when a smoke-test run was requested via ``REPRO_TINY=1``
+    (used by CI to exercise the full CLI path in seconds)."""
+    return _env_flag("REPRO_TINY")
 
 
 @dataclass(frozen=True)
 class ExperimentConfig:
-    """How much work each figure driver performs.
+    """How much work each figure driver performs, and with how many
+    worker processes.
 
     ``cases`` seeded test cases are generated per sweep point with
     seeds ``seed0 .. seed0 + cases - 1``; the acceptance ratio is the
-    fraction accepted.
+    fraction accepted.  ``n_workers > 1`` shards the cases across a
+    process pool (results are identical for any worker count; see
+    :mod:`repro.experiments.parallel`).
     """
 
     cases: int = 50
@@ -60,6 +73,7 @@ class ExperimentConfig:
     base: EdgeWorkloadConfig = field(default_factory=EdgeWorkloadConfig)
     equation: str = "eq10"
     opt_backend: str = "highs"
+    n_workers: int = 1
 
     @classmethod
     def quick(cls) -> "ExperimentConfig":
@@ -72,6 +86,26 @@ class ExperimentConfig:
         return cls(cases=100)
 
     @classmethod
+    def tiny(cls) -> "ExperimentConfig":
+        """Smoke-test configuration: a shrunken workload so every CLI
+        subcommand finishes in seconds (CI uses this via REPRO_TINY)."""
+        return cls(cases=2, base=EdgeWorkloadConfig(
+            num_jobs=10, num_aps=4, num_servers=3))
+
+    @classmethod
     def from_environment(cls) -> "ExperimentConfig":
-        """``paper()`` when ``REPRO_FULL=1``, ``quick()`` otherwise."""
-        return cls.paper() if full_scale() else cls.quick()
+        """``paper()`` with ``REPRO_FULL=1``, ``tiny()`` with
+        ``REPRO_TINY=1``, ``quick()`` otherwise; ``REPRO_JOBS`` sets
+        the worker count."""
+        from repro.experiments.parallel import default_workers
+
+        if tiny_scale():
+            config = cls.tiny()
+        elif full_scale():
+            config = cls.paper()
+        else:
+            config = cls.quick()
+        workers = default_workers()
+        if workers != config.n_workers:
+            config = replace(config, n_workers=workers)
+        return config

@@ -5,6 +5,11 @@ Each driver sweeps one workload knob, evaluates every approach on
 :class:`FigureResult` whose rows mirror the paper's series: acceptance
 ratios for panels (a)-(c), rejected heaviness for panel (d).  Rendering
 to the terminal lives in :mod:`repro.experiments.report`.
+
+Case evaluation is dispatched through
+:mod:`repro.experiments.parallel`: with ``config.n_workers > 1`` the
+seeded cases of a whole sweep are sharded across a process pool and
+merged back per point, producing results identical to the serial loop.
 """
 
 from __future__ import annotations
@@ -22,7 +27,12 @@ from repro.experiments.config import (
     HEAVY_FRACTION_VALUES,
     ExperimentConfig,
 )
-from repro.experiments.runner import APPROACHES, evaluate_case
+from repro.experiments.parallel import (
+    ScenarioSpec,
+    evaluate_scenarios,
+    parallel_map,
+)
+from repro.experiments.runner import APPROACHES
 from repro.pairwise.admission import dm_admission, dmr_admission
 from repro.workload.edge import EdgeWorkloadConfig, generate_edge_case
 from repro.workload.heaviness import rejected_heaviness
@@ -62,15 +72,25 @@ class FigureResult:
 def _acceptance_sweep(name: str, title: str, xlabel: str,
                       labelled_configs: list[tuple[str, EdgeWorkloadConfig]],
                       config: ExperimentConfig) -> FigureResult:
+    # Shard the whole sweep (all points x all cases) in one batch so
+    # workers stay busy across point boundaries, then merge per point.
+    specs = [
+        ScenarioSpec(seed=config.seed0 + offset, workload=workload,
+                     generator="edge", equation=config.equation,
+                     approaches=APPROACHES,
+                     opt_backend=config.opt_backend)
+        for _, workload in labelled_configs
+        for offset in range(config.cases)
+    ]
+    results = evaluate_scenarios(specs, n_workers=config.n_workers)
+
     points = []
-    for label, workload in labelled_configs:
+    for index, (label, workload) in enumerate(labelled_configs):
         point = SweepPoint(label=label, workload=workload)
+        chunk = results[index * config.cases:(index + 1) * config.cases]
         outcomes: dict[str, list] = {name: [] for name in APPROACHES}
         heaviness = []
-        for offset in range(config.cases):
-            case = generate_edge_case(workload, seed=config.seed0 + offset)
-            result = evaluate_case(case, equation=config.equation,
-                                   opt_backend=config.opt_backend)
+        for result in chunk:
             for approach in APPROACHES:
                 outcomes[approach].append(result.accepted_by(approach))
             heaviness.append(result.system_heaviness)
@@ -123,6 +143,27 @@ def figure_4c(config: ExperimentConfig | None = None, *,
                              "heaviness bound (gamma)", sweeps, config)
 
 
+def _admission_case(workload: EdgeWorkloadConfig, seed: int,
+                    equation: str) -> tuple[dict[str, float], float]:
+    """Evaluate every admission controller on one seeded case.
+
+    Module-level so :func:`parallel_map` can ship it to workers.
+    Returns (per-approach rejected heaviness, system heaviness).
+    """
+    case = generate_edge_case(workload, seed=seed)
+    jobset = case.jobset
+    rejected = {}
+    for approach in ADMISSION_APPROACHES:
+        if approach == "opdca":
+            result = opdca_admission(jobset, equation)
+        elif approach == "dmr":
+            result = dmr_admission(jobset, equation)
+        else:
+            result = dm_admission(jobset, equation)
+        rejected[approach] = rejected_heaviness(jobset, result.rejected)
+    return rejected, case.system_heaviness
+
+
 def figure_4d(config: ExperimentConfig | None = None, *,
               settings=ADMISSION_SETTINGS) -> FigureResult:
     """Figure 4(d): rejected heaviness of the admission controllers.
@@ -132,26 +173,27 @@ def figure_4d(config: ExperimentConfig | None = None, *,
     the mean percentage of job heaviness rejected.
     """
     config = config or ExperimentConfig.from_environment()
+    workloads = [config.base.with_overrides(**overrides)
+                 for _, overrides in settings]
+    cases = parallel_map(
+        _admission_case,
+        [(workload, config.seed0 + offset, config.equation)
+         for workload in workloads
+         for offset in range(config.cases)],
+        n_workers=config.n_workers)
+
     points = []
-    for label, overrides in settings:
-        workload = config.base.with_overrides(**overrides)
+    for index, (label, _) in enumerate(settings):
+        workload = workloads[index]
         point = SweepPoint(label=label, workload=workload)
+        chunk = cases[index * config.cases:(index + 1) * config.cases]
         rejected: dict[str, list[float]] = {
             name: [] for name in ADMISSION_APPROACHES}
         heaviness = []
-        for offset in range(config.cases):
-            case = generate_edge_case(workload, seed=config.seed0 + offset)
-            jobset = case.jobset
-            heaviness.append(case.system_heaviness)
+        for case_rejected, case_heaviness in chunk:
+            heaviness.append(case_heaviness)
             for approach in ADMISSION_APPROACHES:
-                if approach == "opdca":
-                    result = opdca_admission(jobset, config.equation)
-                elif approach == "dmr":
-                    result = dmr_admission(jobset, config.equation)
-                else:
-                    result = dm_admission(jobset, config.equation)
-                rejected[approach].append(
-                    rejected_heaviness(jobset, result.rejected))
+                rejected[approach].append(case_rejected[approach])
         for approach in ADMISSION_APPROACHES:
             point.raw[approach] = rejected[approach]
             point.values[approach] = float(np.mean(rejected[approach]))

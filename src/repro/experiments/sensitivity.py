@@ -20,12 +20,9 @@ from __future__ import annotations
 import numpy as np
 
 from repro.experiments.ablation import AblationResult
-from repro.experiments.runner import evaluate_case
-from repro.workload.edge import EdgeWorkloadConfig, generate_edge_case
-from repro.workload.pipeline import (
-    PipelineWorkloadConfig,
-    generate_pipeline_case,
-)
+from repro.experiments.parallel import ScenarioSpec, evaluate_scenarios
+from repro.workload.edge import EdgeWorkloadConfig
+from repro.workload.pipeline import PipelineWorkloadConfig
 
 #: Approaches the sensitivity sweeps compare (DCMP's simulation
 #: acceptance is not comparable across axes and is omitted).
@@ -39,15 +36,22 @@ SWEEP_APPROACHES = ("dm", "dmr", "opdca", "opt")
 SWEEP_EDGE_BASE = EdgeWorkloadConfig(gamma=0.9)
 
 
-def _sweep(name: str, context: str, points, make_case, equation: str,
-           cases: int, seed0: int) -> AblationResult:
+def _sweep(name: str, context: str, points, generator: str,
+           equation: str, cases: int, seed0: int,
+           n_workers: int = 1) -> AblationResult:
+    specs = [
+        ScenarioSpec(seed=seed0 + offset, workload=config,
+                     generator=generator, equation=equation,
+                     approaches=SWEEP_APPROACHES)
+        for _, config in points
+        for offset in range(cases)
+    ]
+    results = evaluate_scenarios(specs, n_workers=n_workers)
     rows = []
-    for label, config in points:
+    for index, (label, _) in enumerate(points):
+        chunk = results[index * cases:(index + 1) * cases]
         accepted = {approach: 0 for approach in SWEEP_APPROACHES}
-        for offset in range(cases):
-            case = make_case(config, seed0 + offset)
-            result = evaluate_case(case, approaches=SWEEP_APPROACHES,
-                                   equation=equation)
+        for result in chunk:
             for approach in SWEEP_APPROACHES:
                 accepted[approach] += result.accepted_by(approach)
         ar = {approach: 100.0 * count / cases
@@ -63,7 +67,8 @@ def _sweep(name: str, context: str, points, make_case, equation: str,
 
 def gap_vs_jobs(*, job_counts: tuple[int, ...] = (50, 100, 150, 200),
                 cases: int = 10, seed0: int = 0,
-                base: EdgeWorkloadConfig | None = None) -> AblationResult:
+                base: EdgeWorkloadConfig | None = None,
+                n_workers: int = 1) -> AblationResult:
     """Sweep the job count on the edge workload (resources fixed).
 
     More jobs on the same pools means more contention per resource, so
@@ -75,16 +80,13 @@ def gap_vs_jobs(*, job_counts: tuple[int, ...] = (50, 100, 150, 200),
               for count in job_counts]
     return _sweep("S1 gap vs jobs",
                   f"{cases} cases/point, edge workload, eq10",
-                  points,
-                  lambda config, seed: generate_edge_case(config,
-                                                          seed=seed),
-                  "eq10", cases, seed0)
+                  points, "edge", "eq10", cases, seed0, n_workers)
 
 
 def gap_vs_resources(*, pool_scales: tuple[float, ...] = (0.5, 1.0, 2.0),
                      cases: int = 10, seed0: int = 0,
-                     base: EdgeWorkloadConfig | None = None
-                     ) -> AblationResult:
+                     base: EdgeWorkloadConfig | None = None,
+                     n_workers: int = 1) -> AblationResult:
     """Sweep the resource pool sizes on the edge workload (jobs fixed).
 
     Scaling both AP and server pools down packs more jobs per resource.
@@ -102,16 +104,13 @@ def gap_vs_resources(*, pool_scales: tuple[float, ...] = (0.5, 1.0, 2.0),
              config))
     return _sweep("S2 gap vs resources",
                   f"{cases} cases/point, edge workload, eq10",
-                  points,
-                  lambda config, seed: generate_edge_case(config,
-                                                          seed=seed),
-                  "eq10", cases, seed0)
+                  points, "edge", "eq10", cases, seed0, n_workers)
 
 
 def gap_vs_stages(*, stage_counts: tuple[int, ...] = (2, 3, 4, 5),
                   cases: int = 10, seed0: int = 0,
-                  base: PipelineWorkloadConfig | None = None
-                  ) -> AblationResult:
+                  base: PipelineWorkloadConfig | None = None,
+                  n_workers: int = 1) -> AblationResult:
     """Sweep the pipeline depth on the generic workload (Eq. 6).
 
     Load per resource is held constant across the sweep (same pools,
@@ -130,10 +129,7 @@ def gap_vs_stages(*, stage_counts: tuple[int, ...] = (2, 3, 4, 5),
               for count in stage_counts]
     return _sweep("S3 gap vs stages",
                   f"{cases} cases/point, generic pipeline, eq6",
-                  points,
-                  lambda config, seed: generate_pipeline_case(config,
-                                                              seed=seed),
-                  "eq6", cases, seed0)
+                  points, "pipeline", "eq6", cases, seed0, n_workers)
 
 
 def summarize_gaps(results: "list[AblationResult]") -> str:

@@ -133,10 +133,11 @@ class _CPSolver:
         self.lam = np.zeros((n, jobset.num_stages))
         self.lb = self._recompute_lb()
 
-        # DM preference for value ordering.
-        dm_matrix = dm_assignment(jobset).matrix()
+        # DM preference for value ordering (matrix kept: it also seeds
+        # the extracted assignment, so it is computed exactly once).
+        self.dm_matrix = dm_assignment(jobset).matrix()
         self.dm_prefers_i = np.array(
-            [bool(dm_matrix[i, k]) for (i, k) in self.pairs])
+            [bool(self.dm_matrix[i, k]) for (i, k) in self.pairs])
 
         # Static branching order: heaviest pairs first.
         weight = [max(self.coefficients[i, k], self.coefficients[k, i])
@@ -301,7 +302,7 @@ class _CPSolver:
     # -- extraction ---------------------------------------------------
 
     def assignment(self) -> PairwiseAssignment:
-        matrix = dm_assignment(self.jobset).matrix()
+        matrix = self.dm_matrix.copy()
         for idx, (i, k) in enumerate(self.pairs):
             if self.orientation[idx] == 0:
                 continue

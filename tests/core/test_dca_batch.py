@@ -1,0 +1,197 @@
+"""The batched DelayAnalyzer fast path vs the scalar reference.
+
+``delay_bounds_all`` (and the batch paths built on it: the memoised
+``delays_for_pairwise``, ``SDCA.audsley_batch``, batched OPDCA and the
+admission controller) must agree with the per-job ``delay_bound``
+evaluation on every equation, mask shape and active subset.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dca import ALL_EQUATIONS, DelayAnalyzer
+from repro.core.opdca import opdca
+from repro.core.schedulability import SDCA
+from repro.workload.edge import EdgeWorkloadConfig, generate_edge_case
+from repro.workload.random_jobs import random_single_resource_jobset
+
+SMALL_EDGE = EdgeWorkloadConfig(num_jobs=14, num_aps=4, num_servers=3)
+
+MSMR_EQUATIONS = ("eq3", "eq4", "eq5", "eq6", "eq10")
+
+
+def _random_relation(n, seed):
+    priority = np.random.default_rng(seed).permutation(n) + 1
+    return priority[:, None] < priority[None, :]
+
+
+@pytest.fixture(scope="module")
+def edge_jobset():
+    return generate_edge_case(SMALL_EDGE, seed=11).jobset
+
+
+class TestBatchMatchesScalar:
+    @pytest.mark.parametrize("equation", MSMR_EQUATIONS)
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_msmr_equations(self, edge_jobset, equation, seed):
+        analyzer = DelayAnalyzer(edge_jobset)
+        n = edge_jobset.num_jobs
+        x = _random_relation(n, seed)
+        batch = analyzer.delay_bounds_all(x.T, x, equation=equation)
+        for i in range(n):
+            scalar = analyzer.delay_bound(i, x.T[i], x[i],
+                                          equation=equation)
+            assert batch[i] == pytest.approx(scalar, rel=1e-12)
+
+    @pytest.mark.parametrize("equation", ["eq1", "eq2"])
+    def test_single_resource_equations(self, equation):
+        jobset = random_single_resource_jobset(seed=4, num_jobs=9,
+                                               max_offset=4.0)
+        analyzer = DelayAnalyzer(jobset)
+        x = _random_relation(9, 4)
+        batch = analyzer.delay_bounds_all(x.T, x, equation=equation)
+        for i in range(9):
+            scalar = analyzer.delay_bound(i, x.T[i], x[i],
+                                          equation=equation)
+            assert batch[i] == pytest.approx(scalar, rel=1e-12)
+
+    @pytest.mark.parametrize("equation", MSMR_EQUATIONS)
+    def test_literal_self_coefficient(self, edge_jobset, equation):
+        analyzer = DelayAnalyzer(edge_jobset,
+                                 self_coefficient="literal")
+        n = edge_jobset.num_jobs
+        x = _random_relation(n, 7)
+        batch = analyzer.delay_bounds_all(x.T, x, equation=equation)
+        for i in range(n):
+            scalar = analyzer.delay_bound(i, x.T[i], x[i],
+                                          equation=equation)
+            assert batch[i] == pytest.approx(scalar, rel=1e-12)
+
+    def test_window_filter_disabled(self, edge_jobset):
+        analyzer = DelayAnalyzer(edge_jobset, window_filter=False)
+        n = edge_jobset.num_jobs
+        x = _random_relation(n, 3)
+        batch = analyzer.delay_bounds_all(x.T, x, equation="eq6")
+        for i in range(n):
+            assert batch[i] == pytest.approx(
+                analyzer.delay_bound(i, x.T[i], x[i], equation="eq6"),
+                rel=1e-12)
+
+    def test_active_mask_nans_and_restriction(self, edge_jobset):
+        analyzer = DelayAnalyzer(edge_jobset)
+        n = edge_jobset.num_jobs
+        x = _random_relation(n, 5)
+        active = np.ones(n, dtype=bool)
+        active[[1, 4]] = False
+        batch = analyzer.delay_bounds_all(x.T, x, equation="eq10",
+                                          active=active)
+        assert np.isnan(batch[1]) and np.isnan(batch[4])
+        for i in np.flatnonzero(active):
+            i = int(i)
+            scalar = analyzer.delay_bound(i, x.T[i], x[i],
+                                          equation="eq10",
+                                          active=active)
+            assert batch[i] == pytest.approx(scalar, rel=1e-12)
+
+    def test_shape_and_equation_validation(self, edge_jobset):
+        analyzer = DelayAnalyzer(edge_jobset)
+        n = edge_jobset.num_jobs
+        with pytest.raises(ValueError, match="shape"):
+            analyzer.delay_bounds_all(np.zeros((3, 3), dtype=bool))
+        with pytest.raises(ValueError, match="unknown equation"):
+            analyzer.delay_bounds_all(np.zeros((n, n), dtype=bool),
+                                      equation="eq99")
+        with pytest.raises(ValueError, match="lower-priority"):
+            analyzer.delay_bounds_all(np.zeros((n, n), dtype=bool),
+                                      equation="eq10")
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 300), case_seed=st.integers(0, 50))
+def test_property_batch_matches_scalar_eq10(seed, case_seed):
+    jobset = generate_edge_case(
+        EdgeWorkloadConfig(num_jobs=8, num_aps=3, num_servers=3),
+        seed=case_seed).jobset
+    analyzer = DelayAnalyzer(jobset)
+    rng = np.random.default_rng(seed)
+    x = rng.random((8, 8)) < 0.5
+    np.fill_diagonal(x, False)
+    batch = analyzer.delay_bounds_all(x.T, x, equation="eq10")
+    for i in range(8):
+        scalar = analyzer.delay_bound(i, x.T[i], x[i], equation="eq10")
+        assert batch[i] == pytest.approx(scalar, rel=1e-12)
+
+
+class TestMemoisation:
+    def test_repeated_scalar_bounds_are_stable(self, edge_jobset):
+        analyzer = DelayAnalyzer(edge_jobset)
+        n = edge_jobset.num_jobs
+        x = _random_relation(n, 9)
+        first = analyzer.delay_bound(0, x.T[0], x[0], equation="eq10")
+        second = analyzer.delay_bound(0, x.T[0], x[0], equation="eq10")
+        assert first == second
+
+    def test_pairwise_memo_returns_fresh_array(self, edge_jobset):
+        analyzer = DelayAnalyzer(edge_jobset)
+        x = _random_relation(edge_jobset.num_jobs, 2)
+        first = analyzer.delays_for_pairwise(x, equation="eq10")
+        first[0] = -1.0  # caller mutation must not poison the cache
+        second = analyzer.delays_for_pairwise(x, equation="eq10")
+        assert second[0] != -1.0
+        assert second is not first
+
+    def test_memo_distinguishes_active_masks(self, edge_jobset):
+        analyzer = DelayAnalyzer(edge_jobset)
+        n = edge_jobset.num_jobs
+        x = _random_relation(n, 6)
+        unrestricted = analyzer.delays_for_pairwise(x, equation="eq10")
+        active = np.ones(n, dtype=bool)
+        active[0] = False
+        restricted = analyzer.delays_for_pairwise(x, equation="eq10",
+                                                  active=active)
+        assert np.isnan(restricted[0])
+        assert not np.isnan(unrestricted[0])
+
+    def test_all_true_active_equals_none(self, edge_jobset):
+        analyzer = DelayAnalyzer(edge_jobset)
+        n = edge_jobset.num_jobs
+        x = _random_relation(n, 8)
+        a = analyzer.delays_for_pairwise(x, equation="eq10")
+        b = analyzer.delays_for_pairwise(
+            x, equation="eq10", active=np.ones(n, dtype=bool))
+        np.testing.assert_array_equal(a, b)
+
+
+class TestBatchedAudsley:
+    @pytest.mark.parametrize("equation", ["eq5", "eq6", "eq10"])
+    @pytest.mark.parametrize("seed", range(4))
+    def test_opdca_batch_matches_serial(self, equation, seed):
+        jobset = generate_edge_case(SMALL_EDGE, seed=seed).jobset
+        batched = opdca(jobset, equation, batch=True)
+        serial = opdca(jobset, equation, batch=False)
+        assert batched.feasible == serial.feasible
+        if batched.feasible:
+            assert (batched.ordering.priority ==
+                    serial.ordering.priority).all()
+            np.testing.assert_array_equal(batched.delays, serial.delays)
+        else:
+            assert batched.opa.failed_level == serial.opa.failed_level
+            assert batched.opa.unassigned == serial.opa.unassigned
+
+    def test_audsley_batch_rows_match_scalar_test(self, edge_jobset):
+        test = SDCA(edge_jobset, "eq10")
+        n = edge_jobset.num_jobs
+        rng = np.random.default_rng(0)
+        unassigned = rng.random(n) < 0.6
+        lower = ~unassigned & (rng.random(n) < 0.5)
+        feasible = test.audsley_batch(unassigned, lower)
+        for i in np.flatnonzero(unassigned):
+            i = int(i)
+            higher = unassigned.copy()
+            higher[i] = False
+            assert bool(feasible[i]) == test.is_schedulable(
+                i, higher, lower)

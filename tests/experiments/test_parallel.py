@@ -1,0 +1,145 @@
+"""Serial-vs-parallel equivalence of the scenario-sweep engine.
+
+The contract of :mod:`repro.experiments.parallel`: for fixed seeds the
+parallel sweep returns **bitwise identical** acceptance flags, ratios
+and derived bounds as the serial runner, for any worker count --
+including the ``n_workers=1`` degenerate case, which must literally be
+the serial loop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.ablation import _refinement_case, scalability
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.figures import figure_4a, figure_4d
+from repro.experiments.parallel import (
+    ScenarioSpec,
+    evaluate_scenarios,
+    parallel_map,
+    run_scenario,
+)
+from repro.experiments.sensitivity import gap_vs_jobs
+from repro.workload.edge import EdgeWorkloadConfig
+
+#: Small-but-nontrivial workload so sweeps finish in milliseconds.
+TINY = EdgeWorkloadConfig(num_jobs=10, num_aps=4, num_servers=3)
+
+#: Fast approach subset (OPT's ILP dominates runtime otherwise).
+FAST = ("dm", "dmr", "opdca")
+
+
+def _specs(seeds, approaches=FAST):
+    return [ScenarioSpec(seed=seed, workload=TINY, generator="edge",
+                         equation="eq10", approaches=approaches)
+            for seed in seeds]
+
+
+def _comparable(result):
+    """Everything deterministic in a CaseResult (runtimes are not)."""
+    return (result.seed, result.accepted, result.notes,
+            result.system_heaviness)
+
+
+class TestEvaluateScenarios:
+    def test_degenerate_single_worker_is_serial_loop(self):
+        specs = _specs(range(4))
+        serial = [run_scenario(spec) for spec in specs]
+        degenerate = evaluate_scenarios(specs, n_workers=1)
+        assert [_comparable(r) for r in degenerate] == \
+            [_comparable(r) for r in serial]
+
+    def test_two_workers_match_serial_bitwise(self):
+        specs = _specs(range(6))
+        serial = evaluate_scenarios(specs, n_workers=1)
+        parallel = evaluate_scenarios(specs, n_workers=2)
+        assert [_comparable(r) for r in parallel] == \
+            [_comparable(r) for r in serial]
+
+    def test_chunksize_does_not_change_results(self):
+        specs = _specs(range(5))
+        serial = evaluate_scenarios(specs, n_workers=1)
+        chunked = evaluate_scenarios(specs, n_workers=2, chunksize=3)
+        assert [_comparable(r) for r in chunked] == \
+            [_comparable(r) for r in serial]
+
+    def test_order_preserved(self):
+        specs = _specs([7, 3, 11, 5])
+        results = evaluate_scenarios(specs, n_workers=2)
+        assert [r.seed for r in results] == [7, 3, 11, 5]
+
+    def test_unknown_generator_rejected(self):
+        spec = ScenarioSpec(seed=0, workload=TINY, generator="banana")
+        with pytest.raises(ValueError, match="unknown generator"):
+            run_scenario(spec)
+
+
+@settings(max_examples=5, deadline=None)
+@given(seed0=st.integers(0, 500), cases=st.integers(2, 5))
+def test_property_parallel_sweep_bitwise_identical(seed0, cases):
+    """Property: acceptance outcomes are bitwise identical between the
+    serial runner and the sharded sweep for any seed range."""
+    specs = _specs(range(seed0, seed0 + cases))
+    serial = evaluate_scenarios(specs, n_workers=1)
+    parallel = evaluate_scenarios(specs, n_workers=2)
+    for a, b in zip(serial, parallel):
+        assert a.accepted == b.accepted
+        assert a.notes == b.notes
+        # Bitwise: the float must be the same double, not just close.
+        assert a.system_heaviness == b.system_heaviness
+
+
+class TestFigureEquivalence:
+    def _config(self, n_workers):
+        return ExperimentConfig(cases=3, base=TINY, n_workers=n_workers)
+
+    def test_fig4a_parallel_matches_serial(self):
+        serial = figure_4a(self._config(1))
+        parallel = figure_4a(self._config(2))
+        for p_serial, p_parallel in zip(serial.points, parallel.points):
+            assert p_serial.values == p_parallel.values
+            assert p_serial.raw == p_parallel.raw
+            assert p_serial.mean_system_heaviness == \
+                p_parallel.mean_system_heaviness
+
+    def test_fig4d_parallel_matches_serial(self):
+        serial = figure_4d(self._config(1))
+        parallel = figure_4d(self._config(2))
+        for p_serial, p_parallel in zip(serial.points, parallel.points):
+            assert p_serial.values == p_parallel.values
+            assert p_serial.raw == p_parallel.raw
+
+
+class TestParallelMap:
+    def test_bounds_bitwise_identical_across_workers(self):
+        # _refinement_case returns delay-bound ratios (floats derived
+        # from the DCA bounds): they must be the same doubles.
+        args = [(TINY, seed) for seed in range(4)]
+        serial = parallel_map(_refinement_case, args, n_workers=1)
+        parallel = parallel_map(_refinement_case, args, n_workers=2)
+        assert serial == parallel
+
+    def test_empty_input(self):
+        assert parallel_map(_refinement_case, [], n_workers=2) == []
+        assert evaluate_scenarios([], n_workers=2) == []
+
+
+class TestDownstreamSweeps:
+    def test_sensitivity_parallel_matches_serial(self):
+        kwargs = dict(job_counts=(6, 8), cases=2,
+                      base=EdgeWorkloadConfig(num_jobs=8, num_aps=3,
+                                              num_servers=3, gamma=0.9))
+        serial = gap_vs_jobs(n_workers=1, **kwargs)
+        parallel = gap_vs_jobs(n_workers=2, **kwargs)
+        assert serial.rows == parallel.rows
+
+    def test_scalability_runs_with_workers(self):
+        result = scalability(job_counts=(8,), cases=1, n_workers=2)
+        assert len(result.rows) == 1
+        row = result.rows[0]
+        assert row["speedup(bounds)"] > 0
+        assert np.isfinite(row["t(opdca) s"])

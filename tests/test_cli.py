@@ -40,6 +40,23 @@ class TestParser:
         assert args.stacked
         assert args.opt_backend == "cp"
 
+    def test_jobs_flag_on_every_command(self):
+        parser = build_parser()
+        for command in ("fig4a", "fig4b", "fig4c", "fig4d",
+                        "ablate-refinement", "ablate-solver",
+                        "validate-sim", "scalability",
+                        "ablate-heuristics", "ablate-holistic",
+                        "sensitivity"):
+            args = parser.parse_args([command, "--jobs", "4"])
+            assert args.jobs == 4
+            assert parser.parse_args([command]).jobs is None
+
+    def test_scalability_sizes(self):
+        args = build_parser().parse_args(
+            ["scalability", "--sizes", "8", "16", "--jobs", "2"])
+        assert args.sizes == [8, 16]
+        assert args.jobs == 2
+
 
 class TestMain:
     def test_fig4a_tiny_run(self, capsys, monkeypatch):
@@ -62,10 +79,11 @@ class TestMain:
         assert "OPDCA" in captured.out
 
     def test_scalability_tiny_run(self, capsys):
-        exit_code = main(["scalability", "--jobs", "8", "--cases", "1"])
+        exit_code = main(["scalability", "--sizes", "8", "--cases", "1"])
         captured = capsys.readouterr()
         assert exit_code == 0
         assert "A4 scalability" in captured.out
+        assert "speedup(bounds)" in captured.out
 
     def test_fig4a_chart_output(self, capsys, monkeypatch):
         from repro.experiments import config as config_module
