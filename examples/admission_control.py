@@ -9,8 +9,6 @@ survivors to confirm the accepted set really meets its deadlines.
 Run:  python examples/admission_control.py
 """
 
-import numpy as np
-
 from repro import opdca_admission
 from repro.core.admission import ordering_of_accepted
 from repro.core.job import Job

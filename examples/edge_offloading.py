@@ -14,8 +14,6 @@ Run:  python examples/edge_offloading.py [seed]
 
 import sys
 
-import numpy as np
-
 from repro import DelayAnalyzer, opdca
 from repro.experiments.runner import evaluate_case
 from repro.pairwise import ConflictGraph, opt

@@ -8,7 +8,7 @@ simulator.
 Run:  python examples/quickstart.py
 """
 
-from repro import DelayAnalyzer, Job, JobSet, MSMRSystem, Stage, opdca
+from repro import Job, JobSet, MSMRSystem, Stage, opdca
 from repro.pairwise import opt
 from repro.sim import PairwisePolicy, TotalOrderPolicy, simulate
 
@@ -37,8 +37,6 @@ def build_jobset() -> JobSet:
 
 def main() -> None:
     jobset = build_jobset()
-    analyzer = DelayAnalyzer(jobset)
-
     print("=== Job set ===")
     for index, job in enumerate(jobset):
         print(f"  {job.label(index):>14}: P={job.processing}  "

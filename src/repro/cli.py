@@ -4,19 +4,30 @@ Commands regenerate the paper's figures and the reproduction's
 ablations as plain-text tables, e.g.::
 
     python -m repro fig4a --cases 50
-    python -m repro fig4a --cases 100 --jobs 8
+    python -m repro fig4a --cases 100 --jobs 8 --cache-dir .cache
     python -m repro fig4d
     python -m repro ablate-solver --cases 5
     python -m repro scalability --sizes 25 50 100
+    python -m repro store stats --cache-dir .cache
 
 Every subcommand accepts ``--jobs N`` to shard its seeded test cases
 across ``N`` worker processes (default: the ``REPRO_JOBS`` environment
 variable, else serial).  Results are identical for any worker count.
+
+Every subcommand also accepts ``--cache-dir DIR`` (default: the
+``REPRO_CACHE_DIR`` environment variable) to persist per-case results
+in a content-addressed store: re-runs and interrupted sweeps resume
+from what is already on disk.  ``--resume`` additionally *requires*
+the store to exist (guarding against a mistyped directory silently
+starting a cold sweep) and ``--no-cache`` disables caching entirely.
+The ``store`` subcommand inspects (``stats``), compacts (``gc``) and
+flattens (``export``) such a store.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from dataclasses import replace
@@ -32,11 +43,30 @@ from repro.experiments.ablation import (
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.figures import ALL_FIGURES
 from repro.experiments.report import (
+    format_cache_summary,
     format_chart,
     format_series,
     format_table,
     shape_checks,
 )
+
+
+def positive_int(text: str) -> int:
+    """Argparse type: a strictly positive integer.
+
+    Rejects ``0`` and negatives with a clear argparse error instead of
+    letting them reach ``ProcessPoolExecutor`` (which would die with
+    an opaque traceback) or produce empty sweeps.
+    """
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer, got {text!r}") from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer, got {value}")
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -48,16 +78,32 @@ def build_parser() -> argparse.ArgumentParser:
                     "Real-Time Systems' (DATE 2024).")
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_cache_options(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="persist per-case results in a "
+                            "content-addressed store at DIR (default: "
+                            "the REPRO_CACHE_DIR env var); cached "
+                            "cases are never re-evaluated")
+        p.add_argument("--resume", action="store_true",
+                       help="require an existing store at --cache-dir "
+                            "and resume from it (errors out instead "
+                            "of silently starting a cold sweep)")
+        p.add_argument("--no-cache", action="store_true",
+                       help="disable the result store even when "
+                            "--cache-dir or REPRO_CACHE_DIR is set")
+
     def add_common(p: argparse.ArgumentParser) -> None:
-        p.add_argument("--cases", type=int, default=None,
+        p.add_argument("--cases", type=positive_int, default=None,
                        help="test cases per sweep point "
                             "(default: 10, or 100 with REPRO_FULL=1)")
         p.add_argument("--seed0", type=int, default=0,
                        help="first seed of the case range")
-        p.add_argument("--jobs", type=int, default=None, metavar="N",
+        p.add_argument("--jobs", type=positive_int, default=None,
+                       metavar="N",
                        help="worker processes for the case sweep "
                             "(default: REPRO_JOBS env var, else 1; "
                             "results are identical for any N)")
+        add_cache_options(p)
 
     for name in ("fig4a", "fig4b", "fig4c", "fig4d"):
         p = sub.add_parser(name, help=f"regenerate {name} of the paper")
@@ -86,12 +132,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="A7: classical holistic analysis vs DCA")
     add_common(p)
     p = sub.add_parser("scalability", help="A4: runtime vs job count")
-    p.add_argument("--cases", type=int, default=3)
-    p.add_argument("--sizes", type=int, nargs="+",
+    p.add_argument("--cases", type=positive_int, default=3)
+    p.add_argument("--sizes", type=positive_int, nargs="+",
                    default=[25, 50, 100, 150], metavar="N",
                    help="job counts to sweep")
-    p.add_argument("--jobs", type=int, default=None, metavar="N",
+    p.add_argument("--jobs", type=positive_int, default=None,
+                   metavar="N",
                    help="worker processes (as for the other commands)")
+    add_cache_options(p)
     p = sub.add_parser(
         "sensitivity",
         help="S1-S3: does the OPT gap grow with jobs/resources/stages?")
@@ -100,7 +148,76 @@ def build_parser() -> argparse.ArgumentParser:
                                       "all"),
                    default="all")
 
+    p = sub.add_parser("store",
+                       help="inspect/manage a result store "
+                            "(stats | gc | export)")
+    store_sub = p.add_subparsers(dest="store_command", required=True)
+    for action, description in (
+            ("stats", "summarise entries, staleness and size"),
+            ("gc", "compact shards, dropping stale/corrupt records"),
+            ("export", "flatten the store to one sorted JSONL file")):
+        sp = store_sub.add_parser(action, help=description)
+        sp.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="store root (default: REPRO_CACHE_DIR)")
+        if action == "export":
+            sp.add_argument("--output", "-o", required=True,
+                            metavar="FILE",
+                            help="destination JSONL file")
+
     return parser
+
+
+def _cache_dir(args: argparse.Namespace) -> "str | None":
+    explicit = getattr(args, "cache_dir", None)
+    if explicit:
+        return explicit
+    environment = os.environ.get("REPRO_CACHE_DIR", "").strip()
+    return environment or None
+
+
+def _resolve_store(args: argparse.Namespace,
+                   parser: argparse.ArgumentParser):
+    """The ResultStore the flags ask for (or ``None``)."""
+    if getattr(args, "no_cache", False):
+        if getattr(args, "resume", False):
+            parser.error("--resume and --no-cache are contradictory")
+        return None
+    cache_dir = _cache_dir(args)
+    if getattr(args, "resume", False):
+        from repro.store import is_store
+
+        if not cache_dir:
+            parser.error("--resume requires --cache-dir "
+                         "(or REPRO_CACHE_DIR)")
+        if not is_store(cache_dir):
+            parser.error(f"--resume: no result store at {cache_dir!r} "
+                         f"(run once with --cache-dir to create it)")
+    if not cache_dir:
+        return None
+    from repro.store import ResultStore
+
+    return ResultStore(cache_dir)
+
+
+def _run_store_command(args: argparse.Namespace,
+                       parser: argparse.ArgumentParser) -> int:
+    from repro.store import store_export, store_gc, store_stats
+
+    cache_dir = _cache_dir(args)
+    if not cache_dir:
+        parser.error("store commands need --cache-dir "
+                     "(or REPRO_CACHE_DIR)")
+    try:
+        if args.store_command == "stats":
+            print(store_stats(cache_dir))
+        elif args.store_command == "gc":
+            print(store_gc(cache_dir))
+        else:
+            print(store_export(cache_dir, args.output))
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    return 0
 
 
 def _experiment_config(args: argparse.Namespace) -> ExperimentConfig:
@@ -113,7 +230,7 @@ def _experiment_config(args: argparse.Namespace) -> ExperimentConfig:
     if getattr(args, "opt_backend", None):
         overrides["opt_backend"] = args.opt_backend
     if getattr(args, "jobs", None) is not None:
-        overrides["n_workers"] = max(1, args.jobs)
+        overrides["n_workers"] = args.jobs
     if overrides:
         config = replace(config, **overrides)
     return config
@@ -124,18 +241,29 @@ def _n_workers(args: argparse.Namespace) -> int:
     from repro.experiments.parallel import default_workers
 
     jobs = getattr(args, "jobs", None)
-    return max(1, jobs) if jobs is not None else default_workers()
+    return jobs if jobs is not None else default_workers()
 
 
 def main(argv: "list[str] | None" = None) -> int:
     """Entry point of ``python -m repro``; returns the exit code."""
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "store":
+        return _run_store_command(args, parser)
     start = time.perf_counter()
     n_workers = _n_workers(args)
+    if args.command == "scalability":
+        # A timing table: never open (or even create) a store for it.
+        store = None
+        if getattr(args, "resume", False) or _cache_dir(args):
+            print("[cache] scalability is a timing benchmark; "
+                  "its measurements are never cached")
+    else:
+        store = _resolve_store(args, parser)
 
     if args.command in ALL_FIGURES:
         config = _experiment_config(args)
-        figure = ALL_FIGURES[args.command](config)
+        figure = ALL_FIGURES[args.command](config, store=store)
         print(format_table(figure, stacked=args.stacked))
         print()
         print(format_series(figure))
@@ -151,23 +279,28 @@ def main(argv: "list[str] | None" = None) -> int:
     elif args.command == "ablate-refinement":
         cases = args.cases if args.cases is not None else 10
         print(refinement_ablation(cases=cases, seed0=args.seed0,
-                                  n_workers=n_workers).format())
+                                  n_workers=n_workers,
+                                  store=store).format())
     elif args.command == "ablate-solver":
         cases = args.cases if args.cases is not None else 5
         print(solver_agreement(cases=cases, seed0=args.seed0,
-                               n_workers=n_workers).format())
+                               n_workers=n_workers,
+                               store=store).format())
     elif args.command == "validate-sim":
         cases = args.cases if args.cases is not None else 10
         print(bound_tightness(cases=cases, seed0=args.seed0,
-                              n_workers=n_workers).format())
+                              n_workers=n_workers,
+                              store=store).format())
     elif args.command == "ablate-heuristics":
         cases = args.cases if args.cases is not None else 10
         print(heuristic_comparison(cases=cases, seed0=args.seed0,
-                                   n_workers=n_workers).format())
+                                   n_workers=n_workers,
+                                   store=store).format())
     elif args.command == "ablate-holistic":
         cases = args.cases if args.cases is not None else 10
         print(holistic_comparison(cases=cases, seed0=args.seed0,
-                                  n_workers=n_workers).format())
+                                  n_workers=n_workers,
+                                  store=store).format())
     elif args.command == "scalability":
         print(scalability(job_counts=tuple(args.sizes),
                           cases=args.cases,
@@ -187,7 +320,7 @@ def main(argv: "list[str] | None" = None) -> int:
         results = []
         for axis in selected:
             result = sweeps[axis](cases=cases, seed0=args.seed0,
-                                  n_workers=n_workers)
+                                  n_workers=n_workers, store=store)
             results.append(result)
             print(result.format())
             print()
@@ -195,6 +328,9 @@ def main(argv: "list[str] | None" = None) -> int:
     else:  # pragma: no cover - argparse guards this
         return 1
 
+    if store is not None:
+        print()
+        print(format_cache_summary(store))
     print(f"\n[done in {time.perf_counter() - start:.1f}s]")
     return 0
 

@@ -37,7 +37,12 @@ from repro.core.scaling import (
     verify_homogeneity,
 )
 from repro.core.schedulability import SDCA, Policy
-from repro.core.segments import PairSegments, SegmentCache, pair_segments, segments_of
+from repro.core.segments import (
+    PairSegments,
+    SegmentCache,
+    pair_segments,
+    segments_of,
+)
 from repro.core.serialize import jobset_from_dict, jobset_to_dict
 from repro.core.system import JobSet, MSMRSystem, Stage
 

@@ -23,7 +23,10 @@ corrupt file fails with the usual :class:`ModelError` messages.
 
 from __future__ import annotations
 
+import dataclasses
 import json
+
+import numpy as np
 
 from repro.core.exceptions import ModelError
 from repro.core.job import Job
@@ -31,6 +34,51 @@ from repro.core.system import JobSet, MSMRSystem, Stage
 
 FORMAT_NAME = "repro-jobset"
 FORMAT_VERSION = 1
+
+
+def to_jsonable(obj):
+    """Reduce ``obj`` to plain JSON-representable types, recursively.
+
+    The canonical reduction behind the content-addressed result store
+    (:mod:`repro.store`): dataclasses become ``{"__type__": name,
+    **fields}`` mappings, tuples become lists, numpy scalars/arrays
+    become Python numbers/lists, and everything else must already be a
+    JSON scalar.  Floats pass through unchanged -- ``json`` emits them
+    with ``repr`` precision, which round-trips bitwise.
+    """
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        payload = {"__type__": type(obj).__name__}
+        for field in dataclasses.fields(obj):
+            payload[field.name] = to_jsonable(getattr(obj, field.name))
+        return payload
+    if isinstance(obj, dict):
+        return {str(key): to_jsonable(value)
+                for key, value in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [to_jsonable(value) for value in obj]
+    if isinstance(obj, np.ndarray):
+        return [to_jsonable(value) for value in obj.tolist()]
+    if isinstance(obj, (bool, np.bool_)):
+        return bool(obj)
+    if isinstance(obj, (int, np.integer)):
+        return int(obj)
+    if isinstance(obj, (float, np.floating)):
+        return float(obj)
+    if obj is None or isinstance(obj, str):
+        return obj
+    raise ModelError(
+        f"cannot canonicalise {type(obj).__name__} for JSON: {obj!r}")
+
+
+def canonical_dumps(obj) -> str:
+    """Deterministic compact JSON of :func:`to_jsonable` output.
+
+    Keys are sorted and separators fixed, so equal values hash equally
+    across processes and Python versions (the substrate of
+    :func:`repro.store.spec_hash`).
+    """
+    return json.dumps(to_jsonable(obj), sort_keys=True,
+                      separators=(",", ":"))
 
 
 def system_to_dict(system: MSMRSystem) -> dict:

@@ -20,6 +20,14 @@ module-level functions and are sharded across a process pool by
 :func:`repro.experiments.parallel.parallel_map` (results are identical
 for any worker count; per-case wall-clock timings are measured inside
 the worker that ran the case).
+
+Every ablation except :func:`scalability` also accepts ``store`` (a
+:class:`repro.store.ResultStore`): per-case rows are then cached under
+a content hash of the work item, so re-running an ablation with the
+same arguments replays from disk.  Cached rows keep the wall-clock
+timings of the run that computed them.  ``scalability`` is a *timing*
+table -- replaying it from a cache would defeat its purpose, so it
+never touches the store.
 """
 
 from __future__ import annotations
@@ -95,7 +103,8 @@ def _refinement_case(config: EdgeWorkloadConfig, seed: int) -> dict:
 
 def refinement_ablation(*, cases: int = 10, seed0: int = 0,
                         config: EdgeWorkloadConfig | None = None,
-                        n_workers: int = 1) -> AblationResult:
+                        n_workers: int = 1,
+                        store=None) -> AblationResult:
     """A1: compare Eq. 3 (2 terms/segment) against refined Eq. 6.
 
     Reports, per test case, the mean delay-bound ratio eq3/eq6 under
@@ -106,7 +115,7 @@ def refinement_ablation(*, cases: int = 10, seed0: int = 0,
     rows = parallel_map(
         _refinement_case,
         [(config, seed0 + offset) for offset in range(cases)],
-        n_workers=n_workers)
+        n_workers=n_workers, store=store, key="ablation/refinement")
     return AblationResult(
         name="A1 refinement",
         context=f"{cases} cases at paper defaults",
@@ -157,7 +166,8 @@ def _solver_case(config: EdgeWorkloadConfig, seed: int,
 def solver_agreement(*, cases: int = 10, seed0: int = 0,
                      config: EdgeWorkloadConfig | None = None,
                      equation: str = "eq10",
-                     n_workers: int = 1) -> AblationResult:
+                     n_workers: int = 1,
+                     store=None) -> AblationResult:
     """A2 + A5: backend and linearisation agreement for OPT.
 
     Defaults to a scaled-down workload (40 jobs): agreement is a
@@ -170,7 +180,7 @@ def solver_agreement(*, cases: int = 10, seed0: int = 0,
     rows = parallel_map(
         _solver_case,
         [(config, seed0 + offset, equation) for offset in range(cases)],
-        n_workers=n_workers)
+        n_workers=n_workers, store=store, key="ablation/solver")
     return AblationResult(
         name="A2/A5 solver agreement",
         context=f"{cases} cases, equation={equation}",
@@ -216,7 +226,8 @@ def _tightness_case(config: EdgeWorkloadConfig, seed: int) -> dict:
 
 def bound_tightness(*, cases: int = 10, seed0: int = 0,
                     config: EdgeWorkloadConfig | None = None,
-                    n_workers: int = 1) -> AblationResult:
+                    n_workers: int = 1,
+                    store=None) -> AblationResult:
     """A3: simulated delay vs analytical bound.
 
     For OPDCA orderings the Eq. 10 bound must dominate the simulated
@@ -229,7 +240,7 @@ def bound_tightness(*, cases: int = 10, seed0: int = 0,
     rows = parallel_map(
         _tightness_case,
         [(config, seed0 + offset) for offset in range(cases)],
-        n_workers=n_workers)
+        n_workers=n_workers, store=store, key="ablation/tightness")
     return AblationResult(
         name="A3 bound tightness",
         context=f"{cases} cases (violations: -1 = not applicable)",
@@ -267,7 +278,8 @@ def _heuristic_case(config: EdgeWorkloadConfig, seed: int,
 def heuristic_comparison(*, cases: int = 20, seed0: int = 0,
                          config: EdgeWorkloadConfig | None = None,
                          equation: str = "eq10",
-                         n_workers: int = 1) -> AblationResult:
+                         n_workers: int = 1,
+                         store=None) -> AblationResult:
     """A6: the future-work pairwise strategies vs DMR and OPT.
 
     Counts acceptances of DMR, LMR (laxity-seeded repair), local search
@@ -278,7 +290,7 @@ def heuristic_comparison(*, cases: int = 20, seed0: int = 0,
     results = parallel_map(
         _heuristic_case,
         [(config, seed0 + offset, equation) for offset in range(cases)],
-        n_workers=n_workers)
+        n_workers=n_workers, store=store, key="ablation/heuristics")
     names = ("dmr", "lmr", "local_search", "opa_guided", "opt")
     counts = {name: sum(accepted[name] for accepted, _ in results)
               for name in names}
@@ -322,7 +334,8 @@ def _holistic_case(config: EdgeWorkloadConfig, seed: int) -> dict:
 
 def holistic_comparison(*, cases: int = 20, seed0: int = 0,
                         config: EdgeWorkloadConfig | None = None,
-                        n_workers: int = 1) -> AblationResult:
+                        n_workers: int = 1,
+                        store=None) -> AblationResult:
     """A7: classical holistic analysis (HOL) vs the DCA bound.
 
     Runs Audsley's OPA once with the per-stage additive holistic test
@@ -336,7 +349,7 @@ def holistic_comparison(*, cases: int = 20, seed0: int = 0,
     rows = parallel_map(
         _holistic_case,
         [(config, seed0 + offset) for offset in range(cases)],
-        n_workers=n_workers)
+        n_workers=n_workers, store=store, key="ablation/holistic")
     return AblationResult(
         name="A7 holistic vs DCA",
         context=f"{cases} cases at paper defaults",

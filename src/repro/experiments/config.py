@@ -74,6 +74,19 @@ class ExperimentConfig:
     equation: str = "eq10"
     opt_backend: str = "highs"
     n_workers: int = 1
+    #: Root of a persistent result store (``None`` disables caching).
+    #: Sweeps consult it before evaluating and checkpoint fresh
+    #: results into it, making every run resumable and incremental.
+    cache_dir: "str | None" = None
+
+    def open_store(self):
+        """A :class:`repro.store.ResultStore` at ``cache_dir``
+        (or ``None`` when caching is disabled)."""
+        if not self.cache_dir:
+            return None
+        from repro.store import ResultStore
+
+        return ResultStore(self.cache_dir)
 
     @classmethod
     def quick(cls) -> "ExperimentConfig":
@@ -96,7 +109,7 @@ class ExperimentConfig:
     def from_environment(cls) -> "ExperimentConfig":
         """``paper()`` with ``REPRO_FULL=1``, ``tiny()`` with
         ``REPRO_TINY=1``, ``quick()`` otherwise; ``REPRO_JOBS`` sets
-        the worker count."""
+        the worker count and ``REPRO_CACHE_DIR`` the result store."""
         from repro.experiments.parallel import default_workers
 
         if tiny_scale():
@@ -108,4 +121,7 @@ class ExperimentConfig:
         workers = default_workers()
         if workers != config.n_workers:
             config = replace(config, n_workers=workers)
+        cache_dir = os.environ.get("REPRO_CACHE_DIR", "").strip()
+        if cache_dir:
+            config = replace(config, cache_dir=cache_dir)
         return config

@@ -37,6 +37,10 @@ from repro.pairwise.admission import dm_admission, dmr_admission
 from repro.workload.edge import EdgeWorkloadConfig, generate_edge_case
 from repro.workload.heaviness import rejected_heaviness
 
+#: Sentinel: "open the store named by ``config.cache_dir``".  Callers
+#: pass ``store=None`` to force caching off regardless of the config.
+_FROM_CONFIG = object()
+
 
 @dataclass
 class SweepPoint:
@@ -71,9 +75,12 @@ class FigureResult:
 
 def _acceptance_sweep(name: str, title: str, xlabel: str,
                       labelled_configs: list[tuple[str, EdgeWorkloadConfig]],
-                      config: ExperimentConfig) -> FigureResult:
+                      config: ExperimentConfig,
+                      store=_FROM_CONFIG) -> FigureResult:
     # Shard the whole sweep (all points x all cases) in one batch so
     # workers stay busy across point boundaries, then merge per point.
+    # With a result store, cached cases are served from disk and fresh
+    # ones checkpointed, so a warm regeneration never re-evaluates.
     specs = [
         ScenarioSpec(seed=config.seed0 + offset, workload=workload,
                      generator="edge", equation=config.equation,
@@ -82,7 +89,10 @@ def _acceptance_sweep(name: str, title: str, xlabel: str,
         for _, workload in labelled_configs
         for offset in range(config.cases)
     ]
-    results = evaluate_scenarios(specs, n_workers=config.n_workers)
+    if store is _FROM_CONFIG:
+        store = config.open_store()
+    results = evaluate_scenarios(specs, n_workers=config.n_workers,
+                                 store=store)
 
     points = []
     for index, (label, workload) in enumerate(labelled_configs):
@@ -107,18 +117,21 @@ def _acceptance_sweep(name: str, title: str, xlabel: str,
 
 
 def figure_4a(config: ExperimentConfig | None = None, *,
-              betas: tuple[float, ...] = BETA_VALUES) -> FigureResult:
+              betas: tuple[float, ...] = BETA_VALUES,
+              store=_FROM_CONFIG) -> FigureResult:
     """Figure 4(a): acceptance ratios for varying heaviness threshold."""
     config = config or ExperimentConfig.from_environment()
     sweeps = [(f"beta={beta:g}", config.base.with_overrides(beta=beta))
               for beta in betas]
     return _acceptance_sweep("fig4a",
                              "Acceptance ratio vs heaviness threshold",
-                             "heaviness threshold (beta)", sweeps, config)
+                             "heaviness threshold (beta)", sweeps, config,
+                             store=store)
 
 
 def figure_4b(config: ExperimentConfig | None = None, *,
-              fractions=HEAVY_FRACTION_VALUES) -> FigureResult:
+              fractions=HEAVY_FRACTION_VALUES,
+              store=_FROM_CONFIG) -> FigureResult:
     """Figure 4(b): acceptance ratios for varying per-stage heaviness."""
     config = config or ExperimentConfig.from_environment()
     sweeps = [
@@ -128,11 +141,12 @@ def figure_4b(config: ExperimentConfig | None = None, *,
     return _acceptance_sweep("fig4b",
                              "Acceptance ratio vs per-stage heaviness",
                              "per-stage heavy fractions [h1,h2,h3]",
-                             sweeps, config)
+                             sweeps, config, store=store)
 
 
 def figure_4c(config: ExperimentConfig | None = None, *,
-              gammas: tuple[float, ...] = GAMMA_VALUES) -> FigureResult:
+              gammas: tuple[float, ...] = GAMMA_VALUES,
+              store=_FROM_CONFIG) -> FigureResult:
     """Figure 4(c): acceptance ratios for varying heaviness bound."""
     config = config or ExperimentConfig.from_environment()
     sweeps = [(f"gamma={gamma:g}",
@@ -140,7 +154,8 @@ def figure_4c(config: ExperimentConfig | None = None, *,
               for gamma in gammas]
     return _acceptance_sweep("fig4c",
                              "Acceptance ratio vs taskset heaviness bound",
-                             "heaviness bound (gamma)", sweeps, config)
+                             "heaviness bound (gamma)", sweeps, config,
+                             store=store)
 
 
 def _admission_case(workload: EdgeWorkloadConfig, seed: int,
@@ -165,7 +180,8 @@ def _admission_case(workload: EdgeWorkloadConfig, seed: int,
 
 
 def figure_4d(config: ExperimentConfig | None = None, *,
-              settings=ADMISSION_SETTINGS) -> FigureResult:
+              settings=ADMISSION_SETTINGS,
+              store=_FROM_CONFIG) -> FigureResult:
     """Figure 4(d): rejected heaviness of the admission controllers.
 
     Runs OPDCA, DMR and DM in admission-controller mode (discarding the
@@ -175,12 +191,15 @@ def figure_4d(config: ExperimentConfig | None = None, *,
     config = config or ExperimentConfig.from_environment()
     workloads = [config.base.with_overrides(**overrides)
                  for _, overrides in settings]
+    if store is _FROM_CONFIG:
+        store = config.open_store()
     cases = parallel_map(
         _admission_case,
         [(workload, config.seed0 + offset, config.equation)
          for workload in workloads
          for offset in range(config.cases)],
-        n_workers=config.n_workers)
+        n_workers=config.n_workers,
+        store=store, key="fig4d/admission")
 
     points = []
     for index, (label, _) in enumerate(settings):

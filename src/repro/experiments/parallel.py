@@ -25,6 +25,15 @@ identical acceptance flags, delay bounds and notes as the serial
 runner, for any worker count (property-tested in
 ``tests/experiments/test_parallel.py``).  Only wall-clock ``runtime``
 measurements differ.
+
+Both entry points optionally run against a
+:class:`repro.store.ResultStore` (``store=``): cached scenarios are
+served from disk without evaluation, fresh results are checkpointed
+to the store the moment they arrive from the pool, and a killed sweep
+resumed with the same specs completes from the last checkpoint with
+deterministic fields bitwise identical to a one-shot run (only the
+wall-clock timings of the already-cached entries come from the run
+that computed them).
 """
 
 from __future__ import annotations
@@ -104,23 +113,63 @@ def _chunksize(num_items: int, n_workers: int) -> int:
     return max(1, num_items // (4 * n_workers))
 
 
+def _run_incremental(fn: Callable, items: list, *, n_workers: int,
+                     chunksize: int | None) -> "Iterable":
+    """Yield ``fn(item)`` per item, in order, serially or pooled.
+
+    The pooled path consumes ``Executor.map`` lazily, so callers can
+    checkpoint each result as it is handed back instead of waiting for
+    the whole sweep.
+    """
+    if n_workers <= 1 or len(items) <= 1:
+        yield from map(fn, items)
+        return
+    if chunksize is None:
+        chunksize = _chunksize(len(items), n_workers)
+    with ProcessPoolExecutor(max_workers=n_workers) as pool:
+        yield from pool.map(fn, items, chunksize=chunksize)
+
+
 def evaluate_scenarios(specs: Iterable[ScenarioSpec], *,
                        n_workers: int = 1,
-                       chunksize: int | None = None) -> list[CaseResult]:
+                       chunksize: int | None = None,
+                       store=None) -> list[CaseResult]:
     """Evaluate scenarios, preserving input order.
 
     ``n_workers <= 1`` (the degenerate case) runs the exact serial loop
     in-process; anything larger shards the specs across a
     ``ProcessPoolExecutor`` with chunked dispatch.  Either way the
     returned list lines up index-for-index with ``specs``.
+
+    With ``store`` (a :class:`repro.store.ResultStore`) the sweep is
+    *incremental*: specs whose content hash is already stored are not
+    evaluated, and every fresh :class:`CaseResult` is appended to the
+    store as soon as its chunk completes, so an interrupted sweep
+    resumes from its last checkpoint.
     """
     specs = list(specs)
-    if n_workers <= 1 or len(specs) <= 1:
-        return [run_scenario(spec) for spec in specs]
-    if chunksize is None:
-        chunksize = _chunksize(len(specs), n_workers)
-    with ProcessPoolExecutor(max_workers=n_workers) as pool:
-        return list(pool.map(run_scenario, specs, chunksize=chunksize))
+    if store is None:
+        return list(_run_incremental(run_scenario, specs,
+                                     n_workers=n_workers,
+                                     chunksize=chunksize))
+
+    from repro.store import spec_hash
+
+    keys = [spec_hash(spec, salt=store.salt) for spec in specs]
+    results: "list[CaseResult | None]" = [None] * len(specs)
+    missing: list[int] = []
+    for index, key in enumerate(keys):
+        payload = store.get(key)
+        if payload is None:
+            missing.append(index)
+        else:
+            results[index] = CaseResult.from_dict(payload)
+    fresh = _run_incremental(run_scenario, [specs[i] for i in missing],
+                             n_workers=n_workers, chunksize=chunksize)
+    for index, result in zip(missing, fresh):
+        store.put(keys[index], result.to_dict(), kind="case")
+        results[index] = result
+    return results
 
 
 def _star_call(payload: tuple[Callable, tuple]) -> Any:
@@ -131,7 +180,8 @@ def _star_call(payload: tuple[Callable, tuple]) -> Any:
 
 def parallel_map(fn: Callable, argtuples: Sequence[tuple], *,
                  n_workers: int = 1,
-                 chunksize: int | None = None) -> list:
+                 chunksize: int | None = None,
+                 store=None, key: str | None = None) -> list:
     """Order-preserving ``[fn(*args) for args in argtuples]`` over
     processes.
 
@@ -139,12 +189,43 @@ def parallel_map(fn: Callable, argtuples: Sequence[tuple], *,
     ``n_workers <= 1`` this is literally the serial comprehension, so
     callers get identical results for any worker count as long as
     ``fn`` is deterministic in its arguments.
+
+    When both ``store`` and ``key`` are given, each work item is
+    content-hashed as ``call_hash(key, args)`` and cached through the
+    result store exactly like :func:`evaluate_scenarios` caches case
+    results.  ``key`` must uniquely name the *semantics* of ``fn``
+    (bump it, or the store salt, when they change), and ``fn``'s
+    return value must survive the JSON reduction of
+    :func:`repro.core.serialize.to_jsonable` -- cached replays return
+    lists where the live call returned tuples.  Timing-sensitive
+    sweeps (the scalability table) must not pass a store.
     """
-    argtuples = list(argtuples)
-    if n_workers <= 1 or len(argtuples) <= 1:
-        return [fn(*args) for args in argtuples]
-    if chunksize is None:
-        chunksize = _chunksize(len(argtuples), n_workers)
-    payloads = [(fn, args) for args in argtuples]
-    with ProcessPoolExecutor(max_workers=n_workers) as pool:
-        return list(pool.map(_star_call, payloads, chunksize=chunksize))
+    argtuples = [tuple(args) for args in argtuples]
+    if store is None or key is None:
+        payloads = [(fn, args) for args in argtuples]
+        return list(_run_incremental(_star_call, payloads,
+                                     n_workers=n_workers,
+                                     chunksize=chunksize))
+
+    from repro.core.serialize import to_jsonable
+    from repro.store import call_hash
+
+    keys = [call_hash(key, args, salt=store.salt) for args in argtuples]
+    results: list = [None] * len(argtuples)
+    missing: list[int] = []
+    for index, item_key in enumerate(keys):
+        payload = store.get(item_key)
+        if payload is None:
+            missing.append(index)
+        else:
+            results[index] = payload["value"]
+    fresh = _run_incremental(_star_call,
+                             [(fn, argtuples[i]) for i in missing],
+                             n_workers=n_workers, chunksize=chunksize)
+    for index, result in zip(missing, fresh):
+        # Normalise through the JSON reduction so cold-with-store and
+        # warm-with-store runs hand back identical shapes.
+        value = to_jsonable(result)
+        store.put(keys[index], {"value": value}, kind="call")
+        results[index] = value
+    return results

@@ -137,6 +137,19 @@ def format_chart(figure: FigureResult, *, width: int = 50) -> str:
     return "\n".join([chart] + extra_lines)
 
 
+def format_cache_summary(store) -> str:
+    """One-line summary of a result store's session counters.
+
+    ``hits`` are work items served from disk without evaluation,
+    ``misses`` items that had to be computed, ``writes`` fresh
+    checkpoints appended.  A fully warm re-run therefore prints
+    ``misses=0`` -- CI's warm-store job greps for exactly that.
+    """
+    counters = store.counters
+    return (f"[cache] dir={store.root} hits={counters.hits} "
+            f"misses={counters.misses} writes={counters.writes}")
+
+
 def shape_checks(figure: FigureResult) -> list[str]:
     """Verify the qualitative relations the paper reports.
 

@@ -24,6 +24,10 @@ from repro.workload.heaviness import system_heaviness
 #: Approaches in the paper's stacking order, plus the DCMP baseline.
 APPROACHES = ("dm", "dmr", "opdca", "opt", "dcmp")
 
+#: Format marker of serialized case results (result-store payloads).
+CASE_RESULT_FORMAT = "repro-case-result"
+CASE_RESULT_VERSION = 1
+
 
 @dataclass
 class CaseResult:
@@ -37,6 +41,35 @@ class CaseResult:
 
     def accepted_by(self, approach: str) -> bool:
         return self.accepted.get(approach, False)
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (exact: floats survive bitwise via repr)."""
+        return {
+            "format": CASE_RESULT_FORMAT,
+            "version": CASE_RESULT_VERSION,
+            "seed": int(self.seed),
+            "accepted": {k: bool(v) for k, v in self.accepted.items()},
+            "runtime": {k: float(v) for k, v in self.runtime.items()},
+            "system_heaviness": float(self.system_heaviness),
+            "notes": {k: str(v) for k, v in self.notes.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CaseResult":
+        """Rebuild a result from :meth:`to_dict` output (validated)."""
+        if data.get("format") != CASE_RESULT_FORMAT or \
+                int(data.get("version", -1)) != CASE_RESULT_VERSION:
+            raise ValueError(
+                f"not a {CASE_RESULT_FORMAT} v{CASE_RESULT_VERSION} "
+                f"payload: format={data.get('format')!r} "
+                f"version={data.get('version')!r}")
+        return cls(seed=int(data["seed"]),
+                   accepted={k: bool(v)
+                             for k, v in data["accepted"].items()},
+                   runtime={k: float(v)
+                            for k, v in data["runtime"].items()},
+                   system_heaviness=float(data["system_heaviness"]),
+                   notes={k: str(v) for k, v in data["notes"].items()})
 
 
 def evaluate_case(case: EdgeTestCase, *,

@@ -38,7 +38,7 @@ SWEEP_EDGE_BASE = EdgeWorkloadConfig(gamma=0.9)
 
 def _sweep(name: str, context: str, points, generator: str,
            equation: str, cases: int, seed0: int,
-           n_workers: int = 1) -> AblationResult:
+           n_workers: int = 1, store=None) -> AblationResult:
     specs = [
         ScenarioSpec(seed=seed0 + offset, workload=config,
                      generator=generator, equation=equation,
@@ -46,7 +46,8 @@ def _sweep(name: str, context: str, points, generator: str,
         for _, config in points
         for offset in range(cases)
     ]
-    results = evaluate_scenarios(specs, n_workers=n_workers)
+    results = evaluate_scenarios(specs, n_workers=n_workers,
+                                 store=store)
     rows = []
     for index, (label, _) in enumerate(points):
         chunk = results[index * cases:(index + 1) * cases]
@@ -68,7 +69,7 @@ def _sweep(name: str, context: str, points, generator: str,
 def gap_vs_jobs(*, job_counts: tuple[int, ...] = (50, 100, 150, 200),
                 cases: int = 10, seed0: int = 0,
                 base: EdgeWorkloadConfig | None = None,
-                n_workers: int = 1) -> AblationResult:
+                n_workers: int = 1, store=None) -> AblationResult:
     """Sweep the job count on the edge workload (resources fixed).
 
     More jobs on the same pools means more contention per resource, so
@@ -80,13 +81,15 @@ def gap_vs_jobs(*, job_counts: tuple[int, ...] = (50, 100, 150, 200),
               for count in job_counts]
     return _sweep("S1 gap vs jobs",
                   f"{cases} cases/point, edge workload, eq10",
-                  points, "edge", "eq10", cases, seed0, n_workers)
+                  points, "edge", "eq10", cases, seed0, n_workers,
+                  store)
 
 
 def gap_vs_resources(*, pool_scales: tuple[float, ...] = (0.5, 1.0, 2.0),
                      cases: int = 10, seed0: int = 0,
                      base: EdgeWorkloadConfig | None = None,
-                     n_workers: int = 1) -> AblationResult:
+                     n_workers: int = 1,
+                     store=None) -> AblationResult:
     """Sweep the resource pool sizes on the edge workload (jobs fixed).
 
     Scaling both AP and server pools down packs more jobs per resource.
@@ -104,13 +107,14 @@ def gap_vs_resources(*, pool_scales: tuple[float, ...] = (0.5, 1.0, 2.0),
              config))
     return _sweep("S2 gap vs resources",
                   f"{cases} cases/point, edge workload, eq10",
-                  points, "edge", "eq10", cases, seed0, n_workers)
+                  points, "edge", "eq10", cases, seed0, n_workers,
+                  store)
 
 
 def gap_vs_stages(*, stage_counts: tuple[int, ...] = (2, 3, 4, 5),
                   cases: int = 10, seed0: int = 0,
                   base: PipelineWorkloadConfig | None = None,
-                  n_workers: int = 1) -> AblationResult:
+                  n_workers: int = 1, store=None) -> AblationResult:
     """Sweep the pipeline depth on the generic workload (Eq. 6).
 
     Load per resource is held constant across the sweep (same pools,
@@ -129,7 +133,8 @@ def gap_vs_stages(*, stage_counts: tuple[int, ...] = (2, 3, 4, 5),
               for count in stage_counts]
     return _sweep("S3 gap vs stages",
                   f"{cases} cases/point, generic pipeline, eq6",
-                  points, "pipeline", "eq6", cases, seed0, n_workers)
+                  points, "pipeline", "eq6", cases, seed0, n_workers,
+                  store)
 
 
 def summarize_gaps(results: "list[AblationResult]") -> str:

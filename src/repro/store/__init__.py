@@ -1,0 +1,43 @@
+"""Content-addressed result store: resumable, incremental sweeps.
+
+Every scenario of a sweep is identified by a deterministic content
+hash (config + seed + approaches + equation + version salt); evaluated
+results are appended to a sharded on-disk store keyed by that hash.
+Sweeps consult the store before evaluating, so a killed run resumes
+where it stopped and a warm run skips evaluation entirely -- with
+aggregate results bitwise identical to a one-shot run.
+
+Entry points: :class:`ResultStore` (the store), :func:`spec_hash` /
+:func:`call_hash` (the keys), and the ``repro store`` CLI subcommand
+(:mod:`repro.store.manage`).
+"""
+
+from repro.store.hashing import (
+    CACHE_SALT,
+    call_hash,
+    full_salt,
+    hash_payload,
+    spec_hash,
+)
+from repro.store.manage import store_export, store_gc, store_stats
+from repro.store.store import (
+    CacheCounters,
+    ResultStore,
+    StoreStats,
+    is_store,
+)
+
+__all__ = [
+    "CACHE_SALT",
+    "CacheCounters",
+    "ResultStore",
+    "StoreStats",
+    "call_hash",
+    "full_salt",
+    "hash_payload",
+    "is_store",
+    "spec_hash",
+    "store_export",
+    "store_gc",
+    "store_stats",
+]

@@ -1,0 +1,61 @@
+"""Maintenance entry points behind ``repro store <action>``.
+
+Thin, printable wrappers over :class:`repro.store.store.ResultStore`:
+``stats`` summarises a store, ``gc`` compacts it (dropping stale-salt
+and corrupt records), ``export`` flattens it to one JSONL file.  Each
+returns the text the CLI prints, so they are trivially testable.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.store.store import ResultStore, is_store
+
+
+def _open_existing(root) -> ResultStore:
+    root = Path(root)
+    if not root.is_dir() or not is_store(root):
+        raise FileNotFoundError(
+            f"no result store at {root} (expected an index.json "
+            f"written by a --cache-dir run)"
+        )
+    return ResultStore(root)
+
+
+def store_stats(root) -> str:
+    """Human-readable summary of the store at ``root``."""
+    store = _open_existing(root)
+    stats = store.stats()
+    kinds = ", ".join(
+        f"{kind}={count}" for kind, count in sorted(stats.kinds.items())
+    )
+    lines = [
+        f"result store at {store.root}",
+        f"  salt:     {store.effective_salt}",
+        f"  shards:   {stats.shards}",
+        f"  entries:  {stats.entries} ({kinds or 'none'})",
+        f"  records:  {stats.records} "
+        f"(stale={stats.stale}, corrupt={stats.corrupt})",
+        f"  size:     {stats.size_bytes} bytes",
+    ]
+    return "\n".join(lines)
+
+
+def store_gc(root) -> str:
+    """Compact the store at ``root``; report what was reclaimed."""
+    store = _open_existing(root)
+    before = store.stats().size_bytes
+    kept, dropped = store.gc()
+    after = store.stats().size_bytes
+    return (
+        f"gc: kept {kept} records, dropped {dropped} "
+        f"({before} -> {after} bytes)"
+    )
+
+
+def store_export(root, output) -> str:
+    """Export the store at ``root`` to the JSONL file ``output``."""
+    store = _open_existing(root)
+    count = store.export(output)
+    return f"exported {count} records to {output}"

@@ -1,0 +1,293 @@
+"""Sharded, content-addressed, append-only result store.
+
+Layout of a store rooted at ``root``::
+
+    root/
+      index.json          # format marker + salt metadata
+      shards/
+        00.jsonl .. ff.jsonl   # records, sharded by key prefix
+
+One record per line::
+
+    {"key": "<sha256>", "salt": "<effective salt>",
+     "kind": "case" | "call", "payload": {...}}
+
+Writes go through a single ``os.write`` on an ``O_APPEND`` descriptor,
+so concurrent writers (the parent of a ``ProcessPoolExecutor`` sweep,
+or several independent sweeps sharing one cache directory) interleave
+whole lines, never bytes.  Readers tolerate a torn final line (a
+killed writer) and records with a stale salt; duplicated keys resolve
+last-wins.  ``gc()`` compacts shards, dropping stale and corrupt
+lines; ``export()`` flattens the store into one sorted JSONL file.
+
+Shards are loaded lazily, one prefix at a time, so a warm ``get``
+touches a single small file rather than the whole store.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.store.hashing import CACHE_SALT, full_salt
+
+STORE_FORMAT = "repro-result-store"
+STORE_VERSION = 1
+
+#: Hex prefix length used for sharding (2 -> up to 256 shards).
+SHARD_PREFIX = 2
+
+
+@dataclass
+class CacheCounters:
+    """Hit/miss/write tallies of one store session (for reporting)."""
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+
+
+@dataclass
+class StoreStats:
+    """Aggregate numbers over every shard on disk."""
+
+    shards: int = 0
+    entries: int = 0
+    records: int = 0
+    stale: int = 0
+    corrupt: int = 0
+    size_bytes: int = 0
+    kinds: dict = field(default_factory=dict)
+
+
+class ResultStore:
+    """Map content hash -> JSON payload, persisted under ``root``."""
+
+    def __init__(self, root, *, salt: str = CACHE_SALT):
+        self.root = Path(root)
+        self.salt = salt
+        self.effective_salt = full_salt(salt)
+        self.shard_dir = self.root / "shards"
+        self.shard_dir.mkdir(parents=True, exist_ok=True)
+        self.counters = CacheCounters()
+        self._shards: dict[str, dict[str, dict]] = {}
+        self._write_marker()
+
+    # -- plumbing ----------------------------------------------------
+
+    def _write_marker(self) -> None:
+        marker = self.root / "index.json"
+        if marker.exists():
+            return
+        payload = {
+            "format": STORE_FORMAT,
+            "version": STORE_VERSION,
+            "salt": self.effective_salt,
+            "shard_prefix": SHARD_PREFIX,
+        }
+        marker.write_text(json.dumps(payload, indent=2) + "\n")
+
+    def _shard_path(self, prefix: str) -> Path:
+        return self.shard_dir / f"{prefix}.jsonl"
+
+    def _load_shard(self, prefix: str) -> dict[str, dict]:
+        cached = self._shards.get(prefix)
+        if cached is not None:
+            return cached
+        entries: dict[str, dict] = {}
+        path = self._shard_path(prefix)
+        if path.exists():
+            for record in _iter_records(path):
+                if record.get("salt") != self.effective_salt:
+                    continue
+                key = record.get("key")
+                if isinstance(key, str):
+                    entries[key] = record
+        self._shards[prefix] = entries
+        return entries
+
+    # -- read/write --------------------------------------------------
+
+    def get(self, key: str):
+        """Payload stored under ``key``, or ``None`` (counted)."""
+        record = self._load_shard(key[:SHARD_PREFIX]).get(key)
+        if record is None:
+            self.counters.misses += 1
+            return None
+        self.counters.hits += 1
+        return record["payload"]
+
+    def put(self, key: str, payload, *, kind: str = "case") -> None:
+        """Append one record atomically and index it in memory."""
+        record = {
+            "key": key,
+            "salt": self.effective_salt,
+            "kind": kind,
+            "payload": payload,
+        }
+        line = json.dumps(record, separators=(",", ":")) + "\n"
+        path = self._shard_path(key[:SHARD_PREFIX])
+        if not _ends_with_newline(path):
+            # A killed writer left a torn final line: start a fresh
+            # line so this record is not concatenated onto it.  (A
+            # spurious leading newline from a concurrent append in
+            # the stat-to-write window is harmless: readers skip
+            # empty lines.)
+            line = "\n" + line
+        flags = os.O_WRONLY | os.O_CREAT | os.O_APPEND
+        descriptor = os.open(path, flags, 0o644)
+        try:
+            os.write(descriptor, line.encode("utf-8"))
+        finally:
+            os.close(descriptor)
+        self._load_shard(key[:SHARD_PREFIX])[key] = record
+        self.counters.writes += 1
+
+    def __contains__(self, key: str) -> bool:
+        return self._load_shard(key[:SHARD_PREFIX]).get(key) is not None
+
+    def __len__(self) -> int:
+        return sum(
+            len(self._load_shard(prefix))
+            for prefix in self._disk_prefixes()
+        )
+
+    def keys(self) -> list[str]:
+        """Every current-salt key on disk, sorted."""
+        found: set[str] = set()
+        for prefix in self._disk_prefixes():
+            found.update(self._load_shard(prefix))
+        return sorted(found)
+
+    def _disk_prefixes(self) -> list[str]:
+        prefixes = {path.stem for path in self.shard_dir.glob("*.jsonl")}
+        prefixes.update(self._shards)
+        return sorted(prefixes)
+
+    # -- maintenance -------------------------------------------------
+
+    def stats(self) -> StoreStats:
+        """Scan every shard and tally entries, staleness and size."""
+        stats = StoreStats()
+        for prefix in self._disk_prefixes():
+            path = self._shard_path(prefix)
+            if not path.exists():
+                continue
+            stats.shards += 1
+            stats.size_bytes += path.stat().st_size
+            current: dict[str, dict] = {}
+            for record in _iter_records(path, stats=stats):
+                stats.records += 1
+                if record.get("salt") != self.effective_salt:
+                    stats.stale += 1
+                    continue
+                key = record.get("key")
+                if isinstance(key, str):
+                    current[key] = record
+            stats.entries += len(current)
+            for record in current.values():
+                kind = record.get("kind", "?")
+                stats.kinds[kind] = stats.kinds.get(kind, 0) + 1
+        return stats
+
+    def gc(self) -> tuple[int, int]:
+        """Compact every shard to current-salt, last-wins records.
+
+        Returns ``(kept, dropped)`` record counts.  Rewrites are
+        atomic per shard (temp file + ``os.replace``).
+        """
+        kept = 0
+        dropped = 0
+        for prefix in self._disk_prefixes():
+            path = self._shard_path(prefix)
+            if not path.exists():
+                continue
+            total = 0
+            tally = StoreStats()
+            current: dict[str, dict] = {}
+            for record in _iter_records(path, stats=tally):
+                total += 1
+                key = record.get("key")
+                ok = record.get("salt") == self.effective_salt
+                if ok and isinstance(key, str):
+                    current[key] = record
+            dropped += total - len(current) + tally.corrupt
+            kept += len(current)
+            if not current:
+                path.unlink()
+                self._shards.pop(prefix, None)
+                continue
+            lines = [
+                json.dumps(current[key], separators=(",", ":"))
+                for key in sorted(current)
+            ]
+            scratch = path.with_suffix(".jsonl.tmp")
+            scratch.write_text("\n".join(lines) + "\n")
+            os.replace(scratch, path)
+            self._shards[prefix] = current
+        return kept, dropped
+
+    def export(self, output) -> int:
+        """Write every current entry to one JSONL file, sorted by key.
+
+        Returns the number of exported records.  The output is
+        deterministic for a given store state, so exports diff
+        cleanly.
+        """
+        output = Path(output)
+        count = 0
+        with output.open("w", encoding="utf-8") as handle:
+            for key in self.keys():
+                prefix = key[:SHARD_PREFIX]
+                record = self._load_shard(prefix)[key]
+                handle.write(json.dumps(record, separators=(",", ":")))
+                handle.write("\n")
+                count += 1
+        return count
+
+
+def is_store(root) -> bool:
+    """True when ``root`` looks like a result store directory."""
+    root = Path(root)
+    marker = root / "index.json"
+    if not marker.exists():
+        return False
+    try:
+        payload = json.loads(marker.read_text())
+    except (OSError, json.JSONDecodeError):
+        return False
+    return payload.get("format") == STORE_FORMAT
+
+
+def _ends_with_newline(path: Path) -> bool:
+    """True when ``path`` is empty/missing or its last byte is LF."""
+    try:
+        with path.open("rb") as handle:
+            handle.seek(0, os.SEEK_END)
+            if handle.tell() == 0:
+                return True
+            handle.seek(-1, os.SEEK_END)
+            return handle.read(1) == b"\n"
+    except FileNotFoundError:
+        return True
+
+
+def _iter_records(path: Path, *, stats: StoreStats | None = None):
+    """Parsed records of one shard; torn/corrupt lines are skipped."""
+    with path.open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                if stats is not None:
+                    stats.corrupt += 1
+                continue
+            if isinstance(record, dict) and "payload" in record:
+                yield record
+            elif stats is not None:
+                stats.corrupt += 1

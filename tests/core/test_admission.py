@@ -1,7 +1,6 @@
 """Tests for the OPDCA admission controller (Figure 4d semantics)."""
 
 import numpy as np
-import pytest
 
 from repro.core.admission import opdca_admission, ordering_of_accepted
 from repro.core.opdca import opdca

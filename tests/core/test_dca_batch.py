@@ -13,7 +13,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.dca import ALL_EQUATIONS, DelayAnalyzer
+from repro.core.dca import DelayAnalyzer
 from repro.core.opdca import opdca
 from repro.core.schedulability import SDCA
 from repro.workload.edge import EdgeWorkloadConfig, generate_edge_case

@@ -1,7 +1,6 @@
 """Tests for the single-resource bounds (Eqs. 1-2), anchored on the
 paper's Example 1."""
 
-import numpy as np
 import pytest
 
 from repro.core.dca import DelayAnalyzer

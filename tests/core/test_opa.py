@@ -1,6 +1,5 @@
 """Unit tests for the generic Audsley OPA engine."""
 
-import numpy as np
 
 from repro.core.opa import audsley
 
@@ -84,7 +83,8 @@ class TestMaskContract:
 
 class TestCandidateSubset:
     def test_only_candidates_assigned(self):
-        result = audsley(5, lambda i, h, l: True, candidates=[1, 3, 4])
+        result = audsley(5, lambda i, h, lo: True,
+                         candidates=[1, 3, 4])
         assert result.feasible
         assert result.priority[0] == 0
         assert result.priority[2] == 0

@@ -1,6 +1,5 @@
 """Tests for the SDCA schedulability test wrapper."""
 
-import numpy as np
 import pytest
 
 from repro.core.dca import DelayAnalyzer

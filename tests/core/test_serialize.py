@@ -20,7 +20,6 @@ from repro.core.serialize import (
     system_from_dict,
     system_to_dict,
 )
-from repro.core.system import JobSet
 
 
 class TestRoundTrip:

@@ -1,6 +1,5 @@
 """Smoke tests for the ablation studies (tiny workloads)."""
 
-import numpy as np
 import pytest
 
 from repro.experiments.ablation import (

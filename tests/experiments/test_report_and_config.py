@@ -1,7 +1,5 @@
 """Tests for reporting helpers and experiment configuration."""
 
-import numpy as np
-import pytest
 
 from repro.experiments.config import (
     ADMISSION_SETTINGS,

@@ -1,7 +1,6 @@
 """Tests for the DM/DMR admission controllers (Figure 4d)."""
 
 import numpy as np
-import pytest
 
 from repro.core.system import JobSet
 from repro.pairwise.admission import dm_admission, dmr_admission

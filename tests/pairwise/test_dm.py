@@ -1,6 +1,5 @@
 """Tests for the deadline-monotonic pairwise baseline."""
 
-import numpy as np
 import pytest
 
 from repro.core.job import Job

@@ -1,6 +1,5 @@
 """Tests for the DMR heuristic (Algorithm 2)."""
 
-import numpy as np
 import pytest
 
 from repro.core.dca import DelayAnalyzer

@@ -53,7 +53,6 @@ def test_feasible_ordering_implies_feasible_pairwise(fig2_jobset):
     """The converse direction of Observation V.1: loosening deadlines
     until an ordering exists, the projected pairwise assignment is
     feasible with identical delay bounds."""
-    import dataclasses
 
     from repro.core.job import Job
     from repro.core.system import JobSet

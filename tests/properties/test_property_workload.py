@@ -6,7 +6,6 @@ the ``2 beta`` heaviness cap, exact heavy-fraction counts, and the
 ``H <= gamma`` bound.
 """
 
-import numpy as np
 from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 

@@ -112,7 +112,8 @@ class TestAgreement:
     def test_random_feasibility_problems_agree(self, seed):
         rng = np.random.default_rng(100 + seed)
         builder = ModelBuilder()
-        cols = [builder.add_binary(f"x{i}") for i in range(6)]
+        for i in range(6):
+            builder.add_binary(f"x{i}")
         for _ in range(4):
             members = rng.choice(6, size=3, replace=False)
             rhs = float(rng.integers(0, 3))

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.solver.milp import MILPProblem, ModelBuilder
+from repro.solver.milp import ModelBuilder
 
 
 class TestModelBuilder:
@@ -48,7 +48,7 @@ class TestModelBuilder:
 
     def test_objective(self):
         builder = ModelBuilder()
-        x = builder.add_binary("x", objective=2.0)
+        builder.add_binary("x", objective=2.0)
         y = builder.add_binary("y")
         builder.set_objective({y: -1.0})
         problem = builder.build()

@@ -1,0 +1,108 @@
+"""Content-hash determinism and sensitivity.
+
+The store is only sound if a spec's hash is (a) identical in every
+process and (b) different whenever anything result-relevant differs.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import repro
+from repro.core.serialize import canonical_dumps
+from repro.experiments.parallel import ScenarioSpec
+from repro.store import CACHE_SALT, call_hash, full_salt, spec_hash
+from repro.workload.edge import EdgeWorkloadConfig
+
+TINY = EdgeWorkloadConfig(num_jobs=10, num_aps=4, num_servers=3)
+
+
+def _spec(**overrides) -> ScenarioSpec:
+    base = dict(seed=3, workload=TINY, generator="edge",
+                equation="eq10", approaches=("dm", "dmr"),
+                opt_backend="highs")
+    base.update(overrides)
+    return ScenarioSpec(**base)
+
+
+class TestSpecHash:
+    def test_is_sha256_hex(self):
+        digest = spec_hash(_spec())
+        assert len(digest) == 64
+        assert set(digest) <= set("0123456789abcdef")
+
+    def test_equal_specs_hash_equally(self):
+        assert spec_hash(_spec()) == spec_hash(_spec())
+
+    def test_every_field_is_result_relevant(self):
+        base = spec_hash(_spec())
+        variants = [
+            _spec(seed=4),
+            _spec(equation="eq6"),
+            _spec(approaches=("dm",)),
+            _spec(opt_backend="cp"),
+            _spec(generator="pipeline"),
+            _spec(workload=TINY.with_overrides(beta=0.2)),
+            _spec(workload=TINY.with_overrides(num_jobs=11)),
+        ]
+        digests = {base} | {spec_hash(v) for v in variants}
+        assert len(digests) == len(variants) + 1
+
+    def test_salt_changes_hash(self):
+        assert spec_hash(_spec()) != spec_hash(_spec(), salt="v2")
+        assert full_salt(CACHE_SALT).endswith(repro.__version__)
+
+    def test_stable_across_processes(self):
+        """The digest must not depend on process state (hash seeds,
+        dict order): recompute it in a fresh interpreter."""
+        spec = _spec()
+        expected = spec_hash(spec)
+        src_root = Path(repro.__file__).parents[1]
+        script = (
+            "from repro.experiments.parallel import ScenarioSpec\n"
+            "from repro.store import spec_hash\n"
+            "from repro.workload.edge import EdgeWorkloadConfig\n"
+            "w = EdgeWorkloadConfig(num_jobs=10, num_aps=4, "
+            "num_servers=3)\n"
+            "s = ScenarioSpec(seed=3, workload=w, generator='edge', "
+            "equation='eq10', approaches=('dm', 'dmr'), "
+            "opt_backend='highs')\n"
+            "print(spec_hash(s))\n"
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(src_root)
+        env["PYTHONHASHSEED"] = "12345"
+        output = subprocess.run(
+            [sys.executable, "-c", script], env=env,
+            capture_output=True, text=True, check=True)
+        assert output.stdout.strip() == expected
+
+
+class TestCallHash:
+    def test_name_and_args_are_relevant(self):
+        a = call_hash("fig4d/admission", (TINY, 0, "eq10"))
+        assert a == call_hash("fig4d/admission", (TINY, 0, "eq10"))
+        assert a != call_hash("fig4d/admission", (TINY, 1, "eq10"))
+        assert a != call_hash("other", (TINY, 0, "eq10"))
+        assert a != call_hash("fig4d/admission", (TINY, 0, "eq10"),
+                              salt="v2")
+
+
+class TestCanonicalDumps:
+    def test_dataclasses_tuples_and_numpy_reduce(self):
+        import numpy as np
+
+        text = canonical_dumps({"w": TINY, "t": (1, 2),
+                                "f": np.float64(0.5),
+                                "a": np.arange(3)})
+        assert '"__type__":"EdgeWorkloadConfig"' in text
+        assert '"t":[1,2]' in text
+        assert '"f":0.5' in text
+        assert '"a":[0,1,2]' in text
+
+    def test_key_order_is_canonical(self):
+        assert canonical_dumps({"b": 1, "a": 2}) == \
+            canonical_dumps({"a": 2, "b": 1})

@@ -1,0 +1,203 @@
+"""Resumability: interrupted sweeps complete bitwise-identically.
+
+The acceptance contract of the result store: a sweep killed after at
+least one checkpoint and resumed with the same config produces
+aggregate results bitwise identical to an uninterrupted run -- for
+the serial and the ``n_workers > 1`` paths -- and a fully warm cache
+re-run performs no evaluation at all.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments import parallel as parallel_module
+from repro.experiments.figures import figure_4a, figure_4d
+from repro.experiments.parallel import (
+    ScenarioSpec,
+    evaluate_scenarios,
+    parallel_map,
+)
+from repro.experiments.runner import CaseResult
+from repro.store import ResultStore
+from repro.workload.edge import EdgeWorkloadConfig
+
+TINY = EdgeWorkloadConfig(num_jobs=10, num_aps=4, num_servers=3)
+FAST = ("dm", "dmr", "opdca")
+
+
+def _specs(seeds):
+    return [ScenarioSpec(seed=seed, workload=TINY, generator="edge",
+                         equation="eq10", approaches=FAST)
+            for seed in seeds]
+
+
+def _deterministic(result):
+    return (result.seed, result.accepted, result.notes,
+            result.system_heaviness)
+
+
+class _DyingStore(ResultStore):
+    """A store whose process 'dies' after ``survive`` checkpoints."""
+
+    def __init__(self, root, survive: int):
+        super().__init__(root)
+        self._survive = survive
+
+    def put(self, key, payload, **kwargs):
+        if self.counters.writes >= self._survive:
+            raise KeyboardInterrupt("simulated kill")
+        super().put(key, payload, **kwargs)
+
+
+class TestCaseResultRoundTrip:
+    def test_exact(self):
+        result = CaseResult(
+            seed=7,
+            accepted={"dm": False, "opt": True},
+            runtime={"dm": 0.1 + 0.2, "opt": 1e-17},
+            system_heaviness=0.6999999999999997,
+            notes={"opt_status": "Optimal"})
+        clone = CaseResult.from_dict(result.to_dict())
+        assert clone == result
+        assert clone.runtime["dm"] == result.runtime["dm"]
+
+    def test_rejects_foreign_payloads(self):
+        with pytest.raises(ValueError, match="repro-case-result"):
+            CaseResult.from_dict({"format": "something-else"})
+
+
+class TestInterruptedSweep:
+    def test_serial_kill_then_resume_matches_one_shot(self, tmp_path):
+        specs = _specs(range(6))
+        one_shot = evaluate_scenarios(specs)
+
+        dying = _DyingStore(tmp_path, survive=2)
+        with pytest.raises(KeyboardInterrupt):
+            evaluate_scenarios(specs, store=dying)
+
+        store = ResultStore(tmp_path)
+        resumed = evaluate_scenarios(specs, store=store)
+        assert store.counters.hits == 2      # the two checkpoints
+        assert store.counters.misses == 4    # only the rest evaluated
+        assert [_deterministic(r) for r in resumed] == \
+            [_deterministic(r) for r in one_shot]
+
+    def test_parallel_kill_then_parallel_resume(self, tmp_path):
+        specs = _specs(range(6))
+        one_shot = evaluate_scenarios(specs, n_workers=2)
+
+        dying = _DyingStore(tmp_path, survive=3)
+        with pytest.raises(KeyboardInterrupt):
+            evaluate_scenarios(specs, n_workers=2, store=dying)
+
+        store = ResultStore(tmp_path)
+        resumed = evaluate_scenarios(specs, n_workers=2, store=store)
+        assert store.counters.hits == 3
+        assert [_deterministic(r) for r in resumed] == \
+            [_deterministic(r) for r in one_shot]
+
+    def test_warm_cache_skips_all_evaluation(self, tmp_path,
+                                             monkeypatch):
+        specs = _specs(range(4))
+        store = ResultStore(tmp_path)
+        first = evaluate_scenarios(specs, store=store)
+
+        def exploder(spec):
+            raise AssertionError("evaluated despite a warm cache")
+
+        monkeypatch.setattr(parallel_module, "run_scenario", exploder)
+        warm_store = ResultStore(tmp_path)
+        warm = evaluate_scenarios(specs, store=warm_store)
+        assert warm_store.counters.misses == 0
+        assert warm_store.counters.hits == len(specs)
+        # Bitwise including runtimes: cached entries replay the run
+        # that computed them.
+        assert warm == first
+
+
+@settings(max_examples=4, deadline=None)
+@given(seed0=st.integers(0, 300), checkpoint=st.integers(1, 4),
+       n_workers=st.sampled_from([1, 2]))
+def test_property_resume_is_bitwise_identical(tmp_path_factory, seed0,
+                                              checkpoint, n_workers):
+    """Property: for any kill point with >= 1 checkpoint and either
+    worker-count path, resume output == one-shot output."""
+    tmp_path = tmp_path_factory.mktemp("resume")
+    specs = _specs(range(seed0, seed0 + 5))
+    one_shot = evaluate_scenarios(specs, n_workers=n_workers)
+
+    dying = _DyingStore(tmp_path, survive=checkpoint)
+    with pytest.raises(KeyboardInterrupt):
+        evaluate_scenarios(specs, n_workers=n_workers, store=dying)
+
+    store = ResultStore(tmp_path)
+    resumed = evaluate_scenarios(specs, n_workers=n_workers,
+                                 store=store)
+    assert store.counters.hits == checkpoint
+    assert [_deterministic(r) for r in resumed] == \
+        [_deterministic(r) for r in one_shot]
+
+
+class TestCachedParallelMap:
+    def test_miss_then_hit_round_trip(self, tmp_path):
+        from repro.experiments.figures import _admission_case
+
+        args = [(TINY, seed, "eq10") for seed in range(3)]
+        store = ResultStore(tmp_path)
+        cold = parallel_map(_admission_case, args, store=store,
+                            key="fig4d/admission")
+        assert store.counters.writes == 3
+        warm_store = ResultStore(tmp_path)
+        warm = parallel_map(_admission_case, args, store=warm_store,
+                            key="fig4d/admission")
+        assert warm_store.counters.misses == 0
+        assert warm == cold
+
+    def test_key_isolates_namespaces(self, tmp_path):
+        from repro.experiments.figures import _admission_case
+
+        args = [(TINY, 0, "eq10")]
+        store = ResultStore(tmp_path)
+        parallel_map(_admission_case, args, store=store, key="one")
+        parallel_map(_admission_case, args, store=store, key="two")
+        assert store.counters.writes == 2
+
+
+class TestFiguresFromStore:
+    def _config(self, cache_dir):
+        from repro.experiments.config import ExperimentConfig
+
+        return ExperimentConfig(cases=2, base=TINY,
+                                cache_dir=str(cache_dir))
+
+    def test_fig4a_warm_regeneration_is_identical(self, tmp_path):
+        from repro.experiments.config import ExperimentConfig
+
+        plain = figure_4a(ExperimentConfig(cases=2, base=TINY))
+        cold = figure_4a(self._config(tmp_path))
+        store = ResultStore(tmp_path)
+        warm = figure_4a(self._config(tmp_path), store=store)
+        assert store.counters.misses == 0
+        assert store.counters.hits == sum(
+            len(point.raw["dm"]) for point in warm.points)
+        for a, b, c in zip(plain.points, cold.points, warm.points):
+            assert a.values == b.values == c.values
+            assert a.raw == b.raw == c.raw
+            assert a.mean_system_heaviness == \
+                b.mean_system_heaviness == c.mean_system_heaviness
+
+    def test_fig4d_warm_regeneration_is_identical(self, tmp_path):
+        cold = figure_4d(self._config(tmp_path))
+        store = ResultStore(tmp_path)
+        warm = figure_4d(self._config(tmp_path), store=store)
+        assert store.counters.misses == 0
+        for b, c in zip(cold.points, warm.points):
+            assert b.values == c.values
+            assert b.raw == c.raw
+
+    def test_store_none_disables_config_cache(self, tmp_path):
+        figure_4a(self._config(tmp_path), store=None)
+        assert not any(tmp_path.iterdir())

@@ -1,0 +1,159 @@
+"""ResultStore mechanics: round-trips, sharding, concurrency, gc.
+
+The atomicity contract: any number of processes may append to the
+same store concurrently and every completed ``put`` survives intact
+(whole lines, never interleaved bytes).
+"""
+
+from __future__ import annotations
+
+import json
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.store import ResultStore, is_store
+from repro.store.store import SHARD_PREFIX
+
+
+def _key(index: int) -> str:
+    return f"{index % 256:02x}{'ab' * 31}"
+
+
+def test_round_trip_and_reopen(tmp_path):
+    store = ResultStore(tmp_path / "s")
+    store.put("ff" * 32, {"value": [1, 0.1 + 0.2, "x"]}, kind="call")
+    assert store.get("ff" * 32) == {"value": [1, 0.1 + 0.2, "x"]}
+    reopened = ResultStore(tmp_path / "s")
+    assert reopened.get("ff" * 32) == {"value": [1, 0.1 + 0.2, "x"]}
+    assert "ff" * 32 in reopened
+    assert len(reopened) == 1
+    assert is_store(tmp_path / "s")
+    assert not is_store(tmp_path)
+
+
+def test_miss_returns_none_and_counts(tmp_path):
+    store = ResultStore(tmp_path)
+    assert store.get("00" * 32) is None
+    assert store.counters.misses == 1
+    assert store.counters.hits == 0
+
+
+def test_sharding_by_key_prefix(tmp_path):
+    store = ResultStore(tmp_path)
+    for index in range(4):
+        store.put(_key(index), {"i": index})
+    shards = sorted(p.name for p in (tmp_path / "shards").iterdir())
+    assert shards == ["00.jsonl", "01.jsonl", "02.jsonl", "03.jsonl"]
+    assert store.keys() == sorted(_key(i) for i in range(4))
+    assert all(len(k[:SHARD_PREFIX]) == 2 for k in store.keys())
+
+
+def test_last_write_wins(tmp_path):
+    store = ResultStore(tmp_path)
+    store.put("aa" * 32, {"v": 1})
+    store.put("aa" * 32, {"v": 2})
+    assert store.get("aa" * 32) == {"v": 2}
+    assert ResultStore(tmp_path).get("aa" * 32) == {"v": 2}
+
+
+def test_stale_salt_records_are_invisible(tmp_path):
+    old = ResultStore(tmp_path, salt="old-salt")
+    old.put("aa" * 32, {"v": 1})
+    new = ResultStore(tmp_path, salt="new-salt")
+    assert new.get("aa" * 32) is None
+    stats = new.stats()
+    assert stats.records == 1
+    assert stats.stale == 1
+    assert stats.entries == 0
+
+
+def test_torn_final_line_is_tolerated(tmp_path):
+    store = ResultStore(tmp_path)
+    store.put("aa" * 32, {"v": 1})
+    shard = tmp_path / "shards" / "aa.jsonl"
+    with shard.open("a", encoding="utf-8") as handle:
+        handle.write('{"key": "bb", "salt": "trunc')  # killed writer
+    reopened = ResultStore(tmp_path)
+    assert reopened.get("aa" * 32) == {"v": 1}
+    assert reopened.stats().corrupt == 1
+
+
+def test_put_after_torn_line_starts_a_fresh_line(tmp_path):
+    """A record appended after a torn final line must not be
+    concatenated onto it (the resume-after-kill write path)."""
+    store = ResultStore(tmp_path)
+    store.put("aa" * 32, {"v": 1})
+    shard = tmp_path / "shards" / "ab.jsonl"
+    shard.write_text('{"key": "ab", "salt": "torn-partial-rec')
+    appender = ResultStore(tmp_path)
+    appender.put("ab" * 32, {"v": 2})
+    reopened = ResultStore(tmp_path)
+    assert reopened.get("ab" * 32) == {"v": 2}
+    assert reopened.stats().corrupt == 1  # only the torn line is lost
+
+
+def test_gc_compacts_stale_corrupt_and_duplicates(tmp_path):
+    old = ResultStore(tmp_path, salt="old-salt")
+    old.put("aa" * 32, {"v": 0})
+    store = ResultStore(tmp_path)
+    store.put("aa" * 32, {"v": 1})
+    store.put("aa" * 32, {"v": 2})
+    shard = tmp_path / "shards" / "aa.jsonl"
+    with shard.open("a", encoding="utf-8") as handle:
+        handle.write("not json\n")
+    kept, dropped = store.gc()
+    assert (kept, dropped) == (1, 3)
+    assert store.get("aa" * 32) == {"v": 2}
+    stats = ResultStore(tmp_path).stats()
+    assert stats.records == 1
+    assert stats.stale == 0
+    assert stats.corrupt == 0
+
+
+def test_gc_unlinks_fully_stale_shards(tmp_path):
+    old = ResultStore(tmp_path, salt="old-salt")
+    old.put("aa" * 32, {"v": 0})
+    new = ResultStore(tmp_path, salt="new-salt")
+    kept, dropped = new.gc()
+    assert (kept, dropped) == (0, 1)
+    assert not (tmp_path / "shards" / "aa.jsonl").exists()
+
+
+def test_export_is_sorted_and_complete(tmp_path):
+    store = ResultStore(tmp_path / "s")
+    for index in range(5):
+        store.put(_key(index), {"i": index})
+    out = tmp_path / "dump.jsonl"
+    assert store.export(out) == 5
+    lines = [json.loads(line) for line in out.read_text().splitlines()]
+    assert [r["key"] for r in lines] == sorted(_key(i) for i in range(5))
+    assert {r["payload"]["i"] for r in lines} == set(range(5))
+
+
+def _hammer(root: str, writer: int, count: int) -> int:
+    """Worker: append ``count`` records to a shared store."""
+    store = ResultStore(root)
+    for index in range(count):
+        key = f"{index % 4:02x}" + f"{writer:02x}{index:04x}" + "c" * 54
+        store.put(key, {"writer": writer, "index": index,
+                        "pad": "x" * 200})
+    return count
+
+
+def test_concurrent_writers_never_corrupt(tmp_path):
+    """8 processes x 50 appends into 4 shared shards: every record
+    must come back whole, and no line may be torn or interleaved."""
+    root = str(tmp_path / "shared")
+    ResultStore(root)  # create the marker up front
+    with ProcessPoolExecutor(max_workers=4) as pool:
+        futures = [pool.submit(_hammer, root, writer, 50)
+                   for writer in range(8)]
+        assert sum(f.result() for f in futures) == 400
+    store = ResultStore(root)
+    assert store.stats().corrupt == 0
+    assert len(store) == 400
+    seen = set()
+    for key in store.keys():
+        payload = store.get(key)
+        assert payload["pad"] == "x" * 200
+        seen.add((payload["writer"], payload["index"]))
+    assert seen == {(w, i) for w in range(8) for i in range(50)}

@@ -138,3 +138,156 @@ class TestMain:
         assert exit_code == 0
         assert "S1 gap vs jobs" in captured.out
         assert "gap(OPT-OPDCA)" in captured.out
+
+
+class TestArgumentValidation:
+    """--jobs/--sizes/--cases must fail fast with a clear argparse
+    error instead of an opaque ProcessPoolExecutor traceback."""
+
+    @pytest.mark.parametrize("value", ["0", "-1", "-8", "two"])
+    def test_jobs_rejected_on_every_command(self, value, capsys):
+        for command in ("fig4a", "scalability", "sensitivity"):
+            with pytest.raises(SystemExit):
+                build_parser().parse_args([command, "--jobs", value])
+            error = capsys.readouterr().err
+            assert "positive integer" in error or \
+                "expected an integer" in error
+
+    @pytest.mark.parametrize("value", ["0", "-5"])
+    def test_sizes_rejected(self, value):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["scalability", "--sizes",
+                                       "25", value])
+
+    def test_cases_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig4a", "--cases", "0"])
+
+    def test_valid_values_still_accepted(self):
+        args = build_parser().parse_args(
+            ["scalability", "--sizes", "8", "16", "--jobs", "2"])
+        assert args.sizes == [8, 16]
+        assert args.jobs == 2
+
+
+@pytest.fixture
+def tiny_environment(monkeypatch):
+    """Pin ExperimentConfig.from_environment to a tiny workload so
+    cache-flag end-to-end runs finish in milliseconds."""
+    from repro.experiments import config as config_module
+    from repro.workload.edge import EdgeWorkloadConfig
+    monkeypatch.setattr(
+        config_module.ExperimentConfig, "from_environment",
+        classmethod(lambda cls: cls(
+            cases=2,
+            base=EdgeWorkloadConfig(num_jobs=10, num_aps=4,
+                                    num_servers=3))))
+
+
+class TestCacheFlags:
+    def test_cache_flags_on_every_command(self):
+        parser = build_parser()
+        for command in ("fig4a", "fig4b", "fig4c", "fig4d",
+                        "ablate-refinement", "ablate-solver",
+                        "validate-sim", "scalability",
+                        "ablate-heuristics", "ablate-holistic",
+                        "sensitivity"):
+            args = parser.parse_args([command, "--cache-dir", "/x",
+                                      "--no-cache"])
+            assert args.cache_dir == "/x"
+            assert args.no_cache
+            assert not parser.parse_args([command]).resume
+
+    def test_resume_requires_cache_dir(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        with pytest.raises(SystemExit):
+            main(["fig4a", "--resume"])
+        assert "--resume requires --cache-dir" in \
+            capsys.readouterr().err
+
+    def test_resume_requires_existing_store(self, capsys, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["fig4a", "--resume",
+                  "--cache-dir", str(tmp_path / "nope")])
+        assert "no result store" in capsys.readouterr().err
+
+    def test_resume_with_no_cache_is_contradictory(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["fig4a", "--resume", "--no-cache"])
+        assert "contradictory" in capsys.readouterr().err
+
+    def test_cold_then_warm_run_end_to_end(self, capsys, tmp_path,
+                                           tiny_environment):
+        """The CI warm-store contract: a second run over the same
+        cache dir evaluates nothing and says so (misses=0)."""
+        cache = str(tmp_path / "cache")
+        assert main(["fig4a", "--cases", "2",
+                     "--cache-dir", cache]) == 0
+        cold = capsys.readouterr().out
+        assert "misses=8" in cold and "writes=8" in cold
+        assert main(["fig4a", "--cases", "2", "--resume",
+                     "--cache-dir", cache]) == 0
+        warm = capsys.readouterr().out
+        assert "hits=8" in warm and "misses=0" in warm
+        # Identical tables modulo the cache/timing footer.
+        table = "Acceptance ratio vs heaviness threshold"
+        assert table in cold and table in warm
+        assert cold.split("[cache]")[0] == warm.split("[cache]")[0]
+
+    def test_no_cache_overrides_environment(self, capsys, monkeypatch,
+                                            tmp_path,
+                                            tiny_environment):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env"))
+        assert main(["fig4a", "--cases", "2", "--no-cache"]) == 0
+        assert "[cache]" not in capsys.readouterr().out
+        assert not (tmp_path / "env").exists()
+
+    def test_scalability_never_caches(self, capsys, tmp_path):
+        cache = str(tmp_path / "cache")
+        assert main(["scalability", "--sizes", "8", "--cases", "1",
+                     "--cache-dir", cache]) == 0
+        out = capsys.readouterr().out
+        assert "never cached" in out
+        # The store must not even be created as a side effect.
+        assert not (tmp_path / "cache").exists()
+
+
+class TestStoreSubcommand:
+    def _seed_store(self, capsys, cache):
+        assert main(["fig4a", "--cases", "2",
+                     "--cache-dir", cache]) == 0
+        capsys.readouterr()
+
+    def test_stats_gc_export(self, capsys, tmp_path,
+                             tiny_environment):
+        cache = str(tmp_path / "cache")
+        self._seed_store(capsys, cache)
+
+        assert main(["store", "stats", "--cache-dir", cache]) == 0
+        out = capsys.readouterr().out
+        assert "entries:  8" in out and "case=8" in out
+
+        assert main(["store", "gc", "--cache-dir", cache]) == 0
+        assert "kept 8 records" in capsys.readouterr().out
+
+        output = str(tmp_path / "dump.jsonl")
+        assert main(["store", "export", "--cache-dir", cache,
+                     "--output", output]) == 0
+        assert "exported 8 records" in capsys.readouterr().out
+        import json
+        lines = open(output).read().splitlines()
+        assert len(lines) == 8
+        assert all(json.loads(line)["kind"] == "case"
+                   for line in lines)
+
+    def test_missing_store_is_a_clean_error(self, capsys, tmp_path):
+        exit_code = main(["store", "stats",
+                          "--cache-dir", str(tmp_path / "nope")])
+        assert exit_code == 1
+        assert "no result store" in capsys.readouterr().err
+
+    def test_store_needs_cache_dir(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        with pytest.raises(SystemExit):
+            main(["store", "stats"])
+        assert "need --cache-dir" in capsys.readouterr().err

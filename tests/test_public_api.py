@@ -43,7 +43,7 @@ def test_readme_quickstart():
 
 def test_full_pipeline_quickstart(fig2_jobset):
     """Model -> analysis -> OPDCA -> OPT -> simulation round trip."""
-    from repro import DelayAnalyzer, opdca
+    from repro import opdca
     from repro.pairwise import opt
     from repro.sim import PairwisePolicy, simulate
 

@@ -72,7 +72,8 @@ class TestStackedBars:
         chart = stacked_bars(self.ROWS, width=50, maximum=100)
         full = chart.splitlines()[1]
         partial = chart.splitlines()[2]
-        bar = lambda line: line.split("|")[1].rstrip()
+        def bar(line):
+            return line.split("|")[1].rstrip()
         assert len(bar(full)) == 50
         assert len(bar(partial)) == 35  # 70% of 50
 
@@ -102,7 +103,7 @@ class TestGroupedBars:
 
     def test_shared_scale_across_groups(self):
         chart = grouped_bars(self.GROUPS, width=40)
-        lines = [l for l in chart.splitlines() if "|" in l]
+        lines = [line for line in chart.splitlines() if "|" in line]
         # DM in the second group holds the maximum -> full width.
         assert lines[-1].count("#") == 40
         # OPDCA in the first group: 0.5/8 of 40 -> 2-3 cells.

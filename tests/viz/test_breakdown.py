@@ -5,7 +5,6 @@ import pytest
 
 from repro.core.dca import DelayAnalyzer
 from repro.core.explain import explain_delay
-from repro.core.system import JobSet
 from repro.viz.breakdown import breakdown_waterfall
 
 
@@ -25,12 +24,12 @@ class TestBreakdownWaterfall:
 
     def test_one_row_per_term(self, breakdown):
         chart = breakdown_waterfall(breakdown)
-        body = [l for l in chart.splitlines()[1:] if "cum" in l]
+        body = [line for line in chart.splitlines()[1:] if "cum" in line]
         assert len(body) == len(breakdown.terms)
 
     def test_cumulative_column_reaches_total(self, breakdown):
         chart = breakdown_waterfall(breakdown)
-        last = [l for l in chart.splitlines() if "cum" in l][-1]
+        last = [line for line in chart.splitlines() if "cum" in line][-1]
         assert f"cum {breakdown.total:.2f}" in last
 
     def test_deadline_marker_present(self, breakdown):
@@ -41,7 +40,7 @@ class TestBreakdownWaterfall:
         chart = breakdown_waterfall(breakdown, width=40)
         lines = chart.splitlines()
         caret_col = lines[-1].index("^")
-        for line in (l for l in lines if "cum" in l):
+        for line in (line for line in lines if "cum" in line):
             # In the caret column every term row shows either the
             # deadline dot (bar ended short) or a bar glyph (bar ran
             # past the deadline) -- never padding or digits.

@@ -30,13 +30,15 @@ class TestGanttPerResource:
 
     def test_jobs_drawn_with_distinct_glyphs(self, two_job_trace):
         chart = gantt_per_resource(two_job_trace, width=40)
-        row = next(l for l in chart.splitlines() if l.startswith("S0/R0"))
+        row = next(row for row in chart.splitlines()
+                   if row.startswith("S0/R0"))
         assert "0" in row
         assert "1" in row
 
     def test_preemption_marked(self, two_job_trace):
         chart = gantt_per_resource(two_job_trace, width=40)
-        row = next(l for l in chart.splitlines() if l.startswith("S1/R0"))
+        row = next(row for row in chart.splitlines()
+                   if row.startswith("S1/R0"))
         assert ">" in row
 
     def test_legend_lists_jobs(self, two_job_trace):
@@ -54,7 +56,8 @@ class TestGanttPerResource:
     def test_cells_proportional_to_duration(self, two_job_trace):
         chart = gantt_per_resource(two_job_trace, width=40,
                                    start=0.0, horizon=8.0)
-        row = next(l for l in chart.splitlines() if l.startswith("S0/R0"))
+        row = next(row for row in chart.splitlines()
+                   if row.startswith("S0/R0"))
         body = row.split("|")[1]
         assert body.count("0") == 25  # 5/8 of 40
         assert body.count("1") == 15  # 3/8 of 40
@@ -63,7 +66,7 @@ class TestGanttPerResource:
 class TestGanttPerJob:
     def test_stage_digits(self, two_job_trace):
         chart = gantt(two_job_trace, width=40, start=0.0, horizon=8.0)
-        row0 = next(l for l in chart.splitlines() if l.startswith("J0"))
+        row0 = next(row for row in chart.splitlines() if row.startswith("J0"))
         assert "0" in row0
         assert "1" in row0  # J0 reaches stage 1
 

@@ -2,7 +2,12 @@
 
 import pytest
 
-from repro.viz.sparkline import ASCII_BLOCKS, BLOCKS, sparkline, sparkline_table
+from repro.viz.sparkline import (
+    ASCII_BLOCKS,
+    BLOCKS,
+    sparkline,
+    sparkline_table,
+)
 
 
 class TestSparkline:
