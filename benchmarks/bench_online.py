@@ -1,0 +1,94 @@
+"""Online admission engine: throughput + incremental-vs-cold speedup.
+
+Replays congested streams through :class:`~repro.online.engine.\
+OnlineAdmissionEngine` twice -- once in ``incremental`` mode (sliced
+universe caches, lazily evaluated Audsley levels, carried feasible
+frontiers, decision memo) and once in ``cold`` mode (full per-event
+re-analysis: job set + segment cache rebuild and stock batch OPDCA) --
+and compares the wall-clock time spent inside the admission decision
+path.  Decisions are bitwise identical between the two modes
+(property-tested in ``tests/online``), so the ratio isolates exactly
+the incremental machinery.
+
+The run asserts the aggregate decision-path speedup is at least 2x
+(CI's ``online-bench`` job gates on the same number from
+``BENCH_online.json``); in practice it is ~2.5-3x at the benchmark
+operating point and grows with the admitted-set size.
+"""
+
+from repro.experiments.config import full_scale
+from repro.online import (
+    OnlineAdmissionEngine,
+    StreamConfig,
+    generate_stream,
+)
+
+#: A congested operating point: sustained arrivals against a finite
+#: resource pool, so the engine exercises accept, reject, evict and
+#: retry paths (admitted set ~50-65 jobs -- the incremental advantage
+#: grows with the admitted-set size, which is what gives the 2x gate
+#: its headroom).
+RATE = 1.3
+DWELL_SCALE = 2.0
+POOL_SIZE = 40
+
+#: Decision-path timing reruns per (stream, mode); best-of is used.
+REPEATS = 3
+
+
+def _decision_seconds(stream, mode: str) -> "tuple[float, dict]":
+    best = float("inf")
+    summary = None
+    for _ in range(REPEATS):
+        engine = OnlineAdmissionEngine(stream, mode=mode)
+        result = engine.run()
+        best = min(best, engine.decision_seconds)
+        summary = result.summary
+    return best, summary
+
+
+def test_online_engine(benchmark):
+    if full_scale():
+        horizon, seeds = 350.0, 3
+    else:
+        horizon, seeds = 200.0, 2
+    streams = [
+        generate_stream(
+            StreamConfig(horizon=horizon, rate=RATE,
+                         dwell_scale=DWELL_SCALE, pool_size=POOL_SIZE),
+            seed=seed)
+        for seed in range(seeds)
+    ]
+
+    totals = {"incremental": 0.0, "cold": 0.0}
+    events = 0
+
+    def run_all():
+        nonlocal events
+        events = 0
+        for stream in streams:
+            for mode in ("incremental", "cold"):
+                seconds, summary = _decision_seconds(stream, mode)
+                totals[mode] += seconds
+            events += summary["events"]
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    speedup = totals["cold"] / totals["incremental"]
+    events_per_sec = events / totals["incremental"]
+    benchmark.extra_info["events"] = events
+    benchmark.extra_info["decision_seconds(incremental)"] = round(
+        totals["incremental"], 4)
+    benchmark.extra_info["decision_seconds(cold)"] = round(
+        totals["cold"], 4)
+    benchmark.extra_info["events_per_sec(incremental)"] = round(
+        events_per_sec, 1)
+    benchmark.extra_info["speedup(admission)"] = round(speedup, 3)
+    print(f"\nonline admission: {events} events, "
+          f"{events_per_sec:.0f} events/s incremental, "
+          f"incremental-vs-cold decision speedup {speedup:.2f}x")
+    assert events > 0
+    # The tentpole gate: incremental admission must beat a cold
+    # re-analysis per event by at least 2x.
+    assert speedup >= 2.0, (
+        f"incremental admission speedup regressed: {speedup:.2f}x")

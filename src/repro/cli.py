@@ -8,7 +8,13 @@ ablations as plain-text tables, e.g.::
     python -m repro fig4d
     python -m repro ablate-solver --cases 5
     python -m repro scalability --sizes 25 50 100
+    python -m repro online --stream poisson --horizon 200 --cases 4
     python -m repro store stats --cache-dir .cache
+
+``online`` leaves the one-shot world of the figures: it streams
+timestamped job arrivals/departures through the admission engine of
+:mod:`repro.online` and reports acceptance/heaviness/latency time
+series (``--stream poisson|mmpp|diurnal|replay``).
 
 Every subcommand accepts ``--jobs N`` to shard its seeded test cases
 across ``N`` worker processes (default: the ``REPRO_JOBS`` environment
@@ -69,6 +75,20 @@ def positive_int(text: str) -> int:
     return value
 
 
+def nonnegative_int(text: str) -> int:
+    """Argparse type: an integer >= 0 (0 is a meaningful value, e.g.
+    ``--retry-limit 0`` disables the online retry queue)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer, got {text!r}") from None
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"expected a non-negative integer, got {value}")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Argument parser for every experiment/ablation subcommand."""
     parser = argparse.ArgumentParser(
@@ -96,8 +116,11 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--cases", type=positive_int, default=None,
                        help="test cases per sweep point "
                             "(default: 10, or 100 with REPRO_FULL=1)")
-        p.add_argument("--seed0", type=int, default=0,
-                       help="first seed of the case range")
+        # None sentinel, NOT 0: overrides apply on `is not None`, so an
+        # explicit `--seed0 0` behaves exactly like the default instead
+        # of being silently dropped by a truthiness test.
+        p.add_argument("--seed0", type=int, default=None,
+                       help="first seed of the case range (default: 0)")
         p.add_argument("--jobs", type=positive_int, default=None,
                        metavar="N",
                        help="worker processes for the case sweep "
@@ -147,6 +170,55 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--axis", choices=("jobs", "resources", "stages",
                                       "all"),
                    default="all")
+
+    p = sub.add_parser(
+        "online",
+        help="streaming admission control over timestamped job "
+             "arrivals/departures")
+    p.add_argument("--stream", default="poisson",
+                   choices=("poisson", "mmpp", "diurnal", "replay"),
+                   help="arrival process of the workload stream")
+    p.add_argument("--horizon", type=float, default=200.0,
+                   help="stream horizon (arrivals fall in [0, horizon))")
+    p.add_argument("--rate", type=float, default=0.25,
+                   help="mean arrival rate (jobs per time unit)")
+    p.add_argument("--cases", type=positive_int, default=None,
+                   help="independent streams (seeds seed0..seed0+cases-1;"
+                        " default 4)")
+    p.add_argument("--seed0", type=int, default=None,
+                   help="first stream seed (default: 0)")
+    p.add_argument("--jobs", type=positive_int, default=None, metavar="N",
+                   help="worker processes to shard the streams over "
+                        "(results are identical for any N)")
+    p.add_argument("--pool", type=positive_int, default=20,
+                   help="size of the job-body pool drawn from the "
+                        "batch generators")
+    p.add_argument("--generator", default="random",
+                   choices=("random", "edge"),
+                   help="pool generator family")
+    p.add_argument("--policy", default="preemptive",
+                   help="scheduling policy or DCA equation for the "
+                        "admission test (preemptive | nonpreemptive | "
+                        "edge | eq1..eq10)")
+    p.add_argument("--dwell-scale", type=float, default=1.0,
+                   help="departure = arrival + dwell-scale * deadline")
+    p.add_argument("--retry-limit", type=nonnegative_int, default=16,
+                   help="capacity of the FIFO retry queue "
+                        "(0 disables it)")
+    p.add_argument("--mode", default="incremental",
+                   choices=("incremental", "cold"),
+                   help="incremental (sliced caches, lazy levels) or "
+                        "cold re-analysis per event; decisions are "
+                        "identical")
+    p.add_argument("--validate", type=int, default=0, metavar="K",
+                   help="replay every K-th accepted epoch through the "
+                        "pipeline simulator (0 = off)")
+    p.add_argument("--replay-file", default=None, metavar="FILE",
+                   help="JSONL stream to replay (with --stream replay)")
+    p.add_argument("--series", action="store_true",
+                   help="also print the per-event time series of the "
+                        "first stream")
+    add_cache_options(p)
 
     p = sub.add_parser("store",
                        help="inspect/manage a result store "
@@ -220,12 +292,83 @@ def _run_store_command(args: argparse.Namespace,
     return 0
 
 
+def _seed0(args: argparse.Namespace) -> int:
+    """Resolved ``--seed0`` (``None`` sentinel means the default 0)."""
+    seed0 = getattr(args, "seed0", None)
+    return seed0 if seed0 is not None else 0
+
+
+def _run_online_command(args: argparse.Namespace,
+                        parser: argparse.ArgumentParser, store) -> int:
+    """Drive the streaming admission engine from the CLI flags."""
+    from repro.core.exceptions import ModelError
+    from repro.online import (
+        OnlineScenarioSpec,
+        StreamConfig,
+        evaluate_online,
+        format_online_table,
+    )
+
+    if args.validate < 0:
+        parser.error("--validate must be >= 0")
+    if args.stream == "replay" and not args.replay_file:
+        parser.error("--stream replay requires --replay-file")
+    kwargs = dict(kind=args.stream, horizon=args.horizon,
+                  rate=args.rate, dwell_scale=args.dwell_scale,
+                  pool_size=args.pool, generator=args.generator)
+    if args.stream == "replay":
+        kwargs["replay_path"] = args.replay_file
+    try:
+        stream_config = StreamConfig(**kwargs)
+    except ModelError as error:
+        parser.error(str(error))
+    cases = args.cases if args.cases is not None else 4
+    if args.stream == "replay" and cases != 1:
+        print("[online] replay streams are seed-independent; "
+              "running 1 case")
+        cases = 1
+    seed0 = _seed0(args)
+    specs = [
+        OnlineScenarioSpec(stream=stream_config, seed=seed0 + offset,
+                           policy=args.policy, mode=args.mode,
+                           retry_limit=args.retry_limit,
+                           validate_every=args.validate)
+        for offset in range(cases)
+    ]
+    results = evaluate_online(specs, n_workers=_n_workers(args),
+                              store=store)
+    title = (f"online admission ({args.stream}, "
+             f"horizon={args.horizon:g}, policy={args.policy}, "
+             f"mode={args.mode})")
+    print(format_online_table(results, title=title))
+    if args.series and results:
+        first = results[0]
+        print(f"\nper-event series (seed {first.seed}):")
+        for record in first.records:
+            extra = (f"  evicted={list(record.evicted)}"
+                     if record.evicted else "")
+            print(f"  t={record.time:8.2f}  {record.kind:6s} "
+                  f"A{record.uid:<4d} {record.decision:7s} "
+                  f"admitted={record.admitted:<3d} "
+                  f"util={record.utilisation:.2f} "
+                  f"acc={100.0 * record.acceptance_ratio:5.1f}%"
+                  f"{extra}")
+    failures = [failure for result in results
+                for failure in result.validation_failures]
+    if failures:
+        print(f"\nVALIDATION FAILURES ({len(failures)}):")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    return 0
+
+
 def _experiment_config(args: argparse.Namespace) -> ExperimentConfig:
     config = ExperimentConfig.from_environment()
     overrides = {}
     if getattr(args, "cases", None) is not None:
         overrides["cases"] = args.cases
-    if getattr(args, "seed0", 0):
+    if getattr(args, "seed0", None) is not None:
         overrides["seed0"] = args.seed0
     if getattr(args, "opt_backend", None):
         overrides["opt_backend"] = args.opt_backend
@@ -252,6 +395,7 @@ def main(argv: "list[str] | None" = None) -> int:
         return _run_store_command(args, parser)
     start = time.perf_counter()
     n_workers = _n_workers(args)
+    exit_code = 0
     if args.command == "scalability":
         # A timing table: never open (or even create) a store for it.
         store = None
@@ -278,29 +422,31 @@ def main(argv: "list[str] | None" = None) -> int:
                 print(f"  - {problem}")
     elif args.command == "ablate-refinement":
         cases = args.cases if args.cases is not None else 10
-        print(refinement_ablation(cases=cases, seed0=args.seed0,
+        print(refinement_ablation(cases=cases, seed0=_seed0(args),
                                   n_workers=n_workers,
                                   store=store).format())
     elif args.command == "ablate-solver":
         cases = args.cases if args.cases is not None else 5
-        print(solver_agreement(cases=cases, seed0=args.seed0,
+        print(solver_agreement(cases=cases, seed0=_seed0(args),
                                n_workers=n_workers,
                                store=store).format())
     elif args.command == "validate-sim":
         cases = args.cases if args.cases is not None else 10
-        print(bound_tightness(cases=cases, seed0=args.seed0,
+        print(bound_tightness(cases=cases, seed0=_seed0(args),
                               n_workers=n_workers,
                               store=store).format())
     elif args.command == "ablate-heuristics":
         cases = args.cases if args.cases is not None else 10
-        print(heuristic_comparison(cases=cases, seed0=args.seed0,
+        print(heuristic_comparison(cases=cases, seed0=_seed0(args),
                                    n_workers=n_workers,
                                    store=store).format())
     elif args.command == "ablate-holistic":
         cases = args.cases if args.cases is not None else 10
-        print(holistic_comparison(cases=cases, seed0=args.seed0,
+        print(holistic_comparison(cases=cases, seed0=_seed0(args),
                                   n_workers=n_workers,
                                   store=store).format())
+    elif args.command == "online":
+        exit_code = _run_online_command(args, parser, store)
     elif args.command == "scalability":
         print(scalability(job_counts=tuple(args.sizes),
                           cases=args.cases,
@@ -319,7 +465,7 @@ def main(argv: "list[str] | None" = None) -> int:
         selected = (list(sweeps) if args.axis == "all" else [args.axis])
         results = []
         for axis in selected:
-            result = sweeps[axis](cases=cases, seed0=args.seed0,
+            result = sweeps[axis](cases=cases, seed0=_seed0(args),
                                   n_workers=n_workers, store=store)
             results.append(result)
             print(result.format())
@@ -332,7 +478,7 @@ def main(argv: "list[str] | None" = None) -> int:
         print()
         print(format_cache_summary(store))
     print(f"\n[done in {time.perf_counter() - start:.1f}s]")
-    return 0
+    return exit_code
 
 
 if __name__ == "__main__":  # pragma: no cover

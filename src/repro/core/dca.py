@@ -52,6 +52,22 @@ OPA, DMR repair and the experiment sweeps out of Python:
   per iteration -- are answered from cache instead of being rebuilt
   from scratch.  Caches are bounded (FIFO eviction) and private to the
   analyzer, which is itself bound to one immutable job set.
+
+Online (streaming) support
+--------------------------
+The streaming admission engine (:mod:`repro.online`) analyses a live
+subset of a fixed job universe, one arrival/departure at a time.  Three
+hooks keep its per-event cost far below a cold re-analysis:
+
+* an analyzer can be constructed around a pre-built (e.g. sliced)
+  :class:`~repro.core.segments.SegmentCache` via the ``cache=``
+  argument, skipping the segment algebra entirely;
+* :meth:`DelayAnalyzer.delay_bounds_rows` evaluates the bound for a
+  chosen subset of jobs only, bitwise identical to the corresponding
+  rows of :meth:`DelayAnalyzer.delay_bounds_all`;
+* :meth:`DelayAnalyzer.invalidate_job` purges exactly the memo entries
+  whose context involves a departed job, so long-running engines keep
+  every still-live entry instead of FIFO-evicting blindly.
 """
 
 from __future__ import annotations
@@ -74,6 +90,19 @@ ALL_EQUATIONS = ("eq1", "eq2", "eq3", "eq4", "eq5", "eq6", "eq10")
 #: Equations that take the lower-priority set into account.
 LOWER_AWARE_EQUATIONS = frozenset({"eq2", "eq4", "eq10"})
 
+#: OPA-compatible bounds whose batch kernels are monotone along the
+#: Audsley trajectory *in floating point*, not just in exact
+#: arithmetic: placing or discarding a job only ever zeroes elements
+#: of the masked operands, every reduction runs over arrays of
+#: unchanged length (numpy's pairwise-summation tree is a function of
+#: length alone), and rounding is monotone -- so a candidate's
+#: evaluated bound can never increase, ulp for ulp.  ``eq10`` is
+#: excluded: its non-preemptive downlink term maximises over the
+#: *growing* lower-priority set, so its net bound is only monotone in
+#: exact arithmetic.  The online admission engine skips per-level
+#: re-verification of carried feasibility exactly for this set.
+FLOAT_MONOTONE_EQUATIONS = frozenset({"eq1", "eq3", "eq5", "eq6"})
+
 MaskLike = "np.ndarray | Iterable[int]"
 
 #: Entry caps of the per-analyzer memo dictionaries (FIFO eviction).
@@ -82,6 +111,9 @@ MaskLike = "np.ndarray | Iterable[int]"
 _MASK_MEMO_LIMIT = 1024
 _BOUND_MEMO_LIMIT = 8192
 _BATCH_MEMO_LIMIT = 64
+
+#: Row selector meaning "every job" in the batch kernels.
+_ALL_ROWS = slice(None)
 
 
 def _evict_to_limit(memo: dict, limit: int) -> None:
@@ -104,17 +136,27 @@ class DelayAnalyzer:
     window_filter:
         If true (default), drop jobs with non-overlapping interference
         windows from ``H_i``/``L_i`` before evaluating any bound.
+    cache:
+        Optionally supply a pre-built :class:`SegmentCache` for
+        ``jobset`` instead of computing one.  The online admission
+        engine uses this with :meth:`SegmentCache.restrict` to stand
+        up a subset analyzer without re-running the segment algebra.
     """
 
     def __init__(self, jobset: JobSet, *,
                  self_coefficient: str = "refined",
-                 window_filter: bool = True) -> None:
+                 window_filter: bool = True,
+                 cache: SegmentCache | None = None) -> None:
         if self_coefficient not in ("refined", "literal"):
             raise ValueError(
                 f"self_coefficient must be 'refined' or 'literal', "
                 f"got {self_coefficient!r}")
+        if cache is not None and cache.jobset is not jobset:
+            raise ValueError(
+                "the supplied SegmentCache was built for a different "
+                "job set")
         self._jobset = jobset
-        self._cache = SegmentCache(jobset)
+        self._cache = cache if cache is not None else SegmentCache(jobset)
         self._self_coefficient = self_coefficient
         self._window_filter = window_filter
         self._n = jobset.num_jobs
@@ -168,6 +210,64 @@ class DelayAnalyzer:
     @staticmethod
     def _active_key(active: np.ndarray | None) -> bytes | None:
         return None if active is None else active.tobytes()
+
+    # ------------------------------------------------------------------
+    # Delta updates (online arrivals/departures)
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _key_mask_contains(key_part: bytes | None, job: int) -> bool:
+        """Whether a serialised mask key involves ``job``.
+
+        ``None`` encodes "no restriction" (every job active), which
+        trivially contains any job.
+        """
+        if key_part is None:
+            return True
+        return bool(np.frombuffer(key_part, dtype=bool)[job])
+
+    def invalidate_job(self, job: int) -> dict[str, int]:
+        """Drop every memoised entry whose context involves ``job``.
+
+        Memo entries are pure functions of their keys, so they never
+        become *wrong* -- but once a job departs an online system, any
+        entry whose subject is ``job`` or whose higher/lower/active
+        masks contain it cannot be queried again until the job
+        returns.  Purging exactly those entries keeps the memos small
+        without FIFO-evicting entries that are still live, which is
+        what makes per-event cost of the streaming admission engine
+        independent of how long the engine has been running.
+
+        Returns the number of dropped entries per memo
+        (``{"masks": ..., "bounds": ..., "batches": ...}``).
+        """
+        if not 0 <= job < self._n:
+            raise ValueError(f"job {job} out of range for {self._n} jobs")
+        dropped = {"masks": 0, "bounds": 0, "batches": 0}
+        for key in [k for k in self._mask_memo
+                    if k[0] == job
+                    or self._key_mask_contains(k[1], job)]:
+            del self._mask_memo[key]
+            dropped["masks"] += 1
+        for key in [k for k in self._bound_memo
+                    if k[0] == job
+                    or self._key_mask_contains(k[2], job)
+                    or (k[3] is not None
+                        and self._key_mask_contains(k[3], job))
+                    or self._key_mask_contains(k[4], job)]:
+            del self._bound_memo[key]
+            dropped["bounds"] += 1
+        for key in [k for k in self._batch_memo
+                    if self._key_mask_contains(k[2], job)]:
+            del self._batch_memo[key]
+            dropped["batches"] += 1
+        return dropped
+
+    def memo_sizes(self) -> dict[str, int]:
+        """Current entry counts of the three internal memos."""
+        return {"masks": len(self._mask_memo),
+                "bounds": len(self._bound_memo),
+                "batches": len(self._batch_memo)}
 
     def _interference_base(self, i: int,
                            active: np.ndarray | None) -> np.ndarray:
@@ -455,12 +555,18 @@ class DelayAnalyzer:
     # ------------------------------------------------------------------
 
     def _batch_masks(self, relation: np.ndarray,
-                     active: np.ndarray | None) -> np.ndarray:
-        """Row-wise interference filtering of an ``(n, n)`` relation:
-        the batch counterpart of :meth:`_interferers`."""
-        mask = np.asarray(relation, dtype=bool) & ~self._eye
+                     active: np.ndarray | None,
+                     rows=_ALL_ROWS) -> np.ndarray:
+        """Row-wise interference filtering of a relation matrix: the
+        batch counterpart of :meth:`_interferers`.
+
+        ``relation`` holds one length-``n`` candidate row per evaluated
+        job; ``rows`` selects which jobs those rows belong to (all of
+        them by default).
+        """
+        mask = np.asarray(relation, dtype=bool) & ~self._eye[rows]
         if self._window_filter:
-            mask = mask & self._jobset.overlaps
+            mask = mask & self._jobset.overlaps[rows]
         if active is not None:
             mask = mask & active[None, :]
         return mask
@@ -518,7 +624,6 @@ class DelayAnalyzer:
             raise ValueError(f"higher_of has shape {higher_of.shape}, "
                              f"expected {(n, n)}")
         lower_aware = equation in LOWER_AWARE_EQUATIONS
-        low = None
         if lower_aware:
             if lower_of is None:
                 raise ValueError(
@@ -528,36 +633,181 @@ class DelayAnalyzer:
                 raise ValueError(f"lower_of has shape {lower_of.shape}, "
                                  f"expected {(n, n)}")
         active = self._normalize_active(active)
-        h = self._batch_masks(higher_of, active)
-        if lower_aware:
-            low = self._batch_masks(lower_of, active)
-
-        if equation == "eq1":
-            delays = self._batch_eq1(h)
-        elif equation == "eq2":
-            delays = self._batch_eq2(h, low)
-        elif equation == "eq3":
-            delays = self._batch_eq3(h)
-        elif equation == "eq4":
-            delays = self._batch_eq45(h, low)
-        elif equation == "eq5":
-            everyone = self._batch_masks(
-                np.ones((n, n), dtype=bool), active)
-            delays = self._batch_eq45(h, everyone)
-        elif equation == "eq6":
-            delays = self._batch_eq6(h)
-        else:
-            delays = self._batch_eq10(h, low)
-
+        delays = self._batch_dispatch(higher_of, lower_of, equation,
+                                      active, _ALL_ROWS)
         if active is not None:
             delays = np.where(active, delays, np.nan)
         return delays
 
-    def _batch_eq1(self, h: np.ndarray) -> np.ndarray:
+    def delay_bounds_rows(self, rows: "np.ndarray | Iterable[int]",
+                          higher_of_rows: np.ndarray,
+                          lower_of_rows: np.ndarray | None = None, *,
+                          equation: str = "eq6",
+                          active: np.ndarray | None = None) -> np.ndarray:
+        """Evaluate the chosen bound for a *subset* of jobs in one shot.
+
+        ``rows`` lists the job indices under analysis; row ``r`` of the
+        ``(len(rows), n)`` matrices ``higher_of_rows``/``lower_of_rows``
+        holds the candidate higher-/lower-priority set of job
+        ``rows[r]``.  Semantically this equals slicing
+        ``delay_bounds_all(...)[rows]`` -- each returned value is
+        bitwise identical to the corresponding full-batch entry -- but
+        only the selected rows are ever materialised, turning the
+        per-level cost of a lazy Audsley scan from ``O(n^2 N)`` into
+        ``O(len(rows) * n * N)``.  This is the evaluation kernel of the
+        online admission engine's chunked candidate scan
+        (:func:`repro.online.incremental.incremental_admission`).
+
+        Entries of jobs outside ``active`` are returned as ``nan``.
+        """
+        if equation not in ALL_EQUATIONS:
+            raise ValueError(f"unknown equation {equation!r}; "
+                             f"expected one of {ALL_EQUATIONS}")
+        rows = np.asarray(rows, dtype=np.int64)
+        if rows.ndim != 1:
+            raise ValueError(f"rows must be 1-d, got shape {rows.shape}")
+        n = self._n
+        higher_of_rows = np.asarray(higher_of_rows, dtype=bool)
+        if higher_of_rows.shape != (rows.size, n):
+            raise ValueError(
+                f"higher_of_rows has shape {higher_of_rows.shape}, "
+                f"expected {(rows.size, n)}")
+        if equation in LOWER_AWARE_EQUATIONS:
+            if lower_of_rows is None:
+                raise ValueError(
+                    f"{equation} needs the lower-priority set")
+            lower_of_rows = np.asarray(lower_of_rows, dtype=bool)
+            if lower_of_rows.shape != (rows.size, n):
+                raise ValueError(
+                    f"lower_of_rows has shape {lower_of_rows.shape}, "
+                    f"expected {(rows.size, n)}")
+        active = self._normalize_active(active)
+        delays = self._batch_dispatch(higher_of_rows, lower_of_rows,
+                                      equation, active, rows)
+        if active is not None:
+            delays = np.where(active[rows], delays, np.nan)
+        return delays
+
+    def delay_bound_level(self, i: int, higher_mask: np.ndarray,
+                          lower_mask: np.ndarray | None = None, *,
+                          equation: str = "eq6",
+                          active: np.ndarray | None = None) -> float:
+        """Fused single-candidate probe of one Audsley level.
+
+        Evaluates the chosen bound for job ``i`` against the 1-d
+        candidate masks ``higher_mask``/``lower_mask`` -- bitwise
+        identical to
+        ``delay_bounds_rows([i], higher_mask[None, :], ...)[0]``
+        (every reduction runs over the same length-``n`` operands, so
+        numpy's pairwise summation groups identically) -- but with a
+        fraction of the kernel launches.  This is the hot probe of the
+        online engine's lazy admission scan, where the typical level
+        places its very first candidate.
+        """
+        if equation not in ALL_EQUATIONS:
+            raise ValueError(f"unknown equation {equation!r}; "
+                             f"expected one of {ALL_EQUATIONS}")
+        lower_aware = equation in LOWER_AWARE_EQUATIONS
+        if lower_aware and lower_mask is None:
+            raise ValueError(f"{equation} needs the lower-priority set")
+        active = self._normalize_active(active)
+        if active is not None and not active[i]:
+            return float("nan")
+        # The self-excluded, window-filtered, active-restricted base is
+        # shared by every mask of this (i, active) context and memoised
+        # on the analyzer, so repeated probes of the same candidate
+        # across Audsley levels pay for it once.
+        base = self._interference_base(i, active)
+
+        def level_mask(relation: np.ndarray) -> np.ndarray:
+            return np.asarray(relation, dtype=bool) & base
+
+        cache = self._cache
+        h = level_mask(higher_mask)
+        q = h | self._eye[i]
+        last = self._num_stages - 1
+
+        def stage_additive(mask: np.ndarray, per_pair: np.ndarray,
+                           stop: int) -> float:
+            masked = np.where(mask[:, None], per_pair, 0.0)
+            return float(masked.max(axis=0)[:stop].sum())
+
+        if equation in ("eq6", "eq10"):
+            job_additive = float((cache.W[i] * h).sum())
+            job_additive += (float(cache.W[i, i])
+                             if self._self_coefficient == "refined"
+                             else float(self._batch_self_term(equation)[i]))
+            if equation == "eq6":
+                return job_additive + stage_additive(q, cache.ep[i], last)
+            if self._num_stages != 3:
+                raise ModelError(
+                    f"eq10 models the 3-stage edge pipeline, "
+                    f"system has {self._num_stages} stages")
+            low = level_mask(lower_mask)
+            ep = cache.ep[i]
+            uplink = float(np.where(q, ep[:, 0], 0.0).max())
+            server = float(np.where(q, ep[:, 1], 0.0).max())
+            downlink = float(np.where(low, ep[:, 2], 0.0).max())
+            return job_additive + uplink + server + downlink
+        if equation in ("eq4", "eq5"):
+            job_additive = float((cache.m[i] * cache.et1[i] * h).sum())
+            job_additive += float(self._batch_self_term("eq4")[i])
+            # The eq5 blocking set is priority-independent: it *is*
+            # the memoised base mask (do not mutate).
+            blocking_mask = (level_mask(lower_mask) if equation == "eq4"
+                             else base)
+            return (job_additive
+                    + stage_additive(q, cache.ep[i], last)
+                    + stage_additive(blocking_mask, cache.ep[i],
+                                     self._num_stages))
+        if equation == "eq3":
+            job_additive = float(
+                (2.0 * cache.m[i] * cache.et1[i] * h).sum())
+            job_additive += float(self._batch_self_term("eq3")[i])
+            return job_additive + stage_additive(q, cache.ep[i], last)
+        # Single-resource bounds (eq1/eq2) on raw processing times.
+        self._require_single_resource(equation)
+        raw = self._jobset.P
+        job_additive = float((cache.t1 * q).sum())
+        if equation == "eq1":
+            arrivals = self._jobset.A
+            arrive_after = h & (arrivals > arrivals[i])
+            job_additive += float((cache.t2 * arrive_after).sum())
+            return job_additive + stage_additive(q, raw, last)
+        low = level_mask(lower_mask)
+        return (job_additive + stage_additive(q, raw, last)
+                + stage_additive(low, raw, self._num_stages))
+
+    def _batch_dispatch(self, higher_of: np.ndarray,
+                        lower_of: np.ndarray | None, equation: str,
+                        active: np.ndarray | None, rows) -> np.ndarray:
+        """Shared kernel dispatch of the full-batch and row-sliced
+        entry points (``rows`` is an index array or ``_ALL_ROWS``)."""
+        h = self._batch_masks(higher_of, active, rows)
+        low = None
+        if equation in LOWER_AWARE_EQUATIONS:
+            low = self._batch_masks(lower_of, active, rows)
+        if equation == "eq1":
+            return self._batch_eq1(h, rows)
+        if equation == "eq2":
+            return self._batch_eq2(h, low, rows)
+        if equation == "eq3":
+            return self._batch_eq3(h, rows)
+        if equation == "eq4":
+            return self._batch_eq45(h, low, rows)
+        if equation == "eq5":
+            everyone = self._batch_masks(
+                np.ones(h.shape, dtype=bool), active, rows)
+            return self._batch_eq45(h, everyone, rows)
+        if equation == "eq6":
+            return self._batch_eq6(h, rows)
+        return self._batch_eq10(h, low, rows)
+
+    def _batch_eq1(self, h: np.ndarray, rows=_ALL_ROWS) -> np.ndarray:
         self._require_single_resource("eq1")
-        q = h | self._eye
+        q = h | self._eye[rows]
         arrivals = self._jobset.A
-        arrive_after = h & (arrivals[None, :] > arrivals[:, None])
+        arrive_after = h & (arrivals[None, :] > arrivals[rows][:, None])
         job_additive = (self._cache.t1[None, :] * q).sum(axis=1)
         job_additive += (self._cache.t2[None, :] * arrive_after).sum(axis=1)
         stage_additive = self._batch_stage_additive(
@@ -565,9 +815,10 @@ class DelayAnalyzer:
             slice(0, self._num_stages - 1))
         return job_additive + stage_additive
 
-    def _batch_eq2(self, h: np.ndarray, low: np.ndarray) -> np.ndarray:
+    def _batch_eq2(self, h: np.ndarray, low: np.ndarray,
+                   rows=_ALL_ROWS) -> np.ndarray:
         self._require_single_resource("eq2")
-        q = h | self._eye
+        q = h | self._eye[rows]
         raw = self._jobset.P[None, :, :]
         job_additive = (self._cache.t1[None, :] * q).sum(axis=1)
         stage_additive = self._batch_stage_additive(
@@ -576,54 +827,56 @@ class DelayAnalyzer:
             low, raw, slice(0, self._num_stages))
         return job_additive + stage_additive + blocking
 
-    def _batch_eq3(self, h: np.ndarray) -> np.ndarray:
+    def _batch_eq3(self, h: np.ndarray, rows=_ALL_ROWS) -> np.ndarray:
         cache = self._cache
-        q = h | self._eye
-        job_additive = (2.0 * cache.m * cache.et1 * h).sum(axis=1)
-        job_additive += self._batch_self_term("eq3")
+        q = h | self._eye[rows]
+        job_additive = (2.0 * cache.m[rows] * cache.et1[rows] * h).sum(axis=1)
+        job_additive += self._batch_self_term("eq3")[rows]
         stage_additive = self._batch_stage_additive(
-            q, cache.ep, slice(0, self._num_stages - 1))
+            q, cache.ep[rows], slice(0, self._num_stages - 1))
         return job_additive + stage_additive
 
-    def _batch_eq45(self, h: np.ndarray,
-                    blocking_set: np.ndarray) -> np.ndarray:
+    def _batch_eq45(self, h: np.ndarray, blocking_set: np.ndarray,
+                    rows=_ALL_ROWS) -> np.ndarray:
         cache = self._cache
-        q = h | self._eye
-        job_additive = (cache.m * cache.et1 * h).sum(axis=1)
-        job_additive += self._batch_self_term("eq4")
+        q = h | self._eye[rows]
+        job_additive = (cache.m[rows] * cache.et1[rows] * h).sum(axis=1)
+        job_additive += self._batch_self_term("eq4")[rows]
         stage_additive = self._batch_stage_additive(
-            q, cache.ep, slice(0, self._num_stages - 1))
+            q, cache.ep[rows], slice(0, self._num_stages - 1))
         blocking = self._batch_stage_additive(
-            blocking_set, cache.ep, slice(0, self._num_stages))
+            blocking_set, cache.ep[rows], slice(0, self._num_stages))
         return job_additive + stage_additive + blocking
 
-    def _batch_eq6(self, h: np.ndarray) -> np.ndarray:
+    def _batch_eq6(self, h: np.ndarray, rows=_ALL_ROWS) -> np.ndarray:
         cache = self._cache
-        q = h | self._eye
-        job_additive = (cache.W * h).sum(axis=1)
+        q = h | self._eye[rows]
+        job_additive = (cache.W[rows] * h).sum(axis=1)
         if self._self_coefficient == "refined":
-            job_additive += cache.W.diagonal()
+            job_additive += cache.W.diagonal()[rows]
         else:
-            job_additive += self._batch_self_term("eq6")
+            job_additive += self._batch_self_term("eq6")[rows]
         stage_additive = self._batch_stage_additive(
-            q, cache.ep, slice(0, self._num_stages - 1))
+            q, cache.ep[rows], slice(0, self._num_stages - 1))
         return job_additive + stage_additive
 
-    def _batch_eq10(self, h: np.ndarray, low: np.ndarray) -> np.ndarray:
+    def _batch_eq10(self, h: np.ndarray, low: np.ndarray,
+                    rows=_ALL_ROWS) -> np.ndarray:
         if self._num_stages != 3:
             raise ModelError(
                 f"eq10 models the 3-stage edge pipeline, "
                 f"system has {self._num_stages} stages")
         cache = self._cache
-        q = h | self._eye
-        job_additive = (cache.W * h).sum(axis=1)
+        q = h | self._eye[rows]
+        job_additive = (cache.W[rows] * h).sum(axis=1)
         if self._self_coefficient == "refined":
-            job_additive += cache.W.diagonal()
+            job_additive += cache.W.diagonal()[rows]
         else:
-            job_additive += self._batch_self_term("eq10")
-        uplink = np.where(q, cache.ep[:, :, 0], 0.0).max(axis=1)
-        server = np.where(q, cache.ep[:, :, 1], 0.0).max(axis=1)
-        downlink = np.where(low, cache.ep[:, :, 2], 0.0).max(axis=1)
+            job_additive += self._batch_self_term("eq10")[rows]
+        ep = cache.ep[rows]
+        uplink = np.where(q, ep[:, :, 0], 0.0).max(axis=1)
+        server = np.where(q, ep[:, :, 1], 0.0).max(axis=1)
+        downlink = np.where(low, ep[:, :, 2], 0.0).max(axis=1)
         return job_additive + uplink + server + downlink
 
     def delays_for_pairwise(self, x: np.ndarray, *,

@@ -191,6 +191,28 @@ class SegmentCache:
     def jobset(self) -> JobSet:
         return self._jobset
 
+    def restrict(self, subset: JobSet,
+                 indices: "Sequence[int] | np.ndarray") -> "SegmentCache":
+        """Cache for ``subset``, built by *slicing* this cache.
+
+        ``subset`` must be ``self.jobset.restrict(indices)`` (or an
+        equivalent job set over the same jobs in the same order).
+        Every cached array is a per-pair or per-job quantity, so the
+        sliced cache is bitwise identical to
+        ``SegmentCache(subset)`` -- the stage-sorting, cumulative-sum
+        and segment-count kernels are simply never re-run.  Slices are
+        materialised lazily, per field, on first access: a given bound
+        only touches a few of the arrays (Eq. 6 reads ``W``/``ep``
+        only), and the online engine builds one sliced cache per
+        event.  This is the segment-algebra half of the incremental
+        fast path of :mod:`repro.online.incremental`.
+        """
+        idx = np.asarray(indices, dtype=np.int64)
+        if idx.ndim != 1 or idx.size != subset.num_jobs:
+            raise ValueError(
+                f"{idx.size} indices for a {subset.num_jobs}-job subset")
+        return _SlicedSegmentCache(self, subset, idx)
+
     def top_et_sum(self, i: int, k: int, count: int) -> float:
         """Sum of the ``count`` largest shared-stage times of ``J_k``
         relative to ``J_i`` (0 for ``count == 0``)."""
@@ -198,3 +220,40 @@ class SegmentCache:
             return 0.0
         count = min(count, self._jobset.num_stages)
         return float(self.et_cumsum[i, k, count - 1])
+
+
+#: Fields of the cache whose leading *two* axes index (job, job).
+_PAIR_FIELDS = ("ep", "et_sorted", "et_cumsum", "et1", "et2",
+                "m", "u", "v", "w", "W")
+
+#: Fields indexed by a single job axis.
+_JOB_FIELDS = ("t_sorted", "t1", "t2")
+
+
+class _SlicedSegmentCache(SegmentCache):
+    """Lazy subset view over a parent :class:`SegmentCache`.
+
+    Field slices are materialised (and cached on the instance) the
+    first time they are read, so standing one up costs a few
+    microseconds and only the arrays the selected bound actually
+    touches are ever copied.  Values are bitwise identical to a cold
+    ``SegmentCache`` of the subset job set.
+    """
+
+    def __init__(self, parent: SegmentCache, subset: JobSet,
+                 idx: np.ndarray) -> None:
+        self._jobset = subset
+        self._parent = parent
+        self._idx = idx
+
+    def __getattr__(self, name: str):
+        # Only called for attributes not yet materialised.
+        if name in _PAIR_FIELDS:
+            idx = self._idx
+            value = getattr(self._parent, name)[idx][:, idx]
+        elif name in _JOB_FIELDS:
+            value = getattr(self._parent, name)[self._idx]
+        else:
+            raise AttributeError(name)
+        setattr(self, name, value)
+        return value

@@ -140,11 +140,29 @@ class JobSet:
         self.A = np.array([job.arrival for job in jobs], dtype=float)
         self.D = np.array([job.deadline for job in jobs], dtype=float)
         self.R = np.array([job.resources for job in jobs], dtype=np.int64)
-        # shares[i, k, j]: J_i and J_k mapped to the same resource at S_j.
-        self.shares = self.R[:, None, :] == self.R[None, :, :]
-        # overlaps[i, k]: interference windows [A, A + D] intersect
-        # (closed intervals; touching windows are conservatively kept).
-        self.overlaps = overlap_matrix(self.A, self.D)
+        # The O(n^2) pairwise tensors are materialised on first access:
+        # the online engine's per-event subsets slice their segment
+        # caches from the universe and often never touch them.
+        self._shares: np.ndarray | None = None
+        self._overlaps: np.ndarray | None = None
+
+    @property
+    def shares(self) -> np.ndarray:
+        """``(n, n, N)`` bool: ``shares[i, k, j]`` true iff ``J_i`` and
+        ``J_k`` are mapped to the same resource at ``S_j`` (computed
+        lazily, cached)."""
+        if self._shares is None:
+            self._shares = self.R[:, None, :] == self.R[None, :, :]
+        return self._shares
+
+    @property
+    def overlaps(self) -> np.ndarray:
+        """``(n, n)`` bool: interference windows ``[A, A + D]``
+        intersect (closed intervals; touching windows are
+        conservatively kept).  Computed lazily, cached."""
+        if self._overlaps is None:
+            self._overlaps = overlap_matrix(self.A, self.D)
+        return self._overlaps
 
     @property
     def system(self) -> MSMRSystem:
@@ -206,6 +224,50 @@ class JobSet:
     def jobs_on_resource(self, stage: int, resource: int) -> list[int]:
         """Indices of jobs mapped to ``resource`` at ``stage``."""
         return [int(k) for k in np.flatnonzero(self.R[:, stage] == resource)]
+
+    # ------------------------------------------------------------------
+    # Subset views (online admission / incremental analysis)
+    # ------------------------------------------------------------------
+
+    def restrict(self, indices: "Sequence[int] | np.ndarray") -> "JobSet":
+        """Job set over ``jobs[indices]``, built by *slicing*.
+
+        The subset is bitwise identical to
+        ``JobSet(self.system, [self.jobs[i] for i in indices])`` -- the
+        per-pair ``shares`` tensor and the ``overlaps`` matrix are pure
+        elementwise comparisons, so slicing them equals recomputing
+        them -- but skips the per-job validation loop and the
+        ``O(k^2 N)`` comparison kernels entirely.  This is the job-set
+        half of the incremental fast path used by
+        :mod:`repro.online.incremental` (the other half is
+        :meth:`repro.core.segments.SegmentCache.restrict`).
+
+        ``indices`` must be distinct, in-range job indices; their order
+        becomes the subset's job order.
+        """
+        idx = np.asarray(indices, dtype=np.int64)
+        if idx.ndim != 1 or idx.size == 0:
+            raise ModelError(
+                f"restrict needs a non-empty 1-d index collection, "
+                f"got shape {idx.shape}")
+        if len({int(i) for i in idx}) != idx.size:
+            raise ModelError("restrict indices must be distinct")
+        if (idx < 0).any() or (idx >= self.num_jobs).any():
+            raise ModelError(
+                f"restrict indices out of range for {self.num_jobs} jobs")
+        subset = object.__new__(JobSet)
+        subset._system = self._system
+        subset._jobs = tuple(self._jobs[int(i)] for i in idx)
+        subset.P = self.P[idx]
+        subset.A = self.A[idx]
+        subset.D = self.D[idx]
+        subset.R = self.R[idx]
+        # Recomputed lazily from the sliced R/A/D on first access --
+        # elementwise comparisons, hence bitwise identical to slicing
+        # the parent's tensors (which may not even be materialised).
+        subset._shares = None
+        subset._overlaps = None
+        return subset
 
     # ------------------------------------------------------------------
     # Convenience constructors

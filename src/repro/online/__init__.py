@@ -1,0 +1,86 @@
+"""Streaming admission control: the online layer of the reproduction.
+
+Where :mod:`repro.experiments` evaluates one fixed job set per
+scenario, this package answers the *online* question the paper's
+admission controller (Section VI.B) only gestures at: jobs arrive and
+depart over time, and every arrival gets a fast accept/reject decision
+that keeps the admitted set schedulable.
+
+Modules
+-------
+:mod:`repro.online.streams`
+    Timestamped workload streams (Poisson, bursty MMPP, diurnal,
+    JSONL replay) layered on the batch workload generators.
+:mod:`repro.online.incremental`
+    Incremental delay-bound maintenance: sliced universe caches and a
+    lazily evaluated OPDCA admission that is bitwise identical to a
+    cold re-analysis.
+:mod:`repro.online.engine`
+    The event-driven :class:`OnlineAdmissionEngine`, retry queue,
+    simulator-backed validation hook and scenario sweep helpers.
+:mod:`repro.online.metrics`
+    Per-event time series (acceptance ratio, rejected heaviness,
+    utilisation, churn, decision latency) and run summaries.
+
+The CLI front end is ``python -m repro online``.
+"""
+
+from repro.online.engine import (
+    ONLINE_CALL_KEY,
+    OnlineAdmissionEngine,
+    OnlineRunResult,
+    OnlineScenarioSpec,
+    evaluate_online,
+    run_online_scenario,
+)
+from repro.online.incremental import (
+    IncrementalAnalyzer,
+    SubsetAnalysis,
+    admit,
+    admit_all_or_nothing,
+    cold_analysis,
+    incremental_admission,
+    incremental_feasibility,
+)
+from repro.online.metrics import (
+    EventRecord,
+    OnlineMetrics,
+    admitted_utilisation,
+    format_online_table,
+)
+from repro.online.streams import (
+    STREAM_KINDS,
+    OnlineJob,
+    OnlineStream,
+    StreamConfig,
+    generate_stream,
+    load_stream,
+    save_stream,
+)
+
+__all__ = [
+    "ONLINE_CALL_KEY",
+    "STREAM_KINDS",
+    "EventRecord",
+    "IncrementalAnalyzer",
+    "OnlineAdmissionEngine",
+    "OnlineJob",
+    "OnlineMetrics",
+    "OnlineRunResult",
+    "OnlineScenarioSpec",
+    "OnlineStream",
+    "StreamConfig",
+    "SubsetAnalysis",
+    "admit",
+    "admit_all_or_nothing",
+    "admitted_utilisation",
+    "cold_analysis",
+    "evaluate_online",
+    "format_online_table",
+    "generate_stream",
+    "incremental_admission",
+    "incremental_feasibility",
+    "load_stream",
+    "run_online_scenario",
+    "save_stream",
+]

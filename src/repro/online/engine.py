@@ -1,0 +1,530 @@
+"""Event-driven streaming admission-control engine.
+
+:class:`OnlineAdmissionEngine` consumes a materialised
+:class:`~repro.online.streams.OnlineStream` one timestamped event at a
+time and keeps the admitted job set schedulable throughout:
+
+* an **arrival** runs the OPDCA admission controller (Section VI.B of
+  the paper, Algorithm 1 with the modified Step 10) over
+  ``admitted + {new job}``.  The new job is accepted iff the
+  controller keeps it; previously admitted jobs it discards are
+  *evicted* (counted as churn) and parked in the retry queue.
+* a **departure** frees the leaving job's capacity (and, through
+  :meth:`~repro.online.incremental.IncrementalAnalyzer.depart`, purges
+  the persistent universe analyzer's memo entries involving the job --
+  memory hygiene for ``delay_of`` consumers, not part of the per-event
+  fast path), then tries to re-admit parked jobs from the bounded FIFO
+  retry queue -- a parked job is re-admitted only if the controller
+  accepts the *whole* candidate set (no eviction cascades on
+  departures).
+* ties are deterministic: departures at time ``t`` are processed
+  before arrivals at ``t`` (capacity freed at ``t`` is usable by an
+  arrival at ``t``), mirroring the ``_COMPLETE < _ARRIVE`` convention
+  of the discrete-event simulator.
+
+Every decision is produced by
+:func:`repro.online.incremental.incremental_admission` over a sliced
+(warm) subset analysis, and is bitwise identical to rebuilding the
+analysis cold and calling
+:func:`repro.core.admission.opdca_admission` -- the property tests in
+``tests/online`` replay every event cold and compare accepted sets,
+orderings and delay vectors exactly.  ``mode="cold"`` makes the
+engine itself take the cold path (the reference for the
+``BENCH_online`` speedup gate).
+
+The optional validation hook replays accepted epochs through
+:class:`~repro.sim.engine.PipelineSimulator` and asserts that no
+admitted job misses its deadline under the assigned priorities.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.admission import AdmissionResult, ordering_of_accepted
+from repro.core.schedulability import Policy, resolve_equation
+from repro.core.system import JobSet
+from repro.online.incremental import (
+    IncrementalAnalyzer,
+    SubsetAnalysis,
+    admit,
+    admit_all_or_nothing,
+    cold_analysis,
+)
+from repro.online.metrics import (
+    ONLINE_RESULT_FORMAT,
+    ONLINE_RESULT_VERSION,
+    WALL_CLOCK_KEYS,
+    EventRecord,
+    OnlineMetrics,
+    admitted_utilisation,
+)
+from repro.online.streams import OnlineStream, StreamConfig, generate_stream
+
+#: Event-kind codes: departures at time t are dispatched before
+#: arrivals at t (capacity freed at t serves an arrival at t), exactly
+#: like ``_COMPLETE < _ARRIVE`` in :mod:`repro.sim.engine`.
+EVENT_DEPART, EVENT_ARRIVE = 0, 1
+
+#: Result-store key of one online scenario evaluation; bump when the
+#: engine's semantics change so stale cached runs are never served.
+ONLINE_CALL_KEY = "online/run@v1"
+
+#: Entry cap of the incremental engine's decision memo (FIFO).
+_DECISION_MEMO_LIMIT = 256
+
+
+@dataclass(frozen=True)
+class OnlineScenarioSpec:
+    """One fully-determined online scenario (picklable, hashable)."""
+
+    stream: StreamConfig = field(default_factory=StreamConfig)
+    seed: int = 0
+    policy: str = "preemptive"
+    mode: str = "incremental"
+    retry_limit: int = 16
+    #: Replay every k-th accepted epoch through the simulator (0 = off).
+    validate_every: int = 0
+
+
+@dataclass
+class OnlineRunResult:
+    """Outcome of one engine run over one stream."""
+
+    seed: int
+    stream_kind: str
+    policy: str
+    mode: str
+    horizon: float
+    records: list[EventRecord]
+    summary: dict
+    final_admitted: list[int]
+    validation_failures: list[str] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (exact: floats survive bitwise via repr)."""
+        return {
+            "format": ONLINE_RESULT_FORMAT,
+            "version": ONLINE_RESULT_VERSION,
+            "seed": int(self.seed),
+            "stream_kind": str(self.stream_kind),
+            "policy": str(self.policy),
+            "mode": str(self.mode),
+            "horizon": float(self.horizon),
+            "records": [record.to_dict() for record in self.records],
+            "summary": dict(self.summary),
+            "final_admitted": [int(u) for u in self.final_admitted],
+            "validation_failures": [str(v)
+                                    for v in self.validation_failures],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "OnlineRunResult":
+        if data.get("format") != ONLINE_RESULT_FORMAT or \
+                int(data.get("version", -1)) != ONLINE_RESULT_VERSION:
+            raise ValueError(
+                f"not a {ONLINE_RESULT_FORMAT} "
+                f"v{ONLINE_RESULT_VERSION} payload: "
+                f"format={data.get('format')!r} "
+                f"version={data.get('version')!r}")
+        return cls(
+            seed=int(data["seed"]),
+            stream_kind=str(data["stream_kind"]),
+            policy=str(data["policy"]),
+            mode=str(data["mode"]),
+            horizon=float(data["horizon"]),
+            records=[EventRecord.from_dict(r) for r in data["records"]],
+            summary=dict(data["summary"]),
+            final_admitted=[int(u) for u in data["final_admitted"]],
+            validation_failures=[str(v)
+                                 for v in data["validation_failures"]])
+
+    def deterministic_dict(self) -> dict:
+        """``to_dict`` minus every wall-clock field: identical across
+        reruns, worker counts and machines for the same spec."""
+        payload = self.to_dict()
+        for record in payload["records"]:
+            record.pop("latency")
+        for key in WALL_CLOCK_KEYS:
+            payload["summary"].pop(key)
+        return payload
+
+
+def _sim_preemption_flags(policy: "str | Policy",
+                          system) -> list[bool]:
+    """Per-stage preemption flags matching the analysis equation."""
+    equation = resolve_equation(policy)
+    if equation == "eq10":
+        return list(system.preemptive_flags)
+    if equation in ("eq2", "eq4", "eq5"):
+        return [False] * system.num_stages
+    return [True] * system.num_stages
+
+
+class OnlineAdmissionEngine:
+    """Replay one stream through the admission controller.
+
+    Parameters
+    ----------
+    stream:
+        The materialised event stream.
+    policy:
+        Scheduling policy / DCA equation for the admission test.
+    mode:
+        ``"incremental"`` (sliced caches + lazy level evaluation,
+        the default) or ``"cold"`` (full re-analysis per event; the
+        benchmark reference).  Decisions are identical either way.
+    retry_limit:
+        Capacity of the FIFO retry queue; the oldest parked job is
+        dropped when a newcomer overflows it.
+    validate_every:
+        Replay every k-th accepted epoch through the simulator
+        (0 disables the hook).
+    record_decisions:
+        Keep every (event, candidate set, admission result) triple on
+        ``decisions`` for the cold-equivalence property tests.
+    """
+
+    def __init__(self, stream: OnlineStream, *,
+                 policy: "str | Policy" = Policy.PREEMPTIVE,
+                 mode: str = "incremental",
+                 retry_limit: int = 16,
+                 validate_every: int = 0,
+                 record_decisions: bool = False) -> None:
+        if mode not in ("incremental", "cold"):
+            raise ValueError(
+                f"mode must be 'incremental' or 'cold', got {mode!r}")
+        if retry_limit < 0:
+            raise ValueError(
+                f"retry_limit must be >= 0, got {retry_limit}")
+        self._stream = stream
+        self._policy = policy
+        self._mode = mode
+        self._retry_limit = retry_limit
+        self._validate_every = validate_every
+        self._universe: JobSet | None = (
+            stream.universe() if stream.events else None)
+        self._inc: IncrementalAnalyzer | None = (
+            IncrementalAnalyzer(self._universe, policy)
+            if mode == "incremental" and self._universe is not None
+            else None)
+        #: (index, kind, uid, candidate, result) log; retry entries
+        #: carry ``None`` when the candidate set did not fit whole.
+        self.decisions: "list[tuple]" = []
+        self._record_decisions = record_decisions
+        #: (all_or_nothing, candidate tuple) -> outcome (pure-function
+        #: memo; incremental mode only -- cold is stateless by
+        #: definition).
+        self._decision_memo: "dict[tuple, AdmissionResult | None] | None" = (
+            {} if mode == "incremental" else None)
+
+        self._admitted: set[int] = set()
+        self._ranks: dict[int, int] = {}
+        self._departure_of = {event.uid: event.departure
+                              for event in stream.events}
+        self._retry: list[int] = []
+        self._seen: set[int] = set()
+        self._metrics = OnlineMetrics(self._universe)
+        self._heaviness: "np.ndarray | None" = None
+        self._accept_count = 0
+        self._validation_failures: list[str] = []
+        #: Wall-clock seconds spent inside the admission decision path
+        #: (analysis construction + controller), and how many
+        #: decisions were taken -- the quantities the BENCH_online
+        #: incremental-vs-cold speedup gate compares.
+        self.decision_seconds = 0.0
+        self.decision_count = 0
+
+    @property
+    def universe(self) -> "JobSet | None":
+        return self._universe
+
+    @property
+    def incremental(self) -> "IncrementalAnalyzer | None":
+        return self._inc
+
+    # -- admission plumbing ------------------------------------------
+
+    def _analysis(self, candidate: "list[int]") -> SubsetAnalysis:
+        if self._inc is not None:
+            return self._inc.subset(candidate)
+        return cold_analysis(self._universe, candidate, self._policy)
+
+    def _decide(self, candidate: "list[int]",
+                all_or_nothing: bool = False) -> "AdmissionResult | None":
+        """Admission outcome for a candidate uid set (ascending).
+
+        ``all_or_nothing`` (the retry rule) asks only whether the
+        whole candidate set fits, returning ``None`` when the full
+        controller would reject anyone.
+
+        Admission is a pure function of the candidate set over the
+        fixed universe, so the incremental engine memoises outcomes
+        keyed on the exact candidate tuple: retry attempts between
+        unchanged admitted sets (the common congested pattern) are
+        answered without any re-analysis at all.  Cold mode is by
+        definition stateless across events and always recomputes.
+        """
+        start = time.perf_counter()
+        try:
+            key = (all_or_nothing, tuple(candidate))
+            if self._decision_memo is not None and \
+                    key in self._decision_memo:
+                return self._decision_memo[key]
+            analysis = self._analysis(candidate)
+            if all_or_nothing:
+                result = admit_all_or_nothing(analysis,
+                                              mode=self._mode)
+            else:
+                result = admit(analysis, mode=self._mode)
+            if self._decision_memo is not None:
+                if len(self._decision_memo) >= _DECISION_MEMO_LIMIT:
+                    self._decision_memo.pop(
+                        next(iter(self._decision_memo)))
+                self._decision_memo[key] = result
+            return result
+        finally:
+            self.decision_seconds += time.perf_counter() - start
+            self.decision_count += 1
+
+    def _commit(self, candidate: "list[int]",
+                result: AdmissionResult) -> "tuple[list[int], int]":
+        """Apply an admission outcome; returns (evicted, rank flips)."""
+        accepted = {candidate[i] for i in result.accepted}
+        new_ranks = {candidate[i]: int(result.ordering[i])
+                     for i in result.accepted}
+        evicted = sorted(self._admitted - accepted)
+        flips = sum(1 for uid, rank in new_ranks.items()
+                    if uid in self._ranks and self._ranks[uid] != rank)
+        if self._inc is not None:
+            for uid in evicted:
+                self._inc.depart(uid)
+            for uid in accepted - self._admitted:
+                self._inc.arrive(uid)
+        self._admitted = accepted
+        self._ranks = new_ranks
+        self._metrics.ever_admitted |= accepted
+        self._metrics.evictions += len(evicted)
+        self._metrics.rank_changes += flips
+        return evicted, flips
+
+    def _enqueue_retry(self, uid: int) -> None:
+        if self._retry_limit == 0:
+            self._metrics.retry_drops += 1
+            return
+        self._retry.append(uid)
+        if len(self._retry) > self._retry_limit:
+            self._retry.pop(0)
+            self._metrics.retry_drops += 1
+
+    def _validate_epoch(self, event_index: int,
+                        result: AdmissionResult,
+                        candidate: "list[int]") -> None:
+        """Replay the accepted epoch through the pipeline simulator."""
+        from repro.sim.engine import PipelineSimulator
+
+        if not result.accepted:
+            return
+        ordering = ordering_of_accepted(result)
+        accepted_ids = [candidate[i] for i in result.accepted]
+        epoch = self._universe.restrict(accepted_ids)
+        flags = _sim_preemption_flags(self._policy, epoch.system)
+        sim = PipelineSimulator(epoch, ordering, preemptive=flags).run()
+        for position in sim.missed_jobs():
+            self._validation_failures.append(
+                f"event {event_index}: admitted job "
+                f"{accepted_ids[position]} misses its deadline in "
+                f"simulation (delay {sim.delays[position]:.3f} > "
+                f"D {epoch.D[position]:.3f})")
+
+    def _maybe_validate(self, event_index: int, result: AdmissionResult,
+                        candidate: "list[int]") -> None:
+        self._accept_count += 1
+        if self._validate_every and \
+                self._accept_count % self._validate_every == 0:
+            self._validate_epoch(event_index, result, candidate)
+
+    def _snapshot(self, index: int, now: float, kind: str, uid: int,
+                  decision: str, evicted: "tuple[int, ...]",
+                  flips: int, latency: float) -> EventRecord:
+        metrics = self._metrics
+        record = EventRecord(
+            index=index, time=now, kind=kind, uid=uid,
+            decision=decision, evicted=evicted,
+            admitted=len(self._admitted),
+            acceptance_ratio=metrics.acceptance_ratio(),
+            rejected_heaviness=metrics.rejected_heaviness(self._seen),
+            utilisation=self._utilisation(),
+            rank_changes=flips, latency=latency)
+        metrics.record(record)
+        return record
+
+    def _utilisation(self) -> float:
+        if self._universe is None or not self._admitted:
+            return 0.0
+        if self._heaviness is None:
+            from repro.workload.heaviness import heaviness_matrix
+
+            self._heaviness = heaviness_matrix(self._universe)
+        mask = np.zeros(self._universe.num_jobs, dtype=bool)
+        mask[sorted(self._admitted)] = True
+        return admitted_utilisation(self._universe, mask,
+                                    heaviness=self._heaviness)
+
+    def _log_decision(self, index: int, kind: str, uid: int,
+                      candidate: "list[int]",
+                      result: "AdmissionResult | None") -> None:
+        if self._record_decisions:
+            self.decisions.append(
+                (index, kind, uid, tuple(candidate), result))
+
+    # -- event handlers ----------------------------------------------
+
+    def _on_arrival(self, index: int, now: float, uid: int) -> None:
+        start = time.perf_counter()
+        self._seen.add(uid)
+        self._metrics.arrivals += 1
+        candidate = sorted(self._admitted | {uid})
+        result = self._decide(candidate)
+        self._log_decision(index, "arrive", uid, candidate, result)
+        evicted, flips = self._commit(candidate, result)
+        accepted = uid in self._admitted
+        for evictee in evicted:
+            self._enqueue_retry(evictee)
+        if not accepted:
+            self._enqueue_retry(uid)
+        latency = time.perf_counter() - start
+        self._snapshot(index, now, "arrive", uid,
+                       "accept" if accepted else "reject",
+                       tuple(evicted), flips, latency)
+        if accepted:
+            self._maybe_validate(index, result, candidate)
+
+    def _on_departure(self, index: int, now: float, uid: int) -> None:
+        start = time.perf_counter()
+        if uid in self._admitted:
+            self._admitted.discard(uid)
+            self._ranks.pop(uid, None)
+            if self._inc is not None:
+                self._inc.depart(uid)
+            latency = time.perf_counter() - start
+            self._snapshot(index, now, "depart", uid, "free", (),
+                           0, latency)
+            self._retry_pass(index, now)
+            return
+        if uid in self._retry:
+            self._retry.remove(uid)
+            self._metrics.expired += 1
+            decision = "expire"
+        else:
+            decision = "noop"
+        latency = time.perf_counter() - start
+        self._snapshot(index, now, "depart", uid, decision, (), 0,
+                       latency)
+
+    def _retry_pass(self, index: int, now: float) -> None:
+        """Try re-admitting parked jobs (FIFO) after freed capacity.
+
+        A parked job is re-admitted only when the controller accepts
+        the *entire* candidate set -- departures never evict."""
+        for uid in list(self._retry):
+            if self._departure_of[uid] <= now:
+                continue  # its own departure event expires it
+            start = time.perf_counter()
+            candidate = sorted(self._admitted | {uid})
+            result = self._decide(candidate, all_or_nothing=True)
+            self._log_decision(index, "retry", uid, candidate, result)
+            if result is None:
+                continue
+            _evicted, flips = self._commit(candidate, result)
+            self._retry.remove(uid)
+            self._metrics.retry_accepts += 1
+            latency = time.perf_counter() - start
+            self._snapshot(index, now, "retry", uid, "accept", (),
+                           flips, latency)
+            self._maybe_validate(index, result, candidate)
+
+    # -- driver -------------------------------------------------------
+
+    def run(self) -> OnlineRunResult:
+        """Process every event chronologically and return the result."""
+        config = self._stream.config
+        events = []
+        for event in self._stream.events:
+            events.append((event.arrival, EVENT_ARRIVE, event.uid))
+            events.append((event.departure, EVENT_DEPART, event.uid))
+        events.sort()
+        for index, (now, kind, uid) in enumerate(events):
+            if kind == EVENT_ARRIVE:
+                self._on_arrival(index, now, uid)
+            else:
+                self._on_departure(index, now, uid)
+        return OnlineRunResult(
+            seed=self._stream.seed,
+            stream_kind=config.kind,
+            policy=resolve_equation(self._policy),
+            mode=self._mode,
+            horizon=float(config.horizon),
+            records=self._metrics.records,
+            summary=self._metrics.summary(),
+            final_admitted=sorted(self._admitted),
+            validation_failures=self._validation_failures)
+
+
+def run_online_scenario(spec: OnlineScenarioSpec) -> OnlineRunResult:
+    """Materialise and replay one scenario (worker entry point)."""
+    stream = generate_stream(spec.stream, seed=spec.seed)
+    engine = OnlineAdmissionEngine(
+        stream, policy=spec.policy, mode=spec.mode,
+        retry_limit=spec.retry_limit,
+        validate_every=spec.validate_every)
+    return engine.run()
+
+
+def run_online_scenario_dict(spec: OnlineScenarioSpec,
+                             fingerprint: "str | None" = None) -> dict:
+    """Picklable ``parallel_map`` shim returning the JSON form.
+
+    ``fingerprint`` carries the replay-trace content digest purely so
+    it participates in the work item's content hash (see
+    :func:`_replay_fingerprint`); the evaluation itself re-reads the
+    file.
+    """
+    return run_online_scenario(spec).to_dict()
+
+
+def _replay_fingerprint(spec: OnlineScenarioSpec) -> "str | None":
+    """SHA-256 of a replay spec's trace file (None for generated
+    streams).  Mixed into the result-store hash so editing the trace
+    behind an unchanged path can never serve stale cached runs."""
+    if spec.stream.kind != "replay":
+        return None
+    import hashlib
+    from pathlib import Path
+
+    return hashlib.sha256(
+        Path(spec.stream.replay_path).read_bytes()).hexdigest()
+
+
+def evaluate_online(specs, *, n_workers: int = 1,
+                    store=None) -> "list[OnlineRunResult]":
+    """Evaluate scenarios, preserving input order.
+
+    Shards the specs across worker processes exactly like the batch
+    sweeps (:func:`repro.experiments.parallel.parallel_map`) and
+    caches per-scenario outcomes in the result store under
+    :data:`ONLINE_CALL_KEY` -- replay scenarios are additionally keyed
+    on the trace file's content digest -- so interrupted online sweeps
+    resume from their last checkpoint.  Deterministic fields are
+    identical for any worker count.
+    """
+    from repro.experiments.parallel import parallel_map
+
+    payloads = parallel_map(
+        run_online_scenario_dict,
+        [(spec, _replay_fingerprint(spec)) for spec in specs],
+        n_workers=n_workers, store=store, key=ONLINE_CALL_KEY)
+    return [OnlineRunResult.from_dict(payload) for payload in payloads]

@@ -1,0 +1,455 @@
+"""Incremental delay-bound maintenance for streaming admission.
+
+A cold admission decision for ``k`` live jobs re-runs the whole
+analysis stack: rebuild the :class:`~repro.core.system.JobSet`
+(``O(k^2 N)`` comparison kernels plus per-job validation), recompute
+the :class:`~repro.core.segments.SegmentCache` (stage sorting, running
+sums, segment counting), then run OPDCA admission with one full
+``(k, k)`` batch bound evaluation per priority level.  This module
+replaces every one of those steps with a delta-friendly equivalent
+while guaranteeing **bitwise identical decisions and delay bounds**:
+
+* :class:`IncrementalAnalyzer` owns the *universe* job set (every job
+  the stream can deliver) and its segment cache, computed once.  Live
+  subsets are carved out by pure slicing
+  (:meth:`~repro.core.system.JobSet.restrict` +
+  :meth:`~repro.core.segments.SegmentCache.restrict`), so standing up
+  the per-event analysis costs a handful of ``numpy`` gathers instead
+  of re-running the algebra.
+* :func:`incremental_admission` mirrors
+  :func:`repro.core.admission.opdca_admission` step for step, but
+  evaluates each Audsley level *lazily* against a carried feasible
+  frontier: only the candidates stock Audsley would have to scan
+  before its placement are ever evaluated, through
+  :meth:`~repro.core.dca.DelayAnalyzer.delay_bounds_rows` row slices
+  and the fused single-candidate
+  :meth:`~repro.core.dca.DelayAnalyzer.delay_bound_level` probe, so
+  an accept-heavy level costs a thin row slice -- often nothing at
+  all -- instead of a full ``(k, k)`` batch.
+* departures call :meth:`~repro.core.dca.DelayAnalyzer.\
+invalidate_job` on the persistent universe analyzer, purging exactly
+  the memo entries whose context involves the leaving job.
+
+Every value produced along either path is the result of the same
+floating-point reductions over the same operands in the same order as
+the cold path, which is what the bitwise-equivalence property tests in
+``tests/online`` pin down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.admission import AdmissionResult, opdca_admission
+from repro.core.dca import FLOAT_MONOTONE_EQUATIONS, DelayAnalyzer
+from repro.core.schedulability import SDCA, Policy, resolve_equation
+from repro.core.segments import SegmentCache
+from repro.core.system import JobSet
+
+
+@dataclass
+class SubsetAnalysis:
+    """One live subset, ready for admission: job set + bound test."""
+
+    jobset: JobSet
+    test: SDCA
+    #: Universe indices of the subset's jobs, ascending.
+    indices: np.ndarray
+
+
+class IncrementalAnalyzer:
+    """Delay-bound state for a live subset of a fixed job universe.
+
+    Parameters
+    ----------
+    universe:
+        Job set of every job the stream can deliver (true arrival
+        times; index = stream ``uid``).
+    policy:
+        Scheduling policy / equation, as accepted by
+        :class:`~repro.core.schedulability.SDCA`.
+    """
+
+    def __init__(self, universe: JobSet,
+                 policy: "str | Policy" = Policy.PREEMPTIVE) -> None:
+        self._universe = universe
+        self._equation = resolve_equation(policy)
+        self._policy = policy
+        self._cache = SegmentCache(universe)
+        self._analyzer = DelayAnalyzer(universe, cache=self._cache)
+        self._active = np.zeros(universe.num_jobs, dtype=bool)
+
+    @property
+    def universe(self) -> JobSet:
+        return self._universe
+
+    @property
+    def equation(self) -> str:
+        return self._equation
+
+    @property
+    def analyzer(self) -> DelayAnalyzer:
+        """The persistent universe analyzer (shared segment cache)."""
+        return self._analyzer
+
+    @property
+    def active(self) -> np.ndarray:
+        """Mask of currently present jobs (a copy)."""
+        return self._active.copy()
+
+    # -- presence tracking -------------------------------------------
+
+    def arrive(self, uid: int) -> None:
+        """Mark ``uid`` present.  Cached bounds for contexts excluding
+        it remain valid and keep serving (they are pure functions of
+        their interference masks)."""
+        self._active[uid] = True
+
+    def depart(self, uid: int) -> dict[str, int]:
+        """Mark ``uid`` absent and purge exactly the memoised entries
+        whose context involves it (see
+        :meth:`~repro.core.dca.DelayAnalyzer.invalidate_job`).
+        Returns the per-memo drop counts."""
+        self._active[uid] = False
+        return self._analyzer.invalidate_job(uid)
+
+    def delay_of(self, uid: int, higher, lower=None) -> float:
+        """Memoised delay bound of ``uid`` against the given
+        higher/lower sets, restricted to the currently present jobs.
+
+        Bitwise identical to evaluating the same context on a cold
+        analyzer built from the surviving job set: the scalar bound
+        path gathers exactly the masked entries, so the reductions see
+        the same operands in the same order.
+        """
+        test = SDCA(self._universe, self._policy, analyzer=self._analyzer)
+        return test.delay(uid, higher, lower, active=self._active)
+
+    # -- per-event subset analyses -----------------------------------
+
+    def subset(self, indices) -> SubsetAnalysis:
+        """Sliced (warm) analysis of ``universe[indices]``."""
+        idx = np.asarray(sorted(int(i) for i in indices), dtype=np.int64)
+        jobset = self._universe.restrict(idx)
+        cache = self._cache.restrict(jobset, idx)
+        analyzer = DelayAnalyzer(jobset, cache=cache)
+        test = SDCA(jobset, self._policy, analyzer=analyzer)
+        return SubsetAnalysis(jobset=jobset, test=test, indices=idx)
+
+    def cold_subset(self, indices) -> SubsetAnalysis:
+        """Cold re-analysis of the same subset (reference/benchmark
+        path): rebuild the job set and every cache from scratch."""
+        return cold_analysis(self._universe, indices, self._policy)
+
+
+def cold_analysis(universe: JobSet, indices,
+                  policy: "str | Policy") -> SubsetAnalysis:
+    """Cold analysis of ``universe[indices]``: re-run the job-set
+    constructor and the segment algebra from scratch (what a batch
+    caller would do for every event)."""
+    idx = np.asarray(sorted(int(i) for i in indices), dtype=np.int64)
+    jobset = JobSet(universe.system,
+                    [universe.jobs[int(i)] for i in idx])
+    test = SDCA(jobset, policy)
+    return SubsetAnalysis(jobset=jobset, test=test, indices=idx)
+
+
+def incremental_admission(jobset: JobSet,
+                          test: SDCA) -> AdmissionResult:
+    """Lazily evaluated OPDCA admission (Algorithm 1, modified Step 10).
+
+    Produces an :class:`~repro.core.admission.AdmissionResult` whose
+    ``accepted``/``rejected``/``ordering``/``delays`` are **bitwise
+    identical** to :func:`repro.core.admission.opdca_admission` on the
+    same job set and test: candidates are scanned in the same index
+    order against the same batch kernels, the first feasible candidate
+    is placed, and when a level rejects, the same worst-offender rule
+    (largest ``Delta_i - D_i``, ties to the larger index) applies.
+
+    The difference is how much of a level is ever evaluated.  For the
+    OPA-compatible bounds, Audsley's third compatibility condition is
+    a *monotonicity* guarantee along the assignment trajectory: when a
+    job is placed below a candidate (moved from its higher- to its
+    lower-priority set) or discarded entirely, the candidate's bound
+    cannot increase.  A candidate once verified feasible therefore
+    stays feasible, and each level only needs
+
+    * one thin :meth:`~repro.core.dca.DelayAnalyzer.delay_bounds_rows`
+      slice over the unassigned candidates *below* the known feasible
+      frontier (stock Audsley must scan exactly those in index order
+      before it can place), and
+    * the frontier placement itself, which for the float-monotone
+      bounds (:data:`~repro.core.dca.FLOAT_MONOTONE_EQUATIONS`) needs
+      no evaluation at all -- zeroing masked operands under numpy's
+      fixed pairwise-reduction tree can never increase a value, ulp
+      for ulp -- and for ``eq10`` is re-verified with one fused
+      :meth:`~repro.core.dca.DelayAnalyzer.delay_bound_level` probe.
+
+    When a whole level is verified feasible under a float-monotone
+    bound, the remaining trajectory is fully determined (stock always
+    places the lowest-indexed unassigned candidate) and is emitted in
+    one step with no further evaluation.  Should the ``eq10``
+    re-verification ever fail (conceivable only when a bound sits
+    within one ulp of the deadline tolerance), the level falls back
+    to the stock full-batch evaluation, so decisions are *always*
+    exact -- the fast path only decides how much work is skipped,
+    never the outcome.  Levels with no known-feasible candidate and
+    the non-OPA-compatible equations (``eq2``/``eq4``) take the
+    full-batch path too, which is bit-for-bit the stock evaluation.
+    """
+    return _lazy_audsley(jobset, test, all_or_nothing=False)
+
+
+def incremental_feasibility(jobset: JobSet, test: SDCA
+                            ) -> "AdmissionResult | None":
+    """All-or-nothing variant: feasible assignment or ``None``.
+
+    Runs the same lazily evaluated Audsley greedy as
+    :func:`incremental_admission` but *stops* at the first level with
+    no feasible candidate instead of entering the discard cascade --
+    exactly the right primitive for the retry queue, whose commit rule
+    is "admit only if nobody gets rejected".  On success the returned
+    :class:`~repro.core.admission.AdmissionResult` (everyone accepted)
+    is bitwise identical to what :func:`incremental_admission` -- and
+    hence :func:`repro.core.admission.opdca_admission` -- would
+    produce, because a run that never discards *is* the plain Audsley
+    trajectory.  ``None`` is returned precisely when
+    ``opdca_admission`` would reject at least one job.
+    """
+    return _lazy_audsley(jobset, test, all_or_nothing=True)
+
+
+def _lazy_audsley(jobset: JobSet, test: SDCA, *,
+                  all_or_nothing: bool) -> "AdmissionResult | None":
+    analyzer = test.analyzer
+    equation = test.equation
+    lower_aware = test.uses_lower_set
+    monotone = test.opa_compatible
+    float_monotone = equation in FLOAT_MONOTONE_EQUATIONS
+    n = jobset.num_jobs
+    deadlines = jobset.D
+
+    active = np.ones(n, dtype=bool)
+    unassigned = np.ones(n, dtype=bool)
+    assigned_lower = np.zeros(n, dtype=bool)
+    priority = np.zeros(n, dtype=np.int64)
+    rejected: list[int] = []
+    order_low_to_high: list[int] = []
+    #: Candidates verified feasible under an earlier (pessimistic)
+    #: context of this run; monotonicity keeps them feasible.
+    feasible: set[int] = set()
+
+    # Sound per-candidate lower bounds on the *current* excess
+    # ``Delta_i - D_i`` (float-monotone bounds only).  Removing job
+    # ``p`` from a candidate's context can lower its bound by at most
+    # ``cap[p]``: the job-additive pair terms (factor 2 covers Eq. 3's
+    # double counting) plus every shared-stage term ``p`` could
+    # contribute to stage-additive or blocking maxima.  An evaluated
+    # excess therefore stays a valid lower bound across placements and
+    # discards once each removal's cap -- padded by a safety margin
+    # orders of magnitude above the accumulated float error of the
+    # kernels (~1e-11 relative) -- is subtracted.  Candidates whose
+    # lower bound still exceeds the deadline tolerance are *provably*
+    # infeasible and are skipped without evaluation; anything inside
+    # the safety band is evaluated exactly, so decisions never depend
+    # on the bound, only the amount of skipped work does.
+    lower_bound: "np.ndarray | None" = None
+    cache = analyzer.cache
+    removal_caps = (2.0 * cache.m * cache.et1
+                    + 2.0 * cache.ep.sum(axis=2)
+                    if float_monotone else None)
+    _SAFETY = 1e-7
+
+    def remember(candidates: np.ndarray,
+                 excesses: np.ndarray) -> None:
+        nonlocal lower_bound
+        if removal_caps is None:
+            return
+        if lower_bound is None:
+            lower_bound = np.full(n, -np.inf)
+        lower_bound[candidates] = (
+            excesses - (_SAFETY + 1e-9 * np.abs(excesses)))
+
+    def forget(removed: int) -> None:
+        nonlocal lower_bound
+        if lower_bound is not None:
+            lower_bound -= removal_caps[:, removed] + 1e-9
+
+    def probe_one(candidate: int) -> float:
+        bound = analyzer.delay_bound_level(
+            candidate, unassigned,
+            assigned_lower if lower_aware else None,
+            equation=equation, active=active)
+        return float(bound) - float(deadlines[candidate])
+
+    def batch_level(candidates: np.ndarray) -> np.ndarray:
+        """Exact excesses ``Delta_i - D_i`` of every candidate."""
+        higher = np.broadcast_to(unassigned, (candidates.size, n))
+        lower = (np.broadcast_to(assigned_lower, (candidates.size, n))
+                 if lower_aware else None)
+        delays = analyzer.delay_bounds_rows(
+            candidates, higher, lower, equation=equation, active=active)
+        return delays - deadlines[candidates]
+
+    while unassigned.any():
+        level = int(unassigned.sum())
+        candidates = np.flatnonzero(unassigned)
+        frontier = min(feasible) if feasible else None
+        below = (candidates[:np.searchsorted(candidates, frontier)]
+                 if frontier is not None else ())
+        placed = None
+        excesses: "np.ndarray | None" = None
+
+        if monotone and frontier is not None \
+                and below.size + 1 < candidates.size:
+            # Lazy path.  Stock Audsley must scan the candidates below
+            # the carried frontier in index order anyway; evaluate
+            # exactly those not already *proven* infeasible by their
+            # excess lower bounds, in one row-sliced call -- O(b k N)
+            # against the full level's O(k^2 N) -- and place the first
+            # feasible one, else the frontier candidate itself.
+            if below.size and lower_bound is not None:
+                below = below[lower_bound[below] <= 1e-9]
+            if below.size:
+                below_excesses = batch_level(below)
+                remember(below, below_excesses)
+                passing = np.flatnonzero(below_excesses <= 1e-9)
+                if passing.size:
+                    placed = int(below[passing[0]])
+                    # The other passing sub-frontier candidates are
+                    # verified *now*; remembering them tightens the
+                    # frontier for the levels that follow.
+                    feasible.update(
+                        int(below[p]) for p in passing[1:])
+            if placed is None:
+                if float_monotone or probe_one(frontier) <= 1e-9:
+                    # Float-monotone kernels cannot un-satisfy a
+                    # verified candidate, ulp for ulp -- no per-level
+                    # re-verification needed.  eq10 re-verifies (its
+                    # blocking term grows along the trajectory).
+                    placed = frontier
+                else:
+                    # Ulp-level fallback: evaluate the level in full.
+                    excesses = batch_level(candidates)
+                    remember(candidates, excesses)
+        elif all_or_nothing and frontier is None \
+                and lower_bound is not None \
+                and (lower_bound[candidates] > 1e-9).all():
+            # Every candidate is provably infeasible at this level:
+            # the all-or-nothing run fails with no evaluation at all.
+            return None
+        else:
+            # No usable frontier (first level of a run, right after a
+            # discard, or a non-monotone bound), or the frontier sits
+            # at the very top of the level: evaluate it in full, which
+            # also (re)seeds the feasible frontier for later levels.
+            excesses = batch_level(candidates)
+            remember(candidates, excesses)
+
+        if excesses is not None and placed is None:
+            passing = np.flatnonzero(excesses <= 1e-9)
+            if float_monotone and passing.size == candidates.size:
+                # Every candidate is feasible and (float-exact)
+                # monotonicity keeps each of them feasible at every
+                # later level, where stock Audsley always places the
+                # lowest-indexed unassigned candidate.  The remaining
+                # trajectory is therefore fully determined: emit it in
+                # one step, no further evaluation.
+                for candidate in candidates:
+                    candidate = int(candidate)
+                    priority[candidate] = level
+                    level -= 1
+                    order_low_to_high.append(candidate)
+                unassigned[candidates] = False
+                break
+            feasible = {int(candidates[p]) for p in passing}
+            if feasible:
+                placed = min(feasible)
+
+        if placed is not None:
+            feasible.discard(placed)
+            priority[placed] = level
+            unassigned[placed] = False
+            assigned_lower[placed] = True
+            order_low_to_high.append(placed)
+            forget(placed)
+            continue
+        if all_or_nothing:
+            return None
+        # Modified Step 10: discard the worst offender -- largest
+        # excess, float ties resolved to the larger job index, exactly
+        # like ``max()`` over (excess, index) tuples -- and retry.
+        worst = np.flatnonzero(excesses == excesses.max())
+        worst_job = int(candidates[worst.max()])
+        rejected.append(worst_job)
+        active[worst_job] = False
+        unassigned[worst_job] = False
+        forget(worst_job)
+
+    # Re-number the assigned priorities contiguously (1..#accepted);
+    # this tail replicates opdca_admission verbatim.
+    accepted = [int(i) for i in np.flatnonzero(active)]
+    final_priority = np.zeros(n, dtype=np.int64)
+    for rank, job in enumerate(reversed(order_low_to_high), start=1):
+        final_priority[job] = rank
+
+    delays = np.full(n, np.nan)
+    if accepted:
+        sub_priority = np.where(final_priority > 0, final_priority, n + 1)
+        x = (sub_priority[:, None] < sub_priority[None, :])
+        x[~active, :] = False
+        x[:, ~active] = False
+        all_delays = analyzer.delays_for_pairwise(
+            x, equation=equation, active=active)
+        delays[active] = all_delays[active]
+
+    return AdmissionResult(accepted=accepted, rejected=rejected,
+                           ordering=final_priority, delays=delays)
+
+
+def admit(analysis: SubsetAnalysis, *,
+          mode: str = "incremental") -> AdmissionResult:
+    """Run the admission controller over one subset analysis.
+
+    ``mode="incremental"`` uses the lazy level evaluation above;
+    ``mode="cold"`` runs the stock batch
+    :func:`~repro.core.admission.opdca_admission` (the reference the
+    equivalence tests and the benchmark compare against).
+    """
+    if mode == "incremental":
+        return incremental_admission(analysis.jobset, analysis.test)
+    if mode == "cold":
+        return opdca_admission(analysis.jobset, analysis.test.equation,
+                               test=analysis.test)
+    raise ValueError(f"mode must be 'incremental' or 'cold', got {mode!r}")
+
+
+def admit_all_or_nothing(analysis: SubsetAnalysis, *,
+                         mode: str = "incremental"
+                         ) -> "AdmissionResult | None":
+    """All-or-nothing admission over one subset analysis.
+
+    Returns the (everyone-accepted) result when the whole candidate
+    set is OPDCA-schedulable and ``None`` otherwise -- i.e. ``None``
+    exactly when :func:`admit` would reject at least one job.  The
+    retry queue uses this instead of the full controller because a
+    failed retry stops at its first infeasible level instead of paying
+    the discard cascade.
+    """
+    if mode == "incremental":
+        return incremental_feasibility(analysis.jobset,
+                                       analysis.test)
+    if mode == "cold":
+        from repro.core.opdca import opdca
+
+        result = opdca(analysis.jobset, analysis.test.equation,
+                       test=analysis.test)
+        if not result.feasible:
+            return None
+        return AdmissionResult(
+            accepted=list(range(analysis.jobset.num_jobs)),
+            rejected=[], ordering=result.ordering.priority,
+            delays=result.delays)
+    raise ValueError(f"mode must be 'incremental' or 'cold', got {mode!r}")

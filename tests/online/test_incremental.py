@@ -1,0 +1,301 @@
+"""Bitwise-consistency tests for the incremental analysis stack.
+
+The contract of :mod:`repro.online.incremental` is *exact* equivalence
+with cold re-analysis: sliced job sets and segment caches, row-sliced
+batch bounds, delta-maintained scalar bounds and the lazily evaluated
+admission controller must all reproduce the cold path bit for bit.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.admission import opdca_admission
+from repro.core.dca import DelayAnalyzer
+from repro.core.schedulability import SDCA
+from repro.core.segments import SegmentCache
+from repro.core.system import JobSet
+from repro.online.incremental import (
+    IncrementalAnalyzer,
+    incremental_admission,
+)
+from repro.online.streams import StreamConfig, generate_stream
+from repro.workload.random_jobs import RandomInstanceConfig, random_jobset
+
+
+def _universe(seed, num_jobs=14, *, offsets=True):
+    config = RandomInstanceConfig(
+        num_jobs=num_jobs, num_stages=3, resources_per_stage=2,
+        max_offset=30.0 if offsets else 0.0)
+    return random_jobset(config, seed=seed)
+
+
+class TestRestrict:
+    def test_jobset_restrict_is_bitwise_cold(self):
+        universe = _universe(0)
+        idx = np.array([1, 3, 4, 8, 11])
+        warm = universe.restrict(idx)
+        cold = JobSet(universe.system,
+                      [universe.jobs[int(i)] for i in idx])
+        for name in ("P", "A", "D", "R", "shares", "overlaps"):
+            assert np.array_equal(getattr(warm, name),
+                                  getattr(cold, name)), name
+        assert warm.jobs == cold.jobs
+
+    def test_segment_cache_restrict_is_bitwise_cold(self):
+        universe = _universe(1)
+        idx = np.array([0, 2, 5, 6, 9, 13])
+        warm_set = universe.restrict(idx)
+        warm = SegmentCache(universe).restrict(warm_set, idx)
+        cold = SegmentCache(
+            JobSet(universe.system,
+                   [universe.jobs[int(i)] for i in idx]))
+        for name in ("ep", "et_sorted", "et_cumsum", "et1", "et2",
+                     "m", "u", "v", "w", "W", "t_sorted", "t1", "t2"):
+            assert np.array_equal(getattr(warm, name),
+                                  getattr(cold, name)), name
+
+    def test_restrict_validates_indices(self):
+        from repro.core.exceptions import ModelError
+
+        universe = _universe(2, num_jobs=5)
+        with pytest.raises(ModelError):
+            universe.restrict([])
+        with pytest.raises(ModelError):
+            universe.restrict([1, 1])
+        with pytest.raises(ModelError):
+            universe.restrict([0, 9])
+
+    def test_analyzer_rejects_foreign_cache(self):
+        universe = _universe(3, num_jobs=6)
+        other = _universe(4, num_jobs=6)
+        with pytest.raises(ValueError):
+            DelayAnalyzer(universe, cache=SegmentCache(other))
+
+
+class TestDelayBoundsRows:
+    @pytest.mark.parametrize("equation",
+                             ["eq3", "eq4", "eq5", "eq6", "eq10"])
+    def test_rows_match_full_batch_bitwise(self, equation):
+        universe = _universe(5)
+        analyzer = DelayAnalyzer(universe)
+        rng = np.random.default_rng(0)
+        n = universe.num_jobs
+        for _ in range(10):
+            x = rng.random((n, n)) < 0.5
+            active = rng.random(n) < 0.75
+            full = analyzer.delay_bounds_all(
+                x, x.T, equation=equation, active=active)
+            rows = rng.choice(n, size=6, replace=False)
+            sliced = analyzer.delay_bounds_rows(
+                rows, x[rows], x.T[rows], equation=equation,
+                active=active)
+            expected = full[rows]
+            same = (expected == sliced) | (np.isnan(expected)
+                                           & np.isnan(sliced))
+            assert same.all()
+
+    @pytest.mark.parametrize("equation", ["eq1", "eq2"])
+    def test_single_resource_rows_match_full_batch(self, equation):
+        from repro.workload.random_jobs import (
+            random_single_resource_jobset,
+        )
+
+        jobset = random_single_resource_jobset(seed=4, num_jobs=8,
+                                               max_offset=10.0)
+        analyzer = DelayAnalyzer(jobset)
+        rng = np.random.default_rng(1)
+        for _ in range(5):
+            x = rng.random((8, 8)) < 0.5
+            full = analyzer.delay_bounds_all(x, x.T, equation=equation)
+            rows = rng.choice(8, size=3, replace=False)
+            sliced = analyzer.delay_bounds_rows(
+                rows, x[rows], x.T[rows], equation=equation)
+            assert np.array_equal(full[rows], sliced)
+
+    def test_rows_validation(self):
+        universe = _universe(6, num_jobs=5)
+        analyzer = DelayAnalyzer(universe)
+        with pytest.raises(ValueError):
+            analyzer.delay_bounds_rows([0], np.ones((2, 5), bool))
+        with pytest.raises(ValueError):
+            analyzer.delay_bounds_rows([0], np.ones((1, 5), bool),
+                                       equation="bogus")
+        with pytest.raises(ValueError):
+            analyzer.delay_bounds_rows([0], np.ones((1, 5), bool),
+                                       equation="eq4")  # needs lower
+
+
+sequence_params = st.fixed_dictionaries({
+    "seed": st.integers(0, 5_000),
+    "num_jobs": st.integers(4, 12),
+    "ops": st.lists(st.integers(0, 10_000), min_size=2, max_size=14),
+})
+
+
+class TestDeltaConsistency:
+    """Satellite: after any random arrival/departure sequence, the
+    delta-updated universe analyzer answers bitwise identically to a
+    cold analyzer built from the surviving job set."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(params=sequence_params)
+    def test_scalar_bounds_match_cold_rebuild_bitwise(self, params):
+        universe = _universe(params["seed"],
+                             num_jobs=params["num_jobs"])
+        inc = IncrementalAnalyzer(universe, "preemptive")
+        n = universe.num_jobs
+        present: list[int] = []
+        rng = np.random.default_rng(params["seed"] + 1)
+        for op in params["ops"]:
+            absent = [i for i in range(n) if i not in present]
+            if present and (op % 2 == 0 or not absent):
+                inc.depart(present.pop(op % len(present)))
+            elif absent:
+                job = absent[op % len(absent)]
+                present.append(job)
+                inc.arrive(job)
+            if not present:
+                continue
+            # Random priority context over the survivors.
+            ranks = rng.permutation(len(present))
+            cold_set = JobSet(universe.system,
+                              [universe.jobs[i] for i in sorted(present)])
+            cold = DelayAnalyzer(cold_set)
+            order = sorted(present)
+            for position, uid in enumerate(order):
+                higher_local = [j for j, other in enumerate(order)
+                                if ranks[j] < ranks[position]]
+                higher_uids = [order[j] for j in higher_local]
+                live = inc.delay_of(
+                    uid,
+                    inc.analyzer.as_mask(higher_uids
+                                         if higher_uids else None))
+                rebuilt = cold.delay_bound(
+                    position,
+                    cold.as_mask(higher_local
+                                 if higher_local else None),
+                    equation="eq6")
+                assert live == rebuilt  # bitwise, not approx
+
+    def test_invalidate_job_purges_only_involved_entries(self):
+        universe = _universe(7, num_jobs=8)
+        analyzer = DelayAnalyzer(universe)
+        active_without_3 = np.ones(8, dtype=bool)
+        active_without_3[3] = False
+        # Context involving job 3 and one excluding it entirely.
+        with_3 = analyzer.delay_bound(0, [1, 3], equation="eq6")
+        without_3 = analyzer.delay_bound(
+            0, [1, 2], equation="eq6", active=active_without_3)
+        sizes = analyzer.memo_sizes()
+        assert sizes["bounds"] == 2
+        dropped = analyzer.invalidate_job(3)
+        assert dropped["bounds"] == 1
+        assert analyzer.memo_sizes()["bounds"] == 1
+        # Surviving entry still answers; recomputation matches.
+        assert analyzer.delay_bound(
+            0, [1, 2], equation="eq6",
+            active=active_without_3) == without_3
+        assert analyzer.delay_bound(0, [1, 3],
+                                    equation="eq6") == with_3
+        with pytest.raises(ValueError):
+            analyzer.invalidate_job(99)
+
+
+admission_params = st.fixed_dictionaries({
+    "seed": st.integers(0, 10_000),
+    "num_jobs": st.integers(2, 14),
+    "offsets": st.booleans(),
+    # eq10 exercises the monotone-but-not-float-monotone path (fused
+    # frontier re-verification); eq3/eq5/eq6 the float-monotone one.
+    "equation": st.sampled_from(["eq3", "eq5", "eq6", "eq10"]),
+})
+
+
+class TestIncrementalAdmission:
+    @settings(max_examples=60, deadline=None)
+    @given(params=admission_params)
+    def test_matches_stock_opdca_admission_bitwise(self, params):
+        jobset = _universe(params["seed"],
+                           num_jobs=params["num_jobs"],
+                           offsets=params["offsets"])
+        test = SDCA(jobset, params["equation"])
+        lazy = incremental_admission(jobset, test)
+        stock = opdca_admission(jobset, params["equation"])
+        assert lazy.accepted == stock.accepted
+        assert lazy.rejected == stock.rejected
+        assert np.array_equal(lazy.ordering, stock.ordering)
+        assert np.array_equal(lazy.delays, stock.delays,
+                              equal_nan=True)
+
+    def test_sliced_subset_admission_matches_cold(self):
+        """The engine's per-event pipeline: sliced caches + lazy
+        admission == cold rebuild + stock admission, bitwise."""
+        stream = generate_stream(
+            StreamConfig(horizon=150.0, rate=0.3), seed=0)
+        inc = IncrementalAnalyzer(stream.universe(), "preemptive")
+        rng = np.random.default_rng(1)
+        n = stream.num_events
+        for _ in range(10):
+            size = int(rng.integers(1, min(12, n) + 1))
+            idx = np.sort(rng.choice(n, size=size, replace=False))
+            warm = inc.subset(idx)
+            cold = inc.cold_subset(idx)
+            lazy = incremental_admission(warm.jobset, warm.test)
+            stock = opdca_admission(cold.jobset, cold.test.equation,
+                                    test=cold.test)
+            assert lazy.accepted == stock.accepted
+            assert lazy.rejected == stock.rejected
+            assert np.array_equal(lazy.delays, stock.delays,
+                                  equal_nan=True)
+
+    @settings(max_examples=30, deadline=None)
+    @given(params=st.fixed_dictionaries({
+        "seed": st.integers(0, 10_000),
+        "num_jobs": st.integers(2, 10),
+        "equation": st.sampled_from(["eq1", "eq2"]),
+        "preemptive": st.booleans(),
+    }))
+    def test_single_resource_equations_match_stock(self, params):
+        """eq1/eq2 run the bespoke single-resource kernels (and eq2 is
+        not OPA-compatible, forcing the full-batch path)."""
+        from repro.workload.random_jobs import (
+            random_single_resource_jobset,
+        )
+
+        jobset = random_single_resource_jobset(
+            seed=params["seed"], num_jobs=params["num_jobs"],
+            preemptive=params["preemptive"], max_offset=10.0)
+        test = SDCA(jobset, params["equation"])
+        lazy = incremental_admission(jobset, test)
+        stock = opdca_admission(jobset, params["equation"])
+        assert lazy.accepted == stock.accepted
+        assert lazy.rejected == stock.rejected
+        assert np.array_equal(lazy.ordering, stock.ordering)
+        assert np.array_equal(lazy.delays, stock.delays,
+                              equal_nan=True)
+
+    @settings(max_examples=25, deadline=None)
+    @given(params=st.fixed_dictionaries({
+        "seed": st.integers(0, 10_000),
+        "num_jobs": st.integers(2, 14),
+    }))
+    def test_feasibility_variant_matches_stock(self, params):
+        """None exactly when the full controller rejects someone; on
+        success, bitwise identical to the full controller."""
+        from repro.online.incremental import incremental_feasibility
+
+        jobset = _universe(params["seed"], num_jobs=params["num_jobs"])
+        test = SDCA(jobset, "eq6")
+        outcome = incremental_feasibility(jobset, test)
+        stock = opdca_admission(jobset, "eq6")
+        if stock.rejected:
+            assert outcome is None
+        else:
+            assert outcome is not None
+            assert outcome.accepted == stock.accepted
+            assert outcome.rejected == []
+            assert np.array_equal(outcome.ordering, stock.ordering)
+            assert np.array_equal(outcome.delays, stock.delays,
+                                  equal_nan=True)

@@ -1,0 +1,205 @@
+"""Tests for the streaming workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ModelError
+from repro.online.streams import (
+    STREAM_KINDS,
+    OnlineJob,
+    StreamConfig,
+    generate_stream,
+    load_stream,
+    save_stream,
+)
+
+
+class TestStreamConfig:
+    def test_defaults_are_valid(self):
+        config = StreamConfig()
+        assert config.kind == "poisson"
+        assert config.pool_config().num_jobs == config.pool_size
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ModelError):
+            StreamConfig(kind="bogus")
+        with pytest.raises(ModelError):
+            StreamConfig(rate=0.0)
+        with pytest.raises(ModelError):
+            StreamConfig(horizon=-1.0)
+        with pytest.raises(ModelError):
+            StreamConfig(dwell_scale=0.0)
+        with pytest.raises(ModelError):
+            StreamConfig(amplitude=1.5)
+        with pytest.raises(ModelError):
+            StreamConfig(burst_factor=0.5)
+        with pytest.raises(ModelError):
+            StreamConfig(kind="replay")  # needs replay_path
+
+    def test_event_cap_guards_runaway_streams(self):
+        with pytest.raises(ModelError):
+            StreamConfig(rate=1e6, horizon=1e6)
+        # The cap must bind on the *peak* rate of modulated streams.
+        with pytest.raises(ModelError):
+            StreamConfig(kind="mmpp", rate=0.9, horizon=100_000.0,
+                         burst_factor=50.0)
+        with pytest.raises(ModelError):
+            StreamConfig(kind="diurnal", rate=0.9, horizon=100_000.0,
+                         amplitude=1.0)
+        # The same base rate is fine for a plain Poisson stream.
+        StreamConfig(kind="poisson", rate=0.9, horizon=100_000.0)
+
+    def test_universe_rejects_misnumbered_streams(self):
+        from repro.core.job import Job
+        from repro.core.system import MSMRSystem, Stage
+        from repro.online.streams import OnlineStream
+
+        job = Job(processing=(1.0,), deadline=5.0, resources=(0,))
+        stream = OnlineStream(
+            system=MSMRSystem([Stage(1)]),
+            events=[OnlineJob(uid=5, job=job, arrival=0.0,
+                              departure=5.0)],
+            config=StreamConfig(horizon=10.0))
+        with pytest.raises(ModelError):
+            stream.universe()
+
+    def test_edge_pool(self):
+        config = StreamConfig(generator="edge", pool_size=12)
+        workload = config.pool_config()
+        assert workload.num_jobs == 12
+
+
+class TestGeneration:
+    @pytest.mark.parametrize("kind", [k for k in STREAM_KINDS
+                                      if k != "replay"])
+    def test_deterministic_and_sorted(self, kind):
+        config = StreamConfig(kind=kind, horizon=120.0, rate=0.3)
+        one = generate_stream(config, seed=5)
+        two = generate_stream(config, seed=5)
+        assert one.events == two.events
+        assert one.system == two.system
+        arrivals = [event.arrival for event in one.events]
+        assert arrivals == sorted(arrivals)
+        assert all(0.0 <= a < config.horizon for a in arrivals)
+        assert all(event.uid == i for i, event in enumerate(one.events))
+        assert all(event.departure > event.arrival
+                   for event in one.events)
+
+    def test_seed_changes_stream(self):
+        config = StreamConfig(horizon=150.0, rate=0.3)
+        assert generate_stream(config, seed=0).events != \
+            generate_stream(config, seed=1).events
+
+    def test_bodies_come_from_the_pool(self):
+        config = StreamConfig(horizon=200.0, rate=0.3, pool_size=5)
+        stream = generate_stream(config, seed=2)
+        from repro.workload.random_jobs import random_jobset
+
+        pool = random_jobset(config.pool_config(), seed=2)
+        pool_shapes = {(job.processing, job.deadline, job.resources)
+                       for job in pool.jobs}
+        for event in stream.events:
+            key = (event.job.processing, event.job.deadline,
+                   event.job.resources)
+            assert key in pool_shapes
+
+    def test_dwell_scale_sets_departures(self):
+        config = StreamConfig(horizon=100.0, rate=0.3, dwell_scale=2.5)
+        stream = generate_stream(config, seed=3)
+        for event in stream.events:
+            assert event.departure == pytest.approx(
+                event.arrival + 2.5 * event.job.deadline)
+
+    def test_universe_carries_true_arrivals(self):
+        stream = generate_stream(
+            StreamConfig(horizon=100.0, rate=0.3), seed=1)
+        universe = stream.universe()
+        assert universe.num_jobs == stream.num_events
+        assert np.array_equal(
+            universe.A,
+            np.array([event.arrival for event in stream.events]))
+
+    def test_mmpp_burstier_than_poisson(self):
+        """Index of dispersion of MMPP counts exceeds Poisson's ~1."""
+        def dispersion(kind):
+            counts = []
+            for seed in range(30):
+                config = StreamConfig(kind=kind, horizon=200.0,
+                                      rate=0.3, burst_factor=6.0,
+                                      mean_burst=25.0, mean_calm=25.0)
+                counts.append(generate_stream(config, seed=seed)
+                              .num_events)
+            counts = np.array(counts, dtype=float)
+            return counts.var() / counts.mean()
+
+        assert dispersion("mmpp") > 1.5 * dispersion("poisson")
+
+    def test_diurnal_rate_follows_the_sinusoid(self):
+        """More arrivals in the high-rate half-period than the low."""
+        config = StreamConfig(kind="diurnal", horizon=400.0, rate=0.5,
+                              period=100.0, amplitude=0.9)
+        high = low = 0
+        for seed in range(10):
+            for event in generate_stream(config, seed=seed).events:
+                phase = (event.arrival % config.period) / config.period
+                if phase < 0.5:
+                    high += 1
+                else:
+                    low += 1
+        assert high > 1.3 * low
+
+    def test_bad_online_job_rejected(self):
+        from repro.core.job import Job
+
+        job = Job(processing=(1.0,), deadline=5.0, resources=(0,))
+        with pytest.raises(ModelError):
+            OnlineJob(uid=0, job=job, arrival=3.0, departure=3.0)
+
+
+class TestReplay:
+    def test_round_trip(self, tmp_path):
+        config = StreamConfig(kind="mmpp", horizon=100.0, rate=0.3)
+        stream = generate_stream(config, seed=7)
+        path = tmp_path / "trace.jsonl"
+        written = save_stream(stream, path)
+        assert written == stream.num_events
+        loaded = load_stream(path)
+        assert loaded.system == stream.system
+        assert loaded.events == stream.events
+
+    def test_replay_via_generate_stream(self, tmp_path):
+        stream = generate_stream(
+            StreamConfig(horizon=80.0, rate=0.3), seed=1)
+        path = tmp_path / "trace.jsonl"
+        save_stream(stream, path)
+        config = StreamConfig(kind="replay", replay_path=str(path))
+        replayed = generate_stream(config, seed=99)  # seed ignored
+        assert replayed.events == stream.events
+        assert replayed.config.kind == "replay"
+
+    def test_unsorted_files_are_renumbered(self, tmp_path):
+        stream = generate_stream(
+            StreamConfig(horizon=80.0, rate=0.3), seed=2)
+        path = tmp_path / "trace.jsonl"
+        save_stream(stream, path)
+        lines = path.read_text().splitlines()
+        shuffled = [lines[0]] + list(reversed(lines[1:]))
+        path.write_text("\n".join(shuffled) + "\n")
+        loaded = load_stream(path)
+        arrivals = [event.arrival for event in loaded.events]
+        assert arrivals == sorted(arrivals)
+        assert [event.uid for event in loaded.events] == \
+            list(range(len(arrivals)))
+
+    def test_malformed_files_fail_cleanly(self, tmp_path):
+        missing = tmp_path / "nope.jsonl"
+        with pytest.raises(ModelError):
+            load_stream(missing)
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("\n")
+        with pytest.raises(ModelError):
+            load_stream(empty)
+        wrong = tmp_path / "wrong.jsonl"
+        wrong.write_text('{"format": "other"}\n')
+        with pytest.raises(ModelError):
+            load_stream(wrong)

@@ -46,10 +46,40 @@ class TestParser:
                         "ablate-refinement", "ablate-solver",
                         "validate-sim", "scalability",
                         "ablate-heuristics", "ablate-holistic",
-                        "sensitivity"):
+                        "sensitivity", "online"):
             args = parser.parse_args([command, "--jobs", "4"])
             assert args.jobs == 4
             assert parser.parse_args([command]).jobs is None
+
+    def test_seed0_uses_none_sentinel(self):
+        """An explicit `--seed0 0` must behave exactly like the
+        default (the old truthiness check silently dropped it)."""
+        parser = build_parser()
+        assert parser.parse_args(["fig4a"]).seed0 is None
+        assert parser.parse_args(["fig4a", "--seed0", "0"]).seed0 == 0
+        assert parser.parse_args(["fig4a", "--seed0", "7"]).seed0 == 7
+
+    def test_online_parser_options(self):
+        parser = build_parser()
+        args = parser.parse_args(["online"])
+        assert args.stream == "poisson"
+        assert args.mode == "incremental"
+        args = parser.parse_args(
+            ["online", "--stream", "mmpp", "--horizon", "50",
+             "--rate", "0.4", "--cases", "2", "--jobs", "2",
+             "--policy", "edge", "--mode", "cold", "--validate", "3"])
+        assert args.stream == "mmpp"
+        assert args.horizon == 50.0
+        assert args.rate == 0.4
+        assert args.mode == "cold"
+        assert args.validate == 3
+        with pytest.raises(SystemExit):
+            parser.parse_args(["online", "--stream", "bogus"])
+        # 0 is meaningful (queue disabled); negatives are not.
+        args = parser.parse_args(["online", "--retry-limit", "0"])
+        assert args.retry_limit == 0
+        with pytest.raises(SystemExit):
+            parser.parse_args(["online", "--retry-limit", "-1"])
 
     def test_scalability_sizes(self):
         args = build_parser().parse_args(
@@ -138,6 +168,95 @@ class TestMain:
         assert exit_code == 0
         assert "S1 gap vs jobs" in captured.out
         assert "gap(OPT-OPDCA)" in captured.out
+
+
+class TestSeed0Override:
+    def test_explicit_zero_resolves_like_default(self):
+        """`--seed0 0` must reach the experiment config exactly like
+        the default (the old truthiness check silently dropped it),
+        and a non-zero override must land unchanged."""
+        from repro.cli import _experiment_config, _seed0
+
+        parser = build_parser()
+        default = parser.parse_args(["fig4a", "--cases", "2"])
+        explicit = parser.parse_args(
+            ["fig4a", "--cases", "2", "--seed0", "0"])
+        shifted = parser.parse_args(
+            ["fig4a", "--cases", "2", "--seed0", "17"])
+        assert _experiment_config(default).seed0 == 0
+        assert _experiment_config(explicit).seed0 == 0
+        assert _experiment_config(shifted).seed0 == 17
+        # The ablation/sensitivity call sites resolve via _seed0.
+        assert _seed0(default) == 0
+        assert _seed0(explicit) == 0
+        assert _seed0(shifted) == 17
+
+    def test_negative_seed0_still_accepted(self):
+        args = build_parser().parse_args(["fig4b", "--seed0", "-3"])
+        from repro.cli import _seed0
+
+        assert _seed0(args) == -3
+
+
+class TestOnlineCommand:
+    @staticmethod
+    def _deterministic_columns(output: str) -> "list[tuple]":
+        """Per-seed table cells excluding the wall-clock columns."""
+        rows = []
+        for line in output.splitlines():
+            cells = line.split()
+            if cells and cells[0].isdigit():
+                rows.append(tuple(cells[:-2]))  # drop p99 ms + ev/s
+        return rows
+
+    def test_end_to_end_serial_and_sharded(self, capsys):
+        argv = ["online", "--stream", "poisson", "--horizon", "60",
+                "--rate", "0.2", "--cases", "2"]
+        assert main(argv) == 0
+        serial = capsys.readouterr().out
+        assert "online admission" in serial
+        assert "accept%" in serial
+        assert main(argv + ["--jobs", "2"]) == 0
+        sharded = capsys.readouterr().out
+        rows = self._deterministic_columns(serial)
+        assert len(rows) == 2
+        assert rows == self._deterministic_columns(sharded)
+
+    def test_series_and_validate(self, capsys):
+        assert main(["online", "--horizon", "40", "--rate", "0.2",
+                     "--cases", "1", "--series",
+                     "--validate", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "per-event series" in out
+        assert "arrive" in out
+
+    def test_replay_round_trip(self, capsys, tmp_path):
+        from repro.online import StreamConfig, generate_stream, save_stream
+
+        stream = generate_stream(
+            StreamConfig(horizon=40.0, rate=0.2), seed=0)
+        path = tmp_path / "trace.jsonl"
+        save_stream(stream, path)
+        assert main(["online", "--stream", "replay",
+                     "--replay-file", str(path), "--cases", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "running 1 case" in out
+
+    def test_replay_requires_file(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["online", "--stream", "replay"])
+        assert "--replay-file" in capsys.readouterr().err
+
+    def test_store_caching(self, capsys, tmp_path):
+        cache = str(tmp_path / "cache")
+        argv = ["online", "--horizon", "50", "--rate", "0.2",
+                "--cases", "2", "--cache-dir", cache]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "misses=2" in cold and "writes=2" in cold
+        assert main(argv + ["--resume"]) == 0
+        warm = capsys.readouterr().out
+        assert "hits=2" in warm and "misses=0" in warm
 
 
 class TestArgumentValidation:
