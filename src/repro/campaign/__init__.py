@@ -1,0 +1,61 @@
+"""Declarative scenario-matrix campaigns over the evaluation stack.
+
+A campaign declares axes (workload family, job-count ladder, equation,
+admission policy, OPT backend, seeds) plus exclusion clauses;
+:func:`expand` deterministically materialises the cross-product into
+the existing batch/online scenario objects, :class:`CampaignRunner`
+executes them through the parallel sweep engine and the
+content-addressed result store (chunked checkpointing, resumable), and
+:func:`build_report` consolidates the outcomes into per-axis
+marginals, winner tables and a policy Pareto frontier.
+
+The CLI front end is ``python -m repro campaign run|expand|report``.
+"""
+
+from repro.campaign.report import (
+    CampaignReport,
+    build_report,
+    pareto_frontier,
+)
+from repro.campaign.runner import (
+    CampaignResult,
+    CampaignRunner,
+    run_campaign,
+    scenario_keys,
+)
+from repro.campaign.spec import (
+    AXIS_NAMES,
+    BATCH_FAMILIES,
+    FAMILIES,
+    ONLINE_FAMILIES,
+    CampaignError,
+    CampaignSpec,
+    ExpandedScenario,
+    campaign_hash,
+    expand,
+    load_campaign,
+    manifest,
+    save_campaign,
+)
+
+__all__ = [
+    "AXIS_NAMES",
+    "BATCH_FAMILIES",
+    "CampaignError",
+    "CampaignReport",
+    "CampaignResult",
+    "CampaignRunner",
+    "CampaignSpec",
+    "ExpandedScenario",
+    "FAMILIES",
+    "ONLINE_FAMILIES",
+    "build_report",
+    "campaign_hash",
+    "expand",
+    "load_campaign",
+    "manifest",
+    "pareto_frontier",
+    "run_campaign",
+    "save_campaign",
+    "scenario_keys",
+]

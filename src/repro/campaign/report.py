@@ -1,0 +1,343 @@
+"""Consolidated campaign aggregation and reporting.
+
+Reduces a :class:`~repro.campaign.runner.CampaignResult` to:
+
+* **overall summaries** -- per-approach acceptance over the batch
+  scenarios, mean acceptance/heaviness/churn over the online runs;
+* **per-axis marginals** -- the same summaries grouped by each
+  declared axis value (the campaign analogue of a figure's sweep
+  series);
+* **winner tables** -- per axis value, the approach (batch) or policy
+  (online) with the best acceptance, ties broken by declaration
+  order;
+* an optional **Pareto frontier** across admission policies in the
+  (acceptance ratio, rejected heaviness) plane -- the policies no
+  other policy beats on both objectives at once.
+
+The report is split into a ``deterministic`` section -- pure functions
+of the scenario outcomes, aggregated in expansion order, so an
+interrupted-and-resumed campaign reproduces it **bitwise** -- and a
+``timing`` section holding the wall-clock aggregates (per-approach
+runtimes, events/sec, decision latency) that legitimately differ
+between a fresh evaluation and a store-served replay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.campaign.runner import CampaignResult
+from repro.campaign.spec import BATCH_FAMILIES, RELEVANT_AXES
+
+REPORT_FORMAT = "repro-campaign-report"
+REPORT_VERSION = 1
+
+#: Deterministic per-run summary keys aggregated from online runs
+#: (the wall-clock keys of :mod:`repro.online.metrics` are excluded).
+ONLINE_MEAN_KEYS = ("acceptance_ratio", "rejected_heaviness",
+                    "mean_utilisation", "mean_admitted")
+ONLINE_SUM_KEYS = ("events", "arrivals", "evictions", "retry_accepts",
+                   "expired")
+
+
+def _mean(values) -> float:
+    values = list(values)
+    return sum(values) / len(values) if values else 0.0
+
+
+def _batch_axes(result: CampaignResult) -> list:
+    declared = result.spec.declared_axes()
+    relevant = RELEVANT_AXES[BATCH_FAMILIES[0]]
+    return [axis for axis in declared if axis in relevant]
+
+
+def _online_axes(result: CampaignResult) -> list:
+    declared = result.spec.declared_axes()
+    # All stream families share one relevant-axis set.
+    relevant = RELEVANT_AXES["poisson"]
+    return [axis for axis in declared if axis in relevant]
+
+
+def _batch_summary(pairs, approaches) -> dict:
+    cases = [case for _, case in pairs]
+    return {
+        "cases": len(cases),
+        "acceptance": {
+            approach: _mean(1.0 if case.accepted_by(approach) else 0.0
+                            for case in cases)
+            for approach in approaches
+        },
+        "mean_heaviness": _mean(case.system_heaviness
+                                for case in cases),
+    }
+
+
+def _online_summary(pairs) -> dict:
+    summaries = [run.summary for _, run in pairs]
+    aggregated = {"runs": len(summaries)}
+    for key in ONLINE_MEAN_KEYS:
+        aggregated[key] = _mean(s.get(key, 0.0) for s in summaries)
+    for key in ONLINE_SUM_KEYS:
+        aggregated[key] = sum(int(s.get(key, 0)) for s in summaries)
+    aggregated["validation_failures"] = sum(
+        len(run.validation_failures) for _, run in pairs)
+    return aggregated
+
+
+def _marginals(pairs, axes, summarise) -> dict:
+    marginals: dict = {}
+    for axis in axes:
+        groups: dict = {}
+        for point, outcome in pairs:
+            groups.setdefault(str(point[axis]), []).append(
+                (point, outcome))
+        marginals[axis] = {value: summarise(group)
+                           for value, group in groups.items()}
+    return marginals
+
+
+def _batch_winners(marginals, approaches) -> dict:
+    """Per axis value: the first approach with the best acceptance."""
+    winners: dict = {}
+    for axis, per_value in marginals.items():
+        winners[axis] = {}
+        for value, summary in per_value.items():
+            acceptance = summary["acceptance"]
+            if not acceptance:
+                continue
+            best = max(acceptance.values())
+            winners[axis][value] = next(
+                approach for approach in approaches
+                if acceptance[approach] == best)
+    return winners
+
+
+def _online_winners(pairs) -> dict:
+    """Per family: the policy with the best mean acceptance ratio."""
+    by_family: dict = {}
+    for point, run in pairs:
+        family = str(point["family"])
+        policy = str(point.get("policy", run.policy))
+        by_family.setdefault(family, {}).setdefault(policy, []).append(
+            run.summary["acceptance_ratio"])
+    winners = {}
+    for family, per_policy in by_family.items():
+        means = {policy: _mean(ratios)
+                 for policy, ratios in per_policy.items()}
+        best = max(means.values())
+        winners[family] = next(policy for policy in means
+                               if means[policy] == best)
+    return winners
+
+
+def pareto_frontier(points: dict) -> list:
+    """Non-dominated policies in the (maximise acceptance, minimise
+    rejected heaviness) plane.
+
+    ``points`` maps a policy name to its ``(acceptance,
+    rejected_heaviness)`` pair; the frontier is returned sorted by
+    acceptance, descending, with the input order breaking ties.
+    """
+    names = list(points)
+    frontier = []
+    for name in names:
+        acc, rej = points[name]
+        dominated = any(
+            (points[other][0] >= acc and points[other][1] <= rej and
+             points[other] != (acc, rej))
+            for other in names if other != name)
+        if not dominated:
+            frontier.append(name)
+    frontier.sort(key=lambda name: (-points[name][0],
+                                    names.index(name)))
+    return frontier
+
+
+def _online_pareto(pairs) -> dict:
+    per_policy: dict = {}
+    for point, run in pairs:
+        policy = str(point.get("policy", run.policy))
+        per_policy.setdefault(policy, []).append(run.summary)
+    points = {
+        policy: (_mean(s["acceptance_ratio"] for s in summaries),
+                 _mean(s["rejected_heaviness"] for s in summaries))
+        for policy, summaries in per_policy.items()
+    }
+    return {
+        "points": {policy: {"acceptance_ratio": acc,
+                            "rejected_heaviness": rej}
+                   for policy, (acc, rej) in points.items()},
+        "frontier": pareto_frontier(points),
+    }
+
+
+def _batch_timing(pairs, approaches) -> dict:
+    cases = [case for _, case in pairs]
+    return {
+        "mean_runtime": {
+            approach: _mean(case.runtime.get(approach, 0.0)
+                            for case in cases)
+            for approach in approaches
+        },
+    }
+
+
+def _online_timing(pairs) -> dict:
+    summaries = [run.summary for _, run in pairs]
+    return {
+        "mean_events_per_sec": _mean(s.get("events_per_sec", 0.0)
+                                     for s in summaries),
+        "mean_latency_p99_ms": _mean(s.get("latency_p99_ms", 0.0)
+                                     for s in summaries),
+    }
+
+
+@dataclass
+class CampaignReport:
+    """The consolidated aggregation of one campaign run."""
+
+    name: str
+    campaign_hash: str
+    deterministic: dict
+    timing: dict
+
+    def to_dict(self) -> dict:
+        return {
+            "format": REPORT_FORMAT,
+            "version": REPORT_VERSION,
+            "name": self.name,
+            "campaign_hash": self.campaign_hash,
+            "deterministic": self.deterministic,
+            "timing": self.timing,
+        }
+
+    def canonical(self) -> str:
+        """Canonical JSON of the *deterministic* section only -- the
+        string the resume property tests compare bitwise."""
+        from repro.core.serialize import canonical_dumps
+
+        return canonical_dumps({"name": self.name,
+                                "campaign_hash": self.campaign_hash,
+                                "deterministic": self.deterministic})
+
+    # -- formatting ---------------------------------------------------
+
+    def format(self) -> str:
+        lines = [f"campaign {self.name}  "
+                 f"hash={self.campaign_hash[:12]}"]
+        det = self.deterministic
+        lines.append(
+            f"  scenarios: {det['scenarios']} "
+            f"({det['batch_scenarios']} batch, "
+            f"{det['online_scenarios']} online)")
+        batch = det.get("batch")
+        if batch:
+            lines.append(f"\nbatch overall ({batch['overall']['cases']} "
+                         f"cases):")
+            lines.extend(_format_acceptance(batch["overall"]))
+            for axis, per_value in batch["marginals"].items():
+                lines.append(f"\nbatch marginal over {axis}:")
+                for value, summary in per_value.items():
+                    parts = "  ".join(
+                        f"{approach}={ratio:.2f}"
+                        for approach, ratio
+                        in summary["acceptance"].items())
+                    winner = batch["winners"][axis].get(value, "-")
+                    lines.append(
+                        f"  {axis}={value:<10s} cases={summary['cases']:<4d} "
+                        f"{parts}  H={summary['mean_heaviness']:.3f}  "
+                        f"winner={winner}")
+            timing = self.timing.get("batch")
+            if timing:
+                parts = "  ".join(
+                    f"{approach}={seconds * 1e3:.1f}ms"
+                    for approach, seconds
+                    in timing["mean_runtime"].items())
+                lines.append(f"  mean runtime: {parts}")
+        online = det.get("online")
+        if online:
+            overall = online["overall"]
+            lines.append(
+                f"\nonline overall ({overall['runs']} runs): "
+                f"acc={100.0 * overall['acceptance_ratio']:.1f}%  "
+                f"rej.heavy={overall['rejected_heaviness']:.2f}  "
+                f"evictions={overall['evictions']}  "
+                f"util={overall['mean_utilisation']:.2f}")
+            for axis, per_value in online["marginals"].items():
+                lines.append(f"\nonline marginal over {axis}:")
+                for value, summary in per_value.items():
+                    lines.append(
+                        f"  {axis}={value:<12s} runs={summary['runs']:<4d} "
+                        f"acc={100.0 * summary['acceptance_ratio']:5.1f}%  "
+                        f"rej.heavy={summary['rejected_heaviness']:.2f}  "
+                        f"evict={summary['evictions']}")
+            if online.get("winners"):
+                pairs = ", ".join(f"{family}->{policy}" for family, policy
+                                  in online["winners"].items())
+                lines.append(f"  best policy by family: {pairs}")
+            pareto = online.get("pareto")
+            if pareto and len(pareto["points"]) > 1:
+                lines.append("  pareto frontier "
+                             "(acceptance vs rejected heaviness): "
+                             + ", ".join(pareto["frontier"]))
+            timing = self.timing.get("online")
+            if timing:
+                lines.append(
+                    f"  mean events/s="
+                    f"{timing['mean_events_per_sec']:.0f}  "
+                    f"p99={timing['mean_latency_p99_ms']:.2f}ms")
+            if overall["validation_failures"]:
+                lines.append(
+                    f"  VALIDATION FAILURES: "
+                    f"{overall['validation_failures']}")
+        return "\n".join(lines)
+
+
+def _format_acceptance(summary: dict) -> list:
+    return ["  " + "  ".join(
+        f"{approach}={ratio:.2f}"
+        for approach, ratio in summary["acceptance"].items()) +
+        f"  mean H={summary['mean_heaviness']:.3f}"]
+
+
+def build_report(result: CampaignResult) -> CampaignReport:
+    """Aggregate one campaign run into a :class:`CampaignReport`.
+
+    Every aggregate in the ``deterministic`` section folds the
+    outcomes in expansion order, so the section (and its
+    :meth:`~CampaignReport.canonical` form) is bitwise reproducible
+    across resumes and worker counts.
+    """
+    spec = result.spec
+    deterministic: dict = {
+        "scenarios": result.scenarios,
+        "batch_scenarios": len(result.batch),
+        "online_scenarios": len(result.online),
+    }
+    timing: dict = {}
+    if result.batch:
+        marginals = _marginals(result.batch, _batch_axes(result),
+                               lambda pairs: _batch_summary(
+                                   pairs, spec.approaches))
+        deterministic["batch"] = {
+            "overall": _batch_summary(result.batch, spec.approaches),
+            "marginals": marginals,
+            "winners": _batch_winners(marginals, spec.approaches),
+        }
+        timing["batch"] = _batch_timing(result.batch, spec.approaches)
+    if result.online:
+        deterministic["online"] = {
+            "overall": _online_summary(result.online),
+            "marginals": _marginals(result.online,
+                                    _online_axes(result),
+                                    _online_summary),
+            "winners": _online_winners(result.online),
+            "pareto": _online_pareto(result.online),
+        }
+        timing["online"] = _online_timing(result.online)
+    return CampaignReport(
+        name=spec.name,
+        campaign_hash=result.manifest["campaign_hash"],
+        deterministic=deterministic,
+        timing=timing,
+    )

@@ -9,12 +9,21 @@ ablations as plain-text tables, e.g.::
     python -m repro ablate-solver --cases 5
     python -m repro scalability --sizes 25 50 100
     python -m repro online --stream poisson --horizon 200 --cases 4
+    python -m repro campaign run examples/campaigns/demo.json --jobs 8
     python -m repro store stats --cache-dir .cache
 
 ``online`` leaves the one-shot world of the figures: it streams
 timestamped job arrivals/departures through the admission engine of
 :mod:`repro.online` and reports acceptance/heaviness/latency time
 series (``--stream poisson|mmpp|diurnal|replay``).
+
+``campaign`` scales the sweeps out declaratively: a JSON/TOML spec
+names axes (workload family, job ladder, equation, policy, OPT
+backend, seeds) plus excludes, ``expand`` materialises the
+cross-product deterministically, ``run`` drives it through the
+parallel engine and the result store (resumable, chunk-checkpointed),
+and ``report`` aggregates a fully-cached campaign without evaluating
+anything (see :mod:`repro.campaign`).
 
 Every subcommand accepts ``--jobs N`` to shard its seeded test cases
 across ``N`` worker processes (default: the ``REPRO_JOBS`` environment
@@ -220,6 +229,39 @@ def build_parser() -> argparse.ArgumentParser:
                         "first stream")
     add_cache_options(p)
 
+    p = sub.add_parser(
+        "campaign",
+        help="declarative scenario-matrix campaigns "
+             "(expand | run | report)")
+    campaign_sub = p.add_subparsers(dest="campaign_command",
+                                    required=True)
+    for action, description in (
+            ("expand", "materialise the scenario grid and print the "
+                       "manifest"),
+            ("run", "execute the campaign through the parallel sweep "
+                    "engine and the result store"),
+            ("report", "aggregate a fully-cached campaign from the "
+                       "result store without evaluating anything")):
+        cp = campaign_sub.add_parser(action, help=description)
+        cp.add_argument("spec", metavar="SPEC",
+                        help="campaign spec file (.json or .toml)")
+        cp.add_argument("--output", "-o", default=None, metavar="FILE",
+                        help="write the manifest (expand) or the "
+                             "consolidated report (run/report) as "
+                             "JSON to FILE")
+        if action == "expand":
+            cp.add_argument("--list", action="store_true",
+                            help="also print one line per "
+                                 "materialised scenario")
+        else:
+            cp.add_argument("--jobs", type=positive_int, default=None,
+                            metavar="N",
+                            help="worker processes for the scenario "
+                                 "sweep (default: REPRO_JOBS env var, "
+                                 "else 1; results are identical for "
+                                 "any N)")
+            add_cache_options(cp)
+
     p = sub.add_parser("store",
                        help="inspect/manage a result store "
                             "(stats | gc | export)")
@@ -363,6 +405,88 @@ def _run_online_command(args: argparse.Namespace,
     return 0
 
 
+def _write_json(path: str, payload: dict) -> None:
+    import json
+
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def _run_campaign_command(args: argparse.Namespace,
+                          parser: argparse.ArgumentParser,
+                          store) -> int:
+    """Drive ``repro campaign expand|run|report`` from the CLI flags."""
+    from repro.campaign import (
+        CampaignError,
+        CampaignRunner,
+        build_report,
+        load_campaign,
+        manifest,
+    )
+
+    try:
+        spec = load_campaign(args.spec)
+    except CampaignError as error:
+        parser.error(str(error))
+
+    if args.campaign_command == "expand":
+        from repro.campaign import expand
+
+        try:
+            scenarios = expand(spec)
+            campaign_manifest = manifest(spec, scenarios=scenarios)
+        except CampaignError as error:
+            parser.error(str(error))
+        print(f"campaign {spec.name}  "
+              f"hash={campaign_manifest['campaign_hash'][:12]}")
+        print(f"  grid points: {campaign_manifest['grid_points']}  "
+              f"scenarios: {campaign_manifest['scenarios']} "
+              f"({campaign_manifest['batch_scenarios']} batch, "
+              f"{campaign_manifest['online_scenarios']} online)")
+        for axis, counts in campaign_manifest["per_axis"].items():
+            parts = "  ".join(f"{value}:{count}"
+                              for value, count in counts.items())
+            print(f"  axis {axis:<12s} {parts}")
+        if args.list:
+            for index, scenario in enumerate(scenarios):
+                point = "  ".join(f"{axis}={value}" for axis, value
+                                  in scenario.point.items())
+                print(f"  [{index:4d}] {scenario.kind:6s} {point}")
+        if args.output:
+            _write_json(args.output, campaign_manifest)
+            print(f"  manifest written to {args.output}")
+        return 0
+
+    try:
+        runner = CampaignRunner(spec, store=store,
+                                n_workers=_n_workers(args),
+                                progress=print)
+    except CampaignError as error:
+        parser.error(str(error))
+    if args.campaign_command == "report":
+        if store is None:
+            parser.error("campaign report needs --cache-dir "
+                         "(or REPRO_CACHE_DIR) pointing at a store "
+                         "populated by `repro campaign run`")
+        missing = runner.missing()
+        if missing:
+            parser.error(
+                f"campaign report: {missing} of "
+                f"{len(runner.scenarios)} scenarios are not in the "
+                f"store at {store.root} -- run `repro campaign run` "
+                f"first")
+    result = runner.run()
+    report = build_report(result)
+    print(report.format())
+    if args.output:
+        _write_json(args.output, report.to_dict())
+        print(f"\nreport written to {args.output}")
+    failures = sum(len(run.validation_failures)
+                   for _, run in result.online)
+    return 1 if failures else 0
+
+
 def _experiment_config(args: argparse.Namespace) -> ExperimentConfig:
     config = ExperimentConfig.from_environment()
     overrides = {}
@@ -402,6 +526,10 @@ def main(argv: "list[str] | None" = None) -> int:
         if getattr(args, "resume", False) or _cache_dir(args):
             print("[cache] scalability is a timing benchmark; "
                   "its measurements are never cached")
+    elif args.command == "campaign" and \
+            args.campaign_command == "expand":
+        # Pure spec manipulation: never open (or create) a store.
+        store = None
     else:
         store = _resolve_store(args, parser)
 
@@ -447,6 +575,8 @@ def main(argv: "list[str] | None" = None) -> int:
                                   store=store).format())
     elif args.command == "online":
         exit_code = _run_online_command(args, parser, store)
+    elif args.command == "campaign":
+        exit_code = _run_campaign_command(args, parser, store)
     elif args.command == "scalability":
         print(scalability(job_counts=tuple(args.sizes),
                           cases=args.cases,

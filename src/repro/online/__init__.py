@@ -31,6 +31,7 @@ from repro.online.engine import (
     OnlineRunResult,
     OnlineScenarioSpec,
     evaluate_online,
+    online_work_item,
     run_online_scenario,
 )
 from repro.online.incremental import (
@@ -81,6 +82,7 @@ __all__ = [
     "incremental_admission",
     "incremental_feasibility",
     "load_stream",
+    "online_work_item",
     "run_online_scenario",
     "save_stream",
 ]

@@ -509,6 +509,18 @@ def _replay_fingerprint(spec: OnlineScenarioSpec) -> "str | None":
         Path(spec.stream.replay_path).read_bytes()).hexdigest()
 
 
+def online_work_item(spec: OnlineScenarioSpec) -> tuple:
+    """The ``parallel_map`` argument tuple of one online scenario.
+
+    This tuple (under :data:`ONLINE_CALL_KEY`) *is* the scenario's
+    result-store identity, so anything that needs to predict store
+    keys without evaluating -- the campaign runner's ``missing()``
+    precheck, external cache audits -- must build them from here
+    rather than re-deriving the shape.
+    """
+    return (spec, _replay_fingerprint(spec))
+
+
 def evaluate_online(specs, *, n_workers: int = 1,
                     store=None) -> "list[OnlineRunResult]":
     """Evaluate scenarios, preserving input order.
@@ -525,6 +537,6 @@ def evaluate_online(specs, *, n_workers: int = 1,
 
     payloads = parallel_map(
         run_online_scenario_dict,
-        [(spec, _replay_fingerprint(spec)) for spec in specs],
+        [online_work_item(spec) for spec in specs],
         n_workers=n_workers, store=store, key=ONLINE_CALL_KEY)
     return [OnlineRunResult.from_dict(payload) for payload in payloads]

@@ -1,0 +1,197 @@
+"""CLI coverage for ``repro campaign expand|run|report``.
+
+Exercises the error paths the satellite checklist calls out --
+malformed spec files, unknown axis names, contradictory excludes --
+and the manifest round-trip (spec -> JSON -> spec is the identity).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.campaign import CampaignSpec, load_campaign
+from repro.cli import build_parser, main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SMOKE = str(REPO_ROOT / "examples/campaigns/smoke.json")
+
+
+def _write_spec(tmp_path, payload) -> str:
+    path = tmp_path / "campaign.json"
+    path.write_text(json.dumps(payload))
+    return str(path)
+
+
+TINY_SPEC = {
+    "name": "cli-tiny",
+    "axes": {"family": ["edge"], "jobs": [6], "seed": [0, 1]},
+    "approaches": ["dm", "dmr"],
+    "workload": {"edge": {"num_aps": 4, "num_servers": 3}},
+}
+
+
+class TestParser:
+    def test_subcommands_present(self):
+        parser = build_parser()
+        for action in ("expand", "run", "report"):
+            args = parser.parse_args(["campaign", action, "spec.json"])
+            assert args.command == "campaign"
+            assert args.campaign_command == action
+            assert args.spec == "spec.json"
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["campaign"])
+
+    def test_run_has_cache_and_jobs_parity(self):
+        args = build_parser().parse_args(
+            ["campaign", "run", "spec.json", "--jobs", "4",
+             "--cache-dir", "/tmp/x", "--resume"])
+        assert args.jobs == 4
+        assert args.cache_dir == "/tmp/x"
+        assert args.resume
+        args = build_parser().parse_args(
+            ["campaign", "report", "spec.json", "--no-cache"])
+        assert args.no_cache
+
+    def test_expand_has_no_jobs_flag(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["campaign", "expand", "spec.json", "--jobs", "2"])
+
+
+class TestErrorPaths:
+    def test_missing_spec_file(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["campaign", "expand",
+                  str(tmp_path / "missing.json")])
+        assert excinfo.value.code == 2
+        assert "no campaign spec" in capsys.readouterr().err
+
+    def test_malformed_json_spec(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text("{broken")
+        with pytest.raises(SystemExit) as excinfo:
+            main(["campaign", "expand", str(path)])
+        assert excinfo.value.code == 2
+        assert "malformed JSON" in capsys.readouterr().err
+
+    def test_unknown_axis_name(self, tmp_path, capsys):
+        spec = dict(TINY_SPEC)
+        spec["axes"] = {"frequency": [1, 2]}
+        with pytest.raises(SystemExit) as excinfo:
+            main(["campaign", "expand", _write_spec(tmp_path, spec)])
+        assert excinfo.value.code == 2
+        assert "unknown axis 'frequency'" in capsys.readouterr().err
+
+    def test_contradictory_exclude(self, tmp_path, capsys):
+        spec = dict(TINY_SPEC)
+        spec["exclude"] = [{"jobs": [99]}]
+        with pytest.raises(SystemExit) as excinfo:
+            main(["campaign", "expand", _write_spec(tmp_path, spec)])
+        assert excinfo.value.code == 2
+        assert "contradictory exclude" in capsys.readouterr().err
+
+    def test_all_eliminating_excludes(self, tmp_path, capsys):
+        spec = dict(TINY_SPEC)
+        spec["exclude"] = [{"family": ["edge"]}]
+        with pytest.raises(SystemExit) as excinfo:
+            main(["campaign", "expand", _write_spec(tmp_path, spec)])
+        assert excinfo.value.code == 2
+        assert "eliminate" in capsys.readouterr().err
+
+    def test_unsupported_extension(self, tmp_path, capsys):
+        path = tmp_path / "spec.yaml"
+        path.write_text("name: x")
+        with pytest.raises(SystemExit) as excinfo:
+            main(["campaign", "expand", str(path)])
+        assert excinfo.value.code == 2
+        assert "extension" in capsys.readouterr().err
+
+    def test_report_without_cache_dir(self, tmp_path, capsys,
+                                      monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        with pytest.raises(SystemExit) as excinfo:
+            main(["campaign", "report",
+                  _write_spec(tmp_path, TINY_SPEC)])
+        assert excinfo.value.code == 2
+        assert "--cache-dir" in capsys.readouterr().err
+
+    def test_report_on_cold_store_lists_missing(self, tmp_path,
+                                                capsys):
+        from repro.store import ResultStore
+
+        ResultStore(tmp_path / "store")  # exists, but empty
+        with pytest.raises(SystemExit) as excinfo:
+            main(["campaign", "report",
+                  _write_spec(tmp_path, TINY_SPEC),
+                  "--cache-dir", str(tmp_path / "store")])
+        assert excinfo.value.code == 2
+        assert "2 of 2 scenarios" in capsys.readouterr().err
+
+    def test_resume_without_store(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["campaign", "run",
+                  _write_spec(tmp_path, TINY_SPEC),
+                  "--resume", "--cache-dir",
+                  str(tmp_path / "nowhere")])
+        assert excinfo.value.code == 2
+        assert "no result store" in capsys.readouterr().err
+
+
+class TestManifestRoundTrip:
+    def test_expand_manifest_spec_is_identity(self, tmp_path, capsys):
+        spec_path = _write_spec(tmp_path, TINY_SPEC)
+        manifest_path = tmp_path / "manifest.json"
+        assert main(["campaign", "expand", spec_path,
+                     "--output", str(manifest_path)]) == 0
+        capsys.readouterr()
+        manifest = json.loads(manifest_path.read_text())
+        original = load_campaign(spec_path)
+        assert CampaignSpec.from_dict(manifest["spec"]) == original
+        assert manifest["scenarios"] == 2
+        # The embedded spec reloads through a file round-trip too.
+        clone_path = tmp_path / "clone.json"
+        clone_path.write_text(json.dumps(manifest["spec"]))
+        assert load_campaign(clone_path) == original
+
+    def test_expand_list_prints_every_scenario(self, capsys):
+        assert main(["campaign", "expand", SMOKE, "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "campaign smoke" in out
+        assert out.count("[") >= 12  # one bracket tag per scenario
+
+
+class TestRunAndReport:
+    def test_run_then_warm_resume_then_report(self, tmp_path, capsys):
+        spec_path = _write_spec(tmp_path, TINY_SPEC)
+        cache = str(tmp_path / "cache")
+
+        assert main(["campaign", "run", spec_path,
+                     "--cache-dir", cache]) == 0
+        cold = capsys.readouterr().out
+        assert "misses=2" in cold and "writes=2" in cold
+        assert "campaign cli-tiny" in cold
+
+        assert main(["campaign", "run", spec_path, "--resume",
+                     "--cache-dir", cache]) == 0
+        warm = capsys.readouterr().out
+        assert "misses=0" in warm and "writes=0" in warm
+
+        report_path = tmp_path / "report.json"
+        assert main(["campaign", "report", spec_path,
+                     "--cache-dir", cache,
+                     "--output", str(report_path)]) == 0
+        capsys.readouterr()
+        payload = json.loads(report_path.read_text())
+        assert payload["deterministic"]["scenarios"] == 2
+
+    def test_run_no_cache_prints_no_summary(self, tmp_path, capsys,
+                                            monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        spec_path = _write_spec(tmp_path, TINY_SPEC)
+        assert main(["campaign", "run", spec_path, "--no-cache"]) == 0
+        assert "[cache]" not in capsys.readouterr().out

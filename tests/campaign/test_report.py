@@ -1,0 +1,133 @@
+"""Campaign aggregation: marginals, winners, Pareto, determinism."""
+
+from __future__ import annotations
+
+import json
+
+from repro.campaign import (
+    CampaignSpec,
+    build_report,
+    pareto_frontier,
+    run_campaign,
+)
+
+TINY_WORKLOAD = {"edge": {"num_aps": 4, "num_servers": 3}}
+
+
+def tiny_spec(**overrides) -> CampaignSpec:
+    kwargs = dict(
+        name="tiny",
+        axes={"family": ("edge", "poisson"), "jobs": (6, 8),
+              "seed": (0, 1)},
+        approaches=("dm", "dmr"),
+        horizon=20.0,
+        rate=0.3,
+        workload=TINY_WORKLOAD,
+    )
+    kwargs.update(overrides)
+    return CampaignSpec(**kwargs)
+
+
+class TestParetoFrontier:
+    def test_dominated_policy_is_dropped(self):
+        points = {"a": (0.9, 1.0), "b": (0.8, 2.0), "c": (0.5, 0.5)}
+        # b is dominated by a (lower acceptance, more rejected
+        # heaviness); c trades acceptance for less heaviness.
+        assert pareto_frontier(points) == ["a", "c"]
+
+    def test_identical_points_all_survive(self):
+        points = {"a": (0.5, 1.0), "b": (0.5, 1.0)}
+        assert pareto_frontier(points) == ["a", "b"]
+
+    def test_single_point(self):
+        assert pareto_frontier({"only": (0.1, 9.0)}) == ["only"]
+
+    def test_sorted_by_acceptance_descending(self):
+        points = {"low": (0.2, 0.1), "high": (0.9, 5.0),
+                  "mid": (0.5, 1.0)}
+        assert pareto_frontier(points) == ["high", "mid", "low"]
+
+
+class TestReport:
+    def test_structure_and_counts(self):
+        result = run_campaign(tiny_spec())
+        report = build_report(result)
+        det = report.deterministic
+        assert det["scenarios"] == 8
+        assert det["batch_scenarios"] == 4
+        assert det["online_scenarios"] == 4
+        assert det["batch"]["overall"]["cases"] == 4
+        assert det["online"]["overall"]["runs"] == 4
+        # Declared axes only, filtered per kind.
+        assert sorted(det["batch"]["marginals"]) == \
+            ["family", "jobs", "seed"]
+        assert sorted(det["online"]["marginals"]) == \
+            ["family", "jobs", "seed"]
+        assert det["batch"]["marginals"]["jobs"]["6"]["cases"] == 2
+
+    def test_acceptance_ratios_in_range(self):
+        report = build_report(run_campaign(tiny_spec()))
+        for summary in [report.deterministic["batch"]["overall"],
+                        *report.deterministic["batch"]["marginals"]
+                        ["jobs"].values()]:
+            for ratio in summary["acceptance"].values():
+                assert 0.0 <= ratio <= 1.0
+
+    def test_winners_use_declaration_order_for_ties(self):
+        report = build_report(run_campaign(tiny_spec()))
+        winners = report.deterministic["batch"]["winners"]
+        for per_value in winners.values():
+            for winner in per_value.values():
+                assert winner in ("dm", "dmr")
+
+    def test_online_winner_and_pareto_present(self):
+        report = build_report(run_campaign(tiny_spec()))
+        online = report.deterministic["online"]
+        assert online["winners"] == {"poisson": "preemptive"}
+        assert online["pareto"]["frontier"] == ["preemptive"]
+
+    def test_timing_separated_from_deterministic(self):
+        report = build_report(run_campaign(tiny_spec()))
+        assert "mean_runtime" in report.timing["batch"]
+        assert "mean_events_per_sec" in report.timing["online"]
+        canonical = report.canonical()
+        assert "mean_runtime" not in canonical
+        assert "events_per_sec" not in canonical
+        assert "latency" not in canonical
+
+    def test_to_dict_is_json_ready(self):
+        report = build_report(run_campaign(tiny_spec()))
+        payload = json.loads(json.dumps(report.to_dict()))
+        assert payload["format"] == "repro-campaign-report"
+        assert payload["name"] == "tiny"
+        assert payload["campaign_hash"]
+
+    def test_format_is_human_readable(self):
+        text = build_report(run_campaign(tiny_spec())).format()
+        assert "campaign tiny" in text
+        assert "batch overall" in text
+        assert "online overall" in text
+        assert "marginal over jobs" in text
+        assert "best policy by family" in text
+
+    def test_batch_only_report_has_no_online_section(self):
+        spec = tiny_spec(axes={"family": ("edge",), "jobs": (6,),
+                               "seed": (0, 1)})
+        report = build_report(run_campaign(spec))
+        assert "online" not in report.deterministic
+        assert "online" not in report.timing
+        assert "online overall" not in report.format()
+
+    def test_policy_axis_pareto(self):
+        spec = CampaignSpec(
+            name="policies",
+            axes={"family": ("poisson",), "jobs": (8,),
+                  "policy": ("preemptive", "nonpreemptive"),
+                  "seed": (0, 1)},
+            horizon=20.0, rate=0.4)
+        report = build_report(run_campaign(spec))
+        pareto = report.deterministic["online"]["pareto"]
+        assert sorted(pareto["points"]) == \
+            ["nonpreemptive", "preemptive"]
+        assert pareto["frontier"]  # never empty
+        assert set(pareto["frontier"]) <= set(pareto["points"])

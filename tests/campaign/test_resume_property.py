@@ -1,0 +1,119 @@
+"""Resumability: interrupted campaigns complete bitwise-identically.
+
+The campaign-level acceptance contract, layered on the store's: a
+campaign killed after at least one checkpoint and re-run with
+``--resume`` semantics (same spec, same store) produces a consolidated
+report whose *deterministic* section is bitwise identical to a
+one-shot run -- for the serial and the sharded (``--jobs``) paths,
+and for any kill point.  Only the ``timing`` section may differ
+(store-served scenarios replay the wall-clock of the run that
+computed them).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.campaign import CampaignRunner, CampaignSpec, build_report
+from repro.store import ResultStore
+
+TINY_WORKLOAD = {"edge": {"num_aps": 4, "num_servers": 3}}
+
+
+def _spec(seed0: int = 0) -> CampaignSpec:
+    return CampaignSpec(
+        name="resume",
+        axes={"family": ("edge", "poisson"), "jobs": (6, 8),
+              "seed": (seed0, seed0 + 1)},
+        approaches=("dm", "dmr"),
+        horizon=20.0,
+        rate=0.3,
+        workload=TINY_WORKLOAD,
+    )
+
+
+class _DyingStore(ResultStore):
+    """A store whose process 'dies' after ``survive`` checkpoints."""
+
+    def __init__(self, root, survive: int):
+        super().__init__(root)
+        self._survive = survive
+
+    def put(self, key, payload, **kwargs):
+        if self.counters.writes >= self._survive:
+            raise KeyboardInterrupt("simulated kill")
+        super().put(key, payload, **kwargs)
+
+
+def _canonical_report(spec, *, store=None, n_workers=1) -> str:
+    runner = CampaignRunner(spec, store=store, n_workers=n_workers,
+                            chunk_scenarios=2)
+    return build_report(runner.run()).canonical()
+
+
+class TestInterruptedCampaign:
+    def test_serial_kill_then_resume_matches_one_shot(self, tmp_path):
+        spec = _spec()
+        one_shot = _canonical_report(spec)
+
+        with pytest.raises(KeyboardInterrupt):
+            CampaignRunner(spec, store=_DyingStore(tmp_path, 3),
+                           chunk_scenarios=2).run()
+
+        store = ResultStore(tmp_path)
+        resumed = _canonical_report(spec, store=store)
+        assert store.counters.hits == 3
+        assert resumed == one_shot
+
+    def test_sharded_kill_then_sharded_resume(self, tmp_path):
+        spec = _spec()
+        one_shot = _canonical_report(spec, n_workers=2)
+
+        with pytest.raises(KeyboardInterrupt):
+            CampaignRunner(spec, store=_DyingStore(tmp_path, 2),
+                           n_workers=2, chunk_scenarios=2).run()
+
+        resumed = _canonical_report(spec, store=ResultStore(tmp_path),
+                                    n_workers=2)
+        assert resumed == one_shot
+
+    def test_warm_rerun_reports_zero_misses(self, tmp_path):
+        spec = _spec()
+        first = _canonical_report(spec, store=ResultStore(tmp_path))
+        warm_store = ResultStore(tmp_path)
+        warm = _canonical_report(spec, store=warm_store)
+        assert warm_store.counters.misses == 0
+        assert warm_store.counters.writes == 0
+        assert warm == first
+
+
+@settings(max_examples=4, deadline=None)
+@given(seed0=st.integers(0, 300), checkpoint=st.integers(1, 6),
+       n_workers=st.sampled_from([1, 2]))
+def test_property_campaign_resume_is_bitwise_identical(
+        tmp_path_factory, seed0, checkpoint, n_workers):
+    """Property: for any kill point with >= 1 checkpoint and either
+    worker-count path, the resumed campaign's deterministic report ==
+    the one-shot report, bitwise."""
+    tmp_path = tmp_path_factory.mktemp("campaign-resume")
+    spec = _spec(seed0)
+    one_shot = _canonical_report(spec, n_workers=n_workers)
+
+    with pytest.raises(KeyboardInterrupt):
+        CampaignRunner(spec, store=_DyingStore(tmp_path, checkpoint),
+                       n_workers=n_workers, chunk_scenarios=2).run()
+
+    store = ResultStore(tmp_path)
+    resumed = _canonical_report(spec, store=store,
+                                n_workers=n_workers)
+    assert store.counters.hits == checkpoint
+    assert resumed == one_shot
+
+    # And a second fully-warm pass serves everything from disk.
+    warm_store = ResultStore(tmp_path)
+    warm = _canonical_report(spec, store=warm_store,
+                             n_workers=n_workers)
+    assert warm_store.counters.misses == 0
+    assert warm == one_shot

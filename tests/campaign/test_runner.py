@@ -1,0 +1,146 @@
+"""Campaign execution: sharding, store checkpointing, progress."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaign import (
+    CampaignRunner,
+    CampaignSpec,
+    run_campaign,
+    scenario_keys,
+)
+from repro.store import ResultStore
+
+TINY_WORKLOAD = {"edge": {"num_aps": 4, "num_servers": 3}}
+
+
+def tiny_spec(**overrides) -> CampaignSpec:
+    kwargs = dict(
+        name="tiny",
+        axes={"family": ("edge", "poisson"), "jobs": (6, 8),
+              "seed": (0, 1)},
+        approaches=("dm", "dmr"),
+        horizon=20.0,
+        rate=0.3,
+        workload=TINY_WORKLOAD,
+    )
+    kwargs.update(overrides)
+    return CampaignSpec(**kwargs)
+
+
+def _deterministic(result):
+    batch = [(point, case.seed, case.accepted, case.notes,
+              case.system_heaviness)
+             for point, case in result.batch]
+    online = [(point, run.seed,
+               {key: value for key, value in run.summary.items()
+                if not key.endswith("_ms") and
+                key != "events_per_sec"},
+               run.final_admitted)
+              for point, run in result.online]
+    return batch, online
+
+
+class TestRun:
+    def test_results_line_up_with_expansion(self):
+        runner = CampaignRunner(tiny_spec())
+        result = runner.run()
+        assert result.scenarios == len(runner.scenarios)
+        expected = [s.point for s in runner.scenarios]
+        produced = ([point for point, _ in result.batch] +
+                    [point for point, _ in result.online])
+        assert produced == expected
+
+    def test_serial_equals_sharded(self):
+        spec = tiny_spec()
+        serial = run_campaign(spec, n_workers=1)
+        sharded = run_campaign(spec, n_workers=2)
+        assert _deterministic(serial) == _deterministic(sharded)
+
+    def test_chunking_preserves_order(self):
+        spec = tiny_spec()
+        whole = CampaignRunner(spec, chunk_scenarios=100).run()
+        chunked = CampaignRunner(spec, chunk_scenarios=1).run()
+        assert _deterministic(whole) == _deterministic(chunked)
+
+    def test_progress_lines(self):
+        lines = []
+        CampaignRunner(tiny_spec(), progress=lines.append,
+                       chunk_scenarios=2).run()
+        assert len(lines) == 4  # 4 batch + 4 online scenarios, by 2
+        assert lines[0] == "[campaign tiny] 2/8 scenarios done (batch)"
+        assert lines[-1] == \
+            "[campaign tiny] 8/8 scenarios done (online)"
+
+
+class TestStoreIntegration:
+    def test_missing_counts_down_to_zero(self, tmp_path):
+        spec = tiny_spec()
+        runner = CampaignRunner(spec, store=ResultStore(tmp_path))
+        assert runner.missing() == len(runner.scenarios)
+        runner.run()
+        warm = CampaignRunner(spec, store=ResultStore(tmp_path))
+        assert warm.missing() == 0
+
+    def test_missing_does_not_touch_counters(self, tmp_path):
+        store = ResultStore(tmp_path)
+        runner = CampaignRunner(tiny_spec(), store=store)
+        runner.run()
+        fresh = ResultStore(tmp_path)
+        assert CampaignRunner(tiny_spec(), store=fresh).missing() == 0
+        assert fresh.counters.hits == 0
+        assert fresh.counters.misses == 0
+
+    def test_scenario_keys_match_store_contents(self, tmp_path):
+        store = ResultStore(tmp_path)
+        runner = CampaignRunner(tiny_spec(), store=store)
+        runner.run()
+        keys = scenario_keys(runner.scenarios, store)
+        assert len(keys) == len(runner.scenarios)
+        assert all(key in store for key in keys)
+
+    def test_warm_run_is_all_hits(self, tmp_path):
+        spec = tiny_spec()
+        run_campaign(spec, store=ResultStore(tmp_path))
+        warm_store = ResultStore(tmp_path)
+        warm = run_campaign(spec, store=warm_store)
+        assert warm_store.counters.misses == 0
+        assert warm_store.counters.writes == 0
+        assert warm_store.counters.hits == warm.scenarios
+
+    def test_cold_and_warm_deterministic_fields_agree(self, tmp_path):
+        spec = tiny_spec()
+        cold = run_campaign(spec, store=ResultStore(tmp_path))
+        warm = run_campaign(spec, store=ResultStore(tmp_path))
+        assert _deterministic(cold) == _deterministic(warm)
+
+    def test_no_workers_floor(self):
+        runner = CampaignRunner(tiny_spec(), n_workers=0)
+        assert runner.n_workers == 1
+
+
+class TestValidationHook:
+    def test_validate_every_flows_to_online_specs(self):
+        spec = tiny_spec(validate_every=2)
+        runner = CampaignRunner(spec)
+        online = [s for s in runner.scenarios if s.kind == "online"]
+        assert online
+        assert all(s.spec.validate_every == 2 for s in online)
+        result = runner.run()
+        assert all(not run.validation_failures
+                   for _, run in result.online)
+
+
+@pytest.mark.parametrize("n_workers", [1, 2])
+def test_online_only_campaign(n_workers, tmp_path):
+    spec = CampaignSpec(
+        name="streams",
+        axes={"family": ("poisson", "mmpp"), "jobs": (8,),
+              "seed": (0, 1)},
+        horizon=20.0, rate=0.3,
+        workload={"stream": {"mean_burst": 10.0}})
+    result = run_campaign(spec, n_workers=n_workers,
+                          store=ResultStore(tmp_path))
+    assert not result.batch
+    assert len(result.online) == 4

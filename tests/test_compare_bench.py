@@ -1,0 +1,169 @@
+"""The bench-regress comparison gate (scripts/compare_bench.py)."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+SCRIPT = Path(__file__).resolve().parents[1] / "scripts" / \
+    "compare_bench.py"
+_spec = importlib.util.spec_from_file_location("compare_bench", SCRIPT)
+compare_bench = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(compare_bench)
+
+
+def _report(tmp_path, name, extra_info, filename) -> str:
+    path = tmp_path / filename
+    path.write_text(json.dumps(
+        {"benchmarks": [{"name": name, "extra_info": extra_info}]}))
+    return str(path)
+
+
+class TestGate:
+    def test_pass_within_tolerance(self, tmp_path, capsys):
+        base = _report(tmp_path, "bench",
+                       {"speedup(x)": 2.0, "events_per_sec(y)": 100.0},
+                       "base.json")
+        fresh = _report(tmp_path, "bench",
+                        {"speedup(x)": 1.7, "events_per_sec(y)": 85.0},
+                        "fresh.json")
+        assert compare_bench.main([base, fresh]) == 0
+        assert "benchmark gate passed" in capsys.readouterr().out
+
+    def test_fails_on_regression_beyond_tolerance(self, tmp_path,
+                                                  capsys):
+        base = _report(tmp_path, "bench", {"speedup(x)": 2.0},
+                       "base.json")
+        fresh = _report(tmp_path, "bench", {"speedup(x)": 1.5},
+                        "fresh.json")
+        assert compare_bench.main([base, fresh]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_throughput_gated_like_ratios(self, tmp_path, capsys):
+        base = _report(tmp_path, "bench",
+                       {"events_per_sec(y)": 100.0}, "base.json")
+        fresh = _report(tmp_path, "bench",
+                        {"events_per_sec(y)": 70.0}, "fresh.json")
+        assert compare_bench.main([base, fresh]) == 1
+
+    def test_absolute_floor_binds_before_tolerance(self, tmp_path,
+                                                   capsys):
+        # 2.1 is within -20% of 2.4, but below the 2.2 floor.
+        base = _report(tmp_path, "bench", {"speedup(x)": 2.4},
+                       "base.json")
+        fresh = _report(tmp_path, "bench", {"speedup(x)": 2.1},
+                        "fresh.json")
+        assert compare_bench.main(
+            [base, fresh, "--floor", "speedup(x)=2.2"]) == 1
+        assert "absolute floor" in capsys.readouterr().err
+
+    def test_floor_metric_names_containing_equals(self, tmp_path,
+                                                  capsys):
+        base = _report(tmp_path, "bench",
+                       {"speedup(bounds)@n=100": 12.0}, "base.json")
+        fresh = _report(tmp_path, "bench",
+                        {"speedup(bounds)@n=100": 11.0}, "fresh.json")
+        assert compare_bench.main(
+            [base, fresh, "--floor",
+             "speedup(bounds)@n=100=2.0"]) == 0
+
+    def test_improvement_prints_ratchet_note(self, tmp_path, capsys):
+        base = _report(tmp_path, "bench", {"speedup(x)": 2.0},
+                       "base.json")
+        fresh = _report(tmp_path, "bench", {"speedup(x)": 4.0},
+                        "fresh.json")
+        assert compare_bench.main([base, fresh]) == 0
+        assert "ratcheting" in capsys.readouterr().out
+
+    def test_ungated_metrics_are_informational(self, tmp_path):
+        base = _report(tmp_path, "bench",
+                       {"speedup(x)": 2.0, "events": 1000},
+                       "base.json")
+        fresh = _report(tmp_path, "bench",
+                        {"speedup(x)": 2.0, "events": 1},
+                        "fresh.json")
+        assert compare_bench.main([base, fresh]) == 0
+
+
+class TestShapeErrors:
+    def test_missing_benchmark_fails(self, tmp_path, capsys):
+        base = _report(tmp_path, "bench", {"speedup(x)": 2.0},
+                       "base.json")
+        fresh = _report(tmp_path, "other", {"speedup(x)": 2.0},
+                        "fresh.json")
+        assert compare_bench.main([base, fresh]) == 1
+        assert "missing" in capsys.readouterr().err
+
+    def test_missing_metric_fails(self, tmp_path, capsys):
+        base = _report(tmp_path, "bench", {"speedup(x)": 2.0},
+                       "base.json")
+        fresh = _report(tmp_path, "bench", {"speedup(z)": 2.0},
+                        "fresh.json")
+        assert compare_bench.main([base, fresh]) == 1
+
+    def test_no_gated_metrics_fails(self, tmp_path, capsys):
+        base = _report(tmp_path, "bench", {"events": 10}, "base.json")
+        fresh = _report(tmp_path, "bench", {"events": 10},
+                        "fresh.json")
+        assert compare_bench.main([base, fresh]) == 1
+        assert "no gated metrics" in capsys.readouterr().err
+
+    def test_floor_enforced_without_baseline_entry(self, tmp_path,
+                                                   capsys):
+        # A baseline refresh that drops a metric must never disarm an
+        # absolute floor: floors gate the fresh report directly.
+        base = _report(tmp_path, "bench", {"speedup(x)": 3.0},
+                       "base.json")
+        fresh = _report(tmp_path, "bench",
+                        {"speedup(x)": 3.0, "speedup(admission)": 1.0},
+                        "fresh.json")
+        assert compare_bench.main(
+            [base, fresh, "--floor", "speedup(admission)=2.0"]) == 1
+        assert "absolute floor" in capsys.readouterr().err
+
+    def test_unknown_floor_metric_fails(self, tmp_path, capsys):
+        base = _report(tmp_path, "bench", {"speedup(x)": 2.0},
+                       "base.json")
+        fresh = _report(tmp_path, "bench", {"speedup(x)": 2.0},
+                        "fresh.json")
+        assert compare_bench.main(
+            [base, fresh, "--floor", "speedup(gone)=2.0"]) == 1
+        assert "absent" in capsys.readouterr().err
+
+    def test_unreadable_report(self, tmp_path):
+        base = _report(tmp_path, "bench", {"speedup(x)": 2.0},
+                       "base.json")
+        with pytest.raises(SystemExit, match="cannot read"):
+            compare_bench.main([base, str(tmp_path / "gone.json")])
+
+    def test_empty_report(self, tmp_path):
+        base = _report(tmp_path, "bench", {"speedup(x)": 2.0},
+                       "base.json")
+        empty = tmp_path / "empty.json"
+        empty.write_text("{}")
+        with pytest.raises(SystemExit, match="no benchmarks"):
+            compare_bench.main([base, str(empty)])
+
+    def test_bad_floor_syntax(self):
+        with pytest.raises(SystemExit, match="METRIC=VALUE"):
+            compare_bench.parse_floor("nonsense")
+        with pytest.raises(SystemExit, match="number"):
+            compare_bench.parse_floor("speedup(x)=fast")
+
+    def test_bad_tolerance_rejected(self, tmp_path, capsys):
+        base = _report(tmp_path, "bench", {"speedup(x)": 2.0},
+                       "base.json")
+        with pytest.raises(SystemExit):
+            compare_bench.main([base, base, "--tolerance", "1.5"])
+
+    def test_committed_baselines_parse(self):
+        root = Path(__file__).resolve().parents[1]
+        for name in ("BENCH_scalability.json", "BENCH_online.json"):
+            metrics = compare_bench.load_metrics(
+                str(root / "benchmarks" / "baselines" / name))
+            gated = [metric for info in metrics.values()
+                     for metric in info if compare_bench.gated(metric)]
+            assert gated, f"{name} commits no gated metrics"
