@@ -2,13 +2,16 @@
 
 Replays congested streams through :class:`~repro.online.engine.\
 OnlineAdmissionEngine` twice -- once in ``incremental`` mode (sliced
-universe caches, lazily evaluated Audsley levels, carried feasible
-frontiers, decision memo) and once in ``cold`` mode (full per-event
-re-analysis: job set + segment cache rebuild and stock batch OPDCA) --
-and compares the wall-clock time spent inside the admission decision
-path.  Decisions are bitwise identical between the two modes
-(property-tested in ``tests/online``), so the ratio isolates exactly
-the incremental machinery.
+universe caches, paired contribution kernels, lazily evaluated Audsley
+levels, carried feasible frontiers, decision memo) and once in
+``cold`` mode (full per-event re-analysis: job set + segment cache
+rebuild and stock batch OPDCA on the pinned *reference* tensor kernel,
+the stable legacy yardstick -- see
+:func:`repro.online.incremental.cold_analysis`) -- and compares the
+wall-clock time spent inside the admission decision path.  Decisions
+are bitwise identical between the two modes (property-tested in
+``tests/online``), so the ratio isolates exactly the incremental
+machinery.
 
 The run asserts the aggregate decision-path speedup is at least 2x
 (CI's ``online-bench`` job gates on the same number from

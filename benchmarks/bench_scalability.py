@@ -1,15 +1,27 @@
 """Ablation A4: wall-clock scaling with the number of jobs.
 
 Times DM / DMR / OPDCA / OPT on edge workloads of growing size
-(resources scaled proportionally), exposing OPDCA's O(n^3 N) growth
-against the near-quadratic heuristics.
+(resources scaled proportionally), exposing OPDCA's paper-stated
+O(n^3 N) growth against the near-quadratic heuristics -- and how far
+the implementation beats it.
 
-The table also demonstrates the batched bound-evaluation fast path:
-``t(bounds/scalar)`` is the legacy inner loop (one ``delay_bound``
-call per job), ``t(bounds/batched)`` the vectorised
-``delay_bounds_all`` replacement, and ``speedup(bounds)`` their ratio.
-The run asserts the batched path is at least 2x faster at the largest
-job count (in practice it is ~10x at n >= 100).
+The table carries the fast-path evidence for the two tentpole
+optimisations, as hardware-independent ratios:
+
+* ``speedup(bounds)``: the vectorised all-jobs ``delay_bounds_all``
+  vs the legacy per-job scalar loop (~10x at n >= 100);
+* ``speedup(level)``: one full Audsley-level evaluation under the
+  paired contribution kernel vs the reference broadcast tensor path;
+* ``speedup(opdca)``: end-to-end batched OPDCA (paired kernels +
+  frontier-carrying Audsley) vs the serial per-candidate scan.  The
+  committed baseline was stuck at 1.0-1.15x before the frontier
+  engine; the run gates on >= 2.0x at n=100 (the committed CI
+  baseline gates the measured value, >= 2.5x, with -20% tolerance).
+
+Per-phase timings (``t(segments)``, ``t(level/...)``) break the cold
+analysis cost into the one-off segment algebra and the per-level
+evaluation primitive.  The n=200 size exposes the asymptotic win: the
+frontier engine's advantage grows with n.
 """
 
 from repro.experiments.ablation import scalability
@@ -20,7 +32,7 @@ def test_scalability(benchmark):
     if full_scale():
         job_counts, cases = (25, 50, 100, 150, 200), 3
     else:
-        job_counts, cases = (25, 50, 100), 2
+        job_counts, cases = (25, 50, 100, 200), 2
 
     # Always serial (even under REPRO_JOBS): this is a timing table,
     # and concurrent workers contending for cores would distort the
@@ -39,9 +51,16 @@ def test_scalability(benchmark):
     # Sanity: every timing is positive and the table covers all sizes.
     assert len(result.rows) == len(job_counts)
     # The batched bound evaluation must beat the legacy per-job loop by
-    # at least 2x at the largest size (the tentpole fast path).
+    # at least 2x at the largest size (the PR-1 tentpole fast path).
     largest = result.rows[-1]
     speedup = largest["speedup(bounds)"]
     print(f"\nbatched bound evaluation speedup at "
           f"n={largest['jobs']}: {speedup:.1f}x")
     assert speedup >= 2.0
+    # The frontier-carrying batch OPDCA must beat the serial scan by at
+    # least 2x at n=100 (measured ~3x; the committed baseline gates the
+    # measured value with -20% tolerance on top of this hard floor).
+    at_100 = next(row for row in result.rows if row["jobs"] == 100)
+    opdca_speedup = at_100["speedup(opdca)"]
+    print(f"frontier OPDCA speedup at n=100: {opdca_speedup:.1f}x")
+    assert opdca_speedup >= 2.0

@@ -123,6 +123,17 @@ def compare(baseline: "dict[str, dict[str, float]]",
         failures.append(
             "no gated metrics (speedup(*)/events_per_sec(*)) matched "
             "between baseline and fresh report")
+    # Gated metrics that only exist in the fresh report are not
+    # protected by anything yet: surface them so they get committed to
+    # the baseline instead of silently riding along ungated.
+    for name, info in sorted(fresh.items()):
+        base_info = baseline.get(name, {})
+        for metric in sorted(info):
+            if gated(metric) and metric not in base_info:
+                notes.append(
+                    f"{name}/{metric}: gated metric present only in "
+                    f"the fresh report ({info[metric]:g}) -- add it to "
+                    f"the committed baseline to arm the gate")
     # Absolute floors are enforced over the *fresh* report alone, so a
     # baseline refresh that drops or renames a metric can never
     # silently disarm a historic gate.

@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""cProfile harness over the three analysis hot paths.
+
+Profiles, at fixed seeds (deterministic workloads, comparable across
+runs):
+
+* ``opdca``   -- batched OPDCA (paired contribution kernels + the
+  frontier-carrying Audsley engine) over edge cases;
+* ``admission`` -- the OPDCA admission controller over overloaded
+  edge cases (discard cascade included);
+* ``online``  -- the streaming admission engine in incremental mode
+  over a congested Poisson stream.
+
+Usage::
+
+    PYTHONPATH=src python scripts/profile_hotpath.py [target ...] \
+        [--jobs N] [--cases K] [--top N] [--sort cumulative|tottime]
+
+With no targets, all three are profiled.  Each target prints a
+top-``N`` table sorted by cumulative time (default), the right view
+for "which layer is hot"; ``--sort tottime`` surfaces leaf kernels.
+
+This is a developer tool: output is wall-clock and machine-dependent.
+The committed regression gates live in ``benchmarks/`` and
+``scripts/compare_bench.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import pstats
+import sys
+
+TARGETS = ("opdca", "admission", "online")
+
+
+def _edge_jobsets(num_jobs: int, cases: int, *, gamma: float | None = None):
+    from repro.workload.edge import EdgeWorkloadConfig, generate_edge_case
+
+    scale = num_jobs / 100.0
+    kwargs = {} if gamma is None else {"gamma": gamma}
+    config = EdgeWorkloadConfig(
+        num_jobs=num_jobs,
+        num_aps=max(2, int(round(25 * scale))),
+        num_servers=max(2, int(round(20 * scale))), **kwargs)
+    return [generate_edge_case(config, seed=seed).jobset
+            for seed in range(cases)]
+
+
+def run_opdca(num_jobs: int, cases: int) -> None:
+    from repro.core.opdca import opdca
+
+    for jobset in _edge_jobsets(num_jobs, cases):
+        opdca(jobset, "eq10")
+
+
+def run_admission(num_jobs: int, cases: int) -> None:
+    from repro.core.admission import opdca_admission
+
+    # A tight heaviness budget forces the discard cascade.
+    for jobset in _edge_jobsets(num_jobs, cases, gamma=1.4):
+        opdca_admission(jobset, "eq10")
+
+
+def run_online(num_jobs: int, cases: int) -> None:
+    from repro.online import (
+        OnlineAdmissionEngine,
+        StreamConfig,
+        generate_stream,
+    )
+
+    for seed in range(cases):
+        stream = generate_stream(
+            StreamConfig(horizon=150.0, rate=1.3, dwell_scale=2.0,
+                         pool_size=min(num_jobs, 40)),
+            seed=seed)
+        OnlineAdmissionEngine(stream, mode="incremental").run()
+
+
+RUNNERS = {"opdca": run_opdca, "admission": run_admission,
+           "online": run_online}
+
+
+def profile_target(target: str, *, num_jobs: int, cases: int,
+                   top: int, sort: str) -> None:
+    runner = RUNNERS[target]
+    runner(num_jobs, min(cases, 1))  # warm imports/caches outside profile
+    profiler = cProfile.Profile()
+    profiler.enable()
+    runner(num_jobs, cases)
+    profiler.disable()
+    print(f"\n=== {target} (n={num_jobs}, cases={cases}, "
+          f"sort={sort}) ===")
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.strip_dirs().sort_stats(sort).print_stats(top)
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Profile the opdca/admission/online hot paths.")
+    parser.add_argument("targets", nargs="*", metavar="TARGET",
+                        help=f"hot paths to profile, from {TARGETS} "
+                             f"(default: all)")
+    parser.add_argument("--jobs", type=int, default=100, metavar="N",
+                        help="jobs per case / stream pool size "
+                             "(default: 100)")
+    parser.add_argument("--cases", type=int, default=3, metavar="K",
+                        help="cases (or stream seeds) per target "
+                             "(default: 3)")
+    parser.add_argument("--top", type=int, default=25, metavar="N",
+                        help="rows of the profile table (default: 25)")
+    parser.add_argument("--sort", default="cumulative",
+                        choices=("cumulative", "tottime"),
+                        help="profile sort key (default: cumulative)")
+    args = parser.parse_args(argv)
+    if args.jobs <= 0 or args.cases <= 0 or args.top <= 0:
+        parser.error("--jobs/--cases/--top must be positive")
+    targets = args.targets or list(TARGETS)
+    unknown = [t for t in targets if t not in TARGETS]
+    if unknown:
+        parser.error(f"unknown target(s) {unknown}; expected {TARGETS}")
+    for target in targets:
+        profile_target(target, num_jobs=args.jobs, cases=args.cases,
+                       top=args.top, sort=args.sort)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

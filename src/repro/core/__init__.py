@@ -8,6 +8,8 @@ the ``S_DCA`` schedulability test, Audsley's OPA engine, OPDCA
 from repro.core.admission import AdmissionResult, opdca_admission
 from repro.core.dca import (
     ALL_EQUATIONS,
+    FLOAT_MONOTONE_EQUATIONS,
+    KERNELS,
     OPA_COMPATIBLE_EQUATIONS,
     DelayAnalyzer,
 )
@@ -20,7 +22,7 @@ from repro.core.exceptions import (
 )
 from repro.core.explain import DelayBreakdown, TermContribution, explain_delay
 from repro.core.job import Job
-from repro.core.opa import OPAResult, audsley
+from repro.core.opa import OPAResult, audsley, audsley_frontier
 from repro.core.opdca import OPDCAResult, opdca
 from repro.core.oracle import (
     OrderingOracleResult,
@@ -48,6 +50,8 @@ from repro.core.system import JobSet, MSMRSystem, Stage
 
 __all__ = [
     "ALL_EQUATIONS",
+    "FLOAT_MONOTONE_EQUATIONS",
+    "KERNELS",
     "OPA_COMPATIBLE_EQUATIONS",
     "AdmissionResult",
     "DelayAnalyzer",
@@ -74,6 +78,7 @@ __all__ = [
     "Stage",
     "TermContribution",
     "audsley",
+    "audsley_frontier",
     "best_ordering",
     "critical_scaling",
     "enumerate_orderings",

@@ -78,11 +78,12 @@ def opdca_admission(jobset: JobSet,
     while unassigned.any():
         level = int(unassigned.sum())
         # One vectorised call evaluates every candidate of this level
-        # (higher = unassigned minus self, lower = assigned so far).
-        delays = test.delays_all(
-            np.broadcast_to(unassigned, (n, n)),
-            np.broadcast_to(assigned_lower, (n, n)),
-            active=active)
+        # (higher = unassigned minus self, lower = assigned so far)
+        # through the analyzer's level kernel -- the paired
+        # contribution matrices by default, bitwise identical to the
+        # broadcast tensor path.
+        delays = test.level_delays(unassigned, assigned_lower,
+                                   active=active)
         placed = None
         excesses: list[tuple[float, int]] = []
         for i in np.flatnonzero(unassigned):

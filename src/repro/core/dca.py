@@ -53,6 +53,35 @@ OPA, DMR repair and the experiment sweeps out of Python:
   from scratch.  Caches are bounded (FIFO eviction) and private to the
   analyzer, which is itself bound to one immutable job set.
 
+Pairwise-contribution kernel cache
+----------------------------------
+The Audsley/admission level evaluations all share one structural
+property: every candidate of a level is tested against the *same*
+higher-priority set (``unassigned``) and the same lower-priority set
+(``assigned``), i.e. the ``(n, n)`` relation matrices are column
+masks in disguise.  :meth:`DelayAnalyzer.level_bounds` exploits this
+through per-equation *contribution matrices*, built once per analyzer
+(``kernel="paired"``, the default):
+
+* ``C[i, k]``: the job-additive delay ``J_k`` contributes to ``J_i``
+  when higher priority, pre-multiplied by the window-overlap filter --
+  a level's job-additive term collapses to the masked matvec
+  ``(C * cols).sum(axis=1)`` with ``cols = unassigned & active``;
+* the premasked per-stage interference tensors
+  :attr:`~repro.core.segments.SegmentCache.epq` /
+  :attr:`~repro.core.segments.SegmentCache.epb` -- each stage-additive
+  or blocking term is one column-masked row-max, with no per-level
+  ``(n, n)`` relation mask ever rebuilt (and the priority-independent
+  Eq. 5 blocking vector memoised per ``active`` context).
+
+The paired kernel performs the same reductions over the same operands
+in the same order as the reference broadcast path (``delay_bounds_all``
+on broadcast rows), so its values are bitwise identical for every
+candidate row (jobs in ``unassigned & active``); ``kernel="reference"``
+keeps the tensor path selectable for equivalence testing, and analyzers
+built with ``window_filter=False`` always use it (the contribution
+tensors bake the window filter in).
+
 Online (streaming) support
 --------------------------
 The streaming admission engine (:mod:`repro.online`) analyses a live
@@ -111,6 +140,10 @@ MaskLike = "np.ndarray | Iterable[int]"
 _MASK_MEMO_LIMIT = 1024
 _BOUND_MEMO_LIMIT = 8192
 _BATCH_MEMO_LIMIT = 64
+_BLOCKING_MEMO_LIMIT = 64
+
+#: Kernel implementations selectable per analyzer.
+KERNELS = ("paired", "reference")
 
 #: Row selector meaning "every job" in the batch kernels.
 _ALL_ROWS = slice(None)
@@ -120,6 +153,29 @@ def _evict_to_limit(memo: dict, limit: int) -> None:
     """Drop oldest entries (insertion order) until under ``limit``."""
     while len(memo) >= limit:
         memo.pop(next(iter(memo)))
+
+
+class _Contribution:
+    """Premasked job-additive contribution matrices of one equation.
+
+    ``C[i, k]`` is the job-additive delay ``J_k`` adds to the bound of
+    ``J_i`` when ``J_k`` has higher priority, already multiplied by
+    the window-overlap/self filter so a level's job-additive term is
+    the single masked reduction ``(C * cols).sum(axis=1)``.  For the
+    single-resource bounds the diagonal carries the ``t_{i,1}`` self
+    term (it is part of the ``Q_i`` sum there); ``extra`` holds
+    Eq. 1's arrive-after ``t_{k,2}`` coefficients; ``self_add`` the
+    job-additive self contributions added after the pair sum.
+    """
+
+    __slots__ = ("C", "extra", "self_add")
+
+    def __init__(self, C: np.ndarray,
+                 extra: "np.ndarray | None" = None,
+                 self_add: "np.ndarray | None" = None) -> None:
+        self.C = C
+        self.extra = extra
+        self.self_add = self_add
 
 
 class DelayAnalyzer:
@@ -141,16 +197,25 @@ class DelayAnalyzer:
         ``jobset`` instead of computing one.  The online admission
         engine uses this with :meth:`SegmentCache.restrict` to stand
         up a subset analyzer without re-running the segment algebra.
+    kernel:
+        ``"paired"`` (default) serves :meth:`level_bounds` from the
+        pairwise-contribution matrices (see the module docstring);
+        ``"reference"`` keeps every evaluation on the broadcast tensor
+        path, used as the reference in kernel-equivalence tests.
     """
 
     def __init__(self, jobset: JobSet, *,
                  self_coefficient: str = "refined",
                  window_filter: bool = True,
-                 cache: SegmentCache | None = None) -> None:
+                 cache: SegmentCache | None = None,
+                 kernel: str = "paired") -> None:
         if self_coefficient not in ("refined", "literal"):
             raise ValueError(
                 f"self_coefficient must be 'refined' or 'literal', "
                 f"got {self_coefficient!r}")
+        if kernel not in KERNELS:
+            raise ValueError(
+                f"kernel must be one of {KERNELS}, got {kernel!r}")
         if cache is not None and cache.jobset is not jobset:
             raise ValueError(
                 "the supplied SegmentCache was built for a different "
@@ -159,6 +224,9 @@ class DelayAnalyzer:
         self._cache = cache if cache is not None else SegmentCache(jobset)
         self._self_coefficient = self_coefficient
         self._window_filter = window_filter
+        #: The contribution tensors bake the window filter in, so the
+        #: (rarely used) unfiltered analyzers stay on the tensor path.
+        self._kernel = kernel if window_filter else "reference"
         self._n = jobset.num_jobs
         self._num_stages = jobset.num_stages
         self._eye = np.eye(self._n, dtype=bool)
@@ -168,6 +236,14 @@ class DelayAnalyzer:
         self._bound_memo: dict[tuple, float] = {}
         #: (equation, x, active) -> delay vector of delays_for_pairwise.
         self._batch_memo: dict[tuple, np.ndarray] = {}
+        #: equation -> job-additive contribution matrices (pure
+        #: functions of the job set; never invalidated).
+        self._contrib_memo: dict[str, _Contribution] = {}
+        #: (equation, active) -> level-independent blocking vector
+        #: (only eq5's blocking set is priority-independent).
+        self._blocking_memo: dict[tuple, np.ndarray] = {}
+        #: Lazily built per-pair removal caps (see :meth:`removal_caps`).
+        self._removal_caps: np.ndarray | None = None
 
     @property
     def jobset(self) -> JobSet:
@@ -176,6 +252,11 @@ class DelayAnalyzer:
     @property
     def cache(self) -> SegmentCache:
         return self._cache
+
+    @property
+    def window_filter(self) -> bool:
+        """Whether non-overlapping interference windows are filtered."""
+        return self._window_filter
 
     # ------------------------------------------------------------------
     # Mask plumbing
@@ -239,11 +320,12 @@ class DelayAnalyzer:
         independent of how long the engine has been running.
 
         Returns the number of dropped entries per memo
-        (``{"masks": ..., "bounds": ..., "batches": ...}``).
+        (``{"masks": ..., "bounds": ..., "batches": ...,
+        "blocking": ...}``).
         """
         if not 0 <= job < self._n:
             raise ValueError(f"job {job} out of range for {self._n} jobs")
-        dropped = {"masks": 0, "bounds": 0, "batches": 0}
+        dropped = {"masks": 0, "bounds": 0, "batches": 0, "blocking": 0}
         for key in [k for k in self._mask_memo
                     if k[0] == job
                     or self._key_mask_contains(k[1], job)]:
@@ -261,13 +343,19 @@ class DelayAnalyzer:
                     if self._key_mask_contains(k[2], job)]:
             del self._batch_memo[key]
             dropped["batches"] += 1
+        for key in [k for k in self._blocking_memo
+                    if self._key_mask_contains(k[1], job)]:
+            del self._blocking_memo[key]
+            dropped["blocking"] += 1
         return dropped
 
     def memo_sizes(self) -> dict[str, int]:
-        """Current entry counts of the three internal memos."""
+        """Current entry counts of the internal memos (the contribution
+        matrices are pure functions of the job set and never dropped)."""
         return {"masks": len(self._mask_memo),
                 "bounds": len(self._bound_memo),
-                "batches": len(self._batch_memo)}
+                "batches": len(self._batch_memo),
+                "blocking": len(self._blocking_memo)}
 
     def _interference_base(self, i: int,
                            active: np.ndarray | None) -> np.ndarray:
@@ -777,6 +865,318 @@ class DelayAnalyzer:
         low = level_mask(lower_mask)
         return (job_additive + stage_additive(q, raw, last)
                 + stage_additive(low, raw, self._num_stages))
+
+    # ------------------------------------------------------------------
+    # Level evaluation (the Audsley/admission hot path)
+    # ------------------------------------------------------------------
+
+    @property
+    def kernel(self) -> str:
+        """The effective level-evaluation kernel of this analyzer."""
+        return self._kernel
+
+    def level_bounds(self, unassigned: np.ndarray,
+                     assigned_lower: np.ndarray | None = None, *,
+                     equation: str = "eq6",
+                     active: np.ndarray | None = None,
+                     rows: "np.ndarray | Iterable[int] | None" = None
+                     ) -> np.ndarray:
+        """Delay bounds of every Audsley candidate at one priority level.
+
+        Candidate ``J_i`` is evaluated with ``H_i`` = ``unassigned``
+        minus itself and ``L_i`` = ``assigned_lower`` -- the context of
+        ``SDCA.audsley_batch`` and the admission controllers -- for all
+        candidates at once.  Semantically this equals
+        ``delay_bounds_all`` on row-broadcast copies of the two masks,
+        and with ``rows`` (job indices) only the selected rows are
+        materialised, exactly like :meth:`delay_bounds_rows`.
+
+        Under the default ``kernel="paired"`` the evaluation runs on
+        the pairwise-contribution cache: the job-additive term is the
+        masked reduction ``(C * cols).sum(axis=1)`` with ``cols =
+        unassigned & active``, and each stage-additive/blocking term is
+        one column-masked row-max over a premasked ``(n, n)`` slice of
+        :attr:`SegmentCache.epq`/:attr:`SegmentCache.epb` -- no
+        ``(n, n)`` relation mask is ever rebuilt per level, and Eq. 5's
+        priority-independent blocking vector is computed once per
+        ``active`` context.  Every reduction runs over the same
+        operands in the same association as the reference broadcast
+        path, so values are **bitwise identical** between the two
+        kernels for every actual candidate (jobs in ``unassigned &
+        active``); rows outside that set are only meaningful on the
+        reference path.  Entries of jobs outside ``active`` are ``nan``.
+        """
+        if equation not in ALL_EQUATIONS:
+            raise ValueError(f"unknown equation {equation!r}; "
+                             f"expected one of {ALL_EQUATIONS}")
+        n = self._n
+        unassigned = np.asarray(unassigned, dtype=bool)
+        if unassigned.shape != (n,):
+            raise ValueError(f"unassigned has shape {unassigned.shape}, "
+                             f"expected ({n},)")
+        lower_aware = equation in LOWER_AWARE_EQUATIONS
+        if lower_aware:
+            if assigned_lower is None:
+                raise ValueError(
+                    f"{equation} needs the lower-priority set")
+            assigned_lower = np.asarray(assigned_lower, dtype=bool)
+            if assigned_lower.shape != (n,):
+                raise ValueError(
+                    f"assigned_lower has shape {assigned_lower.shape}, "
+                    f"expected ({n},)")
+        active = self._normalize_active(active)
+        if rows is None:
+            row_sel = _ALL_ROWS
+        else:
+            row_sel = np.asarray(rows, dtype=np.int64)
+            if row_sel.ndim != 1:
+                raise ValueError(
+                    f"rows must be 1-d, got shape {row_sel.shape}")
+        if self._kernel == "paired":
+            delays = self._level_paired(equation, unassigned,
+                                        assigned_lower, active, row_sel)
+        else:
+            size = n if row_sel is _ALL_ROWS else row_sel.size
+            higher_of = np.broadcast_to(unassigned, (size, n))
+            lower_of = (np.broadcast_to(assigned_lower, (size, n))
+                        if lower_aware else None)
+            delays = self._batch_dispatch(higher_of, lower_of, equation,
+                                          active, row_sel)
+        if active is not None:
+            delays = np.where(active[row_sel], delays, np.nan)
+        return delays
+
+    def _contribution(self, equation: str) -> _Contribution:
+        """Job-additive contribution matrices of one equation (built
+        once per analyzer; pure functions of the job set)."""
+        contrib = self._contrib_memo.get(equation)
+        if contrib is not None:
+            return contrib
+        cache = self._cache
+        base = self._jobset.overlaps & ~self._eye
+        extra = None
+        self_add = None
+        if equation in ("eq1", "eq2"):
+            # The t_{k,1} sum runs over Q_i = H_i + {J_i}: keep the
+            # self term on the diagonal so the summation tree matches
+            # the reference (t1 * q).sum(axis=1) exactly.
+            C = cache.t1[None, :] * (base | self._eye)
+            if equation == "eq1":
+                arrivals = self._jobset.A
+                extra = cache.t2[None, :] * (
+                    base & (arrivals[None, :] > arrivals[:, None]))
+        elif equation == "eq3":
+            C = (2.0 * cache.m * cache.et1) * base
+            self_add = self._batch_self_term("eq3")
+        elif equation in ("eq4", "eq5"):
+            C = (cache.m * cache.et1) * base
+            self_add = self._batch_self_term("eq4")
+        else:  # eq6 / eq10
+            C = cache.W * base
+            if self._self_coefficient == "refined":
+                self_add = cache.W.diagonal().copy()
+            else:
+                self_add = self._batch_self_term(equation)
+        contrib = _Contribution(C, extra, self_add)
+        self._contrib_memo[equation] = contrib
+        return contrib
+
+    @staticmethod
+    def _masked_row_max(tensor: np.ndarray, cols: np.ndarray,
+                        stage: int) -> np.ndarray:
+        """Row-max of one premasked stage slice under a column mask."""
+        return np.where(cols, tensor[:, :, stage], 0.0).max(axis=1)
+
+    def _paired_stage_sum(self, tensor: np.ndarray, cols: np.ndarray,
+                          stop: int) -> np.ndarray:
+        """``sum_{j < stop} max_k cols[k] * tensor[:, k, j]``.
+
+        The per-stage maxima are collected into a ``(rows, stop)``
+        buffer and reduced with one ``sum(axis=1)``, which reproduces
+        the reference path's summation tree (numpy's pairwise reduction
+        depends only on the axis length).
+        """
+        maxima = np.empty((tensor.shape[0], stop))
+        for j in range(stop):
+            maxima[:, j] = self._masked_row_max(tensor, cols, j)
+        return maxima.sum(axis=1)
+
+    def _level_paired(self, equation: str, unassigned: np.ndarray,
+                      assigned_lower: np.ndarray | None,
+                      active: np.ndarray | None, rows) -> np.ndarray:
+        """Paired-kernel level evaluation (see :meth:`level_bounds`).
+
+        :meth:`level_bound_single` is the scalar twin of this dispatch
+        (1-d reductions, a fraction of the kernel launches); any change
+        to an equation's term assembly here must be mirrored there --
+        their bitwise agreement is pinned by
+        ``test_single_probe_matches_batch_row``.
+        """
+        cache = self._cache
+        cols = unassigned if active is None else unassigned & active
+        contrib = self._contribution(equation)
+        C = contrib.C[rows]
+        job_additive = (C * cols).sum(axis=1)
+        if contrib.extra is not None:
+            job_additive += (contrib.extra[rows] * cols).sum(axis=1)
+        if contrib.self_add is not None:
+            job_additive += contrib.self_add[rows]
+        last = self._num_stages - 1
+        if equation in ("eq1", "eq2"):
+            self._require_single_resource(equation)
+            stage_additive = self._paired_stage_sum(
+                cache.pq[rows], cols, last)
+            if equation == "eq1":
+                return job_additive + stage_additive
+            low = (assigned_lower if active is None
+                   else assigned_lower & active)
+            blocking = self._paired_stage_sum(
+                cache.pb[rows], low, self._num_stages)
+            return job_additive + stage_additive + blocking
+        if equation == "eq10":
+            if self._num_stages != 3:
+                raise ModelError(
+                    f"eq10 models the 3-stage edge pipeline, "
+                    f"system has {self._num_stages} stages")
+            epq = cache.epq[rows]
+            uplink = np.where(cols, epq[:, :, 0], 0.0).max(axis=1)
+            server = np.where(cols, epq[:, :, 1], 0.0).max(axis=1)
+            low = (assigned_lower if active is None
+                   else assigned_lower & active)
+            downlink = self._masked_row_max(cache.epb[rows], low, 2)
+            return job_additive + uplink + server + downlink
+        stage_additive = self._paired_stage_sum(
+            cache.epq[rows], cols, last)
+        if equation == "eq4":
+            low = (assigned_lower if active is None
+                   else assigned_lower & active)
+            blocking = self._paired_stage_sum(
+                cache.epb[rows], low, self._num_stages)
+            return job_additive + stage_additive + blocking
+        if equation == "eq5":
+            blocking = self._eq5_blocking(active)[rows]
+            return job_additive + stage_additive + blocking
+        return job_additive + stage_additive  # eq3 / eq6
+
+    def level_bound_single(self, i: int, unassigned: np.ndarray,
+                           assigned_lower: np.ndarray | None = None, *,
+                           equation: str = "eq6",
+                           active: np.ndarray | None = None) -> float:
+        """One Audsley candidate's bound at one level.
+
+        Bitwise identical to ``level_bounds(...)[i]`` (1-d reductions
+        over length-``n`` operands group exactly like the per-row
+        reductions of the 2-d kernels), at a fraction of the kernel
+        launches: this is the frontier re-verification probe of
+        :func:`repro.core.opa.audsley_frontier` and the first-candidate
+        probe of the online engine's lazy admission scan.
+        """
+        if self._kernel != "paired":
+            return float(self.level_bounds(
+                unassigned, assigned_lower, equation=equation,
+                active=active, rows=np.array([i]))[0])
+        if equation not in ALL_EQUATIONS:
+            raise ValueError(f"unknown equation {equation!r}; "
+                             f"expected one of {ALL_EQUATIONS}")
+        lower_aware = equation in LOWER_AWARE_EQUATIONS
+        if lower_aware and assigned_lower is None:
+            raise ValueError(f"{equation} needs the lower-priority set")
+        active = self._normalize_active(active)
+        if active is not None and not active[i]:
+            return float("nan")
+        cache = self._cache
+        cols = unassigned if active is None else unassigned & active
+        contrib = self._contribution(equation)
+        job_additive = (contrib.C[i] * cols).sum()
+        if contrib.extra is not None:
+            job_additive += (contrib.extra[i] * cols).sum()
+        if contrib.self_add is not None:
+            job_additive += contrib.self_add[i]
+        last = self._num_stages - 1
+
+        def stage_sum(tensor_row: np.ndarray, mask: np.ndarray,
+                      stop: int) -> np.ndarray:
+            maxima = np.empty(stop)
+            for j in range(stop):
+                maxima[j] = np.where(mask, tensor_row[:, j], 0.0).max()
+            return maxima.sum()
+
+        if equation in ("eq1", "eq2"):
+            self._require_single_resource(equation)
+            stage_additive = stage_sum(cache.pq[i], cols, last)
+            if equation == "eq1":
+                return float(job_additive + stage_additive)
+            low = (assigned_lower if active is None
+                   else assigned_lower & active)
+            blocking = stage_sum(cache.pb[i], low, self._num_stages)
+            return float(job_additive + stage_additive + blocking)
+        if equation == "eq10":
+            if self._num_stages != 3:
+                raise ModelError(
+                    f"eq10 models the 3-stage edge pipeline, "
+                    f"system has {self._num_stages} stages")
+            epq = cache.epq[i]
+            uplink = np.where(cols, epq[:, 0], 0.0).max()
+            server = np.where(cols, epq[:, 1], 0.0).max()
+            low = (assigned_lower if active is None
+                   else assigned_lower & active)
+            downlink = np.where(low, cache.epb[i][:, 2], 0.0).max()
+            return float(job_additive + uplink + server + downlink)
+        stage_additive = stage_sum(cache.epq[i], cols, last)
+        if equation == "eq4":
+            low = (assigned_lower if active is None
+                   else assigned_lower & active)
+            blocking = stage_sum(cache.epb[i], low, self._num_stages)
+            return float(job_additive + stage_additive + blocking)
+        if equation == "eq5":
+            blocking = self._eq5_blocking(active)[i]
+            return float(job_additive + stage_additive + blocking)
+        return float(job_additive + stage_additive)  # eq3 / eq6
+
+    def removal_caps(self) -> np.ndarray:
+        """``caps[i, p]``: sound bound on how much removing job ``p``
+        from ``J_i``'s context (placing it below, or discarding it)
+        can *lower* ``J_i``'s bound, for any OPA-compatible equation.
+
+        The job-additive pair coefficient of every supported bound is
+        at most ``2 m_{i,p} et_{i,p,1}`` (Eq. 3's double counting is
+        the worst case; Eq. 6/10's ``W`` sums at most ``w <= 2m``
+        terms of at most ``et1`` each; Eqs. 1/5 contribute less), and
+        each stage-additive or blocking maximum can drop by at most
+        the ``ep_{p,j}`` term that leaves it -- doubled so one matrix
+        also covers admission-style discards, where ``p`` leaves the
+        blocking sets too.  Eq. 10's downlink term only *grows* when
+        ``p`` is placed below a candidate, which cannot lower the
+        bound and needs no cap.
+
+        This single definition feeds both excess-lower-bound pruning
+        engines -- :func:`repro.core.opa.audsley_frontier` (via
+        ``AudsleyLevelKernel.removal_caps``) and the online
+        :func:`repro.online.incremental.incremental_admission` -- so
+        the soundness argument lives in exactly one place.  Built once
+        per analyzer, cached.
+        """
+        caps = self._removal_caps
+        if caps is None:
+            cache = self._cache
+            caps = 2.0 * cache.m * cache.et1 + 2.0 * cache.ep.sum(axis=2)
+            self._removal_caps = caps
+        return caps
+
+    def _eq5_blocking(self, active: np.ndarray | None) -> np.ndarray:
+        """Eq. 5's priority-*independent* blocking vector, memoised per
+        ``active`` context: it never changes along an Audsley run, so
+        every level after the first reads it back for free."""
+        key = ("eq5", self._active_key(active))
+        blocking = self._blocking_memo.get(key)
+        if blocking is None:
+            everyone = (np.ones(self._n, dtype=bool) if active is None
+                        else active)
+            blocking = self._paired_stage_sum(
+                self._cache.epb, everyone, self._num_stages)
+            _evict_to_limit(self._blocking_memo, _BLOCKING_MEMO_LIMIT)
+            self._blocking_memo[key] = blocking
+        return blocking
 
     def _batch_dispatch(self, higher_of: np.ndarray,
                         lower_of: np.ndarray | None, equation: str,

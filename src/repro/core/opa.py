@@ -10,6 +10,25 @@ feasible total ordering whenever one exists.
 The engine is test-agnostic -- it only needs a feasibility callback --
 so it backs both OPDCA (Algorithm 1) and the admission-controller
 variant used in Figure 4(d).
+
+Two engines are provided:
+
+* :func:`audsley` -- the stock loop: per level, either a serial
+  first-feasible candidate scan or one full batch evaluation
+  (``batch_test``).
+* :func:`audsley_frontier` -- the lazy loop behind the default OPDCA
+  batch path.  For OPA-compatible tests, Audsley's third
+  compatibility condition is a *monotonicity* guarantee along the
+  assignment trajectory: moving a job from a candidate's higher- to
+  its lower-priority set (or discarding it) can never increase the
+  candidate's bound, so a candidate once verified feasible stays
+  feasible.  Each level then only evaluates the unassigned candidates
+  *below* the carried feasible frontier (exactly the ones the stock
+  scan would have to reject before placing), and the frontier
+  placement itself is free for the float-monotone bounds
+  (:data:`~repro.core.dca.FLOAT_MONOTONE_EQUATIONS`) or one fused
+  probe for ``eq10``.  Decisions are identical to the stock batch
+  loop -- the laziness only decides how much work is skipped.
 """
 
 from __future__ import annotations
@@ -137,6 +156,181 @@ def audsley(num_jobs: int, test: FeasibilityTest, *,
         unassigned[placed] = False
         assigned_lower[placed] = True
         order_low_to_high.append(placed)
+
+    return OPAResult(
+        feasible=True,
+        priority=priority,
+        order=list(reversed(order_low_to_high)),
+    )
+
+
+def audsley_frontier(num_jobs: int, kernel, *,
+                     candidates: Sequence[int] | None = None) -> OPAResult:
+    """Frontier-carrying Audsley loop (the default OPDCA batch path).
+
+    ``kernel`` is a level-evaluation adapter, typically
+    :meth:`repro.core.schedulability.SDCA.level_kernel`: it must expose
+    ``delays_rows(rows, unassigned, assigned_lower)``, ``probe(i,
+    unassigned, assigned_lower)``, the flags ``monotone`` /
+    ``float_monotone`` and the per-job threshold vector
+    ``deadline_tol`` (see
+    :class:`~repro.core.schedulability.AudsleyLevelKernel`).
+
+    The returned :class:`OPAResult` -- feasibility, priorities,
+    assignment order and failure diagnostics -- is identical to
+    running :func:`audsley` with the corresponding ``batch_test``:
+
+    * a level with no carried feasible candidate evaluates in full,
+      places the lowest-indexed feasible candidate (exactly the stock
+      rule) and seeds the frontier with the other feasible ones;
+    * a level with a carried frontier evaluates only the unassigned
+      candidates with smaller indices -- stock Audsley would have to
+      scan (and reject) precisely those before reaching the frontier
+      -- minus the ones whose carried excess lower bounds
+      (``kernel.removal_caps()``) prove them still infeasible, and
+      otherwise places the frontier candidate itself:
+      unconditionally for float-monotone tests (zeroing masked
+      operands under numpy's fixed-length pairwise reductions can
+      never increase a value, ulp for ulp), after one fused probe for
+      ``eq10`` (monotone in exact arithmetic only), with a full
+      re-evaluation as the ulp-level fallback;
+    * once every remaining candidate of a level is verified feasible
+      under a float-monotone test, the rest of the trajectory is fully
+      determined (stock always places the lowest-indexed feasible
+      candidate) and is emitted with no further evaluation;
+    * non-OPA-compatible tests (``eq2``/``eq4``) evaluate every level
+      in full -- bit-for-bit the stock loop.
+
+    Since an OPA-compatible test keeps every feasible candidate
+    feasible, a failing level is necessarily one with an empty
+    frontier, which is always evaluated in full -- so failure
+    diagnostics (``failed_level``, ``unassigned``) match the stock
+    loop exactly.
+    """
+    if candidates is None:
+        candidates = list(range(num_jobs))
+    else:
+        candidates = list(candidates)
+    unassigned = np.zeros(num_jobs, dtype=bool)
+    unassigned[candidates] = True
+    assigned_lower = np.zeros(num_jobs, dtype=bool)
+    priority = np.zeros(num_jobs, dtype=np.int64)
+    order_low_to_high: list[int] = []
+    deadline_tol = kernel.deadline_tol
+    monotone = bool(kernel.monotone)
+    float_monotone = bool(kernel.float_monotone)
+    #: Candidates verified feasible under an earlier (more pessimistic)
+    #: context of this run; monotonicity keeps them feasible.
+    feasible: set[int] = set()
+
+    # Sound per-candidate lower bounds on the *current* delay bound
+    # (monotone tests only): placing job ``p`` can lower a candidate's
+    # bound by at most ``caps[:, p]``, so an evaluated bound stays a
+    # valid lower bound across placements once each cap -- padded by a
+    # safety margin orders of magnitude above the ~1e-11 relative
+    # float error of the kernels -- is subtracted.  Candidates whose
+    # lower bound still exceeds their deadline are *provably*
+    # infeasible and skipped without evaluation; anything inside the
+    # safety band is evaluated exactly, so decisions never depend on
+    # the bound, only the amount of skipped work does.  (Ported from
+    # the excess lower bounds of ``repro.online.incremental``.)
+    caps = kernel.removal_caps() if hasattr(kernel, "removal_caps") \
+        else None
+    lower_bound: "np.ndarray | None" = None
+    _SAFETY = 1e-7
+
+    def remember(rows: np.ndarray, delays: np.ndarray) -> None:
+        nonlocal lower_bound
+        if caps is None:
+            return
+        if lower_bound is None:
+            lower_bound = np.full(num_jobs, -np.inf)
+        lower_bound[rows] = delays - (_SAFETY + 1e-9 * np.abs(delays))
+
+    def forget(removed: int) -> None:
+        nonlocal lower_bound
+        if lower_bound is not None:
+            lower_bound -= caps[:, removed] + 1e-9
+
+    level = len(candidates)
+    while level > 0:
+        cands = np.flatnonzero(unassigned)
+        frontier = min(feasible) if feasible else None
+        placed = None
+        full_eval = False
+        if monotone and frontier is not None:
+            below = cands[:np.searchsorted(cands, frontier)]
+            if below.size + 1 < cands.size:
+                if below.size and lower_bound is not None:
+                    below = below[lower_bound[below] <= deadline_tol[below]]
+                if below.size:
+                    delays = np.asarray(kernel.delays_rows(
+                        below, unassigned, assigned_lower))
+                    remember(below, delays)
+                    with np.errstate(invalid="ignore"):
+                        passing = below[delays <= deadline_tol[below]]
+                    if passing.size:
+                        placed = int(passing[0])
+                        # The other passing sub-frontier candidates are
+                        # verified *now*; remembering them tightens the
+                        # frontier for the levels that follow.
+                        feasible.update(int(p) for p in passing[1:])
+                if placed is None:
+                    if float_monotone or kernel.probe(
+                            frontier, unassigned,
+                            assigned_lower) <= deadline_tol[frontier]:
+                        placed = frontier
+                    else:
+                        # Ulp-level fallback: eq10's carried candidate
+                        # sits within one ulp of its deadline; decide
+                        # the level from a full stock evaluation.
+                        full_eval = True
+            else:
+                # The frontier sits at (or next to) the bottom of the
+                # level; a full evaluation is no more expensive.
+                full_eval = True
+        else:
+            full_eval = True
+
+        if full_eval:
+            delays = np.asarray(kernel.delays_rows(
+                cands, unassigned, assigned_lower))
+            remember(cands, delays)
+            with np.errstate(invalid="ignore"):
+                passing_mask = delays <= deadline_tol[cands]
+            if float_monotone and bool(passing_mask.all()):
+                # Every candidate is feasible and float-exact
+                # monotonicity keeps each of them feasible at every
+                # later level, where stock Audsley always places the
+                # lowest-indexed unassigned candidate: the remaining
+                # trajectory is fully determined -- emit it in one
+                # step, no further evaluation.
+                for candidate in cands:
+                    candidate = int(candidate)
+                    priority[candidate] = level
+                    level -= 1
+                    order_low_to_high.append(candidate)
+                unassigned[cands] = False
+                break
+            feasible = {int(c) for c in cands[passing_mask]}
+            if feasible:
+                placed = min(feasible)
+
+        if placed is None:
+            return OPAResult(
+                feasible=False,
+                priority=priority,
+                order=list(reversed(order_low_to_high)),
+                failed_level=level,
+                unassigned=[int(j) for j in np.flatnonzero(unassigned)],
+            )
+        feasible.discard(placed)
+        priority[placed] = level
+        unassigned[placed] = False
+        assigned_lower[placed] = True
+        order_low_to_high.append(placed)
+        forget(placed)
+        level -= 1
 
     return OPAResult(
         feasible=True,

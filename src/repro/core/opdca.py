@@ -10,8 +10,15 @@ a feasible total priority ordering whenever any fixed-priority algorithm
 could, for both preemptive (Eq. 6) and non-preemptive (Eq. 5)
 scheduling, as well as for the edge bound (Eq. 10).
 
-Complexity: ``O(n^2)`` schedulability tests, each ``O(nN)``, hence
-``O(n^3 N)`` overall, exactly as stated in the paper.
+Complexity: the paper states ``O(n^2)`` schedulability tests of
+``O(nN)`` each, hence ``O(n^3 N)`` overall.  The default batch
+implementation beats that: the paired contribution kernels evaluate a
+whole level in ``O(n^2)`` reductions (plus one row-max per stage), and
+the frontier-carrying engine (:func:`repro.core.opa.audsley_frontier`)
+skips the evaluation of every level whose carried frontier candidate
+is still known feasible -- for the float-monotone bounds a feasible
+instance costs one full level evaluation total, and ``eq10`` adds one
+fused ``O(nN)`` probe per level.
 """
 
 from __future__ import annotations
@@ -20,7 +27,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.opa import OPAResult, audsley
+from repro.core.opa import OPAResult, audsley, audsley_frontier
 from repro.core.priorities import PriorityOrdering
 from repro.core.schedulability import SDCA, Policy
 from repro.core.system import JobSet
@@ -68,29 +75,39 @@ def opdca(jobset: JobSet,
         Optionally supply a pre-built :class:`SDCA` (must belong to
         ``jobset``); lets callers reuse the segment cache.
     batch:
-        Use the vectorised per-level candidate evaluation
-        (``SDCA.audsley_batch``); the default.  ``batch=False`` keeps
-        the serial per-candidate scan, used as the reference in
-        equivalence tests and the scalability benchmark.  The two
-        paths sum the same terms in different associations, so bounds
-        agree only to ~1e-12 relative; a feasibility flip would need a
-        bound within that distance of ``D_i`` + the 1e-9 deadline
-        tolerance, which has probability ~0 for the continuous
-        workload generators.
+        Use the vectorised, frontier-carrying per-level candidate
+        evaluation (:func:`~repro.core.opa.audsley_frontier` over the
+        analyzer's paired level kernel); the default.  For the
+        OPA-compatible bounds only the first level (and any level
+        reached right after a frontier-less reseed) is evaluated in
+        full -- O(n^2) contribution-matrix reductions -- while every
+        other level rides the carried feasible frontier: free for the
+        float-monotone bounds, one fused O(nN) probe for ``eq10``.
+        ``batch=False`` keeps the serial per-candidate scan, used as
+        the reference in equivalence tests and the scalability
+        benchmark.  The serial and batch paths sum the same terms in
+        different associations, so bounds agree only to ~1e-12
+        relative; a feasibility flip would need a bound within that
+        distance of ``D_i`` + the 1e-9 deadline tolerance, which has
+        probability ~0 for the continuous workload generators.
 
     Notes
     -----
     The engine does not *require* the test to be OPA-compatible -- this
     is exploited by tests demonstrating Observation IV.2 -- but
-    optimality only holds for compatible bounds.
+    optimality only holds for compatible bounds.  The frontier engine
+    reads the compatibility flags off the test, so eq2/eq4 runs
+    evaluate every level in full, exactly like the stock batch loop.
     """
     if test is None:
         test = SDCA(jobset, policy)
     elif test.jobset is not jobset:
         raise ValueError("the supplied SDCA test was built for a "
                          "different job set")
-    result = audsley(jobset.num_jobs, test.is_schedulable,
-                     batch_test=test.audsley_batch if batch else None)
+    if batch:
+        result = audsley_frontier(jobset.num_jobs, test.level_kernel())
+    else:
+        result = audsley(jobset.num_jobs, test.is_schedulable)
     if not result.feasible:
         return OPDCAResult(feasible=False, ordering=None, delays=None,
                            opa=result, equation=test.equation)

@@ -111,7 +111,7 @@ class PairwiseAssignment:
         n = jobset.num_jobs
         if x.shape != (n, n):
             raise ModelError(f"matrix has shape {x.shape}, expected {(n, n)}")
-        conflict = jobset.shares.any(axis=2) & ~np.eye(n, dtype=bool)
+        conflict = jobset.conflicts
         oriented_both = x & x.T
         if (oriented_both & conflict).any():
             raise ModelError("pair oriented in both directions")
@@ -129,9 +129,8 @@ class PairwiseAssignment:
                     x: np.ndarray) -> "PairwiseAssignment":
         """Build from any boolean higher-than matrix (extra entries on
         non-conflicting pairs are dropped)."""
-        conflict = jobset.shares.any(axis=2) & \
-            ~np.eye(jobset.num_jobs, dtype=bool)
-        return cls(jobset, np.asarray(x, dtype=bool) & conflict)
+        return cls(jobset,
+                   np.asarray(x, dtype=bool) & jobset.conflicts)
 
     @classmethod
     def from_pairs(cls, jobset: JobSet,

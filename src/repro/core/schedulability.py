@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.core.dca import (
     ALL_EQUATIONS,
+    FLOAT_MONOTONE_EQUATIONS,
     LOWER_AWARE_EQUATIONS,
     OPA_COMPATIBLE_EQUATIONS,
     DelayAnalyzer,
@@ -155,6 +156,20 @@ class SDCA:
         return self._analyzer.delay_bounds_all(
             higher_of, lower_of, equation=self._equation, active=active)
 
+    def level_delays(self, unassigned: np.ndarray,
+                     assigned_lower: np.ndarray | None = None, *,
+                     active: np.ndarray | None = None,
+                     rows: "np.ndarray | None" = None) -> np.ndarray:
+        """Delay bounds of every Audsley candidate at one priority
+        level (``H_i`` = ``unassigned`` minus self, ``L_i`` =
+        ``assigned_lower``), served by the analyzer's level kernel
+        (see :meth:`DelayAnalyzer.level_bounds`)."""
+        if self.uses_lower_set and assigned_lower is None:
+            assigned_lower = np.zeros(self._jobset.num_jobs, dtype=bool)
+        return self._analyzer.level_bounds(
+            unassigned, assigned_lower, equation=self._equation,
+            active=active, rows=rows)
+
     def audsley_batch(self, unassigned: np.ndarray,
                       assigned_lower: np.ndarray, *,
                       active: np.ndarray | None = None) -> np.ndarray:
@@ -164,11 +179,75 @@ class SDCA:
         minus ``J_i`` (the self entry is dropped by the batch kernel)
         and ``L_i`` = ``assigned_lower``, i.e. exactly the context of
         the serial per-candidate scan, but for all candidates at once.
-        Pass the result to ``audsley(..., batch_test=...)``.
+        Pass the result to ``audsley(..., batch_test=...)``.  Entries
+        are only meaningful for candidates (``unassigned & active``
+        jobs) -- precisely the rows the Audsley engine reads.
         """
-        n = self._jobset.num_jobs
-        higher_of = np.broadcast_to(unassigned, (n, n))
-        lower_of = np.broadcast_to(assigned_lower, (n, n))
-        delays = self.delays_all(higher_of, lower_of, active=active)
+        delays = self.level_delays(unassigned, assigned_lower,
+                                   active=active)
         with np.errstate(invalid="ignore"):
             return delays <= self._jobset.D + DEADLINE_TOLERANCE
+
+    def level_kernel(self) -> "AudsleyLevelKernel":
+        """Adapter for :func:`repro.core.opa.audsley_frontier`: exposes
+        per-level candidate evaluation, the fused single-candidate
+        probe, and the monotonicity contracts of this bound."""
+        return AudsleyLevelKernel(self)
+
+
+class AudsleyLevelKernel:
+    """Level-evaluation interface consumed by
+    :func:`repro.core.opa.audsley_frontier`.
+
+    Wraps one :class:`SDCA` test and exposes exactly what the
+    frontier-carrying Audsley engine needs:
+
+    ``delays_rows(rows, unassigned, assigned_lower)``
+        Delay bounds of the selected candidates at the current level,
+        bitwise identical to the corresponding entries of
+        :meth:`SDCA.audsley_batch`'s underlying evaluation.
+    ``probe(i, unassigned, assigned_lower)``
+        Single-candidate bound (a one-row slice of the level kernel),
+        bitwise identical to the candidate's batch entry -- the cheap
+        re-verification of a carried frontier candidate under ``eq10``.
+    ``monotone`` / ``float_monotone``
+        Whether a candidate once verified feasible stays feasible
+        along the assignment trajectory -- in exact arithmetic
+        (OPA-compatible bounds) and ulp-for-ulp in floating point
+        (:data:`~repro.core.dca.FLOAT_MONOTONE_EQUATIONS`).
+    ``deadline_tol``
+        ``D + DEADLINE_TOLERANCE``, the per-job feasibility threshold
+        (elementwise identical to the vector ``audsley_batch``
+        rebuilds per level).
+    """
+
+    def __init__(self, test: SDCA,
+                 active: "np.ndarray | None" = None) -> None:
+        self._test = test
+        self._active = active
+        self.num_jobs = test.jobset.num_jobs
+        self.monotone = test.opa_compatible
+        self.float_monotone = test.equation in FLOAT_MONOTONE_EQUATIONS
+        self.deadline_tol = test.jobset.D + DEADLINE_TOLERANCE
+
+    def removal_caps(self) -> "np.ndarray | None":
+        """Sound per-pair bound-decrease caps for excess lower-bound
+        pruning (:meth:`DelayAnalyzer.removal_caps`, where the
+        soundness argument lives), or None for the non-monotone
+        equations where evaluated bounds cannot be carried at all."""
+        if not self.monotone:
+            return None
+        return self._test.analyzer.removal_caps()
+
+    def delays_rows(self, rows: np.ndarray, unassigned: np.ndarray,
+                    assigned_lower: np.ndarray) -> np.ndarray:
+        return self._test.level_delays(
+            unassigned, assigned_lower, active=self._active, rows=rows)
+
+    def probe(self, i: int, unassigned: np.ndarray,
+              assigned_lower: np.ndarray) -> float:
+        test = self._test
+        lower = assigned_lower if test.uses_lower_set else None
+        return test.analyzer.level_bound_single(
+            i, unassigned, lower, equation=test.equation,
+            active=self._active)

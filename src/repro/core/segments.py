@@ -123,6 +123,25 @@ class SegmentCache:
     ``t_sorted`` / ``t1`` / ``t2``
         Global (mapping-independent) sorted stage times per job and the
         shorthands ``t_{k,1}``, ``t_{k,2}`` used by Eqs. 1-2.
+
+    Lazy contribution tensors (the pairwise-contribution kernel cache;
+    materialised on first access and sliced, never recomputed, by
+    :meth:`restrict`):
+
+    ``epq``
+        ``(n, n, N)`` -- ``ep`` pre-masked by the priority-independent
+        interference filter ``Q``-style: entry ``[i, k, j]`` is
+        ``ep_{k,j}`` when ``J_k`` window-overlaps ``J_i`` (or ``k ==
+        i``), else 0.  The per-level stage-additive term of any bound
+        is then one column-masked row-max per stage -- no per-level
+        ``(n, n)`` relation mask ever has to be rebuilt.
+    ``epb``
+        Same, without the self diagonal: the candidate matrix of the
+        non-preemptive blocking terms (Eqs. 2/4/5/10).
+    ``pq`` / ``pb``
+        Raw-``P`` counterparts used by the single-resource bounds
+        (Eqs. 1-2): ``pq[i, k, j] = P[k, j]`` when ``J_k`` overlaps
+        ``J_i`` or ``k == i``, else 0.
     """
 
     def __init__(self, jobset: JobSet) -> None:
@@ -191,6 +210,41 @@ class SegmentCache:
     def jobset(self) -> JobSet:
         return self._jobset
 
+    # -- lazy contribution tensors (pairwise-contribution kernel) ------
+
+    def __getattr__(self, name: str):
+        # Only called for attributes not yet materialised.
+        if name in _LAZY_PAIR_FIELDS:
+            value = self._build_contribution(name)
+            setattr(self, name, value)
+            return value
+        raise AttributeError(name)
+
+    def _build_contribution(self, name: str) -> np.ndarray:
+        """Materialise one premasked contribution tensor.
+
+        ``q``-variants include the self diagonal (``J_i`` is always in
+        its own ``Q_i``); ``b``-variants exclude it (a job never blocks
+        itself).  Both bake in the window-overlap filter, which is why
+        the paired kernels of :class:`~repro.core.dca.DelayAnalyzer`
+        only engage when ``window_filter`` is on (the default).
+        """
+        jobset = self._jobset
+        n = jobset.num_jobs
+        eye = np.eye(n, dtype=bool)
+        base = jobset.overlaps & ~eye
+        if name == "epq":
+            return np.where((base | eye)[:, :, None], self.ep, 0.0)
+        if name == "epb":
+            return np.where(base[:, :, None], self.ep, 0.0)
+        per_job = np.broadcast_to(jobset.P[None, :, :],
+                                  (n, n, jobset.num_stages))
+        if name == "pq":
+            return np.where((base | eye)[:, :, None], per_job, 0.0)
+        if name == "pb":
+            return np.where(base[:, :, None], per_job, 0.0)
+        raise AttributeError(name)
+
     def restrict(self, subset: JobSet,
                  indices: "Sequence[int] | np.ndarray") -> "SegmentCache":
         """Cache for ``subset``, built by *slicing* this cache.
@@ -224,7 +278,14 @@ class SegmentCache:
 
 #: Fields of the cache whose leading *two* axes index (job, job).
 _PAIR_FIELDS = ("ep", "et_sorted", "et_cumsum", "et1", "et2",
-                "m", "u", "v", "w", "W")
+                "m", "u", "v", "w", "W",
+                "epq", "epb", "pq", "pb")
+
+#: Premasked contribution tensors, built on first access (window
+#: overlap is a pure pair predicate, so a slice of a parent tensor is
+#: bitwise identical to the subset's own -- `_SlicedSegmentCache`
+#: simply gathers them like any other pair field).
+_LAZY_PAIR_FIELDS = ("epq", "epb", "pq", "pb")
 
 #: Fields indexed by a single job axis.
 _JOB_FIELDS = ("t_sorted", "t1", "t2")

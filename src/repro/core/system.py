@@ -145,6 +145,7 @@ class JobSet:
         # caches from the universe and often never touch them.
         self._shares: np.ndarray | None = None
         self._overlaps: np.ndarray | None = None
+        self._conflicts: np.ndarray | None = None
 
     @property
     def shares(self) -> np.ndarray:
@@ -163,6 +164,19 @@ class JobSet:
         if self._overlaps is None:
             self._overlaps = overlap_matrix(self.A, self.D)
         return self._overlaps
+
+    @property
+    def conflicts(self) -> np.ndarray:
+        """``(n, n)`` bool: the pair shares at least one stage resource
+        (self pairs excluded).  The conflict graph every pairwise
+        solver branches over; computed lazily, cached, and shared so
+        DMR, the CP search, the ILP builder and the heuristics stop
+        re-reducing the ``(n, n, N)`` shares tensor each."""
+        if self._conflicts is None:
+            n = self.num_jobs
+            self._conflicts = self.shares.any(axis=2) & \
+                ~np.eye(n, dtype=bool)
+        return self._conflicts
 
     @property
     def system(self) -> MSMRSystem:
@@ -267,6 +281,7 @@ class JobSet:
         # the parent's tensors (which may not even be materialised).
         subset._shares = None
         subset._overlaps = None
+        subset._conflicts = None
         return subset
 
     # ------------------------------------------------------------------

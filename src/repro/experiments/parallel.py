@@ -109,8 +109,26 @@ def run_scenario(spec: ScenarioSpec) -> CaseResult:
 
 def _chunksize(num_items: int, n_workers: int) -> int:
     """Chunked dispatch: a few chunks per worker amortises IPC without
-    serialising the tail behind one slow shard."""
-    return max(1, num_items // (4 * n_workers))
+    serialising the tail behind one slow shard.
+
+    The ceiling division clamps the chunk *count* to at most
+    ``4 * n_workers``: the old floor division degenerated to 1-item
+    chunks for every sweep smaller than ``8 * n_workers`` (e.g. 63
+    items across 8 workers dispatched 63 chunks instead of 32), paying
+    one IPC round-trip per scenario exactly when the per-chunk
+    overhead is largest relative to the work.  ``REPRO_CHUNKSIZE``
+    overrides the heuristic outright (any positive integer); invalid
+    or non-positive values are ignored.
+    """
+    raw = os.environ.get("REPRO_CHUNKSIZE", "").strip()
+    if raw:
+        try:
+            override = int(raw)
+        except ValueError:
+            override = 0
+        if override > 0:
+            return override
+    return max(1, -(-num_items // (4 * n_workers)))
 
 
 def _run_incremental(fn: Callable, items: list, *, n_workers: int,

@@ -148,11 +148,24 @@ def cold_analysis(universe: JobSet, indices,
                   policy: "str | Policy") -> SubsetAnalysis:
     """Cold analysis of ``universe[indices]``: re-run the job-set
     constructor and the segment algebra from scratch (what a batch
-    caller would do for every event)."""
+    caller would do for every event).
+
+    The analyzer is pinned to the *reference* tensor kernel so that
+    "cold" stays a stable legacy yardstick for the benchmarks -- the
+    same role ``opdca/serial`` plays in the scalability table -- even
+    as the default paired contribution kernels keep accelerating the
+    live paths (they speed up cold batch admission too, which would
+    otherwise silently compress the measured incremental-vs-cold
+    ratio).  Decisions are unaffected: the two kernels are bitwise
+    identical for every candidate evaluation, which the
+    engine-vs-cold equivalence suites in ``tests/online`` exercise on
+    every event.
+    """
     idx = np.asarray(sorted(int(i) for i in indices), dtype=np.int64)
     jobset = JobSet(universe.system,
                     [universe.jobs[int(i)] for i in idx])
-    test = SDCA(jobset, policy)
+    analyzer = DelayAnalyzer(jobset, kernel="reference")
+    test = SDCA(jobset, policy, analyzer=analyzer)
     return SubsetAnalysis(jobset=jobset, test=test, indices=idx)
 
 
@@ -244,22 +257,19 @@ def _lazy_audsley(jobset: JobSet, test: SDCA, *,
     # Sound per-candidate lower bounds on the *current* excess
     # ``Delta_i - D_i`` (float-monotone bounds only).  Removing job
     # ``p`` from a candidate's context can lower its bound by at most
-    # ``cap[p]``: the job-additive pair terms (factor 2 covers Eq. 3's
-    # double counting) plus every shared-stage term ``p`` could
-    # contribute to stage-additive or blocking maxima.  An evaluated
-    # excess therefore stays a valid lower bound across placements and
-    # discards once each removal's cap -- padded by a safety margin
-    # orders of magnitude above the accumulated float error of the
-    # kernels (~1e-11 relative) -- is subtracted.  Candidates whose
-    # lower bound still exceeds the deadline tolerance are *provably*
-    # infeasible and are skipped without evaluation; anything inside
-    # the safety band is evaluated exactly, so decisions never depend
-    # on the bound, only the amount of skipped work does.
+    # ``cap[p]`` (see :meth:`DelayAnalyzer.removal_caps`, the single
+    # shared soundness argument, also consumed by the core frontier
+    # engine).  An evaluated excess therefore stays a valid lower
+    # bound across placements and discards once each removal's cap --
+    # padded by a safety margin orders of magnitude above the
+    # accumulated float error of the kernels (~1e-11 relative) -- is
+    # subtracted.  Candidates whose lower bound still exceeds the
+    # deadline tolerance are *provably* infeasible and are skipped
+    # without evaluation; anything inside the safety band is evaluated
+    # exactly, so decisions never depend on the bound, only the amount
+    # of skipped work does.
     lower_bound: "np.ndarray | None" = None
-    cache = analyzer.cache
-    removal_caps = (2.0 * cache.m * cache.et1
-                    + 2.0 * cache.ep.sum(axis=2)
-                    if float_monotone else None)
+    removal_caps = analyzer.removal_caps() if float_monotone else None
     _SAFETY = 1e-7
 
     def remember(candidates: np.ndarray,
@@ -285,12 +295,13 @@ def _lazy_audsley(jobset: JobSet, test: SDCA, *,
         return float(bound) - float(deadlines[candidate])
 
     def batch_level(candidates: np.ndarray) -> np.ndarray:
-        """Exact excesses ``Delta_i - D_i`` of every candidate."""
-        higher = np.broadcast_to(unassigned, (candidates.size, n))
-        lower = (np.broadcast_to(assigned_lower, (candidates.size, n))
-                 if lower_aware else None)
-        delays = analyzer.delay_bounds_rows(
-            candidates, higher, lower, equation=equation, active=active)
+        """Exact excesses ``Delta_i - D_i`` of every candidate, served
+        by the analyzer's level kernel (the paired contribution
+        matrices by default -- bitwise identical to the broadcast
+        ``delay_bounds_rows`` slices this used to evaluate)."""
+        delays = analyzer.level_bounds(
+            unassigned, assigned_lower if lower_aware else None,
+            equation=equation, active=active, rows=candidates)
         return delays - deadlines[candidates]
 
     while unassigned.any():

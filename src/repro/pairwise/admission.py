@@ -5,6 +5,12 @@ whole job set infeasible, the job with the largest deadline excess
 ``Delta_i - D_i`` is discarded and the assignment continues for the
 remaining jobs.  Discarded jobs are removed from the analysis entirely
 (they no longer interfere with anyone).
+
+Each discard refreshes only the rows whose interference window
+overlaps the discarded job (``_DMRState.deactivate`` routes them
+through the row-sliced batch kernel, bitwise identical to a full
+refresh), so a discard cascade costs ``O(r a n N)`` instead of
+``O(r n^2 N)`` for ``r`` rejections.
 """
 
 from __future__ import annotations

@@ -41,8 +41,7 @@ class ConflictGraph:
     def __init__(self, jobset: JobSet) -> None:
         self._jobset = jobset
         n = jobset.num_jobs
-        any_shared = jobset.shares.any(axis=2)
-        self._adjacency = any_shared & ~np.eye(n, dtype=bool)
+        self._adjacency = jobset.conflicts.copy()
         pairs = []
         for i in range(n):
             for k in range(i + 1, n):

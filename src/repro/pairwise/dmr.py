@@ -94,16 +94,28 @@ class _DMRState:
         self.flips = 0
         self.attempted_flips = 0
         self.rounds = 0
-        self._conflict = jobset.shares.any(axis=2) & \
-            ~np.eye(jobset.num_jobs, dtype=bool)
+        self._conflict = jobset.conflicts
 
     # -- delay bookkeeping ------------------------------------------------
 
     def _delay_of(self, i: int) -> float:
-        higher = self.x[:, i]
-        lower = self.x[i, :]
-        return self.analyzer.delay_bound(
-            i, higher, lower, equation=self.equation, active=self.active)
+        """Delay of ``J_i`` under the current orientation matrix.
+
+        Served by the analyzer's fused single-candidate kernel, which
+        is bitwise identical to the batched ``delays_for_pairwise``
+        rows this state is seeded from (the legacy scalar
+        ``delay_bound`` path gathers masked entries and agrees only to
+        ~1e-12 relative) -- so repaired entries and batch-refreshed
+        entries of ``self.delays`` now come from one summation tree.
+        """
+        higher = self.x[:, i].copy()
+        # The level kernels expect the candidate inside its own
+        # higher mask (``Q_i`` semantics; filtered to ``H_i``/``ep``
+        # terms internally, exactly like the batch path's ``| eye``).
+        higher[i] = True
+        return self.analyzer.level_bound_single(
+            i, higher, self.x[i], equation=self.equation,
+            active=self.active)
 
     def refresh(self, jobs: "list[int] | None" = None) -> None:
         """Recompute delays of ``jobs`` (all active jobs when None)."""
@@ -116,10 +128,26 @@ class _DMRState:
                 self.delays[i] = self._delay_of(i)
 
     def deactivate(self, i: int) -> None:
-        """Remove a job from the analysis (admission control)."""
+        """Remove a job from the analysis (admission control).
+
+        Only the delays of jobs whose interference window overlaps
+        ``J_i`` can change -- every other job's masks are identical
+        with or without it -- so those rows are recomputed through the
+        row-sliced batch kernel (bitwise identical to a full
+        ``delays_for_pairwise`` refresh) in ``O(a n N)`` instead of
+        ``O(n^2 N)`` per discard.
+        """
         self.active[i] = False
         self.delays[i] = np.nan
-        self.refresh()
+        if not self.analyzer.window_filter:
+            self.refresh()
+            return
+        affected = np.flatnonzero(self.active &
+                                  self.jobset.overlaps[:, i])
+        if affected.size:
+            self.delays[affected] = self.analyzer.delay_bounds_rows(
+                affected, self.x.T[affected], self.x[affected],
+                equation=self.equation, active=self.active)
 
     # -- Algorithm 2 ------------------------------------------------------
 

@@ -103,7 +103,7 @@ class _FlipSearch:
         self.analyzer = analyzer
         self.equation = equation
         n = jobset.num_jobs
-        conflict = jobset.shares.any(axis=2) & ~np.eye(n, dtype=bool)
+        conflict = jobset.conflicts
         relevant = conflict & jobset.overlaps
         self.pairs = [(i, k) for i in range(n) for k in range(i + 1, n)
                       if relevant[i, k]]

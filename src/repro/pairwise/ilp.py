@@ -131,8 +131,7 @@ def build_opt_model(jobset: JobSet, equation: str = "eq6", *,
     big_m = float(jobset.P.max())
     theta_stages, lambda_stages = _stage_plan(equation, num_stages)
 
-    conflict = jobset.shares.any(axis=2) & ~np.eye(n, dtype=bool)
-    relevant = conflict & jobset.overlaps
+    relevant = jobset.conflicts & jobset.overlaps
 
     builder = ModelBuilder()
     pair_vars: dict[tuple[int, int], int] = {}

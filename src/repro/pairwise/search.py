@@ -112,8 +112,7 @@ class _CPSolver:
         self.complete = True
 
         n = jobset.num_jobs
-        conflict = jobset.shares.any(axis=2) & ~np.eye(n, dtype=bool)
-        relevant = conflict & jobset.overlaps
+        relevant = jobset.conflicts & jobset.overlaps
         self.pairs: list[tuple[int, int]] = [
             (i, k) for i in range(n) for k in range(i + 1, n)
             if relevant[i, k]]

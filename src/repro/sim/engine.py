@@ -34,9 +34,17 @@ _COMPLETE, _ARRIVE = 0, 1
 
 
 class _Resource:
-    """Runtime state of one resource."""
+    """Runtime state of one resource.
 
-    __slots__ = ("stage", "index", "ready", "running", "run_start", "token")
+    ``__slots__`` keeps the per-resource footprint flat and attribute
+    access monomorphic in the hot event loop.  ``stale_job`` /
+    ``stale_time`` remember the completion event invalidated by the
+    most recent preemption so an immediate re-dispatch of the same job
+    can revalidate it instead of pushing a duplicate into the heap.
+    """
+
+    __slots__ = ("stage", "index", "ready", "running", "run_start",
+                 "token", "stale_job", "stale_time")
 
     def __init__(self, stage: int, index: int) -> None:
         self.stage = stage
@@ -45,6 +53,8 @@ class _Resource:
         self.running: int | None = None
         self.run_start = 0.0
         self.token = 0
+        self.stale_job: int | None = None
+        self.stale_time = -1.0
 
 
 class PipelineSimulator:
@@ -107,37 +117,56 @@ class PipelineSimulator:
             for stage in range(num_stages)
             for index in range(jobset.system.stages[stage].num_resources)
         }
+        # Per-(job, stage) resource table: one list indexing replaces a
+        # tuple build + dict lookup + numpy scalar conversion per event.
+        mapping = jobset.R
+        res_of = [[resources[(stage, int(mapping[job, stage]))]
+                   for stage in range(num_stages)]
+                  for job in range(n)]
         remaining = jobset.P.astype(float).copy()
         finish = np.full(n, np.nan)
         trace = Trace()
+        add_interval = trace.add
         counter = itertools.count()
         events: list[tuple] = []
-
-        def push(time: float, kind: int, job: int, stage: int,
-                 token: int = -1) -> None:
-            heapq.heappush(events, (time, kind, next(counter), job, stage,
-                                    token))
-
-        def resource_of(job: int, stage: int) -> _Resource:
-            return resources[(stage, int(jobset.R[job, stage]))]
+        # Hot-loop hoists: every name the heap loop touches per event
+        # is a local, not an attribute chain.
+        heappush, heappop = heapq.heappush, heapq.heappop
+        policy = self._policy
+        policy_select, policy_beats = policy.select, policy.beats
+        preemptive = self._preemptive
+        max_events = self._max_events
 
         def record(job: int, res: _Resource, start: float, end: float,
                    completed: bool) -> None:
             if end > start or completed:
-                trace.add(ExecutionInterval(
+                add_interval(ExecutionInterval(
                     job=job, stage=res.stage, resource=res.index,
                     start=start, end=end, completed=completed))
 
         def start_next(res: _Resource, now: float) -> None:
             if res.running is not None or not res.ready:
                 return
-            job = self._policy.select(res.ready, res.stage)
+            job = policy_select(res.ready, res.stage)
             res.ready.remove(job)
             res.running = job
             res.run_start = now
+            finish_at = now + remaining[job, res.stage]
+            if res.stale_job == job and res.stale_time == finish_at \
+                    and finish_at > now:
+                # The completion event invalidated by the preemption an
+                # instant ago still sits in the heap with exactly this
+                # (job, time): step the token back to revalidate it
+                # instead of re-pushing an unchanged event.  Strictly
+                # future events cannot have been popped yet, so the
+                # revalidated entry is guaranteed live.
+                res.token -= 1
+                res.stale_job = None
+                return
+            res.stale_job = None
             res.token += 1
-            push(now + remaining[job, res.stage], _COMPLETE, job,
-                 res.stage, res.token)
+            heappush(events, (finish_at, _COMPLETE, next(counter), job,
+                              res.stage, res.token))
 
         def preempt(res: _Resource, now: float) -> None:
             job = res.running
@@ -146,30 +175,33 @@ class PipelineSimulator:
             record(job, res, res.run_start, now, completed=False)
             res.ready.append(job)
             res.running = None
+            res.stale_job = job
+            res.stale_time = now + remaining[job, res.stage]
             res.token += 1  # invalidate the pending completion
 
         for job in self._arrival_order:
-            push(float(jobset.A[job]), _ARRIVE, job, 0)
+            heappush(events, (float(jobset.A[job]), _ARRIVE,
+                              next(counter), job, 0, -1))
 
         processed = 0
         while events:
             time = events[0][0]
-            touched: dict[tuple[int, int], _Resource] = {}
+            touched: dict[int, _Resource] = {}
 
             # Phase 1: absorb every event at this instant, so that
             # simultaneous arrivals (e.g. the batch release of the edge
             # workload) compete before any dispatch decision is taken.
             while events and events[0][0] == time:
                 processed += 1
-                if processed > self._max_events:
+                if processed > max_events:
                     raise SimulationError(
-                        f"exceeded {self._max_events} events; "
+                        f"exceeded {max_events} events; "
                         f"simulation is likely stuck")
-                _, kind, _, job, stage, token = heapq.heappop(events)
-                res = resource_of(job, stage)
+                _, kind, _, job, stage, token = heappop(events)
+                res = res_of[job][stage]
                 if kind == _ARRIVE:
                     res.ready.append(job)
-                    touched[(res.stage, res.index)] = res
+                    touched[id(res)] = res
                     continue
                 # Completion: only valid if the token is still current.
                 if token != res.token or res.running != job:
@@ -179,10 +211,11 @@ class PipelineSimulator:
                 res.running = None
                 res.token += 1
                 if stage + 1 < num_stages:
-                    push(time, _ARRIVE, job, stage + 1)
+                    heappush(events, (time, _ARRIVE, next(counter), job,
+                                      stage + 1, -1))
                 else:
                     finish[job] = time
-                touched[(res.stage, res.index)] = res
+                touched[id(res)] = res
 
             # Phase 2: dispatch on every touched resource (preempting
             # first where allowed).  Zero-length executions complete at
@@ -190,9 +223,9 @@ class PipelineSimulator:
             # batch at the same time value.
             for res in touched.values():
                 if (res.running is not None and res.ready
-                        and self._preemptive[res.stage]):
-                    best = self._policy.select(res.ready, res.stage)
-                    if self._policy.beats(best, res.running, res.stage):
+                        and preemptive[res.stage]):
+                    best = policy_select(res.ready, res.stage)
+                    if policy_beats(best, res.running, res.stage):
                         preempt(res, time)
                 start_next(res, time)
 

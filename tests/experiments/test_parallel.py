@@ -19,6 +19,7 @@ from repro.experiments.config import ExperimentConfig
 from repro.experiments.figures import figure_4a, figure_4d
 from repro.experiments.parallel import (
     ScenarioSpec,
+    _chunksize,
     evaluate_scenarios,
     parallel_map,
     run_scenario,
@@ -143,3 +144,43 @@ class TestDownstreamSweeps:
         row = result.rows[0]
         assert row["speedup(bounds)"] > 0
         assert np.isfinite(row["t(opdca) s"])
+
+
+class TestChunksizeClamp:
+    def test_ceiling_division_caps_chunk_count(self):
+        # 63 items / 8 workers: floor division used to hand out 63
+        # 1-item chunks; the ceiling clamp dispatches 2-item chunks.
+        assert _chunksize(63, 8) == 2
+        assert _chunksize(100, 2) == 13
+        assert _chunksize(129, 4) == 9
+
+    def test_small_sweeps_never_drop_below_one(self):
+        assert _chunksize(1, 8) == 1
+        assert _chunksize(5, 32) == 1
+        assert _chunksize(0, 4) == 1
+
+    def test_chunk_count_bounded_by_four_per_worker(self):
+        for items in (1, 7, 63, 64, 65, 500, 4096):
+            for workers in (1, 2, 8, 32):
+                size = _chunksize(items, workers)
+                chunks = -(-items // size)
+                assert chunks <= max(1, 4 * workers)
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHUNKSIZE", "7")
+        assert _chunksize(1000, 8) == 7
+        monkeypatch.setenv("REPRO_CHUNKSIZE", "0")
+        assert _chunksize(1000, 8) == 32  # non-positive -> heuristic
+        monkeypatch.setenv("REPRO_CHUNKSIZE", "nope")
+        assert _chunksize(1000, 8) == 32  # invalid -> heuristic
+        monkeypatch.delenv("REPRO_CHUNKSIZE")
+        assert _chunksize(1000, 8) == 32
+
+    def test_override_does_not_change_results(self, monkeypatch):
+        specs = [ScenarioSpec(seed=s, workload=TINY, approaches=("dm",))
+                 for s in range(5)]
+        baseline = evaluate_scenarios(specs, n_workers=2)
+        monkeypatch.setenv("REPRO_CHUNKSIZE", "1")
+        overridden = evaluate_scenarios(specs, n_workers=2)
+        assert [_comparable(r) for r in baseline] == \
+            [_comparable(r) for r in overridden]

@@ -167,3 +167,27 @@ class TestShapeErrors:
             gated = [metric for info in metrics.values()
                      for metric in info if compare_bench.gated(metric)]
             assert gated, f"{name} commits no gated metrics"
+
+
+class TestFreshOnlyMetrics:
+    def test_fresh_only_gated_metric_prints_arm_note(self, tmp_path,
+                                                     capsys):
+        base = _report(tmp_path, "bench", {"speedup(x)": 2.0},
+                       "base.json")
+        fresh = _report(tmp_path, "bench",
+                        {"speedup(x)": 2.0, "speedup(new)": 3.0},
+                        "fresh.json")
+        assert compare_bench.main([base, fresh]) == 0
+        out = capsys.readouterr().out
+        assert "speedup(new)" in out
+        assert "only in the fresh report" in out
+
+    def test_fresh_only_ungated_metric_is_silent(self, tmp_path,
+                                                 capsys):
+        base = _report(tmp_path, "bench", {"speedup(x)": 2.0},
+                       "base.json")
+        fresh = _report(tmp_path, "bench",
+                        {"speedup(x)": 2.0, "events": 42.0},
+                        "fresh.json")
+        assert compare_bench.main([base, fresh]) == 0
+        assert "only in the fresh report" not in capsys.readouterr().out
