@@ -17,12 +17,22 @@ The run asserts the aggregate decision-path speedup is at least 2x
 (CI's ``online-bench`` job gates on the same number from
 ``BENCH_online.json``); in practice it is ~2.5-3x at the benchmark
 operating point and grows with the admitted-set size.
+
+``test_sharded_scaling`` measures the shard layer on a
+cluster-structured workload (:func:`~repro.online.streams.\
+clustered_stream`): decision-path events/sec of
+:class:`~repro.online.sharded.ShardedAdmissionEngine` at 1, 2 and 4
+shards against the monolithic engine, plus the acceptance cost of
+pessimistic cross-shard reservation.  Gates: >= 1.5x events/sec at 4
+shards and acceptance within 2% of the monolithic oracle.
 """
 
 from repro.experiments.config import full_scale
 from repro.online import (
     OnlineAdmissionEngine,
+    ShardedAdmissionEngine,
     StreamConfig,
+    clustered_stream,
     generate_stream,
 )
 
@@ -95,3 +105,71 @@ def test_online_engine(benchmark):
     # re-analysis per event by at least 2x.
     assert speedup >= 2.0, (
         f"incremental admission speedup regressed: {speedup:.2f}x")
+
+
+#: Shard-scaling operating point: four resource clusters with a small
+#: cross-traffic fraction, congested enough that per-event candidate
+#: sets are large (that is what sharding shrinks).
+SHARD_COUNTS = (1, 2, 4)
+CROSS_FRACTION = 0.05
+#: Generous queue bound for both engines: with a tight bound the
+#: *topology* difference (one global FIFO vs one per shard) dominates
+#: the acceptance delta, hiding the reservation pessimism the gate is
+#: meant to watch.
+SHARD_RETRY_LIMIT = 64
+
+
+def test_sharded_scaling(benchmark):
+    horizon = 80.0 if full_scale() else 60.0
+    stream = clustered_stream(
+        StreamConfig(horizon=horizon, rate=0.5, dwell_scale=1.5,
+                     pool_size=16),
+        clusters=max(SHARD_COUNTS), cross_fraction=CROSS_FRACTION,
+        seed=0)
+
+    seconds: dict = {}
+    acceptance: dict = {}
+    events = 0
+
+    def run_all():
+        nonlocal events
+        mono = OnlineAdmissionEngine(
+            stream, retry_limit=SHARD_RETRY_LIMIT)
+        events = mono.run().summary["events"]
+        seconds["monolith"] = mono.decision_seconds
+        acceptance["oracle"] = None
+        for shards in SHARD_COUNTS:
+            engine = ShardedAdmissionEngine(
+                stream, shards=shards,
+                retry_limit=SHARD_RETRY_LIMIT)
+            result = engine.run()
+            seconds[shards] = engine.decision_seconds
+            acceptance[shards] = result.summary["acceptance_ratio"]
+        acceptance["oracle"] = acceptance[1]  # shards=1 == monolith
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    speedup = seconds["monolith"] / seconds[max(SHARD_COUNTS)]
+    delta = acceptance[max(SHARD_COUNTS)] - acceptance["oracle"]
+    benchmark.extra_info["events"] = events
+    benchmark.extra_info["cross_fraction"] = CROSS_FRACTION
+    for shards in SHARD_COUNTS:
+        benchmark.extra_info[f"events_per_sec(shards={shards})"] = \
+            round(events / seconds[shards], 1)
+    benchmark.extra_info["events_per_sec(monolith)"] = round(
+        events / seconds["monolith"], 1)
+    benchmark.extra_info["speedup(shards=4)"] = round(speedup, 3)
+    benchmark.extra_info["acceptance_ratio(oracle)"] = round(
+        acceptance["oracle"], 4)
+    benchmark.extra_info["acceptance_ratio(shards=4)"] = round(
+        acceptance[max(SHARD_COUNTS)], 4)
+    print(f"\nsharded admission: {events} events, "
+          f"{events / seconds['monolith']:.0f} events/s monolithic, "
+          f"{events / seconds[4]:.0f} events/s at 4 shards "
+          f"({speedup:.2f}x), acceptance delta {delta:+.4f}")
+    # The shard-layer gates: real throughput scaling, near-oracle
+    # acceptance despite pessimistic cross-shard reservation.
+    assert speedup >= 1.5, (
+        f"shard-scaling speedup regressed: {speedup:.2f}x")
+    assert abs(delta) <= 0.02, (
+        f"sharded acceptance drifted from the oracle: {delta:+.4f}")

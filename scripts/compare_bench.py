@@ -21,6 +21,16 @@ vary too much across runner hardware):
   of the baseline.  They are hardware-proportional, so the committed
   baselines must be refreshed from a CI artifact, not a laptop (see
   ``benchmarks/baselines/README.md``).
+* ``acceptance_ratio(...)`` quality metrics -- the sharded engine's
+  acceptance vs the monolithic oracle -- must not drop below
+  ``--tolerance`` of the baseline (deterministic, so any drift is a
+  real behaviour change, not noise).
+
+Gated metrics that appear only in the fresh report (a brand-new
+benchmark or a newly published metric) never fail the run; they are
+surfaced as ``add it to the committed baseline to arm the gate`` notes
+so they get committed on the next baseline refresh instead of riding
+along ungated.
 
 Improvements beyond ``+tolerance`` pass but print a reminder to ratchet
 the baseline, so the committed trajectory keeps up with the code.
@@ -39,6 +49,7 @@ import sys
 #: other numeric key is reported as context but never fails the run.
 RATIO_PREFIX = "speedup("
 THROUGHPUT_PREFIX = "events_per_sec("
+QUALITY_PREFIX = "acceptance_ratio("
 
 
 def load_metrics(path: str) -> "dict[str, dict[str, float]]":
@@ -62,7 +73,8 @@ def load_metrics(path: str) -> "dict[str, dict[str, float]]":
 
 
 def gated(metric: str) -> bool:
-    return metric.startswith((RATIO_PREFIX, THROUGHPUT_PREFIX))
+    return metric.startswith(
+        (RATIO_PREFIX, THROUGHPUT_PREFIX, QUALITY_PREFIX))
 
 
 def parse_floor(text: str) -> "tuple[str, float]":
@@ -121,8 +133,9 @@ def compare(baseline: "dict[str, dict[str, float]]",
                   f"fresh={value:g} [{verdict}]")
     if matched == 0:
         failures.append(
-            "no gated metrics (speedup(*)/events_per_sec(*)) matched "
-            "between baseline and fresh report")
+            "no gated metrics (speedup(*)/events_per_sec(*)/"
+            "acceptance_ratio(*)) matched between baseline and fresh "
+            "report")
     # Gated metrics that only exist in the fresh report are not
     # protected by anything yet: surface them so they get committed to
     # the baseline instead of silently riding along ungated.

@@ -19,7 +19,10 @@ Quick start::
 See :mod:`repro.pairwise` for the pairwise assignment solvers (OPT ILP,
 DMR heuristic), :mod:`repro.sim` for the discrete-event pipeline
 simulator, :mod:`repro.workload` for the edge-computing workload
-generator, and :mod:`repro.experiments` for the Figure 4 harness.
+generator, :mod:`repro.routes` for the route model (declarative
+stage/resource bindings re-exported here as :class:`RouteJob` /
+:class:`RouteBinding` / :func:`route_jobset`), and
+:mod:`repro.experiments` for the Figure 4 harness.
 """
 
 from repro.core import (
@@ -60,6 +63,7 @@ from repro.core import (
     scaling_profile,
     segments_of,
 )
+from repro.routes import RouteBinding, RouteJob, route_jobset
 
 __version__ = "1.0.0"
 
@@ -81,6 +85,8 @@ __all__ = [
     "Policy",
     "PriorityOrdering",
     "ReproError",
+    "RouteBinding",
+    "RouteJob",
     "SDCA",
     "ScalingResult",
     "SegmentCache",
@@ -99,6 +105,7 @@ __all__ = [
     "opdca",
     "opdca_admission",
     "pair_segments",
+    "route_jobset",
     "scaling_profile",
     "segments_of",
 ]

@@ -32,6 +32,11 @@ Axis semantics
 ``opt_backend``
     MILP backend of the batch OPT approach.  Ignored by stream
     families.
+``shards``
+    Resource-shard count of the online admission engine (1 = the
+    monolithic single-cell engine; > 1 runs the sharded engine over a
+    blocked :class:`~repro.core.partition.ShardMap`).  Ignored by
+    batch families.
 ``seed``
     Explicit seed list; every scenario carries its own seed, so the
     shard a scenario lands on can never change its result.
@@ -98,18 +103,23 @@ FAMILIES = BATCH_FAMILIES + ONLINE_FAMILIES
 #: Canonical axis order: expansion iterates the cross-product in this
 #: order, so scenario order is independent of declaration order.
 AXIS_NAMES = ("family", "jobs", "equation", "policy", "opt_backend",
-              "seed")
+              "shards", "seed")
 
 #: Axes each family actually consumes; the rest are collapsed.
 RELEVANT_AXES = {
     **{family: frozenset({"family", "jobs", "equation", "opt_backend",
                           "seed"})
        for family in BATCH_FAMILIES},
-    **{family: frozenset({"family", "jobs", "policy", "seed"})
+    **{family: frozenset({"family", "jobs", "policy", "shards",
+                          "seed"})
        for family in ONLINE_FAMILIES},
 }
 
 OPT_BACKENDS = ("highs", "branch_bound", "cp")
+
+#: Level-evaluation kernels of the online analyzers (mirrors
+#: :data:`repro.online.cell.CELL_KERNELS`).
+KERNELS = ("paired", "reference")
 
 #: Singleton defaults for axes a spec does not declare.
 DEFAULT_AXES = {
@@ -118,6 +128,7 @@ DEFAULT_AXES = {
     "equation": ("eq10",),
     "policy": ("preemptive",),
     "opt_backend": ("highs",),
+    "shards": (1,),
     "seed": (0,),
 }
 
@@ -192,6 +203,13 @@ def _validate_axis_values(axis: str, values: tuple) -> None:
                 raise CampaignError(
                     f"unknown opt backend {value!r}; expected one of "
                     f"{OPT_BACKENDS}")
+    elif axis == "shards":
+        for value in values:
+            if not isinstance(value, int) or isinstance(value, bool) \
+                    or value < 1:
+                raise CampaignError(
+                    f"axis 'shards' needs positive integers, got "
+                    f"{value!r}")
     elif axis == "seed":
         for value in values:
             if not isinstance(value, int) or isinstance(value, bool):
@@ -224,6 +242,10 @@ class CampaignSpec:
     horizon: float = 60.0
     rate: float = 0.25
     dwell_scale: float = 1.0
+    #: Level-evaluation kernel of the online analyzers (a knob, not
+    #: an axis: decisions are kernel-independent by construction, so
+    #: sweeping it would only duplicate scenarios).
+    kernel: str = "paired"
     #: Per-family constructor overrides (sections of
     #: :data:`WORKLOAD_SECTIONS`).
     workload: dict = field(default_factory=dict)
@@ -262,6 +284,10 @@ class CampaignSpec:
             raise CampaignError(
                 f"retry_limit must be a non-negative integer, got "
                 f"{self.retry_limit!r}")
+        if self.kernel not in KERNELS:
+            raise CampaignError(
+                f"kernel must be one of {KERNELS}, got "
+                f"{self.kernel!r}")
         workload = _freeze(dict(self.workload))
         for section, overrides in workload.items():
             if section not in WORKLOAD_SECTIONS:
@@ -354,6 +380,7 @@ class CampaignSpec:
             "horizon": self.horizon,
             "rate": self.rate,
             "dwell_scale": self.dwell_scale,
+            "kernel": self.kernel,
             "workload": _thaw(self.workload),
         }
 
@@ -377,7 +404,8 @@ class CampaignSpec:
                 f"(supported: {CAMPAIGN_VERSION})")
         known = {"format", "version", "name", "axes", "exclude",
                  "approaches", "mode", "retry_limit", "validate_every",
-                 "horizon", "rate", "dwell_scale", "workload"}
+                 "horizon", "rate", "dwell_scale", "kernel",
+                 "workload"}
         unknown = sorted(set(data) - known)
         if unknown:
             raise CampaignError(
@@ -385,7 +413,7 @@ class CampaignSpec:
                 f"subset of {sorted(known)})")
         kwargs = {}
         for key in ("name", "mode", "retry_limit", "validate_every",
-                    "horizon", "rate", "dwell_scale"):
+                    "horizon", "rate", "dwell_scale", "kernel"):
             if key in data:
                 kwargs[key] = data[key]
         if "axes" in data:
@@ -510,7 +538,8 @@ def _materialise(spec: CampaignSpec, point: dict) -> ExpandedScenario:
         stream=_stream_config(spec, family, point["jobs"]),
         seed=point["seed"], policy=point["policy"], mode=spec.mode,
         retry_limit=spec.retry_limit,
-        validate_every=spec.validate_every)
+        validate_every=spec.validate_every,
+        shards=point["shards"], kernel=spec.kernel)
     return ExpandedScenario(point=relevant, kind="online",
                             spec=scenario)
 

@@ -181,6 +181,30 @@ def build_parser() -> argparse.ArgumentParser:
                    default="all")
 
     p = sub.add_parser(
+        "opdca",
+        help="one-shot OPDCA admission over a generated workload")
+    p.add_argument("--size", type=positive_int, default=20,
+                   metavar="N", help="jobs in the generated workload")
+    p.add_argument("--cases", type=positive_int, default=None,
+                   help="independent workloads (seeds seed0..; "
+                        "default 5)")
+    p.add_argument("--seed0", type=int, default=None,
+                   help="first workload seed (default: 0)")
+    p.add_argument("--generator", default="random",
+                   choices=("random", "edge"),
+                   help="workload generator family")
+    p.add_argument("--policy", default="preemptive",
+                   help="scheduling policy or DCA equation "
+                        "(preemptive | nonpreemptive | edge | "
+                        "eq1..eq10)")
+    p.add_argument("--kernel", default="paired",
+                   choices=("paired", "reference"),
+                   help="level-evaluation kernel: 'paired' "
+                        "(vectorised pairwise-contribution cache, the "
+                        "default) or 'reference' (broadcast path); "
+                        "decisions are bitwise identical")
+
+    p = sub.add_parser(
         "online",
         help="streaming admission control over timestamped job "
              "arrivals/departures")
@@ -219,6 +243,19 @@ def build_parser() -> argparse.ArgumentParser:
                    help="incremental (sliced caches, lazy levels) or "
                         "cold re-analysis per event; decisions are "
                         "identical")
+    p.add_argument("--kernel", default="paired",
+                   choices=("paired", "reference"),
+                   help="level-evaluation kernel of the admission "
+                        "analyzers: 'paired' (vectorised pairwise-"
+                        "contribution cache, the default) or "
+                        "'reference' (broadcast path); decisions are "
+                        "bitwise identical")
+    p.add_argument("--shards", type=positive_int, default=1,
+                   help="resource shards: 1 runs the monolithic "
+                        "single-cell engine; N > 1 splits each "
+                        "stage's resource pool into N blocked shards "
+                        "and admits cross-shard jobs by two-phase "
+                        "reservation (needs >= N resources per stage)")
     p.add_argument("--validate", type=int, default=0, metavar="K",
                    help="replay every K-th accepted epoch through the "
                         "pipeline simulator (0 = off)")
@@ -261,6 +298,14 @@ def build_parser() -> argparse.ArgumentParser:
                                  "else 1; results are identical for "
                                  "any N)")
             add_cache_options(cp)
+        if action == "run":
+            cp.add_argument("--kernel", default=None,
+                            choices=("paired", "reference"),
+                            help="override the spec's online "
+                                 "level-evaluation kernel (decisions "
+                                 "are bitwise identical; note the "
+                                 "override changes the campaign hash "
+                                 "and store keys)")
 
     p = sub.add_parser("store",
                        help="inspect/manage a result store "
@@ -340,6 +385,58 @@ def _seed0(args: argparse.Namespace) -> int:
     return seed0 if seed0 is not None else 0
 
 
+def _run_opdca_command(args: argparse.Namespace,
+                       parser: argparse.ArgumentParser) -> int:
+    """One-shot OPDCA admission sweeps with a selectable kernel."""
+    from repro.core.admission import opdca_admission
+    from repro.core.dca import DelayAnalyzer
+    from repro.core.exceptions import ModelError
+    from repro.core.schedulability import SDCA, resolve_equation
+    from repro.workload.edge import EdgeWorkloadConfig, generate_edge_case
+    from repro.workload.random_jobs import (
+        RandomInstanceConfig,
+        random_jobset,
+    )
+
+    try:
+        equation = resolve_equation(args.policy)
+    except ValueError as error:
+        parser.error(str(error))
+    cases = args.cases if args.cases is not None else 5
+    seed0 = _seed0(args)
+    print(f"OPDCA admission ({args.generator}, n={args.size}, "
+          f"policy={args.policy} [{equation}], kernel={args.kernel})")
+    print(f"{'seed':>6s} {'accepted':>9s} {'rejected':>9s} "
+          f"{'ratio':>7s} {'seconds':>8s}")
+    total_accepted = total_jobs = 0
+    for seed in range(seed0, seed0 + cases):
+        try:
+            if args.generator == "edge":
+                jobset = generate_edge_case(
+                    EdgeWorkloadConfig(num_jobs=args.size),
+                    seed=seed).jobset
+            else:
+                jobset = random_jobset(
+                    RandomInstanceConfig(num_jobs=args.size),
+                    seed=seed)
+        except ModelError as error:
+            parser.error(str(error))
+        analyzer = DelayAnalyzer(jobset, kernel=args.kernel)
+        test = SDCA(jobset, args.policy, analyzer=analyzer)
+        start = time.perf_counter()
+        result = opdca_admission(jobset, args.policy, test=test)
+        elapsed = time.perf_counter() - start
+        ratio = result.num_accepted / jobset.num_jobs
+        total_accepted += result.num_accepted
+        total_jobs += jobset.num_jobs
+        print(f"{seed:>6d} {result.num_accepted:>9d} "
+              f"{result.num_rejected:>9d} {100.0 * ratio:>6.1f}% "
+              f"{elapsed:>8.3f}")
+    print(f"{'mean':>6s} {'':>9s} {'':>9s} "
+          f"{100.0 * total_accepted / max(total_jobs, 1):>6.1f}%")
+    return 0
+
+
 def _run_online_command(args: argparse.Namespace,
                         parser: argparse.ArgumentParser, store) -> int:
     """Drive the streaming admission engine from the CLI flags."""
@@ -374,14 +471,21 @@ def _run_online_command(args: argparse.Namespace,
         OnlineScenarioSpec(stream=stream_config, seed=seed0 + offset,
                            policy=args.policy, mode=args.mode,
                            retry_limit=args.retry_limit,
-                           validate_every=args.validate)
+                           validate_every=args.validate,
+                           shards=args.shards, kernel=args.kernel)
         for offset in range(cases)
     ]
-    results = evaluate_online(specs, n_workers=_n_workers(args),
-                              store=store)
+    try:
+        results = evaluate_online(specs, n_workers=_n_workers(args),
+                                  store=store)
+    except ModelError as error:
+        # e.g. --shards exceeding a stage's resource pool.
+        parser.error(str(error))
     title = (f"online admission ({args.stream}, "
              f"horizon={args.horizon:g}, policy={args.policy}, "
-             f"mode={args.mode})")
+             f"mode={args.mode}"
+             + (f", shards={args.shards}" if args.shards > 1 else "")
+             + ")")
     print(format_online_table(results, title=title))
     if args.series and results:
         first = results[0]
@@ -429,6 +533,10 @@ def _run_campaign_command(args: argparse.Namespace,
         spec = load_campaign(args.spec)
     except CampaignError as error:
         parser.error(str(error))
+    if getattr(args, "kernel", None) and args.kernel != spec.kernel:
+        print(f"[campaign] kernel override: {spec.kernel} -> "
+              f"{args.kernel} (campaign hash and store keys change)")
+        spec = replace(spec, kernel=args.kernel)
 
     if args.campaign_command == "expand":
         from repro.campaign import expand
@@ -530,6 +638,9 @@ def main(argv: "list[str] | None" = None) -> int:
             args.campaign_command == "expand":
         # Pure spec manipulation: never open (or create) a store.
         store = None
+    elif args.command == "opdca":
+        # A one-shot console sweep: nothing to cache.
+        store = None
     else:
         store = _resolve_store(args, parser)
 
@@ -573,6 +684,8 @@ def main(argv: "list[str] | None" = None) -> int:
         print(holistic_comparison(cases=cases, seed0=_seed0(args),
                                   n_workers=n_workers,
                                   store=store).format())
+    elif args.command == "opdca":
+        exit_code = _run_opdca_command(args, parser)
     elif args.command == "online":
         exit_code = _run_online_command(args, parser, store)
     elif args.command == "campaign":

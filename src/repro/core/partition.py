@@ -1,0 +1,208 @@
+"""Resource-cluster partitioning: the core layer of sharded admission.
+
+The paper's admission analysis is per-resource-cluster; scaling it to
+many independent clusters means partitioning the resource universe
+into *shards* and routing every job to the shards whose resources it
+actually touches.  This module owns that bookkeeping:
+
+* :class:`ShardMap` assigns every ``(stage, resource)`` pair of an
+  :class:`~repro.core.system.MSMRSystem` to one shard and routes jobs
+  by their resource footprint (the row of ``JobSet.R`` naming the
+  resource a job uses at each stage).  A job whose footprint touches a
+  single shard is *shard-local*; one spanning several shards is
+  *cross-shard* and needs coordinated admission (see
+  :mod:`repro.online.sharded`).
+* :meth:`~repro.core.system.JobSet.partition` (on the job-set side)
+  splits a universe into disjoint restricted subsets per shard, and
+  :meth:`~repro.core.segments.SegmentCache.partition` slices the
+  matching segment caches lazily -- both reuse the ``restrict``
+  machinery, so standing up per-shard analyses costs gathers, not
+  algebra.
+
+Soundness note: two jobs interfere only when they share a resource at
+some stage.  When every resource of a stage-resource pair belongs to
+exactly one shard, jobs routed to *different* shards can never share a
+resource, so per-shard delay analysis over shard-local jobs is exact
+-- not an approximation.  Only cross-shard jobs couple shards, which
+is why they are flagged here and handled pessimistically upstream.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.exceptions import ModelError
+from repro.core.system import JobSet, MSMRSystem
+
+
+class ShardMap:
+    """Assignment of every ``(stage, resource)`` pair to one shard.
+
+    Parameters
+    ----------
+    system:
+        The MSMR system whose resources are being partitioned.
+    assignment:
+        One sequence per stage; ``assignment[j][r]`` is the shard id
+        (``0 .. num_shards - 1``) owning resource ``r`` of stage
+        ``j``.  Every shard id in the range must own at least one
+        resource.
+    """
+
+    def __init__(self, system: MSMRSystem,
+                 assignment: Sequence[Sequence[int]]) -> None:
+        assignment = tuple(tuple(int(s) for s in row)
+                           for row in assignment)
+        if len(assignment) != system.num_stages:
+            raise ModelError(
+                f"assignment covers {len(assignment)} stages, system "
+                f"has {system.num_stages}")
+        for j, row in enumerate(assignment):
+            expected = system.stages[j].num_resources
+            if len(row) != expected:
+                raise ModelError(
+                    f"stage {j} has {expected} resources, assignment "
+                    f"names {len(row)}")
+        flat = [s for row in assignment for s in row]
+        if min(flat) < 0:
+            raise ModelError("shard ids must be non-negative")
+        num_shards = max(flat) + 1
+        owned = set(flat)
+        missing = sorted(set(range(num_shards)) - owned)
+        if missing:
+            raise ModelError(
+                f"shards {missing} own no resource (shard ids must be "
+                f"contiguous from 0)")
+        self._system = system
+        self._assignment = assignment
+        self._num_shards = num_shards
+
+    @classmethod
+    def blocked(cls, system: MSMRSystem, num_shards: int) -> "ShardMap":
+        """Contiguous balanced resource blocks at every stage.
+
+        Resource ``r`` of a stage with ``c`` resources goes to shard
+        ``r * num_shards // c``, so each shard owns a contiguous,
+        near-equal slice of every stage's pool -- the natural map for
+        cluster-structured workloads where cluster ``k``'s jobs use
+        the ``k``-th resource block (see
+        :func:`repro.online.streams.clustered_stream`).
+        """
+        if num_shards < 1:
+            raise ModelError(
+                f"num_shards must be >= 1, got {num_shards}")
+        for j, stage in enumerate(system.stages):
+            if stage.num_resources < num_shards:
+                raise ModelError(
+                    f"stage {j} has {stage.num_resources} resources, "
+                    f"cannot split into {num_shards} shards")
+        assignment = [
+            [r * num_shards // stage.num_resources
+             for r in range(stage.num_resources)]
+            for stage in system.stages
+        ]
+        return cls(system, assignment)
+
+    @property
+    def system(self) -> MSMRSystem:
+        return self._system
+
+    @property
+    def num_shards(self) -> int:
+        return self._num_shards
+
+    @property
+    def assignment(self) -> tuple[tuple[int, ...], ...]:
+        return self._assignment
+
+    # -- routing -------------------------------------------------------
+
+    def shards_of(self, footprint: "Sequence[int] | np.ndarray"
+                  ) -> tuple[int, ...]:
+        """Shards touched by one resource footprint (one ``R`` row),
+        ascending."""
+        footprint = np.asarray(footprint, dtype=np.int64)
+        if footprint.shape != (self._system.num_stages,):
+            raise ModelError(
+                f"footprint names {footprint.size} stages, system has "
+                f"{self._system.num_stages}")
+        touched = {self._assignment[j][int(r)]
+                   for j, r in enumerate(footprint)}
+        return tuple(sorted(touched))
+
+    def home_of(self, footprint: "Sequence[int] | np.ndarray") -> int:
+        """Home shard of a footprint: the touched shard owning the
+        most of its stages, ties to the smallest shard id."""
+        footprint = np.asarray(footprint, dtype=np.int64)
+        stages_per_shard: dict[int, int] = {}
+        for j, r in enumerate(footprint):
+            shard = self._assignment[j][int(r)]
+            stages_per_shard[shard] = stages_per_shard.get(shard, 0) + 1
+        return min(stages_per_shard,
+                   key=lambda s: (-stages_per_shard[s], s))
+
+    def route(self, jobset: JobSet) -> "Routing":
+        """Route every job of ``jobset`` by its resource footprint."""
+        touched = tuple(self.shards_of(row) for row in jobset.R)
+        home = np.array([self.home_of(row) for row in jobset.R],
+                        dtype=np.int64)
+        cross = np.array([len(t) > 1 for t in touched], dtype=bool)
+        return Routing(shard_map=self, touched=touched, home=home,
+                       cross=cross)
+
+    def __repr__(self) -> str:
+        return (f"ShardMap(shards={self._num_shards}, "
+                f"stages={self._system.num_stages})")
+
+
+class Routing:
+    """Per-job routing decisions of one :class:`ShardMap` over one
+    job set: touched shard tuples, home shards, cross-shard flags."""
+
+    def __init__(self, *, shard_map: ShardMap,
+                 touched: tuple[tuple[int, ...], ...],
+                 home: np.ndarray, cross: np.ndarray) -> None:
+        self.shard_map = shard_map
+        #: ``touched[i]``: ascending shard ids job ``i`` touches.
+        self.touched = touched
+        #: ``home[i]``: the single shard owning most of job ``i``.
+        self.home = home
+        #: ``cross[i]``: true iff job ``i`` spans several shards.
+        self.cross = cross
+
+    @property
+    def num_jobs(self) -> int:
+        return len(self.touched)
+
+    @property
+    def num_cross(self) -> int:
+        return int(self.cross.sum())
+
+    def members(self, shard: int) -> np.ndarray:
+        """Ascending indices of every job touching ``shard`` --
+        shard-local jobs homed there plus cross-shard visitors."""
+        return np.array([i for i, t in enumerate(self.touched)
+                         if shard in t], dtype=np.int64)
+
+    def local_jobs(self, shard: int) -> np.ndarray:
+        """Ascending indices of the shard-local jobs of ``shard``
+        (the disjoint partition cells of
+        :meth:`~repro.core.system.JobSet.partition`)."""
+        return np.flatnonzero((self.home == shard) & ~self.cross)
+
+
+def partition_assignment(routing: Routing) -> np.ndarray:
+    """Disjoint job-to-shard assignment induced by a routing: every
+    job (cross-shard ones included) goes to its home shard.  Feed to
+    :meth:`~repro.core.system.JobSet.partition`."""
+    return routing.home.copy()
+
+
+def separable(routing: Routing,
+              indices: "Iterable[int] | None" = None) -> bool:
+    """True when no (selected) job spans more than one shard."""
+    if indices is None:
+        return not bool(routing.cross.any())
+    return not any(routing.cross[int(i)] for i in indices)

@@ -267,6 +267,17 @@ class SegmentCache:
                 f"{idx.size} indices for a {subset.num_jobs}-job subset")
         return _SlicedSegmentCache(self, subset, idx)
 
+    def partition(self, parts) -> "list[SegmentCache | None]":
+        """Sliced caches for the subsets of
+        :meth:`repro.core.system.JobSet.partition` (``None`` for empty
+        shards).  Each entry is a lazy :meth:`restrict` view, so a
+        shard's cache costs nothing until its analyses first touch a
+        field -- the segment algebra is never re-run per shard.
+        """
+        return [self.restrict(subset, indices)
+                if subset is not None else None
+                for indices, subset in parts]
+
     def top_et_sum(self, i: int, k: int, count: int) -> float:
         """Sum of the ``count`` largest shared-stage times of ``J_k``
         relative to ``J_i`` (0 for ``count == 0``)."""

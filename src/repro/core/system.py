@@ -284,6 +284,46 @@ class JobSet:
         subset._conflicts = None
         return subset
 
+    def partition(self, assignment: "Sequence[int] | np.ndarray",
+                  num_shards: "int | None" = None
+                  ) -> "list[tuple[np.ndarray, JobSet | None]]":
+        """Split the job set into disjoint per-shard subsets.
+
+        ``assignment[i]`` names the shard of job ``i`` (ids ``0 ..
+        num_shards - 1``).  Returns one ``(indices, subset)`` pair per
+        shard, in shard order: ``indices`` are the ascending job
+        indices assigned to the shard and ``subset`` is
+        ``self.restrict(indices)`` -- built by slicing, so the pairs
+        stand up in O(shard size) gathers -- or ``None`` for a shard
+        that owns no job.  Every job lands in exactly one subset, so
+        the subsets are disjoint and jointly cover the set.
+
+        This is the job-set half of the shard layer
+        (:mod:`repro.online.sharded`); the segment-algebra half is
+        :meth:`repro.core.segments.SegmentCache.partition`.
+        """
+        shard_of = np.asarray(assignment, dtype=np.int64)
+        if shard_of.shape != (self.num_jobs,):
+            raise ModelError(
+                f"partition needs one shard id per job "
+                f"({self.num_jobs}), got shape {shard_of.shape}")
+        if (shard_of < 0).any():
+            raise ModelError("shard ids must be non-negative")
+        highest = int(shard_of.max())
+        if num_shards is None:
+            num_shards = highest + 1
+        elif highest >= num_shards:
+            raise ModelError(
+                f"assignment names shard {highest}, but only "
+                f"{num_shards} shards exist")
+        parts: "list[tuple[np.ndarray, JobSet | None]]" = []
+        for shard in range(num_shards):
+            indices = np.flatnonzero(shard_of == shard)
+            parts.append((indices,
+                          self.restrict(indices) if indices.size
+                          else None))
+        return parts
+
     # ------------------------------------------------------------------
     # Convenience constructors
     # ------------------------------------------------------------------

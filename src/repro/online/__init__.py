@@ -15,9 +15,17 @@ Modules
     Incremental delay-bound maintenance: sliced universe caches and a
     lazily evaluated OPDCA admission that is bitwise identical to a
     cold re-analysis.
+:mod:`repro.online.cell`
+    The stream-agnostic :class:`AdmissionCell` decision core: one
+    universe, one analyzer, one retry queue, plus the two-phase
+    reservation primitives the shard layer coordinates with.
 :mod:`repro.online.engine`
-    The event-driven :class:`OnlineAdmissionEngine`, retry queue,
-    simulator-backed validation hook and scenario sweep helpers.
+    The event-driven :class:`OnlineAdmissionEngine` (a single-cell
+    stream driver), simulator-backed validation hook and scenario
+    sweep helpers.
+:mod:`repro.online.sharded`
+    :class:`ShardedAdmissionEngine`: one cell per resource shard,
+    footprint routing and pessimistic cross-shard reservation.
 :mod:`repro.online.metrics`
     Per-event time series (acceptance ratio, rejected heaviness,
     utilisation, churn, decision latency) and run summaries.
@@ -25,6 +33,7 @@ Modules
 The CLI front end is ``python -m repro online``.
 """
 
+from repro.online.cell import AdmissionCell, CellEvent, Reservation
 from repro.online.engine import (
     ONLINE_CALL_KEY,
     OnlineAdmissionEngine,
@@ -49,11 +58,16 @@ from repro.online.metrics import (
     admitted_utilisation,
     format_online_table,
 )
+from repro.online.sharded import (
+    ShardedAdmissionEngine,
+    sharded_acceptance_report,
+)
 from repro.online.streams import (
     STREAM_KINDS,
     OnlineJob,
     OnlineStream,
     StreamConfig,
+    clustered_stream,
     generate_stream,
     load_stream,
     save_stream,
@@ -62,6 +76,8 @@ from repro.online.streams import (
 __all__ = [
     "ONLINE_CALL_KEY",
     "STREAM_KINDS",
+    "AdmissionCell",
+    "CellEvent",
     "EventRecord",
     "IncrementalAnalyzer",
     "OnlineAdmissionEngine",
@@ -70,11 +86,14 @@ __all__ = [
     "OnlineRunResult",
     "OnlineScenarioSpec",
     "OnlineStream",
+    "Reservation",
+    "ShardedAdmissionEngine",
     "StreamConfig",
     "SubsetAnalysis",
     "admit",
     "admit_all_or_nothing",
     "admitted_utilisation",
+    "clustered_stream",
     "cold_analysis",
     "evaluate_online",
     "format_online_table",
@@ -85,4 +104,5 @@ __all__ = [
     "online_work_item",
     "run_online_scenario",
     "save_stream",
+    "sharded_acceptance_report",
 ]

@@ -22,6 +22,14 @@ time and keeps the admitted job set schedulable throughout:
   arrival at ``t``), mirroring the ``_COMPLETE < _ARRIVE`` convention
   of the discrete-event simulator.
 
+The decision core itself -- admit/evict/retry over one universe --
+lives in :class:`~repro.online.cell.AdmissionCell`; this engine is the
+single-cell stream driver (event ordering, metrics time series,
+snapshots, validation hooks, run results).
+:class:`~repro.online.sharded.ShardedAdmissionEngine` drives many
+cells over a resource-partitioned universe and is what
+:func:`run_online_scenario` dispatches to when ``spec.shards > 1``.
+
 Every decision is produced by
 :func:`repro.online.incremental.incremental_admission` over a sliced
 (warm) subset analysis, and is bitwise identical to rebuilding the
@@ -39,7 +47,6 @@ admitted job misses its deadline under the assigned priorities.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -47,13 +54,7 @@ import numpy as np
 from repro.core.admission import AdmissionResult, ordering_of_accepted
 from repro.core.schedulability import Policy, resolve_equation
 from repro.core.system import JobSet
-from repro.online.incremental import (
-    IncrementalAnalyzer,
-    SubsetAnalysis,
-    admit,
-    admit_all_or_nothing,
-    cold_analysis,
-)
+from repro.online.cell import AdmissionCell, CellEvent
 from repro.online.metrics import (
     ONLINE_RESULT_FORMAT,
     ONLINE_RESULT_VERSION,
@@ -71,10 +72,8 @@ EVENT_DEPART, EVENT_ARRIVE = 0, 1
 
 #: Result-store key of one online scenario evaluation; bump when the
 #: engine's semantics change so stale cached runs are never served.
-ONLINE_CALL_KEY = "online/run@v1"
-
-#: Entry cap of the incremental engine's decision memo (FIFO).
-_DECISION_MEMO_LIMIT = 256
+#: v2: specs grew ``shards`` / ``kernel`` and results record them.
+ONLINE_CALL_KEY = "online/run@v2"
 
 
 @dataclass(frozen=True)
@@ -88,6 +87,11 @@ class OnlineScenarioSpec:
     retry_limit: int = 16
     #: Replay every k-th accepted epoch through the simulator (0 = off).
     validate_every: int = 0
+    #: Resource shards (1 = the monolithic single-cell engine; > 1
+    #: dispatches to the sharded engine over a blocked ShardMap).
+    shards: int = 1
+    #: Level-evaluation kernel of the admission analyzers.
+    kernel: str = "paired"
 
 
 @dataclass
@@ -103,6 +107,8 @@ class OnlineRunResult:
     summary: dict
     final_admitted: list[int]
     validation_failures: list[str] = field(default_factory=list)
+    shards: int = 1
+    kernel: str = "paired"
 
     def to_dict(self) -> dict:
         """JSON-ready form (exact: floats survive bitwise via repr)."""
@@ -119,6 +125,8 @@ class OnlineRunResult:
             "final_admitted": [int(u) for u in self.final_admitted],
             "validation_failures": [str(v)
                                     for v in self.validation_failures],
+            "shards": int(self.shards),
+            "kernel": str(self.kernel),
         }
 
     @classmethod
@@ -140,7 +148,9 @@ class OnlineRunResult:
             summary=dict(data["summary"]),
             final_admitted=[int(u) for u in data["final_admitted"]],
             validation_failures=[str(v)
-                                 for v in data["validation_failures"]])
+                                 for v in data["validation_failures"]],
+            shards=int(data.get("shards", 1)),
+            kernel=str(data.get("kernel", "paired")))
 
     def deterministic_dict(self) -> dict:
         """``to_dict`` minus every wall-clock field: identical across
@@ -150,6 +160,10 @@ class OnlineRunResult:
             record.pop("latency")
         for key in WALL_CLOCK_KEYS:
             payload["summary"].pop(key)
+        sharding = payload["summary"].get("sharding")
+        if isinstance(sharding, dict):
+            for key in WALL_CLOCK_KEYS:
+                sharding.pop(key, None)
         return payload
 
 
@@ -166,6 +180,11 @@ def _sim_preemption_flags(policy: "str | Policy",
 
 class OnlineAdmissionEngine:
     """Replay one stream through the admission controller.
+
+    A thin driver over a single :class:`~repro.online.cell.
+    AdmissionCell`: the cell takes every admit/evict/retry decision;
+    this class owns event ordering, stream-level metrics and the
+    validation hook.
 
     Parameters
     ----------
@@ -186,6 +205,9 @@ class OnlineAdmissionEngine:
     record_decisions:
         Keep every (event, candidate set, admission result) triple on
         ``decisions`` for the cold-equivalence property tests.
+    kernel:
+        Level-evaluation kernel of the admission analyzers
+        (``"paired"`` or ``"reference"``; decisions are identical).
     """
 
     def __init__(self, stream: OnlineStream, *,
@@ -193,132 +215,61 @@ class OnlineAdmissionEngine:
                  mode: str = "incremental",
                  retry_limit: int = 16,
                  validate_every: int = 0,
-                 record_decisions: bool = False) -> None:
-        if mode not in ("incremental", "cold"):
-            raise ValueError(
-                f"mode must be 'incremental' or 'cold', got {mode!r}")
-        if retry_limit < 0:
-            raise ValueError(
-                f"retry_limit must be >= 0, got {retry_limit}")
+                 record_decisions: bool = False,
+                 kernel: str = "paired") -> None:
         self._stream = stream
         self._policy = policy
         self._mode = mode
-        self._retry_limit = retry_limit
         self._validate_every = validate_every
         self._universe: JobSet | None = (
             stream.universe() if stream.events else None)
-        self._inc: IncrementalAnalyzer | None = (
-            IncrementalAnalyzer(self._universe, policy)
-            if mode == "incremental" and self._universe is not None
-            else None)
+        self._departure_of = {event.uid: event.departure
+                              for event in stream.events}
+        self._cell = AdmissionCell(
+            self._universe, policy=policy, mode=mode,
+            retry_limit=retry_limit, departure_of=self._departure_of,
+            kernel=kernel)
         #: (index, kind, uid, candidate, result) log; retry entries
         #: carry ``None`` when the candidate set did not fit whole.
         self.decisions: "list[tuple]" = []
         self._record_decisions = record_decisions
-        #: (all_or_nothing, candidate tuple) -> outcome (pure-function
-        #: memo; incremental mode only -- cold is stateless by
-        #: definition).
-        self._decision_memo: "dict[tuple, AdmissionResult | None] | None" = (
-            {} if mode == "incremental" else None)
 
-        self._admitted: set[int] = set()
-        self._ranks: dict[int, int] = {}
-        self._departure_of = {event.uid: event.departure
-                              for event in stream.events}
-        self._retry: list[int] = []
         self._seen: set[int] = set()
         self._metrics = OnlineMetrics(self._universe)
         self._heaviness: "np.ndarray | None" = None
         self._accept_count = 0
         self._validation_failures: list[str] = []
-        #: Wall-clock seconds spent inside the admission decision path
-        #: (analysis construction + controller), and how many
-        #: decisions were taken -- the quantities the BENCH_online
-        #: incremental-vs-cold speedup gate compares.
-        self.decision_seconds = 0.0
-        self.decision_count = 0
 
     @property
     def universe(self) -> "JobSet | None":
         return self._universe
 
     @property
-    def incremental(self) -> "IncrementalAnalyzer | None":
-        return self._inc
+    def incremental(self):
+        return self._cell.incremental
 
-    # -- admission plumbing ------------------------------------------
+    @property
+    def cell(self) -> AdmissionCell:
+        return self._cell
 
-    def _analysis(self, candidate: "list[int]") -> SubsetAnalysis:
-        if self._inc is not None:
-            return self._inc.subset(candidate)
-        return cold_analysis(self._universe, candidate, self._policy)
+    @property
+    def decision_seconds(self) -> float:
+        """Wall-clock seconds inside the admission decision path --
+        the quantity the BENCH_online speedup gates compare."""
+        return self._cell.decision_seconds
 
-    def _decide(self, candidate: "list[int]",
-                all_or_nothing: bool = False) -> "AdmissionResult | None":
-        """Admission outcome for a candidate uid set (ascending).
+    @property
+    def decision_count(self) -> int:
+        return self._cell.decision_count
 
-        ``all_or_nothing`` (the retry rule) asks only whether the
-        whole candidate set fits, returning ``None`` when the full
-        controller would reject anyone.
+    # -- bookkeeping ---------------------------------------------------
 
-        Admission is a pure function of the candidate set over the
-        fixed universe, so the incremental engine memoises outcomes
-        keyed on the exact candidate tuple: retry attempts between
-        unchanged admitted sets (the common congested pattern) are
-        answered without any re-analysis at all.  Cold mode is by
-        definition stateless across events and always recomputes.
-        """
-        start = time.perf_counter()
-        try:
-            key = (all_or_nothing, tuple(candidate))
-            if self._decision_memo is not None and \
-                    key in self._decision_memo:
-                return self._decision_memo[key]
-            analysis = self._analysis(candidate)
-            if all_or_nothing:
-                result = admit_all_or_nothing(analysis,
-                                              mode=self._mode)
-            else:
-                result = admit(analysis, mode=self._mode)
-            if self._decision_memo is not None:
-                if len(self._decision_memo) >= _DECISION_MEMO_LIMIT:
-                    self._decision_memo.pop(
-                        next(iter(self._decision_memo)))
-                self._decision_memo[key] = result
-            return result
-        finally:
-            self.decision_seconds += time.perf_counter() - start
-            self.decision_count += 1
-
-    def _commit(self, candidate: "list[int]",
-                result: AdmissionResult) -> "tuple[list[int], int]":
-        """Apply an admission outcome; returns (evicted, rank flips)."""
-        accepted = {candidate[i] for i in result.accepted}
-        new_ranks = {candidate[i]: int(result.ordering[i])
-                     for i in result.accepted}
-        evicted = sorted(self._admitted - accepted)
-        flips = sum(1 for uid, rank in new_ranks.items()
-                    if uid in self._ranks and self._ranks[uid] != rank)
-        if self._inc is not None:
-            for uid in evicted:
-                self._inc.depart(uid)
-            for uid in accepted - self._admitted:
-                self._inc.arrive(uid)
-        self._admitted = accepted
-        self._ranks = new_ranks
-        self._metrics.ever_admitted |= accepted
-        self._metrics.evictions += len(evicted)
-        self._metrics.rank_changes += flips
-        return evicted, flips
-
-    def _enqueue_retry(self, uid: int) -> None:
-        if self._retry_limit == 0:
-            self._metrics.retry_drops += 1
-            return
-        self._retry.append(uid)
-        if len(self._retry) > self._retry_limit:
-            self._retry.pop(0)
-            self._metrics.retry_drops += 1
+    def _absorb_commit(self, event: CellEvent) -> None:
+        """Fold one committed cell outcome into the stream metrics."""
+        self._metrics.ever_admitted |= self._cell.admitted
+        self._metrics.evictions += len(event.evicted)
+        self._metrics.rank_changes += event.flips
+        self._metrics.retry_drops += event.retry_drops
 
     def _validate_epoch(self, event_index: int,
                         result: AdmissionResult,
@@ -354,7 +305,7 @@ class OnlineAdmissionEngine:
         record = EventRecord(
             index=index, time=now, kind=kind, uid=uid,
             decision=decision, evicted=evicted,
-            admitted=len(self._admitted),
+            admitted=len(self._cell.admitted),
             acceptance_ratio=metrics.acceptance_ratio(),
             rejected_heaviness=metrics.rejected_heaviness(self._seen),
             utilisation=self._utilisation(),
@@ -363,19 +314,20 @@ class OnlineAdmissionEngine:
         return record
 
     def _utilisation(self) -> float:
-        if self._universe is None or not self._admitted:
+        admitted = self._cell.admitted
+        if self._universe is None or not admitted:
             return 0.0
         if self._heaviness is None:
             from repro.workload.heaviness import heaviness_matrix
 
             self._heaviness = heaviness_matrix(self._universe)
         mask = np.zeros(self._universe.num_jobs, dtype=bool)
-        mask[sorted(self._admitted)] = True
+        mask[sorted(admitted)] = True
         return admitted_utilisation(self._universe, mask,
                                     heaviness=self._heaviness)
 
     def _log_decision(self, index: int, kind: str, uid: int,
-                      candidate: "list[int]",
+                      candidate: "tuple[int, ...]",
                       result: "AdmissionResult | None") -> None:
         if self._record_decisions:
             self.decisions.append(
@@ -384,68 +336,41 @@ class OnlineAdmissionEngine:
     # -- event handlers ----------------------------------------------
 
     def _on_arrival(self, index: int, now: float, uid: int) -> None:
-        start = time.perf_counter()
         self._seen.add(uid)
         self._metrics.arrivals += 1
-        candidate = sorted(self._admitted | {uid})
-        result = self._decide(candidate)
-        self._log_decision(index, "arrive", uid, candidate, result)
-        evicted, flips = self._commit(candidate, result)
-        accepted = uid in self._admitted
-        for evictee in evicted:
-            self._enqueue_retry(evictee)
-        if not accepted:
-            self._enqueue_retry(uid)
-        latency = time.perf_counter() - start
-        self._snapshot(index, now, "arrive", uid,
-                       "accept" if accepted else "reject",
-                       tuple(evicted), flips, latency)
-        if accepted:
-            self._maybe_validate(index, result, candidate)
+        event = self._cell.arrival(uid)
+        self._log_decision(index, "arrive", uid, event.candidate,
+                           event.result)
+        self._absorb_commit(event)
+        self._snapshot(index, now, "arrive", uid, event.decision,
+                       event.evicted, event.flips, event.seconds)
+        if event.decision == "accept":
+            self._maybe_validate(index, event.result,
+                                 list(event.candidate))
 
     def _on_departure(self, index: int, now: float, uid: int) -> None:
-        start = time.perf_counter()
-        if uid in self._admitted:
-            self._admitted.discard(uid)
-            self._ranks.pop(uid, None)
-            if self._inc is not None:
-                self._inc.depart(uid)
-            latency = time.perf_counter() - start
-            self._snapshot(index, now, "depart", uid, "free", (),
-                           0, latency)
-            self._retry_pass(index, now)
-            return
-        if uid in self._retry:
-            self._retry.remove(uid)
+        event = self._cell.departure(uid)
+        if event.decision == "expire":
             self._metrics.expired += 1
-            decision = "expire"
-        else:
-            decision = "noop"
-        latency = time.perf_counter() - start
-        self._snapshot(index, now, "depart", uid, decision, (), 0,
-                       latency)
+        self._snapshot(index, now, "depart", uid, event.decision, (),
+                       0, event.seconds)
+        if event.decision == "free":
+            self._retry_pass(index, now)
 
     def _retry_pass(self, index: int, now: float) -> None:
-        """Try re-admitting parked jobs (FIFO) after freed capacity.
-
-        A parked job is re-admitted only when the controller accepts
-        the *entire* candidate set -- departures never evict."""
-        for uid in list(self._retry):
-            if self._departure_of[uid] <= now:
-                continue  # its own departure event expires it
-            start = time.perf_counter()
-            candidate = sorted(self._admitted | {uid})
-            result = self._decide(candidate, all_or_nothing=True)
-            self._log_decision(index, "retry", uid, candidate, result)
-            if result is None:
+        """Drain the cell's retry pass, snapshotting each re-admission
+        with the admitted set exactly as it stood at that point."""
+        for event in self._cell.retry_pass(now):
+            self._log_decision(index, "retry", event.uid,
+                               event.candidate, event.result)
+            if event.result is None:
                 continue
-            _evicted, flips = self._commit(candidate, result)
-            self._retry.remove(uid)
+            self._absorb_commit(event)
             self._metrics.retry_accepts += 1
-            latency = time.perf_counter() - start
-            self._snapshot(index, now, "retry", uid, "accept", (),
-                           flips, latency)
-            self._maybe_validate(index, result, candidate)
+            self._snapshot(index, now, "retry", event.uid, "accept",
+                           (), event.flips, event.seconds)
+            self._maybe_validate(index, event.result,
+                                 list(event.candidate))
 
     # -- driver -------------------------------------------------------
 
@@ -470,18 +395,32 @@ class OnlineAdmissionEngine:
             horizon=float(config.horizon),
             records=self._metrics.records,
             summary=self._metrics.summary(),
-            final_admitted=sorted(self._admitted),
+            final_admitted=sorted(self._cell.admitted),
             validation_failures=self._validation_failures)
 
 
 def run_online_scenario(spec: OnlineScenarioSpec) -> OnlineRunResult:
     """Materialise and replay one scenario (worker entry point)."""
     stream = generate_stream(spec.stream, seed=spec.seed)
-    engine = OnlineAdmissionEngine(
-        stream, policy=spec.policy, mode=spec.mode,
-        retry_limit=spec.retry_limit,
-        validate_every=spec.validate_every)
-    return engine.run()
+    shards = int(getattr(spec, "shards", 1))
+    kernel = str(getattr(spec, "kernel", "paired"))
+    if shards > 1:
+        from repro.online.sharded import ShardedAdmissionEngine
+
+        engine = ShardedAdmissionEngine(
+            stream, shards=shards, policy=spec.policy,
+            mode=spec.mode, retry_limit=spec.retry_limit,
+            kernel=kernel)
+        result = engine.run()
+    else:
+        mono = OnlineAdmissionEngine(
+            stream, policy=spec.policy, mode=spec.mode,
+            retry_limit=spec.retry_limit,
+            validate_every=spec.validate_every, kernel=kernel)
+        result = mono.run()
+    result.shards = shards
+    result.kernel = kernel
+    return result
 
 
 def run_online_scenario_dict(spec: OnlineScenarioSpec,

@@ -70,15 +70,30 @@ class IncrementalAnalyzer:
     policy:
         Scheduling policy / equation, as accepted by
         :class:`~repro.core.schedulability.SDCA`.
+    cache:
+        Optional pre-built :class:`~repro.core.segments.SegmentCache`
+        for ``universe``.  The shard layer passes the lazily sliced
+        per-shard view of one global cache here, so standing up N
+        shard analyzers never re-runs the segment algebra.
+    kernel:
+        Level-evaluation kernel of the persistent analyzer and of
+        every per-event subset analyzer (``"paired"`` default /
+        ``"reference"``); decisions are bitwise identical either way
+        (property-tested), only the amount of work per level differs.
     """
 
     def __init__(self, universe: JobSet,
-                 policy: "str | Policy" = Policy.PREEMPTIVE) -> None:
+                 policy: "str | Policy" = Policy.PREEMPTIVE, *,
+                 cache: "SegmentCache | None" = None,
+                 kernel: str = "paired") -> None:
         self._universe = universe
         self._equation = resolve_equation(policy)
         self._policy = policy
-        self._cache = SegmentCache(universe)
-        self._analyzer = DelayAnalyzer(universe, cache=self._cache)
+        self._cache = cache if cache is not None \
+            else SegmentCache(universe)
+        self._kernel = kernel
+        self._analyzer = DelayAnalyzer(universe, cache=self._cache,
+                                       kernel=kernel)
         self._active = np.zeros(universe.num_jobs, dtype=bool)
 
     @property
@@ -134,7 +149,8 @@ class IncrementalAnalyzer:
         idx = np.asarray(sorted(int(i) for i in indices), dtype=np.int64)
         jobset = self._universe.restrict(idx)
         cache = self._cache.restrict(jobset, idx)
-        analyzer = DelayAnalyzer(jobset, cache=cache)
+        analyzer = DelayAnalyzer(jobset, cache=cache,
+                                 kernel=self._kernel)
         test = SDCA(jobset, self._policy, analyzer=analyzer)
         return SubsetAnalysis(jobset=jobset, test=test, indices=idx)
 

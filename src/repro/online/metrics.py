@@ -25,7 +25,9 @@ from repro.core.system import JobSet
 from repro.workload.heaviness import heaviness_matrix
 
 ONLINE_RESULT_FORMAT = "repro-online-result"
-ONLINE_RESULT_VERSION = 1
+#: v2: payloads grew ``shards`` / ``kernel`` fields and sharded runs
+#: attach a ``sharding`` sub-dict to the summary.
+ONLINE_RESULT_VERSION = 2
 
 #: Event kinds a record can carry.
 EVENT_KINDS = ("arrive", "depart", "retry")

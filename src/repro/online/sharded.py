@@ -1,0 +1,491 @@
+"""Sharded streaming admission: many cells, one stream.
+
+:class:`ShardedAdmissionEngine` scales the online admission controller
+past one resource cluster by partitioning the system's resources into
+shards (:class:`~repro.core.partition.ShardMap`) and hosting one
+:class:`~repro.online.cell.AdmissionCell` per shard.  Every arrival is
+routed by its resource footprint:
+
+* a **shard-local** job (footprint inside one shard) goes through its
+  home cell's full controller, exactly like the monolithic engine --
+  and because jobs in different shards never share a resource, those
+  decisions are *exact*, not approximate (see
+  :mod:`repro.core.partition`).
+* a **cross-shard** job (footprint spanning shards) is admitted by
+  pessimistic two-phase reservation: phase 1 asks every touched cell
+  whether the job fits *whole, with no evictions*
+  (:meth:`~repro.online.cell.AdmissionCell.reserve`); only if all
+  shards accept does phase 2 commit on each
+  (:meth:`~repro.online.cell.AdmissionCell.commit_reservation`) --
+  otherwise nothing changed anywhere and the job is parked in the
+  engine-level cross-shard retry queue.  The invariant is
+  all-or-nothing residency: a cross-shard job is admitted on every
+  touched shard or on none.
+* when a later local arrival evicts a cross-shard visitor from one
+  shard, the engine *revokes* it from every other touched shard and
+  parks it in the cross-shard queue -- cells never park cross-shard
+  jobs themselves (the ``parkable`` hook), because a lone cell
+  re-admitting one unilaterally would break the residency invariant.
+
+With ``shards=1`` every job is shard-local and the single cell sees
+the identity-restricted universe, so the engine is bitwise identical
+to :class:`~repro.online.engine.OnlineAdmissionEngine` -- decisions,
+churn, metrics time series -- which the property tests in
+``tests/online/test_sharded.py`` replay event-for-event.  The price of
+sharding is pessimism on cross-shard jobs only: acceptance ratios stay
+within a couple of percent of the monolithic oracle on
+cluster-structured workloads while per-event candidate sets (and so
+decision cost) shrink by the shard count.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.partition import Routing, ShardMap
+from repro.core.schedulability import Policy, resolve_equation
+from repro.core.segments import SegmentCache
+from repro.core.system import JobSet
+from repro.online.cell import AdmissionCell
+from repro.online.engine import (
+    EVENT_ARRIVE,
+    EVENT_DEPART,
+    OnlineAdmissionEngine,
+    OnlineRunResult,
+)
+from repro.online.metrics import (
+    EventRecord,
+    OnlineMetrics,
+    admitted_utilisation,
+)
+from repro.online.streams import OnlineStream
+
+
+class _Shard:
+    """One shard's cell plus the global<->local uid translation."""
+
+    def __init__(self, shard: int, cell: AdmissionCell,
+                 members: np.ndarray) -> None:
+        self.shard = shard
+        self.cell = cell
+        #: ``members[local] == global`` (ascending global uids).
+        self.members = members
+        self.local_of = {int(g): i for i, g in enumerate(members)}
+
+    def local(self, uid: int) -> int:
+        return self.local_of[uid]
+
+    def globalise(self, locals_: "tuple[int, ...]") -> tuple[int, ...]:
+        """Local uid tuple -> global; ascending in, ascending out
+        (``members`` is sorted)."""
+        return tuple(int(self.members[i]) for i in locals_)
+
+
+class ShardedAdmissionEngine:
+    """Replay one stream through N admission cells.
+
+    Parameters
+    ----------
+    stream:
+        The materialised event stream (uids 0..k-1, like the
+        monolithic engine).
+    shards:
+        Shard count (resources split into contiguous blocks per stage
+        via :meth:`~repro.core.partition.ShardMap.blocked`) or a
+        pre-built :class:`~repro.core.partition.ShardMap`.
+    policy / mode / retry_limit / kernel:
+        As for :class:`~repro.online.engine.OnlineAdmissionEngine`;
+        ``retry_limit`` bounds each cell's queue *and* the engine's
+        cross-shard queue.
+    record_decisions:
+        Keep ``(index, kind, uid, candidate, result)`` triples (global
+        uids) on ``decisions``; cross-shard reservations log one
+        ``reserve`` entry per touched shard.
+    """
+
+    def __init__(self, stream: OnlineStream, *,
+                 shards: "int | ShardMap" = 1,
+                 policy: "str | Policy" = Policy.PREEMPTIVE,
+                 mode: str = "incremental",
+                 retry_limit: int = 16,
+                 kernel: str = "paired",
+                 record_decisions: bool = False) -> None:
+        if retry_limit < 0:
+            raise ValueError(
+                f"retry_limit must be >= 0, got {retry_limit}")
+        self._stream = stream
+        self._policy = policy
+        self._mode = mode
+        self._retry_limit = retry_limit
+        self._universe: "JobSet | None" = (
+            stream.universe() if stream.events else None)
+        self._departure_of = {event.uid: event.departure
+                              for event in stream.events}
+
+        if self._universe is not None:
+            shard_map = (shards if isinstance(shards, ShardMap)
+                         else ShardMap.blocked(self._universe.system,
+                                               int(shards)))
+            self._shard_map: "ShardMap | None" = shard_map
+            self._routing: "Routing | None" = \
+                shard_map.route(self._universe)
+            cache = (SegmentCache(self._universe)
+                     if mode == "incremental" else None)
+            self._shards = [
+                self._build_shard(shard, cache, retry_limit, kernel)
+                for shard in range(shard_map.num_shards)]
+        else:
+            self._shard_map = None
+            self._routing = None
+            self._shards = []
+
+        #: (index, kind, uid, candidate, result) log (global uids).
+        self.decisions: "list[tuple]" = []
+        self._record_decisions = record_decisions
+
+        self._admitted: set[int] = set()
+        self._cross_retry: list[int] = []
+        self._seen: set[int] = set()
+        self._metrics = OnlineMetrics(self._universe)
+        self._heaviness: "np.ndarray | None" = None
+        #: Cross-shard accounting surfaced in ``summary["sharding"]``.
+        self._cross_accepts = 0
+        self._cross_rejects = 0
+        self._cross_retry_accepts = 0
+        self._revocations = 0
+
+    def _build_shard(self, shard: int, cache: "SegmentCache | None",
+                     retry_limit: int, kernel: str) -> _Shard:
+        routing = self._routing
+        members = routing.members(shard)
+        if members.size == 0:
+            cell = AdmissionCell(None, policy=self._policy,
+                                 mode=self._mode,
+                                 retry_limit=retry_limit,
+                                 kernel=kernel)
+            return _Shard(shard, cell, members)
+        indices = [int(g) for g in members]
+        sub = self._universe.restrict(indices)
+        sub_cache = (cache.restrict(sub, indices)
+                     if cache is not None else None)
+        departure_of = {i: self._departure_of[int(g)]
+                        for i, g in enumerate(members)}
+        cross = routing.cross
+
+        def parkable(local_uid: int,
+                     members=members, cross=cross) -> bool:
+            return not bool(cross[int(members[local_uid])])
+
+        cell = AdmissionCell(sub, policy=self._policy,
+                             mode=self._mode, retry_limit=retry_limit,
+                             departure_of=departure_of,
+                             cache=sub_cache, kernel=kernel,
+                             parkable=parkable)
+        return _Shard(shard, cell, members)
+
+    # -- read-only state ----------------------------------------------
+
+    @property
+    def universe(self) -> "JobSet | None":
+        return self._universe
+
+    @property
+    def shard_map(self) -> "ShardMap | None":
+        return self._shard_map
+
+    @property
+    def routing(self) -> "Routing | None":
+        return self._routing
+
+    @property
+    def num_shards(self) -> int:
+        return len(self._shards)
+
+    @property
+    def cells(self) -> "list[AdmissionCell]":
+        return [shard.cell for shard in self._shards]
+
+    @property
+    def admitted(self) -> "frozenset[int]":
+        return frozenset(self._admitted)
+
+    @property
+    def cross_retry_queue(self) -> "tuple[int, ...]":
+        return tuple(self._cross_retry)
+
+    @property
+    def decision_seconds(self) -> float:
+        return sum(s.cell.decision_seconds for s in self._shards)
+
+    @property
+    def decision_count(self) -> int:
+        return sum(s.cell.decision_count for s in self._shards)
+
+    # -- shared bookkeeping (mirrors the monolithic engine) -----------
+
+    def _log_decision(self, index: int, kind: str, uid: int,
+                      candidate: "tuple[int, ...]",
+                      result) -> None:
+        if self._record_decisions:
+            self.decisions.append(
+                (index, kind, uid, tuple(candidate), result))
+
+    def _snapshot(self, index: int, now: float, kind: str, uid: int,
+                  decision: str, evicted: "tuple[int, ...]",
+                  flips: int, latency: float) -> EventRecord:
+        metrics = self._metrics
+        record = EventRecord(
+            index=index, time=now, kind=kind, uid=uid,
+            decision=decision, evicted=evicted,
+            admitted=len(self._admitted),
+            acceptance_ratio=metrics.acceptance_ratio(),
+            rejected_heaviness=metrics.rejected_heaviness(self._seen),
+            utilisation=self._utilisation(),
+            rank_changes=flips, latency=latency)
+        metrics.record(record)
+        return record
+
+    def _utilisation(self) -> float:
+        if self._universe is None or not self._admitted:
+            return 0.0
+        if self._heaviness is None:
+            from repro.workload.heaviness import heaviness_matrix
+
+            self._heaviness = heaviness_matrix(self._universe)
+        mask = np.zeros(self._universe.num_jobs, dtype=bool)
+        mask[sorted(self._admitted)] = True
+        return admitted_utilisation(self._universe, mask,
+                                    heaviness=self._heaviness)
+
+    def _enqueue_cross(self, uid: int) -> None:
+        """Park a cross-shard job in the engine-level queue (bounded
+        FIFO, same overflow rule as the cells')."""
+        if self._retry_limit == 0:
+            self._metrics.retry_drops += 1
+            return
+        self._cross_retry.append(uid)
+        if len(self._cross_retry) > self._retry_limit:
+            self._cross_retry.pop(0)
+            self._metrics.retry_drops += 1
+
+    def _touched(self, uid: int) -> "list[_Shard]":
+        return [self._shards[s] for s in self._routing.touched[uid]]
+
+    # -- local (single-shard) arrivals --------------------------------
+
+    def _local_arrival(self, index: int, now: float, uid: int,
+                       home: _Shard) -> None:
+        event = home.cell.arrival(home.local(uid))
+        evicted = home.globalise(event.evicted)
+        self._log_decision(index, "arrive", uid,
+                           home.globalise(event.candidate),
+                           event.result)
+        if event.decision == "accept":
+            self._admitted.add(uid)
+        for g in evicted:
+            self._admitted.discard(g)
+        self._metrics.ever_admitted |= self._admitted
+        self._metrics.evictions += len(evicted)
+        self._metrics.rank_changes += event.flips
+        self._metrics.retry_drops += event.retry_drops
+        # Cross-shard evictees the cell could not park: revoke their
+        # residency on every other touched shard, then park here.
+        for local_uid in event.escalated:
+            g = int(home.members[local_uid])
+            if g == uid:
+                self._enqueue_cross(g)
+                continue
+            for other in self._touched(g):
+                if other.shard != home.shard:
+                    if other.cell.evict(other.local(g)):
+                        self._revocations += 1
+            self._enqueue_cross(g)
+        self._snapshot(index, now, "arrive", uid, event.decision,
+                       evicted, event.flips, event.seconds)
+
+    # -- cross-shard arrivals (two-phase reservation) -----------------
+
+    def _cross_arrival(self, index: int, now: float, uid: int,
+                       *, kind: str = "arrive") -> bool:
+        """Two-phase reservation of ``uid`` on every touched shard.
+        Returns acceptance; on rejection nothing changed anywhere."""
+        touched = self._touched(uid)
+        reservations = []
+        seconds = 0.0
+        for shard in touched:
+            reservation = shard.cell.reserve(shard.local(uid))
+            self._log_decision(index, "reserve", uid,
+                               shard.globalise(reservation.candidate),
+                               reservation.result)
+            reservations.append((shard, reservation))
+            if not reservation.accepted:
+                # Abort: phase 1 is pure, so the earlier shards need
+                # no rollback.  Failed retry attempts leave no record,
+                # matching the monolithic engine's retry pass.
+                if kind == "arrive":
+                    self._snapshot(index, now, kind, uid, "reject",
+                                   (), 0, seconds)
+                return False
+        flips = 0
+        for shard, reservation in reservations:
+            event = shard.cell.commit_reservation(reservation)
+            flips += event.flips
+            seconds += event.seconds
+        self._admitted.add(uid)
+        self._metrics.ever_admitted |= self._admitted
+        self._metrics.rank_changes += flips
+        self._snapshot(index, now, kind, uid, "accept", (), flips,
+                       seconds)
+        return True
+
+    def _on_arrival(self, index: int, now: float, uid: int) -> None:
+        self._seen.add(uid)
+        self._metrics.arrivals += 1
+        if not self._routing.cross[uid]:
+            home = self._shards[int(self._routing.home[uid])]
+            self._local_arrival(index, now, uid, home)
+            return
+        if self._cross_arrival(index, now, uid):
+            self._cross_accepts += 1
+        else:
+            self._cross_rejects += 1
+            self._enqueue_cross(uid)
+
+    # -- departures and retries ---------------------------------------
+
+    def _on_departure(self, index: int, now: float, uid: int) -> None:
+        if uid in self._admitted:
+            self._admitted.discard(uid)
+            seconds = 0.0
+            for shard in self._touched(uid):
+                event = shard.cell.departure(shard.local(uid))
+                seconds += event.seconds
+            self._snapshot(index, now, "depart", uid, "free", (), 0,
+                           seconds)
+            self._retry_pass(index, now, self._touched(uid))
+            return
+        if uid in self._cross_retry:
+            self._cross_retry.remove(uid)
+            self._metrics.expired += 1
+            self._snapshot(index, now, "depart", uid, "expire", (),
+                           0, 0.0)
+            return
+        decision = "noop"
+        seconds = 0.0
+        if not self._routing.cross[uid]:
+            home = self._shards[int(self._routing.home[uid])]
+            event = home.cell.departure(home.local(uid))
+            decision = event.decision  # "expire" (parked) or "noop"
+            seconds = event.seconds
+            if decision == "expire":
+                self._metrics.expired += 1
+        self._snapshot(index, now, "depart", uid, decision, (), 0,
+                       seconds)
+
+    def _retry_pass(self, index: int, now: float,
+                    touched: "list[_Shard]") -> None:
+        """Re-admission after freed capacity: each touched cell's own
+        FIFO pass first (ascending shard order), then the engine's
+        cross-shard queue through fresh two-phase reservations."""
+        for shard in touched:
+            for event in shard.cell.retry_pass(now):
+                uid = int(shard.members[event.uid])
+                self._log_decision(index, "retry", uid,
+                                   shard.globalise(event.candidate),
+                                   event.result)
+                if event.result is None:
+                    continue
+                self._admitted.add(uid)
+                self._metrics.ever_admitted |= self._admitted
+                self._metrics.rank_changes += event.flips
+                self._metrics.retry_accepts += 1
+                self._snapshot(index, now, "retry", uid, "accept",
+                               (), event.flips, event.seconds)
+        for uid in list(self._cross_retry):
+            if self._departure_of[uid] <= now:
+                continue  # its own departure event expires it
+            if self._cross_arrival(index, now, uid, kind="retry"):
+                self._cross_retry.remove(uid)
+                self._metrics.retry_accepts += 1
+                self._cross_retry_accepts += 1
+
+    # -- driver -------------------------------------------------------
+
+    def _sharding_summary(self) -> dict:
+        routing = self._routing
+        per_shard = []
+        for shard in self._shards:
+            members = shard.members
+            per_shard.append({
+                "shard": shard.shard,
+                "jobs": int(members.size),
+                "local_jobs": (int(routing.local_jobs(
+                    shard.shard).size) if routing else 0),
+                "admitted": len(shard.cell.admitted),
+                "decisions": shard.cell.decision_count,
+            })
+        return {
+            "shards": len(self._shards),
+            "cross_jobs": routing.num_cross if routing else 0,
+            "cross_accepts": self._cross_accepts,
+            "cross_rejects": self._cross_rejects,
+            "cross_retry_accepts": self._cross_retry_accepts,
+            "revocations": self._revocations,
+            "per_shard": per_shard,
+        }
+
+    def run(self) -> OnlineRunResult:
+        """Process every event chronologically and return the result."""
+        config = self._stream.config
+        events = []
+        for event in self._stream.events:
+            events.append((event.arrival, EVENT_ARRIVE, event.uid))
+            events.append((event.departure, EVENT_DEPART, event.uid))
+        events.sort()
+        for index, (now, kind, uid) in enumerate(events):
+            if kind == EVENT_ARRIVE:
+                self._on_arrival(index, now, uid)
+            else:
+                self._on_departure(index, now, uid)
+        summary = self._metrics.summary()
+        summary["sharding"] = self._sharding_summary()
+        return OnlineRunResult(
+            seed=self._stream.seed,
+            stream_kind=config.kind,
+            policy=resolve_equation(self._policy),
+            mode=self._mode,
+            horizon=float(config.horizon),
+            records=self._metrics.records,
+            summary=summary,
+            final_admitted=sorted(self._admitted),
+            shards=len(self._shards))
+
+
+def sharded_acceptance_report(stream: OnlineStream, *,
+                              shards: "int | ShardMap",
+                              policy: "str | Policy" = Policy.PREEMPTIVE,
+                              mode: str = "incremental",
+                              retry_limit: int = 16,
+                              kernel: str = "paired") -> dict:
+    """Acceptance of the sharded engine vs the monolithic oracle.
+
+    Runs the same stream through both engines and reports their
+    acceptance ratios plus the (signed) delta -- the cost of
+    pessimistic cross-shard reservation.  ``acceptance_delta`` is
+    sharded minus oracle, so more negative means more pessimism.
+    """
+    oracle = OnlineAdmissionEngine(
+        stream, policy=policy, mode=mode, retry_limit=retry_limit,
+        kernel=kernel).run()
+    sharded = ShardedAdmissionEngine(
+        stream, shards=shards, policy=policy, mode=mode,
+        retry_limit=retry_limit, kernel=kernel).run()
+    oracle_ratio = float(oracle.summary["acceptance_ratio"])
+    sharded_ratio = float(sharded.summary["acceptance_ratio"])
+    return {
+        "shards": sharded.summary["sharding"]["shards"],
+        "cross_jobs": sharded.summary["sharding"]["cross_jobs"],
+        "oracle_acceptance": oracle_ratio,
+        "sharded_acceptance": sharded_ratio,
+        "acceptance_delta": sharded_ratio - oracle_ratio,
+    }

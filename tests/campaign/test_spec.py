@@ -392,3 +392,49 @@ def test_property_spec_json_round_trip_identity(axes, name,
                         rate=rate, workload=TINY_WORKLOAD)
     through_json = json.loads(json.dumps(spec.to_dict()))
     assert CampaignSpec.from_dict(through_json) == spec
+
+
+class TestShardsAndKernel:
+    def test_shards_axis_expands_online_only(self):
+        spec = tiny_spec(axes={"family": ("edge", "poisson"),
+                               "shards": (1, 2), "seed": (0,)})
+        scenarios = expand(spec)
+        batch = [s for s in scenarios if s.kind == "batch"]
+        online = [s for s in scenarios if s.kind == "online"]
+        assert len(batch) == 1   # shards collapsed for batch families
+        assert len(online) == 2
+        assert {s.spec.shards for s in online} == {1, 2}
+        assert all("shards" not in s.point for s in batch)
+        assert all(s.point["shards"] in (1, 2) for s in online)
+
+    def test_shards_axis_defaults_to_one(self):
+        for scenario in expand(tiny_spec()):
+            if scenario.kind == "online":
+                assert scenario.spec.shards == 1
+
+    def test_shards_axis_validation(self):
+        base = {"family": ("poisson",), "seed": (0,)}
+        with pytest.raises(CampaignError, match="positive integers"):
+            tiny_spec(axes={**base, "shards": (0,)})
+        with pytest.raises(CampaignError, match="positive integers"):
+            tiny_spec(axes={**base, "shards": (True,)})
+        with pytest.raises(CampaignError, match="positive integers"):
+            tiny_spec(axes={**base, "shards": ("two",)})
+
+    def test_kernel_knob_round_trips(self):
+        spec = tiny_spec(kernel="reference")
+        payload = spec.to_dict()
+        assert payload["kernel"] == "reference"
+        assert CampaignSpec.from_dict(payload) == spec
+        # the default serialises too (explicit beats implicit)
+        assert tiny_spec().to_dict()["kernel"] == "paired"
+
+    def test_kernel_knob_validation(self):
+        with pytest.raises(CampaignError, match="kernel"):
+            tiny_spec(kernel="fast")
+
+    def test_kernel_knob_reaches_online_scenarios(self):
+        spec = tiny_spec(kernel="reference")
+        for scenario in expand(spec):
+            if scenario.kind == "online":
+                assert scenario.spec.kernel == "reference"

@@ -167,8 +167,63 @@ class TestEngineMechanics:
 
     def test_zero_retry_limit_disables_the_queue(self):
         stream = _stream(4, rate=0.8, horizon=100.0)
-        result = OnlineAdmissionEngine(stream, retry_limit=0).run()
+        engine = OnlineAdmissionEngine(stream, retry_limit=0)
+        result = engine.run()
         assert result.summary["retry_accepts"] == 0
+        assert engine.cell.retry_queue == ()
+        rejects = [r for r in result.records
+                   if r.kind == "arrive" and r.decision == "reject"]
+        if rejects:  # every un-parkable reject is counted as a drop
+            assert result.summary["retry_drops"] >= len(rejects)
+
+    @staticmethod
+    def _saturated_stream(events):
+        """Single unit-resource stream of identical jobs: exactly one
+        fits, so every later arrival is rejected deterministically."""
+        from repro.core.job import Job
+        from repro.core.system import MSMRSystem, Stage
+        from repro.online.streams import OnlineJob, OnlineStream
+
+        system = MSMRSystem([Stage(1)])
+        jobs = [OnlineJob(uid=uid,
+                          job=Job(processing=(6.0,), deadline=10.0,
+                                  resources=(0,), arrival=arrival),
+                          arrival=arrival, departure=departure)
+                for uid, (arrival, departure) in enumerate(events)]
+        return OnlineStream(system=system, events=jobs,
+                            config=StreamConfig(horizon=30.0))
+
+    def test_retry_overflow_drops_the_oldest(self):
+        """Jobs 1..3 are rejected in order into a 2-slot queue: the
+        overflow evicts the *oldest* parked job (1), so its later
+        departure is a ``noop``, not an ``expire``."""
+        stream = self._saturated_stream(
+            [(0.0, 25.0), (1.0, 20.0), (2.0, 20.0), (3.0, 20.0)])
+        engine = OnlineAdmissionEngine(stream, retry_limit=2)
+        result = engine.run()
+        assert result.summary["retry_drops"] == 1
+        departs = {r.uid: r.decision for r in result.records
+                   if r.kind == "depart"}
+        assert departs[1] == "noop"     # dropped: no longer parked
+        assert departs[2] == "expire"   # survived in the queue
+        assert departs[3] == "expire"
+
+    def test_retry_readmission_is_all_or_nothing(self):
+        """After the incumbent departs, the FIFO head (2) is
+        re-admitted -- but 3 stays parked because {2, 3} do not fit
+        *whole*: retries never evict to make room."""
+        stream = self._saturated_stream(
+            [(0.0, 5.0), (1.0, 20.0), (2.0, 20.0), (3.0, 20.0)])
+        result = OnlineAdmissionEngine(stream, retry_limit=2).run()
+        retries = [r for r in result.records if r.kind == "retry"]
+        assert [(r.uid, r.decision) for r in retries] == \
+            [(2, "accept")]
+        assert all(r.evicted == () for r in retries)
+        assert result.summary["retry_accepts"] == 1
+        # 3 was never re-admitted over 2's head; it expires parked.
+        departs = {r.uid: r.decision for r in result.records
+                   if r.kind == "depart"}
+        assert departs[3] == "expire"
 
     def test_departures_before_arrivals_on_ties(self):
         """At equal timestamps the departure is processed first, so

@@ -1,0 +1,244 @@
+"""Tests for the sharded admission engine.
+
+The tentpole acceptance criterion lives here: a
+``ShardedAdmissionEngine`` with a single shard must be bitwise
+identical to the monolithic ``OnlineAdmissionEngine`` -- decisions,
+churn, metrics time series -- across random arrive/depart sequences.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.exceptions import ModelError
+from repro.core.partition import ShardMap
+from repro.online.engine import OnlineAdmissionEngine
+from repro.online.sharded import (
+    ShardedAdmissionEngine,
+    sharded_acceptance_report,
+)
+from repro.online.streams import (
+    StreamConfig,
+    clustered_stream,
+    generate_stream,
+)
+
+
+def _stream(seed=0, *, kind="poisson", horizon=120.0, rate=0.3,
+            **kwargs):
+    return generate_stream(
+        StreamConfig(kind=kind, horizon=horizon, rate=rate, **kwargs),
+        seed=seed)
+
+
+def _clustered(seed=0, *, clusters=2, cross_fraction=0.0,
+               horizon=100.0, rate=0.4, **kwargs):
+    return clustered_stream(
+        StreamConfig(kind="poisson", horizon=horizon, rate=rate,
+                     **kwargs),
+        clusters=clusters, cross_fraction=cross_fraction, seed=seed)
+
+
+def _deterministic(result):
+    payload = result.deterministic_dict()
+    payload["summary"].pop("sharding", None)
+    return payload
+
+
+def _assert_same_decisions(mono, sharded):
+    assert len(mono.decisions) == len(sharded.decisions)
+    for m, s in zip(mono.decisions, sharded.decisions):
+        assert m[:4] == s[:4]  # index, kind, uid, candidate
+        rm, rs = m[4], s[4]
+        if rm is None or rs is None:
+            assert rm is None and rs is None
+            continue
+        assert rm.accepted == rs.accepted
+        assert rm.rejected == rs.rejected
+        assert np.array_equal(rm.ordering, rs.ordering)
+        assert np.array_equal(rm.delays, rs.delays, equal_nan=True)
+
+
+engine_params = st.fixed_dictionaries({
+    "seed": st.integers(0, 2_000),
+    "kind": st.sampled_from(["poisson", "mmpp", "diurnal"]),
+    "rate": st.floats(0.15, 0.6),
+    "dwell_scale": st.floats(0.5, 2.0),
+})
+
+
+class TestSingleShardIdentity:
+    """The refactor guarantee, property-tested."""
+
+    @settings(max_examples=12, deadline=None)
+    @given(params=engine_params)
+    def test_single_shard_is_bitwise_identical(self, params):
+        stream = _stream(params["seed"], kind=params["kind"],
+                         horizon=80.0, rate=params["rate"],
+                         dwell_scale=params["dwell_scale"])
+        mono = OnlineAdmissionEngine(stream, record_decisions=True)
+        sharded = ShardedAdmissionEngine(stream, shards=1,
+                                         record_decisions=True)
+        rm, rs = mono.run(), sharded.run()
+        assert _deterministic(rm) == _deterministic(rs)
+        _assert_same_decisions(mono, sharded)
+
+    def test_single_shard_identity_in_cold_mode(self):
+        stream = _stream(7, rate=0.5, horizon=60.0)
+        rm = OnlineAdmissionEngine(stream, mode="cold").run()
+        rs = ShardedAdmissionEngine(stream, shards=1,
+                                    mode="cold").run()
+        assert _deterministic(rm) == _deterministic(rs)
+
+    def test_single_shard_identity_with_reference_kernel(self):
+        stream = _stream(11, rate=0.45, horizon=80.0)
+        rm = OnlineAdmissionEngine(stream,
+                                   kernel="reference").run()
+        rs = ShardedAdmissionEngine(stream, shards=1,
+                                    kernel="reference").run()
+        assert _deterministic(rm) == _deterministic(rs)
+
+
+class TestSeparableWorkloads:
+    def test_separable_clusters_match_the_oracle_exactly(self):
+        """Admission decisions decompose exactly over shards: with no
+        queue-overflow asymmetry (one global bounded FIFO vs one per
+        shard) the acceptance ratio matches the oracle bit-for-bit."""
+        stream = _clustered(seed=3, clusters=2)
+        for retry_limit in (0, 1000):
+            report = sharded_acceptance_report(
+                stream, shards=2, retry_limit=retry_limit)
+            assert report["cross_jobs"] == 0
+            assert report["acceptance_delta"] == 0.0
+
+    def test_bounded_queues_shift_acceptance_only_slightly(self):
+        # Per-shard bounded queues drop no more than one global one,
+        # so the sharded engine is never *worse* on separable work.
+        stream = _clustered(seed=3, clusters=2)
+        report = sharded_acceptance_report(stream, shards=2)
+        assert 0.0 <= report["acceptance_delta"] <= 0.05
+
+    def test_separable_run_splits_jobs_across_cells(self):
+        stream = _clustered(seed=3, clusters=2)
+        engine = ShardedAdmissionEngine(stream, shards=2)
+        result = engine.run()
+        sharding = result.summary["sharding"]
+        assert sharding["shards"] == 2
+        assert sharding["cross_jobs"] == 0
+        per_shard = sharding["per_shard"]
+        assert all(row["jobs"] > 0 for row in per_shard)
+        assert sum(row["jobs"] for row in per_shard) == \
+            engine.universe.num_jobs
+
+
+class TestCrossShardReservation:
+    def test_cross_jobs_are_resident_on_all_touched_shards(self):
+        stream = _clustered(seed=5, clusters=2, cross_fraction=0.3)
+        engine = ShardedAdmissionEngine(stream, shards=2)
+        engine.run()
+        routing = engine.routing
+        assert routing.num_cross > 0, "seed must yield cross jobs"
+        shards = {s.shard: s for s in engine._shards}
+        for uid in engine.admitted:
+            for shard_id in routing.touched[uid]:
+                shard = shards[shard_id]
+                assert shard.cell.is_admitted(shard.local(uid))
+        # ... and on no others (all-or-nothing residency).
+        for shard in engine._shards:
+            for local in shard.cell.admitted:
+                uid = int(shard.members[local])
+                assert uid in engine.admitted
+
+    def test_cross_accounting_is_consistent(self):
+        stream = _clustered(seed=5, clusters=2, cross_fraction=0.3)
+        result = ShardedAdmissionEngine(stream, shards=2).run()
+        sharding = result.summary["sharding"]
+        assert sharding["cross_jobs"] > 0
+        arrivals = sharding["cross_accepts"] + \
+            sharding["cross_rejects"]
+        assert arrivals == sharding["cross_jobs"]
+        assert sharding["cross_retry_accepts"] <= \
+            sharding["cross_rejects"]
+        assert sharding["revocations"] >= 0
+
+    def test_sharding_summary_has_no_wall_clock(self):
+        from repro.online.metrics import WALL_CLOCK_KEYS
+
+        stream = _clustered(seed=5, clusters=2, cross_fraction=0.3)
+        result = ShardedAdmissionEngine(stream, shards=2).run()
+        sharding = result.summary["sharding"]
+        assert not set(sharding) & set(WALL_CLOCK_KEYS)
+        assert "decision_seconds" not in str(sharding)
+
+    def test_reservation_log_records_every_touched_shard(self):
+        stream = _clustered(seed=5, clusters=2, cross_fraction=0.3)
+        engine = ShardedAdmissionEngine(stream, shards=2,
+                                        record_decisions=True)
+        engine.run()
+        reserves = [d for d in engine.decisions if d[1] == "reserve"]
+        assert reserves
+        for _index, _kind, uid, _candidate, _result in reserves:
+            assert engine.routing.cross[uid]
+
+    def test_deterministic_replay(self):
+        stream = _clustered(seed=5, clusters=2, cross_fraction=0.3)
+        a = ShardedAdmissionEngine(stream, shards=2).run()
+        b = ShardedAdmissionEngine(stream, shards=2).run()
+        assert _deterministic(a) == _deterministic(b)
+
+
+class TestEngineSurface:
+    def test_explicit_shard_map_is_accepted(self):
+        stream = _clustered(seed=3, clusters=2)
+        shard_map = ShardMap.blocked(stream.universe().system, 2)
+        engine = ShardedAdmissionEngine(stream, shards=shard_map)
+        assert engine.num_shards == 2
+        assert engine.shard_map is shard_map
+
+    def test_too_many_shards_raises(self):
+        stream = _stream(0)
+        with pytest.raises(ModelError):
+            ShardedAdmissionEngine(stream, shards=64)
+
+    def test_bad_retry_limit_raises(self):
+        stream = _stream(0)
+        with pytest.raises(ValueError):
+            ShardedAdmissionEngine(stream, shards=1, retry_limit=-1)
+
+    def test_result_records_shard_count(self):
+        stream = _clustered(seed=3, clusters=2)
+        result = ShardedAdmissionEngine(stream, shards=2).run()
+        assert result.shards == 2
+        assert result.to_dict()["shards"] == 2
+
+    def test_decision_totals_sum_over_cells(self):
+        stream = _clustered(seed=3, clusters=2)
+        engine = ShardedAdmissionEngine(stream, shards=2)
+        engine.run()
+        assert engine.decision_count == sum(
+            cell.decision_count for cell in engine.cells)
+        assert engine.decision_seconds > 0.0
+
+
+class TestClusteredStream:
+    def test_clusters_get_disjoint_resource_blocks(self):
+        stream = _clustered(seed=1, clusters=3)
+        universe = stream.universe()
+        routing = ShardMap.blocked(universe.system, 3).route(universe)
+        assert routing.num_cross == 0
+
+    def test_cross_fraction_creates_cross_jobs(self):
+        stream = _clustered(seed=1, clusters=2, cross_fraction=0.4)
+        universe = stream.universe()
+        routing = ShardMap.blocked(universe.system, 2).route(universe)
+        assert routing.num_cross > 0
+
+    def test_clustered_stream_is_deterministic(self):
+        a = _clustered(seed=9, clusters=2, cross_fraction=0.2)
+        b = _clustered(seed=9, clusters=2, cross_fraction=0.2)
+        assert len(a.events) == len(b.events)
+        for ea, eb in zip(a.events, b.events):
+            assert ea.uid == eb.uid
+            assert ea.arrival == eb.arrival
+            assert ea.departure == eb.departure

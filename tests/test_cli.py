@@ -410,3 +410,80 @@ class TestStoreSubcommand:
         with pytest.raises(SystemExit):
             main(["store", "stats"])
         assert "need --cache-dir" in capsys.readouterr().err
+
+
+class TestOpdcaCommand:
+    def test_parser_options(self):
+        parser = build_parser()
+        args = parser.parse_args(["opdca"])
+        assert args.command == "opdca"
+        assert args.kernel == "paired"
+        args = parser.parse_args(
+            ["opdca", "--size", "10", "--cases", "3", "--generator",
+             "edge", "--policy", "nonpreemptive", "--kernel",
+             "reference"])
+        assert args.size == 10
+        assert args.kernel == "reference"
+        with pytest.raises(SystemExit):
+            parser.parse_args(["opdca", "--kernel", "fast"])
+
+    def test_end_to_end_kernel_independent(self, capsys):
+        argv = ["opdca", "--size", "8", "--cases", "2"]
+        assert main(argv) == 0
+        paired = capsys.readouterr().out
+        assert "OPDCA admission" in paired
+        assert main(argv + ["--kernel", "reference"]) == 0
+        reference = capsys.readouterr().out
+
+        def ratios(output):
+            return [line.split()[1:4]
+                    for line in output.splitlines()
+                    if line.split() and line.split()[0].isdigit()]
+
+        # decisions are kernel-independent by construction
+        assert ratios(paired) == ratios(reference)
+
+
+class TestShardsAndKernelFlags:
+    def test_online_parser_accepts_shards_and_kernel(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["online", "--shards", "2", "--kernel", "reference"])
+        assert args.shards == 2
+        assert args.kernel == "reference"
+        with pytest.raises(SystemExit):
+            parser.parse_args(["online", "--shards", "0"])
+        with pytest.raises(SystemExit):
+            parser.parse_args(["online", "--kernel", "fast"])
+
+    def test_online_sharded_end_to_end(self, capsys):
+        argv = ["online", "--stream", "poisson", "--horizon", "40",
+                "--rate", "0.3", "--cases", "1", "--shards", "2"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "shards=2" in out
+
+    def test_online_too_many_shards_is_a_clean_error(self, capsys):
+        argv = ["online", "--stream", "poisson", "--horizon", "30",
+                "--cases", "1", "--shards", "512"]
+        with pytest.raises(SystemExit):
+            main(argv)
+        assert "shards" in capsys.readouterr().err
+
+    def test_campaign_run_kernel_override(self, tmp_path, capsys):
+        import json
+
+        spec = {
+            "format": "repro-campaign",
+            "name": "kernel-smoke",
+            "axes": {"family": ["poisson"], "seed": [0]},
+            "approaches": ["dm"],
+            "horizon": 20.0,
+            "rate": 0.3,
+        }
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(spec))
+        assert main(["campaign", "run", str(path),
+                     "--kernel", "reference"]) == 0
+        out = capsys.readouterr().out
+        assert "kernel" in out.lower()

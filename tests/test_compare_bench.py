@@ -191,3 +191,28 @@ class TestFreshOnlyMetrics:
                         "fresh.json")
         assert compare_bench.main([base, fresh]) == 0
         assert "only in the fresh report" not in capsys.readouterr().out
+
+
+class TestQualityMetrics:
+    def test_acceptance_ratio_is_gated(self, tmp_path, capsys):
+        base = _report(tmp_path, "bench",
+                       {"acceptance_ratio(shards=4)": 0.96},
+                       "base.json")
+        fresh = _report(tmp_path, "bench",
+                        {"acceptance_ratio(shards=4)": 0.70},
+                        "fresh.json")
+        assert compare_bench.main([base, fresh]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_fresh_only_metric_notes_arming_the_gate(self, tmp_path,
+                                                     capsys):
+        """A newly published gated metric passes but is surfaced so it
+        gets committed to the baseline on the next refresh."""
+        base = _report(tmp_path, "bench", {"speedup(x)": 2.0},
+                       "base.json")
+        fresh = _report(tmp_path, "bench",
+                        {"speedup(x)": 2.0,
+                         "acceptance_ratio(shards=4)": 0.96},
+                        "fresh.json")
+        assert compare_bench.main([base, fresh]) == 0
+        assert "arm the gate" in capsys.readouterr().out
