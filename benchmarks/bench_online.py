@@ -23,8 +23,10 @@ cluster-structured workload (:func:`~repro.online.streams.\
 clustered_stream`): decision-path events/sec of
 :class:`~repro.online.sharded.ShardedAdmissionEngine` at 1, 2 and 4
 shards against the monolithic engine, plus the acceptance cost of
-pessimistic cross-shard reservation.  Gates: >= 1.5x events/sec at 4
-shards and acceptance within 2% of the monolithic oracle.
+conservative cross-shard admission (no-eviction reservations plus the
+whole-universe schedulability certificate).  Gates: >= 1.5x
+events/sec at 4 shards and acceptance within 2% of the monolithic
+oracle.
 """
 
 from repro.experiments.config import full_scale
@@ -168,7 +170,8 @@ def test_sharded_scaling(benchmark):
           f"{events / seconds[4]:.0f} events/s at 4 shards "
           f"({speedup:.2f}x), acceptance delta {delta:+.4f}")
     # The shard-layer gates: real throughput scaling, near-oracle
-    # acceptance despite pessimistic cross-shard reservation.
+    # acceptance despite conservative (certified) cross-shard
+    # admission.
     assert speedup >= 1.5, (
         f"shard-scaling speedup regressed: {speedup:.2f}x")
     assert abs(delta) <= 0.02, (

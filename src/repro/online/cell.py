@@ -90,6 +90,9 @@ class Reservation:
     uid: int
     candidate: tuple[int, ...]
     result: "AdmissionResult | None"
+    #: Wall-clock seconds phase 1 spent deciding (the shard driver
+    #: folds these into its per-event latency records).
+    seconds: float = 0.0
 
     @property
     def accepted(self) -> bool:
@@ -359,16 +362,19 @@ class AdmissionCell:
         evictions?  Pure -- no cell state changes; the decision is
         memoised exactly like any other, so an immediately following
         :meth:`commit_reservation` costs no re-analysis."""
+        start = time.perf_counter()
         candidate = sorted(self._admitted | {uid})
         result = self.decide(candidate, all_or_nothing=True)
         return Reservation(uid=uid, candidate=tuple(candidate),
-                           result=result)
+                           result=result,
+                           seconds=time.perf_counter() - start)
 
     def commit_reservation(self, reservation: Reservation) -> CellEvent:
         """Phase 2: apply a successful reservation.  Must only be
         called while the admitted set still equals the one the
         reservation was computed over (the single-threaded shard
         driver guarantees this by committing immediately)."""
+        start = time.perf_counter()
         if reservation.result is None:
             raise ValueError(
                 f"cannot commit a failed reservation for uid "
@@ -383,7 +389,8 @@ class AdmissionCell:
         assert not evicted  # all-or-nothing reservations never evict
         return CellEvent(decision="accept", uid=reservation.uid,
                          flips=flips, candidate=reservation.candidate,
-                         result=reservation.result)
+                         result=reservation.result,
+                         seconds=time.perf_counter() - start)
 
     # -- shard-driver hooks -------------------------------------------
 

@@ -178,6 +178,36 @@ def _sim_preemption_flags(policy: "str | Policy",
     return [True] * system.num_stages
 
 
+def epoch_validation_failures(universe: JobSet,
+                              policy: "str | Policy",
+                              event_index: int,
+                              result: AdmissionResult,
+                              candidate: "list[int]") -> list[str]:
+    """Replay one accepted epoch through the pipeline simulator.
+
+    ``candidate`` maps the result's local indices back to universe
+    uids.  Returns one message per admitted job that misses its
+    deadline in simulation under the result's priority assignment --
+    the shared validation primitive of both stream drivers.
+    """
+    from repro.sim.engine import PipelineSimulator
+
+    if not result.accepted:
+        return []
+    ordering = ordering_of_accepted(result)
+    accepted_ids = [candidate[i] for i in result.accepted]
+    epoch = universe.restrict(accepted_ids)
+    flags = _sim_preemption_flags(policy, epoch.system)
+    sim = PipelineSimulator(epoch, ordering, preemptive=flags).run()
+    return [
+        f"event {event_index}: admitted job "
+        f"{accepted_ids[position]} misses its deadline in "
+        f"simulation (delay {sim.delays[position]:.3f} > "
+        f"D {epoch.D[position]:.3f})"
+        for position in sim.missed_jobs()
+    ]
+
+
 class OnlineAdmissionEngine:
     """Replay one stream through the admission controller.
 
@@ -220,6 +250,7 @@ class OnlineAdmissionEngine:
         self._stream = stream
         self._policy = policy
         self._mode = mode
+        self._kernel = kernel
         self._validate_every = validate_every
         self._universe: JobSet | None = (
             stream.universe() if stream.events else None)
@@ -275,21 +306,9 @@ class OnlineAdmissionEngine:
                         result: AdmissionResult,
                         candidate: "list[int]") -> None:
         """Replay the accepted epoch through the pipeline simulator."""
-        from repro.sim.engine import PipelineSimulator
-
-        if not result.accepted:
-            return
-        ordering = ordering_of_accepted(result)
-        accepted_ids = [candidate[i] for i in result.accepted]
-        epoch = self._universe.restrict(accepted_ids)
-        flags = _sim_preemption_flags(self._policy, epoch.system)
-        sim = PipelineSimulator(epoch, ordering, preemptive=flags).run()
-        for position in sim.missed_jobs():
-            self._validation_failures.append(
-                f"event {event_index}: admitted job "
-                f"{accepted_ids[position]} misses its deadline in "
-                f"simulation (delay {sim.delays[position]:.3f} > "
-                f"D {epoch.D[position]:.3f})")
+        self._validation_failures.extend(epoch_validation_failures(
+            self._universe, self._policy, event_index, result,
+            candidate))
 
     def _maybe_validate(self, event_index: int, result: AdmissionResult,
                         candidate: "list[int]") -> None:
@@ -396,7 +415,8 @@ class OnlineAdmissionEngine:
             records=self._metrics.records,
             summary=self._metrics.summary(),
             final_admitted=sorted(self._cell.admitted),
-            validation_failures=self._validation_failures)
+            validation_failures=self._validation_failures,
+            kernel=self._kernel)
 
 
 def run_online_scenario(spec: OnlineScenarioSpec) -> OnlineRunResult:
@@ -410,7 +430,7 @@ def run_online_scenario(spec: OnlineScenarioSpec) -> OnlineRunResult:
         engine = ShardedAdmissionEngine(
             stream, shards=shards, policy=spec.policy,
             mode=spec.mode, retry_limit=spec.retry_limit,
-            kernel=kernel)
+            validate_every=spec.validate_every, kernel=kernel)
         result = engine.run()
     else:
         mono = OnlineAdmissionEngine(

@@ -12,46 +12,105 @@ routed by its resource footprint:
   decisions are *exact*, not approximate (see
   :mod:`repro.core.partition`).
 * a **cross-shard** job (footprint spanning shards) is admitted by
-  pessimistic two-phase reservation: phase 1 asks every touched cell
+  conservative two-phase reservation: phase 1 asks every touched cell
   whether the job fits *whole, with no evictions*
-  (:meth:`~repro.online.cell.AdmissionCell.reserve`); only if all
-  shards accept does phase 2 commit on each
+  (:meth:`~repro.online.cell.AdmissionCell.reserve`) -- a cheap
+  necessary filter -- and then certifies the whole prospective
+  admitted set against the **whole-universe** analysis
+  (:meth:`ShardedAdmissionEngine._certify`); only if both agree does
+  phase 2 commit on each touched cell
   (:meth:`~repro.online.cell.AdmissionCell.commit_reservation`) --
   otherwise nothing changed anywhere and the job is parked in the
   engine-level cross-shard retry queue.  The invariant is
   all-or-nothing residency: a cross-shard job is admitted on every
   touched shard or on none.
-* when a later local arrival evicts a cross-shard visitor from one
-  shard, the engine *revokes* it from every other touched shard and
-  parks it in the cross-shard queue -- cells never park cross-shard
-  jobs themselves (the ``parkable`` hook), because a lone cell
-  re-admitting one unilaterally would break the residency invariant.
+
+  The global certificate is what makes cross-shard admission *sound*:
+  a per-shard reservation bounds the job's end-to-end deadline using
+  only that shard's members as interferers, and the per-shard stage
+  delays are additive into one end-to-end deadline, so a job passing
+  every per-shard check can still miss its deadline under the
+  whole-set analysis.  Reservations alone would therefore be
+  optimistic; the certificate re-runs the all-or-nothing controller
+  in the unrestricted universe over the job's resource *component* --
+  the admitted jobs on shards transitively linked to it by resident
+  cross-shard jobs (:meth:`ShardedAdmissionEngine.\
+_component_candidate`).  Jobs outside the component share no resource
+  with anything inside it, so whole-set feasibility factorises over
+  components and the restricted check is exact, not an approximation:
+  a committed set always has a feasible whole-universe priority
+  assignment.
+* admitting a *local* job onto a shard that hosts resident
+  cross-shard visitors raises the interference those visitors see
+  there, which the visitors' other shards cannot observe -- so after
+  any such commit the engine re-certifies that shard's component and,
+  while the certificate fails, *revokes* the youngest resident
+  visitor (highest uid) from every touched shard and parks it in the
+  cross-shard queue.  Shard-local jobs are never revoked: their
+  per-shard bounds are exact (see :mod:`repro.core.partition`).  The
+  same revocation path runs when a local arrival evicts a visitor
+  outright -- cells never park cross-shard jobs themselves (the
+  ``parkable`` hook), because a lone cell re-admitting one
+  unilaterally would break the residency invariant.
+
+The certificate is cheap in the common case: the engine carries the
+*standing certified ordering* -- a concrete feasible whole-universe
+priority assignment of the admitted set, maintained across departures
+(removal is bound-preserving for the float-monotone equations) and
+commits.  Appending a newly admitted job at the bottom of that
+ordering leaves every incumbent's higher-priority set unchanged, so
+for bounds that ignore the lower-priority set a single delay
+evaluation of the new job certifies the extended set
+(:meth:`ShardedAdmissionEngine._quick_certify`); the full Audsley
+search runs only when that probe fails, and Audsley's completeness
+for OPA-compatible bounds makes the accept/reject decisions identical
+either way.
 
 With ``shards=1`` every job is shard-local and the single cell sees
 the identity-restricted universe, so the engine is bitwise identical
 to :class:`~repro.online.engine.OnlineAdmissionEngine` -- decisions,
 churn, metrics time series -- which the property tests in
 ``tests/online/test_sharded.py`` replay event-for-event.  The price of
-sharding is pessimism on cross-shard jobs only: acceptance ratios stay
-within a couple of percent of the monolithic oracle on
-cluster-structured workloads while per-event candidate sets (and so
-decision cost) shrink by the shard count.
+sharding is conservatism on cross-shard jobs only (no-eviction
+reservations plus the global certificate, where the oracle's full
+controller may evict to make room): acceptance ratios stay within a
+couple of percent of the monolithic oracle on cluster-structured
+workloads while per-event candidate sets (and so decision cost)
+shrink by the shard count -- shard-local traffic never pays for the
+whole-universe analysis, which runs only for cross-shard candidates
+and for commits onto shards that currently host visitors.
 """
 
 from __future__ import annotations
 
+import time
+from typing import Iterable
+
 import numpy as np
 
+from repro.core.admission import AdmissionResult
 from repro.core.partition import Routing, ShardMap
-from repro.core.schedulability import Policy, resolve_equation
+from repro.core.schedulability import (
+    FLOAT_MONOTONE_EQUATIONS,
+    LOWER_AWARE_EQUATIONS,
+    SDCA,
+    Policy,
+    resolve_equation,
+)
 from repro.core.segments import SegmentCache
 from repro.core.system import JobSet
-from repro.online.cell import AdmissionCell
+from repro.online.cell import DECISION_MEMO_LIMIT, AdmissionCell
 from repro.online.engine import (
     EVENT_ARRIVE,
     EVENT_DEPART,
     OnlineAdmissionEngine,
     OnlineRunResult,
+    epoch_validation_failures,
+)
+from repro.online.incremental import (
+    IncrementalAnalyzer,
+    admit_all_or_nothing,
+    cold_analysis,
 )
 from repro.online.metrics import (
     EventRecord,
@@ -93,14 +152,17 @@ class ShardedAdmissionEngine:
         Shard count (resources split into contiguous blocks per stage
         via :meth:`~repro.core.partition.ShardMap.blocked`) or a
         pre-built :class:`~repro.core.partition.ShardMap`.
-    policy / mode / retry_limit / kernel:
+    policy / mode / retry_limit / validate_every / kernel:
         As for :class:`~repro.online.engine.OnlineAdmissionEngine`;
         ``retry_limit`` bounds each cell's queue *and* the engine's
-        cross-shard queue.
+        cross-shard queue.  ``validate_every`` replays every k-th
+        accepted epoch -- the *global* admitted set under its
+        whole-universe certificate ordering -- through the simulator.
     record_decisions:
         Keep ``(index, kind, uid, candidate, result)`` triples (global
         uids) on ``decisions``; cross-shard reservations log one
-        ``reserve`` entry per touched shard.
+        ``reserve`` entry per touched shard plus one ``certify`` entry
+        for the whole-universe check.
     """
 
     def __init__(self, stream: OnlineStream, *,
@@ -108,6 +170,7 @@ class ShardedAdmissionEngine:
                  policy: "str | Policy" = Policy.PREEMPTIVE,
                  mode: str = "incremental",
                  retry_limit: int = 16,
+                 validate_every: int = 0,
                  kernel: str = "paired",
                  record_decisions: bool = False) -> None:
         if retry_limit < 0:
@@ -116,7 +179,9 @@ class ShardedAdmissionEngine:
         self._stream = stream
         self._policy = policy
         self._mode = mode
+        self._kernel = kernel
         self._retry_limit = retry_limit
+        self._validate_every = validate_every
         self._universe: "JobSet | None" = (
             stream.universe() if stream.events else None)
         self._departure_of = {event.uid: event.departure
@@ -131,12 +196,14 @@ class ShardedAdmissionEngine:
                 shard_map.route(self._universe)
             cache = (SegmentCache(self._universe)
                      if mode == "incremental" else None)
+            self._cache = cache
             self._shards = [
                 self._build_shard(shard, cache, retry_limit, kernel)
                 for shard in range(shard_map.num_shards)]
         else:
             self._shard_map = None
             self._routing = None
+            self._cache = None
             self._shards = []
 
         #: (index, kind, uid, candidate, result) log (global uids).
@@ -148,9 +215,40 @@ class ShardedAdmissionEngine:
         self._seen: set[int] = set()
         self._metrics = OnlineMetrics(self._universe)
         self._heaviness: "np.ndarray | None" = None
+        #: Whole-universe certificate state (lazy: shard-local traffic
+        #: never builds or touches it).
+        self._global_inc: "IncrementalAnalyzer | None" = None
+        self._global_memo: "dict[tuple, AdmissionResult | None] | None" = (
+            {} if mode == "incremental" else None)
+        #: Standing certified priority ordering (highest first) of the
+        #: whole admitted set: the constructive witness behind the
+        #: one-bound fast path (:meth:`_quick_certify`).  Maintained
+        #: only in incremental mode under float-monotone bounds that
+        #: ignore the lower-priority set (removals and bottom-appends
+        #: are then provably bound-preserving); ``None`` whenever
+        #: unavailable or no longer trusted.
+        equation = resolve_equation(policy)
+        self._order_ok = (mode == "incremental"
+                          and equation in FLOAT_MONOTONE_EQUATIONS
+                          and equation not in LOWER_AWARE_EQUATIONS)
+        self._order: "list[int] | None" = [] if self._order_ok else None
+        self._quick_certifies = 0
+        #: Certify-failure witnesses for queued cross-shard jobs:
+        #: ``uid -> frozenset(candidate minus uid)`` at the failed
+        #: attempt.  Under the same monotone gate, infeasibility is
+        #: antitone in the job set (restricting a feasible assignment
+        #: to a subset only shrinks higher-priority sets), so while
+        #: every witness member is still admitted a retry would
+        #: provably fail again and is skipped outright.
+        self._cross_failed: "dict[int, frozenset]" = {}
+        self._certify_seconds = 0.0
+        self._certify_count = 0
+        self._accept_count = 0
+        self._validation_failures: list[str] = []
         #: Cross-shard accounting surfaced in ``summary["sharding"]``.
         self._cross_accepts = 0
         self._cross_rejects = 0
+        self._cross_certify_rejects = 0
         self._cross_retry_accepts = 0
         self._revocations = 0
 
@@ -215,11 +313,17 @@ class ShardedAdmissionEngine:
 
     @property
     def decision_seconds(self) -> float:
-        return sum(s.cell.decision_seconds for s in self._shards)
+        return (self._certify_seconds +
+                sum(s.cell.decision_seconds for s in self._shards))
 
     @property
     def decision_count(self) -> int:
-        return sum(s.cell.decision_count for s in self._shards)
+        return (self._certify_count + self._quick_certifies +
+                sum(s.cell.decision_count for s in self._shards))
+
+    @property
+    def validation_failures(self) -> "list[str]":
+        return list(self._validation_failures)
 
     # -- shared bookkeeping (mirrors the monolithic engine) -----------
 
@@ -271,6 +375,332 @@ class ShardedAdmissionEngine:
     def _touched(self, uid: int) -> "list[_Shard]":
         return [self._shards[s] for s in self._routing.touched[uid]]
 
+    # -- whole-universe certificate -----------------------------------
+
+    def _global_analyzer(self) -> IncrementalAnalyzer:
+        if self._global_inc is None:
+            self._global_inc = IncrementalAnalyzer(
+                self._universe, self._policy,
+                cache=self._cache, kernel=self._kernel)
+        return self._global_inc
+
+    def _order_remove(self, uid: int) -> None:
+        """Drop ``uid`` from the standing certified ordering.  Removal
+        is always sound under the fast-path gate: float-monotone
+        bounds can never increase when a higher-priority set shrinks,
+        so the surviving assignment stays feasible."""
+        if self._order is None:
+            return
+        try:
+            self._order.remove(uid)
+        except ValueError:
+            self._order = None  # bookkeeping drift: stop trusting it
+
+    def _order_rebase_shard(self, home: _Shard) -> None:
+        """Re-sync ``home``'s block of the standing ordering from its
+        cell after a commit onto a *visitor-free* shard.
+
+        With no resident cross-shard visitors, every user of
+        ``home``'s resources is a cell member, so the cell's own exact
+        all-or-nothing ordering certifies the block outright.  Placing
+        the block contiguously at the bottom removes ``home`` members
+        from every outside job's higher-priority set (bound-preserving
+        under the float-monotone gate) and adds nothing above any
+        block member that the cell's analysis did not already count.
+        """
+        order = self._order
+        if order is None:
+            return
+        members = {int(home.members[i]) for i in home.cell.admitted}
+        ranks = home.cell.ranks
+        block = sorted(members, key=lambda uid: ranks[home.local(uid)])
+        self._order = [u for u in order if u not in members] + block
+        if set(self._order) != self._admitted:
+            self._order = None
+
+    def _order_merge(self, candidate: "tuple[int, ...]",
+                     result: AdmissionResult) -> None:
+        """Fold a fresh certificate's ordering into the standing one:
+        the certified block lands at the bottom and survivors outside
+        ``candidate`` keep their relative order -- they share no
+        resource with the block (:meth:`_component_candidate`), so
+        neither move touches any bound."""
+        if not self._order_ok:
+            return
+        block = [candidate[i]
+                 for i in np.argsort(result.ordering, kind="stable")]
+        if self._order is not None:
+            members = set(candidate)
+            self._order = [u for u in self._order
+                           if u not in members] + block
+        elif set(candidate) == self._admitted:
+            self._order = block
+        if self._order is not None and \
+                set(self._order) != self._admitted:
+            self._order = None
+
+    def _universe_test(self) -> SDCA:
+        """Whole-universe single-bound test over the persistent
+        analyzer (explicit higher/active masks; no hidden state)."""
+        return SDCA(self._universe, self._policy,
+                    analyzer=self._global_analyzer().analyzer)
+
+    #: Splice positions tried above the bottom before falling back to
+    #: the full Audsley search (each rung costs a handful of single
+    #: bound evaluations; a full search costs a monolith-sized event).
+    _SPLICE_RUNGS = 4
+
+    def _splice_verified(self, home: _Shard, uid: int) -> bool:
+        """Second fast path for committing local ``uid`` onto a
+        visitor-hosting shard: climb the standing ordering bottom-up,
+        splicing ``uid`` just above the ``k`` lowest-positioned home
+        members (``k = 1..{_SPLICE_RUNGS}``) and verifying only what a
+        splice can actually disturb.
+
+        Jobs above the splice point keep their higher-priority sets.
+        Jobs below it gain exactly ``uid`` -- a bit-exact no-op for
+        every job sharing no resource with it (shard-local footprints
+        make that the vast majority), so only ``uid`` itself and the
+        resource-sharing jobs below the splice need fresh bound
+        evaluations.  Climbing helps because ``uid``'s own bound is
+        monotone in the jobs above it: each rung strictly shrinks its
+        interferer set relative to the (already failed) bottom-append
+        probe.  Any rung where every evaluation passes exhibits a
+        feasible whole-universe assignment; if all rungs fail the
+        caller falls back to the full Audsley search, so accept/reject
+        decisions are identical either way.
+        """
+        order = self._order
+        if order is None:
+            return False
+        start = time.perf_counter()
+        try:
+            home_pos = [i for i, u in enumerate(order)
+                        if u in home.local_of]
+            test = self._universe_test()
+            n = self._universe.num_jobs
+            R = np.asarray(self._universe.R)
+            active = np.zeros(n, dtype=bool)
+            active[sorted(self._admitted)] = True
+            for k in range(1, self._SPLICE_RUNGS + 1):
+                if k > len(home_pos):
+                    return False
+                splice = home_pos[-k]
+                moved = order[:splice] + [uid] + order[splice:]
+                higher = np.zeros(n, dtype=bool)
+                higher[order[:splice]] = True
+                if not test(uid, higher, active=active):
+                    continue  # climb: fewer interferers next rung
+                disturbed = [u for u in order[splice:]
+                             if bool((R[u] == R[uid]).any())]
+                ok = True
+                for job in disturbed:
+                    higher = np.zeros(n, dtype=bool)
+                    higher[moved[:moved.index(job)]] = True
+                    if not test(job, higher, active=active):
+                        ok = False
+                        break
+                if ok:
+                    self._order = moved
+                    return True
+            return False
+        finally:
+            self._certify_seconds += time.perf_counter() - start
+            self._quick_certifies += 1
+
+    def _quick_certify(self, uid: int) -> bool:
+        """Constructive one-bound extension of the standing
+        certificate: is the certified ordering still feasible with
+        ``uid`` appended at lowest priority?
+
+        Appending at the bottom leaves every incumbent's
+        higher-priority set unchanged, and the fast-path gate
+        restricts to bounds that ignore the lower-priority set, so the
+        incumbents' bounds are *literally* unchanged -- only ``uid``'s
+        own bound (the whole admitted set above it) needs evaluating.
+        A pass exhibits a feasible whole-universe assignment, the
+        exact invariant the full certificate establishes; a fail only
+        means "not feasible at the bottom", and the caller falls back
+        to the full Audsley search -- which is complete for the
+        OPA-compatible bounds, so accept/reject decisions are
+        identical with or without this fast path.
+        """
+        order = self._order
+        if order is None:
+            return False
+        rest = self._admitted - {uid}
+        if set(order) != rest:
+            self._order = None
+            return False
+        start = time.perf_counter()
+        try:
+            test = self._universe_test()
+            higher = np.zeros(self._universe.num_jobs, dtype=bool)
+            if rest:
+                higher[sorted(rest)] = True
+            active = higher.copy()
+            active[uid] = True
+            if test(uid, higher, active=active):
+                order.append(uid)
+                return True
+            return False
+        finally:
+            self._certify_seconds += time.perf_counter() - start
+            self._quick_certifies += 1
+
+    def _component_candidate(self, seeds: "Iterable[int]",
+                             extra: "int | None" = None
+                             ) -> tuple[int, ...]:
+        """Admitted jobs (plus ``extra``) in the shard *component*
+        reachable from ``seeds``.
+
+        Two jobs interfere only when they share a resource (see
+        :mod:`repro.core.partition`), and shards partition resources,
+        so only admitted cross-shard jobs couple shards.  Taking the
+        transitive closure of ``seeds`` under those couplings yields a
+        set of shards whose residents share no resource with any job
+        outside it -- whole-set feasibility therefore factorises over
+        such components, and certifying the affected component alone
+        is exactly as sound as certifying the full admitted set, at a
+        fraction of the analysis cost (the candidate excludes every
+        untouched shard's residents).
+        """
+        routing = self._routing
+        shards = set(seeds)
+        if extra is not None:
+            shards.update(routing.touched[extra])
+        links = [set(routing.touched[uid]) for uid in self._admitted
+                 if routing.cross[uid]]
+        grew = True
+        while grew:
+            grew = False
+            for touched in links:
+                if touched & shards and not touched <= shards:
+                    shards |= touched
+                    grew = True
+        members = {uid for uid in self._admitted
+                   if shards.intersection(routing.touched[uid])}
+        if extra is not None:
+            members.add(extra)
+        return tuple(sorted(members))
+
+    def _certify(self, candidate: "tuple[int, ...]"
+                 ) -> "AdmissionResult | None":
+        """All-or-nothing admission of ``candidate`` (ascending global
+        uids) over the *unrestricted* universe: the schedulability
+        certificate of the global admitted set (or of one resource
+        component of it -- see :meth:`_component_candidate`).
+
+        Per-shard reservations see only their own members as
+        interferers, so they under-count a cross-shard job's
+        end-to-end delay; this check is the one place the full
+        interference picture is evaluated.  Outcomes are memoised on
+        the exact candidate tuple (incremental mode), mirroring the
+        cells' decision memo.
+        """
+        start = time.perf_counter()
+        try:
+            if self._global_memo is not None and \
+                    candidate in self._global_memo:
+                return self._global_memo[candidate]
+            if self._mode == "cold":
+                analysis = cold_analysis(self._universe, candidate,
+                                         self._policy)
+            else:
+                analysis = self._global_analyzer().subset(candidate)
+            result = admit_all_or_nothing(analysis, mode=self._mode)
+            if self._global_memo is not None:
+                if len(self._global_memo) >= DECISION_MEMO_LIMIT:
+                    self._global_memo.pop(
+                        next(iter(self._global_memo)))
+                self._global_memo[candidate] = result
+            return result
+        finally:
+            self._certify_seconds += time.perf_counter() - start
+            self._certify_count += 1
+
+    def _visitors_on(self, home: _Shard) -> "list[int]":
+        """Admitted cross-shard jobs resident on ``home``, ascending
+        global uids."""
+        routing = self._routing
+        return sorted(uid for uid in self._admitted
+                      if routing.cross[uid]
+                      and home.shard in routing.touched[uid])
+
+    def _reconfirm_after(self, home: _Shard, uid: int
+                         ) -> "tuple[list[int], float]":
+        """Re-certify ``home``'s resource component after committing
+        ``uid`` onto ``home``.
+
+        A new resident raises the interference ``home``'s cross-shard
+        visitors see there, which their other shards cannot observe;
+        shard-local jobs are unaffected (their per-shard bounds are
+        exact).  Jobs outside ``home``'s component share no resource
+        with the new resident, so their standing certificates are
+        untouched (:meth:`_component_candidate`).  The cheap paths run
+        first: a visitor-free ``home`` needs no global analysis at all
+        (the cell's ordering is exact -- the standing order just
+        re-syncs its block), and :meth:`_quick_certify` settles most
+        of the rest with a single bound evaluation.  Otherwise, while
+        the full certificate fails, the youngest visitor on ``home``
+        (highest uid) is revoked from every touched shard and parked
+        in the cross-shard queue; revocation can split the component,
+        so the candidate is recomputed each round.  Returns the
+        revoked uids (ascending) and the wall-clock seconds spent, for
+        the caller's event record.
+        """
+        visitors = self._visitors_on(home)
+        if not visitors:
+            self._order_rebase_shard(home)
+            return [], 0.0
+        start = time.perf_counter()
+        if self._quick_certify(uid) or \
+                self._splice_verified(home, uid):
+            return [], time.perf_counter() - start
+        revoked: list[int] = []
+        while True:
+            candidate = self._component_candidate((home.shard,))
+            result = self._certify(candidate)
+            if result is not None:
+                self._order_merge(candidate, result)
+                break
+            if not visitors:
+                # Unreachable by construction: with no visitors left
+                # on ``home`` the set is the pre-event certified set
+                # minus removals plus exactly-analysed local jobs.
+                self._order = None
+                break
+            victim = visitors.pop()
+            for shard in self._touched(victim):
+                if shard.cell.evict(shard.local(victim)):
+                    self._revocations += 1
+            self._admitted.discard(victim)
+            self._order_remove(victim)
+            revoked.append(victim)
+            self._enqueue_cross(victim)
+        return sorted(revoked), time.perf_counter() - start
+
+    def _maybe_validate(self, index: int) -> None:
+        """Every k-th accept: replay the global admitted set through
+        the simulator under its certificate ordering (the sharded
+        counterpart of the monolithic engine's validation hook)."""
+        self._accept_count += 1
+        if not self._validate_every or \
+                self._accept_count % self._validate_every:
+            return
+        candidate = sorted(self._admitted)
+        if not candidate:
+            return
+        certificate = self._certify(tuple(candidate))
+        if certificate is None:
+            self._validation_failures.append(
+                f"event {index}: admitted set has no feasible "
+                f"whole-universe priority assignment")
+            return
+        self._validation_failures.extend(epoch_validation_failures(
+            self._universe, self._policy, index, certificate,
+            candidate))
+
     # -- local (single-shard) arrivals --------------------------------
 
     def _local_arrival(self, index: int, now: float, uid: int,
@@ -284,6 +714,7 @@ class ShardedAdmissionEngine:
             self._admitted.add(uid)
         for g in evicted:
             self._admitted.discard(g)
+            self._order_remove(g)
         self._metrics.ever_admitted |= self._admitted
         self._metrics.evictions += len(evicted)
         self._metrics.rank_changes += event.flips
@@ -300,20 +731,45 @@ class ShardedAdmissionEngine:
                     if other.cell.evict(other.local(g)):
                         self._revocations += 1
             self._enqueue_cross(g)
+        # A new resident may push a surviving visitor's end-to-end
+        # bound past its deadline; re-certify and revoke if needed.
+        # A rejected arrival can only shrink the set (discard
+        # cascade), which cannot break the standing certificate.
+        reconfirm_seconds = 0.0
+        if event.decision == "accept":
+            revoked, reconfirm_seconds = \
+                self._reconfirm_after(home, uid)
+            if revoked:
+                self._metrics.evictions += len(revoked)
+                evicted = tuple(sorted(set(evicted) | set(revoked)))
         self._snapshot(index, now, "arrive", uid, event.decision,
-                       evicted, event.flips, event.seconds)
+                       evicted, event.flips,
+                       event.seconds + reconfirm_seconds)
+        if event.decision == "accept":
+            self._maybe_validate(index)
 
     # -- cross-shard arrivals (two-phase reservation) -----------------
 
     def _cross_arrival(self, index: int, now: float, uid: int,
                        *, kind: str = "arrive") -> bool:
-        """Two-phase reservation of ``uid`` on every touched shard.
-        Returns acceptance; on rejection nothing changed anywhere."""
+        """Two-phase reservation of ``uid`` on every touched shard,
+        guarded by the whole-universe certificate.  Returns
+        acceptance; on rejection nothing changed anywhere."""
+        failed = self._cross_failed.get(uid)
+        if failed is not None:
+            if failed <= self._admitted:
+                # The failed candidate is still wholly admitted, so by
+                # monotonicity this attempt cannot succeed; skip the
+                # reservations and the certificate entirely (failed
+                # retry attempts leave no record either way).
+                return False
+            del self._cross_failed[uid]
         touched = self._touched(uid)
         reservations = []
         seconds = 0.0
         for shard in touched:
             reservation = shard.cell.reserve(shard.local(uid))
+            seconds += reservation.seconds
             self._log_decision(index, "reserve", uid,
                                shard.globalise(reservation.candidate),
                                reservation.result)
@@ -326,16 +782,50 @@ class ShardedAdmissionEngine:
                     self._snapshot(index, now, kind, uid, "reject",
                                    (), 0, seconds)
                 return False
+        # Phase 1b: every touched shard said yes, but each bounded the
+        # job's end-to-end delay against its own members only.  Only
+        # the whole-universe analysis sees the combined interference,
+        # so commit requires its certificate too -- the one-bound
+        # standing-order extension when it applies, else the full
+        # Audsley search restricted to the job's resource component,
+        # which is exact (jobs outside it share no resource with
+        # anything inside).
+        start = time.perf_counter()
+        quick = self._quick_certify(uid)
+        candidate: "tuple[int, ...]" = ()
+        certificate = None
+        if not quick:
+            candidate = self._component_candidate((), extra=uid)
+            certificate = self._certify(candidate)
+        seconds += time.perf_counter() - start
+        if quick:
+            self._log_decision(index, "certify-fast", uid, (), True)
+        else:
+            self._log_decision(index, "certify", uid, candidate,
+                               certificate)
+            if certificate is None:
+                self._cross_certify_rejects += 1
+                if self._order_ok:
+                    self._cross_failed[uid] = \
+                        frozenset(candidate) - {uid}
+                if kind == "arrive":
+                    self._snapshot(index, now, kind, uid, "reject",
+                                   (), 0, seconds)
+                return False
         flips = 0
         for shard, reservation in reservations:
             event = shard.cell.commit_reservation(reservation)
             flips += event.flips
             seconds += event.seconds
         self._admitted.add(uid)
+        self._cross_failed.pop(uid, None)
+        if not quick:
+            self._order_merge(candidate, certificate)
         self._metrics.ever_admitted |= self._admitted
         self._metrics.rank_changes += flips
         self._snapshot(index, now, kind, uid, "accept", (), flips,
                        seconds)
+        self._maybe_validate(index)
         return True
 
     def _on_arrival(self, index: int, now: float, uid: int) -> None:
@@ -356,6 +846,7 @@ class ShardedAdmissionEngine:
     def _on_departure(self, index: int, now: float, uid: int) -> None:
         if uid in self._admitted:
             self._admitted.discard(uid)
+            self._order_remove(uid)
             seconds = 0.0
             for shard in self._touched(uid):
                 event = shard.cell.departure(shard.local(uid))
@@ -366,6 +857,7 @@ class ShardedAdmissionEngine:
             return
         if uid in self._cross_retry:
             self._cross_retry.remove(uid)
+            self._cross_failed.pop(uid, None)
             self._metrics.expired += 1
             self._snapshot(index, now, "depart", uid, "expire", (),
                            0, 0.0)
@@ -399,8 +891,16 @@ class ShardedAdmissionEngine:
                 self._metrics.ever_admitted |= self._admitted
                 self._metrics.rank_changes += event.flips
                 self._metrics.retry_accepts += 1
+                # A re-admitted local job is a new resident too: the
+                # shard's visitors must survive the global re-check.
+                revoked, reconfirm_seconds = \
+                    self._reconfirm_after(shard, uid)
+                if revoked:
+                    self._metrics.evictions += len(revoked)
                 self._snapshot(index, now, "retry", uid, "accept",
-                               (), event.flips, event.seconds)
+                               tuple(revoked), event.flips,
+                               event.seconds + reconfirm_seconds)
+                self._maybe_validate(index)
         for uid in list(self._cross_retry):
             if self._departure_of[uid] <= now:
                 continue  # its own departure event expires it
@@ -429,8 +929,17 @@ class ShardedAdmissionEngine:
             "cross_jobs": routing.num_cross if routing else 0,
             "cross_accepts": self._cross_accepts,
             "cross_rejects": self._cross_rejects,
+            # Admission attempts (arrival *and* retry) rejected by the
+            # whole-universe certificate after every per-shard
+            # reservation had accepted -- the gap the certificate
+            # exists to close.
+            "cross_certify_rejects": self._cross_certify_rejects,
             "cross_retry_accepts": self._cross_retry_accepts,
             "revocations": self._revocations,
+            "global_certifies": self._certify_count,
+            # One-bound standing-order probes (pass or fail); a pass
+            # replaces one full certificate above.
+            "quick_certifies": self._quick_certifies,
             "per_shard": per_shard,
         }
 
@@ -458,7 +967,9 @@ class ShardedAdmissionEngine:
             records=self._metrics.records,
             summary=summary,
             final_admitted=sorted(self._admitted),
-            shards=len(self._shards))
+            validation_failures=self._validation_failures,
+            shards=len(self._shards),
+            kernel=self._kernel)
 
 
 def sharded_acceptance_report(stream: OnlineStream, *,
@@ -471,8 +982,13 @@ def sharded_acceptance_report(stream: OnlineStream, *,
 
     Runs the same stream through both engines and reports their
     acceptance ratios plus the (signed) delta -- the cost of
-    pessimistic cross-shard reservation.  ``acceptance_delta`` is
-    sharded minus oracle, so more negative means more pessimism.
+    conservative cross-shard admission (no-eviction reservations plus
+    the whole-universe certificate, where the oracle's full controller
+    may evict to make room).  ``acceptance_delta`` is sharded minus
+    oracle, so more negative means more conservatism; small positive
+    deltas remain possible through path dependence (a job the oracle
+    evicted early may depart before the sharded engine ever has to
+    reject anything for it).
     """
     oracle = OnlineAdmissionEngine(
         stream, policy=policy, mode=mode, retry_limit=retry_limit,
