@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the repo's documentation tree.
+
+Usage::
+
+    python scripts/check_links.py [FILE_OR_DIR ...]
+
+With no arguments, checks ``README.md`` plus every ``*.md`` under
+``docs/`` (relative to the repo root, i.e. this script's parent
+directory).  For every inline link or image ``[text](target)`` it
+verifies that *tree-relative* targets exist on disk; fragment-only
+anchors, ``http(s)``/``mailto`` URLs and targets escaping the checked
+tree (the CI badge's ``../../actions/...`` route lives on the forge,
+not in the repo) are skipped — this is a file-existence gate, not a
+crawler.
+
+Exit status: 0 when every checked link resolves, 1 on any broken
+link, 2 on malformed input (a named file missing, no files found).
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Inline links/images: ``[text](target)`` / ``![alt](target)``.
+#: Nested brackets (badge images inside links) are handled by
+#: anchoring on the ``](...)`` tail alone.
+LINK_PATTERN = re.compile(r"\]\(\s*<?([^)<>\s]+)>?\s*\)")
+
+#: Fence delimiters: targets inside ``` blocks are examples, not
+#: navigation, so fenced content is blanked before scanning.
+FENCE_PATTERN = re.compile(r"^(```|~~~)")
+
+SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def strip_fences(text: str) -> str:
+    """Blank out fenced code blocks, preserving line numbers."""
+    out: list[str] = []
+    in_fence = False
+    for line in text.splitlines(keepends=True):
+        if FENCE_PATTERN.match(line):
+            in_fence = not in_fence
+            out.append("\n")
+        elif in_fence:
+            out.append("\n")
+        else:
+            out.append(line)
+    return "".join(out)
+
+
+def iter_links(text: str) -> "list[tuple[int, str]]":
+    """``(line_number, target)`` for every inline link target."""
+    clean = strip_fences(text)
+    links: list[tuple[int, str]] = []
+    for match in LINK_PATTERN.finditer(clean):
+        line = clean.count("\n", 0, match.start()) + 1
+        links.append((line, match.group(1)))
+    return links
+
+
+def check_file(path: Path, root: Path) -> "list[str]":
+    """Broken-link messages for one markdown file; links resolving
+    outside ``root`` are skipped as external."""
+    failures: list[str] = []
+    text = path.read_text(encoding="utf-8")
+    for line, target in iter_links(text):
+        if target.startswith(SKIP_SCHEMES) or target.startswith("#"):
+            continue
+        plain = target.split("#", 1)[0]
+        if not plain:
+            continue
+        resolved = (path.parent / plain).resolve()
+        try:
+            resolved.relative_to(root)
+        except ValueError:
+            continue  # escapes the tree (e.g. the forge CI badge)
+        if not resolved.exists():
+            try:
+                rel = path.relative_to(root)
+            except ValueError:
+                rel = path
+            failures.append(f"{rel}:{line}: broken link -> {target}")
+    return failures
+
+
+def collect(paths: "list[str]") -> "list[tuple[Path, Path]]":
+    """``(file, root)`` pairs for the arguments (default: README +
+    docs/ under the repo root)."""
+    if not paths:
+        candidates = [REPO_ROOT / "README.md"]
+        candidates += sorted((REPO_ROOT / "docs").glob("**/*.md"))
+        return [(p, REPO_ROOT) for p in candidates if p.exists()]
+    files: list[tuple[Path, Path]] = []
+    for name in paths:
+        path = Path(name).resolve()
+        if path.is_dir():
+            files += [(p, path) for p in sorted(path.glob("**/*.md"))]
+        elif path.exists():
+            files.append((path, path.parent))
+        else:
+            raise SystemExit(f"error: no such file: {name}")
+    return files
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Verify tree-relative markdown links resolve.")
+    parser.add_argument("paths", nargs="*",
+                        help="markdown files or directories "
+                             "(default: README.md + docs/)")
+    args = parser.parse_args(argv)
+    files = collect(args.paths)
+    if not files:
+        print("error: no markdown files to check", file=sys.stderr)
+        return 2
+    failures: list[str] = []
+    for path, root in files:
+        failures += check_file(path, root)
+        try:
+            shown = path.relative_to(REPO_ROOT)
+        except ValueError:
+            shown = path
+        print(f"  checked {shown}")
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print(f"link check passed ({len(files)} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

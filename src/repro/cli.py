@@ -323,6 +323,58 @@ def build_parser() -> argparse.ArgumentParser:
                             metavar="FILE",
                             help="destination JSONL file")
 
+    p = sub.add_parser(
+        "serve",
+        help="long-running admission-control service over HTTP "
+             "(run | bench)")
+    serve_sub = p.add_subparsers(dest="serve_command", required=True)
+    sp = serve_sub.add_parser(
+        "run", help="start the HTTP admission service")
+    sp.add_argument("--host", default="127.0.0.1",
+                    help="bind address (default: 127.0.0.1)")
+    sp.add_argument("--port", type=int, default=8642,
+                    help="bind port (0 picks a free one)")
+    sp.add_argument("--store", dest="cache_dir", default=None,
+                    metavar="DIR",
+                    help="snapshot store root, enabling /v1/snapshot "
+                         "and /v1/restore (default: REPRO_CACHE_DIR)")
+    sp.add_argument("--restore", action="store_true",
+                    help="rebuild tenants from the store's latest "
+                         "snapshot before serving")
+    sp.add_argument("--snapshot-on-exit", action="store_true",
+                    help="persist a final snapshot on SIGINT/SIGTERM")
+    sp.add_argument("--queue-limit", type=positive_int, default=1024,
+                    help="admit-queue bound; full queue sheds with "
+                         "HTTP 503")
+    sp.add_argument("--max-batch", type=positive_int, default=64,
+                    help="events coalesced per batcher wakeup")
+    sp.add_argument("--queue-timeout", type=float, default=2.0,
+                    help="seconds an event may wait in the queue "
+                         "before it is shed as stale")
+    sp = serve_sub.add_parser(
+        "bench",
+        help="replay multi-tenant streams against a live (or "
+             "in-process) server and report sustained events/sec")
+    sp.add_argument("--url", default=None, metavar="URL",
+                    help="bench a running server (default: start an "
+                         "in-process one)")
+    sp.add_argument("--tenants", type=positive_int, default=1,
+                    help="concurrent tenants to replay")
+    sp.add_argument("--seed", type=int, default=0,
+                    help="first tenant's stream seed")
+    sp.add_argument("--depth", type=positive_int, default=64,
+                    help="pipelined requests in flight per tenant")
+    sp.add_argument("--shards", type=positive_int, default=1,
+                    help="shards per tenant engine")
+    sp.add_argument("--verify", action="store_true",
+                    help="assert served decisions are bitwise "
+                         "identical to an offline engine run")
+    sp.add_argument("--no-overload", action="store_true",
+                    help="skip the overload/shedding phase")
+    sp.add_argument("--output", "-o", default=None, metavar="FILE",
+                    help="write BENCH_serve.json (compare_bench "
+                         "schema) to FILE")
+
     return parser
 
 
@@ -376,6 +428,55 @@ def _run_store_command(args: argparse.Namespace,
     except FileNotFoundError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
+    return 0
+
+
+def _run_serve_command(args: argparse.Namespace,
+                       parser: argparse.ArgumentParser) -> int:
+    """``repro serve run`` / ``repro serve bench``."""
+    if args.serve_command == "run":
+        import asyncio
+
+        from repro.serve.app import AdmissionService, serve_forever
+        from repro.serve.snapshot import restore_snapshot
+
+        cache_dir = _cache_dir(args)
+        store = None
+        if cache_dir:
+            from repro.store import ResultStore
+
+            store = ResultStore(cache_dir)
+        service = AdmissionService(
+            store=store, queue_limit=args.queue_limit,
+            max_batch=args.max_batch,
+            queue_timeout=args.queue_timeout)
+        if args.restore:
+            if store is None:
+                parser.error("--restore needs --store "
+                             "(or REPRO_CACHE_DIR)")
+            outcome = restore_snapshot(service.tenants, store)
+            print(f"restored snapshot {outcome['key']}: "
+                  f"{outcome['tenants']} tenants, "
+                  f"{outcome['events']} events replayed")
+
+        def ready(bound) -> None:
+            print(f"serving on http://{bound[0]}:{bound[1]} "
+                  f"(Ctrl-C stops)", flush=True)
+
+        asyncio.run(serve_forever(
+            service, args.host, args.port,
+            snapshot_on_exit=args.snapshot_on_exit, ready=ready))
+        return 0
+
+    from repro.serve.bench import format_bench_report, run_bench
+
+    report = run_bench(
+        url=args.url, tenants=args.tenants, seed=args.seed,
+        depth=args.depth, shards=args.shards, verify=args.verify,
+        overload=not args.no_overload, output=args.output)
+    print(format_bench_report(report))
+    if args.output:
+        print(f"wrote {args.output}")
     return 0
 
 
@@ -625,6 +726,8 @@ def main(argv: "list[str] | None" = None) -> int:
     args = parser.parse_args(argv)
     if args.command == "store":
         return _run_store_command(args, parser)
+    if args.command == "serve":
+        return _run_serve_command(args, parser)
     start = time.perf_counter()
     n_workers = _n_workers(args)
     exit_code = 0

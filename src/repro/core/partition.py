@@ -40,6 +40,19 @@ from repro.core.system import JobSet, MSMRSystem
 class ShardMap:
     """Assignment of every ``(stage, resource)`` pair to one shard.
 
+    The value object the shard layer routes with: build one with
+    :meth:`blocked` (contiguous, near-equal resource blocks per
+    stage) or from an explicit assignment, then ask
+    :meth:`shards_of` which shards a job's resource footprint
+    touches, :meth:`home_of` for the single shard owning most of its
+    stages (its *home*), and :meth:`route` to classify a whole job
+    set into a :class:`Routing` (touched shards, homes, cross-shard
+    flags).  A job touching exactly one shard is *shard-local*: its
+    delay bounds there are exact under the shard-restricted universe
+    (see :func:`separable`); jobs spanning shards need the
+    cross-shard reservation + certification protocol of
+    :class:`~repro.online.sharded.ShardedAdmissionEngine`.
+
     Parameters
     ----------
     system:

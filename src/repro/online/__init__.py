@@ -42,6 +42,7 @@ from repro.online.engine import (
     evaluate_online,
     online_work_item,
     run_online_scenario,
+    stream_events,
 )
 from repro.online.incremental import (
     IncrementalAnalyzer,
@@ -57,6 +58,8 @@ from repro.online.metrics import (
     OnlineMetrics,
     admitted_utilisation,
     format_online_table,
+    latency_percentiles,
+    throughput,
 )
 from repro.online.sharded import (
     ShardedAdmissionEngine,
@@ -100,9 +103,12 @@ __all__ = [
     "generate_stream",
     "incremental_admission",
     "incremental_feasibility",
+    "latency_percentiles",
     "load_stream",
     "online_work_item",
     "run_online_scenario",
     "save_stream",
     "sharded_acceptance_report",
+    "stream_events",
+    "throughput",
 ]

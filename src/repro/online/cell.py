@@ -102,6 +102,30 @@ class Reservation:
 class AdmissionCell:
     """Admission decisions over one universe: one cluster's state.
 
+    Event methods and their semantics:
+
+    * :meth:`arrival` runs the full OPDCA controller over
+      ``admitted + {uid}`` -- it may *evict* incumbents to make room;
+      evictees are parked in the FIFO retry queue (or ``escalated``
+      to the driver when the ``parkable`` hook refuses them).
+    * :meth:`departure` frees an admitted job's capacity (``free``),
+      expires a parked one (``expire``) or ignores an absent one
+      (``noop``); it never re-admits -- the driver chooses when to
+      run :meth:`retry_pass`, which re-admits parked jobs FIFO under
+      the *all-or-nothing* rule (the whole candidate set must fit;
+      retries never evict).
+    * :meth:`reserve` / :meth:`commit_reservation` are the two-phase
+      primitives of cross-shard admission: phase 1 computes a
+      no-eviction all-or-nothing decision *without touching cell
+      state* (so a coordinator may abandon it freely, e.g. when a
+      sibling shard refuses or the global certificate fails); phase 2
+      applies it, and is only valid while the admitted set still
+      equals the one the reservation was computed over.
+
+    Decisions are pure functions of the candidate set over the fixed
+    universe, memoised in incremental mode (see :meth:`decide`), so
+    an immediately committed reservation costs no re-analysis.
+
     Parameters
     ----------
     universe:

@@ -270,6 +270,7 @@ class OnlineAdmissionEngine:
         self._heaviness: "np.ndarray | None" = None
         self._accept_count = 0
         self._validation_failures: list[str] = []
+        self._event_index = 0
 
     @property
     def universe(self) -> "JobSet | None":
@@ -393,19 +394,35 @@ class OnlineAdmissionEngine:
 
     # -- driver -------------------------------------------------------
 
-    def run(self) -> OnlineRunResult:
-        """Process every event chronologically and return the result."""
+    def process(self, now: float, kind: str,
+                uid: int) -> "list[EventRecord]":
+        """Feed one timestamped event and return its event records.
+
+        The public single-event entry point (``repro.serve`` hosts
+        engines behind a long-running service through it; :meth:`run`
+        is exactly this in a loop, so a served event stream is bitwise
+        identical to a batch replay of the same events in the same
+        order).  ``kind`` is ``"arrive"`` or ``"depart"``; the caller
+        owns chronological ordering and the depart-before-arrive tie
+        rule.  Returns the :class:`~repro.online.metrics.EventRecord`
+        entries the event appended -- one for an arrival, one plus any
+        retry re-admissions for a departure.
+        """
+        if kind not in ("arrive", "depart"):
+            raise ValueError(
+                f"kind must be 'arrive' or 'depart', got {kind!r}")
+        before = len(self._metrics.records)
+        index = self._event_index
+        self._event_index += 1
+        if kind == "arrive":
+            self._on_arrival(index, now, uid)
+        else:
+            self._on_departure(index, now, uid)
+        return self._metrics.records[before:]
+
+    def result(self) -> OnlineRunResult:
+        """The run outcome over everything processed so far."""
         config = self._stream.config
-        events = []
-        for event in self._stream.events:
-            events.append((event.arrival, EVENT_ARRIVE, event.uid))
-            events.append((event.departure, EVENT_DEPART, event.uid))
-        events.sort()
-        for index, (now, kind, uid) in enumerate(events):
-            if kind == EVENT_ARRIVE:
-                self._on_arrival(index, now, uid)
-            else:
-                self._on_departure(index, now, uid)
         return OnlineRunResult(
             seed=self._stream.seed,
             stream_kind=config.kind,
@@ -417,6 +434,32 @@ class OnlineAdmissionEngine:
             final_admitted=sorted(self._cell.admitted),
             validation_failures=self._validation_failures,
             kernel=self._kernel)
+
+    def run(self) -> OnlineRunResult:
+        """Process every event chronologically and return the result."""
+        for now, kind, uid in stream_events(self._stream):
+            self.process(now,
+                         "arrive" if kind == EVENT_ARRIVE else "depart",
+                         uid)
+        return self.result()
+
+
+def stream_events(stream: OnlineStream) -> "list[tuple[float, int, int]]":
+    """Chronological ``(time, kind, uid)`` event list of a stream.
+
+    ``kind`` is :data:`EVENT_DEPART` (0) or :data:`EVENT_ARRIVE` (1),
+    so the plain tuple sort realises the depart-before-arrive tie rule.
+    This is *the* replay order of both engine drivers and of the serve
+    load generator -- anything feeding :meth:`OnlineAdmissionEngine.
+    process` directly should derive its ordering from here to stay
+    bitwise comparable with a batch run.
+    """
+    events = []
+    for event in stream.events:
+        events.append((event.arrival, EVENT_ARRIVE, event.uid))
+        events.append((event.departure, EVENT_DEPART, event.uid))
+    events.sort()
+    return events
 
 
 def run_online_scenario(spec: OnlineScenarioSpec) -> OnlineRunResult:

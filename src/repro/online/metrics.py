@@ -38,6 +38,28 @@ EVENT_KINDS = ("arrive", "depart", "retry")
 DECISIONS = ("accept", "reject", "free", "expire", "noop")
 
 
+def latency_percentiles(latencies, *, unit_scale: float = 1e3,
+                        prefix: str = "latency_") -> dict:
+    """p50/p99 of a latency sample, as ``{prefix}p50_ms``-style keys.
+
+    The shared SLO machinery of the online engines and the serve
+    layer: ``latencies`` is any sequence of per-event wall-clock
+    seconds; ``unit_scale`` converts to the reported unit (default
+    milliseconds).  An empty sample reports zeros, so callers can
+    publish metrics before the first event without special-casing.
+    """
+    values = np.asarray(list(latencies) or [0.0], dtype=float)
+    return {
+        f"{prefix}p50_ms": float(np.percentile(values, 50) * unit_scale),
+        f"{prefix}p99_ms": float(np.percentile(values, 99) * unit_scale),
+    }
+
+
+def throughput(events: int, busy_seconds: float) -> float:
+    """Events per second of wall-clock busy time (0 when idle)."""
+    return events / busy_seconds if busy_seconds > 0 else 0.0
+
+
 def admitted_utilisation(universe: JobSet, admitted: np.ndarray, *,
                          heaviness: np.ndarray | None = None) -> float:
     """System heaviness ``H`` of the admitted subset.
@@ -169,6 +191,8 @@ class OnlineMetrics:
         utilisation = np.array([r.utilisation for r in self.records]
                                or [0.0])
         busy = float(latencies.sum())
+        percentiles = latency_percentiles(
+            r.latency for r in self.records)
         return {
             "events": len(self.records),
             "arrivals": self.arrivals,
@@ -185,10 +209,9 @@ class OnlineMetrics:
             "retry_accepts": self.retry_accepts,
             "retry_drops": self.retry_drops,
             "expired": self.expired,
-            "latency_p50_ms": float(np.percentile(latencies, 50) * 1e3),
-            "latency_p99_ms": float(np.percentile(latencies, 99) * 1e3),
-            "events_per_sec": (len(self.records) / busy
-                               if busy > 0 else 0.0),
+            "latency_p50_ms": percentiles["latency_p50_ms"],
+            "latency_p99_ms": percentiles["latency_p99_ms"],
+            "events_per_sec": throughput(len(self.records), busy),
         }
 
 

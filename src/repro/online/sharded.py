@@ -106,6 +106,7 @@ from repro.online.engine import (
     OnlineAdmissionEngine,
     OnlineRunResult,
     epoch_validation_failures,
+    stream_events,
 )
 from repro.online.incremental import (
     IncrementalAnalyzer,
@@ -142,6 +143,35 @@ class _Shard:
 
 class ShardedAdmissionEngine:
     """Replay one stream through N admission cells.
+
+    Each cell owns one resource shard's restricted universe and runs
+    ordinary single-cell admission for *shard-local* jobs (exact: a
+    local job's delay bounds only involve its home shard's
+    resources).  A *cross-shard* arrival is admitted in two phases:
+    phase 1 asks every touched shard for a no-eviction
+    :meth:`~repro.online.cell.AdmissionCell.reserve` (pure, no state
+    change); if all accept, the engine *certifies* the admission by
+    re-running the all-or-nothing controller over the job's resource
+    component in the unrestricted universe -- per-shard checks alone
+    would be optimistic, while feasibility factorises exactly over
+    components -- and only then commits the reservation on every
+    shard (:meth:`~repro.online.cell.AdmissionCell.\
+commit_reservation`).  Any failure abandons the phase-1 reservations
+    unchanged and parks the job in the engine's cross-shard retry
+    queue.  A standing certified priority ordering of the admitted
+    set makes the common certificate a single delay evaluation
+    (append-at-bottom probe); the full Audsley search runs only when
+    the probe fails, with identical accept/reject outcomes.  Commits
+    of local jobs onto shards hosting cross-shard visitors re-certify
+    that component and revoke the youngest visitor while it fails.
+    See the module docstring for why each step is sound.
+
+    Feed events through :meth:`process` (the ``repro.serve`` service
+    does), or :meth:`run` to replay the whole stream; both produce
+    the same :class:`~repro.online.engine.OnlineRunResult` via
+    :meth:`result`.  With ``shards=1`` decisions are bitwise
+    identical to the monolithic
+    :class:`~repro.online.engine.OnlineAdmissionEngine`.
 
     Parameters
     ----------
@@ -251,6 +281,7 @@ class ShardedAdmissionEngine:
         self._cross_certify_rejects = 0
         self._cross_retry_accepts = 0
         self._revocations = 0
+        self._event_index = 0
 
     def _build_shard(self, shard: int, cache: "SegmentCache | None",
                      retry_limit: int, kernel: str) -> _Shard:
@@ -943,19 +974,28 @@ class ShardedAdmissionEngine:
             "per_shard": per_shard,
         }
 
-    def run(self) -> OnlineRunResult:
-        """Process every event chronologically and return the result."""
+    def process(self, now: float, kind: str,
+                uid: int) -> "list[EventRecord]":
+        """Feed one timestamped event (``"arrive"`` | ``"depart"``)
+        and return the event records it appended -- the sharded
+        counterpart of :meth:`~repro.online.engine.
+        OnlineAdmissionEngine.process`, with identical ordering
+        obligations on the caller."""
+        if kind not in ("arrive", "depart"):
+            raise ValueError(
+                f"kind must be 'arrive' or 'depart', got {kind!r}")
+        before = len(self._metrics.records)
+        index = self._event_index
+        self._event_index += 1
+        if kind == "arrive":
+            self._on_arrival(index, now, uid)
+        else:
+            self._on_departure(index, now, uid)
+        return self._metrics.records[before:]
+
+    def result(self) -> OnlineRunResult:
+        """The run outcome over everything processed so far."""
         config = self._stream.config
-        events = []
-        for event in self._stream.events:
-            events.append((event.arrival, EVENT_ARRIVE, event.uid))
-            events.append((event.departure, EVENT_DEPART, event.uid))
-        events.sort()
-        for index, (now, kind, uid) in enumerate(events):
-            if kind == EVENT_ARRIVE:
-                self._on_arrival(index, now, uid)
-            else:
-                self._on_departure(index, now, uid)
         summary = self._metrics.summary()
         summary["sharding"] = self._sharding_summary()
         return OnlineRunResult(
@@ -970,6 +1010,14 @@ class ShardedAdmissionEngine:
             validation_failures=self._validation_failures,
             shards=len(self._shards),
             kernel=self._kernel)
+
+    def run(self) -> OnlineRunResult:
+        """Process every event chronologically and return the result."""
+        for now, kind, uid in stream_events(self._stream):
+            self.process(now,
+                         "arrive" if kind == EVENT_ARRIVE else "depart",
+                         uid)
+        return self.result()
 
 
 def sharded_acceptance_report(stream: OnlineStream, *,

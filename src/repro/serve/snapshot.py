@@ -1,0 +1,126 @@
+"""Snapshot/restore of the admission service through the store.
+
+The serve layer never tries to pickle analyzer internals.  A tenant
+is a pure function of ``(scenario spec, event order)`` -- see
+:mod:`repro.serve.tenants` -- so its complete durable state is:
+
+* the JSON form of its :class:`~repro.online.engine.OnlineScenarioSpec`
+  (via :func:`~repro.serve.tenants.scenario_to_dict`), and
+* the event journal: the ``[kind, uid, time]`` triples processed so
+  far, in order.
+
+Restoring replays the journal through a freshly built tenant, which
+reproduces every decision, record and counter bit-for-bit (the
+round-trip test asserts exactly that, then continues both copies and
+asserts the continuations agree too).
+
+Snapshots live in a :class:`~repro.store.ResultStore` as
+content-addressed ``serve/snapshot`` records keyed by the payload
+hash, plus one well-known ``latest`` pointer record per store so a
+restarted server can find the newest snapshot without scanning.
+"""
+
+from __future__ import annotations
+
+from repro import __version__
+from repro.serve.tenants import (
+    ServeError,
+    Tenant,
+    TenantManager,
+    scenario_from_dict,
+    scenario_to_dict,
+)
+from repro.store import ResultStore, hash_payload
+
+#: Format tag of the snapshot payload (bump on incompatible change).
+SNAPSHOT_FORMAT = "repro-serve-snapshot"
+SNAPSHOT_VERSION = 1
+
+#: Store ``kind`` tags of snapshot records and the latest pointer.
+SNAPSHOT_KIND = "serve/snapshot"
+POINTER_KIND = "serve/snapshot-pointer"
+
+#: Well-known store key of the latest-snapshot pointer record.
+POINTER_KEY = "serve/snapshot@latest"
+
+
+def snapshot_payload(manager: TenantManager) -> dict:
+    """The JSON snapshot of every tenant the manager holds."""
+    tenants = []
+    for tenant in manager.tenants():
+        tenants.append({
+            "name": tenant.name,
+            "spec": scenario_to_dict(tenant.spec),
+            "journal": [list(entry) for entry in tenant.journal],
+        })
+    return {
+        "format": SNAPSHOT_FORMAT,
+        "version": SNAPSHOT_VERSION,
+        "repro_version": __version__,
+        "tenants": tenants,
+    }
+
+
+def save_snapshot(manager: TenantManager, store: ResultStore) -> dict:
+    """Persist a snapshot; returns ``{"key", "tenants", "events"}``.
+
+    The snapshot record is content-addressed (identical states share
+    one record), and the ``latest`` pointer is rewritten to it.
+    """
+    payload = snapshot_payload(manager)
+    key = f"serve/snapshot@{hash_payload(payload)[:16]}"
+    store.put(key, payload, kind=SNAPSHOT_KIND)
+    store.put(POINTER_KEY, {"key": key}, kind=POINTER_KIND)
+    return {
+        "key": key,
+        "tenants": len(payload["tenants"]),
+        "events": sum(len(t["journal"]) for t in payload["tenants"]),
+    }
+
+
+def load_snapshot(store: ResultStore, key: "str | None" = None) -> dict:
+    """Fetch a snapshot payload (the latest one when ``key`` is
+    omitted), validating its format tag."""
+    if key is None:
+        pointer = store.get(POINTER_KEY)
+        if pointer is None:
+            raise ServeError("the store holds no snapshot")
+        key = pointer["key"]
+    payload = store.get(key)
+    if payload is None:
+        raise ServeError(f"no snapshot record at key {key!r}")
+    if payload.get("format") != SNAPSHOT_FORMAT:
+        raise ServeError(f"record at {key!r} is not a serve snapshot")
+    if payload.get("version") != SNAPSHOT_VERSION:
+        raise ServeError(
+            f"snapshot version {payload.get('version')!r} is not "
+            f"supported (expected {SNAPSHOT_VERSION})")
+    return payload
+
+
+def restore_tenant(entry: dict) -> Tenant:
+    """Rebuild one tenant from its snapshot entry by journal replay."""
+    spec = scenario_from_dict(entry["spec"])
+    tenant = Tenant(str(entry["name"]), spec)
+    tenant.replay(entry["journal"])
+    return tenant
+
+
+def restore_snapshot(manager: TenantManager, store: ResultStore,
+                     key: "str | None" = None) -> dict:
+    """Load a snapshot and adopt every tenant it holds into the
+    manager (existing tenants with the same names are replaced);
+    returns ``{"key", "tenants", "events"}``."""
+    payload = load_snapshot(store, key)
+    if key is None:
+        key = store.get(POINTER_KEY)["key"]
+    events = 0
+    for entry in payload["tenants"]:
+        tenant = restore_tenant(entry)
+        manager.adopt(tenant)
+        events += tenant.sequence
+    return {
+        "key": key,
+        "tenants": len(payload["tenants"]),
+        "events": events,
+    }

@@ -1,0 +1,82 @@
+"""Structured per-request tracing for the admission service.
+
+Every request entering the service carries a *trace id*: either the
+client's own (an ``X-Trace-Id`` header or a ``trace_id`` body field,
+propagated verbatim) or one the service mints.  The id travels through
+the batching queue into the decision path, is stamped onto the
+response, and every hop appends a structured span to a bounded
+in-memory :class:`TraceLog` queryable over ``GET /v1/traces/{id}``.
+
+This is deliberately a ring buffer, not a durable store: traces are a
+debugging instrument for the live process, while the durable record
+of decisions is the tenant journal (:mod:`repro.serve.snapshot`).
+"""
+
+from __future__ import annotations
+
+import itertools
+import re
+from collections import OrderedDict
+
+#: Client-supplied trace ids must match this (defence against log
+#: injection / unbounded keys); longer or stranger ids are replaced.
+TRACE_ID_PATTERN = re.compile(r"^[A-Za-z0-9._:-]{1,64}$")
+
+#: Default bound on distinct traces kept (oldest evicted first).
+TRACE_LOG_CAPACITY = 1024
+
+#: Spans kept per trace (a trace is a handful of hops; runaway
+#: clients reusing one id for a whole load test stay bounded).
+SPANS_PER_TRACE = 64
+
+_counter = itertools.count(1)
+
+
+def mint_trace_id(prefix: str = "t") -> str:
+    """A fresh process-unique trace id (``t-000001``-style)."""
+    return f"{prefix}-{next(_counter):06d}"
+
+
+def coerce_trace_id(candidate) -> "tuple[str, bool]":
+    """``(trace_id, minted)``: the validated client id, or a fresh
+    one when the candidate is absent or malformed."""
+    if isinstance(candidate, str) and TRACE_ID_PATTERN.match(candidate):
+        return candidate, False
+    return mint_trace_id(), True
+
+
+class TraceLog:
+    """Bounded per-trace span log (insertion-ordered, oldest out)."""
+
+    def __init__(self, *, capacity: int = TRACE_LOG_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self._capacity = capacity
+        self._traces: "OrderedDict[str, list[dict]]" = OrderedDict()
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self._traces)
+
+    def record(self, trace_id: str, stage: str, **detail) -> None:
+        """Append one span ``{"stage", ...detail}`` to a trace."""
+        spans = self._traces.get(trace_id)
+        if spans is None:
+            while len(self._traces) >= self._capacity:
+                self._traces.popitem(last=False)
+                self.dropped += 1
+            spans = self._traces[trace_id] = []
+        if len(spans) < SPANS_PER_TRACE:
+            spans.append({"stage": stage, **detail})
+
+    def get(self, trace_id: str) -> "list[dict] | None":
+        """The spans of one trace, or ``None`` if unknown/evicted."""
+        spans = self._traces.get(trace_id)
+        return list(spans) if spans is not None else None
+
+    def stats(self) -> dict:
+        return {
+            "traces": len(self._traces),
+            "capacity": self._capacity,
+            "dropped_traces": self.dropped,
+        }

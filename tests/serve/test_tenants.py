@@ -1,0 +1,168 @@
+"""Tenant layer: spec serialisation, validation, journal replay."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.online.engine import OnlineScenarioSpec
+from repro.online.streams import StreamConfig
+from repro.serve.tenants import (
+    ServeError,
+    Tenant,
+    TenantManager,
+    scenario_from_dict,
+    scenario_to_dict,
+)
+from repro.workload.edge import EdgeWorkloadConfig
+from repro.workload.random_jobs import RandomInstanceConfig
+
+LIGHT = StreamConfig(
+    horizon=40.0, rate=0.8, dwell_scale=0.4, pool_size=6,
+    workload=RandomInstanceConfig(num_jobs=6, num_stages=2,
+                                  resources_per_stage=2))
+
+
+def spec(**overrides) -> OnlineScenarioSpec:
+    params = dict(stream=LIGHT, seed=0)
+    params.update(overrides)
+    return OnlineScenarioSpec(**params)
+
+
+class TestScenarioSerialisation:
+    def test_roundtrip_identity(self):
+        original = spec(policy="preemptive", retry_limit=4, shards=1)
+        assert scenario_from_dict(
+            scenario_to_dict(original)) == original
+
+    def test_roundtrip_edge_workload(self):
+        original = spec(stream=StreamConfig(
+            horizon=30.0, rate=0.5, pool_size=4, generator="edge",
+            workload=EdgeWorkloadConfig(num_jobs=4)))
+        assert scenario_from_dict(
+            scenario_to_dict(original)) == original
+
+    def test_roundtrip_survives_json(self):
+        import json
+
+        original = spec()
+        payload = json.loads(json.dumps(scenario_to_dict(original)))
+        assert scenario_from_dict(payload) == original
+
+    def test_unknown_fields_rejected(self):
+        payload = scenario_to_dict(spec())
+        payload["bogus"] = 1
+        with pytest.raises(ServeError, match="unknown scenario"):
+            scenario_from_dict(payload)
+
+    def test_unknown_stream_fields_rejected(self):
+        payload = scenario_to_dict(spec())
+        payload["stream"]["bogus"] = 1
+        with pytest.raises(ServeError, match="unknown stream"):
+            scenario_from_dict(payload)
+
+    def test_unknown_workload_type_rejected(self):
+        payload = scenario_to_dict(spec())
+        payload["stream"]["workload"]["type"] = "exotic"
+        with pytest.raises(ServeError, match="workload type"):
+            scenario_from_dict(payload)
+
+    def test_invalid_stream_values_map_to_serve_error(self):
+        payload = scenario_to_dict(spec())
+        payload["stream"]["rate"] = -1.0
+        with pytest.raises(ServeError):
+            scenario_from_dict(payload)
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(ServeError, match="must be an object"):
+            scenario_from_dict([1, 2])
+
+
+class TestTenant:
+    def test_process_matches_offline_run(self):
+        from repro.online.engine import (
+            EVENT_ARRIVE,
+            OnlineAdmissionEngine,
+            stream_events,
+        )
+        from repro.online.streams import generate_stream
+
+        s = spec()
+        tenant = Tenant("t", s)
+        stream = generate_stream(s.stream, seed=s.seed)
+        for now, kind, uid in stream_events(stream):
+            tenant.process(
+                "arrive" if kind == EVENT_ARRIVE else "depart",
+                uid, now)
+        offline = OnlineAdmissionEngine(
+            stream, policy=s.policy, mode=s.mode,
+            retry_limit=s.retry_limit,
+            validate_every=s.validate_every, kernel=s.kernel).run()
+        assert (tenant.result().deterministic_dict()
+                == offline.deterministic_dict())
+
+    def test_journal_replay_is_bitwise_identical(self):
+        s = spec()
+        live = Tenant("t", s)
+        from repro.online.engine import EVENT_ARRIVE, stream_events
+
+        for now, kind, uid in stream_events(live.stream):
+            live.process(
+                "arrive" if kind == EVENT_ARRIVE else "depart",
+                uid, now)
+        clone = Tenant("t", s)
+        clone.replay(live.journal)
+        assert clone.records() == live.records()
+        assert (clone.result().final_admitted
+                == live.result().final_admitted)
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ServeError, match="kind"):
+            Tenant("t", spec()).process("retire", 0, 1.0)
+
+    def test_rejects_out_of_range_uid(self):
+        tenant = Tenant("t", spec())
+        with pytest.raises(ServeError, match="uid"):
+            tenant.process("arrive", tenant.num_jobs, 1.0)
+        with pytest.raises(ServeError, match="uid"):
+            tenant.process("arrive", True, 1.0)
+
+    def test_rejects_time_regression(self):
+        tenant = Tenant("t", spec())
+        tenant.process("arrive", 0, 5.0)
+        with pytest.raises(ServeError, match="chronologically"):
+            tenant.process("arrive", 1, 4.0)
+
+    def test_status_shape(self):
+        tenant = Tenant("t", spec())
+        tenant.process("arrive", 0, 1.0)
+        status = tenant.status()
+        assert status["tenant"] == "t"
+        assert status["events"] == 1
+        assert "decision_p50_ms" in status
+        assert "decision_p99_ms" in status
+
+
+class TestTenantManager:
+    def test_create_get_delete(self):
+        manager = TenantManager()
+        manager.create("a", spec())
+        assert manager.names() == ["a"]
+        assert manager.get("a").name == "a"
+        manager.delete("a")
+        assert manager.names() == []
+
+    def test_duplicate_and_missing_names(self):
+        manager = TenantManager()
+        manager.create("a", spec())
+        with pytest.raises(ServeError, match="already exists"):
+            manager.create("a", spec())
+        with pytest.raises(ServeError, match="no tenant"):
+            manager.get("b")
+        with pytest.raises(ServeError, match="no tenant"):
+            manager.delete("b")
+
+    def test_tenant_limit(self):
+        manager = TenantManager(max_tenants=1)
+        manager.create("a", spec())
+        with pytest.raises(ServeError, match="limit"):
+            manager.create("b", spec())

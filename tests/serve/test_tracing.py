@@ -1,0 +1,57 @@
+"""Trace-id handling and the bounded span log."""
+
+from __future__ import annotations
+
+from repro.serve.tracing import (
+    SPANS_PER_TRACE,
+    TraceLog,
+    coerce_trace_id,
+    mint_trace_id,
+)
+
+
+def test_minted_ids_are_unique():
+    ids = {mint_trace_id() for _ in range(100)}
+    assert len(ids) == 100
+
+
+def test_valid_client_ids_propagate():
+    trace_id, minted = coerce_trace_id("req-42.a:b_c")
+    assert trace_id == "req-42.a:b_c"
+    assert not minted
+
+
+def test_malformed_client_ids_are_replaced():
+    for bad in (None, 17, "", "x" * 65, "bad id", "a\nb"):
+        trace_id, minted = coerce_trace_id(bad)
+        assert minted
+        assert trace_id != bad
+
+
+def test_spans_accumulate_per_trace():
+    log = TraceLog()
+    log.record("t1", "enqueued", uid=3)
+    log.record("t1", "decided", decision="accept")
+    log.record("t2", "enqueued", uid=4)
+    assert [span["stage"] for span in log.get("t1")] == [
+        "enqueued", "decided"]
+    assert log.get("t1")[1]["decision"] == "accept"
+    assert log.get("missing") is None
+
+
+def test_capacity_evicts_oldest_trace():
+    log = TraceLog(capacity=2)
+    log.record("a", "s")
+    log.record("b", "s")
+    log.record("c", "s")
+    assert log.get("a") is None
+    assert log.get("b") is not None
+    assert log.get("c") is not None
+    assert log.stats()["dropped_traces"] == 1
+
+
+def test_spans_per_trace_are_bounded():
+    log = TraceLog()
+    for index in range(SPANS_PER_TRACE + 10):
+        log.record("t", "s", index=index)
+    assert len(log.get("t")) == SPANS_PER_TRACE

@@ -1,0 +1,81 @@
+"""The docs link-checker gate (scripts/check_links.py)."""
+
+from __future__ import annotations
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+SCRIPT = Path(__file__).resolve().parents[1] / "scripts" / \
+    "check_links.py"
+_spec = importlib.util.spec_from_file_location("check_links", SCRIPT)
+check_links = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(check_links)
+
+
+def _md(tmp_path, name, text) -> Path:
+    path = tmp_path / name
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(text)
+    return path
+
+
+class TestIterLinks:
+    def test_finds_inline_links_with_lines(self):
+        text = "intro\n[a](x.md) and [b](sub/y.md)\n![img](pic.png)\n"
+        links = check_links.iter_links(text)
+        assert links == [(2, "x.md"), (2, "sub/y.md"), (3, "pic.png")]
+
+    def test_skips_fenced_code_blocks(self):
+        text = "[real](a.md)\n```\n[fake](ghost.md)\n```\n[real2](b.md)\n"
+        targets = [t for _, t in check_links.iter_links(text)]
+        assert targets == ["a.md", "b.md"]
+
+    def test_badge_image_inside_link(self):
+        text = "[![CI](badge.svg)](../../actions/workflows/ci.yml)\n"
+        targets = [t for _, t in check_links.iter_links(text)]
+        assert targets == ["badge.svg", "../../actions/workflows/ci.yml"]
+
+
+class TestCheckFile:
+    def test_resolving_links_pass(self, tmp_path):
+        _md(tmp_path, "docs/other.md", "content")
+        page = _md(tmp_path, "docs/index.md",
+                   "[ok](other.md) [up](../README.md) "
+                   "[anchor](#section) [frag](other.md#part) "
+                   "[web](https://example.org/x.md)")
+        _md(tmp_path, "README.md", "root")
+        assert check_links.check_file(page, tmp_path) == []
+
+    def test_broken_link_reported_with_line(self, tmp_path):
+        page = _md(tmp_path, "index.md", "fine\n\n[bad](missing.md)\n")
+        failures = check_links.check_file(page, tmp_path)
+        assert len(failures) == 1
+        assert "index.md:3" in failures[0]
+        assert "missing.md" in failures[0]
+
+    def test_links_escaping_tree_are_skipped(self, tmp_path):
+        page = _md(tmp_path, "index.md",
+                   "[badge](../../actions/workflows/ci.yml)")
+        assert check_links.check_file(page, tmp_path) == []
+
+
+class TestMain:
+    def test_directory_pass_and_fail(self, tmp_path, capsys):
+        _md(tmp_path, "a.md", "[b](b.md)")
+        _md(tmp_path, "b.md", "no links")
+        assert check_links.main([str(tmp_path)]) == 0
+        assert "link check passed" in capsys.readouterr().out
+
+        _md(tmp_path, "a.md", "[gone](ghost.md)")
+        assert check_links.main([str(tmp_path)]) == 1
+        assert "broken link" in capsys.readouterr().err
+
+    def test_missing_argument_file_errors(self, tmp_path):
+        with pytest.raises(SystemExit):
+            check_links.main([str(tmp_path / "nope.md")])
+
+    def test_repo_docs_are_clean(self):
+        # The default invocation CI runs: README.md + docs/*.md.
+        assert check_links.main([]) == 0

@@ -16,7 +16,7 @@ def test_top_level_all_importable():
 @pytest.mark.parametrize("module", [
     "repro.core", "repro.pairwise", "repro.solver", "repro.sim",
     "repro.workload", "repro.baselines", "repro.experiments",
-    "repro.online", "repro.store", "repro.campaign",
+    "repro.online", "repro.store", "repro.campaign", "repro.serve",
 ])
 def test_subpackage_all_importable(module):
     mod = importlib.import_module(module)
