@@ -1,0 +1,151 @@
+"""Observability overhead: the telemetry spine must stay under 5%.
+
+Every admission decision now ticks ``repro.obs`` counters (decision
+outcomes, kernel-cache hits/misses, retry-queue depth) and feeds a
+latency histogram.  This benchmark replays congested streams through
+two engines in lock-step -- one with the instrumentation live (the
+default) and one under :func:`repro.obs.null_instrumentation`, which
+flips the module-level enable flag so every ``inc``/``observe``
+returns before touching any state (the closest stdlib approximation
+of physically removing the instrumentation) -- and compares the
+decision-path seconds of the two arms.
+
+Measurement design (shared CI runners are noisy at the 10-20% level,
+far above the true sub-1% overhead being gated):
+
+* The arms are interleaved per *event*, not per run: each event is
+  processed by both engines back-to-back (alternating which arm goes
+  first), so multi-millisecond noise bursts hit both arms equally
+  instead of landing on whichever run they happen to overlap.
+* Per-event decision times are reduced with best-of across
+  ``REPEATS`` full replays.  Noise can only inflate a measurement,
+  so the per-event minimum converges on the true cost of exactly
+  that event's analysis work, and the summed minima compare the two
+  arms at matched work.
+
+Tracing stays disabled in both arms, as it is on every hot path
+unless ``--trace`` installs an exporter: span creation cost is one
+``is None`` test.
+
+Gates: the in-test assert and CI's ``obs-overhead`` step (via
+``compare_bench.py --ceiling 'overhead_pct(online)=5.0'``) both cap
+the measured overhead at 5%.  Decisions must also be bitwise
+identical between the arms -- instrumentation observes, never
+steers.
+"""
+
+from repro.experiments.config import full_scale
+from repro.obs import null_instrumentation
+from repro.online import (
+    OnlineAdmissionEngine,
+    StreamConfig,
+    generate_stream,
+)
+from repro.online.engine import EVENT_ARRIVE, stream_events
+
+#: The congested operating point of ``bench_online.py``: the admitted
+#: set is large, so per-event analysis work is realistic and the
+#: counter cost is measured against genuine decision latency.
+RATE = 1.3
+DWELL_SCALE = 2.0
+POOL_SIZE = 40
+
+#: Full event-interleaved replays; per-event best-of is used.
+REPEATS = 3
+
+#: The gate, percent.  Must match CI's ``--ceiling``.
+MAX_OVERHEAD_PCT = 5.0
+
+
+def _interleaved_replay(streams) -> dict:
+    """One lock-step replay of every stream through both arms.
+
+    Returns per-event decision seconds per arm (in replay order)
+    plus each arm's decision sequence for the equivalence check.
+    """
+    times = {"obs": [], "null": []}
+    decisions = {"obs": [], "null": []}
+    for stream in streams:
+        engines = {
+            "obs": OnlineAdmissionEngine(stream),
+            "null": OnlineAdmissionEngine(stream),
+        }
+        for index, (now, kind, uid) in enumerate(
+                stream_events(stream)):
+            verb = "arrive" if kind == EVENT_ARRIVE else "depart"
+            order = (("null", "obs") if index % 2 == 0
+                     else ("obs", "null"))
+            for arm in order:
+                engine = engines[arm]
+                before = engine.decision_seconds
+                if arm == "null":
+                    with null_instrumentation():
+                        engine.process(now, verb, uid)
+                else:
+                    engine.process(now, verb, uid)
+                times[arm].append(
+                    engine.decision_seconds - before)
+        for arm in ("obs", "null"):
+            decisions[arm].extend(
+                record.decision
+                for record in engines[arm].result().records)
+    return {"times": times, "decisions": decisions}
+
+
+def test_obs_overhead(benchmark):
+    if full_scale():
+        horizon, seeds = 140.0, 2
+    else:
+        horizon, seeds = 100.0, 2
+    streams = [
+        generate_stream(
+            StreamConfig(horizon=horizon, rate=RATE,
+                         dwell_scale=DWELL_SCALE,
+                         pool_size=POOL_SIZE),
+            seed=seed)
+        for seed in range(seeds)
+    ]
+
+    best: dict = {}
+    decisions: dict = {}
+
+    def run_all():
+        best.clear()
+        for _ in range(REPEATS):
+            replay = _interleaved_replay(streams)
+            decisions.update(replay["decisions"])
+            if not best:
+                best.update(replay["times"])
+            else:
+                for arm, samples in replay["times"].items():
+                    best[arm] = [min(previous, sample)
+                                 for previous, sample
+                                 in zip(best[arm], samples)]
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    seconds = {arm: sum(samples) for arm, samples in best.items()}
+    overhead_pct = 100.0 * (seconds["obs"] / seconds["null"] - 1.0)
+    events = len(best["obs"])
+    benchmark.extra_info["events"] = events
+    benchmark.extra_info["decision_seconds(instrumented)"] = round(
+        seconds["obs"], 4)
+    benchmark.extra_info["decision_seconds(null)"] = round(
+        seconds["null"], 4)
+    benchmark.extra_info["overhead_pct(online)"] = round(
+        overhead_pct, 2)
+    print(f"\nobservability overhead: {events} events, "
+          f"{seconds['null']:.3f}s uninstrumented vs "
+          f"{seconds['obs']:.3f}s instrumented "
+          f"({overhead_pct:+.2f}%)")
+    assert events > 0
+    # Instrumentation observes the decision path; it must never
+    # change it.
+    assert decisions["obs"] == decisions["null"], (
+        "decisions diverged between instrumented and "
+        "null-instrumented runs")
+    # The tentpole gate: the always-on telemetry spine must cost
+    # less than 5% of decision-path wall clock.
+    assert overhead_pct <= MAX_OVERHEAD_PCT, (
+        f"observability overhead regressed: {overhead_pct:.2f}% "
+        f"> {MAX_OVERHEAD_PCT:g}%")

@@ -5,7 +5,7 @@ report against a committed baseline.
 Usage::
 
     python scripts/compare_bench.py BASELINE FRESH \
-        [--tolerance 0.20] [--min-speedup 2.0]
+        [--tolerance 0.20] [--floor METRIC=X] [--ceiling METRIC=X]
 
 Both files are ``--benchmark-json`` reports; benchmarks are matched by
 name and compared on the deterministic *derived* metrics the suites
@@ -25,6 +25,11 @@ vary too much across runner hardware):
   acceptance vs the monolithic oracle -- must not drop below
   ``--tolerance`` of the baseline (deterministic, so any drift is a
   real behaviour change, not noise).
+* repeatable ``--ceiling METRIC=X`` flags enforce absolute *upper*
+  bounds over the fresh report (e.g. ``--ceiling
+  'overhead_pct(online)=5.0'`` caps the measured overhead of the
+  ``repro.obs`` telemetry spine); like ``--floor`` they apply to any
+  ``extra_info`` metric, gated prefix or not.
 
 Gated metrics that appear only in the fresh report (a brand-new
 benchmark or a newly published metric) never fail the run; they are
@@ -77,28 +82,34 @@ def gated(metric: str) -> bool:
         (RATIO_PREFIX, THROUGHPUT_PREFIX, QUALITY_PREFIX))
 
 
-def parse_floor(text: str) -> "tuple[str, float]":
-    """Split a ``--floor METRIC=X`` argument on its *last* ``=`` (the
-    metric names themselves contain ``=``, e.g.
+def parse_bound(text: str, flag: str) -> "tuple[str, float]":
+    """Split a ``--floor``/``--ceiling`` ``METRIC=X`` argument on its
+    *last* ``=`` (the metric names themselves contain ``=``, e.g.
     ``speedup(bounds)@n=100``)."""
     metric, _, value = text.rpartition("=")
     if not metric:
         raise SystemExit(
-            f"error: --floor needs METRIC=VALUE, got {text!r}")
+            f"error: {flag} needs METRIC=VALUE, got {text!r}")
     try:
         return metric, float(value)
     except ValueError:
         raise SystemExit(
-            f"error: --floor value must be a number, got {text!r}")
+            f"error: {flag} value must be a number, got {text!r}")
+
+
+def parse_floor(text: str) -> "tuple[str, float]":
+    return parse_bound(text, "--floor")
 
 
 def compare(baseline: "dict[str, dict[str, float]]",
             fresh: "dict[str, dict[str, float]]", *,
-            tolerance: float, floors: "dict[str, float]"
+            tolerance: float, floors: "dict[str, float]",
+            ceilings: "dict[str, float] | None" = None
             ) -> "tuple[list[str], list[str]]":
     """Returns ``(failures, notes)`` over every matched metric."""
     failures: list[str] = []
     notes: list[str] = []
+    ceilings = ceilings or {}
     matched = 0
     for name, base_info in sorted(baseline.items()):
         fresh_info = fresh.get(name)
@@ -131,7 +142,11 @@ def compare(baseline: "dict[str, dict[str, float]]",
                     f"consider ratcheting the committed baseline")
             print(f"  {name}/{metric}: baseline={base_value:g} "
                   f"fresh={value:g} [{verdict}]")
-    if matched == 0:
+    if matched == 0 and not floors and not ceilings:
+        # A report whose only gates are absolute bounds (e.g. the
+        # observability-overhead ceiling) legitimately matches no
+        # relative metric; with neither floors nor ceilings, though,
+        # zero matches means the gate is not protecting anything.
         failures.append(
             "no gated metrics (speedup(*)/events_per_sec(*)/"
             "acceptance_ratio(*)) matched between baseline and fresh "
@@ -164,6 +179,27 @@ def compare(baseline: "dict[str, dict[str, float]]",
             failures.append(
                 f"--floor names metric {metric!r} absent from the "
                 f"fresh report")
+    # Ceilings mirror floors: absolute upper bounds over the fresh
+    # report (e.g. 'overhead_pct(online)=5.0' caps the measured
+    # disabled-instrumentation overhead of the telemetry spine).
+    for metric, ceiling in sorted(ceilings.items()):
+        found = False
+        for name, info in sorted(fresh.items()):
+            if metric not in info:
+                continue
+            found = True
+            value = info[metric]
+            verdict = "ok" if value <= ceiling else "REGRESSION"
+            print(f"  {name}/{metric}: fresh={value:g} "
+                  f"ceiling={ceiling:g} [{verdict}]")
+            if value > ceiling:
+                failures.append(
+                    f"{name}/{metric}: {value:g} is above the "
+                    f"absolute ceiling {ceiling:g}")
+        if not found:
+            failures.append(
+                f"--ceiling names metric {metric!r} absent from the "
+                f"fresh report")
     return failures, notes
 
 
@@ -182,18 +218,26 @@ def main(argv: "list[str] | None" = None) -> int:
                         help="absolute floor for one metric, e.g. "
                              "'speedup(admission)=2.0' (repeatable; "
                              "carries the historic fixed CI gates)")
+    parser.add_argument("--ceiling", action="append", default=[],
+                        metavar="METRIC=X",
+                        help="absolute ceiling for one metric over "
+                             "the fresh report, e.g. "
+                             "'overhead_pct(online)=5.0' (repeatable)")
     args = parser.parse_args(argv)
     if not 0.0 <= args.tolerance < 1.0:
         parser.error(f"--tolerance must lie in [0, 1), got "
                      f"{args.tolerance}")
     floors = dict(parse_floor(text) for text in args.floor)
+    ceilings = dict(parse_bound(text, "--ceiling")
+                    for text in args.ceiling)
 
     print(f"comparing {args.fresh} against baseline {args.baseline} "
           f"(tolerance -{args.tolerance:.0%}"
-          + (f", floors {floors}" if floors else "") + ")")
+          + (f", floors {floors}" if floors else "")
+          + (f", ceilings {ceilings}" if ceilings else "") + ")")
     failures, notes = compare(
         load_metrics(args.baseline), load_metrics(args.fresh),
-        tolerance=args.tolerance, floors=floors)
+        tolerance=args.tolerance, floors=floors, ceilings=ceilings)
     for note in notes:
         print(f"note: {note}")
     if failures:

@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable
 
+from repro import obs
 from repro.campaign.spec import (
     CampaignSpec,
     ExpandedScenario,
@@ -137,7 +138,13 @@ class CampaignRunner:
                 f"scenarios done ({kind})")
 
     def run(self) -> CampaignResult:
-        """Evaluate every scenario, chunk by chunk, in grid order."""
+        """Evaluate every scenario, chunk by chunk, in grid order.
+
+        Each checkpointed chunk runs inside a ``campaign.chunk``
+        span (child of one ``campaign.run`` root), so a traced
+        campaign shows exactly where the wall-clock went and which
+        chunks were served from the store.
+        """
         batch = [s for s in self.scenarios if s.kind == "batch"]
         online = [s for s in self.scenarios if s.kind == "online"]
         total = len(self.scenarios)
@@ -145,24 +152,30 @@ class CampaignRunner:
             spec=self.spec,
             manifest=manifest(self.spec, scenarios=self.scenarios))
         done = 0
-        for chunk in _chunks(batch, self.chunk_scenarios):
-            outcomes: list[CaseResult] = evaluate_scenarios(
-                [s.spec for s in chunk], n_workers=self.n_workers,
-                store=self.store)
-            result.batch.extend(
-                (scenario.point, outcome)
-                for scenario, outcome in zip(chunk, outcomes))
-            done += len(chunk)
-            self._emit(done, total, "batch")
-        for chunk in _chunks(online, self.chunk_scenarios):
-            outcomes: list[OnlineRunResult] = evaluate_online(
-                [s.spec for s in chunk], n_workers=self.n_workers,
-                store=self.store)
-            result.online.extend(
-                (scenario.point, outcome)
-                for scenario, outcome in zip(chunk, outcomes))
-            done += len(chunk)
-            self._emit(done, total, "online")
+        with obs.span("campaign.run", campaign=self.spec.name,
+                      scenarios=total, workers=self.n_workers):
+            for chunk in _chunks(batch, self.chunk_scenarios):
+                with obs.span("campaign.chunk", kind="batch",
+                              scenarios=len(chunk), offset=done):
+                    outcomes: list[CaseResult] = evaluate_scenarios(
+                        [s.spec for s in chunk],
+                        n_workers=self.n_workers, store=self.store)
+                result.batch.extend(
+                    (scenario.point, outcome)
+                    for scenario, outcome in zip(chunk, outcomes))
+                done += len(chunk)
+                self._emit(done, total, "batch")
+            for chunk in _chunks(online, self.chunk_scenarios):
+                with obs.span("campaign.chunk", kind="online",
+                              scenarios=len(chunk), offset=done):
+                    outcomes: list[OnlineRunResult] = evaluate_online(
+                        [s.spec for s in chunk],
+                        n_workers=self.n_workers, store=self.store)
+                result.online.extend(
+                    (scenario.point, outcome)
+                    for scenario, outcome in zip(chunk, outcomes))
+                done += len(chunk)
+                self._emit(done, total, "online")
         return result
 
 

@@ -11,6 +11,8 @@ ablations as plain-text tables, e.g.::
     python -m repro online --stream poisson --horizon 200 --cases 4
     python -m repro campaign run examples/campaigns/demo.json --jobs 8
     python -m repro store stats --cache-dir .cache
+    python -m repro online --horizon 50 --trace trace.jsonl
+    python -m repro obs report trace.jsonl
 
 ``online`` leaves the one-shot world of the figures: it streams
 timestamped job arrivals/departures through the admission engine of
@@ -121,6 +123,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="disable the result store even when "
                             "--cache-dir or REPRO_CACHE_DIR is set")
 
+    def add_trace_option(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--trace", default=None, metavar="FILE",
+                       help="write a JSONL span trace of the run to "
+                            "FILE (render it with `repro obs report "
+                            "FILE`); traced runs are forced serial "
+                            "because spans do not cross the worker-"
+                            "process boundary")
+
     def add_common(p: argparse.ArgumentParser) -> None:
         p.add_argument("--cases", type=positive_int, default=None,
                        help="test cases per sweep point "
@@ -203,6 +213,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "(vectorised pairwise-contribution cache, the "
                         "default) or 'reference' (broadcast path); "
                         "decisions are bitwise identical")
+    add_trace_option(p)
 
     p = sub.add_parser(
         "online",
@@ -264,6 +275,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--series", action="store_true",
                    help="also print the per-event time series of the "
                         "first stream")
+    add_trace_option(p)
     add_cache_options(p)
 
     p = sub.add_parser(
@@ -306,6 +318,22 @@ def build_parser() -> argparse.ArgumentParser:
                                  "are bitwise identical; note the "
                                  "override changes the campaign hash "
                                  "and store keys)")
+            add_trace_option(cp)
+
+    p = sub.add_parser(
+        "obs",
+        help="observability tooling: render --trace files "
+             "(see docs/observability.md)")
+    obs_sub = p.add_subparsers(dest="obs_command", required=True)
+    op = obs_sub.add_parser(
+        "report",
+        help="render the span tree and top-self-time table of a "
+             "JSONL trace file written by --trace")
+    op.add_argument("trace_file", metavar="FILE",
+                    help="JSONL span trace (one span object per line)")
+    op.add_argument("--top", type=positive_int, default=10,
+                    help="rows in the top-self-time table "
+                         "(default: 10)")
 
     p = sub.add_parser("store",
                        help="inspect/manage a result store "
@@ -480,6 +508,57 @@ def _run_serve_command(args: argparse.Namespace,
     return 0
 
 
+def _run_obs_command(args: argparse.Namespace,
+                     parser: argparse.ArgumentParser) -> int:
+    """``repro obs report``: render a ``--trace`` JSONL file."""
+    from repro.obs import load_spans, render_report
+
+    try:
+        spans = load_spans(args.trace_file)
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except ValueError as error:
+        print(f"error: {args.trace_file} is not a JSONL trace file: "
+              f"{error}", file=sys.stderr)
+        return 1
+    print(render_report(spans, top=args.top), end="")
+    return 0
+
+
+def _configure_trace(args: argparse.Namespace):
+    """Install a JSONL span exporter when ``--trace FILE`` is given.
+
+    Returns the exporter (or ``None``).  Spans are process-local --
+    they cannot cross the ``ProcessPoolExecutor`` boundary -- so a
+    traced run is forced serial rather than silently producing a
+    trace with the worker-side spans missing.
+    """
+    path = getattr(args, "trace", None)
+    if not path:
+        return None
+    from repro import obs
+
+    if getattr(args, "jobs", None) not in (None, 1):
+        print(f"[trace] spans do not cross the worker-process "
+              f"boundary; forcing --jobs 1 (was {args.jobs})")
+        args.jobs = 1
+    exporter = obs.JsonlSpanExporter(path)
+    obs.configure_exporter(exporter)
+    return exporter
+
+
+def _finish_trace(exporter) -> None:
+    if exporter is None:
+        return
+    from repro import obs
+
+    obs.reset_tracing()
+    print(f"[trace] {exporter.exported} spans written to "
+          f"{exporter.path} (render with `repro obs report "
+          f"{exporter.path}`)")
+
+
 def _seed0(args: argparse.Namespace) -> int:
     """Resolved ``--seed0`` (``None`` sentinel means the default 0)."""
     seed0 = getattr(args, "seed0", None)
@@ -498,6 +577,8 @@ def _run_opdca_command(args: argparse.Namespace,
         RandomInstanceConfig,
         random_jobset,
     )
+
+    from repro import obs
 
     try:
         equation = resolve_equation(args.policy)
@@ -525,7 +606,17 @@ def _run_opdca_command(args: argparse.Namespace,
         analyzer = DelayAnalyzer(jobset, kernel=args.kernel)
         test = SDCA(jobset, args.policy, analyzer=analyzer)
         start = time.perf_counter()
-        result = opdca_admission(jobset, args.policy, test=test)
+        with obs.span("opdca.case", seed=seed, jobs=jobset.num_jobs,
+                      policy=args.policy,
+                      kernel=args.kernel) as case_span:
+            result = opdca_admission(jobset, args.policy, test=test)
+            cache = analyzer.cache_stats()
+            case_span.update_attributes({
+                "accepted": result.num_accepted,
+                "rejected": result.num_rejected,
+                "kernel_cache_hits": sum(cache["hits"].values()),
+                "kernel_cache_misses": sum(cache["misses"].values()),
+            })
         elapsed = time.perf_counter() - start
         ratio = result.num_accepted / jobset.num_jobs
         total_accepted += result.num_accepted
@@ -728,7 +819,10 @@ def main(argv: "list[str] | None" = None) -> int:
         return _run_store_command(args, parser)
     if args.command == "serve":
         return _run_serve_command(args, parser)
+    if args.command == "obs":
+        return _run_obs_command(args, parser)
     start = time.perf_counter()
+    exporter = _configure_trace(args)
     n_workers = _n_workers(args)
     exit_code = 0
     if args.command == "scalability":
@@ -820,6 +914,7 @@ def main(argv: "list[str] | None" = None) -> int:
     else:  # pragma: no cover - argparse guards this
         return 1
 
+    _finish_trace(exporter)
     if store is not None:
         print()
         print(format_cache_summary(store))

@@ -244,6 +244,12 @@ class DelayAnalyzer:
         self._blocking_memo: dict[tuple, np.ndarray] = {}
         #: Lazily built per-pair removal caps (see :meth:`removal_caps`).
         self._removal_caps: np.ndarray | None = None
+        #: Per-memo hit/miss tallies (see :meth:`cache_stats`); plain
+        #: dict increments so the hot-path cost stays sub-microsecond.
+        self._cache_hits = {"masks": 0, "bounds": 0, "batches": 0,
+                            "blocking": 0, "contrib": 0}
+        self._cache_misses = {"masks": 0, "bounds": 0, "batches": 0,
+                              "blocking": 0, "contrib": 0}
 
     @property
     def jobset(self) -> JobSet:
@@ -357,6 +363,20 @@ class DelayAnalyzer:
                 "batches": len(self._batch_memo),
                 "blocking": len(self._blocking_memo)}
 
+    def cache_stats(self) -> dict:
+        """Hit/miss tallies per memo plus current sizes.
+
+        ``hits``/``misses`` count lookups since construction;
+        ``sizes`` is :meth:`memo_sizes` plus the contribution-matrix
+        count.  The online engines aggregate these into the
+        ``repro.obs`` registry and trace spans.
+        """
+        sizes = self.memo_sizes()
+        sizes["contrib"] = len(self._contrib_memo)
+        return {"hits": dict(self._cache_hits),
+                "misses": dict(self._cache_misses),
+                "sizes": sizes}
+
     def _interference_base(self, i: int,
                            active: np.ndarray | None) -> np.ndarray:
         """Memoised mask of every job that could interfere with ``J_i``:
@@ -369,7 +389,10 @@ class DelayAnalyzer:
         """
         key = (i, self._active_key(active))
         base = self._mask_memo.get(key)
-        if base is None:
+        if base is not None:
+            self._cache_hits["masks"] += 1
+        else:
+            self._cache_misses["masks"] += 1
             if self._window_filter:
                 base = self._jobset.overlaps[i].copy()
             else:
@@ -616,9 +639,11 @@ class DelayAnalyzer:
                l_mask.tobytes() if lower_aware else None,
                self._active_key(active))
         try:
-            return self._bound_memo[key]
+            value = self._bound_memo[key]
+            self._cache_hits["bounds"] += 1
+            return value
         except KeyError:
-            pass
+            self._cache_misses["bounds"] += 1
         if equation == "eq2":
             value = self.eq2(i, h_mask, l_mask, active=active)
         elif equation == "eq4":
@@ -951,7 +976,9 @@ class DelayAnalyzer:
         once per analyzer; pure functions of the job set)."""
         contrib = self._contrib_memo.get(equation)
         if contrib is not None:
+            self._cache_hits["contrib"] += 1
             return contrib
+        self._cache_misses["contrib"] += 1
         cache = self._cache
         base = self._jobset.overlaps & ~self._eye
         extra = None
@@ -1169,7 +1196,10 @@ class DelayAnalyzer:
         every level after the first reads it back for free."""
         key = ("eq5", self._active_key(active))
         blocking = self._blocking_memo.get(key)
-        if blocking is None:
+        if blocking is not None:
+            self._cache_hits["blocking"] += 1
+        else:
+            self._cache_misses["blocking"] += 1
             everyone = (np.ones(self._n, dtype=bool) if active is None
                         else active)
             blocking = self._paired_stage_sum(
@@ -1301,7 +1331,9 @@ class DelayAnalyzer:
         key = (equation, x.tobytes(), self._active_key(active))
         cached = self._batch_memo.get(key)
         if cached is not None:
+            self._cache_hits["batches"] += 1
             return cached.copy()
+        self._cache_misses["batches"] += 1
         delays = self.delay_bounds_all(
             x.T, x, equation=equation, active=active)
         _evict_to_limit(self._batch_memo, _BATCH_MEMO_LIMIT)

@@ -43,6 +43,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Sequence
 
+from repro import obs
 from repro.experiments.runner import APPROACHES, CaseResult, evaluate_case
 from repro.workload.edge import EdgeWorkloadConfig, generate_edge_case
 from repro.workload.pipeline import (
@@ -167,26 +168,35 @@ def evaluate_scenarios(specs: Iterable[ScenarioSpec], *,
     """
     specs = list(specs)
     if store is None:
-        return list(_run_incremental(run_scenario, specs,
-                                     n_workers=n_workers,
-                                     chunksize=chunksize))
+        with obs.span("sweep.evaluate_scenarios", items=len(specs),
+                      workers=n_workers):
+            return list(_run_incremental(run_scenario, specs,
+                                         n_workers=n_workers,
+                                         chunksize=chunksize))
 
     from repro.store import spec_hash
 
-    keys = [spec_hash(spec, salt=store.salt) for spec in specs]
-    results: "list[CaseResult | None]" = [None] * len(specs)
-    missing: list[int] = []
-    for index, key in enumerate(keys):
-        payload = store.get(key)
-        if payload is None:
-            missing.append(index)
-        else:
-            results[index] = CaseResult.from_dict(payload)
-    fresh = _run_incremental(run_scenario, [specs[i] for i in missing],
-                             n_workers=n_workers, chunksize=chunksize)
-    for index, result in zip(missing, fresh):
-        store.put(keys[index], result.to_dict(), kind="case")
-        results[index] = result
+    with obs.span("sweep.evaluate_scenarios", items=len(specs),
+                  workers=n_workers) as sweep:
+        keys = [spec_hash(spec, salt=store.salt) for spec in specs]
+        results: "list[CaseResult | None]" = [None] * len(specs)
+        missing: list[int] = []
+        for index, key in enumerate(keys):
+            payload = store.get(key)
+            if payload is None:
+                missing.append(index)
+            else:
+                results[index] = CaseResult.from_dict(payload)
+        sweep.update_attributes({
+            "cached": len(specs) - len(missing),
+            "fresh": len(missing)})
+        fresh = _run_incremental(run_scenario,
+                                 [specs[i] for i in missing],
+                                 n_workers=n_workers,
+                                 chunksize=chunksize)
+        for index, result in zip(missing, fresh):
+            store.put(keys[index], result.to_dict(), kind="case")
+            results[index] = result
     return results
 
 
@@ -221,29 +231,38 @@ def parallel_map(fn: Callable, argtuples: Sequence[tuple], *,
     argtuples = [tuple(args) for args in argtuples]
     if store is None or key is None:
         payloads = [(fn, args) for args in argtuples]
-        return list(_run_incremental(_star_call, payloads,
-                                     n_workers=n_workers,
-                                     chunksize=chunksize))
+        with obs.span("sweep.parallel_map", items=len(argtuples),
+                      workers=n_workers):
+            return list(_run_incremental(_star_call, payloads,
+                                         n_workers=n_workers,
+                                         chunksize=chunksize))
 
     from repro.core.serialize import to_jsonable
     from repro.store import call_hash
 
-    keys = [call_hash(key, args, salt=store.salt) for args in argtuples]
-    results: list = [None] * len(argtuples)
-    missing: list[int] = []
-    for index, item_key in enumerate(keys):
-        payload = store.get(item_key)
-        if payload is None:
-            missing.append(index)
-        else:
-            results[index] = payload["value"]
-    fresh = _run_incremental(_star_call,
-                             [(fn, argtuples[i]) for i in missing],
-                             n_workers=n_workers, chunksize=chunksize)
-    for index, result in zip(missing, fresh):
-        # Normalise through the JSON reduction so cold-with-store and
-        # warm-with-store runs hand back identical shapes.
-        value = to_jsonable(result)
-        store.put(keys[index], {"value": value}, kind="call")
-        results[index] = value
+    with obs.span("sweep.parallel_map", items=len(argtuples),
+                  workers=n_workers, key=key) as sweep:
+        keys = [call_hash(key, args, salt=store.salt)
+                for args in argtuples]
+        results: list = [None] * len(argtuples)
+        missing: list[int] = []
+        for index, item_key in enumerate(keys):
+            payload = store.get(item_key)
+            if payload is None:
+                missing.append(index)
+            else:
+                results[index] = payload["value"]
+        sweep.update_attributes({
+            "cached": len(argtuples) - len(missing),
+            "fresh": len(missing)})
+        fresh = _run_incremental(_star_call,
+                                 [(fn, argtuples[i]) for i in missing],
+                                 n_workers=n_workers,
+                                 chunksize=chunksize)
+        for index, result in zip(missing, fresh):
+            # Normalise through the JSON reduction so cold-with-store
+            # and warm-with-store runs hand back identical shapes.
+            value = to_jsonable(result)
+            store.put(keys[index], {"value": value}, kind="call")
+            results[index] = value
     return results

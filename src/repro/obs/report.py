@@ -1,0 +1,135 @@
+"""Render a JSONL trace file: span tree + self-time profile.
+
+``repro obs report FILE`` loads the spans written by a
+``JsonlSpanExporter`` and prints, per trace, an indented span tree
+with durations and attributes, followed by a top-N table ranked by
+*self* time (span duration minus the duration of its children) —
+the span-level analogue of a profiler's exclusive-time column.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from .tracing import iter_trace_file
+
+__all__ = ["load_spans", "render_report"]
+
+_ATTRS_SHOWN = 6
+
+
+def load_spans(path: str) -> List[Dict[str, Any]]:
+    return list(iter_trace_file(path))
+
+
+def _format_attrs(attrs: Dict[str, Any]) -> str:
+    if not attrs:
+        return ""
+    shown = []
+    for key in sorted(attrs):
+        if key == "profile":
+            shown.append("profile=<attached>")
+            continue
+        value = attrs[key]
+        if isinstance(value, float):
+            value = f"{value:.6g}"
+        shown.append(f"{key}={value}")
+        if len(shown) >= _ATTRS_SHOWN:
+            break
+    extra = len(attrs) - len(shown)
+    if extra > 0:
+        shown.append(f"+{extra} more")
+    return "  [" + " ".join(shown) + "]"
+
+
+def _self_times(
+    spans: List[Dict[str, Any]],
+) -> Dict[str, float]:
+    child_total: Dict[str, float] = {}
+    for span in spans:
+        parent = span.get("parent_id")
+        if parent:
+            child_total[parent] = (
+                child_total.get(parent, 0.0)
+                + float(span.get("duration", 0.0))
+            )
+    return {
+        span["span_id"]: max(
+            0.0,
+            float(span.get("duration", 0.0))
+            - child_total.get(span["span_id"], 0.0),
+        )
+        for span in spans
+    }
+
+
+def _render_tree(
+    span: Dict[str, Any],
+    children: Dict[str, List[Dict[str, Any]]],
+    depth: int,
+    lines: List[str],
+) -> None:
+    duration_ms = float(span.get("duration", 0.0)) * 1e3
+    indent = "  " * depth
+    lines.append(
+        f"{indent}{span['name']}  {duration_ms:.3f} ms"
+        f"{_format_attrs(span.get('attrs') or {})}"
+    )
+    for child in children.get(span["span_id"], []):
+        _render_tree(child, children, depth + 1, lines)
+
+
+def render_report(
+    spans: List[Dict[str, Any]], top: int = 10
+) -> str:
+    """Return the textual report for a list of span dicts."""
+    if not spans:
+        return "no spans in trace file\n"
+    by_trace: Dict[str, List[Dict[str, Any]]] = {}
+    for span in spans:
+        by_trace.setdefault(span["trace_id"], []).append(span)
+
+    lines: List[str] = []
+    for trace_id in sorted(by_trace):
+        trace_spans = sorted(
+            by_trace[trace_id],
+            key=lambda s: float(s.get("start", 0.0)),
+        )
+        ids = {span["span_id"] for span in trace_spans}
+        children: Dict[str, List[Dict[str, Any]]] = {}
+        roots: List[Dict[str, Any]] = []
+        for span in trace_spans:
+            parent = span.get("parent_id")
+            if parent and parent in ids:
+                children.setdefault(parent, []).append(span)
+            else:
+                roots.append(span)
+        lines.append(f"trace {trace_id}")
+        for root in roots:
+            _render_tree(root, children, 1, lines)
+        lines.append("")
+
+    self_time = _self_times(spans)
+    ranked = sorted(
+        spans,
+        key=lambda s: self_time.get(s["span_id"], 0.0),
+        reverse=True,
+    )[:top]
+    lines.append(f"top {min(top, len(spans))} spans by self time")
+    width = max(len(span["name"]) for span in ranked)
+    for span in ranked:
+        self_ms = self_time.get(span["span_id"], 0.0) * 1e3
+        total_ms = float(span.get("duration", 0.0)) * 1e3
+        lines.append(
+            f"  {span['name']:<{width}}  "
+            f"self {self_ms:9.3f} ms  "
+            f"total {total_ms:9.3f} ms"
+        )
+    for span in spans:
+        profile = (span.get("attrs") or {}).get("profile")
+        if profile:
+            lines.append("")
+            lines.append(f"profile for {span['name']}")
+            for row in profile:
+                lines.append(f"  {row}")
+    return "\n".join(lines) + "\n"

@@ -29,6 +29,7 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Iterator, Mapping
 
+from repro import obs
 from repro.core.admission import AdmissionResult
 from repro.core.schedulability import Policy
 from repro.core.system import JobSet
@@ -47,6 +48,40 @@ DECISION_MEMO_LIMIT = 256
 #: :data:`repro.core.dca.KERNELS`; validated here so the CLI knob
 #: fails fast at engine construction, not deep in the analyzer).
 CELL_KERNELS = ("paired", "reference")
+
+#: Cell event outcomes counted in the ``repro.obs`` registry.
+CELL_DECISIONS = ("accept", "reject", "free", "expire", "noop")
+
+
+def _cell_instruments():
+    """Registry instruments shared by every cell in the process.
+
+    Resolved per cell construction (never per event) so a registry
+    ``reset()`` in a test re-registers them; the labelled children
+    are pre-resolved into a plain dict to keep the per-event cost at
+    one dict lookup plus one guarded increment.
+    """
+    registry = obs.get_registry()
+    decisions = registry.counter(
+        "repro_admission_decisions_total",
+        "Cell event outcomes by decision kind.",
+        labelnames=("decision",))
+    return {
+        "decisions": {kind: decisions.labels(decision=kind)
+                      for kind in CELL_DECISIONS},
+        "retry_depth": registry.gauge(
+            "repro_admission_retry_depth",
+            "Jobs currently parked in retry queues, process-wide."),
+        "latency": registry.histogram(
+            "repro_decision_seconds",
+            "Admission decision latency (controller + analysis)."),
+        "cache_hits": registry.counter(
+            "repro_kernel_cache_hits_total",
+            "DelayAnalyzer memo hits inside admission decisions."),
+        "cache_misses": registry.counter(
+            "repro_kernel_cache_misses_total",
+            "DelayAnalyzer memo misses inside admission decisions."),
+    }
 
 
 @dataclass(frozen=True)
@@ -198,6 +233,13 @@ class AdmissionCell:
         #: speedup gates compare.
         self.decision_seconds = 0.0
         self.decision_count = 0
+        #: Decision-memo and kernel-memo telemetry (see
+        #: :meth:`obs_stats`).
+        self.memo_hits = 0
+        self.memo_misses = 0
+        self.kernel_cache = {"hits": 0, "misses": 0}
+        self.outcome_counts = {kind: 0 for kind in CELL_DECISIONS}
+        self._obs = _cell_instruments()
 
     # -- read-only state ----------------------------------------------
 
@@ -255,13 +297,22 @@ class AdmissionCell:
             key = (all_or_nothing, tuple(candidate))
             if self._decision_memo is not None and \
                     key in self._decision_memo:
+                self.memo_hits += 1
                 return self._decision_memo[key]
+            self.memo_misses += 1
             analysis = self._analysis(candidate)
             if all_or_nothing:
                 result = admit_all_or_nothing(analysis,
                                               mode=self._mode)
             else:
                 result = admit(analysis, mode=self._mode)
+            stats = analysis.test.analyzer.cache_stats()
+            hits = sum(stats["hits"].values())
+            misses = sum(stats["misses"].values())
+            self.kernel_cache["hits"] += hits
+            self.kernel_cache["misses"] += misses
+            self._obs["cache_hits"].inc(hits)
+            self._obs["cache_misses"].inc(misses)
             if self._decision_memo is not None:
                 if len(self._decision_memo) >= DECISION_MEMO_LIMIT:
                     self._decision_memo.pop(
@@ -269,8 +320,10 @@ class AdmissionCell:
                 self._decision_memo[key] = result
             return result
         finally:
-            self.decision_seconds += time.perf_counter() - start
+            elapsed = time.perf_counter() - start
+            self.decision_seconds += elapsed
             self.decision_count += 1
+            self._obs["latency"].observe(elapsed)
 
     def _commit(self, candidate: "list[int]",
                 result: AdmissionResult) -> "tuple[list[int], int]":
@@ -300,7 +353,29 @@ class AdmissionCell:
         if len(self._retry) > self._retry_limit:
             self._retry.pop(0)
             return 1, False
+        self._obs["retry_depth"].inc()
         return 0, False
+
+    def _count(self, decision: str) -> None:
+        """Tally one event outcome (cell-local + registry)."""
+        self.outcome_counts[decision] += 1
+        self._obs["decisions"][decision].inc()
+
+    def obs_stats(self) -> dict:
+        """Telemetry snapshot for spans and engine summaries."""
+        stats = {
+            "decisions": self.decision_count,
+            "memo_hits": self.memo_hits,
+            "memo_misses": self.memo_misses,
+            "kernel_cache_hits": self.kernel_cache["hits"],
+            "kernel_cache_misses": self.kernel_cache["misses"],
+            "retry_depth": len(self._retry),
+            "outcomes": dict(self.outcome_counts),
+        }
+        if self._inc is not None:
+            sizes = self._inc.analyzer.memo_sizes()
+            stats["universe_memo_sizes"] = sizes
+        return stats
 
     # -- event methods ------------------------------------------------
 
@@ -325,8 +400,10 @@ class AdmissionCell:
             drops += dropped
             if up:
                 escalated.append(uid)
+        decision = "accept" if accepted else "reject"
+        self._count(decision)
         return CellEvent(
-            decision="accept" if accepted else "reject", uid=uid,
+            decision=decision, uid=uid,
             evicted=tuple(evicted), flips=flips, retry_drops=drops,
             candidate=tuple(candidate), result=result,
             escalated=tuple(escalated),
@@ -341,12 +418,16 @@ class AdmissionCell:
             self._ranks.pop(uid, None)
             if self._inc is not None:
                 self._inc.depart(uid)
+            self._count("free")
             return CellEvent(decision="free", uid=uid,
                              seconds=time.perf_counter() - start)
         if uid in self._retry:
             self._retry.remove(uid)
+            self._obs["retry_depth"].dec()
+            self._count("expire")
             return CellEvent(decision="expire", uid=uid,
                              seconds=time.perf_counter() - start)
+        self._count("noop")
         return CellEvent(decision="noop", uid=uid,
                          seconds=time.perf_counter() - start)
 
@@ -367,6 +448,7 @@ class AdmissionCell:
             candidate = sorted(self._admitted | {uid})
             result = self.decide(candidate, all_or_nothing=True)
             if result is None:
+                self._count("reject")
                 yield CellEvent(
                     decision="reject", uid=uid,
                     candidate=tuple(candidate), result=None,
@@ -374,6 +456,8 @@ class AdmissionCell:
                 continue
             _evicted, flips = self._commit(candidate, result)
             self._retry.remove(uid)
+            self._obs["retry_depth"].dec()
+            self._count("accept")
             yield CellEvent(
                 decision="accept", uid=uid, flips=flips,
                 candidate=tuple(candidate), result=result,
@@ -435,5 +519,6 @@ class AdmissionCell:
         accounting); returns whether it was parked."""
         if uid in self._retry:
             self._retry.remove(uid)
+            self._obs["retry_depth"].dec()
             return True
         return False

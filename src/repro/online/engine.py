@@ -51,6 +51,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.core.admission import AdmissionResult, ordering_of_accepted
 from repro.core.schedulability import Policy, resolve_equation
 from repro.core.system import JobSet
@@ -463,24 +464,63 @@ def stream_events(stream: OnlineStream) -> "list[tuple[float, int, int]]":
 
 
 def run_online_scenario(spec: OnlineScenarioSpec) -> OnlineRunResult:
-    """Materialise and replay one scenario (worker entry point)."""
-    stream = generate_stream(spec.stream, seed=spec.seed)
+    """Materialise and replay one scenario (worker entry point).
+
+    When a trace exporter is configured (``--trace``), the run emits
+    a ``online.scenario`` span tree: one child per stage, with
+    kernel-cache and (sharded) certificate counters attached as
+    attributes on completion.  Telemetry never feeds back into any
+    decision, so traced and untraced runs are bitwise identical.
+    """
     shards = int(getattr(spec, "shards", 1))
     kernel = str(getattr(spec, "kernel", "paired"))
-    if shards > 1:
-        from repro.online.sharded import ShardedAdmissionEngine
+    with obs.span("online.scenario", seed=spec.seed,
+                  stream=spec.stream.kind, policy=spec.policy,
+                  mode=spec.mode, shards=shards,
+                  kernel=kernel) as scenario:
+        with obs.span("online.stream.generate") as stage:
+            stream = generate_stream(spec.stream, seed=spec.seed)
+            stage.set_attribute("jobs", len(stream.events))
+        if shards > 1:
+            from repro.online.sharded import ShardedAdmissionEngine
 
-        engine = ShardedAdmissionEngine(
-            stream, shards=shards, policy=spec.policy,
-            mode=spec.mode, retry_limit=spec.retry_limit,
-            validate_every=spec.validate_every, kernel=kernel)
-        result = engine.run()
-    else:
-        mono = OnlineAdmissionEngine(
-            stream, policy=spec.policy, mode=spec.mode,
-            retry_limit=spec.retry_limit,
-            validate_every=spec.validate_every, kernel=kernel)
-        result = mono.run()
+            engine = ShardedAdmissionEngine(
+                stream, shards=shards, policy=spec.policy,
+                mode=spec.mode, retry_limit=spec.retry_limit,
+                validate_every=spec.validate_every, kernel=kernel)
+            with obs.span("online.engine.run",
+                          engine="sharded") as stage:
+                with obs.maybe_profile(stage):
+                    result = engine.run()
+            sharding = result.summary.get("sharding")
+            if isinstance(sharding, dict):
+                scenario.update_attributes({
+                    key: sharding[key]
+                    for key in ("global_certifies", "quick_certifies",
+                                "revocations", "cross_certify_rejects")
+                    if key in sharding})
+        else:
+            mono = OnlineAdmissionEngine(
+                stream, policy=spec.policy, mode=spec.mode,
+                retry_limit=spec.retry_limit,
+                validate_every=spec.validate_every, kernel=kernel)
+            with obs.span("online.engine.run",
+                          engine="mono") as stage:
+                with obs.maybe_profile(stage):
+                    result = mono.run()
+            cell_stats = mono.cell.obs_stats()
+            scenario.update_attributes({
+                "decisions": cell_stats["decisions"],
+                "memo_hits": cell_stats["memo_hits"],
+                "memo_misses": cell_stats["memo_misses"],
+                "kernel_cache_hits":
+                    cell_stats["kernel_cache_hits"],
+                "kernel_cache_misses":
+                    cell_stats["kernel_cache_misses"],
+            })
+        scenario.set_attribute(
+            "acceptance_ratio",
+            result.summary.get("acceptance_ratio"))
     result.shards = shards
     result.kernel = kernel
     return result

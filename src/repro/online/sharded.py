@@ -88,6 +88,7 @@ from typing import Iterable
 
 import numpy as np
 
+from repro import obs
 from repro.core.admission import AdmissionResult
 from repro.core.partition import Routing, ShardMap
 from repro.core.schedulability import (
@@ -282,6 +283,25 @@ commit_reservation`).  Any failure abandons the phase-1 reservations
         self._cross_retry_accepts = 0
         self._revocations = 0
         self._event_index = 0
+        #: Registry counters mirroring the certificate tallies above
+        #: (pre-resolved children: per-event cost is one guarded
+        #: increment; see ``repro.obs``).
+        registry = obs.get_registry()
+        certificates = registry.counter(
+            "repro_certificates_total",
+            "Whole-universe certificate evaluations by path.",
+            labelnames=("path",))
+        self._obs_certify = {
+            "quick": certificates.labels(path="quick"),
+            "full": certificates.labels(path="full"),
+        }
+        self._obs_revocations = registry.counter(
+            "repro_certificate_revocations_total",
+            "Cross-shard reservations revoked by a failed "
+            "certificate.")
+        self._obs_certify_rejects = registry.counter(
+            "repro_cross_certify_rejects_total",
+            "Cross-shard admissions rejected by the certificate.")
 
     def _build_shard(self, shard: int, cache: "SegmentCache | None",
                      retry_limit: int, kernel: str) -> _Shard:
@@ -538,6 +558,7 @@ commit_reservation`).  Any failure abandons the phase-1 reservations
         finally:
             self._certify_seconds += time.perf_counter() - start
             self._quick_certifies += 1
+            self._obs_certify["quick"].inc()
 
     def _quick_certify(self, uid: int) -> bool:
         """Constructive one-bound extension of the standing
@@ -578,6 +599,7 @@ commit_reservation`).  Any failure abandons the phase-1 reservations
         finally:
             self._certify_seconds += time.perf_counter() - start
             self._quick_certifies += 1
+            self._obs_certify["quick"].inc()
 
     def _component_candidate(self, seeds: "Iterable[int]",
                              extra: "int | None" = None
@@ -649,6 +671,7 @@ commit_reservation`).  Any failure abandons the phase-1 reservations
         finally:
             self._certify_seconds += time.perf_counter() - start
             self._certify_count += 1
+            self._obs_certify["full"].inc()
 
     def _visitors_on(self, home: _Shard) -> "list[int]":
         """Admitted cross-shard jobs resident on ``home``, ascending
@@ -705,6 +728,7 @@ commit_reservation`).  Any failure abandons the phase-1 reservations
             for shard in self._touched(victim):
                 if shard.cell.evict(shard.local(victim)):
                     self._revocations += 1
+                    self._obs_revocations.inc()
             self._admitted.discard(victim)
             self._order_remove(victim)
             revoked.append(victim)
@@ -761,6 +785,7 @@ commit_reservation`).  Any failure abandons the phase-1 reservations
                 if other.shard != home.shard:
                     if other.cell.evict(other.local(g)):
                         self._revocations += 1
+                        self._obs_revocations.inc()
             self._enqueue_cross(g)
         # A new resident may push a surviving visitor's end-to-end
         # bound past its deadline; re-certify and revoke if needed.
@@ -836,6 +861,7 @@ commit_reservation`).  Any failure abandons the phase-1 reservations
                                certificate)
             if certificate is None:
                 self._cross_certify_rejects += 1
+                self._obs_certify_rejects.inc()
                 if self._order_ok:
                     self._cross_failed[uid] = \
                         frozenset(candidate) - {uid}

@@ -28,11 +28,12 @@ import signal
 import time
 import urllib.parse
 
-from repro.online.metrics import latency_percentiles, throughput
+from repro import obs
+from repro.online.metrics import throughput
 from repro.serve.batcher import EventBatcher, OverloadError
 from repro.serve.handlers import NotFoundError, resolve
 from repro.serve.tenants import ServeError, Tenant, TenantManager
-from repro.serve.tracing import TraceLog, coerce_trace_id
+from repro.serve.tracing import TraceLog
 from repro.store import ResultStore
 
 #: Largest accepted request body, bytes (JSON scenarios are small).
@@ -81,6 +82,29 @@ class AdmissionService:
         self.requests_served = 0
         self._busy_seconds = 0.0
         self._server: "asyncio.base_events.Server | None" = None
+        registry = obs.get_registry()
+        #: Bucketed service-side event latency (queue wait + engine
+        #: decision).  Supersedes the former raw-list percentile scan
+        #: over every tenant record: observation is O(1) per event
+        #: and ``metrics()`` no longer walks the whole history.
+        self.decision_latency = registry.histogram(
+            "repro_serve_decision_seconds",
+            "Admission service event latency: batcher queue wait "
+            "plus engine decision, seconds.")
+        self._obs_batcher = registry.gauge(
+            "repro_serve_batcher",
+            "Admit-path batcher statistics.",
+            labelnames=("field",))
+        self._obs_tenants = registry.gauge(
+            "repro_serve_tenants", "Live tenants.")
+        self._obs_tenant_events = registry.gauge(
+            "repro_serve_tenant_events",
+            "Events processed per tenant.", labelnames=("tenant",))
+        self._obs_requests = registry.gauge(
+            "repro_serve_requests", "HTTP requests served.")
+        self._obs_spans_dropped = registry.gauge(
+            "repro_serve_trace_spans_dropped",
+            "Spans truncated from over-long traces.")
 
     # -- plumbing used by handlers ----------------------------------
 
@@ -97,25 +121,52 @@ class AdmissionService:
         started = time.monotonic()
         payload = await self.batcher.submit(
             lambda: tenant.process(kind, uid, now))
-        self._busy_seconds += time.monotonic() - started
+        elapsed = time.monotonic() - started
+        self._busy_seconds += elapsed
+        self.decision_latency.observe(elapsed)
         return payload
 
     def metrics(self) -> dict:
-        """Service-wide SLO metrics plus per-tenant summaries."""
+        """Service-wide SLO metrics plus per-tenant summaries.
+
+        The decision-latency percentiles come from the bucketed
+        ``repro_serve_decision_seconds`` histogram (interpolated
+        quantiles), not from rescanning every tenant record.
+        """
         tenants = self.tenants.tenants()
-        latencies = [record.latency for tenant in tenants
-                     for record in tenant.result().records]
         events = sum(tenant.sequence for tenant in tenants)
+        histogram = self.decision_latency
         return {
             "uptime_seconds": time.monotonic() - self.started_at,
             "requests_served": self.requests_served,
             "events_processed": events,
             "events_per_sec": throughput(events, self._busy_seconds),
-            **latency_percentiles(latencies, prefix="decision_"),
+            "decision_p50_ms": histogram.quantile(0.50) * 1e3,
+            "decision_p99_ms": histogram.quantile(0.99) * 1e3,
             "batcher": self.batcher.stats.to_dict(),
             "traces": self.traces.stats(),
             "tenants": [tenant.status() for tenant in tenants],
         }
+
+    def metrics_prometheus(self) -> str:
+        """Prometheus text exposition of the ``repro.obs`` registry.
+
+        Service-level quantities (batcher stats, tenant tallies,
+        request count, dropped trace spans) are synced into registry
+        gauges first, so one scrape covers the whole stack: serve,
+        decision-latency histogram, admission cells, kernel caches
+        and the result store.
+        """
+        for field, value in self.batcher.stats.to_dict().items():
+            self._obs_batcher.labels(field=field).set(value)
+        tenants = self.tenants.tenants()
+        self._obs_tenants.set(len(tenants))
+        for tenant in tenants:
+            self._obs_tenant_events.labels(
+                tenant=tenant.name).set(tenant.sequence)
+        self._obs_requests.set(self.requests_served)
+        self._obs_spans_dropped.set(self.traces.spans_dropped)
+        return obs.get_registry().render_prometheus()
 
     # -- HTTP plumbing ----------------------------------------------
 
@@ -155,7 +206,7 @@ class AdmissionService:
         candidate = request.headers.get("x-trace-id")
         if candidate is None and isinstance(request.body, dict):
             candidate = request.body.get("trace_id")
-        request.trace_id, _minted = coerce_trace_id(candidate)
+        request.trace_id, _minted = self.traces.coerce(candidate)
         try:
             handler, request.path_arg = resolve(
                 request.method, request.path)
@@ -183,12 +234,19 @@ class AdmissionService:
                     break
                 status, payload = await self._dispatch(request)
                 self.requests_served += 1
-                body = json.dumps(
-                    payload, separators=(",", ":")).encode("utf-8")
+                if isinstance(payload, str):
+                    # Pre-rendered text body (Prometheus exposition).
+                    body = payload.encode("utf-8")
+                    content_type = ("text/plain; version=0.0.4; "
+                                    "charset=utf-8")
+                else:
+                    body = json.dumps(
+                        payload, separators=(",", ":")).encode("utf-8")
+                    content_type = "application/json"
                 headers = [
                     f"HTTP/1.1 {status} "
                     f"{_STATUS_TEXT.get(status, 'Unknown')}",
-                    "Content-Type: application/json",
+                    f"Content-Type: {content_type}",
                     f"Content-Length: {len(body)}",
                     f"X-Trace-Id: {request.trace_id}",
                     "Connection: keep-alive",

@@ -10,7 +10,12 @@ Endpoints
 ``GET  /healthz``                    liveness + uptime.
 ``GET  /metrics``                    service SLO metrics (decision
                                      latency p50/p99, events/sec,
-                                     shed ratio, per-tenant summary).
+                                     shed ratio, per-tenant summary);
+                                     ``?format=prometheus`` or an
+                                     ``Accept: text/plain`` header
+                                     switches to Prometheus text
+                                     exposition of the whole
+                                     ``repro.obs`` registry.
 ``GET  /v1/tenants``                 tenant names.
 ``POST /v1/tenants``                 create (``{"name", "scenario"}``).
 ``GET  /v1/tenants/{name}``          tenant status.
@@ -52,6 +57,11 @@ async def handle_healthz(service, request) -> "tuple[int, dict]":
 
 
 async def handle_metrics(service, request) -> "tuple[int, dict]":
+    wants_text = (
+        request.query.get("format") == "prometheus"
+        or "text/plain" in request.headers.get("accept", ""))
+    if wants_text:
+        return 200, service.metrics_prometheus()
     return 200, service.metrics()
 
 

@@ -10,13 +10,25 @@ in-memory :class:`TraceLog` queryable over ``GET /v1/traces/{id}``.
 This is deliberately a ring buffer, not a durable store: traces are a
 debugging instrument for the live process, while the durable record
 of decisions is the tenant journal (:mod:`repro.serve.snapshot`).
+
+Trace ids are minted per :class:`TraceLog` (not from a module
+global): each minter carries a random per-instance prefix, so a
+service restored from a snapshot into a fresh process can never
+mint ids colliding with the previous incarnation's, and parallel
+logs in one test run stay disjoint.  When a span exporter is
+configured in :mod:`repro.obs`, every hop recorded here is also
+emitted as an ordinary ``repro.obs`` span carrying the same trace
+id, which stitches serve hops and engine spans into one tree.
 """
 
 from __future__ import annotations
 
 import itertools
+import os
 import re
 from collections import OrderedDict
+
+from repro import obs
 
 #: Client-supplied trace ids must match this (defence against log
 #: injection / unbounded keys); longer or stranger ids are replaced.
@@ -29,20 +41,44 @@ TRACE_LOG_CAPACITY = 1024
 #: clients reusing one id for a whole load test stay bounded).
 SPANS_PER_TRACE = 64
 
-_counter = itertools.count(1)
+
+class TraceIdMinter:
+    """Process-collision-proof trace-id source.
+
+    A serial counter plus a random prefix drawn at construction:
+    two minters (two processes, two logs, a process restored from a
+    snapshot) produce disjoint id spaces with probability
+    ``1 - 2**-24`` per pair.
+    """
+
+    def __init__(self) -> None:
+        self._serial = itertools.count(1)
+        self._unique = os.urandom(3).hex()
+
+    def mint(self, prefix: str = "t") -> str:
+        return f"{prefix}-{self._unique}-{next(self._serial):06d}"
+
+    def coerce(self, candidate) -> "tuple[str, bool]":
+        """``(trace_id, minted)``: the validated client id, or a
+        fresh one when the candidate is absent or malformed."""
+        if isinstance(candidate, str) and TRACE_ID_PATTERN.match(
+            candidate
+        ):
+            return candidate, False
+        return self.mint(), True
+
+
+_default_minter = TraceIdMinter()
 
 
 def mint_trace_id(prefix: str = "t") -> str:
-    """A fresh process-unique trace id (``t-000001``-style)."""
-    return f"{prefix}-{next(_counter):06d}"
+    """A fresh process-unique trace id (``t-<rand>-000001``)."""
+    return _default_minter.mint(prefix)
 
 
 def coerce_trace_id(candidate) -> "tuple[str, bool]":
-    """``(trace_id, minted)``: the validated client id, or a fresh
-    one when the candidate is absent or malformed."""
-    if isinstance(candidate, str) and TRACE_ID_PATTERN.match(candidate):
-        return candidate, False
-    return mint_trace_id(), True
+    """Module-level convenience over a shared default minter."""
+    return _default_minter.coerce(candidate)
 
 
 class TraceLog:
@@ -53,30 +89,61 @@ class TraceLog:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self._capacity = capacity
         self._traces: "OrderedDict[str, list[dict]]" = OrderedDict()
+        self._truncated: "dict[str, int]" = {}
         self.dropped = 0
+        self.spans_dropped = 0
+        self.minter = TraceIdMinter()
 
     def __len__(self) -> int:
         return len(self._traces)
 
+    def mint(self, prefix: str = "t") -> str:
+        return self.minter.mint(prefix)
+
+    def coerce(self, candidate) -> "tuple[str, bool]":
+        return self.minter.coerce(candidate)
+
     def record(self, trace_id: str, stage: str, **detail) -> None:
-        """Append one span ``{"stage", ...detail}`` to a trace."""
+        """Append one span ``{"stage", ...detail}`` to a trace.
+
+        Truncation at :data:`SPANS_PER_TRACE` is counted, never
+        silent: the per-trace tally is kept while the trace lives
+        and the total is exposed as ``spans_dropped`` in
+        :meth:`stats` (and from there in ``/metrics``).
+        """
         spans = self._traces.get(trace_id)
         if spans is None:
             while len(self._traces) >= self._capacity:
-                self._traces.popitem(last=False)
+                evicted, _ = self._traces.popitem(last=False)
+                self._truncated.pop(evicted, None)
                 self.dropped += 1
             spans = self._traces[trace_id] = []
         if len(spans) < SPANS_PER_TRACE:
             spans.append({"stage": stage, **detail})
+        else:
+            self._truncated[trace_id] = (
+                self._truncated.get(trace_id, 0) + 1
+            )
+            self.spans_dropped += 1
+        if obs.tracing_enabled():
+            with obs.start_trace(
+                f"serve.{stage}", trace_id, **detail
+            ):
+                pass
 
     def get(self, trace_id: str) -> "list[dict] | None":
         """The spans of one trace, or ``None`` if unknown/evicted."""
         spans = self._traces.get(trace_id)
         return list(spans) if spans is not None else None
 
+    def dropped_spans(self, trace_id: str) -> int:
+        """Spans truncated from one live trace."""
+        return self._truncated.get(trace_id, 0)
+
     def stats(self) -> dict:
         return {
             "traces": len(self._traces),
             "capacity": self._capacity,
             "dropped_traces": self.dropped,
+            "spans_dropped": self.spans_dropped,
         }

@@ -31,6 +31,7 @@ import os
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro import obs
 from repro.store.hashing import CACHE_SALT, full_salt
 
 STORE_FORMAT = "repro-result-store"
@@ -73,6 +74,20 @@ class ResultStore:
         self.shard_dir.mkdir(parents=True, exist_ok=True)
         self.counters = CacheCounters()
         self._shards: dict[str, dict[str, dict]] = {}
+        registry = obs.get_registry()
+        outcomes = registry.counter(
+            "repro_store_reads_total",
+            "Result-store lookups by outcome.",
+            labelnames=("outcome",),
+        )
+        self._obs_reads = {
+            "hit": outcomes.labels(outcome="hit"),
+            "miss": outcomes.labels(outcome="miss"),
+        }
+        self._obs_writes = registry.counter(
+            "repro_store_writes_total",
+            "Records appended to the result store.",
+        )
         self._write_marker()
 
     # -- plumbing ----------------------------------------------------
@@ -115,8 +130,10 @@ class ResultStore:
         record = self._load_shard(key[:SHARD_PREFIX]).get(key)
         if record is None:
             self.counters.misses += 1
+            self._obs_reads["miss"].inc()
             return None
         self.counters.hits += 1
+        self._obs_reads["hit"].inc()
         return record["payload"]
 
     def put(self, key: str, payload, *, kind: str = "case") -> None:
@@ -144,6 +161,7 @@ class ResultStore:
             os.close(descriptor)
         self._load_shard(key[:SHARD_PREFIX])[key] = record
         self.counters.writes += 1
+        self._obs_writes.inc()
 
     def __contains__(self, key: str) -> bool:
         return self._load_shard(key[:SHARD_PREFIX]).get(key) is not None

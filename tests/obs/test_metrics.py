@@ -1,0 +1,275 @@
+"""The metrics half of repro.obs: instruments, registry, exposition."""
+
+from __future__ import annotations
+
+import re
+import threading
+
+import numpy as np
+import pytest
+
+from repro.obs import (
+    Counter,
+    Gauge,
+    Histogram,
+    Registry,
+    default_buckets,
+    get_registry,
+    null_instrumentation,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        counter = Counter("c_total")
+        assert counter.value == 0.0
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_rejects_negative_increments(self):
+        counter = Counter("c_total")
+        with pytest.raises(ValueError, match="only go up"):
+            counter.inc(-1.0)
+
+    def test_labeled_children_are_independent(self):
+        counter = Counter("c_total", labelnames=("outcome",))
+        counter.labels(outcome="hit").inc(3)
+        counter.labels(outcome="miss").inc()
+        assert counter.labels(outcome="hit").value == 3.0
+        assert counter.labels(outcome="miss").value == 1.0
+
+    def test_labels_require_declared_names(self):
+        counter = Counter("c_total", labelnames=("outcome",))
+        with pytest.raises(ValueError, match="expected labels"):
+            counter.labels(wrong="x")
+        with pytest.raises(ValueError, match="declares no labels"):
+            Counter("plain_total").labels(outcome="x")
+
+    def test_thread_safety_under_contention(self):
+        counter = Counter("c_total")
+
+        def hammer():
+            for _ in range(1000):
+                counter.inc()
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value == 4000.0
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge("g")
+        gauge.set(5)
+        gauge.inc(2)
+        gauge.dec(4)
+        assert gauge.value == 3.0
+
+    def test_can_go_negative(self):
+        gauge = Gauge("g")
+        gauge.dec(2)
+        assert gauge.value == -2.0
+
+
+class TestHistogram:
+    def test_default_buckets_are_log_spaced(self):
+        bounds = default_buckets()
+        assert bounds[0] == pytest.approx(1e-6)
+        assert bounds[-1] == pytest.approx(10.0)
+        ratios = [b / a for a, b in zip(bounds, bounds[1:])]
+        assert all(r == pytest.approx(10 ** 0.125) for r in ratios)
+
+    def test_empty_quantile_is_zero(self):
+        histogram = Histogram("h_seconds")
+        assert histogram.quantile(0.5) == 0.0
+        assert histogram.count == 0
+        assert histogram.sum == 0.0
+
+    def test_single_observation_is_every_quantile(self):
+        histogram = Histogram("h_seconds")
+        histogram.observe(0.004)
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert histogram.quantile(q) == pytest.approx(
+                0.004, rel=1e-9)
+
+    def test_quantile_fraction_validated(self):
+        histogram = Histogram("h_seconds")
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            histogram.quantile(1.5)
+
+    def test_unsorted_buckets_rejected(self):
+        with pytest.raises(ValueError, match="sorted"):
+            Histogram("h", buckets=[1.0, 0.5])
+
+    def test_quantiles_track_numpy_percentile(self):
+        """The bucketed interpolation must stay within one bucket
+        width (ratio 10**0.125 ~ 1.33) of numpy's exact linear
+        percentile on a realistic latency distribution."""
+        rng = np.random.default_rng(7)
+        samples = rng.lognormal(mean=-6.0, sigma=1.0, size=5000)
+        histogram = Histogram("h_seconds")
+        for value in samples:
+            histogram.observe(float(value))
+        for q in (0.10, 0.50, 0.90, 0.99):
+            exact = float(np.percentile(samples, 100 * q))
+            approx = histogram.quantile(q)
+            ratio = approx / exact
+            assert 1 / 10 ** 0.125 < ratio < 10 ** 0.125, (
+                f"q={q}: histogram {approx:g} vs numpy {exact:g}")
+
+    def test_quantiles_clamped_to_observed_range(self):
+        histogram = Histogram("h_seconds")
+        for value in (0.002, 0.003, 0.004):
+            histogram.observe(value)
+        assert histogram.quantile(0.0) >= 0.002
+        assert histogram.quantile(1.0) <= 0.004
+
+    def test_overflow_observations_land_in_inf_bucket(self):
+        histogram = Histogram("h_seconds")
+        histogram.observe(100.0)  # above the 10s top bound
+        assert histogram.count == 1
+        assert histogram.quantile(0.5) == pytest.approx(100.0)
+
+    def test_labeled_children_share_buckets(self):
+        histogram = Histogram(
+            "h_seconds", labelnames=("stage",),
+            buckets=[0.1, 1.0, 10.0])
+        child = histogram.labels(stage="a")
+        assert child.bounds == [0.1, 1.0, 10.0]
+
+
+class TestRegistry:
+    def test_register_is_idempotent_by_name(self):
+        registry = Registry()
+        first = registry.counter("x_total", "help")
+        second = registry.counter("x_total")
+        assert first is second
+
+    def test_kind_conflict_rejected(self):
+        registry = Registry()
+        registry.counter("x_total")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("x_total")
+
+    def test_get_unregister_reset(self):
+        registry = Registry()
+        registry.counter("x_total")
+        assert registry.get("x_total") is not None
+        registry.unregister("x_total")
+        assert registry.get("x_total") is None
+        registry.counter("y_total")
+        registry.reset()
+        assert registry.get("y_total") is None
+
+    def test_snapshot_shape(self):
+        registry = Registry()
+        registry.counter("c_total", "a counter").inc(2)
+        registry.gauge("g", labelnames=("k",)).labels(k="v").set(7)
+        registry.histogram("h_seconds").observe(0.01)
+        snapshot = registry.snapshot()
+        assert snapshot["c_total"]["value"] == 2.0
+        assert snapshot["c_total"]["type"] == "counter"
+        assert snapshot["g"]["children"]["v"] == 7.0
+        hist = snapshot["h_seconds"]["value"]
+        assert hist["count"] == 1
+        assert hist["sum"] == pytest.approx(0.01)
+
+    def test_global_registry_is_a_singleton(self):
+        assert get_registry() is get_registry()
+
+
+#: One exposition line: metric name, optional {labels}, a value.
+_LABEL = r"[a-zA-Z_][a-zA-Z0-9_]*=\"(?:[^\"\\]|\\.)*\""
+_SAMPLE_LINE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*"
+    r"(\{" + _LABEL + r"(," + _LABEL + r")*\})? "
+    r"[^ ]+$")
+
+
+class TestPrometheusRendering:
+    def test_text_format_is_valid(self):
+        registry = Registry()
+        registry.counter("c_total", "counts things").inc(3)
+        registry.gauge(
+            "g", "a gauge", labelnames=("tenant",),
+        ).labels(tenant="a\"b").set(1.5)
+        registry.histogram("h_seconds", "latency").observe(0.004)
+        text = registry.render_prometheus()
+        assert text.endswith("\n")
+        for line in text.strip().split("\n"):
+            if line.startswith("# HELP") or line.startswith("# TYPE"):
+                continue
+            assert _SAMPLE_LINE.match(line), line
+
+    def test_type_lines_per_instrument(self):
+        registry = Registry()
+        registry.counter("c_total")
+        registry.gauge("g")
+        registry.histogram("h_seconds")
+        text = registry.render_prometheus()
+        assert "# TYPE c_total counter" in text
+        assert "# TYPE g gauge" in text
+        assert "# TYPE h_seconds histogram" in text
+
+    def test_histogram_buckets_are_cumulative(self):
+        registry = Registry()
+        histogram = registry.histogram(
+            "h_seconds", buckets=[0.001, 0.01, 0.1])
+        for value in (0.0005, 0.005, 0.005, 0.05):
+            histogram.observe(value)
+        text = registry.render_prometheus()
+        assert 'h_seconds_bucket{le="0.001"} 1' in text
+        assert 'h_seconds_bucket{le="0.01"} 3' in text
+        assert 'h_seconds_bucket{le="0.1"} 4' in text
+        assert 'h_seconds_bucket{le="+Inf"} 4' in text
+        assert "h_seconds_count 4" in text
+
+    def test_label_values_escaped(self):
+        registry = Registry()
+        registry.counter(
+            "c_total", labelnames=("k",),
+        ).labels(k='say "hi"\n').inc()
+        text = registry.render_prometheus()
+        assert 'k="say \\"hi\\"\\n"' in text
+
+    def test_help_newlines_escaped(self):
+        registry = Registry()
+        registry.counter("c_total", "line one\nline two")
+        text = registry.render_prometheus()
+        assert "# HELP c_total line one\\nline two" in text
+
+
+class TestNullInstrumentation:
+    def test_disables_all_mutations(self):
+        counter = Counter("c_total")
+        gauge = Gauge("g")
+        histogram = Histogram("h_seconds")
+        with null_instrumentation():
+            counter.inc()
+            gauge.set(9)
+            gauge.inc()
+            histogram.observe(0.5)
+        assert counter.value == 0.0
+        assert gauge.value == 0.0
+        assert histogram.count == 0
+
+    def test_restores_on_exit_even_after_error(self):
+        counter = Counter("c_total")
+        with pytest.raises(RuntimeError):
+            with null_instrumentation():
+                raise RuntimeError("boom")
+        counter.inc()
+        assert counter.value == 1.0
+
+    def test_nesting(self):
+        counter = Counter("c_total")
+        with null_instrumentation():
+            with null_instrumentation():
+                counter.inc()
+            counter.inc()
+        counter.inc()
+        assert counter.value == 1.0

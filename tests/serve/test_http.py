@@ -282,3 +282,84 @@ class TestBench:
         assert out.exists()
         stdout = capsys.readouterr().out
         assert "replay:" in stdout and "events/s" in stdout
+
+
+class TestPrometheusScrape:
+    """GET /metrics content negotiation: JSON by default, Prometheus
+    text exposition of the whole repro.obs registry on request."""
+
+    @staticmethod
+    async def _raw_get(host, port, path, headers=()):
+        reader, writer = await asyncio.open_connection(host, port)
+        head = f"GET {path} HTTP/1.1\r\nHost: scrape\r\n"
+        for name, value in headers:
+            head += f"{name}: {value}\r\n"
+        writer.write((head + "\r\n").encode("ascii"))
+        await writer.drain()
+        status = int((await reader.readline()).split()[1])
+        response_headers = {}
+        while True:
+            raw = await reader.readline()
+            if raw in (b"\r\n", b"\n"):
+                break
+            name, _sep, value = raw.decode("latin-1").partition(":")
+            response_headers[name.strip().lower()] = value.strip()
+        length = int(response_headers.get("content-length", 0))
+        body = await reader.readexactly(length)
+        writer.close()
+        await writer.wait_closed()
+        return status, response_headers, body.decode("utf-8")
+
+    def test_scrape_covers_the_whole_stack(self, tmp_path):
+        async def scenario(service, client):
+            await create_tenant(client)
+            for path, payload in wire_events("t", SPEC)[:6]:
+                status, _ = await client.request(
+                    "POST", path, payload)
+                assert status == 200
+            host, port = service._server.sockets[0].getsockname()[:2]
+            return await self._raw_get(
+                host, port, "/metrics?format=prometheus")
+
+        status, headers, text = asyncio.run(with_service(
+            scenario, store=ResultStore(str(tmp_path / "store"))))
+        assert status == 200
+        assert headers["content-type"].startswith("text/plain")
+        assert "version=0.0.4" in headers["content-type"]
+        # Exposition validity: every instrument declares a # TYPE.
+        for line in text.strip().split("\n"):
+            assert line.startswith("#") or " " in line
+        assert "# TYPE repro_serve_decision_seconds histogram" in text
+        assert "repro_serve_decision_seconds_bucket" in text
+        assert 'le="+Inf"' in text
+        # Label syntax + per-layer coverage: batcher, tenants,
+        # admission decisions, store.
+        assert '# TYPE repro_serve_batcher gauge' in text
+        assert 'repro_serve_batcher{field="shed_ratio"}' in text
+        assert 'repro_serve_tenant_events{tenant="t"}' in text
+        assert "# TYPE repro_admission_decisions_total counter" \
+            in text
+        assert "# TYPE repro_store_reads_total counter" in text
+        assert "repro_serve_trace_spans_dropped 0" in text
+
+    def test_accept_header_negotiates_text(self):
+        async def scenario(service, client):
+            host, port = service._server.sockets[0].getsockname()[:2]
+            return await self._raw_get(
+                host, port, "/metrics",
+                headers=[("Accept", "text/plain")])
+
+        status, headers, text = asyncio.run(with_service(scenario))
+        assert status == 200
+        assert headers["content-type"].startswith("text/plain")
+        assert "# TYPE" in text
+
+    def test_default_stays_json(self):
+        async def scenario(service, client):
+            status, metrics = await client.request("GET", "/metrics")
+            assert status == 200
+            assert "events_processed" in metrics
+            assert "decision_p50_ms" in metrics
+            assert "spans_dropped" in metrics["traces"]
+
+        asyncio.run(with_service(scenario))

@@ -55,3 +55,74 @@ def test_spans_per_trace_are_bounded():
     for index in range(SPANS_PER_TRACE + 10):
         log.record("t", "s", index=index)
     assert len(log.get("t")) == SPANS_PER_TRACE
+
+
+def test_two_logs_mint_disjoint_ids():
+    """Regression: ids used to come from one module-global counter,
+    so a service restored from a snapshot (or two logs in one test
+    process) could mint colliding trace ids."""
+    first, second = TraceLog(), TraceLog()
+    minted = [first.mint() for _ in range(50)]
+    minted += [second.mint() for _ in range(50)]
+    assert len(set(minted)) == 100
+
+
+def test_log_coerce_uses_its_own_minter():
+    log = TraceLog()
+    trace_id, minted = log.coerce(None)
+    assert minted
+    assert trace_id.split("-")[1] == log.mint().split("-")[1]
+    kept, minted = log.coerce("req-1")
+    assert kept == "req-1" and not minted
+
+
+def test_truncation_is_counted_not_silent():
+    log = TraceLog()
+    for index in range(SPANS_PER_TRACE + 7):
+        log.record("t", "s", index=index)
+    assert len(log.get("t")) == SPANS_PER_TRACE
+    assert log.dropped_spans("t") == 7
+    assert log.stats()["spans_dropped"] == 7
+    # A second trace's truncation adds to the total.
+    for index in range(SPANS_PER_TRACE + 3):
+        log.record("u", "s", index=index)
+    assert log.stats()["spans_dropped"] == 10
+
+
+def test_evicting_a_trace_keeps_the_total_drop_count():
+    log = TraceLog(capacity=1)
+    for index in range(SPANS_PER_TRACE + 5):
+        log.record("a", "s", index=index)
+    assert log.stats()["spans_dropped"] == 5
+    log.record("b", "s")  # evicts trace "a"
+    assert log.get("a") is None
+    assert log.dropped_spans("a") == 0  # per-trace tally cleaned up
+    assert log.stats()["spans_dropped"] == 5  # total survives
+
+
+def test_hops_bridge_to_obs_spans(tmp_path):
+    """With a span exporter configured, every recorded hop is also
+    emitted as a repro.obs span under the same trace id."""
+    from repro import obs
+
+    exporter = obs.JsonlSpanExporter(str(tmp_path / "trace.jsonl"))
+    obs.configure_exporter(exporter)
+    try:
+        log = TraceLog()
+        log.record("req-7", "enqueued", uid=3)
+        log.record("req-7", "decided", decision="accept")
+    finally:
+        obs.reset_tracing()
+    spans = obs.load_spans(exporter.path)
+    assert [span["name"] for span in spans] == [
+        "serve.enqueued", "serve.decided"]
+    assert all(span["trace_id"] == "req-7" for span in spans)
+    assert spans[1]["attrs"]["decision"] == "accept"
+
+
+def test_no_obs_spans_without_exporter(tmp_path):
+    from repro import obs
+
+    log = TraceLog()
+    log.record("req-8", "enqueued")
+    assert not obs.tracing_enabled()

@@ -487,3 +487,76 @@ class TestShardsAndKernelFlags:
                      "--kernel", "reference"]) == 0
         out = capsys.readouterr().out
         assert "kernel" in out.lower()
+
+
+class TestTraceFlag:
+    def test_online_trace_writes_spans(self, capsys, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        assert main(["online", "--horizon", "40", "--rate", "0.2",
+                     "--cases", "1", "--trace", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "spans written to" in out
+        from repro import obs
+
+        spans = obs.load_spans(str(trace))
+        names = {span["name"] for span in spans}
+        assert "online.scenario" in names
+        assert "online.engine.run" in names
+        scenario = next(s for s in spans
+                        if s["name"] == "online.scenario")
+        assert "kernel_cache_misses" in scenario["attrs"]
+        assert not obs.tracing_enabled()  # reset after the command
+
+    def test_trace_forces_serial_execution(self, capsys, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        assert main(["online", "--horizon", "40", "--rate", "0.2",
+                     "--cases", "2", "--jobs", "2",
+                     "--trace", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "forcing --jobs 1" in out
+        from repro import obs
+
+        assert len(obs.load_spans(str(trace))) > 0
+
+    def test_opdca_trace_has_case_spans(self, capsys, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        assert main(["opdca", "--size", "4", "--cases", "2",
+                     "--trace", str(trace)]) == 0
+        from repro import obs
+
+        cases = [s for s in obs.load_spans(str(trace))
+                 if s["name"] == "opdca.case"]
+        assert len(cases) == 2
+        assert all("kernel_cache_hits" in c["attrs"] for c in cases)
+
+
+class TestObsReportCommand:
+    def test_renders_trace_tree(self, capsys, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        assert main(["online", "--horizon", "40", "--rate", "0.2",
+                     "--cases", "1", "--trace", str(trace)]) == 0
+        capsys.readouterr()
+        assert main(["obs", "report", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "online.scenario" in out
+        assert "by self time" in out
+        assert "ms" in out
+
+    def test_top_flag(self, capsys, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        assert main(["online", "--horizon", "40", "--rate", "0.2",
+                     "--cases", "1", "--trace", str(trace)]) == 0
+        capsys.readouterr()
+        assert main(["obs", "report", str(trace), "--top", "3"]) == 0
+        assert "top 3 spans" in capsys.readouterr().out
+
+    def test_missing_file_exits_nonzero(self, capsys, tmp_path):
+        missing = tmp_path / "nope.jsonl"
+        assert main(["obs", "report", str(missing)]) == 1
+        assert "nope.jsonl" in capsys.readouterr().err
+
+    def test_malformed_file_exits_nonzero(self, capsys, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("this is not json\n")
+        assert main(["obs", "report", str(bad)]) == 1
+        assert capsys.readouterr().err

@@ -193,6 +193,88 @@ class TestFreshOnlyMetrics:
         assert "only in the fresh report" not in capsys.readouterr().out
 
 
+class TestCeilings:
+    def test_ceiling_passes_at_or_below(self, tmp_path, capsys):
+        base = _report(tmp_path, "bench",
+                       {"speedup(x)": 2.0,
+                        "overhead_pct(online)": 0.5}, "base.json")
+        fresh = _report(tmp_path, "bench",
+                        {"speedup(x)": 2.0,
+                         "overhead_pct(online)": 4.9}, "fresh.json")
+        assert compare_bench.main(
+            [base, fresh, "--ceiling",
+             "overhead_pct(online)=5.0"]) == 0
+        assert "benchmark gate passed" in capsys.readouterr().out
+
+    def test_ceiling_fails_above(self, tmp_path, capsys):
+        base = _report(tmp_path, "bench",
+                       {"overhead_pct(online)": 0.5}, "base.json")
+        fresh = _report(tmp_path, "bench",
+                        {"overhead_pct(online)": 7.3}, "fresh.json")
+        assert compare_bench.main(
+            [base, fresh, "--ceiling",
+             "overhead_pct(online)=5.0"]) == 1
+        assert "absolute ceiling" in capsys.readouterr().err
+
+    def test_ceiling_relaxes_no_gated_metrics_failure(self, tmp_path):
+        """A report gated only by an absolute ceiling legitimately
+        matches no relative speedup/throughput metric."""
+        base = _report(tmp_path, "bench",
+                       {"overhead_pct(online)": 0.5}, "base.json")
+        fresh = _report(tmp_path, "bench",
+                        {"overhead_pct(online)": 0.6}, "fresh.json")
+        assert compare_bench.main(
+            [base, fresh, "--ceiling",
+             "overhead_pct(online)=5.0"]) == 0
+
+    def test_no_gates_at_all_still_fails(self, tmp_path, capsys):
+        base = _report(tmp_path, "bench",
+                       {"overhead_pct(online)": 0.5}, "base.json")
+        fresh = _report(tmp_path, "bench",
+                        {"overhead_pct(online)": 0.6}, "fresh.json")
+        assert compare_bench.main([base, fresh]) == 1
+        assert "no gated metrics" in capsys.readouterr().err
+
+    def test_unknown_ceiling_metric_fails(self, tmp_path, capsys):
+        base = _report(tmp_path, "bench", {"speedup(x)": 2.0},
+                       "base.json")
+        fresh = _report(tmp_path, "bench", {"speedup(x)": 2.0},
+                        "fresh.json")
+        assert compare_bench.main(
+            [base, fresh, "--ceiling", "overhead_pct(gone)=5.0"]) == 1
+        assert "absent" in capsys.readouterr().err
+
+    def test_ceiling_is_not_a_relative_gate(self, tmp_path):
+        """overhead_pct does not participate in the -20% tolerance
+        machinery even when committed in the baseline."""
+        base = _report(tmp_path, "bench",
+                       {"speedup(x)": 2.0,
+                        "overhead_pct(online)": 0.01}, "base.json")
+        # 50x the baseline value: would fail any relative gate, but
+        # only the absolute ceiling applies.
+        fresh = _report(tmp_path, "bench",
+                        {"speedup(x)": 2.0,
+                         "overhead_pct(online)": 0.5}, "fresh.json")
+        assert compare_bench.main(
+            [base, fresh, "--ceiling",
+             "overhead_pct(online)=5.0"]) == 0
+
+    def test_bad_ceiling_syntax(self):
+        with pytest.raises(SystemExit, match="METRIC=VALUE"):
+            compare_bench.parse_bound("nonsense", "--ceiling")
+        with pytest.raises(SystemExit, match="number"):
+            compare_bench.parse_bound("overhead_pct(x)=slow",
+                                      "--ceiling")
+
+    def test_committed_obs_baseline_parses(self):
+        root = Path(__file__).resolve().parents[1]
+        metrics = compare_bench.load_metrics(
+            str(root / "benchmarks" / "baselines" / "BENCH_obs.json"))
+        info = metrics["test_obs_overhead"]
+        assert "overhead_pct(online)" in info
+        assert info["overhead_pct(online)"] <= 5.0
+
+
 class TestQualityMetrics:
     def test_acceptance_ratio_is_gated(self, tmp_path, capsys):
         base = _report(tmp_path, "bench",
