@@ -14,11 +14,15 @@ runs):
 Usage::
 
     PYTHONPATH=src python scripts/profile_hotpath.py [target ...] \
-        [--jobs N] [--cases K] [--top N] [--sort cumulative|tottime]
+        [--jobs N] [--cases K] [--top N] [--sort cumulative|tottime] \
+        [--kernel paired|reference|compiled|auto]
 
 With no targets, all three are profiled.  Each target prints a
 top-``N`` table sorted by cumulative time (default), the right view
 for "which layer is hot"; ``--sort tottime`` surfaces leaf kernels.
+``--kernel`` selects the level-evaluation tier under profile (see
+``docs/kernels.md``); the header prints both the requested value and
+the tier it resolves to, so saved profiles are attributable.
 
 This is a developer tool: output is wall-clock and machine-dependent.
 The committed regression gates live in ``benchmarks/`` and
@@ -48,22 +52,30 @@ def _edge_jobsets(num_jobs: int, cases: int, *, gamma: float | None = None):
             for seed in range(cases)]
 
 
-def run_opdca(num_jobs: int, cases: int) -> None:
+def run_opdca(num_jobs: int, cases: int, kernel: str) -> None:
+    from repro.core.dca import DelayAnalyzer
     from repro.core.opdca import opdca
+    from repro.core.schedulability import SDCA
 
     for jobset in _edge_jobsets(num_jobs, cases):
-        opdca(jobset, "eq10")
+        test = SDCA(jobset, "eq10",
+                    analyzer=DelayAnalyzer(jobset, kernel=kernel))
+        opdca(jobset, "eq10", test=test)
 
 
-def run_admission(num_jobs: int, cases: int) -> None:
+def run_admission(num_jobs: int, cases: int, kernel: str) -> None:
     from repro.core.admission import opdca_admission
+    from repro.core.dca import DelayAnalyzer
+    from repro.core.schedulability import SDCA
 
     # A tight heaviness budget forces the discard cascade.
     for jobset in _edge_jobsets(num_jobs, cases, gamma=1.4):
-        opdca_admission(jobset, "eq10")
+        test = SDCA(jobset, "eq10",
+                    analyzer=DelayAnalyzer(jobset, kernel=kernel))
+        opdca_admission(jobset, "eq10", test=test)
 
 
-def run_online(num_jobs: int, cases: int) -> None:
+def run_online(num_jobs: int, cases: int, kernel: str) -> None:
     from repro.online import (
         OnlineAdmissionEngine,
         StreamConfig,
@@ -75,7 +87,8 @@ def run_online(num_jobs: int, cases: int) -> None:
             StreamConfig(horizon=150.0, rate=1.3, dwell_scale=2.0,
                          pool_size=min(num_jobs, 40)),
             seed=seed)
-        OnlineAdmissionEngine(stream, mode="incremental").run()
+        OnlineAdmissionEngine(stream, mode="incremental",
+                              kernel=kernel).run()
 
 
 RUNNERS = {"opdca": run_opdca, "admission": run_admission,
@@ -83,20 +96,30 @@ RUNNERS = {"opdca": run_opdca, "admission": run_admission,
 
 
 def profile_target(target: str, *, num_jobs: int, cases: int,
-                   top: int, sort: str) -> None:
+                   top: int, sort: str, kernel: str) -> None:
+    from repro.core.kernels import resolve_kernel
+
+    # Resolve once for the header: "auto" depends on the instance
+    # size, and an unavailable compiled tier should fail before the
+    # profiler spins up, with the kernels module's clear error.
+    effective = resolve_kernel(kernel, num_jobs=num_jobs)
     runner = RUNNERS[target]
-    runner(num_jobs, min(cases, 1))  # warm imports/caches outside profile
+    runner(num_jobs, min(cases, 1), kernel)  # warm imports/caches
     profiler = cProfile.Profile()
     profiler.enable()
-    runner(num_jobs, cases)
+    runner(num_jobs, cases, kernel)
     profiler.disable()
+    kernel_note = (kernel if kernel == effective
+                   else f"{kernel} -> {effective}")
     print(f"\n=== {target} (n={num_jobs}, cases={cases}, "
-          f"sort={sort}) ===")
+          f"kernel={kernel_note}, sort={sort}) ===")
     stats = pstats.Stats(profiler, stream=sys.stdout)
     stats.strip_dirs().sort_stats(sort).print_stats(top)
 
 
 def main(argv: "list[str] | None" = None) -> int:
+    from repro.core.kernels import KERNEL_TIERS
+
     parser = argparse.ArgumentParser(
         description="Profile the opdca/admission/online hot paths.")
     parser.add_argument("targets", nargs="*", metavar="TARGET",
@@ -113,6 +136,10 @@ def main(argv: "list[str] | None" = None) -> int:
     parser.add_argument("--sort", default="cumulative",
                         choices=("cumulative", "tottime"),
                         help="profile sort key (default: cumulative)")
+    parser.add_argument("--kernel", default="paired",
+                        choices=KERNEL_TIERS,
+                        help="level-evaluation kernel tier under "
+                             "profile (default: paired)")
     args = parser.parse_args(argv)
     if args.jobs <= 0 or args.cases <= 0 or args.top <= 0:
         parser.error("--jobs/--cases/--top must be positive")
@@ -122,7 +149,7 @@ def main(argv: "list[str] | None" = None) -> int:
         parser.error(f"unknown target(s) {unknown}; expected {TARGETS}")
     for target in targets:
         profile_target(target, num_jobs=args.jobs, cases=args.cases,
-                       top=args.top, sort=args.sort)
+                       top=args.top, sort=args.sort, kernel=args.kernel)
     return 0
 
 

@@ -79,6 +79,7 @@ except ImportError:  # pragma: no cover - exercised only on 3.10
 
 from repro.core.dca import ALL_EQUATIONS
 from repro.core.exceptions import ModelError
+from repro.core.kernels import KERNEL_TIERS
 from repro.core.schedulability import resolve_equation
 from repro.experiments.parallel import ScenarioSpec
 from repro.experiments.runner import APPROACHES
@@ -117,9 +118,10 @@ RELEVANT_AXES = {
 
 OPT_BACKENDS = ("highs", "branch_bound", "cp")
 
-#: Level-evaluation kernels of the online analyzers (mirrors
+#: Level-evaluation kernels of the online analyzers (the shared tier
+#: registry of :mod:`repro.core.kernels`, same values as
 #: :data:`repro.online.cell.CELL_KERNELS`).
-KERNELS = ("paired", "reference")
+KERNELS = KERNEL_TIERS
 
 #: Singleton defaults for axes a spec does not declare.
 DEFAULT_AXES = {

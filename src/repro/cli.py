@@ -49,6 +49,7 @@ import sys
 import time
 from dataclasses import replace
 
+from repro.core.kernels import KERNEL_TIERS
 from repro.experiments.ablation import (
     bound_tightness,
     heuristic_comparison,
@@ -207,12 +208,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="scheduling policy or DCA equation "
                         "(preemptive | nonpreemptive | edge | "
                         "eq1..eq10)")
-    p.add_argument("--kernel", default="paired",
-                   choices=("paired", "reference"),
+    p.add_argument("--kernel", default="paired", choices=KERNEL_TIERS,
                    help="level-evaluation kernel: 'paired' "
                         "(vectorised pairwise-contribution cache, the "
-                        "default) or 'reference' (broadcast path); "
-                        "decisions are bitwise identical")
+                        "default), 'reference' (broadcast path), "
+                        "'compiled' (numba-jitted loops; needs the "
+                        "optional numba dependency) or 'auto' "
+                        "(fastest safe tier for the instance size); "
+                        "see docs/kernels.md")
     add_trace_option(p)
 
     p = sub.add_parser(
@@ -254,13 +257,15 @@ def build_parser() -> argparse.ArgumentParser:
                    help="incremental (sliced caches, lazy levels) or "
                         "cold re-analysis per event; decisions are "
                         "identical")
-    p.add_argument("--kernel", default="paired",
-                   choices=("paired", "reference"),
+    p.add_argument("--kernel", default="paired", choices=KERNEL_TIERS,
                    help="level-evaluation kernel of the admission "
                         "analyzers: 'paired' (vectorised pairwise-"
-                        "contribution cache, the default) or "
-                        "'reference' (broadcast path); decisions are "
-                        "bitwise identical")
+                        "contribution cache, the default), "
+                        "'reference' (broadcast path), 'compiled' "
+                        "(numba-jitted loops; needs the optional "
+                        "numba dependency) or 'auto' (fastest safe "
+                        "tier per instance size); decisions are "
+                        "identical under every tier")
     p.add_argument("--shards", type=positive_int, default=1,
                    help="resource shards: 1 runs the monolithic "
                         "single-cell engine; N > 1 splits each "
@@ -312,12 +317,12 @@ def build_parser() -> argparse.ArgumentParser:
             add_cache_options(cp)
         if action == "run":
             cp.add_argument("--kernel", default=None,
-                            choices=("paired", "reference"),
+                            choices=KERNEL_TIERS,
                             help="override the spec's online "
                                  "level-evaluation kernel (decisions "
-                                 "are bitwise identical; note the "
-                                 "override changes the campaign hash "
-                                 "and store keys)")
+                                 "are identical under every tier; "
+                                 "note the override changes the "
+                                 "campaign hash and store keys)")
             add_trace_option(cp)
 
     p = sub.add_parser(

@@ -80,7 +80,14 @@ on broadcast rows), so its values are bitwise identical for every
 candidate row (jobs in ``unassigned & active``); ``kernel="reference"``
 keeps the tensor path selectable for equivalence testing, and analyzers
 built with ``window_filter=False`` always use it (the contribution
-tensors bake the window filter in).
+tensors bake the window filter in).  Two further tiers ride the same
+premasked operands: ``kernel="compiled"`` delegates the masked
+reductions to the (optionally numba-jitted) loop primitives of
+:mod:`repro.core.kernels.compiled`, equivalent to the reference within
+``1e-9`` relative tolerance, and ``kernel="auto"`` resolves to the
+fastest safe tier for the instance size at construction.  The full
+tier matrix, equivalence contracts and dispatch rules live in
+``docs/kernels.md``.
 
 Online (streaming) support
 --------------------------
@@ -106,6 +113,8 @@ from typing import Iterable
 import numpy as np
 
 from repro.core.exceptions import ModelError
+from repro.core.kernels import KERNEL_TIERS, resolve_kernel
+from repro.core.kernels import compiled as _compiled_kernels
 from repro.core.segments import SegmentCache
 from repro.core.system import JobSet
 
@@ -142,8 +151,10 @@ _BOUND_MEMO_LIMIT = 8192
 _BATCH_MEMO_LIMIT = 64
 _BLOCKING_MEMO_LIMIT = 64
 
-#: Kernel implementations selectable per analyzer.
-KERNELS = ("paired", "reference")
+#: Kernel tiers selectable per analyzer (re-exported from
+#: :mod:`repro.core.kernels`, the single registry shared with the CLI,
+#: the campaign specs and the online admission cells).
+KERNELS = KERNEL_TIERS
 
 #: Row selector meaning "every job" in the batch kernels.
 _ALL_ROWS = slice(None)
@@ -201,7 +212,14 @@ class DelayAnalyzer:
         ``"paired"`` (default) serves :meth:`level_bounds` from the
         pairwise-contribution matrices (see the module docstring);
         ``"reference"`` keeps every evaluation on the broadcast tensor
-        path, used as the reference in kernel-equivalence tests.
+        path, used as the reference in kernel-equivalence tests;
+        ``"compiled"`` runs the (optionally numba-jitted) loop
+        primitives of :mod:`repro.core.kernels` and raises
+        :class:`~repro.core.kernels.CompiledKernelUnavailable` when
+        numba is absent; ``"auto"`` resolves to the fastest safe tier
+        for the instance size (silently ``"paired"`` without numba).
+        Resolution happens once, at construction -- :attr:`kernel` is
+        the effective tier, :attr:`requested_kernel` the input.
     """
 
     def __init__(self, jobset: JobSet, *,
@@ -213,9 +231,6 @@ class DelayAnalyzer:
             raise ValueError(
                 f"self_coefficient must be 'refined' or 'literal', "
                 f"got {self_coefficient!r}")
-        if kernel not in KERNELS:
-            raise ValueError(
-                f"kernel must be one of {KERNELS}, got {kernel!r}")
         if cache is not None and cache.jobset is not jobset:
             raise ValueError(
                 "the supplied SegmentCache was built for a different "
@@ -224,9 +239,12 @@ class DelayAnalyzer:
         self._cache = cache if cache is not None else SegmentCache(jobset)
         self._self_coefficient = self_coefficient
         self._window_filter = window_filter
-        #: The contribution tensors bake the window filter in, so the
-        #: (rarely used) unfiltered analyzers stay on the tensor path.
-        self._kernel = kernel if window_filter else "reference"
+        self._requested_kernel = kernel
+        #: Resolved once: "auto" picks a tier for this instance size,
+        #: and unfiltered analyzers stay on the tensor path (the
+        #: contribution tensors bake the window filter in).
+        self._kernel = resolve_kernel(
+            kernel, num_jobs=jobset.num_jobs, window_filter=window_filter)
         self._n = jobset.num_jobs
         self._num_stages = jobset.num_stages
         self._eye = np.eye(self._n, dtype=bool)
@@ -900,6 +918,12 @@ class DelayAnalyzer:
         """The effective level-evaluation kernel of this analyzer."""
         return self._kernel
 
+    @property
+    def requested_kernel(self) -> str:
+        """The kernel requested at construction, before ``auto`` and
+        window-filter resolution (see :attr:`kernel`)."""
+        return self._requested_kernel
+
     def level_bounds(self, unassigned: np.ndarray,
                      assigned_lower: np.ndarray | None = None, *,
                      equation: str = "eq6",
@@ -929,7 +953,12 @@ class DelayAnalyzer:
         path, so values are **bitwise identical** between the two
         kernels for every actual candidate (jobs in ``unassigned &
         active``); rows outside that set are only meaningful on the
-        reference path.  Entries of jobs outside ``active`` are ``nan``.
+        reference path.  ``kernel="compiled"`` runs the same premasked
+        operands through the left-fold loop primitives of
+        :mod:`repro.core.kernels.compiled`, agreeing with the
+        reference within ``1e-9`` relative tolerance (the tier matrix
+        lives in ``docs/kernels.md``).  Entries of jobs outside
+        ``active`` are ``nan``.
         """
         if equation not in ALL_EQUATIONS:
             raise ValueError(f"unknown equation {equation!r}; "
@@ -960,6 +989,9 @@ class DelayAnalyzer:
         if self._kernel == "paired":
             delays = self._level_paired(equation, unassigned,
                                         assigned_lower, active, row_sel)
+        elif self._kernel == "compiled":
+            delays = self._level_compiled(equation, unassigned,
+                                          assigned_lower, active, row_sel)
         else:
             size = n if row_sel is _ALL_ROWS else row_sel.size
             higher_of = np.broadcast_to(unassigned, (size, n))
@@ -1009,23 +1041,58 @@ class DelayAnalyzer:
         return contrib
 
     @staticmethod
-    def _masked_row_max(tensor: np.ndarray, cols: np.ndarray,
-                        stage: int) -> np.ndarray:
-        """Row-max of one premasked stage slice under a column mask."""
-        return np.where(cols, tensor[:, :, stage], 0.0).max(axis=1)
+    def _mask_plan(mask: np.ndarray) -> "tuple[int, np.ndarray | None]":
+        """Reduction strategy for one column mask: its population count
+        and, when sparse enough for column compression to pay off, the
+        compressed column index (``None`` keeps the dense path)."""
+        count = int(mask.sum())
+        if 0 < count * 4 <= mask.size:
+            return count, np.flatnonzero(mask)
+        return count, None
 
-    def _paired_stage_sum(self, tensor: np.ndarray, cols: np.ndarray,
-                          stop: int) -> np.ndarray:
-        """``sum_{j < stop} max_k cols[k] * tensor[:, k, j]``.
+    @staticmethod
+    def _plane_max(plane: np.ndarray, mask: np.ndarray,
+                   count: int, idx: "np.ndarray | None") -> np.ndarray:
+        """Column-masked row-max of one stage plane.
 
-        The per-stage maxima are collected into a ``(rows, stop)``
-        buffer and reduced with one ``sum(axis=1)``, which reproduces
-        the reference path's summation tree (numpy's pairwise reduction
-        depends only on the axis length).
+        Every strategy is bitwise identical to
+        ``np.where(mask, plane, 0.0).max(axis=1)``: max is an exact,
+        order-independent reduction, and the 0.0 fill of the dropped
+        columns is reproduced by ``initial=0.0`` on the compressed
+        path (a masked-out column always exists there, so the dense
+        result is floored at 0.0 too).
         """
-        maxima = np.empty((tensor.shape[0], stop))
+        if count == 0:
+            return np.zeros(plane.shape[0])
+        if idx is not None:
+            return plane[:, idx].max(axis=1, initial=0.0)
+        return np.where(mask, plane, 0.0).max(axis=1)
+
+    def _paired_stage_sum(self, field: str, rows, mask: np.ndarray,
+                          stop: int) -> np.ndarray:
+        """``sum_{j < stop} max_k mask[k] * tensor[:, k, j]`` over the
+        stage-major twin ``field + "_s"`` of a contribution tensor.
+
+        Walking one C-contiguous stage plane per iteration (instead of
+        a stage slice of the job-major tensor, which strides by ``N``
+        and pulls the whole ``(n, n, N)`` tensor through cache per
+        stage) is what closed the large-``n`` gap of the paired
+        kernel.  The per-stage maxima are collected into a ``(rows,
+        stop)`` buffer and reduced with one ``sum(axis=1)``, which
+        reproduces the reference path's summation tree (numpy's
+        pairwise reduction depends only on the axis length).
+        """
+        tensor_s = getattr(self._cache, field + "_s")
+        nrows = tensor_s.shape[1] if rows is _ALL_ROWS else rows.size
+        count, idx = self._mask_plan(mask)
+        if count == 0:
+            return np.zeros(nrows)
+        maxima = np.empty((nrows, stop))
         for j in range(stop):
-            maxima[:, j] = self._masked_row_max(tensor, cols, j)
+            plane = tensor_s[j]
+            if rows is not _ALL_ROWS:
+                plane = plane[rows]
+            maxima[:, j] = self._plane_max(plane, mask, count, idx)
         return maxima.sum(axis=1)
 
     def _level_paired(self, equation: str, unassigned: np.ndarray,
@@ -1052,38 +1119,109 @@ class DelayAnalyzer:
         if equation in ("eq1", "eq2"):
             self._require_single_resource(equation)
             stage_additive = self._paired_stage_sum(
-                cache.pq[rows], cols, last)
+                "pq", rows, cols, last)
             if equation == "eq1":
                 return job_additive + stage_additive
             low = (assigned_lower if active is None
                    else assigned_lower & active)
             blocking = self._paired_stage_sum(
-                cache.pb[rows], low, self._num_stages)
+                "pb", rows, low, self._num_stages)
             return job_additive + stage_additive + blocking
         if equation == "eq10":
             if self._num_stages != 3:
                 raise ModelError(
                     f"eq10 models the 3-stage edge pipeline, "
                     f"system has {self._num_stages} stages")
-            epq = cache.epq[rows]
-            uplink = np.where(cols, epq[:, :, 0], 0.0).max(axis=1)
-            server = np.where(cols, epq[:, :, 1], 0.0).max(axis=1)
+            count, idx = self._mask_plan(cols)
+            uplink_plane, server_plane = cache.epq_s[0], cache.epq_s[1]
+            downlink_plane = cache.epb_s[2]
+            if rows is not _ALL_ROWS:
+                uplink_plane = uplink_plane[rows]
+                server_plane = server_plane[rows]
+                downlink_plane = downlink_plane[rows]
+            uplink = self._plane_max(uplink_plane, cols, count, idx)
+            server = self._plane_max(server_plane, cols, count, idx)
             low = (assigned_lower if active is None
                    else assigned_lower & active)
-            downlink = self._masked_row_max(cache.epb[rows], low, 2)
+            lcount, lidx = self._mask_plan(low)
+            downlink = self._plane_max(downlink_plane, low, lcount, lidx)
             return job_additive + uplink + server + downlink
         stage_additive = self._paired_stage_sum(
-            cache.epq[rows], cols, last)
+            "epq", rows, cols, last)
         if equation == "eq4":
             low = (assigned_lower if active is None
                    else assigned_lower & active)
             blocking = self._paired_stage_sum(
-                cache.epb[rows], low, self._num_stages)
+                "epb", rows, low, self._num_stages)
             return job_additive + stage_additive + blocking
         if equation == "eq5":
             blocking = self._eq5_blocking(active)[rows]
             return job_additive + stage_additive + blocking
         return job_additive + stage_additive  # eq3 / eq6
+
+    def _level_compiled(self, equation: str, unassigned: np.ndarray,
+                        assigned_lower: np.ndarray | None,
+                        active: np.ndarray | None, rows) -> np.ndarray:
+        """Compiled-tier level evaluation: the per-equation term
+        assembly of :meth:`_level_paired` with the masked reductions
+        delegated to the loop primitives of
+        :mod:`repro.core.kernels.compiled` (numba-jitted when
+        available, plain-python fallback otherwise).
+
+        The left-fold sums round differently from the numpy pairwise
+        trees, so this tier matches the reference within the
+        documented ``1e-9`` relative tolerance instead of bitwise;
+        single-row probes route through this very method (``rows`` of
+        length one), so single-vs-batch stays bitwise within the tier.
+        """
+        cache = self._cache
+        cols = unassigned if active is None else unassigned & active
+        contrib = self._contribution(equation)
+        if rows is _ALL_ROWS:
+            row_idx = np.arange(self._n, dtype=np.int64)
+        else:
+            row_idx = rows
+        out = np.zeros(row_idx.size)
+        _compiled_kernels.pair_sum(contrib.C, cols, row_idx, out)
+        if contrib.extra is not None:
+            _compiled_kernels.pair_sum(contrib.extra, cols, row_idx, out)
+        if contrib.self_add is not None:
+            out += contrib.self_add[row_idx]
+        last = self._num_stages - 1
+        if equation in ("eq1", "eq2"):
+            self._require_single_resource(equation)
+            _compiled_kernels.stage_sum(
+                cache.pq, cols, row_idx, 0, last, out)
+            if equation == "eq2":
+                low = (assigned_lower if active is None
+                       else assigned_lower & active)
+                _compiled_kernels.stage_sum(
+                    cache.pb, low, row_idx, 0, self._num_stages, out)
+            return out
+        if equation == "eq10":
+            if self._num_stages != 3:
+                raise ModelError(
+                    f"eq10 models the 3-stage edge pipeline, "
+                    f"system has {self._num_stages} stages")
+            _compiled_kernels.stage_sum(
+                cache.epq, cols, row_idx, 0, 2, out)
+            low = (assigned_lower if active is None
+                   else assigned_lower & active)
+            _compiled_kernels.stage_sum(
+                cache.epb, low, row_idx, 2, 3, out)
+            return out
+        _compiled_kernels.stage_sum(
+            cache.epq, cols, row_idx, 0, last, out)
+        if equation == "eq4":
+            low = (assigned_lower if active is None
+                   else assigned_lower & active)
+            _compiled_kernels.stage_sum(
+                cache.epb, low, row_idx, 0, self._num_stages, out)
+        elif equation == "eq5":
+            # The priority-independent blocking vector is shared with
+            # the paired tier (memoised per ``active`` context).
+            out += self._eq5_blocking(active)[row_idx]
+        return out
 
     def level_bound_single(self, i: int, unassigned: np.ndarray,
                            assigned_lower: np.ndarray | None = None, *,
@@ -1120,40 +1258,59 @@ class DelayAnalyzer:
         if contrib.self_add is not None:
             job_additive += contrib.self_add[i]
         last = self._num_stages - 1
+        ccount, cidx = self._mask_plan(cols)
 
-        def stage_sum(tensor_row: np.ndarray, mask: np.ndarray,
-                      stop: int) -> np.ndarray:
+        def row_max(row: np.ndarray, mask: np.ndarray, count: int,
+                    idx: "np.ndarray | None") -> float:
+            # Scalar twin of _plane_max: bitwise identical to
+            # np.where(mask, row, 0.0).max() on every strategy.
+            if count == 0:
+                return 0.0
+            if idx is not None:
+                return row[idx].max(initial=0.0)
+            return np.where(mask, row, 0.0).max()
+
+        def stage_sum(field: str, mask: np.ndarray, stop: int,
+                      count: int, idx: "np.ndarray | None") -> float:
+            # Row i of each stage-major plane is one contiguous read.
+            if count == 0:
+                return 0.0
+            tensor_s = getattr(cache, field + "_s")
             maxima = np.empty(stop)
             for j in range(stop):
-                maxima[j] = np.where(mask, tensor_row[:, j], 0.0).max()
+                maxima[j] = row_max(tensor_s[j, i], mask, count, idx)
             return maxima.sum()
 
         if equation in ("eq1", "eq2"):
             self._require_single_resource(equation)
-            stage_additive = stage_sum(cache.pq[i], cols, last)
+            stage_additive = stage_sum("pq", cols, last, ccount, cidx)
             if equation == "eq1":
                 return float(job_additive + stage_additive)
             low = (assigned_lower if active is None
                    else assigned_lower & active)
-            blocking = stage_sum(cache.pb[i], low, self._num_stages)
+            lcount, lidx = self._mask_plan(low)
+            blocking = stage_sum("pb", low, self._num_stages,
+                                 lcount, lidx)
             return float(job_additive + stage_additive + blocking)
         if equation == "eq10":
             if self._num_stages != 3:
                 raise ModelError(
                     f"eq10 models the 3-stage edge pipeline, "
                     f"system has {self._num_stages} stages")
-            epq = cache.epq[i]
-            uplink = np.where(cols, epq[:, 0], 0.0).max()
-            server = np.where(cols, epq[:, 1], 0.0).max()
+            uplink = row_max(cache.epq_s[0, i], cols, ccount, cidx)
+            server = row_max(cache.epq_s[1, i], cols, ccount, cidx)
             low = (assigned_lower if active is None
                    else assigned_lower & active)
-            downlink = np.where(low, cache.epb[i][:, 2], 0.0).max()
+            lcount, lidx = self._mask_plan(low)
+            downlink = row_max(cache.epb_s[2, i], low, lcount, lidx)
             return float(job_additive + uplink + server + downlink)
-        stage_additive = stage_sum(cache.epq[i], cols, last)
+        stage_additive = stage_sum("epq", cols, last, ccount, cidx)
         if equation == "eq4":
             low = (assigned_lower if active is None
                    else assigned_lower & active)
-            blocking = stage_sum(cache.epb[i], low, self._num_stages)
+            lcount, lidx = self._mask_plan(low)
+            blocking = stage_sum("epb", low, self._num_stages,
+                                 lcount, lidx)
             return float(job_additive + stage_additive + blocking)
         if equation == "eq5":
             blocking = self._eq5_blocking(active)[i]
@@ -1203,7 +1360,7 @@ class DelayAnalyzer:
             everyone = (np.ones(self._n, dtype=bool) if active is None
                         else active)
             blocking = self._paired_stage_sum(
-                self._cache.epb, everyone, self._num_stages)
+                "epb", _ALL_ROWS, everyone, self._num_stages)
             _evict_to_limit(self._blocking_memo, _BLOCKING_MEMO_LIMIT)
             self._blocking_memo[key] = blocking
         return blocking

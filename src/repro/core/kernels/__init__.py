@@ -1,0 +1,117 @@
+"""Kernel tier registry for the level-evaluation hot path.
+
+:class:`repro.core.dca.DelayAnalyzer` evaluates every Audsley /
+admission level through one of three interchangeable kernels, plus a
+size-based dispatcher (see ``docs/kernels.md`` for the full matrix):
+
+``reference``
+    The broadcast tensor path (``_batch_dispatch``): per-level
+    ``(rows, n)`` relation masks over the ``(n, n, N)`` segment cache.
+    Semantic ground truth; every other tier is tested against it.
+``paired``
+    The pairwise-contribution kernel: premasked contribution matrices
+    and stage-major tensors, bitwise identical to ``reference`` for
+    every candidate row.  The default.
+``compiled``
+    Numba-jitted loop primitives (:mod:`repro.core.kernels.compiled`)
+    over the same premasked operands.  Numba is an *optional*
+    dependency: the primitives fall back to pure-python loops with
+    identical arithmetic (same left-fold order), but requesting
+    ``kernel="compiled"`` without numba raises
+    :class:`CompiledKernelUnavailable` -- silent orders-of-magnitude
+    slowdowns are worse than a clear error.  Tests force the fallback
+    path through :data:`FORCE_FALLBACK` to property-check equivalence
+    without numba installed.
+``auto``
+    Resolves to the fastest safe tier for the instance size at
+    analyzer construction (:func:`auto_tier`); degrades silently to
+    ``paired`` when the compiled tier is unavailable.
+
+This package is dependency-free within ``repro`` (it must not import
+:mod:`repro.core.dca`, which imports it).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.core.kernels import compiled
+from repro.core.kernels.compiled import HAS_NUMBA
+from repro.core.kernels.dispatch import AUTO_COMPILED_MIN_JOBS, pick_tier
+
+__all__ = [
+    "AUTO_COMPILED_MIN_JOBS",
+    "CompiledKernelUnavailable",
+    "FORCE_FALLBACK",
+    "HAS_NUMBA",
+    "KERNEL_TIERS",
+    "auto_tier",
+    "compiled",
+    "compiled_available",
+    "pick_tier",
+    "resolve_kernel",
+]
+
+#: Every kernel value accepted by ``DelayAnalyzer(kernel=...)``, the
+#: CLI ``--kernel`` flags, the campaign ``kernel`` knob and the online
+#: scenario specs.  The first entry is the default everywhere.
+KERNEL_TIERS = ("paired", "reference", "compiled", "auto")
+
+#: Pretend the compiled tier is available even without numba, running
+#: its pure-python fallback loops.  Test-only: the fallback is
+#: arithmetic-identical to the jitted code but orders of magnitude
+#: slower, which is exactly why ``kernel="compiled"`` refuses to run
+#: on it silently.  Set via the environment (the no-optional-deps CI
+#: job) or monkeypatched directly.
+FORCE_FALLBACK = os.environ.get("REPRO_KERNEL_FORCE_FALLBACK", "") not in (
+    "", "0")
+
+
+class CompiledKernelUnavailable(RuntimeError):
+    """``kernel="compiled"`` was requested but numba is not installed.
+
+    Use ``kernel="auto"`` to fall back to the paired kernel silently,
+    or install the optional ``numba`` dependency.
+    """
+
+
+def compiled_available() -> bool:
+    """Whether ``kernel="compiled"`` can be served (numba importable,
+    or the test-only fallback force flag is set)."""
+    return HAS_NUMBA or FORCE_FALLBACK
+
+
+def auto_tier(num_jobs: int) -> str:
+    """The tier ``kernel="auto"`` resolves to for ``num_jobs`` jobs."""
+    return pick_tier(num_jobs, compiled_ok=compiled_available())
+
+
+def resolve_kernel(requested: str, *, num_jobs: int,
+                   window_filter: bool = True) -> str:
+    """Map a requested kernel value to the effective evaluation tier.
+
+    * unknown values raise ``ValueError`` (message names the valid
+      tiers, matching the historic ``DelayAnalyzer`` error);
+    * ``"compiled"`` raises :class:`CompiledKernelUnavailable` when
+      numba is absent (checked first, so the error is never masked by
+      the window-filter downgrade below);
+    * ``window_filter=False`` resolves everything to ``"reference"``:
+      the premasked contribution tensors bake the window-overlap
+      filter in, so only the tensor path can serve unfiltered
+      analyzers;
+    * ``"auto"`` picks :func:`auto_tier` for the instance size.
+    """
+    if requested not in KERNEL_TIERS:
+        raise ValueError(
+            f"kernel must be one of {KERNEL_TIERS}, got {requested!r}")
+    if requested == "compiled" and not compiled_available():
+        raise CompiledKernelUnavailable(
+            "kernel='compiled' needs the optional numba dependency, "
+            "which is not installed; install numba, or use "
+            "kernel='auto' to fall back to the paired kernel "
+            "automatically")
+    if not window_filter:
+        return "reference"
+    if requested == "auto":
+        return auto_tier(num_jobs)
+    return requested

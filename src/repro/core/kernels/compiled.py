@@ -1,0 +1,92 @@
+"""Compiled loop primitives of the ``kernel="compiled"`` tier.
+
+Two reductions cover every per-equation level evaluator of
+:class:`repro.core.dca.DelayAnalyzer` (see ``docs/kernels.md`` for the
+term-by-term mapping):
+
+* :func:`pair_sum` -- the job-additive term: a column-masked row sum
+  over a premasked contribution matrix;
+* :func:`stage_sum` -- the stage-additive / blocking terms: per-stage
+  column-masked row maxima over a premasked ``(n, n, N)`` contribution
+  tensor, summed over a stage range.
+
+Both are compiled with :func:`numba.njit` when numba is importable and
+run as plain-python loops otherwise (``HAS_NUMBA`` tells which).  The
+fallback executes the *same* code, so jitted and interpreted results
+are identical: ``njit`` without ``fastmath`` preserves IEEE evaluation
+order, and the loops below fix that order explicitly (left-fold over
+ascending indices).
+
+Numerical contract
+------------------
+Sums are left-folds, not numpy's pairwise trees, so the compiled tier
+agrees with the reference kernel within the documented ``<= 1e-9``
+relative tolerance rather than bitwise.  Two exact properties still
+hold by construction:
+
+* single-row and batch evaluations share these primitives, so they
+  remain bitwise identical to each other;
+* skipping a masked-out column is bit-identical to adding its 0.0
+  premasked term (``x + 0.0 == x``), so the reduction tree has fixed
+  shape and placing or discarding a job can only lower the result --
+  the ``FLOAT_MONOTONE_EQUATIONS`` contract survives this tier.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+try:  # pragma: no cover - the with-numba branch has no CI leg yet
+    from numba import njit
+
+    HAS_NUMBA = True
+except ImportError:
+    HAS_NUMBA = False
+
+    def njit(*args, **kwargs):
+        """Identity stand-in for :func:`numba.njit`."""
+        if args and callable(args[0]):
+            return args[0]
+
+        def wrap(func):
+            return func
+
+        return wrap
+
+
+@njit(cache=True, nogil=True)
+def pair_sum(C, cols, rows, out):
+    """``out[r] += sum_{k: cols[k]} C[rows[r], k]`` (left-fold over
+    ascending ``k``)."""
+    for r in range(rows.shape[0]):
+        i = rows[r]
+        acc = 0.0
+        for k in range(C.shape[1]):
+            if cols[k]:
+                acc += C[i, k]
+        out[r] += acc
+
+
+@njit(cache=True, nogil=True)
+def stage_sum(T, mask, rows, start, stop, out):
+    """``out[r] += sum_{start <= j < stop} max(0, max_{k: mask[k]}
+    T[rows[r], k, j])``.
+
+    The 0 floor matches the reference kernel's ``np.where`` fill; the
+    masked entries of the premasked tensors are exactly 0.  Row slices
+    ``T[i]`` are read contiguously (``k``-outer loop).
+    """
+    width = stop - start
+    for r in range(rows.shape[0]):
+        i = rows[r]
+        maxima = np.zeros(width)
+        for k in range(T.shape[1]):
+            if mask[k]:
+                for j in range(width):
+                    value = T[i, k, start + j]
+                    if value > maxima[j]:
+                        maxima[j] = value
+        total = 0.0
+        for j in range(width):
+            total += maxima[j]
+        out[r] += total

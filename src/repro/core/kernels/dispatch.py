@@ -1,0 +1,30 @@
+"""Size-based tier selection behind ``kernel="auto"``.
+
+First slice of the ROADMAP auto-tuner: a static dispatch table seeded
+from the measured tier columns of ``benchmarks/bench_scalability.py``
+(methodology in ``docs/kernels.md``).  The table is deliberately
+coarse -- one crossover point -- because the measured ordering is
+stable: the compiled loops win at every benchmarked size once the
+instance is large enough to amortise the per-call jit dispatch
+overhead, and below that the paired numpy kernels already run in a few
+microseconds.
+"""
+
+from __future__ import annotations
+
+#: Measured crossover: at fewer jobs than this the per-call dispatch
+#: overhead of a jitted kernel is on the order of the whole paired
+#: evaluation, so ``auto`` stays on the paired tier.
+AUTO_COMPILED_MIN_JOBS = 12
+
+
+def pick_tier(num_jobs: int, *, compiled_ok: bool) -> str:
+    """The fastest safe tier for an instance of ``num_jobs`` jobs.
+
+    ``compiled_ok`` gates the compiled tier (numba availability);
+    without it every size resolves to ``paired`` -- the silent
+    degradation contract of ``kernel="auto"``.
+    """
+    if compiled_ok and num_jobs >= AUTO_COMPILED_MIN_JOBS:
+        return "compiled"
+    return "paired"

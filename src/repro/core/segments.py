@@ -142,6 +142,16 @@ class SegmentCache:
         Raw-``P`` counterparts used by the single-resource bounds
         (Eqs. 1-2): ``pq[i, k, j] = P[k, j]`` when ``J_k`` overlaps
         ``J_i`` or ``k == i``, else 0.
+    ``epq_s`` / ``epb_s`` / ``pq_s`` / ``pb_s``
+        Stage-major views of the four tensors above: ``(N, n, n)``
+        C-contiguous, so one *stage plane* ``epq_s[j]`` is a single
+        contiguous ``(n, n)`` read.  The per-stage column-masked
+        row-max of the paired level kernel walks stages in its outer
+        loop; on the job-major layout each stage slice strides by
+        ``N`` and pulls the whole tensor through cache once per
+        stage, which is what made the paired kernel *lose* to the
+        reference path at large ``n``.  Same values, same lazy
+        build-once semantics.
     """
 
     def __init__(self, jobset: JobSet) -> None:
@@ -216,9 +226,12 @@ class SegmentCache:
         # Only called for attributes not yet materialised.
         if name in _LAZY_PAIR_FIELDS:
             value = self._build_contribution(name)
-            setattr(self, name, value)
-            return value
-        raise AttributeError(name)
+        elif name in _STAGE_MAJOR_FIELDS:
+            value = _stage_major(getattr(self, name[:-2]))
+        else:
+            raise AttributeError(name)
+        setattr(self, name, value)
+        return value
 
     def _build_contribution(self, name: str) -> np.ndarray:
         """Materialise one premasked contribution tensor.
@@ -298,6 +311,18 @@ _PAIR_FIELDS = ("ep", "et_sorted", "et_cumsum", "et1", "et2",
 #: simply gathers them like any other pair field).
 _LAZY_PAIR_FIELDS = ("epq", "epb", "pq", "pb")
 
+#: Stage-major ``(N, n, n)`` contiguous twins of the contribution
+#: tensors, built lazily from the corresponding job-major field (strip
+#: the ``_s`` suffix).  Not pair fields: their leading axis is the
+#: stage, so a sliced cache rebuilds them from its own gathered base
+#: tensor instead of gathering the parent's.
+_STAGE_MAJOR_FIELDS = ("epq_s", "epb_s", "pq_s", "pb_s")
+
+
+def _stage_major(tensor: np.ndarray) -> np.ndarray:
+    """C-contiguous stage-major copy of a ``(n, n, N)`` tensor."""
+    return np.ascontiguousarray(tensor.transpose(2, 0, 1))
+
 #: Fields indexed by a single job axis.
 _JOB_FIELDS = ("t_sorted", "t1", "t2")
 
@@ -323,6 +348,11 @@ class _SlicedSegmentCache(SegmentCache):
         if name in _PAIR_FIELDS:
             idx = self._idx
             value = getattr(self._parent, name)[idx][:, idx]
+        elif name in _STAGE_MAJOR_FIELDS:
+            # Transposing the subset's own (gathered) job-major tensor
+            # is cheaper than gathering both trailing axes of the
+            # parent's stage-major twin, and bitwise identical.
+            value = _stage_major(getattr(self, name[:-2]))
         elif name in _JOB_FIELDS:
             value = getattr(self._parent, name)[self._idx]
         else:

@@ -31,6 +31,7 @@ from typing import Callable, Iterator, Mapping
 
 from repro import obs
 from repro.core.admission import AdmissionResult
+from repro.core.kernels import KERNEL_TIERS
 from repro.core.schedulability import Policy
 from repro.core.system import JobSet
 from repro.online.incremental import (
@@ -44,10 +45,10 @@ from repro.online.incremental import (
 #: Entry cap of a cell's decision memo (FIFO).
 DECISION_MEMO_LIMIT = 256
 
-#: Level-evaluation kernels a cell accepts (mirrors
-#: :data:`repro.core.dca.KERNELS`; validated here so the CLI knob
-#: fails fast at engine construction, not deep in the analyzer).
-CELL_KERNELS = ("paired", "reference")
+#: Level-evaluation kernels a cell accepts (the shared tier registry
+#: of :mod:`repro.core.kernels`; validated here so the CLI knob fails
+#: fast at engine construction, not deep in the analyzer).
+CELL_KERNELS = KERNEL_TIERS
 
 #: Cell event outcomes counted in the ``repro.obs`` registry.
 CELL_DECISIONS = ("accept", "reject", "free", "expire", "noop")

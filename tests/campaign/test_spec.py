@@ -422,10 +422,19 @@ class TestShardsAndKernel:
             tiny_spec(axes={**base, "shards": ("two",)})
 
     def test_kernel_knob_round_trips(self):
-        spec = tiny_spec(kernel="reference")
-        payload = spec.to_dict()
-        assert payload["kernel"] == "reference"
-        assert CampaignSpec.from_dict(payload) == spec
+        # Every tier in the shared registry -- including "compiled"
+        # and "auto" -- is a valid campaign value: the knob is
+        # resolved at run time, not at spec validation (a spec
+        # written on a numba machine must still load elsewhere).
+        from repro.core.kernels import KERNEL_TIERS
+
+        for kernel in KERNEL_TIERS:
+            spec = tiny_spec(kernel=kernel)
+            payload = spec.to_dict()
+            assert payload["kernel"] == kernel
+            assert CampaignSpec.from_dict(payload) == spec
+            assert campaign_hash(spec) == campaign_hash(
+                CampaignSpec.from_dict(payload))
         # the default serialises too (explicit beats implicit)
         assert tiny_spec().to_dict()["kernel"] == "paired"
 
