@@ -15,7 +15,7 @@ Usage::
 
     PYTHONPATH=src python scripts/profile_hotpath.py [target ...] \
         [--jobs N] [--cases K] [--top N] [--sort cumulative|tottime] \
-        [--kernel paired|reference|compiled|auto]
+        [--kernel paired|reference|compiled|auto] [--batch N]
 
 With no targets, all three are profiled.  Each target prints a
 top-``N`` table sorted by cumulative time (default), the right view
@@ -23,6 +23,21 @@ for "which layer is hot"; ``--sort tottime`` surfaces leaf kernels.
 ``--kernel`` selects the level-evaluation tier under profile (see
 ``docs/kernels.md``); the header prints both the requested value and
 the tier it resolves to, so saved profiles are attributable.
+
+``--batch N`` puts the ``online`` target on the micro-batched slate
+path: the coalescing window is derived from the stream's arrival
+rate so a slate averages ~``N`` members (``window = (N-1)/rate``).
+Other targets ignore the flag.  Decisions are identical either way
+(property-tested in ``tests/online/test_slate.py``); what changes is
+where the time goes, which the per-phase table makes visible.
+
+After the flat profile each target prints a **per-phase breakdown**:
+profiler rows bucketed into the four hot-path phases -- ``probe``
+(level-bound evaluation: paired/compiled frontier probes),
+``splice`` (carried-frontier and priority-order surgery),
+``cache-invalidate`` (departure-path memo/segment eviction) and
+``memo`` (subset-analysis reuse) -- with own-time and share of total.
+``docs/kernels.md`` walks through reading it.
 
 This is a developer tool: output is wall-clock and machine-dependent.
 The committed regression gates live in ``benchmarks/`` and
@@ -75,7 +90,13 @@ def run_admission(num_jobs: int, cases: int, kernel: str) -> None:
         opdca_admission(jobset, "eq10", test=test)
 
 
-def run_online(num_jobs: int, cases: int, kernel: str) -> None:
+#: Arrival rate of the profiled stream (events per unit stream time).
+#: ``--batch N`` derives the slate coalescing window from it.
+ONLINE_RATE = 1.3
+
+
+def run_online(num_jobs: int, cases: int, kernel: str,
+               slate_window: float = 0.0) -> None:
     from repro.online import (
         OnlineAdmissionEngine,
         StreamConfig,
@@ -84,19 +105,74 @@ def run_online(num_jobs: int, cases: int, kernel: str) -> None:
 
     for seed in range(cases):
         stream = generate_stream(
-            StreamConfig(horizon=150.0, rate=1.3, dwell_scale=2.0,
+            StreamConfig(horizon=150.0, rate=ONLINE_RATE,
+                         dwell_scale=2.0,
                          pool_size=min(num_jobs, 40)),
             seed=seed)
         OnlineAdmissionEngine(stream, mode="incremental",
-                              kernel=kernel).run()
+                              kernel=kernel,
+                              slate_window=slate_window).run()
 
 
 RUNNERS = {"opdca": run_opdca, "admission": run_admission,
            "online": run_online}
 
+#: Per-phase buckets of the admission hot path: own-time (tottime) of
+#: every profiled function whose name matches one of the patterns is
+#: summed into the bucket.  Names, not filenames, so the table stays
+#: stable across the monolithic and sharded engines (see
+#: ``docs/kernels.md`` for the walkthrough).
+PHASES: "dict[str, tuple[str, ...]]" = {
+    # Level-bound evaluation: single frontier probes and batch rows,
+    # on any tier (paired masks, compiled loop primitives, reference).
+    "probe": (
+        "probe_one", "batch_level", "exact_rows", "level_probe",
+        "level_bounds", "level_bound_single", "_level_paired",
+        "_level_compiled", "_paired_stage_sum", "delay_bound_level",
+        "delay_bounds_rows",
+    ),
+    # Carried-frontier and priority-order surgery between decisions.
+    "splice": (
+        "_drop_stage_maxima", "_raise_stage_maxima", "_carry_transform",
+        "_splice_verified", "remove", "remove_many", "_order_rebase",
+    ),
+    # Departure path: memo and segment-cache eviction.
+    "cache-invalidate": (
+        "invalidate_job", "_evict_to_limit", "forget", "depart",
+        "invalidate",
+    ),
+    # Cross-decision subset-analysis reuse (LRU memo + band carry).
+    "memo": (
+        "subset", "cold_subset", "remember", "store", "_analysis",
+        "seed",
+    ),
+}
+
+
+def _phase_breakdown(stats: pstats.Stats) -> None:
+    """Bucket profiler rows into the hot-path phases and print the
+    own-time table (phases, then ``other``, then total)."""
+    buckets = {phase: 0.0 for phase in PHASES}
+    total = 0.0
+    for (_, _, name), (_, _, tottime, _, _) in stats.stats.items():
+        total += tottime
+        for phase, names in PHASES.items():
+            if name in names:
+                buckets[phase] += tottime
+                break
+    if total <= 0.0:
+        return
+    print("--- per-phase breakdown (own time) ---")
+    other = total - sum(buckets.values())
+    for phase, seconds in [*buckets.items(), ("other", other)]:
+        print(f"  {phase:<16s} {seconds:8.3f}s  "
+              f"{100.0 * seconds / total:5.1f}%")
+    print(f"  {'total':<16s} {total:8.3f}s")
+
 
 def profile_target(target: str, *, num_jobs: int, cases: int,
-                   top: int, sort: str, kernel: str) -> None:
+                   top: int, sort: str, kernel: str,
+                   batch: int = 1) -> None:
     from repro.core.kernels import resolve_kernel
 
     # Resolve once for the header: "auto" depends on the instance
@@ -104,17 +180,27 @@ def profile_target(target: str, *, num_jobs: int, cases: int,
     # profiler spins up, with the kernels module's clear error.
     effective = resolve_kernel(kernel, num_jobs=num_jobs)
     runner = RUNNERS[target]
-    runner(num_jobs, min(cases, 1), kernel)  # warm imports/caches
+    extra = {}
+    if target == "online" and batch > 1:
+        # A Poisson stream at ``rate`` has mean arrival gap 1/rate, so
+        # a window of (N-1)/rate coalesces ~N consecutive arrivals
+        # into one slate on average.
+        extra["slate_window"] = (batch - 1) / ONLINE_RATE
+    runner(num_jobs, min(cases, 1), kernel, **extra)  # warm caches
     profiler = cProfile.Profile()
     profiler.enable()
-    runner(num_jobs, cases, kernel)
+    runner(num_jobs, cases, kernel, **extra)
     profiler.disable()
     kernel_note = (kernel if kernel == effective
                    else f"{kernel} -> {effective}")
+    batch_note = (f", slate~{batch} "
+                  f"(window={extra['slate_window']:.2f})"
+                  if extra else "")
     print(f"\n=== {target} (n={num_jobs}, cases={cases}, "
-          f"kernel={kernel_note}, sort={sort}) ===")
+          f"kernel={kernel_note}{batch_note}, sort={sort}) ===")
     stats = pstats.Stats(profiler, stream=sys.stdout)
     stats.strip_dirs().sort_stats(sort).print_stats(top)
+    _phase_breakdown(stats)
 
 
 def main(argv: "list[str] | None" = None) -> int:
@@ -140,16 +226,25 @@ def main(argv: "list[str] | None" = None) -> int:
                         choices=KERNEL_TIERS,
                         help="level-evaluation kernel tier under "
                              "profile (default: paired)")
+    parser.add_argument("--batch", type=int, default=1, metavar="N",
+                        help="target mean slate size for the online "
+                             "hot path; the coalescing window is "
+                             "derived as (N-1)/rate.  1 (default) "
+                             "profiles the sequential path; other "
+                             "targets ignore the flag")
     args = parser.parse_args(argv)
     if args.jobs <= 0 or args.cases <= 0 or args.top <= 0:
         parser.error("--jobs/--cases/--top must be positive")
+    if args.batch <= 0:
+        parser.error("--batch must be positive")
     targets = args.targets or list(TARGETS)
     unknown = [t for t in targets if t not in TARGETS]
     if unknown:
         parser.error(f"unknown target(s) {unknown}; expected {TARGETS}")
     for target in targets:
         profile_target(target, num_jobs=args.jobs, cases=args.cases,
-                       top=args.top, sort=args.sort, kernel=args.kernel)
+                       top=args.top, sort=args.sort,
+                       kernel=args.kernel, batch=args.batch)
     return 0
 
 

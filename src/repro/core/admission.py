@@ -10,7 +10,7 @@ the share of total heaviness carried by the discarded jobs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
 
@@ -19,7 +19,6 @@ from repro.core.schedulability import SDCA, Policy
 from repro.core.system import JobSet
 
 
-@dataclass
 class AdmissionResult:
     """Outcome of an admission-controlled priority assignment.
 
@@ -35,13 +34,54 @@ class AdmissionResult:
         for rejected ones.  ``None`` for pairwise-based controllers.
     delays:
         Delay bounds of accepted jobs under the final assignment
-        (entries of rejected jobs are ``nan``).
+        (entries of rejected jobs are ``nan``).  May be supplied
+        lazily via ``delays_fn``: nothing on the streaming decision
+        path reads the final delay vector (commits consume only
+        ``accepted``/``ordering``), so the online controllers defer
+        the closing ``delays_for_pairwise`` batch until a consumer --
+        a test, a report -- actually asks.  The thunk runs at most
+        once; the accessor caches its value.
     """
 
-    accepted: list[int]
-    rejected: list[int]
-    ordering: np.ndarray | None
-    delays: np.ndarray
+    __slots__ = ("accepted", "rejected", "ordering", "_delays",
+                 "_delays_fn")
+
+    def __init__(self, accepted: list[int], rejected: list[int],
+                 ordering: "np.ndarray | None",
+                 delays: "np.ndarray | None" = None, *,
+                 delays_fn: "Callable[[], np.ndarray] | None" = None) \
+            -> None:
+        if delays is None and delays_fn is None:
+            raise ValueError("either delays or delays_fn is required")
+        self.accepted = accepted
+        self.rejected = rejected
+        self.ordering = ordering
+        self._delays = delays
+        self._delays_fn = delays_fn
+
+    @property
+    def delays(self) -> np.ndarray:
+        if self._delays is None:
+            self._delays = self._delays_fn()
+            self._delays_fn = None
+        return self._delays
+
+    def rebind_delays(self, delays_fn: "Callable[[], np.ndarray]") \
+            -> None:
+        """Swap the pending lazy-delays thunk (no-op once the vector
+        is materialised).  The online cells use this to replace the
+        controller's closure -- which pins the whole per-event subset
+        analysis -- with a thin rebuilder before parking results in
+        the long-lived decision memo."""
+        if self._delays is None:
+            self._delays_fn = delays_fn
+
+    def __reduce__(self):
+        # Pickling (process pools, snapshots) materialises the delay
+        # vector: thunks close over analyzers and are not picklable.
+        return (_rebuild_admission_result,
+                (self.accepted, self.rejected, self.ordering,
+                 self.delays))
 
     @property
     def num_accepted(self) -> int:
@@ -50,6 +90,13 @@ class AdmissionResult:
     @property
     def num_rejected(self) -> int:
         return len(self.rejected)
+
+
+def _rebuild_admission_result(accepted, rejected, ordering, delays
+                              ) -> AdmissionResult:
+    """Module-level pickle constructor of :class:`AdmissionResult`."""
+    return AdmissionResult(accepted=accepted, rejected=rejected,
+                           ordering=ordering, delays=delays)
 
 
 def opdca_admission(jobset: JobSet,

@@ -262,6 +262,9 @@ class DelayAnalyzer:
         self._blocking_memo: dict[tuple, np.ndarray] = {}
         #: Lazily built per-pair removal caps (see :meth:`removal_caps`).
         self._removal_caps: np.ndarray | None = None
+        #: equation -> exact-delta band operands (pure functions of the
+        #: job set; never invalidated -- see :meth:`band_operands`).
+        self._band_memo: dict[str, tuple] = {}
         #: Per-memo hit/miss tallies (see :meth:`cache_stats`); plain
         #: dict increments so the hot-path cost stays sub-microsecond.
         self._cache_hits = {"masks": 0, "bounds": 0, "batches": 0,
@@ -1182,12 +1185,28 @@ class DelayAnalyzer:
         else:
             row_idx = rows
         out = np.zeros(row_idx.size)
+        last = self._num_stages - 1
+        if equation in ("eq3", "eq5", "eq6"):
+            # The fused frontier probe covers the job-additive pair
+            # sum, the self term and the stage-additive maxima in one
+            # jit dispatch -- the online admission hot path.  Every
+            # row's accumulation is independent of which other rows
+            # are evaluated, so arbitrary row subsets stay bitwise
+            # identical to the corresponding full-batch entries
+            # within this tier.
+            _compiled_kernels.level_probe(
+                contrib.C, contrib.self_add, cache.epq, cols, row_idx,
+                last, out)
+            if equation == "eq5":
+                # The priority-independent blocking vector is shared
+                # with the paired tier (memoised per ``active``).
+                out += self._eq5_blocking(active)[row_idx]
+            return out
         _compiled_kernels.pair_sum(contrib.C, cols, row_idx, out)
         if contrib.extra is not None:
             _compiled_kernels.pair_sum(contrib.extra, cols, row_idx, out)
         if contrib.self_add is not None:
             out += contrib.self_add[row_idx]
-        last = self._num_stages - 1
         if equation in ("eq1", "eq2"):
             self._require_single_resource(equation)
             _compiled_kernels.stage_sum(
@@ -1217,10 +1236,6 @@ class DelayAnalyzer:
                    else assigned_lower & active)
             _compiled_kernels.stage_sum(
                 cache.epb, low, row_idx, 0, self._num_stages, out)
-        elif equation == "eq5":
-            # The priority-independent blocking vector is shared with
-            # the paired tier (memoised per ``active`` context).
-            out += self._eq5_blocking(active)[row_idx]
         return out
 
     def level_bound_single(self, i: int, unassigned: np.ndarray,
@@ -1346,6 +1361,68 @@ class DelayAnalyzer:
             caps = 2.0 * cache.m * cache.et1 + 2.0 * cache.ep.sum(axis=2)
             self._removal_caps = caps
         return caps
+
+    def band_operands(self, equation: str) -> (
+            "tuple[np.ndarray, np.ndarray, np.ndarray | None]"):
+        """Operands for *exact-delta* maintenance of one level kernel.
+
+        For the float-monotone equations every level value of candidate
+        ``J_i`` decomposes as::
+
+            bounds[i] = sum_{k in cols} delta[i, k] + self_add[i]
+                        + sum_j max(0, max_{k in cols} planes[j, i, k])
+                        [+ sum_j max(0, max_{k in act} block[j, i, k])]
+
+        with ``cols = unassigned & active`` -- the paired kernel's own
+        term assembly.  Removing one job ``p`` from ``cols`` therefore
+        changes the job-additive term by exactly ``-delta[i, p]`` and
+        each stage maximum by an exactly-representable difference of
+        two maxima, which is what lets the online admission controller
+        carry *certified bands* on every candidate's excess across an
+        Audsley run instead of re-evaluating whole levels
+        (:func:`repro.online.incremental.incremental_admission`).
+
+        Returns ``(delta, planes, block_planes)``: the combined
+        job-additive pair matrix (Eq. 1's arrive-after coefficients are
+        pre-added), the stage-major interference planes summed over
+        stages ``j < N-1``, and -- for Eq. 5 only, else ``None`` -- the
+        stage-major blocking planes maximised over the *active* set
+        (all ``N`` stages).  The constant ``self_add`` row terms are
+        deliberately absent: bands are seeded from exact evaluations,
+        so only the *changing* terms matter.
+
+        Only defined for :data:`FLOAT_MONOTONE_EQUATIONS` on
+        window-filtered analyzers (the premasked tensors bake the
+        filter in).
+        """
+        if equation not in FLOAT_MONOTONE_EQUATIONS:
+            raise ValueError(
+                f"band operands are only defined for the float-monotone "
+                f"equations {sorted(FLOAT_MONOTONE_EQUATIONS)}, "
+                f"got {equation!r}")
+        if not self._window_filter:
+            raise ValueError(
+                "band operands need a window-filtered analyzer (the "
+                "premasked contribution tensors bake the filter in)")
+        cached = self._band_memo.get(equation)
+        if cached is not None:
+            return cached
+        contrib = self._contribution(equation)
+        delta = contrib.C
+        if contrib.extra is not None:
+            delta = delta + contrib.extra
+        last = self._num_stages - 1
+        cache = self._cache
+        if equation == "eq1":
+            self._require_single_resource("eq1")
+            planes = cache.pq_s[:last]
+            block = None
+        else:
+            planes = cache.epq_s[:last]
+            block = cache.epb_s if equation == "eq5" else None
+        operands = (delta, planes, block)
+        self._band_memo[equation] = operands
+        return operands
 
     def _eq5_blocking(self, active: np.ndarray | None) -> np.ndarray:
         """Eq. 5's priority-*independent* blocking vector, memoised per

@@ -37,15 +37,21 @@ import os
 
 from repro.core.kernels import compiled
 from repro.core.kernels.compiled import HAS_NUMBA
-from repro.core.kernels.dispatch import AUTO_COMPILED_MIN_JOBS, pick_tier
+from repro.core.kernels.dispatch import (
+    AUTO_COMPILED_MIN_ACTIVE,
+    AUTO_COMPILED_MIN_JOBS,
+    pick_tier,
+)
 
 __all__ = [
+    "AUTO_COMPILED_MIN_ACTIVE",
     "AUTO_COMPILED_MIN_JOBS",
     "CompiledKernelUnavailable",
     "FORCE_FALLBACK",
     "HAS_NUMBA",
     "KERNEL_TIERS",
     "auto_tier",
+    "auto_tier_online",
     "compiled",
     "compiled_available",
     "pick_tier",
@@ -84,6 +90,22 @@ def compiled_available() -> bool:
 def auto_tier(num_jobs: int) -> str:
     """The tier ``kernel="auto"`` resolves to for ``num_jobs`` jobs."""
     return pick_tier(num_jobs, compiled_ok=compiled_available())
+
+
+def auto_tier_online(num_active: int) -> str:
+    """The tier ``kernel="auto"`` resolves to for one *online decision*
+    over ``num_active`` live jobs.
+
+    The online engines re-resolve ``auto`` per decision on the active
+    count instead of pinning one tier for the universe size at
+    construction: per-event candidate sets are small early in a stream
+    and grow towards the pool size, and the online crossover
+    (:data:`~repro.core.kernels.dispatch.AUTO_COMPILED_MIN_ACTIVE`)
+    sits below the batch one because the fused compiled frontier probe
+    amortises its dispatch overhead faster than a whole batch sweep.
+    """
+    return pick_tier(num_active, compiled_ok=compiled_available(),
+                     context="online")
 
 
 def resolve_kernel(requested: str, *, num_jobs: int,

@@ -1,6 +1,6 @@
 """Compiled loop primitives of the ``kernel="compiled"`` tier.
 
-Two reductions cover every per-equation level evaluator of
+Three reductions cover every per-equation level evaluator of
 :class:`repro.core.dca.DelayAnalyzer` (see ``docs/kernels.md`` for the
 term-by-term mapping):
 
@@ -8,7 +8,13 @@ term-by-term mapping):
   over a premasked contribution matrix;
 * :func:`stage_sum` -- the stage-additive / blocking terms: per-stage
   column-masked row maxima over a premasked ``(n, n, N)`` contribution
-  tensor, summed over a stage range.
+  tensor, summed over a stage range;
+* :func:`level_probe` -- the fused frontier probe of the MSMR
+  OPA-compatible bounds (eq3/eq5/eq6): job-additive pair sum, self
+  term and stage-additive maxima in a single pass over each candidate
+  row.  This is the online admission engine's hot primitive -- one
+  jit dispatch per level call instead of two, and each ``C``/tensor
+  row is read once while hot in cache.
 
 Both are compiled with :func:`numba.njit` when numba is importable and
 run as plain-python loops otherwise (``HAS_NUMBA`` tells which).  The
@@ -64,6 +70,37 @@ def pair_sum(C, cols, rows, out):
         for k in range(C.shape[1]):
             if cols[k]:
                 acc += C[i, k]
+        out[r] += acc
+
+
+@njit(cache=True, nogil=True)
+def level_probe(C, self_add, T, cols, rows, stop, out):
+    """Fused candidate-row probe of one Audsley level::
+
+        out[r] += self_add[i] + sum_{k: cols[k]} C[i, k]
+                  + sum_{j < stop} max(0, max_{k: cols[k]} T[i, k, j])
+
+    with ``i = rows[r]``.  Left-fold accumulation over ascending ``k``
+    then ascending ``j``; the 0 floor of each stage maximum matches
+    the reference kernel's ``np.where`` fill (masked tensor entries
+    are exactly 0).  ``T`` rows are read contiguously (``k``-outer).
+    """
+    width = stop
+    for r in range(rows.shape[0]):
+        i = rows[r]
+        acc = self_add[i]
+        for k in range(C.shape[1]):
+            if cols[k]:
+                acc += C[i, k]
+        maxima = np.zeros(width)
+        for k in range(T.shape[1]):
+            if cols[k]:
+                for j in range(width):
+                    value = T[i, k, j]
+                    if value > maxima[j]:
+                        maxima[j] = value
+        for j in range(width):
+            acc += maxima[j]
         out[r] += acc
 
 

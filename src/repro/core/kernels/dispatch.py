@@ -17,14 +17,34 @@ from __future__ import annotations
 #: evaluation, so ``auto`` stays on the paired tier.
 AUTO_COMPILED_MIN_JOBS = 12
 
+#: Online (per-decision) crossover: streaming admission evaluates one
+#: *candidate subset* per decision, and its paired-kernel level call
+#: pays roughly ten separate numpy reductions (tens of microseconds of
+#: fixed dispatch) against a single fused jit dispatch (~2us) on the
+#: compiled tier, so the compiled tier amortises at smaller instances
+#: than the batch table's 12.  Seeded from the fallback-loop operation
+#: counts and the measured per-call numpy overhead; re-measure on
+#: numba hardware when arming the bench-numba gates (docs/kernels.md).
+AUTO_COMPILED_MIN_ACTIVE = 8
 
-def pick_tier(num_jobs: int, *, compiled_ok: bool) -> str:
+
+def pick_tier(num_jobs: int, *, compiled_ok: bool,
+              context: str = "batch") -> str:
     """The fastest safe tier for an instance of ``num_jobs`` jobs.
 
     ``compiled_ok`` gates the compiled tier (numba availability);
     without it every size resolves to ``paired`` -- the silent
-    degradation contract of ``kernel="auto"``.
+    degradation contract of ``kernel="auto"``.  ``context`` selects
+    the crossover table: ``"batch"`` (default) for whole-universe
+    sweeps, ``"online"`` for per-decision candidate subsets (the
+    online engines dispatch on the *active* count per decision, not
+    the universe size).
     """
-    if compiled_ok and num_jobs >= AUTO_COMPILED_MIN_JOBS:
+    if context not in ("batch", "online"):
+        raise ValueError(
+            f"context must be 'batch' or 'online', got {context!r}")
+    threshold = (AUTO_COMPILED_MIN_ACTIVE if context == "online"
+                 else AUTO_COMPILED_MIN_JOBS)
+    if compiled_ok and num_jobs >= threshold:
         return "compiled"
     return "paired"

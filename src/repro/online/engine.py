@@ -239,6 +239,17 @@ class OnlineAdmissionEngine:
     kernel:
         Level-evaluation kernel of the admission analyzers
         (``"paired"`` or ``"reference"``; decisions are identical).
+    slate_window:
+        Coalesce consecutive arrivals within this many time units of
+        each other into one micro-batched slate decision
+        (:meth:`~repro.online.cell.AdmissionCell.arrival_slate`);
+        departures always break a slate.  ``0.0`` (the default)
+        replays strictly one event at a time.  Engine-level: a replay
+        knob, deliberately not part of :class:`OnlineScenarioSpec` --
+        cached scenario results always come from unbatched replays.
+        The batched path is disabled automatically when per-event
+        decision records or epoch validation are requested (both need
+        the sequential per-arrival results).
     """
 
     def __init__(self, stream: OnlineStream, *,
@@ -247,11 +258,16 @@ class OnlineAdmissionEngine:
                  retry_limit: int = 16,
                  validate_every: int = 0,
                  record_decisions: bool = False,
-                 kernel: str = "paired") -> None:
+                 kernel: str = "paired",
+                 slate_window: float = 0.0) -> None:
+        if slate_window < 0.0:
+            raise ValueError(
+                f"slate_window must be >= 0, got {slate_window}")
         self._stream = stream
         self._policy = policy
         self._mode = mode
         self._kernel = kernel
+        self._slate_window = slate_window
         self._validate_every = validate_every
         self._universe: JobSet | None = (
             stream.universe() if stream.events else None)
@@ -321,21 +337,30 @@ class OnlineAdmissionEngine:
 
     def _snapshot(self, index: int, now: float, kind: str, uid: int,
                   decision: str, evicted: "tuple[int, ...]",
-                  flips: int, latency: float) -> EventRecord:
+                  flips: int, latency: float,
+                  admitted_set: "set[int] | None" = None
+                  ) -> EventRecord:
+        # ``admitted_set`` overrides the cell's live admitted set: the
+        # slate path absorbs its members *after* the whole slate
+        # committed, so per-member records must read the replayed
+        # running set, not the cell's (final) state.
+        if admitted_set is None:
+            admitted_set = self._cell.admitted
         metrics = self._metrics
         record = EventRecord(
             index=index, time=now, kind=kind, uid=uid,
             decision=decision, evicted=evicted,
-            admitted=len(self._cell.admitted),
+            admitted=len(admitted_set),
             acceptance_ratio=metrics.acceptance_ratio(),
             rejected_heaviness=metrics.rejected_heaviness(self._seen),
-            utilisation=self._utilisation(),
+            utilisation=self._utilisation(admitted_set),
             rank_changes=flips, latency=latency)
         metrics.record(record)
         return record
 
-    def _utilisation(self) -> float:
-        admitted = self._cell.admitted
+    def _utilisation(self, admitted: "set[int] | None" = None) -> float:
+        if admitted is None:
+            admitted = self._cell.admitted
         if self._universe is None or not admitted:
             return 0.0
         if self._heaviness is None:
@@ -436,12 +461,105 @@ class OnlineAdmissionEngine:
             validation_failures=self._validation_failures,
             kernel=self._kernel)
 
+    def _process_arrival_slate(
+            self, arrivals: "list[tuple[float, int]]") -> None:
+        """Feed one coalesced ``(time, uid)`` arrival slate through
+        the cell's micro-batched decision path, snapshotting one event
+        record per member (slate order) exactly like sequential
+        replay."""
+        uids = [uid for _, uid in arrivals]
+        running = set(self._cell.admitted)
+        events = self._cell.arrival_slate(uids)
+        for (now, uid), event in zip(arrivals, events):
+            self._seen.add(uid)
+            self._metrics.arrivals += 1
+            index = self._event_index
+            self._event_index += 1
+            # Per-event absorb from the event's *own* outcome: the
+            # cell's live admitted set only reflects the slate's final
+            # state, which would miss members transiently admitted
+            # then evicted mid-slate on the sequential fallback.  The
+            # replayed ``running`` set keeps each member's record
+            # (admitted count, utilisation) identical to sequential
+            # processing for the same reason.
+            if event.decision == "accept":
+                running.add(uid)
+            running.difference_update(event.evicted)
+            self._metrics.evictions += len(event.evicted)
+            self._metrics.rank_changes += event.flips
+            self._metrics.retry_drops += event.retry_drops
+            if event.result is not None:
+                self._metrics.ever_admitted |= {
+                    event.candidate[i] for i in event.result.accepted}
+            elif event.decision == "accept":
+                # Fast-path intermediate: a certain accept whose
+                # result rides on the slate's final event.
+                self._metrics.ever_admitted.add(uid)
+            self._snapshot(index, now, "arrive", uid, event.decision,
+                           event.evicted, event.flips, event.seconds,
+                           admitted_set=running)
+
+    def process_slate(self, arrivals: "list[tuple[float, int]]"
+                      ) -> "list[EventRecord]":
+        """Feed a coalesced ``(time, uid)`` arrival slate; the
+        multi-event counterpart of :meth:`process`.
+
+        The caller owns the coalescing policy (e.g. the serve
+        batcher's queue-adjacency grouping) -- this entry point does
+        not consult ``slate_window``.  Members must be time-sorted; a
+        slate that cannot take the micro-batched path (single member,
+        duplicate or already-admitted uids, decision recording or
+        periodic validation enabled) degrades to sequential
+        :meth:`process` calls, so the outcome is always identical to
+        feeding the members one at a time.  Returns one event record
+        per member, in slate order.
+        """
+        arrivals = [(float(now), int(uid)) for now, uid in arrivals]
+        uids = [uid for _, uid in arrivals]
+        admitted = self._cell.admitted
+        slate_ok = (len(arrivals) > 1
+                    and not self._record_decisions
+                    and not self._validate_every
+                    and len(set(uids)) == len(uids)
+                    and not any(uid in admitted for uid in uids)
+                    and all(arrivals[k][0] <= arrivals[k + 1][0]
+                            for k in range(len(arrivals) - 1)))
+        before = len(self._metrics.records)
+        if slate_ok:
+            self._process_arrival_slate(arrivals)
+        else:
+            for now, uid in arrivals:
+                self.process(now, "arrive", uid)
+        return self._metrics.records[before:]
+
     def run(self) -> OnlineRunResult:
         """Process every event chronologically and return the result."""
-        for now, kind, uid in stream_events(self._stream):
-            self.process(now,
-                         "arrive" if kind == EVENT_ARRIVE else "depart",
-                         uid)
+        events = stream_events(self._stream)
+        if self._slate_window <= 0.0 or self._record_decisions or \
+                self._validate_every:
+            # Stock sequential replay (and the only path that can
+            # serve per-event decision records / epoch validation).
+            for now, kind, uid in events:
+                self.process(
+                    now,
+                    "arrive" if kind == EVENT_ARRIVE else "depart",
+                    uid)
+            return self.result()
+        i = 0
+        total = len(events)
+        while i < total:
+            now, kind, uid = events[i]
+            if kind != EVENT_ARRIVE:
+                self.process(now, "depart", uid)
+                i += 1
+                continue
+            j = i + 1
+            while j < total and events[j][1] == EVENT_ARRIVE and \
+                    events[j][0] - now <= self._slate_window:
+                j += 1
+            self._process_arrival_slate(
+                [(time_, uid_) for time_, _, uid_ in events[i:j]])
+            i = j
         return self.result()
 
 

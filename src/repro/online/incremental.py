@@ -44,9 +44,15 @@ import numpy as np
 
 from repro.core.admission import AdmissionResult, opdca_admission
 from repro.core.dca import FLOAT_MONOTONE_EQUATIONS, DelayAnalyzer
+from repro.core.kernels import auto_tier_online
 from repro.core.schedulability import SDCA, Policy, resolve_equation
 from repro.core.segments import SegmentCache
 from repro.core.system import JobSet
+
+#: Cross-event subset-analysis memo entries per analyzer (LRU).  Sized
+#: for one engine's working set: the rolling admitted-set tuple plus
+#: the retry-pass and slate-screen variants orbiting it.
+_SUBSET_MEMO_LIMIT = 32
 
 
 @dataclass
@@ -57,6 +63,9 @@ class SubsetAnalysis:
     test: SDCA
     #: Universe indices of the subset's jobs, ascending.
     indices: np.ndarray
+    #: The owning analyzer's cross-decision band carry (``None`` for
+    #: cold analyses; see :class:`_BandCarrySlot`).
+    carry: "_BandCarrySlot | None" = None
 
 
 class IncrementalAnalyzer:
@@ -95,6 +104,11 @@ class IncrementalAnalyzer:
         self._analyzer = DelayAnalyzer(universe, cache=self._cache,
                                        kernel=kernel)
         self._active = np.zeros(universe.num_jobs, dtype=bool)
+        #: tuple(indices) -> SubsetAnalysis (LRU; see :meth:`subset`).
+        self._subset_memo: dict[tuple, SubsetAnalysis] = {}
+        #: Level-1 band snapshot carried across decisions (see
+        #: :class:`_BandCarrySlot`).
+        self._band_carry = _BandCarrySlot()
 
     @property
     def universe(self) -> JobSet:
@@ -125,9 +139,13 @@ class IncrementalAnalyzer:
     def depart(self, uid: int) -> dict[str, int]:
         """Mark ``uid`` absent and purge exactly the memoised entries
         whose context involves it (see
-        :meth:`~repro.core.dca.DelayAnalyzer.invalidate_job`).
+        :meth:`~repro.core.dca.DelayAnalyzer.invalidate_job`), plus
+        the cached subset analyses naming it -- a stream uid never
+        returns, so those slices are dead weight.
         Returns the per-memo drop counts."""
         self._active[uid] = False
+        for key in [k for k in self._subset_memo if uid in k]:
+            del self._subset_memo[key]
         return self._analyzer.invalidate_job(uid)
 
     def delay_of(self, uid: int, higher, lower=None) -> float:
@@ -145,14 +163,45 @@ class IncrementalAnalyzer:
     # -- per-event subset analyses -----------------------------------
 
     def subset(self, indices) -> SubsetAnalysis:
-        """Sliced (warm) analysis of ``universe[indices]``."""
-        idx = np.asarray(sorted(int(i) for i in indices), dtype=np.int64)
+        """Sliced (warm) analysis of ``universe[indices]``.
+
+        Memoised per index tuple (LRU, bounded): a
+        :class:`SubsetAnalysis` is a pure function of the universe and
+        the index set, so revisited candidate sets -- repeated arrival
+        patterns, retry passes, slate screens -- reuse the previously
+        built slice *with its analyzer memos warm* (contribution
+        matrices, band operands, eq5 blocking vectors, stage-major
+        gathers) instead of re-gathering every plane from scratch.
+        Entries naming a departed job are purged by :meth:`depart`,
+        mirroring the universe analyzer's ``invalidate_job``
+        discipline.
+
+        ``kernel="auto"`` is re-resolved here, per decision, on the
+        *active* count (:func:`repro.core.kernels.auto_tier_online`):
+        per-event candidate sets are small early in a stream, and the
+        batch crossover tuned for whole-universe sweeps overshoots
+        them.
+        """
+        key = tuple(sorted(int(i) for i in indices))
+        hit = self._subset_memo.get(key)
+        if hit is not None:
+            self._subset_memo.pop(key)
+            self._subset_memo[key] = hit  # refresh the LRU position
+            return hit
+        idx = np.asarray(key, dtype=np.int64)
         jobset = self._universe.restrict(idx)
         cache = self._cache.restrict(jobset, idx)
-        analyzer = DelayAnalyzer(jobset, cache=cache,
-                                 kernel=self._kernel)
+        kernel = self._kernel
+        if kernel == "auto":
+            kernel = auto_tier_online(int(idx.size))
+        analyzer = DelayAnalyzer(jobset, cache=cache, kernel=kernel)
         test = SDCA(jobset, self._policy, analyzer=analyzer)
-        return SubsetAnalysis(jobset=jobset, test=test, indices=idx)
+        analysis = SubsetAnalysis(jobset=jobset, test=test, indices=idx,
+                                  carry=self._band_carry)
+        while len(self._subset_memo) >= _SUBSET_MEMO_LIMIT:
+            self._subset_memo.pop(next(iter(self._subset_memo)))
+        self._subset_memo[key] = analysis
+        return analysis
 
     def cold_subset(self, indices) -> SubsetAnalysis:
         """Cold re-analysis of the same subset (reference/benchmark
@@ -185,8 +234,10 @@ def cold_analysis(universe: JobSet, indices,
     return SubsetAnalysis(jobset=jobset, test=test, indices=idx)
 
 
-def incremental_admission(jobset: JobSet,
-                          test: SDCA) -> AdmissionResult:
+def incremental_admission(jobset: JobSet, test: SDCA, *,
+                          carry: "_BandCarrySlot | None" = None,
+                          key: "tuple[int, ...] | None" = None
+                          ) -> AdmissionResult:
     """Lazily evaluated OPDCA admission (Algorithm 1, modified Step 10).
 
     Produces an :class:`~repro.core.admission.AdmissionResult` whose
@@ -228,10 +279,13 @@ def incremental_admission(jobset: JobSet,
     the non-OPA-compatible equations (``eq2``/``eq4``) take the
     full-batch path too, which is bit-for-bit the stock evaluation.
     """
-    return _lazy_audsley(jobset, test, all_or_nothing=False)
+    return _lazy_audsley(jobset, test, all_or_nothing=False,
+                         carry=carry, key=key)
 
 
-def incremental_feasibility(jobset: JobSet, test: SDCA
+def incremental_feasibility(jobset: JobSet, test: SDCA, *,
+                            carry: "_BandCarrySlot | None" = None,
+                            key: "tuple[int, ...] | None" = None
                             ) -> "AdmissionResult | None":
     """All-or-nothing variant: feasible assignment or ``None``.
 
@@ -247,11 +301,34 @@ def incremental_feasibility(jobset: JobSet, test: SDCA
     trajectory.  ``None`` is returned precisely when
     ``opdca_admission`` would reject at least one job.
     """
-    return _lazy_audsley(jobset, test, all_or_nothing=True)
+    return _lazy_audsley(jobset, test, all_or_nothing=True,
+                         carry=carry, key=key)
 
 
 def _lazy_audsley(jobset: JobSet, test: SDCA, *,
-                  all_or_nothing: bool) -> "AdmissionResult | None":
+                  all_or_nothing: bool,
+                  carry: "_BandCarrySlot | None" = None,
+                  key: "tuple[int, ...] | None" = None
+                  ) -> "AdmissionResult | None":
+    """Controller dispatch: the float-monotone bounds on
+    window-filtered analyzers run the *certified-band* Audsley
+    (:func:`_banded_audsley`, one full level evaluation per decision
+    plus exact refreshes of the rare straddlers); everything else --
+    ``eq10``/``eq2``/``eq4`` and unfiltered analyzers -- takes the
+    frontier-carrying lazy scan below.  Decisions and delay vectors
+    are bitwise identical either way."""
+    if (test.equation in FLOAT_MONOTONE_EQUATIONS
+            and test.analyzer.window_filter and jobset.num_jobs):
+        return _banded_audsley(jobset, test,
+                               all_or_nothing=all_or_nothing,
+                               carry=carry, key=key)
+    return _legacy_lazy_audsley(jobset, test,
+                                all_or_nothing=all_or_nothing)
+
+
+def _legacy_lazy_audsley(jobset: JobSet, test: SDCA, *,
+                         all_or_nothing: bool
+                         ) -> "AdmissionResult | None":
     analyzer = test.analyzer
     equation = test.equation
     lower_aware = test.uses_lower_set
@@ -415,13 +492,19 @@ def _lazy_audsley(jobset: JobSet, test: SDCA, *,
         unassigned[worst_job] = False
         forget(worst_job)
 
-    # Re-number the assigned priorities contiguously (1..#accepted);
-    # this tail replicates opdca_admission verbatim.
-    accepted = [int(i) for i in np.flatnonzero(active)]
-    final_priority = np.zeros(n, dtype=np.int64)
-    for rank, job in enumerate(reversed(order_low_to_high), start=1):
-        final_priority[job] = rank
+    return _finish_result(analyzer, equation, n, active,
+                          order_low_to_high, rejected)
 
+
+def _final_delays(analyzer: DelayAnalyzer, equation: str, n: int,
+                  active: np.ndarray, final_priority: np.ndarray,
+                  accepted: "list[int]") -> np.ndarray:
+    """The closing delay vector of an admission run: delay bounds of
+    the accepted jobs under the final assignment (``nan`` for
+    rejected ones).  Replicates the tail of ``opdca_admission``
+    verbatim -- a pure function of ``(job set, ordering, active)``, so
+    it can run *lazily*, long after the decision was committed, and
+    still produce the bitwise-identical vector."""
     delays = np.full(n, np.nan)
     if accepted:
         sub_priority = np.where(final_priority > 0, final_priority, n + 1)
@@ -431,9 +514,610 @@ def _lazy_audsley(jobset: JobSet, test: SDCA, *,
         all_delays = analyzer.delays_for_pairwise(
             x, equation=equation, active=active)
         delays[active] = all_delays[active]
+    return delays
+
+
+def _finish_result(analyzer: DelayAnalyzer, equation: str, n: int,
+                   active: np.ndarray, order_low_to_high: "list[int]",
+                   rejected: "list[int]") -> AdmissionResult:
+    """Re-number the assigned priorities contiguously (1..#accepted),
+    exactly like ``opdca_admission``, and wrap the result with a
+    *lazy* delay vector: nothing on the streaming decision path reads
+    the final delays (commits consume ``accepted``/``ordering`` only),
+    so the closing ``delays_for_pairwise`` batch -- a whole
+    ``(k, k)`` evaluation -- is deferred until a consumer asks."""
+    accepted = [int(i) for i in np.flatnonzero(active)]
+    final_priority = np.zeros(n, dtype=np.int64)
+    for rank, job in enumerate(reversed(order_low_to_high), start=1):
+        final_priority[job] = rank
+
+    def delays_fn() -> np.ndarray:
+        return _final_delays(analyzer, equation, n, active,
+                             final_priority, accepted)
 
     return AdmissionResult(accepted=accepted, rejected=rejected,
-                           ordering=final_priority, delays=delays)
+                           ordering=final_priority, delays_fn=delays_fn)
+
+
+def result_delays(analysis: SubsetAnalysis,
+                  result: AdmissionResult) -> np.ndarray:
+    """Recompute the final delay vector of ``result`` over
+    ``analysis`` -- bitwise identical to what the controller that
+    produced ``result`` would have returned eagerly, because the
+    closing batch is a pure function of the job set, the final
+    ordering and the surviving active mask (and sliced subset caches
+    are bitwise identical to cold ones).  The online cells rebind
+    parked results' lazy delays onto this helper so the decision memo
+    holds thin rebuilders instead of pinning whole per-event subset
+    analyses (see :meth:`repro.online.cell.AdmissionCell.decide`)."""
+    n = analysis.jobset.num_jobs
+    active = np.zeros(n, dtype=bool)
+    active[np.asarray(result.accepted, dtype=np.int64)] = True
+    return _final_delays(analysis.test.analyzer, analysis.test.equation,
+                         n, active, result.ordering, result.accepted)
+
+
+def _drop_stage_maxima(planes: np.ndarray, maxima: np.ndarray,
+                       mask: np.ndarray, ps,
+                       est: np.ndarray, err: np.ndarray,
+                       rel: float, abs_: float,
+                       watch: "np.ndarray | None" = None) -> None:
+    """After clearing ``mask[ps]``: re-derive every per-stage row
+    maximum that one of the removed columns was achieving (or tying),
+    debiting ``est`` by the exact drops and padding ``err`` for the
+    rounding of each subtraction.  One vectorized sweep over all
+    stages and all removed columns; rows whose stored maximum is
+    achieved by a surviving column keep it exactly unchanged.
+
+    ``watch`` restricts maintenance to the rows whose bounds will ever
+    be read again (the controller's still-infeasible candidates --
+    float monotonicity retires certainly-feasible rows for good);
+    unwatched rows are left stale on purpose."""
+    if isinstance(ps, int):
+        best = planes[:, :, ps]
+    else:
+        best = planes[:, :, ps].max(axis=2)
+    hit = (best > 0.0) & (best >= maxima)
+    if watch is not None:
+        hit &= watch
+    if not hit.any():
+        return
+    stages, rows = np.nonzero(hit)
+    new = np.where(mask, planes[stages, rows, :], 0.0).max(axis=1)
+    drop = maxima[stages, rows] - new
+    maxima[stages, rows] = new
+    # Rows can repeat across stages: unbuffered scatter accumulation.
+    np.subtract.at(est, rows, drop)
+    np.add.at(err, rows, rel * drop + abs_)
+
+
+def _raise_stage_maxima(planes: np.ndarray, maxima: np.ndarray,
+                        ps, est: np.ndarray, err: np.ndarray,
+                        rel: float, abs_: float) -> None:
+    """Fold the columns ``ps`` *into* the per-stage row maxima (the
+    carry transform's column additions), crediting ``est`` by the
+    exact rises and padding ``err`` for the rounding of each
+    addition."""
+    if isinstance(ps, int):
+        col = planes[:, :, ps]
+    else:
+        col = planes[:, :, ps].max(axis=2)
+    rise = col - maxima
+    np.maximum(rise, 0.0, out=rise)
+    total = rise.sum(axis=0)
+    est += total
+    err += rel * total + abs_ * planes.shape[0]
+    np.maximum(maxima, col, out=maxima)
+
+
+class _ExcessBands:
+    """Certified bands ``est +- err`` on every candidate's excess
+    ``Delta_i - D_i``, maintained by *exact per-removal deltas*.
+
+    Seeded from the exact kernel values of the first full level
+    evaluation, then updated on every placement/discard through the
+    :meth:`~repro.core.dca.DelayAnalyzer.band_operands` decomposition:
+    removing job ``p`` from the candidate columns changes the
+    job-additive term by exactly ``-delta[i, p]`` and each stage
+    maximum by the difference of two exact maxima (maxima are exact,
+    order-free reductions; only the subtraction rounds).  ``err``
+    grows by ``_REL * |change| + _ABS`` per update -- orders of
+    magnitude above the true float drift of re-association inside the
+    level kernels (~1e-13 relative on every tier) yet far below
+    typical excess margins -- so
+
+    * ``hi = est + err <= tol``  =>  the exact excess passes,
+    * ``lo = est - err  > tol``  =>  the exact excess fails,
+
+    under the analyzer's *own* kernel.  Anything inside the band is
+    re-evaluated exactly by the controller: decisions never depend on
+    the bands, only the amount of skipped work does.
+    """
+
+    _REL = 1e-9
+    _ABS = 1e-12
+
+    __slots__ = ("_delta", "_planes", "_block", "_deadlines", "_cols",
+                 "_bact", "est", "err", "_smax", "_bmax")
+
+    def __init__(self, analyzer: DelayAnalyzer, equation: str,
+                 deadlines: np.ndarray, cols: np.ndarray,
+                 active: np.ndarray,
+                 state: "tuple | None" = None) -> None:
+        delta, planes, block = analyzer.band_operands(equation)
+        self._delta = delta
+        self._planes = planes
+        self._block = block
+        self._deadlines = deadlines
+        self._cols = cols.copy()
+        n = delta.shape[0]
+        if state is not None:
+            # Adopt a carried level-1 state (est/err/smax/bmax already
+            # transformed into this subset's index space and owned by
+            # the caller; see :func:`_carry_transform`).
+            self.est, self.err, self._smax, bmax = state
+            self._bact = active.copy() if block is not None else None
+            self._bmax = bmax
+            return
+        self.est = np.zeros(n)
+        self.err = np.zeros(n)
+        self._smax = np.empty((planes.shape[0], n))
+        for j in range(planes.shape[0]):
+            self._smax[j] = np.where(self._cols, planes[j], 0.0).max(axis=1)
+        if block is not None:
+            self._bact = active.copy()
+            self._bmax = np.empty((block.shape[0], n))
+            for j in range(block.shape[0]):
+                self._bmax[j] = np.where(
+                    self._bact, block[j], 0.0).max(axis=1)
+        else:
+            self._bact = None
+            self._bmax = None
+
+    def seed(self, rows: np.ndarray, excesses: np.ndarray) -> None:
+        """(Re)anchor the selected rows on exact excesses.  The seed
+        pad covers the cross-tier/re-association drift of all later
+        delta updates relative to a fresh kernel evaluation."""
+        self.est[rows] = excesses
+        self.err[rows] = (self._REL * (np.abs(excesses)
+                                       + self._deadlines[rows])
+                          + self._ABS)
+
+    def bounds(self, rows: np.ndarray) -> "tuple[np.ndarray, np.ndarray]":
+        est = self.est[rows]
+        err = self.err[rows]
+        return est - err, est + err
+
+    def remove(self, p: int, *, discard: bool = False,
+               watch: "np.ndarray | None" = None) -> None:
+        """Account for job ``p`` leaving the candidate columns
+        (placement) and, on ``discard``, the active set too (which
+        shrinks eq5's priority-independent blocking maxima).  With
+        ``watch``, only the watched rows' maxima stay live -- the
+        controller guarantees it never reads the others again."""
+        d = self._delta[:, p]
+        self.est -= d
+        self.err += self._REL * np.abs(d) + self._ABS
+        self._cols[p] = False
+        _drop_stage_maxima(self._planes, self._smax, self._cols, p,
+                           self.est, self.err, self._REL, self._ABS,
+                           watch)
+        if discard and self._block is not None:
+            self._bact[p] = False
+            _drop_stage_maxima(self._block, self._bmax, self._bact, p,
+                               self.est, self.err, self._REL, self._ABS,
+                               watch)
+
+    def remove_many(self, ps: np.ndarray,
+                    watch: "np.ndarray | None" = None) -> None:
+        """Account for a whole batch of placements at once (the
+        batched certain-pass runs of :func:`_banded_audsley`): one
+        combined job-additive debit and one maxima sweep over all
+        removed columns, instead of one band update per level."""
+        if ps.size == 1:
+            self.remove(int(ps[0]), watch=watch)
+            return
+        D = self._delta[:, ps]
+        self.est -= D.sum(axis=1)
+        self.err += (self._REL * np.abs(D).sum(axis=1)
+                     + self._ABS * ps.size)
+        self._cols[ps] = False
+        _drop_stage_maxima(self._planes, self._smax, self._cols, ps,
+                           self.est, self.err, self._REL, self._ABS,
+                           watch)
+
+
+#: Carry-transform guards: bail to a full level-1 evaluation when the
+#: candidate set changed by more than this many jobs (the transform's
+#: per-job column work would approach the batch kernel's cost) ...
+_CARRY_MAX_DIFF = 8
+#: ... or after this many chained transforms without a fresh full
+#: seed, bounding the accumulated ``err`` pad (~age * 1e-9 relative)
+#: far below any margin that could matter.
+_CARRY_MAX_AGE = 64
+
+
+class _BandCarrySlot:
+    """Level-1 band snapshot carried across an analyzer's decisions.
+
+    Consecutive online decisions differ by a handful of jobs (the new
+    arrival, last decision's rejects, departures in between), while
+    their level-1 excesses differ by exactly the band decomposition's
+    per-job column deltas (:meth:`~repro.core.dca.DelayAnalyzer.\
+band_operands` -- the same exact-maxima algebra that maintains bands
+    *within* a run).  One slot per :class:`IncrementalAnalyzer` stores
+    the latest decision's level-1 state -- ``est``/``err`` bands,
+    per-stage row maxima, and the operand arrays needed to *remove*
+    its jobs later -- keyed by the candidate uid tuple.  The next
+    decision transforms it into its own candidate space
+    (:func:`_carry_transform`) and only evaluates the rows it has no
+    bands for (typically just the new arrival), replacing the per-event
+    full level-1 batch with a few vectorized column updates.
+
+    Snapshot values stay valid across subsets because every operand
+    entry is an elementwise slice of the same universe tensors (the
+    pair entry for uids ``(i, k)`` is bitwise identical in every
+    subset containing both), and the stage axis is system-wide.
+    """
+
+    __slots__ = ("key", "equation", "age", "est", "err", "smax",
+                 "bmax", "delta", "planes", "block")
+
+    def __init__(self) -> None:
+        self.key: "tuple[int, ...] | None" = None
+
+    def store(self, key: "tuple[int, ...]", equation: str,
+              bands: _ExcessBands, age: int) -> None:
+        """Snapshot ``bands`` (still at level-1 state: every candidate
+        seeded or transformed, no placements applied yet)."""
+        self.key = key
+        self.equation = equation
+        self.age = age
+        self.est = bands.est.copy()
+        self.err = bands.err.copy()
+        self.smax = bands._smax.copy()
+        self.bmax = (bands._bmax.copy()
+                     if bands._bmax is not None else None)
+        self.delta = bands._delta
+        self.planes = bands._planes
+        self.block = bands._block
+
+
+def _carry_transform(carry: _BandCarrySlot,
+                     key: "tuple[int, ...]",
+                     analyzer: DelayAnalyzer, equation: str) -> (
+        "tuple[tuple, np.ndarray] | None"):
+    """Map the carried level-1 snapshot onto a new candidate set.
+
+    Returns ``(state, fresh_rows)`` -- the adopted
+    ``(est, err, smax, bmax)`` arrays in the new subset's index space
+    plus the new-subset positions that still need an exact seed (jobs
+    with no carried bands) -- or ``None`` when no usable snapshot
+    exists and the caller must run the full level-1 evaluation.
+
+    Jobs leaving the candidate set are removed column-by-column in the
+    *old* subset's index space (exact ``-delta`` debits plus dropped
+    stage maxima, the same algebra as in-run removals; for eq5 the
+    leaver also exits the blocking maxima -- level 1 of the new
+    decision never sees it as active).  Jobs joining are folded in the
+    *new* subset's space (exact ``+delta`` credits plus raised
+    maxima); their own rows get no bands here, only the row maxima
+    later removals need.
+    """
+    old_key = carry.key
+    if old_key is None or carry.equation != equation:
+        return None
+    if carry.age >= _CARRY_MAX_AGE:
+        return None
+    old_set = set(old_key)
+    new_set = set(key)
+    removed = [i for i, u in enumerate(old_key) if u not in new_set]
+    added = [i for i, u in enumerate(key) if u not in old_set]
+    if len(removed) + len(added) > _CARRY_MAX_DIFF:
+        return None
+    rel, abs_ = _ExcessBands._REL, _ExcessBands._ABS
+    est = carry.est.copy()
+    err = carry.err.copy()
+    smax = carry.smax.copy()
+    bmax = carry.bmax.copy() if carry.bmax is not None else None
+
+    # 1) Column removals, batched, in the old subset's index space
+    # (one combined debit and one maxima sweep -- the recomputed
+    # maxima and the telescoped ``est`` debit equal the one-at-a-time
+    # fold exactly).
+    if removed:
+        ps = np.asarray(removed, dtype=np.int64)
+        cols = np.ones(len(old_key), dtype=bool)
+        cols[ps] = False
+        D = carry.delta[:, ps]
+        est -= D.sum(axis=1)
+        err += rel * np.abs(D).sum(axis=1) + abs_ * ps.size
+        _drop_stage_maxima(carry.planes, smax, cols, ps,
+                           est, err, rel, abs_)
+        if bmax is not None:
+            _drop_stage_maxima(carry.block, bmax, cols, ps,
+                               est, err, rel, abs_)
+
+    # 2) Re-index the surviving rows into the new subset's space (both
+    # keys ascend by uid, so boolean compaction aligns the common
+    # rows).
+    n = len(key)
+    delta, planes, block = analyzer.band_operands(equation)
+    if removed:
+        keep_old = np.ones(len(old_key), dtype=bool)
+        keep_old[removed] = False
+        est = est[keep_old]
+        err = err[keep_old]
+        smax = smax[:, keep_old]
+        if bmax is not None:
+            bmax = bmax[:, keep_old]
+    if added:
+        est_n = np.zeros(n)
+        err_n = np.zeros(n)
+        smax_n = np.zeros((smax.shape[0], n))
+        keep_new = np.ones(n, dtype=bool)
+        keep_new[added] = False
+        est_n[keep_new] = est
+        err_n[keep_new] = err
+        smax_n[:, keep_new] = smax
+        if bmax is not None:
+            bmax_n = np.zeros((bmax.shape[0], n))
+            bmax_n[:, keep_new] = bmax
+        else:
+            bmax_n = None
+    else:
+        est_n, err_n, smax_n, bmax_n = est, err, smax, bmax
+
+    # 3) Column additions, batched, in the new subset's index space
+    # (the per-column maxima rises telescope: folding the columns in
+    # one at a time credits ``est`` by exactly ``max(old, cols...) -
+    # old`` in total, which is what the batched fold computes).
+    if added:
+        ps = np.asarray(added, dtype=np.int64)
+        D = delta[:, ps]
+        est_n += D.sum(axis=1)
+        err_n += rel * np.abs(D).sum(axis=1) + abs_ * ps.size
+        _raise_stage_maxima(planes, smax_n, ps, est_n, err_n,
+                            rel, abs_)
+        if bmax_n is not None:
+            _raise_stage_maxima(block, bmax_n, ps, est_n, err_n,
+                                rel, abs_)
+    # The joining rows' own maxima (needed by later removals and the
+    # next snapshot): full row maxima -- cheap, a few rows.
+    for p in added:
+        smax_n[:, p] = planes[:, p, :].max(axis=1)
+        if bmax_n is not None:
+            bmax_n[:, p] = block[:, p, :].max(axis=1)
+    return ((est_n, err_n, smax_n, bmax_n),
+            np.asarray(added, dtype=np.int64))
+
+
+def _banded_audsley(jobset: JobSet, test: SDCA, *,
+                    all_or_nothing: bool,
+                    carry: "_BandCarrySlot | None" = None,
+                    key: "tuple[int, ...] | None" = None
+                    ) -> "AdmissionResult | None":
+    """Certified-band Audsley admission (float-monotone bounds).
+
+    Bitwise identical, decision for decision and delay for delay, to
+    :func:`repro.core.admission.opdca_admission` -- but the only
+    *mandatory* kernel evaluation of a whole run is the first level's
+    full batch, which seeds :class:`_ExcessBands`.  Every later level
+    classifies its candidates from the carried bands:
+
+    * all certainly-feasible  ->  the remaining trajectory is fully
+      determined (stock places the lowest index each level, and float
+      monotonicity keeps every candidate feasible) and is emitted
+      with zero further evaluation -- the accept-heavy common case;
+    * placement  ->  stock scans in index order and places the first
+      exact pass, so only the *straddlers* (band spans the tolerance)
+      sitting before the first certain pass are refreshed exactly,
+      and refreshed rows are classified by the exact stock comparison
+      (re-checking the refreshed band could stall on knife-edge
+      values -- exact classification guarantees progress);
+    * discard  ->  only the *contenders* (``hi >= max lo``) can hold
+      or tie the worst excess (any other candidate ``a`` has
+      ``exact[a] <= hi[a] < max(lo) <=`` the band-max candidate's
+      exact excess, strictly), so only those are refreshed before the
+      exact worst-offender rule (largest excess, ties to the larger
+      index) applies.
+
+    Every exact refresh goes through ``level_bounds(rows=...)`` on the
+    analyzer's own kernel -- per-row bitwise identical to the stock
+    full-batch evaluation of the level on every tier.
+    """
+    analyzer = test.analyzer
+    equation = test.equation
+    n = jobset.num_jobs
+    deadlines = jobset.D
+    tol = 1e-9
+
+    active = np.ones(n, dtype=bool)
+    unassigned = np.ones(n, dtype=bool)
+    priority = np.zeros(n, dtype=np.int64)
+    rejected: list[int] = []
+    order_low_to_high: list[int] = []
+
+    def exact_rows(rows: np.ndarray) -> np.ndarray:
+        """Exact excesses of the selected candidates under the current
+        level context (the float-monotone bounds never read the
+        lower-priority set)."""
+        delays = analyzer.level_bounds(
+            unassigned, None, equation=equation, active=active,
+            rows=rows)
+        return delays - deadlines[rows]
+
+    carried = (_carry_transform(carry, key, analyzer, equation)
+               if carry is not None and key is not None else None)
+    #: Exact excesses of the *current* level's candidates, when a full
+    #: evaluation just happened (level 1); later levels classify from
+    #: the bands instead.
+    exact_level: "np.ndarray | None" = None
+    if carried is not None:
+        state, fresh_rows = carried
+        bands = _ExcessBands(analyzer, equation, deadlines,
+                             unassigned & active, active, state=state)
+        if fresh_rows.size:
+            bands.seed(fresh_rows, exact_rows(fresh_rows))
+        age = carry.age + 1
+    else:
+        candidates = np.flatnonzero(unassigned)
+        excesses = exact_rows(candidates)
+        bands = _ExcessBands(analyzer, equation, deadlines,
+                             unassigned & active, active)
+        bands.seed(candidates, excesses)
+        exact_level = excesses
+        age = 0
+    if carry is not None and key is not None:
+        # Snapshot the level-1 state for the next decision, before the
+        # run's placements/discards mutate it.
+        carry.store(key, equation, bands, age)
+
+    cand = [int(c) for c in np.flatnonzero(unassigned)]
+    level = len(cand)
+    #: Candidates whose bands are still live.  A job classified
+    #: certainly feasible leaves the watch for good: float monotonicity
+    #: (removals only lower excesses) locks the classification at every
+    #: later level, so the bands stop maintaining its (never again
+    #: read) row maxima.
+    watched = np.zeros(n, dtype=bool)
+    watched[cand] = True
+    #: job index -> exact excess known this level (the walk resolves
+    #: straddlers lazily, one row at a time, in stock scan order --
+    #: straddlers past the first pass are never evaluated at all).
+    fresh: dict[int, float] = {}
+    if exact_level is not None:
+        fresh = {j: float(v) for j, v in zip(cand, exact_level)}
+
+    #: python twin of ``watched`` for the walk's per-candidate check
+    #: (set membership beats a numpy scalar read at this size).
+    sticky: set[int] = set()
+    est_item = bands.est.item
+    err_item = bands.err.item
+
+    def passes(j: int) -> bool:
+        """Stock pass/fail of candidate ``j`` at the current level:
+        from the locked classification, the exact value when known,
+        the bands when certain, and a one-row exact refresh otherwise.
+        Exact refreshes run at the *current* level context (the walk
+        only clears ``unassigned`` after the level resolves)."""
+        if j in sticky:
+            return True
+        value = fresh.get(j)
+        if value is None:
+            e = est_item(j)
+            r = err_item(j)
+            if e + r <= tol:
+                sticky.add(j)
+                watched[j] = False
+                return True
+            if e - r > tol:
+                return False
+            row = np.asarray([j], dtype=np.int64)
+            ex = exact_rows(row)
+            bands.seed(row, ex)
+            value = fresh[j] = float(ex[0])
+        if value <= tol:
+            sticky.add(j)
+            watched[j] = False
+            return True
+        return False
+
+    while cand:
+        m = len(cand)
+        first = -1
+        for pos in range(m):
+            # Inlined fast path of :func:`passes` -- the walk's hottest
+            # outcome by far is a watched blocker's certain fail.
+            j = cand[pos]
+            if j not in sticky and j not in fresh:
+                if est_item(j) - err_item(j) > tol:
+                    continue
+            if passes(j):
+                first = pos
+                break
+        if first == 0:
+            # Batched prefix placement: stock places the lowest
+            # indexed feasible candidate each level, and removals only
+            # *lower* float-monotone excesses, so a leading run of
+            # certainly-feasible candidates is placed as a block --
+            # position 0 now, the next position at the level after
+            # (still certainly feasible, and nothing sits before it),
+            # and so on -- with one batched band update at the end
+            # instead of one per level.  When the run spans the whole
+            # level this is the fully-determined-trajectory emission.
+            stop = 1
+            while stop < m and passes(cand[stop]):
+                stop += 1
+            placed_jobs = cand[:stop]
+            del cand[:stop]
+            for j in placed_jobs:
+                priority[j] = level
+                level -= 1
+                order_low_to_high.append(j)
+            unassigned[placed_jobs] = False
+            if cand:
+                bands.remove_many(
+                    np.asarray(placed_jobs, dtype=np.int64), watched)
+            fresh.clear()
+            continue
+        if first > 0:
+            # Blocked placement: certainly-infeasible candidates sit
+            # before ``first``, and removing the placed job lowers
+            # their float-monotone excesses -- a blocker may flip
+            # feasible at the very next level (measured: ~80% of the
+            # time at the benchmark operating point), so speculating
+            # past it loses.  Stock one-per-level placement.
+            placed = cand.pop(first)
+            priority[placed] = level
+            level -= 1
+            unassigned[placed] = False
+            order_low_to_high.append(placed)
+            bands.remove(placed, watch=watched)
+            fresh.clear()
+            continue
+
+        if all_or_nothing:
+            # No feasible candidate at this level (the walk resolved
+            # every straddler exactly without finding a pass): the run
+            # fails.
+            return None
+
+        # Modified Step 10: discard the worst offender -- largest
+        # exact excess, float ties resolved to the larger job index,
+        # exactly like ``max()`` over (excess, index) tuples (``cand``
+        # holds the job indices in ascending order).
+        arr = np.asarray(cand, dtype=np.int64)
+        est = bands.est[arr]
+        err = bands.err[arr]
+        lo = est - err
+        hi = est + err
+        for pos, j in enumerate(cand):
+            value = fresh.get(j)
+            if value is not None:
+                lo[pos] = hi[pos] = value
+        threshold = lo.max()
+        contenders = np.flatnonzero(hi >= threshold)
+        need = arr[[int(p) for p in contenders
+                    if cand[int(p)] not in fresh]]
+        if need.size:
+            ex = exact_rows(need)
+            bands.seed(need, ex)
+            for j, value in zip(need, ex):
+                fresh[int(j)] = float(value)
+        worst_excess, worst_job = max(
+            (fresh[cand[int(p)]], cand[int(p)]) for p in contenders)
+        cand.remove(worst_job)
+        rejected.append(worst_job)
+        active[worst_job] = False
+        unassigned[worst_job] = False
+        watched[worst_job] = False
+        level -= 1
+        bands.remove(worst_job, discard=True, watch=watched)
+        fresh.clear()
+
+    return _finish_result(analyzer, equation, n, active,
+                          order_low_to_high, rejected)
 
 
 def admit(analysis: SubsetAnalysis, *,
@@ -446,7 +1130,9 @@ def admit(analysis: SubsetAnalysis, *,
     equivalence tests and the benchmark compare against).
     """
     if mode == "incremental":
-        return incremental_admission(analysis.jobset, analysis.test)
+        return incremental_admission(
+            analysis.jobset, analysis.test, carry=analysis.carry,
+            key=tuple(int(i) for i in analysis.indices))
     if mode == "cold":
         return opdca_admission(analysis.jobset, analysis.test.equation,
                                test=analysis.test)
@@ -466,8 +1152,9 @@ def admit_all_or_nothing(analysis: SubsetAnalysis, *,
     the discard cascade.
     """
     if mode == "incremental":
-        return incremental_feasibility(analysis.jobset,
-                                       analysis.test)
+        return incremental_feasibility(
+            analysis.jobset, analysis.test, carry=analysis.carry,
+            key=tuple(int(i) for i in analysis.indices))
     if mode == "cold":
         from repro.core.opdca import opdca
 

@@ -71,8 +71,14 @@ class AdmissionService:
     def __init__(self, *, store: "ResultStore | None" = None,
                  queue_limit: int = 1024, max_batch: int = 64,
                  queue_timeout: float = 2.0,
-                 max_tenants: int = 64) -> None:
+                 max_tenants: int = 64,
+                 slate_events: bool = False) -> None:
         self.tenants = TenantManager(max_tenants=max_tenants)
+        #: Opt-in micro-batched admit path: queue-adjacent arrivals of
+        #: one tenant are served by a single coalesced engine decision
+        #: (identical outcomes; default OFF so the stock per-event
+        #: path stays the baseline).
+        self.slate_events = bool(slate_events)
         self.batcher = EventBatcher(
             queue_limit=queue_limit, max_batch=max_batch,
             queue_timeout=queue_timeout)
@@ -117,10 +123,25 @@ class AdmissionService:
 
     async def process_event(self, tenant: Tenant, kind: str,
                             uid, now: float) -> dict:
-        """The hot path: one event through the batcher's queue."""
+        """The hot path: one event through the batcher's queue.
+
+        With :attr:`slate_events` on, arrivals carry a per-tenant
+        slate key so the batcher can serve queue-adjacent bursts of
+        one tenant through a single coalesced decision; departures
+        stay keyless (they break slates, exactly as in the offline
+        engines' coalescing replay).
+        """
         started = time.monotonic()
-        payload = await self.batcher.submit(
-            lambda: tenant.process(kind, uid, now))
+        if self.slate_events and kind == "arrive":
+            future = self.batcher.submit(
+                lambda: tenant.process(kind, uid, now),
+                slate_key=(tenant.name, "arrive"),
+                slate_arg=(uid, now),
+                slate_work=tenant.process_slate)
+        else:
+            future = self.batcher.submit(
+                lambda: tenant.process(kind, uid, now))
+        payload = await future
         elapsed = time.monotonic() - started
         self._busy_seconds += elapsed
         self.decision_latency.observe(elapsed)
@@ -324,11 +345,12 @@ def run_app(*, host: str = "127.0.0.1", port: int = 8642,
             store: "ResultStore | None" = None,
             queue_limit: int = 1024, max_batch: int = 64,
             queue_timeout: float = 2.0,
-            snapshot_on_exit: bool = False, ready=None) -> None:
+            snapshot_on_exit: bool = False, ready=None,
+            slate_events: bool = False) -> None:
     """Blocking entry point of ``repro serve run``."""
     service = AdmissionService(
         store=store, queue_limit=queue_limit, max_batch=max_batch,
-        queue_timeout=queue_timeout)
+        queue_timeout=queue_timeout, slate_events=slate_events)
     asyncio.run(serve_forever(
         service, host, port, snapshot_on_exit=snapshot_on_exit,
         ready=ready))

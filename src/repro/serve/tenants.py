@@ -222,6 +222,50 @@ class Tenant:
         self.journal.append([kind, int(uid), now])
         return self._response(records)
 
+    def process_slate(self, members: "list[tuple[int, float]]"
+                      ) -> "list":
+        """Feed a coalesced slate of arrival events; the multi-event
+        counterpart of :meth:`process` behind the batcher's slate
+        grouping.  ``members`` is ``(uid, now)`` per event in queue
+        order.  Returns one entry per member -- the response payload,
+        or the exception that member's lone :meth:`process` call
+        raised (the batcher resolves each member's future with its
+        entry).  Slates that fail up-front validation (bad uid,
+        duplicate uid, out-of-order times) degrade to sequential
+        per-member processing, so engine state and the journal evolve
+        exactly as if the members had been fed one at a time -- which
+        is also why snapshot restores (journal replays through
+        :meth:`process`) reproduce slate-served state bit-for-bit.
+        """
+        valid = len({uid for uid, _ in members}) == len(members)
+        last = self._last_time
+        if valid:
+            for uid, now in members:
+                if not isinstance(uid, int) or \
+                        isinstance(uid, bool) or \
+                        not 0 <= uid < self.num_jobs or \
+                        float(now) < last:
+                    valid = False
+                    break
+                last = float(now)
+        process_slate = getattr(self.engine, "process_slate", None)
+        if not valid or len(members) == 1 or process_slate is None:
+            out: list = []
+            for uid, now in members:
+                try:
+                    out.append(self.process("arrive", uid, now))
+                except ServeError as error:
+                    out.append(error)
+            return out
+        arrivals = [(float(now), int(uid)) for uid, now in members]
+        records = process_slate(arrivals)
+        payloads = []
+        for k, (now, uid) in enumerate(arrivals):
+            self._last_time = now
+            self.journal.append(["arrive", uid, now])
+            payloads.append(self._response([records[k]]))
+        return payloads
+
     def _response(self, records: "list[EventRecord]") -> dict:
         head = records[0]
         return {

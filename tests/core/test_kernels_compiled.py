@@ -33,8 +33,11 @@ from hypothesis import strategies as st
 import repro.core.kernels as kernels
 from repro.core.dca import DelayAnalyzer
 from repro.core.kernels import (
+    AUTO_COMPILED_MIN_ACTIVE,
     AUTO_COMPILED_MIN_JOBS,
     CompiledKernelUnavailable,
+    auto_tier_online,
+    pick_tier,
     resolve_kernel,
 )
 from repro.workload.edge import EdgeWorkloadConfig, generate_edge_case
@@ -279,3 +282,45 @@ class TestAvailability:
                                  kernel="auto")
         assert analyzer.requested_kernel == "auto"
         assert analyzer.kernel == "paired"
+
+
+class TestAutoOnlineCrossover:
+    """``kernel="auto"`` online dispatch pins on the *active* count.
+
+    The online engines re-resolve the auto tier per decision through
+    :func:`repro.core.kernels.auto_tier_online`, whose crossover
+    (``AUTO_COMPILED_MIN_ACTIVE``) deliberately sits below the batch
+    one: the fused compiled frontier probe amortises its dispatch
+    overhead faster than a whole batch sweep does.
+    """
+
+    def test_crossover_pinned_on_active_count(self, force_fallback):
+        assert auto_tier_online(AUTO_COMPILED_MIN_ACTIVE) == "compiled"
+        assert auto_tier_online(
+            AUTO_COMPILED_MIN_ACTIVE - 1) == "paired"
+        assert auto_tier_online(0) == "paired"
+        assert auto_tier_online(10 * AUTO_COMPILED_MIN_ACTIVE) == \
+            "compiled"
+
+    def test_online_crossover_sits_below_batch(self):
+        # An active count in [MIN_ACTIVE, MIN_JOBS) picks compiled
+        # online but paired in batch context: the online decision
+        # amortises dispatch on a single probe, the batch sweep needs
+        # the larger universe to win.
+        assert AUTO_COMPILED_MIN_ACTIVE < AUTO_COMPILED_MIN_JOBS
+        mid = AUTO_COMPILED_MIN_ACTIVE
+        assert pick_tier(mid, compiled_ok=True,
+                         context="online") == "compiled"
+        assert pick_tier(mid, compiled_ok=True,
+                         context="batch") == "paired"
+
+    def test_without_compiled_always_paired(self, no_compiled):
+        for n in (0, AUTO_COMPILED_MIN_ACTIVE,
+                  AUTO_COMPILED_MIN_JOBS, 500):
+            assert auto_tier_online(n) == "paired"
+            assert pick_tier(n, compiled_ok=False,
+                             context="online") == "paired"
+
+    def test_unknown_context_rejected(self):
+        with pytest.raises(ValueError, match="context"):
+            pick_tier(16, compiled_ok=True, context="bogus")

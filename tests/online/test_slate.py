@@ -1,0 +1,213 @@
+"""Micro-batched slate decisions == sequential replay, bitwise.
+
+The slate paths (``AdmissionCell.arrival_slate``, the engines'
+``slate_window`` coalescing replay and ``process_slate`` entry
+points, and ``Tenant.process_slate`` behind the serve batcher) are
+pure *work-saving* transforms: one all-or-nothing screen settles a
+whole burst of arrivals when it passes, and everything degrades to
+the stock per-event path when it does not.  Their contract is exact
+equivalence with one-event-at-a-time replay -- admitted sets,
+per-uid decisions, evictions, retry traffic and per-event records --
+on every kernel tier, including the forced compiled-fallback loops.
+
+Congested streams (rate > service capacity) are used throughout so
+slates routinely hit the sequential-fallback path too: rejections,
+evictions and retry-queue interleavings all occur within coalesced
+bursts, not just the all-accept fast path.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.online.engine import (
+    EVENT_ARRIVE,
+    OnlineAdmissionEngine,
+    stream_events,
+)
+from repro.online.sharded import ShardedAdmissionEngine
+from repro.online.streams import StreamConfig, generate_stream
+
+#: A congested operating point (cf. ``benchmarks/bench_online.py``):
+#: accept, reject, evict and retry all fire within the horizon.
+_CONFIG = StreamConfig(horizon=90.0, rate=1.6, dwell_scale=2.0,
+                       pool_size=24)
+
+#: Kernel tiers the slate equivalence must hold on.  ``compiled`` is
+#: exercised through the forced pure-python fallback loops
+#: (arithmetic-identical to the jitted primitives) so the suite runs
+#: without the optional numba dependency.
+_TIERS = ("paired", "reference", "compiled", "auto")
+
+
+def _force_fallback(monkeypatch):
+    import repro.core.kernels as kernels
+
+    monkeypatch.setattr(kernels, "FORCE_FALLBACK", True)
+
+
+def _run(stream, *, slate_window=0.0, kernel="paired", shards=1):
+    if shards > 1:
+        engine = ShardedAdmissionEngine(
+            stream, shards=shards, kernel=kernel,
+            slate_window=slate_window)
+    else:
+        engine = OnlineAdmissionEngine(
+            stream, kernel=kernel, slate_window=slate_window)
+    return engine.run()
+
+
+def _comparable_records(result):
+    """Per-event record tuples minus wall-clock latency and the one
+    documented telemetry difference (rank flips are accounted once
+    per slate, on its last member, rather than once per member)."""
+    return [
+        (r.index, r.time, r.kind, r.uid, r.decision, r.evicted,
+         r.admitted, r.acceptance_ratio, r.rejected_heaviness,
+         r.utilisation)
+        for r in result.records
+    ]
+
+
+def _assert_equivalent(sequential, slated):
+    assert sequential.final_admitted == slated.final_admitted
+    assert _comparable_records(sequential) == _comparable_records(slated)
+    seq, sla = sequential.summary, slated.summary
+    for key in ("arrivals", "acceptance_ratio", "evictions",
+                "retry_accepts", "retry_drops", "expired", "events"):
+        assert seq[key] == sla[key], key
+    # ``rank_changes`` is deliberately NOT compared: a slate's single
+    # commit counts the net rank flips of the whole burst where
+    # sequential replay sums per-arrival flips (transient back-and-
+    # forth flips cancel), the one documented telemetry difference of
+    # the micro-batched path (see ``AdmissionCell.arrival_slate``).
+
+
+class TestMonoSlateEquivalence:
+    @pytest.mark.parametrize("kernel", _TIERS)
+    def test_slate_replay_matches_sequential(self, kernel, monkeypatch):
+        if kernel in ("compiled", "auto"):
+            _force_fallback(monkeypatch)
+        stream = generate_stream(_CONFIG, seed=2)
+        _assert_equivalent(
+            _run(stream, kernel=kernel),
+            _run(stream, kernel=kernel, slate_window=0.5))
+
+    @given(seed=st.integers(0, 31),
+           window=st.sampled_from([0.1, 0.3, 0.5, 1.0, 2.5]))
+    @settings(max_examples=12, deadline=None)
+    def test_slate_replay_matches_sequential_fuzzed(self, seed, window):
+        stream = generate_stream(_CONFIG, seed=seed)
+        _assert_equivalent(_run(stream),
+                           _run(stream, slate_window=window))
+
+    @given(seed=st.integers(0, 15))
+    @settings(max_examples=6, deadline=None)
+    def test_process_slate_matches_process(self, seed):
+        stream = generate_stream(_CONFIG, seed=seed)
+        sequential = OnlineAdmissionEngine(stream)
+        slated = OnlineAdmissionEngine(stream)
+        events = stream_events(stream)
+        i = 0
+        while i < len(events):
+            now, kind, uid = events[i]
+            if kind != EVENT_ARRIVE:
+                sequential.process(now, "depart", uid)
+                slated.process(now, "depart", uid)
+                i += 1
+                continue
+            j = i
+            while j < len(events) and events[j][1] == EVENT_ARRIVE:
+                j += 1
+            for t, _, u in events[i:j]:
+                sequential.process(t, "arrive", u)
+            slated.process_slate([(t, u) for t, _, u in events[i:j]])
+            i = j
+        _assert_equivalent(sequential.result(), slated.result())
+
+    def test_slate_disabled_under_recording_and_validation(self):
+        stream = generate_stream(_CONFIG, seed=0)
+        recorded = OnlineAdmissionEngine(
+            stream, slate_window=0.5, record_decisions=True)
+        recorded.run()
+        # Sequential replay logs one decision per arrival.
+        arrivals = sum(1 for _, kind, _ in stream_events(stream)
+                       if kind == EVENT_ARRIVE)
+        assert sum(1 for d in recorded.decisions
+                   if d[1] == "arrive") == arrivals
+        validated = OnlineAdmissionEngine(
+            stream, slate_window=0.5, validate_every=7)
+        assert validated.run().validation_failures == []
+
+    def test_negative_window_rejected(self):
+        stream = generate_stream(_CONFIG, seed=0)
+        with pytest.raises(ValueError, match="slate_window"):
+            OnlineAdmissionEngine(stream, slate_window=-0.1)
+        with pytest.raises(ValueError, match="slate_window"):
+            ShardedAdmissionEngine(stream, slate_window=-0.1)
+
+
+class TestShardedSlateEquivalence:
+    @pytest.mark.parametrize("kernel", _TIERS)
+    def test_slate_replay_matches_sequential(self, kernel, monkeypatch):
+        if kernel in ("compiled", "auto"):
+            _force_fallback(monkeypatch)
+        stream = generate_stream(_CONFIG, seed=3)
+        _assert_equivalent(
+            _run(stream, shards=2, kernel=kernel),
+            _run(stream, shards=2, kernel=kernel, slate_window=0.5))
+
+    @given(seed=st.integers(0, 31),
+           window=st.sampled_from([0.1, 0.5, 1.5]))
+    @settings(max_examples=8, deadline=None)
+    def test_slate_replay_matches_sequential_fuzzed(self, seed, window):
+        stream = generate_stream(_CONFIG, seed=seed)
+        _assert_equivalent(_run(stream, shards=2),
+                           _run(stream, shards=2, slate_window=window))
+
+    @given(seed=st.integers(0, 15))
+    @settings(max_examples=4, deadline=None)
+    def test_process_slate_matches_process(self, seed):
+        stream = generate_stream(_CONFIG, seed=seed)
+        sequential = ShardedAdmissionEngine(stream, shards=2)
+        slated = ShardedAdmissionEngine(stream, shards=2)
+        events = stream_events(stream)
+        i = 0
+        while i < len(events):
+            now, kind, uid = events[i]
+            if kind != EVENT_ARRIVE:
+                sequential.process(now, "depart", uid)
+                slated.process(now, "depart", uid)
+                i += 1
+                continue
+            j = i
+            while j < len(events) and events[j][1] == EVENT_ARRIVE:
+                j += 1
+            for t, _, u in events[i:j]:
+                sequential.process(t, "arrive", u)
+            slated.process_slate([(t, u) for t, _, u in events[i:j]])
+            i = j
+        _assert_equivalent(sequential.result(), slated.result())
+
+
+class TestCellSlate:
+    def test_single_member_slate_is_plain_arrival(self):
+        stream = generate_stream(_CONFIG, seed=1)
+        a = OnlineAdmissionEngine(stream)
+        b = OnlineAdmissionEngine(stream)
+        first = next(uid for _, kind, uid in stream_events(stream)
+                     if kind == EVENT_ARRIVE)
+        now = next(t for t, kind, uid in stream_events(stream)
+                   if kind == EVENT_ARRIVE)
+        [rec] = b.process_slate([(now, first)])
+        [ref] = a.process(now, "arrive", first)
+        assert (rec.decision, rec.uid, rec.admitted) == \
+            (ref.decision, ref.uid, ref.admitted)
+
+    def test_slate_size_histogram_observed(self):
+        from repro import obs
+
+        stream = generate_stream(_CONFIG, seed=4)
+        OnlineAdmissionEngine(stream, slate_window=0.5).run()
+        rendered = obs.get_registry().render_prometheus()
+        assert "repro_decision_slate_size" in rendered
